@@ -1,0 +1,476 @@
+(* The experiment harness: regenerates every claim-validation table E1–E8
+   described in DESIGN.md / EXPERIMENTS.md, plus Bechamel micro-benchmarks.
+
+     dune exec bench/main.exe               run everything (default sizes)
+     dune exec bench/main.exe -- e1 e4      run selected experiments
+     dune exec bench/main.exe -- --quick    smaller sweeps  *)
+
+module Value = Rtic_relational.Value
+module Database = Rtic_relational.Database
+module History = Rtic_temporal.History
+module Trace = Rtic_temporal.Trace
+module Formula = Rtic_mtl.Formula
+module Interval = Rtic_temporal.Interval
+module Incremental = Rtic_core.Incremental
+module Monitor = Rtic_core.Monitor
+module Compile = Rtic_active.Compile
+module Naive = Rtic_eval.Naive
+module Gen = Rtic_workload.Gen
+module Scenarios = Rtic_workload.Scenarios
+open Workloads
+
+let quick = ref false
+
+let header title claim =
+  Printf.printf "\n=== %s ===\n%s\n\n" title claim
+
+let row fmt = Printf.printf fmt
+
+(* ------------------------------------------------------------------ *)
+(* E1 — space vs history length                                        *)
+(* ------------------------------------------------------------------ *)
+
+let e1 () =
+  header "E1: auxiliary space vs history length n"
+    "Claim: with a bounded window the bounded-history-encoding space is\n\
+     independent of n, while the naive checker stores the whole history\n\
+     (space grows linearly). The unpruned ablation grows linearly too.";
+  let d = parse_def "constraint c: forall x. q(x) -> once[0,50] p(x) ;" in
+  let sweep = if !quick then [ 250; 500; 1000 ] else [ 250; 500; 1000; 2000; 4000 ] in
+  row "%8s %16s %16s %16s\n" "n" "incremental" "no-pruning" "naive(tuples)";
+  List.iter
+    (fun n ->
+      let snaps = event_snapshots n in
+      let st = run_incremental d snaps in
+      let st_np =
+        run_incremental ~config:{ Incremental.prune = false } d snaps
+      in
+      let h = history_of_snapshots snaps in
+      row "%8d %16d %16d %16d\n" n (Incremental.space st)
+        (Incremental.space st_np)
+        (History.stored_tuples h))
+    sweep
+
+(* ------------------------------------------------------------------ *)
+(* E2 — per-transition check time vs history length                    *)
+(* ------------------------------------------------------------------ *)
+
+let e2 () =
+  header "E2: per-transition check time vs history length n"
+    "Claim: the incremental checker's per-transaction cost does not grow\n\
+     with n; the naive checker re-reads the history, so its per-check cost\n\
+     grows linearly. (Unbounded once: the naive scan cannot stop early;\n\
+     the incremental checker min-compresses to one timestamp per value.)";
+  let d = parse_def "constraint c: forall x. q(x) -> once p(x) ;" in
+  let sweep = if !quick then [ 250; 500; 1000 ] else [ 250; 500; 1000; 2000 ] in
+  let reps = 50 in
+  row "%8s %22s %22s\n" "n" "incremental (us/txn)" "naive (us/check)";
+  List.iter
+    (fun n ->
+      let snaps = event_snapshots n in
+      let st = run_incremental d snaps in
+      let last_t = fst (List.nth snaps (n - 1)) in
+      let db = snd (List.nth snaps (n - 1)) in
+      let (), t_inc =
+        time_it (fun () ->
+            let _ =
+              List.fold_left
+                (fun st k ->
+                  fst (or_die "step" (Incremental.step st ~time:(last_t + k) db)))
+                st
+                (List.init reps (fun k -> k + 1))
+            in
+            ())
+      in
+      let h = history_of_snapshots snaps in
+      let (), t_naive =
+        time_it (fun () ->
+            for _ = 1 to reps do
+              ignore (or_die "naive" (Naive.holds_at h (n - 1) d.Formula.body))
+            done)
+      in
+      row "%8d %22.1f %22.1f\n" n
+        (1e6 *. t_inc /. float_of_int reps)
+        (1e6 *. t_naive /. float_of_int reps))
+    sweep
+
+(* ------------------------------------------------------------------ *)
+(* E3 — total trace-processing time                                    *)
+(* ------------------------------------------------------------------ *)
+
+let e3 () =
+  header "E3: total time to process a trace of n transactions"
+    "Claim: incremental is linear in n; naive is quadratic (every state\n\
+     re-reads its past), so the gap widens with n. (Unbounded once: the
+     naive scan walks the whole prefix at every position.)";
+  let d = parse_def "constraint c: forall x. q(x) -> once p(x) ;" in
+  let sweep = if !quick then [ 250; 500 ] else [ 250; 500; 1000; 2000 ] in
+  row "%8s %18s %18s %10s\n" "n" "incremental (ms)" "naive (ms)" "speedup";
+  List.iter
+    (fun n ->
+      let snaps = event_snapshots n in
+      let (), t_inc = time_it (fun () -> ignore (run_incremental d snaps)) in
+      let h = history_of_snapshots snaps in
+      let (), t_naive =
+        time_it (fun () -> ignore (or_die "naive" (Naive.violations h d)))
+      in
+      row "%8d %18.1f %18.1f %9.1fx\n" n (ms t_inc) (ms t_naive)
+        (t_naive /. t_inc))
+    sweep
+
+(* ------------------------------------------------------------------ *)
+(* E4 — scaling with the lookback window                               *)
+(* ------------------------------------------------------------------ *)
+
+let e4 () =
+  header "E4: space and time vs the constraint's window width u"
+    "Claim: the bounded encoding stores (valuation, timestamp) pairs only\n\
+     inside the window, so space grows proportionally to u and levels off\n\
+     once u exceeds the whole history; per-step time follows space.";
+  let n = if !quick then 1500 else 3000 in
+  let snaps = event_snapshots n in
+  let sweep = if !quick then [ 10; 100; 1000 ] else [ 10; 50; 100; 500; 1000; 5000; 10000 ] in
+  row "%8s %14s %16s\n" "u" "space" "total (ms)";
+  List.iter
+    (fun u ->
+      let d =
+        { Formula.name = "c";
+          body =
+            Formula.map_intervals
+              (fun _ -> Interval.bounded 0 u)
+              (parse_formula "forall x. q(x) -> once[0,1] p(x)") }
+      in
+      let st, t = time_it (fun () -> run_incremental d snaps) in
+      row "%8d %14d %16.1f\n" u (Incremental.space st) (ms t))
+    sweep
+
+(* ------------------------------------------------------------------ *)
+(* E5 — scaling with the active domain                                 *)
+(* ------------------------------------------------------------------ *)
+
+let e5 () =
+  header "E5: scaling with the active-domain size"
+    "Claim: space holds one entry per valuation active in the window, so\n\
+     both space and time grow with the population of the database, not\n\
+     with the history.";
+  let d = parse_def "constraint c: forall x. q(x) -> once[0,40] p(x) ;" in
+  let steps = if !quick then 400 else 800 in
+  let sweep = if !quick then [ 8; 64; 256 ] else [ 8; 32; 128; 512; 2048 ] in
+  row "%8s %14s %16s\n" "domain" "space" "total (ms)";
+  List.iter
+    (fun domain ->
+      let tr =
+        Gen.random_trace ~seed:99
+          { Gen.default_params with steps; domain; txn_size = 6 }
+      in
+      let h = or_die "materialize" (Trace.materialize tr) in
+      let st, t =
+        time_it (fun () -> run_incremental d (History.snapshots h))
+      in
+      row "%8d %14d %16.1f\n" domain (Incremental.space st) (ms t))
+    sweep
+
+(* ------------------------------------------------------------------ *)
+(* E6 — scaling with temporal depth                                    *)
+(* ------------------------------------------------------------------ *)
+
+let e6 () =
+  header "E6: scaling with the temporal depth of the constraint"
+    "Claim: the checker keeps one auxiliary relation per temporal\n\
+     subformula and each step touches each once, so cost grows gently\n\
+     with depth; the naive evaluator re-recurses per level and blows up.";
+  let n = if !quick then 200 else 400 in
+  let snaps = event_snapshots n in
+  let h = history_of_snapshots snaps in
+  let depths = if !quick then [ 1; 2; 3 ] else [ 1; 2; 3; 4; 5 ] in
+  row "%8s %18s %16s %14s\n" "depth" "incremental (ms)" "naive (ms)" "aux nodes";
+  List.iter
+    (fun depth ->
+      let rec nest k =
+        if k = 0 then "(exists x. p(x))"
+        else Printf.sprintf "once[0,8] %s" (nest (k - 1))
+      in
+      let d = { Formula.name = "c"; body = parse_formula (nest depth) } in
+      let st, t_inc = time_it (fun () -> run_incremental d snaps) in
+      let (), t_naive =
+        time_it (fun () -> ignore (or_die "naive" (Naive.violations h d)))
+      in
+      row "%8d %18.1f %16.1f %14d\n" depth (ms t_inc) (ms t_naive)
+        (List.length (Incremental.space_detail st)))
+    depths
+
+(* ------------------------------------------------------------------ *)
+(* E7 — the constraint catalog over the three scenarios                *)
+(* ------------------------------------------------------------------ *)
+
+let e7 () =
+  header "E7: constraint catalog C1-C14 over the application scenarios"
+    "Claim: on realistic workloads the incremental checker and the naive\n\
+     baseline report identical violations; incremental is consistently\n\
+     faster; the compiled active-rule engine tracks the incremental one.";
+  let steps = if !quick then 150 else 300 in
+  row "%-8s %-24s %6s %10s %10s %10s\n" "id" "constraint" "viol"
+    "inc (ms)" "naive(ms)" "rules(ms)";
+  List.iteri
+    (fun sci (sc : Scenarios.t) ->
+      let tr = sc.generate ~seed:7 ~steps ~violation_rate:0.1 in
+      let h = or_die "materialize" (Trace.materialize tr) in
+      let snaps = History.snapshots h in
+      List.iteri
+        (fun i (d : Formula.def) ->
+          let vi, t_inc =
+            time_it (fun () ->
+                let st = or_die "create" (Incremental.create sc.catalog d) in
+                let _, bad =
+                  List.fold_left
+                    (fun (st, bad) (time, db) ->
+                      let st, v = or_die "step" (Incremental.step st ~time db) in
+                      (st, if v.Incremental.satisfied then bad else bad + 1))
+                    (st, 0) snaps
+                in
+                bad)
+          in
+          let vn, t_naive =
+            time_it (fun () ->
+                List.length (or_die "naive" (Naive.violations h d)))
+          in
+          let va, t_rules =
+            time_it (fun () ->
+                let prog = or_die "compile" (Compile.compile sc.catalog d) in
+                let _, bad =
+                  List.fold_left
+                    (fun (eng, bad) (time, db) ->
+                      let eng, ok = or_die "step" (Compile.step eng ~time db) in
+                      (eng, if ok then bad else bad + 1))
+                    (Compile.start prog, 0)
+                    snaps
+                in
+                bad)
+          in
+          if vi <> vn || vi <> va then
+            Printf.printf "  !! DISAGREEMENT on %s: inc=%d naive=%d rules=%d\n"
+              d.name vi vn va;
+          row "%-8s %-24s %6d %10.1f %10.1f %10.1f\n"
+            (Printf.sprintf "C%d.%d" (sci + 1) (i + 1))
+            d.name vi (ms t_inc) (ms t_naive) (ms t_rules))
+        sc.constraints)
+    Scenarios.all
+
+(* ------------------------------------------------------------------ *)
+(* E8 — ablations                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let e8 () =
+  header "E8: ablations"
+    "Claim: (a) disabling pruning leaves verdicts unchanged but lets the\n\
+     auxiliary state grow with the history; (b) the interpreted checker\n\
+     and the compiled active-rule engine implement the same encoding, the\n\
+     compiled one paying the overhead of database-resident tables.";
+  let steps = if !quick then 400 else 1200 in
+  let sc = Scenarios.banking in
+  let tr = sc.generate ~seed:5 ~steps ~violation_rate:0.05 in
+  let h = or_die "materialize" (Trace.materialize tr) in
+  let snaps = History.snapshots h in
+  let d = List.nth sc.constraints 2 (* big_withdraw_audited: once[0,20] *) in
+  let run config =
+    time_it (fun () ->
+        List.fold_left
+          (fun st (time, db) ->
+            fst (or_die "step" (Incremental.step st ~time db)))
+          (or_die "create" (Incremental.create ~config sc.catalog d))
+          snaps)
+  in
+  let st_p, t_p = run { Incremental.prune = true } in
+  let st_np, t_np = run { Incremental.prune = false } in
+  let eng, t_rules =
+    time_it (fun () ->
+        List.fold_left
+          (fun eng (time, db) -> fst (or_die "step" (Compile.step eng ~time db)))
+          (Compile.start (or_die "compile" (Compile.compile sc.catalog d)))
+          snaps)
+  in
+  row "%-34s %12s %12s\n" "variant" "space" "time (ms)";
+  row "%-34s %12d %12.1f\n" "bounded encoding (pruning on)"
+    (Incremental.space st_p) (ms t_p);
+  row "%-34s %12d %12.1f\n" "ablation: pruning off"
+    (Incremental.space st_np) (ms t_np);
+  row "%-34s %12d %12.1f\n" "compiled active rules"
+    (Compile.space eng) (ms t_rules)
+
+(* ------------------------------------------------------------------ *)
+(* E9 — cross-constraint subformula sharing                            *)
+(* ------------------------------------------------------------------ *)
+
+let e9 () =
+  header "E9: cross-constraint subformula sharing (extension)"
+    "Claim: constraints overlapping on temporal subformulas can share one\n\
+     auxiliary relation fleet-wide: the shared monitor's space stays flat\n\
+     in the number of overlapping constraints (the per-constraint monitor\n\
+     grows linearly), and its time grows more slowly (aux maintenance is\n\
+     shared; only each constraint's first-order part is re-evaluated).";
+  let module Shared = Rtic_core.Shared in
+  let n = if !quick then 400 else 800 in
+  let snaps = event_snapshots n in
+  let steps =
+    List.map (fun (t, db) -> (t, db)) snaps
+  in
+  let sweep = if !quick then [ 1; 4; 16 ] else [ 1; 2; 4; 8; 16; 32 ] in
+  row "%8s %14s %14s %12s %12s %12s\n" "K" "shared space" "per space"
+    "shared ms" "per ms" "aux nodes";
+  List.iter
+    (fun k ->
+      (* K constraints sharing the subformula once[0,40] p(x) *)
+      let defs =
+        List.init k (fun i ->
+            parse_def
+              (Printf.sprintf
+                 "constraint c%d: forall x. q(x) & x >= %d -> once[0,40] \
+                  p(x) ;"
+                 i i))
+      in
+      (* The Shared monitor consumes transactions; derive them from
+         consecutive snapshots (two inserts + two deletes per step). *)
+      let module R = Rtic_relational in
+      let txns =
+        let prev = ref (R.Database.create Gen.generic_catalog) in
+        List.map
+          (fun (time, db) ->
+            let txn =
+              R.Database.fold
+                (fun rel cur acc ->
+                  let old = R.Database.relation_exn !prev rel in
+                  let ins =
+                    R.Relation.fold
+                      (fun t acc -> R.Update.Insert (rel, t) :: acc)
+                      (R.Relation.diff cur old) []
+                  in
+                  let del =
+                    R.Relation.fold
+                      (fun t acc -> R.Update.Delete (rel, t) :: acc)
+                      (R.Relation.diff old cur) []
+                  in
+                  acc @ del @ ins)
+                db []
+            in
+            prev := db;
+            (time, txn))
+          steps
+      in
+      let final_shared, t_shared =
+        time_it (fun () ->
+            List.fold_left
+              (fun m (time, txn) ->
+                fst (or_die "step" (Shared.step m ~time txn)))
+              (or_die "create" (Shared.create Gen.generic_catalog defs))
+              txns)
+      in
+      let per_states, t_per =
+        time_it (fun () ->
+            List.fold_left
+              (fun sts (time, db) ->
+                List.map
+                  (fun st -> fst (or_die "step" (Incremental.step st ~time db)))
+                  sts)
+              (List.map
+                 (fun d -> or_die "create" (Incremental.create Gen.generic_catalog d))
+                 defs)
+              steps)
+      in
+      let per_space =
+        List.fold_left (fun a st -> a + Incremental.space st) 0 per_states
+      in
+      row "%8d %14d %14d %12.1f %12.1f %12d\n" k
+        (Shared.space final_shared) per_space (ms t_shared) (ms t_per)
+        (Shared.shared_nodes final_shared))
+    sweep
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                           *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  header "MICRO: per-transaction latency (Bechamel, ns/run)"
+    "One committed transaction through each engine, measured on a warmed\n\
+     500-state prefix of the event workload.";
+  let open Bechamel in
+  let d = parse_def "constraint c: forall x. q(x) -> once[0,50] p(x) ;" in
+  let n = 500 in
+  let snaps = event_snapshots n in
+  let last_t = fst (List.nth snaps (n - 1)) in
+  let db = snd (List.nth snaps (n - 1)) in
+  let st = run_incremental d snaps in
+  let eng =
+    List.fold_left
+      (fun eng (time, db) -> fst (or_die "step" (Compile.step eng ~time db)))
+      (Compile.start (or_die "compile" (Compile.compile Gen.generic_catalog d)))
+      snaps
+  in
+  let h = history_of_snapshots snaps in
+  let counter = ref 0 in
+  let fresh () =
+    incr counter;
+    last_t + !counter
+  in
+  let tests =
+    Test.make_grouped ~name:"step"
+      [ Test.make ~name:"incremental"
+          (Staged.stage (fun () ->
+               ignore (or_die "step" (Incremental.step st ~time:(fresh ()) db))));
+        Test.make ~name:"active-rules"
+          (Staged.stage (fun () ->
+               ignore (or_die "step" (Compile.step eng ~time:(fresh ()) db))));
+        Test.make ~name:"naive-recheck"
+          (Staged.stage (fun () ->
+               ignore (or_die "naive" (Naive.holds_at h (n - 1) d.Formula.body)))) ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg [ instance ] tests in
+  let results = Analyze.all ols instance raw in
+  let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) results [] in
+  List.iter
+    (fun (name, ols_result) ->
+      match Analyze.OLS.estimates ols_result with
+      | Some [ est ] -> row "%-28s %14.0f ns/run\n" name est
+      | _ -> row "%-28s %14s\n" name "n/a")
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) rows)
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
+    ("e7", e7); ("e8", e8); ("e9", e9); ("micro", micro) ]
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let args =
+    List.filter
+      (fun a ->
+        if a = "--quick" then begin
+          quick := true;
+          false
+        end
+        else true)
+      args
+  in
+  let selected =
+    if args = [] then experiments
+    else
+      List.map
+        (fun a ->
+          match List.assoc_opt (String.lowercase_ascii a) experiments with
+          | Some f -> (a, f)
+          | None ->
+            Printf.eprintf "bench: unknown experiment %s (have: %s)\n" a
+              (String.concat ", " (List.map fst experiments));
+            exit 2)
+        args
+  in
+  Printf.printf
+    "rtic experiment harness — validating the claims of Chomicki (PODS'92)\n";
+  List.iter (fun (_, f) -> f ()) selected

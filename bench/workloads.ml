@@ -1,0 +1,64 @@
+(* Shared workload builders for the experiment harness. *)
+
+module Value = Rtic_relational.Value
+module Tuple = Rtic_relational.Tuple
+module Database = Rtic_relational.Database
+module History = Rtic_temporal.History
+module Trace = Rtic_temporal.Trace
+module Formula = Rtic_mtl.Formula
+module Parser = Rtic_mtl.Parser
+module Incremental = Rtic_core.Incremental
+module Compile = Rtic_active.Compile
+module Naive = Rtic_eval.Naive
+module Gen = Rtic_workload.Gen
+
+let or_die what = function
+  | Ok v -> v
+  | Error m ->
+    Printf.eprintf "bench: %s: %s\n" what m;
+    exit 1
+
+let parse_def src = or_die src (Parser.def_of_string src)
+let parse_formula src = or_die src (Parser.formula_of_string src)
+
+(* Event stream over the generic catalog: at each step one fresh p-event
+   (value cycling over [domain]) and one fresh q-event; previous events are
+   removed. Snapshot i therefore holds exactly one p-tuple and one q-tuple,
+   and witnesses age out — the workload the space-bound experiments use. *)
+let event_snapshots ?(domain = 64) ?(gap = 2) n =
+  let db0 = Database.create Gen.generic_catalog in
+  let value i = Value.Int (i mod domain) in
+  let rec go i db acc =
+    if i > n then List.rev acc
+    else
+      let db =
+        if i = 1 then db
+        else
+          db
+          |> (fun db -> or_die "del p" (Database.delete db "p" [| value (i - 1) |]))
+          |> fun db -> or_die "del q" (Database.delete db "q" [| value (i - 2) |])
+      in
+      let db = or_die "ins p" (Database.insert db "p" [| value i |]) in
+      let db = or_die "ins q" (Database.insert db "q" [| value (i - 1) |]) in
+      go (i + 1) db ((i * gap, db) :: acc)
+  in
+  go 1 db0 []
+
+let history_of_snapshots snaps =
+  or_die "history" (Rtic_temporal.History.of_snapshots snaps)
+
+(* Run a full snapshot list through the incremental checker; returns the
+   final state. *)
+let run_incremental ?config d snaps =
+  List.fold_left
+    (fun st (time, db) -> fst (or_die "step" (Incremental.step st ~time db)))
+    (or_die "create" (Incremental.create ?config Gen.generic_catalog d))
+    snaps
+
+(* Wall-clock helper (CPU time; workloads are CPU-bound and single-threaded). *)
+let time_it f =
+  let t0 = Sys.time () in
+  let x = f () in
+  (x, Sys.time () -. t0)
+
+let ms t = t *. 1000.

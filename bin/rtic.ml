@@ -1,0 +1,533 @@
+(* rtic — command-line front end for the real-time integrity constraint
+   checker.
+
+   Subcommands:
+     rtic parse SPEC            validate a specification file
+     rtic check SPEC TRACE      monitor a trace, report violations
+     rtic rules SPEC            show the compiled active-DBMS rules
+     rtic explain SPEC TRACE    show violation witnesses
+     rtic gen                   generate a synthetic trace *)
+
+module Schema = Rtic_relational.Schema
+module Database = Rtic_relational.Database
+module Trace = Rtic_temporal.Trace
+module History = Rtic_temporal.History
+module Formula = Rtic_mtl.Formula
+module Parser = Rtic_mtl.Parser
+module Pretty = Rtic_mtl.Pretty
+module Rewrite = Rtic_mtl.Rewrite
+module Safety = Rtic_mtl.Safety
+module Valrel = Rtic_eval.Valrel
+module Naive = Rtic_eval.Naive
+module Incremental = Rtic_core.Incremental
+module Monitor = Rtic_core.Monitor
+module Shared = Rtic_core.Shared
+module Stats = Rtic_core.Stats
+module Future = Rtic_core.Future
+module Compile = Rtic_active.Compile
+module Scenarios = Rtic_workload.Scenarios
+module Gen = Rtic_workload.Gen
+
+open Cmdliner
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    Ok s
+  with Sys_error m -> Error m
+
+let ( let* ) r f = Result.bind r f
+
+let or_die = function
+  | Ok v -> v
+  | Error m ->
+    Printf.eprintf "rtic: %s\n" m;
+    exit 1
+
+let load_spec path =
+  let* text = read_file path in
+  Parser.spec_of_string text
+
+let load_trace path =
+  let* text = read_file path in
+  Trace.parse text
+
+(* ------------------------------------------------------------------ *)
+(* parse                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let run_parse spec_file =
+  let spec = or_die (load_spec spec_file) in
+  Printf.printf "catalog: %d relation(s)\n"
+    (List.length (Schema.Catalog.names spec.Parser.catalog));
+  List.iter
+    (fun s -> Format.printf "  %a@." Schema.pp s)
+    (Schema.Catalog.schemas spec.Parser.catalog);
+  Printf.printf "constraints: %d\n" (List.length spec.Parser.defs);
+  List.iter
+    (fun (d : Formula.def) ->
+      Format.printf "@.constraint %s:@.  %a@." d.name Pretty.pp d.body;
+      (match Safety.monitorable spec.Parser.catalog d with
+       | Error m -> Format.printf "  NOT MONITORABLE: %s@." m
+       | Ok () ->
+         Format.printf "  normalized:   %a@." Pretty.pp (Rewrite.normalize d.body);
+         Format.printf "  past window:  %s@."
+           (match Formula.time_reach d.body with
+            | Some w -> string_of_int w ^ " ticks"
+            | None -> "unbounded");
+         Format.printf "  future horizon: %s@."
+           (match Formula.future_reach d.body with
+            | Some 0 -> "0 (pure past)"
+            | Some w -> string_of_int w ^ " ticks (requires verdict delay)"
+            | None -> "unbounded (not monitorable)")))
+    spec.Parser.defs;
+  0
+
+(* ------------------------------------------------------------------ *)
+(* check                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type engine =
+  | E_incremental
+  | E_shared
+  | E_naive
+  | E_active
+  | E_future
+
+let split_defs spec =
+  List.partition
+    (fun (d : Formula.def) -> Formula.past_only d.body)
+    spec.Parser.defs
+
+let check_with_future cat defs tr =
+  (* verdict-delay monitoring for bounded-future constraints *)
+  let* h = Trace.materialize tr in
+  List.fold_left
+    (fun acc (d : Formula.def) ->
+      let* acc = acc in
+      let* st = Future.create cat d in
+      let* st, out =
+        List.fold_left
+          (fun acc (time, db) ->
+            let* st, out = acc in
+            let* st, vs = Future.step st ~time db in
+            Ok (st, out @ vs))
+          (Ok (st, []))
+          (History.snapshots h)
+      in
+      let out = out @ Future.finish st in
+      let viols =
+        List.filter_map
+          (fun (v : Future.verdict) ->
+            if v.satisfied then None
+            else
+              Some
+                { Monitor.constraint_name = d.name;
+                  position = v.index;
+                  time = v.time })
+          out
+      in
+      Ok (acc @ viols))
+    (Ok []) defs
+
+(* Incremental run with optional checkpoint restore/save. The restored
+   monitor's database replaces the trace's initial state, so a saved run can
+   be continued with a trace holding only the remaining transactions. *)
+let run_incremental_with_state config cat past_defs (tr : Trace.t) load save
+    want_stats =
+  let* m =
+    match load with
+    | None -> Monitor.create_with ~config tr.Trace.init past_defs
+    | Some path ->
+      let* text = read_file path in
+      Monitor.of_text ~config cat past_defs text
+  in
+  let* m, reports, stats =
+    List.fold_left
+      (fun acc (time, txn) ->
+        let* m, out, stats = acc in
+        let* m, rs = Monitor.step m ~time txn in
+        let stats =
+          if want_stats then
+            Stats.observe stats ~time ~space:(Monitor.space m) ~reports:rs
+          else stats
+        in
+        Ok (m, out @ rs, stats))
+      (Ok (m, [], Stats.empty))
+      tr.Trace.steps
+  in
+  (match save with
+   | Some path ->
+     let oc = open_out path in
+     output_string oc (Monitor.to_text m);
+     close_out oc
+   | None -> ());
+  if want_stats then Format.printf "%a@." Stats.pp stats;
+  Ok reports
+
+let run_check spec_file trace_file engine no_prune quiet load save want_stats =
+  let spec = or_die (load_spec spec_file) in
+  let tr = or_die (load_trace trace_file) in
+  let cat = spec.Parser.catalog in
+  let config = { Incremental.prune = not no_prune } in
+  let past_defs, future_defs = split_defs spec in
+  if (load <> None || save <> None) && engine <> E_incremental then begin
+    Printf.eprintf "rtic: checkpointing requires --engine incremental\n";
+    exit 2
+  end;
+  let reports =
+    match engine with
+    | E_incremental ->
+      or_die
+        (run_incremental_with_state config cat past_defs tr load save
+           want_stats)
+    | E_shared -> or_die (Shared.run_trace ~config past_defs tr)
+    | E_naive -> or_die (Monitor.run_trace_naive past_defs tr)
+    | E_active ->
+      let h = or_die (Trace.materialize tr) in
+      List.fold_left
+        (fun acc (d : Formula.def) ->
+          let* acc = acc in
+          let* prog = Compile.compile cat d in
+          let* _, _, viols =
+            List.fold_left
+              (fun acc (time, db) ->
+                let* eng, idx, viols = acc in
+                let* eng, ok = Compile.step eng ~time db in
+                let viols =
+                  if ok then viols
+                  else
+                    { Monitor.constraint_name = d.name; position = idx; time }
+                    :: viols
+                in
+                Ok (eng, idx + 1, viols))
+              (Ok (Compile.start prog, 0, []))
+              (History.snapshots h)
+          in
+          Ok (acc @ List.rev viols))
+        (Ok []) past_defs
+      |> or_die
+    | E_future -> or_die (check_with_future cat spec.Parser.defs tr)
+  in
+  let reports =
+    if engine = E_future then reports
+    else begin
+      if future_defs <> [] then
+        Printf.eprintf
+          "rtic: note: %d constraint(s) use future operators and were \
+           checked by verdict delay\n"
+          (List.length future_defs);
+      reports @ or_die (check_with_future cat future_defs tr)
+    end
+  in
+  if not quiet then
+    List.iter (fun r -> Format.printf "%a@." Monitor.pp_report r) reports;
+  Printf.printf "%d transaction(s), %d violation(s)\n" (Trace.length tr)
+    (List.length reports);
+  if reports = [] then 0 else 1
+
+(* ------------------------------------------------------------------ *)
+(* rules                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let run_rules spec_file =
+  let spec = or_die (load_spec spec_file) in
+  List.iter
+    (fun (d : Formula.def) ->
+      Format.printf "constraint %s:@." d.name;
+      match Compile.compile spec.Parser.catalog d with
+      | Error m -> Format.printf "  cannot compile: %s@." m
+      | Ok prog ->
+        List.iter
+          (fun s -> Format.printf "  table %a@." Schema.pp s)
+          (Schema.Catalog.schemas (Compile.aux_catalog prog));
+        List.iter
+          (fun (r : Compile.rule_desc) ->
+            Format.printf "  rule %s (for %s):@.    %s@." r.rule_name
+              r.on_formula r.description)
+          (Compile.rules prog))
+    spec.Parser.defs;
+  0
+
+(* ------------------------------------------------------------------ *)
+(* explain                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let run_explain spec_file trace_file name limit =
+  let spec = or_die (load_spec spec_file) in
+  let tr = or_die (load_trace trace_file) in
+  let d =
+    match
+      List.find_opt (fun (d : Formula.def) -> d.name = name) spec.Parser.defs
+    with
+    | Some d -> d
+    | None ->
+      Printf.eprintf "rtic: no constraint named %s\n" name;
+      exit 1
+  in
+  let h = or_die (Trace.materialize tr) in
+  let viols = or_die (Naive.violations h d) in
+  if viols = [] then begin
+    Printf.printf "constraint %s holds at every position\n" name;
+    0
+  end
+  else begin
+    List.iter
+      (fun i ->
+        Format.printf "@.violated at position %d (time %d)@." i
+          (History.time h i);
+        (* For the common shape  not (exists ...)  show the witnesses of the
+           negated body, with the quantifier stripped so the variable
+           bindings are visible. *)
+        match Rewrite.normalize d.body with
+        | Formula.Not (Formula.Exists (_, g)) | Formula.Not g ->
+          (match Naive.eval h i g with
+           | Ok vr ->
+             let witnesses = Valrel.bindings vr in
+             let shown = List.filteri (fun k _ -> k < limit) witnesses in
+             List.iter
+               (fun bindings ->
+                 let parts =
+                   List.map
+                     (fun (v, value) ->
+                       Printf.sprintf "%s = %s" v
+                         (Rtic_relational.Value.to_string value))
+                     bindings
+                 in
+                 Format.printf "  witness: %s@."
+                   (if parts = [] then "(propositional)"
+                    else String.concat ", " parts))
+               shown;
+             if List.length witnesses > limit then
+               Format.printf "  ... and %d more@."
+                 (List.length witnesses - limit)
+           | Error m -> Format.printf "  (no witnesses: %s)@." m)
+        | _ -> Format.printf "  (constraint is not of the form 'not (...)')@.")
+      viols;
+    1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* query                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Evaluate an ad-hoc (possibly open) formula at one position of a trace
+   and print the verdict or the witnesses. *)
+let run_query spec_file trace_file formula_src at limit =
+  let spec = or_die (load_spec spec_file) in
+  let tr = or_die (load_trace trace_file) in
+  let f = or_die (Parser.formula_of_string formula_src) in
+  (match Rtic_mtl.Typecheck.check spec.Parser.catalog f with
+   | Ok _ -> ()
+   | Error m ->
+     Printf.eprintf "rtic: ill-typed query: %s\n" m;
+     exit 1);
+  let h = or_die (Trace.materialize tr) in
+  let i =
+    match at with
+    | Some i when i >= 0 && i < History.length h -> i
+    | Some i ->
+      Printf.eprintf "rtic: position %d out of range (0..%d)\n" i
+        (History.last h);
+      exit 1
+    | None -> History.last h
+  in
+  let vr = or_die (Naive.eval h i f) in
+  Format.printf "at position %d (time %d): " i (History.time h i);
+  if Array.length (Valrel.cols vr) = 0 then begin
+    Format.printf "%b@." (Valrel.holds vr);
+    if Valrel.holds vr then 0 else 1
+  end
+  else begin
+    Format.printf "%d witness(es)@." (Valrel.cardinal vr);
+    List.iteri
+      (fun k bindings ->
+        if k < limit then
+          Format.printf "  %s@."
+            (String.concat ", "
+               (List.map
+                  (fun (v, value) ->
+                    Printf.sprintf "%s = %s" v
+                      (Rtic_relational.Value.to_string value))
+                  bindings)))
+      (Valrel.bindings vr);
+    if Valrel.cardinal vr > limit then
+      Format.printf "  ... and %d more@." (Valrel.cardinal vr - limit);
+    if Valrel.holds vr then 0 else 1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* gen                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let run_gen scenario steps seed rate out spec_out =
+  let write path text =
+    let oc = open_out path in
+    output_string oc text;
+    close_out oc
+  in
+  let trace_text, spec_text =
+    if scenario = "generic" then
+      let tr =
+        Gen.random_trace ~seed { Gen.default_params with steps }
+      in
+      (Trace.to_string tr, "")
+    else
+      match
+        List.find_opt (fun (s : Scenarios.t) -> s.name = scenario) Scenarios.all
+      with
+      | None ->
+        Printf.eprintf
+          "rtic: unknown scenario %s (expected banking, library, monitoring \
+           or generic)\n"
+          scenario;
+        exit 1
+      | Some sc ->
+        let tr = sc.generate ~seed ~steps ~violation_rate:rate in
+        let spec =
+          String.concat "\n"
+            (List.map Rtic_relational.Textio.schema_to_string
+               (Schema.Catalog.schemas sc.catalog)
+             @ List.map Pretty.def_to_string sc.constraints)
+          ^ "\n"
+        in
+        (Trace.to_string tr, spec)
+  in
+  (match out with
+   | Some path -> write path trace_text
+   | None -> print_string trace_text);
+  (match spec_out with
+   | Some path when spec_text <> "" -> write path spec_text
+   | Some _ ->
+     Printf.eprintf "rtic: the generic scenario has no constraint spec\n"
+   | None -> ());
+  0
+
+(* ------------------------------------------------------------------ *)
+(* command line                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let spec_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"SPEC"
+         ~doc:"Specification file (schemas and constraints).")
+
+let trace_pos n =
+  Arg.(required & pos n (some file) None & info [] ~docv:"TRACE"
+         ~doc:"Trace file (timestamped transactions).")
+
+let parse_cmd =
+  let doc = "validate a specification file and report monitorability" in
+  Cmd.v (Cmd.info "parse" ~doc) Term.(const run_parse $ spec_arg)
+
+let engine_arg =
+  let engines =
+    Arg.enum
+      [ ("incremental", E_incremental); ("shared", E_shared);
+        ("naive", E_naive); ("active", E_active); ("future", E_future) ]
+  in
+  Arg.(value & opt engines E_incremental & info [ "engine" ] ~docv:"ENGINE"
+         ~doc:"Checker to use: $(b,incremental) (bounded history encoding), \
+               $(b,shared) (one kernel for all constraints, subformulas \
+               shared), $(b,naive) (full history baseline), $(b,active) \
+               (compiled rules), or $(b,future) (verdict delay; required \
+               for bounded-future constraints).")
+
+let no_prune_arg =
+  Arg.(value & flag & info [ "no-prune" ]
+         ~doc:"Disable the bounded-history-encoding pruning (ablation; \
+               verdicts are unchanged, auxiliary space grows).")
+
+let quiet_arg =
+  Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Only print the summary line.")
+
+let load_state_arg =
+  Arg.(value & opt (some file) None & info [ "load-state" ] ~docv:"FILE"
+         ~doc:"Resume from a monitor checkpoint written by --save-state; the \
+               trace should then hold only the transactions that were not \
+               yet processed. Incremental engine only.")
+
+let save_state_arg =
+  Arg.(value & opt (some string) None & info [ "save-state" ] ~docv:"FILE"
+         ~doc:"After processing the trace, write the monitor state (the \
+               bounded history encoding) here. Incremental engine only.")
+
+let stats_arg =
+  Arg.(value & flag & info [ "stats" ]
+         ~doc:"Print run statistics (transactions, violations per \
+               constraint, peak auxiliary space). Incremental engine only.")
+
+let check_cmd =
+  let doc = "monitor a trace and report constraint violations" in
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(const run_check $ spec_arg $ trace_pos 1 $ engine_arg $ no_prune_arg
+          $ quiet_arg $ load_state_arg $ save_state_arg $ stats_arg)
+
+let rules_cmd =
+  let doc = "show the active-DBMS rules a constraint compiles to" in
+  Cmd.v (Cmd.info "rules" ~doc) Term.(const run_rules $ spec_arg)
+
+let explain_cmd =
+  let doc = "show the violating positions of one constraint, with witnesses" in
+  let name_arg =
+    Arg.(required & pos 2 (some string) None & info [] ~docv:"CONSTRAINT"
+           ~doc:"Constraint name.")
+  in
+  let limit_arg =
+    Arg.(value & opt int 10 & info [ "limit" ] ~doc:"Witnesses to print.")
+  in
+  Cmd.v (Cmd.info "explain" ~doc)
+    Term.(const run_explain $ spec_arg $ trace_pos 1 $ name_arg $ limit_arg)
+
+let query_cmd =
+  let doc = "evaluate an ad-hoc formula at a position of a trace" in
+  let formula_arg =
+    Arg.(required & pos 2 (some string) None & info [] ~docv:"FORMULA"
+           ~doc:"The formula, in constraint concrete syntax (may be open; \
+                 witnesses are printed).")
+  in
+  let at_arg =
+    Arg.(value & opt (some int) None & info [ "at" ] ~docv:"POS"
+           ~doc:"0-based position to evaluate at (default: the last state).")
+  in
+  let limit_arg =
+    Arg.(value & opt int 10 & info [ "limit" ] ~doc:"Witnesses to print.")
+  in
+  Cmd.v (Cmd.info "query" ~doc)
+    Term.(const run_query $ spec_arg $ trace_pos 1 $ formula_arg $ at_arg
+          $ limit_arg)
+
+let gen_cmd =
+  let doc = "generate a synthetic trace (and spec) for a scenario" in
+  let scenario_arg =
+    Arg.(value & opt string "generic" & info [ "scenario" ] ~docv:"NAME"
+           ~doc:"banking, library, monitoring or generic.")
+  in
+  let steps_arg =
+    Arg.(value & opt int 100 & info [ "steps" ] ~doc:"Transactions to generate.")
+  in
+  let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let rate_arg =
+    Arg.(value & opt float 0.0 & info [ "violation-rate" ]
+           ~doc:"Probability of injecting a violation per step.")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ]
+           ~docv:"FILE" ~doc:"Write the trace here (default stdout).")
+  in
+  let spec_out_arg =
+    Arg.(value & opt (some string) None & info [ "spec-out" ]
+           ~docv:"FILE" ~doc:"Also write the scenario's spec file here.")
+  in
+  Cmd.v (Cmd.info "gen" ~doc)
+    Term.(const run_gen $ scenario_arg $ steps_arg $ seed_arg $ rate_arg
+          $ out_arg $ spec_out_arg)
+
+let main_cmd =
+  let doc = "real-time integrity constraints over timed database histories" in
+  Cmd.group (Cmd.info "rtic" ~version:"1.0.0" ~doc)
+    [ parse_cmd; check_cmd; rules_cmd; explain_cmd; query_cmd; gen_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,66 @@
+(* Banking scenario: run the monitor over a synthetic banking workload and
+   compare the incremental checker's space against the naive baseline.
+
+   Run with:  dune exec examples/banking.exe *)
+
+module Trace = Rtic_temporal.Trace
+module History = Rtic_temporal.History
+module Formula = Rtic_mtl.Formula
+module Incremental = Rtic_core.Incremental
+module Monitor = Rtic_core.Monitor
+module Scenarios = Rtic_workload.Scenarios
+
+let or_die = function
+  | Ok v -> v
+  | Error m ->
+    prerr_endline ("banking: " ^ m);
+    exit 1
+
+let () =
+  let sc = Scenarios.banking in
+  Format.printf "Constraints of the %s scenario:@." sc.Scenarios.name;
+  List.iter
+    (fun (d : Formula.def) ->
+      Format.printf "  %s  (past window %s)@." d.name
+        (match Formula.time_reach d.body with
+         | Some w -> string_of_int w ^ " ticks"
+         | None -> "unbounded"))
+    sc.Scenarios.constraints;
+
+  (* A 500-transaction stream in which roughly 5%% of the steps misbehave. *)
+  let tr = sc.Scenarios.generate ~seed:2024 ~steps:500 ~violation_rate:0.05 in
+  let reports = or_die (Monitor.run_trace sc.Scenarios.constraints tr) in
+  Format.printf "@.%d transactions, %d violations:@." (Trace.length tr)
+    (List.length reports);
+  List.iteri
+    (fun i r -> if i < 8 then Format.printf "  %a@." Monitor.pp_report r)
+    reports;
+  if List.length reports > 8 then
+    Format.printf "  ... and %d more@." (List.length reports - 8);
+
+  (* Space: what the incremental checker keeps vs. what the naive checker
+     would have to keep (the whole history). *)
+  let h = or_die (Trace.materialize tr) in
+  let m =
+    List.fold_left
+      (fun m (time, db) ->
+        List.map (fun st -> fst (or_die (Incremental.step st ~time db))) m)
+      (List.map
+         (fun d -> or_die (Incremental.create sc.Scenarios.catalog d))
+         sc.Scenarios.constraints)
+      (History.snapshots h)
+  in
+  let aux_space =
+    List.fold_left (fun acc st -> acc + Incremental.space st) 0 m
+  in
+  Format.printf
+    "@.space after %d transactions:@.  bounded history encoding: %d stored \
+     pairs@.  naive full history:       %d stored tuples@."
+    (Trace.length tr) aux_space (History.stored_tuples h);
+  List.iter
+    (fun st ->
+      Format.printf "  - %s:@." (Incremental.def st).Formula.name;
+      List.iter
+        (fun (sub, n) -> Format.printf "      %-50s %d@." sub n)
+        (Incremental.space_detail st))
+    m

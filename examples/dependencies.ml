@@ -1,0 +1,90 @@
+(* Classical dependencies and fleet monitoring: declare keys and inclusion
+   dependencies in a spec file, monitor them together with temporal
+   constraints in one shared kernel, and summarize the run.
+
+   Run with:  dune exec examples/dependencies.exe *)
+
+module Trace = Rtic_temporal.Trace
+module Parser = Rtic_mtl.Parser
+module Formula = Rtic_mtl.Formula
+module Shared = Rtic_core.Shared
+module Monitor = Rtic_core.Monitor
+module Stats = Rtic_core.Stats
+
+let or_die = function
+  | Ok v -> v
+  | Error m ->
+    prerr_endline ("dependencies: " ^ m);
+    exit 1
+
+let spec_text =
+  {|
+schema employee(name:str, salary:int, dept:str)
+schema department(dname:str, head:str)
+
+key employee(name)                       # one salary/department per employee
+key department(dname)
+reference employee(dept) -> department(dname)
+reference department(head) -> employee(name)
+
+constraint salary_monotone:
+  forall e, s, d, t, d2. employee(e, s, d) & prev once employee(e, t, d2)
+    -> s >= t ;
+constraint heads_are_stable:             # at most one head change per 20 ticks
+  forall d, h. department(d, h) & not prev department(d, h)
+    -> not once[1,20] (exists h0. (department(d, h0)
+                                   & not prev department(d, h0))) ;
+|}
+
+let trace_text =
+  {|
+schema employee(name:str, salary:int, dept:str)
+schema department(dname:str, head:str)
+
+@0
++employee("amy", 100, "cs")
++department("cs", "amy")
+@4
++employee("bob", 90, "cs")
+@9
++employee("bob", 95, "cs")        # key violation: bob now has two rows
+@12
+-employee("bob", 90, "cs")        # fixed
+@15
++employee("cho", 80, "ee")        # dangling department "ee"
+@20
++department("ee", "cho")          # fixed
+@26
+-department("cs", "amy")
++department("cs", "bob")          # head change; last change was at 0: fine
+@31
+-department("cs", "bob")
++department("cs", "amy")          # flapping head: violates heads_are_stable
+@40
+-employee("amy", 100, "cs")
++employee("amy", 90, "cs")        # salary decrease
+|}
+
+let () =
+  let spec = or_die (Parser.spec_of_string spec_text) in
+  Format.printf "constraints (declared + generated):@.";
+  List.iter
+    (fun (d : Formula.def) -> Format.printf "  %s@." d.name)
+    spec.Parser.defs;
+  let tr = or_die (Trace.parse trace_text) in
+  let m = or_die (Shared.create spec.Parser.catalog spec.Parser.defs) in
+  Format.printf "@.shared kernel: %d temporal subformula(s) for %d constraints@."
+    (Shared.shared_nodes m)
+    (List.length spec.Parser.defs);
+  let _, stats =
+    List.fold_left
+      (fun (m, stats) (time, txn) ->
+        let m, reports = or_die (Shared.step m ~time txn) in
+        List.iter
+          (fun r -> Format.printf "  %a@." Monitor.pp_report r)
+          reports;
+        ( m,
+          Stats.observe stats ~time ~space:(Shared.space m) ~reports ))
+      (m, Stats.empty) tr.Trace.steps
+  in
+  Format.printf "@.%a@." Stats.pp stats

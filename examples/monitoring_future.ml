@@ -1,0 +1,68 @@
+(* Process monitoring with bounded-future operators: "every fault must be
+   alarmed within 8 ticks" is a future-looking requirement, monitored by
+   verdict delay (the paper's future-work direction).
+
+   Run with:  dune exec examples/monitoring_future.exe *)
+
+module Value = Rtic_relational.Value
+module Schema = Rtic_relational.Schema
+module Update = Rtic_relational.Update
+module Trace = Rtic_temporal.Trace
+module History = Rtic_temporal.History
+module Parser = Rtic_mtl.Parser
+module Future = Rtic_core.Future
+
+let or_die = function
+  | Ok v -> v
+  | Error m ->
+    prerr_endline ("monitoring_future: " ^ m);
+    exit 1
+
+let () =
+  let cat =
+    Schema.Catalog.of_list
+      [ Schema.make "fault" [ ("id", Value.TStr) ];
+        Schema.make "alarm" [ ("id", Value.TStr) ] ]
+  in
+  let d =
+    or_die
+      (Parser.def_of_string
+         "constraint fault_alarmed:\n\
+         \  forall i. fault(i) -> eventually[0,8] alarm(i) ;")
+  in
+  let st = or_die (Future.create cat d) in
+  Format.printf "verdict delay (horizon): %d ticks@.@." (Future.horizon st);
+
+  (* s1 faults at t=2 and is alarmed at t=7 (in time);
+     s2 faults at t=10 and is never alarmed. *)
+  let ev rel id = Update.insert rel [ Value.Str id ] in
+  let unev rel id = Update.delete rel [ Value.Str id ] in
+  let steps =
+    [ (2, [ ev "fault" "s1" ]);
+      (7, [ unev "fault" "s1"; ev "alarm" "s1" ]);
+      (10, [ unev "alarm" "s1"; ev "fault" "s2" ]);
+      (12, [ unev "fault" "s2" ]);
+      (25, []) ]
+  in
+  let tr = Trace.make_exn cat steps in
+  let h = or_die (Trace.materialize tr) in
+  let st =
+    List.fold_left
+      (fun st (time, db) ->
+        let st, verdicts = or_die (Future.step st ~time db) in
+        List.iter
+          (fun (v : Future.verdict) ->
+            Format.printf
+              "state %d (time %2d) decided at time %2d: %s@."
+              v.index v.time time
+              (if v.satisfied then "ok" else "VIOLATED"))
+          verdicts;
+        st)
+      st (History.snapshots h)
+  in
+  List.iter
+    (fun (v : Future.verdict) ->
+      Format.printf "state %d (time %2d) decided at end:     %s@."
+        v.index v.time
+        (if v.satisfied then "ok" else "VIOLATED"))
+    (Future.finish st)

@@ -1,0 +1,58 @@
+(* Quickstart: declare a schema, write a real-time constraint, feed
+   transactions, get violations.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module Value = Rtic_relational.Value
+module Schema = Rtic_relational.Schema
+module Update = Rtic_relational.Update
+module Parser = Rtic_mtl.Parser
+module Monitor = Rtic_core.Monitor
+
+let or_die = function
+  | Ok v -> v
+  | Error m ->
+    prerr_endline ("quickstart: " ^ m);
+    exit 1
+
+let () =
+  (* 1. A catalog: employees and their salaries. *)
+  let cat =
+    Schema.Catalog.of_list
+      [ Schema.make "emp" [ ("name", Value.TStr); ("sal", Value.TInt) ] ]
+  in
+
+  (* 2. A real-time integrity constraint, in concrete syntax: a salary may
+        never be lower than any salary the same employee had before. *)
+  let d =
+    or_die
+      (Parser.def_of_string
+         "constraint salary_monotone:\n\
+         \  forall e, s, t. emp(e, s) & prev once emp(e, t) -> s >= t ;")
+  in
+
+  (* 3. A monitor. Admission type-checks the constraint against the catalog
+        and verifies it is monitorable. *)
+  let m = or_die (Monitor.create cat [ d ]) in
+
+  (* 4. Feed timestamped transactions. Each commit re-checks the constraint
+        against the new state using only the bounded history encoding. *)
+  let steps =
+    [ (0, [ Update.insert "emp" [ Value.Str "amy"; Value.Int 100 ] ]);
+      (5, [ Update.delete "emp" [ Value.Str "amy"; Value.Int 100 ];
+            Update.insert "emp" [ Value.Str "amy"; Value.Int 120 ] ]);
+      (* time 9: oops — amy's salary drops below a past value *)
+      (9, [ Update.delete "emp" [ Value.Str "amy"; Value.Int 120 ];
+            Update.insert "emp" [ Value.Str "amy"; Value.Int 110 ] ]) ]
+  in
+  let _m =
+    List.fold_left
+      (fun m (time, txn) ->
+        let m, reports = or_die (Monitor.step m ~time txn) in
+        List.iter
+          (fun r -> Format.printf "%a@." Monitor.pp_report r)
+          reports;
+        m)
+      m steps
+  in
+  print_endline "quickstart: done"

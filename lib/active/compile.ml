@@ -1,0 +1,337 @@
+module Value = Rtic_relational.Value
+module Tuple = Rtic_relational.Tuple
+module Schema = Rtic_relational.Schema
+module Relation = Rtic_relational.Relation
+module Database = Rtic_relational.Database
+module Interval = Rtic_temporal.Interval
+module Formula = Rtic_mtl.Formula
+module Rewrite = Rtic_mtl.Rewrite
+module Safety = Rtic_mtl.Safety
+module Typecheck = Rtic_mtl.Typecheck
+module Closure = Rtic_mtl.Closure
+module Pretty = Rtic_mtl.Pretty
+module Valrel = Rtic_eval.Valrel
+module Fo = Rtic_eval.Fo
+
+let ( let* ) r f = Result.bind r f
+
+type kind =
+  | KPrev of Interval.t * Formula.t
+  | KOnce of Interval.t * Formula.t
+  | KSince of Interval.t * bool * Formula.t * Formula.t * int array
+
+type node = {
+  formula : Formula.t;
+  aux_name : string;
+  cols : string list;  (* sorted free variables *)
+  kind : kind;
+}
+
+type program = {
+  d : Formula.def;
+  norm : Formula.t;
+  nodes : node array;
+  aux_cat : Schema.Catalog.t;
+}
+
+type engine = {
+  prog : program;
+  aux : Database.t;
+  last_time : int option;
+  needs_prev : bool;
+  prev_db : Database.t option;
+}
+
+type rule_desc = {
+  rule_name : string;
+  target : string;
+  on_formula : string;
+  description : string;
+}
+
+module Formula_map = Map.Make (struct
+  type t = Formula.t
+
+  let compare = Formula.compare
+end)
+
+let embed sub sup =
+  let sup = Array.of_list sup in
+  Array.of_list
+    (List.map
+       (fun c ->
+         let rec find i =
+           if i >= Array.length sup then
+             invalid_arg "Active.Compile: column embedding failure"
+           else if sup.(i) = c then i
+           else find (i + 1)
+         in
+         find 0)
+       sub)
+
+let compile cat (d : Formula.def) =
+  let* () = Safety.monitorable cat d in
+  let* () =
+    if Formula.past_only d.body then Ok ()
+    else
+      Error
+        (Printf.sprintf
+           "constraint %s uses future operators; monitor it with \
+            Rtic_core.Future instead of compiled active rules"
+           d.name)
+  in
+  let* env = Typecheck.check_def cat d in
+  let norm = Rewrite.normalize d.body in
+  let closure = Closure.build norm in
+  let var_ty v =
+    match List.assoc_opt v env with
+    | Some ty -> Ok ty
+    | None -> Error ("cannot type auxiliary column for variable " ^ v)
+  in
+  let* nodes =
+    Array.to_list (Closure.nodes closure)
+    |> List.mapi (fun i f -> (i, f))
+    |> List.fold_left
+         (fun acc (i, f) ->
+           let* acc = acc in
+           let cols = Formula.free_var_list f in
+           let* _tys =
+             List.fold_left
+               (fun acc v ->
+                 let* acc = acc in
+                 let* ty = var_ty v in
+                 Ok (ty :: acc))
+               (Ok []) cols
+           in
+           let kind =
+             match f with
+             | Formula.Prev (iv, a) -> KPrev (iv, a)
+             | Formula.Once (iv, a) -> KOnce (iv, a)
+             | Formula.Since (iv, a, b) ->
+               let negated, left =
+                 match a with
+                 | Formula.Not a' -> (true, a')
+                 | _ -> (false, a)
+               in
+               KSince (iv, negated, left, b, embed (Formula.free_var_list left) cols)
+             | _ -> assert false
+           in
+           Ok ({ formula = f; aux_name = Printf.sprintf "_aux%d" i; cols; kind } :: acc))
+         (Ok [])
+    |> Result.map List.rev
+  in
+  let* aux_cat =
+    List.fold_left
+      (fun acc n ->
+        let* acc = acc in
+        let* attrs =
+          List.fold_left
+            (fun acc v ->
+              let* acc = acc in
+              let* ty = var_ty v in
+              Ok ((v, ty) :: acc))
+            (Ok []) n.cols
+          |> Result.map List.rev
+        in
+        Ok (Schema.Catalog.add (Schema.make n.aux_name (attrs @ [ ("_ts", Value.TInt) ])) acc))
+      (Ok Schema.Catalog.empty) nodes
+  in
+  Ok { d; norm; nodes = Array.of_list nodes; aux_cat }
+
+let rules prog =
+  Array.to_list prog.nodes
+  |> List.map (fun n ->
+      let on_formula = Pretty.to_string n.formula in
+      let description =
+        match n.kind with
+        | KPrev (iv, a) ->
+          Printf.sprintf
+            "ON COMMIT AT ts: DELETE FROM %s; INSERT the current relation of \
+             %s stamped ts. (Read back as: rows whose age at the next commit \
+             lies in %s.)"
+            n.aux_name (Pretty.to_string a)
+            (Format.asprintf "%a" Interval.pp_always iv)
+        | KOnce (iv, a) ->
+          Printf.sprintf
+            "ON COMMIT AT ts: INSERT (v, ts) for every v in the current \
+             relation of %s; DELETE rows older than %s; verdict rows are \
+             those with age in %s."
+            (Pretty.to_string a)
+            (match Interval.hi iv with
+             | Some u -> Printf.sprintf "%d ticks (window bound)" u
+             | None -> "never (keep the oldest witness per valuation)")
+            (Format.asprintf "%a" Interval.pp_always iv)
+        | KSince (iv, negated, left, right, _) ->
+          Printf.sprintf
+            "ON COMMIT AT ts: DELETE rows whose valuation %s the current \
+             relation of %s; INSERT (v, ts) for every v in the current \
+             relation of %s; DELETE rows older than %s; verdict rows are \
+             those with age in %s."
+            (if negated then "matches" else "fails to match")
+            (Pretty.to_string left) (Pretty.to_string right)
+            (match Interval.hi iv with
+             | Some u -> Printf.sprintf "%d ticks" u
+             | None -> "never (keep the oldest witness per valuation)")
+            (Format.asprintf "%a" Interval.pp_always iv)
+      in
+      { rule_name = "maintain_" ^ n.aux_name;
+        target = n.aux_name;
+        on_formula;
+        description })
+
+let aux_catalog prog = prog.aux_cat
+
+let start prog =
+  { prog;
+    aux = Database.create prog.aux_cat;
+    last_time = None;
+    needs_prev = Formula.has_transition_atoms prog.norm;
+    prev_db = None }
+
+(* Conversions between auxiliary table rows (valuation ++ [_ts]) and
+   valuation relations. *)
+
+let table_to_valrel ~cols ~time iv rel =
+  let k = List.length cols in
+  let rows =
+    Relation.fold
+      (fun row acc ->
+        let ts =
+          match row.(k) with
+          | Value.Int t -> t
+          | _ -> invalid_arg "Active: corrupt _ts column"
+        in
+        if Interval.mem (time - ts) iv then
+          Array.sub row 0 k :: acc
+        else acc)
+      rel []
+  in
+  Valrel.make cols rows
+
+let valrel_to_rows ~time vr =
+  Valrel.fold
+    (fun row acc -> Array.append row [| Value.Int time |] :: acc)
+    vr []
+
+let prune_table iv ~time rel =
+  let k = Relation.arity rel - 1 in
+  match Interval.hi iv with
+  | Some u ->
+    Relation.filter
+      (fun row ->
+        match row.(k) with
+        | Value.Int t -> time - t <= u
+        | _ -> false)
+      rel
+  | None ->
+    (* keep the minimal timestamp per valuation *)
+    let best = Hashtbl.create 16 in
+    Relation.iter
+      (fun row ->
+        let key = Array.sub row 0 k in
+        let ts = match row.(k) with Value.Int t -> t | _ -> max_int in
+        match Hashtbl.find_opt best key with
+        | Some t0 when t0 <= ts -> ()
+        | _ -> Hashtbl.replace best key ts)
+      rel;
+    Relation.filter
+      (fun row ->
+        let key = Array.sub row 0 k in
+        let ts = match row.(k) with Value.Int t -> t | _ -> max_int in
+        Hashtbl.find_opt best key = Some ts)
+      rel
+
+let step eng ~time db =
+  match eng.last_time with
+  | Some t0 when time <= t0 ->
+    Error (Printf.sprintf "non-increasing timestamp: %d after %d" time t0)
+  | _ ->
+    (try
+       let memo = ref Formula_map.empty in
+       let eval_fo f =
+         Fo.eval ~db ?prev:eng.prev_db
+           ~temporal:(fun g ->
+             match Formula_map.find_opt g !memo with
+             | Some v -> v
+             | None ->
+               raise (Fo.Error ("active engine: node evaluated out of order: "
+                                ^ Pretty.to_string g)))
+           f
+       in
+       (* Fire maintenance rules bottom-up. *)
+       let aux = ref eng.aux in
+       Array.iter
+         (fun n ->
+           let old = Database.relation_exn !aux n.aux_name in
+           let arity = Relation.arity old in
+           let updated =
+             match n.kind with
+             | KPrev (_, a) ->
+               let na = eval_fo a in
+               Relation.of_list arity (valrel_to_rows ~time na)
+             | KOnce (iv, a) ->
+               let na = eval_fo a in
+               let merged =
+                 List.fold_left
+                   (fun acc row -> Relation.add row acc)
+                   old
+                   (valrel_to_rows ~time na)
+               in
+               prune_table iv ~time merged
+             | KSince (iv, negated, left, right, proj) ->
+               let nl = eval_fo left in
+               let nr = eval_fo right in
+               let survivors =
+                 Relation.filter
+                   (fun row ->
+                     let lrow = Array.map (fun i -> row.(i)) proj in
+                     let matches = Valrel.mem lrow nl in
+                     if negated then not matches else matches)
+                   old
+               in
+               let merged =
+                 List.fold_left
+                   (fun acc row -> Relation.add row acc)
+                   survivors
+                   (valrel_to_rows ~time nr)
+               in
+               prune_table iv ~time merged
+           in
+           (match Database.with_relation !aux n.aux_name updated with
+            | Ok db' -> aux := db'
+            | Error m -> raise (Fo.Error m));
+           (* The node's current value, read back from the freshly
+              maintained table. *)
+           let iv =
+             match n.kind with
+             | KPrev (iv, _) | KOnce (iv, _) | KSince (iv, _, _, _, _) -> iv
+           in
+           let value =
+             match n.kind with
+             | KPrev (iv, _) ->
+               (* rows are stamped with the previous commit time; the gap
+                  must lie in the interval *)
+               (match eng.last_time with
+                | None -> Valrel.none n.cols
+                | Some _ ->
+                  table_to_valrel ~cols:n.cols ~time iv
+                    (Database.relation_exn eng.aux n.aux_name))
+             | KOnce _ | KSince _ ->
+               table_to_valrel ~cols:n.cols ~time iv
+                 (Database.relation_exn !aux n.aux_name)
+           in
+           memo := Formula_map.add n.formula value !memo)
+         eng.prog.nodes;
+       let satisfied = Valrel.holds (eval_fo eng.prog.norm) in
+       Ok
+         ( { eng with
+             aux = !aux;
+             last_time = Some time;
+             prev_db = (if eng.needs_prev then Some db else None) },
+           satisfied )
+     with Fo.Error m -> Error m)
+
+let aux_database eng = eng.aux
+
+let space eng =
+  Database.fold (fun _ r acc -> acc + Relation.cardinal r) (aux_database eng) 0

@@ -1,0 +1,66 @@
+(** Compilation of real-time constraints into active-DBMS rules.
+
+    The companion implementation path (following the "Implementing Temporal
+    Integrity Constraints Using an Active DBMS" line of work): instead of
+    keeping the bounded history encoding in checker-private data structures,
+    the constraint is {e compiled} into
+
+    - one {e auxiliary table} per temporal subformula, materialized inside a
+      database ([_aux0], [_aux1], ...) whose schema is the subformula's free
+      variables plus a [_ts] timestamp column, and
+    - one {e maintenance rule} per table, fired on every transaction commit,
+      which rebuilds the table from the committed user state and the
+      previous table contents (insert new witnesses, keep survivors, delete
+      expired rows), and
+    - a {e violation query}, evaluated last, which decides the verdict.
+
+    The rules the compiler emits can be inspected with {!rules} — each
+    carries a human-readable description of the trigger it would become on a
+    production active DBMS. Verdicts are identical to
+    {!Rtic_core.Incremental} (property-tested); the two differ in where the
+    encoding lives, which is exactly the ablation of experiment E8. *)
+
+type program
+(** A compiled constraint. *)
+
+type engine
+(** Execution state: the auxiliary database plus the clock. *)
+
+type rule_desc = {
+  rule_name : string;     (** e.g. ["maintain__aux0"]. *)
+  target : string;        (** The auxiliary table it maintains. *)
+  on_formula : string;    (** The temporal subformula, pretty-printed. *)
+  description : string;   (** What the rule does, in words. *)
+}
+
+val compile :
+  Rtic_relational.Schema.Catalog.t ->
+  Rtic_mtl.Formula.def ->
+  (program, string) result
+(** Admit and compile a constraint (same admission checks as the
+    incremental checker: typed, closed, monitorable). *)
+
+val rules : program -> rule_desc list
+(** The maintenance rules, in firing (bottom-up) order. *)
+
+val aux_catalog : program -> Rtic_relational.Schema.Catalog.t
+(** The schemas of the generated auxiliary tables. *)
+
+val start : program -> engine
+(** Fresh engine with empty auxiliary tables. *)
+
+val step :
+  engine ->
+  time:int ->
+  Rtic_relational.Database.t ->
+  (engine * bool, string) result
+(** Fire all maintenance rules against the committed state [db], then
+    evaluate the violation query; returns whether the constraint is
+    satisfied. Fails on non-increasing timestamps. *)
+
+val aux_database : engine -> Rtic_relational.Database.t
+(** The current auxiliary tables (inspectable, e.g. for [rtic explain]). *)
+
+val space : engine -> int
+(** Total rows stored across auxiliary tables (comparable to
+    {!Rtic_core.Incremental.space}). *)

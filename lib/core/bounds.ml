@@ -1,0 +1,15 @@
+module Formula = Rtic_mtl.Formula
+module Interval = Rtic_temporal.Interval
+
+let node_interval = function
+  | Formula.Prev (i, _) | Formula.Once (i, _) | Formula.Since (i, _, _) -> i
+  | _ -> invalid_arg "Bounds: not a temporal formula"
+
+let node_window f = Interval.hi (node_interval f)
+
+let time_reach = Formula.time_reach
+
+let max_stored_timestamps_per_valuation f =
+  match node_window f with
+  | Some u -> u + 1
+  | None -> 1

@@ -1,0 +1,28 @@
+(** Lookback windows and the space bound of the bounded history encoding.
+
+    Each temporal subformula α with interval [I = [l,u]] only ever needs
+    witness timestamps [t] with [now - t <= u]: once a witness falls out of
+    that window it can never re-enter it (timestamps increase), so the
+    incremental checker prunes it — this is the {e bounded history encoding}.
+    When [u = ∞] a single (minimal) timestamp per valuation suffices.
+
+    Consequently the number of (valuation, timestamp) pairs stored for α is
+    at most [V(α) × (u + 1)] where [V(α)] is the number of valuations of α's
+    free variables active inside the window — a quantity independent of the
+    history length, which is the paper's central theorem and the subject of
+    experiments E1 and E4. *)
+
+val node_window : Rtic_mtl.Formula.t -> int option
+(** The pruning horizon of one temporal node: [Some u] for a node with
+    finite upper bound [u]; [None] when unbounded (min-compression applies
+    instead). Raises [Invalid_argument] on non-temporal formulas. *)
+
+val time_reach : Rtic_mtl.Formula.t -> int option
+(** Re-export of {!Rtic_mtl.Formula.time_reach}: how far back in time the
+    whole formula can see ([None] = unbounded). *)
+
+val max_stored_timestamps_per_valuation : Rtic_mtl.Formula.t -> int
+(** Upper bound on the timestamps stored per valuation for one temporal
+    node, under an integer clock that advances by at least one tick per
+    transaction: [u + 1] for a node with finite upper bound [u], [1] for an
+    unbounded node (min-compression). *)

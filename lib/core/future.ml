@@ -1,0 +1,150 @@
+module Database = Rtic_relational.Database
+module History = Rtic_temporal.History
+module Formula = Rtic_mtl.Formula
+module Rewrite = Rtic_mtl.Rewrite
+module Safety = Rtic_mtl.Safety
+module Naive = Rtic_eval.Naive
+
+type verdict = {
+  index : int;
+  time : int;
+  satisfied : bool;
+}
+
+type t = {
+  d : Formula.def;
+  norm : Formula.t;
+  transitions : bool;  (* +R/-R atoms: keep one extra state when pruning *)
+  past : int;     (* finite past reach *)
+  hz : int;       (* finite future horizon *)
+  buffer : (int * int * Database.t) list;  (* (index, time, db), oldest first *)
+  next_index : int;
+  first_undecided : int;
+  last_time : int option;
+}
+
+let create cat (d : Formula.def) =
+  match Safety.monitorable cat d with
+  | Error _ as e -> e
+  | Ok () ->
+    (match Formula.time_reach d.body, Formula.future_reach d.body with
+     | None, _ ->
+       Error
+         (Printf.sprintf
+            "constraint %s has an unbounded past window and cannot be \
+             buffer-monitored; use the past-only incremental checker"
+            d.name)
+     | _, None ->
+       Error
+         (Printf.sprintf
+            "constraint %s has an unbounded future horizon; only bounded \
+             future operators can be monitored by verdict delay"
+            d.name)
+     | Some past, Some hz ->
+       let norm = Rewrite.normalize d.body in
+       Ok
+         { d;
+           norm;
+           transitions = Formula.has_transition_atoms norm;
+           past;
+           hz;
+           buffer = [];
+           next_index = 0;
+           first_undecided = 0;
+           last_time = None })
+
+let horizon st = st.hz
+let pending st = st.next_index - st.first_undecided
+let buffered_states st = List.length st.buffer
+
+(* Evaluate the (closed, monitorable) constraint at absolute position [j]
+   against the buffered window. The buffer always contains every state
+   within the past window of any undecided position, so truncation cannot
+   change the verdict. *)
+let decide st j =
+  match st.buffer with
+  | [] -> invalid_arg "Future.decide: empty buffer"
+  | (first_idx, _, _) :: _ ->
+    let h =
+      match
+        History.of_snapshots (List.map (fun (_, t, db) -> (t, db)) st.buffer)
+      with
+      | Ok h -> h
+      | Error m -> invalid_arg ("Future.decide: " ^ m)
+    in
+    let local = j - first_idx in
+    (match Naive.holds_at h local st.norm with
+     | Ok sat -> { index = j; time = History.time h local; satisfied = sat }
+     | Error m -> invalid_arg ("Future.decide: " ^ m))
+
+let buffer_time st j =
+  match st.buffer with
+  | (first_idx, _, _) :: _ ->
+    let _, t, _ = List.nth st.buffer (j - first_idx) in
+    t
+  | [] -> invalid_arg "Future.buffer_time: empty buffer"
+
+let prune st =
+  match st.buffer with
+  | [] -> st
+  | _ ->
+    let keep_from =
+      if pending st > 0 then buffer_time st st.first_undecided - st.past
+      else
+        (* no pending positions: keep only what future positions may need *)
+        (match st.last_time with
+         | Some now -> now - st.past
+         | None -> min_int)
+    in
+    let kept = List.filter (fun (_, t, _) -> t >= keep_from) st.buffer in
+    let kept =
+      (* transition atoms read the immediately preceding state, however old
+         it is: retain the newest dropped state as well *)
+      if st.transitions then
+        match
+          List.filter (fun (_, t, _) -> t < keep_from) st.buffer
+          |> List.rev
+        with
+        | newest_dropped :: _ -> newest_dropped :: kept
+        | [] -> kept
+      else kept
+    in
+    { st with buffer = kept }
+
+let step st ~time db =
+  match st.last_time with
+  | Some t0 when time <= t0 ->
+    Error (Printf.sprintf "non-increasing timestamp: %d after %d" time t0)
+  | _ ->
+    let st =
+      { st with
+        buffer = st.buffer @ [ (st.next_index, time, db) ];
+        next_index = st.next_index + 1;
+        last_time = Some time }
+    in
+    (try
+       (* Decide every pending position whose horizon has fully passed:
+          future witnesses for position j need a timestamp <= τ_j + hz, and
+          all timestamps <= time have arrived. *)
+       let rec go st acc =
+         if pending st = 0 then (st, List.rev acc)
+         else
+           let j = st.first_undecided in
+           if time - buffer_time st j >= st.hz then
+             let v = decide st j in
+             go { st with first_undecided = j + 1 } (v :: acc)
+           else (st, List.rev acc)
+       in
+       let st, verdicts = go st [] in
+       Ok (prune st, verdicts)
+     with Invalid_argument m -> Error m)
+
+let finish st =
+  let rec go st acc =
+    if pending st = 0 then List.rev acc
+    else
+      let j = st.first_undecided in
+      let v = decide st j in
+      go { st with first_undecided = j + 1 } (v :: acc)
+  in
+  go st []

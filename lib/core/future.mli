@@ -1,0 +1,53 @@
+(** Monitoring constraints with bounded-future operators by verdict delay.
+
+    The paper's checker is past-only; its future-work remark observes that
+    {e bounded} future operators ([next], [until], [eventually], [always]
+    with finite upper bounds) can be handled by delaying the verdict: the
+    truth of such a constraint at state [i] depends only on states within
+    the constraint's {e horizon} ([Formula.future_reach]) after [τ_i], so
+    once the clock passes [τ_i + horizon] the verdict at [i] is final.
+
+    This monitor keeps a sliding buffer of recent states — bounded by the
+    constraint's past window plus its future horizon, in the same
+    window-bounded spirit as the bounded history encoding — and emits each
+    position's verdict as soon as it becomes decidable. Admission requires
+    the constraint to be typed, closed, monitorable, and to have {e finite
+    past and future reach} (an unbounded [once] cannot be buffered; use the
+    past-only checker for pure-past constraints, which has no such
+    restriction). *)
+
+type t
+(** Monitor state. Functional: {!step} returns a new state. *)
+
+type verdict = {
+  index : int;      (** Position the verdict is about. *)
+  time : int;       (** That position's timestamp. *)
+  satisfied : bool;
+}
+
+val create :
+  Rtic_relational.Schema.Catalog.t ->
+  Rtic_mtl.Formula.def ->
+  (t, string) result
+(** Admit a constraint with (possibly) bounded-future operators. *)
+
+val horizon : t -> int
+(** The verdict delay in ticks: a position is decided once the clock is more
+    than this far past it. *)
+
+val step : t -> time:int -> Rtic_relational.Database.t -> (t * verdict list, string) result
+(** Feed the next committed state; returns the verdicts that became final,
+    in increasing position order. A pure-past constraint (horizon 0) yields
+    its verdict immediately. *)
+
+val finish : t -> verdict list
+(** End of monitoring: decide all still-pending positions against the finite
+    trace seen so far (no further witnesses can arrive), in increasing
+    position order. *)
+
+val pending : t -> int
+(** Number of positions whose verdict is still delayed. *)
+
+val buffered_states : t -> int
+(** Number of states currently buffered (bounded by the states within the
+    past window + horizon). *)

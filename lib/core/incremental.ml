@@ -1,0 +1,132 @@
+module Schema = Rtic_relational.Schema
+module Database = Rtic_relational.Database
+module Formula = Rtic_mtl.Formula
+module Rewrite = Rtic_mtl.Rewrite
+module Safety = Rtic_mtl.Safety
+module Pretty = Rtic_mtl.Pretty
+module Valrel = Rtic_eval.Valrel
+module Fo = Rtic_eval.Fo
+
+type config = Kernel.config = {
+  prune : bool;
+}
+
+let default_config = { prune = true }
+
+type verdict = {
+  index : int;
+  time : int;
+  satisfied : bool;
+}
+
+type t = {
+  d : Formula.def;
+  norm : Formula.t;
+  kernel : Kernel.t;
+  count : int;
+  last_time : int option;
+}
+
+let create ?(config = default_config) cat (d : Formula.def) =
+  match Safety.monitorable cat d with
+  | Error _ as e -> e
+  | Ok () when not (Formula.past_only d.body) ->
+    Error
+      (Printf.sprintf
+         "constraint %s uses future operators; monitor it with Rtic_core.Future \
+          (verdict delay) instead of the past-only incremental checker"
+         d.name)
+  | Ok () ->
+    let norm = Rewrite.normalize d.body in
+    Ok { d; norm; kernel = Kernel.create config [ norm ]; count = 0; last_time = None }
+
+let def st = st.d
+let formula st = st.norm
+let steps_taken st = st.count
+
+let step st ~time db =
+  match st.last_time with
+  | Some t0 when time <= t0 ->
+    Error (Printf.sprintf "non-increasing timestamp: %d after %d" time t0)
+  | _ ->
+    (try
+       let kernel, results = Kernel.step st.kernel ~time db in
+       let satisfied =
+         match results with
+         | [ v ] -> Valrel.holds v
+         | _ -> invalid_arg "Incremental: kernel root mismatch"
+       in
+       Ok
+         ( { st with kernel; count = st.count + 1; last_time = Some time },
+           { index = st.count; time; satisfied } )
+     with Fo.Error m -> Error m)
+
+let space st = Kernel.space st.kernel
+let space_detail st = Kernel.space_detail st.kernel
+
+(* ---------------- Checkpointing ---------------- *)
+
+let to_text st =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "rtic-checkpoint 1";
+  line "constraint %s" st.d.Formula.name;
+  line "formula %s" (Pretty.to_string st.norm);
+  line "steps %d" st.count;
+  (match st.last_time with
+   | Some t -> line "last_time %d" t
+   | None -> line "last_time none");
+  Buffer.add_string buf (Kernel.to_text st.kernel);
+  Buffer.contents buf
+
+let of_text ?config cat d text =
+  let ( let* ) r f = Result.bind r f in
+  let* st = create ?config cat d in
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "")
+  in
+  let fail fmt = Printf.ksprintf (fun m -> Error ("checkpoint: " ^ m)) fmt in
+  (* wrapper-owned header lines *)
+  let* steps, last_time =
+    List.fold_left
+      (fun acc l ->
+        let* ((header_seen, formula_seen, steps, last_time) as st0) = acc in
+        let key, arg =
+          match String.index_opt l ' ' with
+          | None -> (l, "")
+          | Some sp ->
+            (String.sub l 0 sp, String.sub l (sp + 1) (String.length l - sp - 1))
+        in
+        match key with
+        | "rtic-checkpoint" ->
+          if String.trim arg = "1" then Ok (true, formula_seen, steps, last_time)
+          else fail "unsupported version %s" arg
+        | "constraint" -> Ok st0
+        | "formula" ->
+          if String.trim arg = Pretty.to_string st.norm then
+            Ok (header_seen, true, steps, last_time)
+          else fail "checkpoint is for a different constraint (%s)" arg
+        | "steps" ->
+          (match int_of_string_opt (String.trim arg) with
+           | Some n when n >= 0 -> Ok (header_seen, formula_seen, n, last_time)
+           | _ -> fail "bad steps %s" arg)
+        | "last_time" ->
+          if String.trim arg = "none" then Ok st0
+          else
+            (match int_of_string_opt (String.trim arg) with
+             | Some t -> Ok (header_seen, formula_seen, steps, Some t)
+             | None -> fail "bad last_time %s" arg)
+        | "aux" | "row" | "prev_fact" -> Ok st0
+        | _ -> fail "unknown key %s" key)
+      (Ok (false, false, 0, None))
+      lines
+    |> fun r ->
+    let* header_seen, formula_seen, steps, last_time = r in
+    if not header_seen then fail "missing header"
+    else if not formula_seen then fail "missing formula line"
+    else Ok (steps, last_time)
+  in
+  let* kernel = Kernel.restore cat st.kernel text in
+  Ok { st with kernel; count = steps; last_time }

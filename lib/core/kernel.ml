@@ -1,0 +1,411 @@
+module Value = Rtic_relational.Value
+module Tuple = Rtic_relational.Tuple
+module Schema = Rtic_relational.Schema
+module Database = Rtic_relational.Database
+module Interval = Rtic_temporal.Interval
+module Formula = Rtic_mtl.Formula
+module Closure = Rtic_mtl.Closure
+module Pretty = Rtic_mtl.Pretty
+module Valrel = Rtic_eval.Valrel
+module Fo = Rtic_eval.Fo
+
+type config = {
+  prune : bool;
+}
+
+module Ts_set = Set.Make (Int)
+
+module Row_map = Map.Make (struct
+  type t = Tuple.t
+
+  let compare = Tuple.compare
+end)
+
+module Formula_map = Map.Make (struct
+  type t = Formula.t
+
+  let compare = Formula.compare
+end)
+
+type kind =
+  | KPrev of Interval.t * Formula.t
+  | KOnce of Interval.t * Formula.t
+  | KSince of Interval.t * bool * Formula.t * Formula.t * int array
+      (** interval, negated-left?, left (unwrapped), right, and the positions
+          of the left argument's columns inside the node's columns. *)
+
+type node_info = {
+  node : Formula.t;
+  node_cols : string list;  (* sorted free variables of the node *)
+  kind : kind;
+}
+
+type aux =
+  | Prev_aux of (int * Valrel.t) option
+  | Window_aux of Ts_set.t Row_map.t
+
+type t = {
+  cfg : config;
+  root_list : Formula.t list;
+  closure : Closure.t;
+  infos : node_info array;
+  aux : aux array;
+  needs_prev : bool;
+  prev_db : Database.t option;
+}
+
+(* Positions of the (sorted) [sub] columns inside the (sorted) [sup]
+   columns. All callers guarantee sub ⊆ sup. *)
+let embed sub sup =
+  let sup = Array.of_list sup in
+  Array.of_list
+    (List.map
+       (fun c ->
+         let rec find i =
+           if i >= Array.length sup then
+             invalid_arg "Kernel: column embedding failure"
+           else if sup.(i) = c then i
+           else find (i + 1)
+         in
+         find 0)
+       sub)
+
+let info_of_node node =
+  let node_cols = Formula.free_var_list node in
+  let kind =
+    match node with
+    | Formula.Prev (iv, a) -> KPrev (iv, a)
+    | Formula.Once (iv, a) -> KOnce (iv, a)
+    | Formula.Since (iv, a, b) ->
+      let negated, left =
+        match a with
+        | Formula.Not a' -> (true, a')
+        | _ -> (false, a)
+      in
+      let proj = embed (Formula.free_var_list left) node_cols in
+      KSince (iv, negated, left, b, proj)
+    | _ -> invalid_arg "Kernel: closure produced a non-temporal node"
+  in
+  { node; node_cols; kind }
+
+let initial_aux = function
+  | { kind = KPrev _; _ } -> Prev_aux None
+  | { kind = KOnce _ | KSince _; _ } -> Window_aux Row_map.empty
+
+let create cfg roots =
+  (* Chain the roots under a synthetic conjunction so a single closure
+     traversal registers every temporal subformula, shared structurally. *)
+  let combined =
+    List.fold_left (fun acc f -> Formula.And (acc, f)) Formula.True roots
+  in
+  let closure = Closure.build combined in
+  let infos = Array.map info_of_node (Closure.nodes closure) in
+  { cfg;
+    root_list = roots;
+    closure;
+    infos;
+    aux = Array.map initial_aux infos;
+    needs_prev = List.exists Formula.has_transition_atoms roots;
+    prev_db = None }
+
+let roots st = st.root_list
+
+let window_of = function
+  | Window_aux m -> m
+  | Prev_aux _ -> assert false
+
+(* Drop timestamps that can never satisfy the interval again; with an
+   unbounded upper bound keep only the oldest witness per valuation. *)
+let prune_map cfg iv ~time m =
+  if not cfg.prune then m
+  else
+    match Interval.hi iv with
+    | Some u ->
+      Row_map.filter_map
+        (fun _ ts ->
+          let ts = Ts_set.filter (fun t -> time - t <= u) ts in
+          if Ts_set.is_empty ts then None else Some ts)
+        m
+    | None -> Row_map.map (fun ts -> Ts_set.singleton (Ts_set.min_elt ts)) m
+
+(* Valuations with a witness timestamp inside the interval, as a Valrel. *)
+let read_map iv ~time ~cols m =
+  let lo_t =
+    match Interval.hi iv with
+    | Some u -> time - u
+    | None -> min_int
+  in
+  let hi_t = time - Interval.lo iv in
+  let rows =
+    Row_map.fold
+      (fun row ts acc ->
+        match Ts_set.find_first_opt (fun t -> t >= lo_t) ts with
+        | Some t when t <= hi_t -> row :: acc
+        | _ -> acc)
+      m []
+  in
+  Valrel.make cols rows
+
+let add_witnesses ~time vr m =
+  Valrel.fold
+    (fun row m ->
+      let ts = try Row_map.find row m with Not_found -> Ts_set.empty in
+      Row_map.add row (Ts_set.add time ts) m)
+    vr m
+
+let step st ~time db =
+  let new_aux = Array.copy st.aux in
+  let cache = ref Formula_map.empty in
+  let rec now f = Fo.eval ~db ?prev:st.prev_db ~temporal:temporal_now f
+  and temporal_now g =
+    match Formula_map.find_opt g !cache with
+    | Some v -> v
+    | None ->
+      let idx = Closure.id_exn st.closure g in
+      let info = st.infos.(idx) in
+      let v =
+        match info.kind with
+        | KPrev (iv, a) ->
+          (* Compute the child now, for the benefit of the next step. *)
+          let na = now a in
+          let res =
+            match st.aux.(idx) with
+            | Prev_aux None -> Valrel.none (Formula.free_var_list a)
+            | Prev_aux (Some (pt, pv)) ->
+              if Interval.mem (time - pt) iv then pv
+              else Valrel.none (Formula.free_var_list a)
+            | Window_aux _ -> assert false
+          in
+          new_aux.(idx) <- Prev_aux (Some (time, na));
+          res
+        | KOnce (iv, a) ->
+          let na = now a in
+          let m = window_of st.aux.(idx) in
+          let m = add_witnesses ~time na m in
+          let m = prune_map st.cfg iv ~time m in
+          new_aux.(idx) <- Window_aux m;
+          read_map iv ~time ~cols:info.node_cols m
+        | KSince (iv, negated, left, right, proj) ->
+          let nl = now left in
+          let nr = now right in
+          let m = window_of st.aux.(idx) in
+          (* Survival: the left argument must hold now (or fail to hold,
+             for a negated left) under the entry's valuation. *)
+          let m =
+            Row_map.filter
+              (fun row _ ->
+                let lrow = Array.map (fun i -> row.(i)) proj in
+                let holds_left = Valrel.mem lrow nl in
+                if negated then not holds_left else holds_left)
+              m
+          in
+          let m = add_witnesses ~time nr m in
+          let m = prune_map st.cfg iv ~time m in
+          new_aux.(idx) <- Window_aux m;
+          read_map iv ~time ~cols:info.node_cols m
+      in
+      cache := Formula_map.add g v !cache;
+      v
+  in
+  let results = List.map now st.root_list in
+  (* Every auxiliary relation must advance this step even if no root's
+     evaluation happened to touch it (cannot happen with the combined
+     closure, but guard against future refactors). *)
+  Array.iter (fun info -> ignore (temporal_now info.node)) st.infos;
+  ( { st with
+      aux = new_aux;
+      prev_db = (if st.needs_prev then Some db else None) },
+    results )
+
+let node_count st = Array.length st.infos
+
+let aux_size = function
+  | Prev_aux None -> 0
+  | Prev_aux (Some (_, v)) -> Valrel.cardinal v
+  | Window_aux m ->
+    Row_map.fold (fun _ ts acc -> acc + Ts_set.cardinal ts) m 0
+
+let space st =
+  let prev =
+    match st.prev_db with
+    | Some db -> Database.cardinal db
+    | None -> 0
+  in
+  prev + Array.fold_left (fun acc a -> acc + aux_size a) 0 st.aux
+
+let space_detail st =
+  Array.to_list
+    (Array.mapi
+       (fun i a -> (Pretty.to_string st.infos.(i).node, aux_size a))
+       st.aux)
+
+(* ---------------- Serialization ---------------- *)
+
+let render_row row =
+  Array.to_list row |> List.map Value.to_string |> String.concat ", "
+
+let parse_row ~arity s =
+  let ( let* ) r f = Result.bind r f in
+  let* fields = Rtic_relational.Textio.split_values s in
+  let* values =
+    List.fold_left
+      (fun acc f ->
+        let* acc = acc in
+        let* v = Value.of_string f in
+        Ok (v :: acc))
+      (Ok []) fields
+  in
+  let row = Array.of_list (List.rev values) in
+  if Array.length row <> arity then
+    Error
+      (Printf.sprintf "checkpoint row has arity %d, expected %d"
+         (Array.length row) arity)
+  else Ok row
+
+let to_text st =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  (match st.prev_db with
+   | None -> ()
+   | Some db ->
+     Database.fold
+       (fun rel r () ->
+         Rtic_relational.Relation.iter
+           (fun tup ->
+             line "prev_fact %s" (Rtic_relational.Textio.fact_to_string rel tup))
+           r)
+       db ());
+  Array.iteri
+    (fun i aux ->
+      match aux with
+      | Prev_aux None -> line "aux %d prev none" i
+      | Prev_aux (Some (t, v)) ->
+        line "aux %d prev %d" i t;
+        Valrel.fold (fun row () -> line "row %s" (render_row row)) v ()
+      | Window_aux m ->
+        line "aux %d window" i;
+        Row_map.iter
+          (fun row ts ->
+            line "row %s @ %s" (render_row row)
+              (Ts_set.elements ts |> List.map string_of_int |> String.concat " "))
+          m)
+    st.aux;
+  Buffer.contents buf
+
+let restore cat st text =
+  let ( let* ) r f = Result.bind r f in
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "")
+  in
+  let aux = Array.copy st.aux in
+  let current = ref None in
+  let prev_db = ref None in
+  let fail fmt = Printf.ksprintf (fun m -> Error ("checkpoint: " ^ m)) fmt in
+  let node_arity i = List.length st.infos.(i).node_cols in
+  let steps_seen = ref 0 in
+  let rec go = function
+    | [] ->
+      Ok
+        { st with
+          aux;
+          prev_db =
+            (if st.needs_prev then
+               match !prev_db with
+               | Some db -> Some db
+               | None ->
+                 if !steps_seen > 0 then Some (Database.create cat) else None
+             else None) }
+    | l :: rest ->
+      let* () =
+        let key, arg =
+          match String.index_opt l ' ' with
+          | None -> (l, "")
+          | Some sp ->
+            (String.sub l 0 sp, String.sub l (sp + 1) (String.length l - sp - 1))
+        in
+        (match key with
+         | "steps" ->
+           (match int_of_string_opt (String.trim arg) with
+            | Some n -> steps_seen := n
+            | None -> ());
+           Ok ()
+         | "prev_fact" ->
+           (match Rtic_relational.Textio.parse_fact arg with
+            | Error m -> fail "bad prev_fact: %s" m
+            | Ok (rel, tup) ->
+              let db =
+                match !prev_db with
+                | Some db -> db
+                | None -> Database.create cat
+              in
+              (match Database.insert db rel tup with
+               | Ok db ->
+                 prev_db := Some db;
+                 Ok ()
+               | Error m -> fail "bad prev_fact: %s" m))
+         | "aux" ->
+           (match String.split_on_char ' ' arg with
+            | id_s :: kind ->
+              (match int_of_string_opt id_s with
+               | Some i when i >= 0 && i < Array.length aux ->
+                 (match kind, st.infos.(i).kind with
+                  | [ "prev"; "none" ], KPrev _ ->
+                    aux.(i) <- Prev_aux None;
+                    current := None;
+                    Ok ()
+                  | [ "prev"; t_s ], KPrev (_, a) ->
+                    (match int_of_string_opt t_s with
+                     | Some t ->
+                       aux.(i) <-
+                         Prev_aux (Some (t, Valrel.none (Formula.free_var_list a)));
+                       current := Some i;
+                       Ok ()
+                     | None -> fail "bad prev time %s" t_s)
+                  | [ "window" ], (KOnce _ | KSince _) ->
+                    aux.(i) <- Window_aux Row_map.empty;
+                    current := Some i;
+                    Ok ()
+                  | _ -> fail "aux kind mismatch on node %d" i)
+               | _ -> fail "bad aux id %s" id_s)
+            | [] -> fail "malformed aux line")
+         | "row" ->
+           (match !current with
+            | None -> fail "row outside any aux section"
+            | Some i ->
+              (match st.infos.(i).kind, aux.(i) with
+               | KPrev (_, a), Prev_aux (Some (t, v)) ->
+                 let cols = Formula.free_var_list a in
+                 let* row = parse_row ~arity:(List.length cols) arg in
+                 aux.(i) <- Prev_aux (Some (t, Valrel.union v (Valrel.make cols [ row ])));
+                 Ok ()
+               | (KOnce _ | KSince _), Window_aux m ->
+                 (match String.rindex_opt arg '@' with
+                  | None -> fail "window row lacks '@': %S" arg
+                  | Some at ->
+                    let vals_s = String.sub arg 0 at in
+                    let ts_s = String.sub arg (at + 1) (String.length arg - at - 1) in
+                    let* row = parse_row ~arity:(node_arity i) vals_s in
+                    let* ts =
+                      String.split_on_char ' ' (String.trim ts_s)
+                      |> List.filter (fun s -> s <> "")
+                      |> List.fold_left
+                           (fun acc s ->
+                             let* acc = acc in
+                             match int_of_string_opt s with
+                             | Some t -> Ok (Ts_set.add t acc)
+                             | None -> fail "bad timestamp %s" s)
+                           (Ok Ts_set.empty)
+                    in
+                    if Ts_set.is_empty ts then fail "empty timestamp set"
+                    else begin
+                      aux.(i) <- Window_aux (Row_map.add row ts m);
+                      Ok ()
+                    end)
+               | _ -> fail "row in mismatched aux section"))
+         | _ -> Ok ()  (* wrapper-owned keys: header, formula, steps, ... *))
+      in
+      go rest
+  in
+  go lines

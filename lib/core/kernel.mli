@@ -1,0 +1,64 @@
+(** The bounded-history-encoding engine kernel.
+
+    The machinery shared by the single-constraint checker
+    ({!Incremental}) and the multi-constraint sharing monitor ({!Shared}):
+    the temporal-subformula closure over one {e or many} constraint bodies,
+    the auxiliary relations with window pruning and min-compression, the
+    retained previous snapshot for transition atoms, and the per-transaction
+    bottom-up pass. Admission checks (typing, closedness, monitorability)
+    are the wrappers' responsibility; the kernel expects normalized,
+    past-only, monitorable core formulas.
+
+    Because structurally equal temporal subformulas share one auxiliary
+    relation {e across all roots}, registering several constraints in one
+    kernel is exactly the cross-constraint sharing optimization: a
+    subformula like [once\[0,30\] fault(i)] mentioned by three constraints
+    is maintained once. *)
+
+type config = {
+  prune : bool;  (** [true]: bounded history encoding; [false]: ablation. *)
+}
+
+type t
+(** Kernel state. Functional: {!step} returns a new state. *)
+
+val create : config -> Rtic_mtl.Formula.t list -> t
+(** [create config roots] builds the combined closure of the given
+    (normalized, past-only, core) formulas and empty auxiliary state.
+    Raises [Invalid_argument] on non-core input — wrappers validate first. *)
+
+val roots : t -> Rtic_mtl.Formula.t list
+(** The registered formulas, in registration order. *)
+
+val step :
+  t ->
+  time:int ->
+  Rtic_relational.Database.t ->
+  t * Rtic_eval.Valrel.t list
+(** One transaction: update every auxiliary relation bottom-up (each exactly
+    once, however many roots mention it), and evaluate every root. The
+    result list is aligned with {!roots}. Timestamp monotonicity is the
+    wrapper's responsibility. Raises [Rtic_eval.Fo.Error] on evaluation
+    failures (prevented by admission checks). *)
+
+val node_count : t -> int
+(** Number of distinct temporal subformulas maintained. *)
+
+val space : t -> int
+(** Stored (valuation, timestamp) pairs + previous-state rows. *)
+
+val space_detail : t -> (string * int) list
+(** Per-subformula space, pretty-printed keys. *)
+
+val to_text : t -> string
+(** Serialize the auxiliary state (see {!Incremental.to_text} for the
+    format; the kernel writes the [aux]/[row]/[prev_fact] sections). *)
+
+val restore :
+  Rtic_relational.Schema.Catalog.t ->
+  t ->
+  string ->
+  (t, string) result
+(** Restore the [aux]/[row]/[prev_fact] sections of a checkpoint into a
+    freshly created kernel with the same roots. Lines with other keys are
+    ignored (the wrapper owns them). *)

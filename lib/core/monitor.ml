@@ -1,0 +1,159 @@
+module Database = Rtic_relational.Database
+module Update = Rtic_relational.Update
+module Trace = Rtic_temporal.Trace
+module Formula = Rtic_mtl.Formula
+module Naive = Rtic_eval.Naive
+
+type report = {
+  constraint_name : string;
+  position : int;
+  time : int;
+}
+
+type t = {
+  db : Database.t;
+  checkers : Incremental.t list;  (* in registration order *)
+}
+
+let ( let* ) r f = Result.bind r f
+
+let create_with ?config db defs =
+  let names = List.map (fun (d : Formula.def) -> d.name) defs in
+  if List.length (List.sort_uniq String.compare names) <> List.length names
+  then Error "duplicate constraint names"
+  else
+    let* checkers =
+      List.fold_left
+        (fun acc d ->
+          let* acc = acc in
+          let* c = Incremental.create ?config (Database.catalog db) d in
+          Ok (c :: acc))
+        (Ok []) defs
+    in
+    Ok { db; checkers = List.rev checkers }
+
+let create ?config cat defs = create_with ?config (Database.create cat) defs
+
+let database m = m.db
+
+let step m ~time txn =
+  let* db = Update.apply m.db txn in
+  let* checkers, reports =
+    List.fold_left
+      (fun acc c ->
+        let* checkers, reports = acc in
+        let* c, v = Incremental.step c ~time db in
+        let reports =
+          if v.Incremental.satisfied then reports
+          else
+            { constraint_name = (Incremental.def c).Formula.name;
+              position = v.Incremental.index;
+              time }
+            :: reports
+        in
+        Ok (c :: checkers, reports))
+      (Ok ([], []))
+      m.checkers
+  in
+  Ok ({ db; checkers = List.rev checkers }, List.rev reports)
+
+let space m =
+  List.fold_left (fun acc c -> acc + Incremental.space c) 0 m.checkers
+
+let run_trace ?config defs (tr : Trace.t) =
+  let* m = create_with ?config tr.Trace.init defs in
+  let* _, reports =
+    List.fold_left
+      (fun acc (time, txn) ->
+        let* m, reports = acc in
+        let* m, rs = step m ~time txn in
+        Ok (m, List.rev_append rs reports))
+      (Ok (m, []))
+      tr.Trace.steps
+  in
+  Ok (List.rev reports)
+
+let run_trace_naive defs (tr : Trace.t) =
+  let* h = Trace.materialize tr in
+  let module History = Rtic_temporal.History in
+  let* per_def =
+    List.fold_left
+      (fun acc (d : Formula.def) ->
+        let* acc = acc in
+        let* vs = Naive.violations h d in
+        Ok ((d.name, vs) :: acc))
+      (Ok []) defs
+    |> Result.map List.rev
+  in
+  (* Order by position, then by registration order. *)
+  let out = ref [] in
+  for i = History.last h downto 0 do
+    List.iter
+      (fun (name, vs) ->
+        if List.mem i vs then
+          out :=
+            { constraint_name = name; position = i; time = History.time h i }
+            :: !out)
+      (List.rev per_def)
+  done;
+  (* The loops above already produce ascending positions with constraints in
+     registration order within each position. *)
+  Ok !out
+
+let pp_report ppf r =
+  Format.fprintf ppf "[%d] constraint %s violated at position %d" r.time
+    r.constraint_name r.position
+
+(* ---------------- Checkpointing ---------------- *)
+
+let to_text m =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "rtic-monitor-checkpoint 1\n";
+  Buffer.add_string buf "-- database\n";
+  Buffer.add_string buf (Rtic_relational.Textio.dump_database m.db);
+  List.iter
+    (fun c ->
+      Buffer.add_string buf "-- checker\n";
+      Buffer.add_string buf (Incremental.to_text c))
+    m.checkers;
+  Buffer.contents buf
+
+let of_text ?config cat defs text =
+  let lines = String.split_on_char '\n' text in
+  (* Split into the database section and one section per checker. *)
+  let rec split sections current header_ok = function
+    | [] -> Ok (header_ok, List.rev (List.rev current :: sections))
+    | l :: rest ->
+      let t = String.trim l in
+      if t = "rtic-monitor-checkpoint 1" then split sections current true rest
+      else if t = "-- database" || t = "-- checker" then
+        split (List.rev current :: sections) [] header_ok rest
+      else split sections (l :: current) header_ok rest
+  in
+  let* header_ok, sections = split [] [] false lines in
+  if not header_ok then Error "monitor checkpoint: missing header"
+  else
+    match sections with
+    | _prefix :: db_section :: checker_sections ->
+      if List.length checker_sections <> List.length defs then
+        Error
+          (Printf.sprintf
+             "monitor checkpoint holds %d checker(s), %d constraint(s) given"
+             (List.length checker_sections) (List.length defs))
+      else
+        let* db =
+          Rtic_relational.Textio.parse_database
+            (String.concat "\n" db_section)
+        in
+        let* checkers =
+          List.fold_left2
+            (fun acc d section ->
+              let* acc = acc in
+              let* c =
+                Incremental.of_text ?config cat d (String.concat "\n" section)
+              in
+              Ok (c :: acc))
+            (Ok []) defs checker_sections
+        in
+        Ok { db; checkers = List.rev checkers }
+    | _ -> Error "monitor checkpoint: missing database section"

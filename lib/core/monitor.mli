@@ -1,0 +1,86 @@
+(** Multi-constraint monitoring over update traces.
+
+    A monitor owns one {!Incremental} checker per registered constraint and
+    drives them over a stream of transactions, collecting violation reports.
+    It is the integration point an application uses: register constraints,
+    feed transactions, receive violations.
+
+    For benchmarking and testing, {!run_trace_naive} produces the same
+    reports with the naive full-history evaluator — the two must agree on
+    every trace (the correctness theorem; property-tested in the suite). *)
+
+type report = {
+  constraint_name : string;
+  position : int;  (** 0-based index of the violating state. *)
+  time : int;      (** Timestamp of the violating state. *)
+}
+
+type t
+(** Monitor state: the current database plus every checker's state. *)
+
+val create :
+  ?config:Incremental.config ->
+  Rtic_relational.Schema.Catalog.t ->
+  Rtic_mtl.Formula.def list ->
+  (t, string) result
+(** Admit all constraints (each must pass {!Incremental.create}) over an
+    initially empty database. Constraint names must be distinct. *)
+
+val create_with :
+  ?config:Incremental.config ->
+  Rtic_relational.Database.t ->
+  Rtic_mtl.Formula.def list ->
+  (t, string) result
+(** Like {!create} but starting from a given (pre-history) database. *)
+
+val database : t -> Rtic_relational.Database.t
+(** The current database state. *)
+
+val step :
+  t ->
+  time:int ->
+  Rtic_relational.Update.transaction ->
+  (t * report list, string) result
+(** Apply one transaction at the given commit time, check every constraint
+    on the resulting state, and report the constraints it violates. *)
+
+val space : t -> int
+(** Total auxiliary space across all checkers ({!Incremental.space}). *)
+
+val run_trace :
+  ?config:Incremental.config ->
+  Rtic_mtl.Formula.def list ->
+  Rtic_temporal.Trace.t ->
+  (report list, string) result
+(** Run a whole trace through a fresh monitor; reports are ordered by
+    position, then by constraint registration order. *)
+
+val run_trace_naive :
+  Rtic_mtl.Formula.def list ->
+  Rtic_temporal.Trace.t ->
+  (report list, string) result
+(** The baseline: materialize the trace into a full history and evaluate
+    every constraint at every position with {!Rtic_eval.Naive}. Produces
+    reports in the same order as {!run_trace}. *)
+
+val pp_report : Format.formatter -> report -> unit
+(** Prints as [\[time\] constraint NAME violated at position P]. *)
+
+(** {2 Checkpointing}
+
+    A whole monitor — current database plus every checker's bounded history
+    encoding — serializes to text and restores exactly
+    (see {!Incremental.to_text}). Restoring and continuing a trace is
+    observationally identical to never having stopped. *)
+
+val to_text : t -> string
+(** Serialize the monitor state. *)
+
+val of_text :
+  ?config:Incremental.config ->
+  Rtic_relational.Schema.Catalog.t ->
+  Rtic_mtl.Formula.def list ->
+  string ->
+  (t, string) result
+(** [of_text cat defs text] re-admits [defs] (same constraints, same order
+    as when the checkpoint was written) and restores the saved state. *)

@@ -1,0 +1,93 @@
+module Database = Rtic_relational.Database
+module Update = Rtic_relational.Update
+module Trace = Rtic_temporal.Trace
+module Formula = Rtic_mtl.Formula
+module Rewrite = Rtic_mtl.Rewrite
+module Safety = Rtic_mtl.Safety
+module Closure = Rtic_mtl.Closure
+module Valrel = Rtic_eval.Valrel
+module Fo = Rtic_eval.Fo
+
+type t = {
+  names : string list;  (* registration order, aligned with kernel roots *)
+  kernel : Kernel.t;
+  db : Database.t;
+  count : int;
+  last_time : int option;
+}
+
+let ( let* ) r f = Result.bind r f
+
+let create ?(config = Incremental.default_config) cat defs =
+  let names = List.map (fun (d : Formula.def) -> d.name) defs in
+  if List.length (List.sort_uniq String.compare names) <> List.length names
+  then Error "duplicate constraint names"
+  else
+    let* norms =
+      List.fold_left
+        (fun acc (d : Formula.def) ->
+          let* acc = acc in
+          let* () = Safety.monitorable cat d in
+          if not (Formula.past_only d.body) then
+            Error
+              (Printf.sprintf
+                 "constraint %s uses future operators; the shared monitor is \
+                  past-only"
+                 d.name)
+          else Ok (Rewrite.normalize d.body :: acc))
+        (Ok []) defs
+      |> Result.map List.rev
+    in
+    Ok
+      { names;
+        kernel = Kernel.create config norms;
+        db = Database.create cat;
+        count = 0;
+        last_time = None }
+
+let step m ~time txn =
+  match m.last_time with
+  | Some t0 when time <= t0 ->
+    Error (Printf.sprintf "non-increasing timestamp: %d after %d" time t0)
+  | _ ->
+    let* db = Update.apply m.db txn in
+    (try
+       let kernel, results = Kernel.step m.kernel ~time db in
+       let reports =
+         List.filter_map
+           (fun (name, v) ->
+             if Valrel.holds v then None
+             else
+               Some
+                 { Monitor.constraint_name = name;
+                   position = m.count;
+                   time })
+           (List.combine m.names results)
+       in
+       Ok
+         ( { m with kernel; db; count = m.count + 1; last_time = Some time },
+           reports )
+     with Fo.Error msg -> Error msg)
+
+let run_trace ?config defs (tr : Trace.t) =
+  let* m = create ?config (Database.catalog tr.Trace.init) defs in
+  let m = { m with db = tr.Trace.init } in
+  let* _, reports =
+    List.fold_left
+      (fun acc (time, txn) ->
+        let* m, out = acc in
+        let* m, rs = step m ~time txn in
+        Ok (m, out @ rs))
+      (Ok (m, []))
+      tr.Trace.steps
+  in
+  Ok reports
+
+let space m = Kernel.space m.kernel
+let shared_nodes m = Kernel.node_count m.kernel
+
+let unshared_nodes m =
+  List.fold_left
+    (fun acc root -> acc + Closure.count (Closure.build root))
+    0
+    (Kernel.roots m.kernel)

@@ -1,0 +1,61 @@
+module String_map = Map.Make (String)
+
+type t = {
+  transactions : int;
+  violations : int;
+  by_constraint : int String_map.t;
+  peak_space : int;
+  first_time : int option;
+  last_time : int option;
+}
+
+let empty =
+  { transactions = 0;
+    violations = 0;
+    by_constraint = String_map.empty;
+    peak_space = 0;
+    first_time = None;
+    last_time = None }
+
+let observe t ~time ~space ~reports =
+  let by_constraint =
+    List.fold_left
+      (fun m (r : Monitor.report) ->
+        String_map.update r.constraint_name
+          (function Some n -> Some (n + 1) | None -> Some 1)
+          m)
+      t.by_constraint reports
+  in
+  { transactions = t.transactions + 1;
+    violations = t.violations + List.length reports;
+    by_constraint;
+    peak_space = max t.peak_space space;
+    first_time = (match t.first_time with None -> Some time | some -> some);
+    last_time = Some time }
+
+let transactions t = t.transactions
+let violations t = t.violations
+let violations_by_constraint t = String_map.bindings t.by_constraint
+let peak_space t = t.peak_space
+let first_time t = t.first_time
+let last_time t = t.last_time
+
+let violation_rate t =
+  if t.transactions = 0 then 0.0
+  else float_of_int t.violations /. float_of_int t.transactions
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>transactions:    %d" t.transactions;
+  (match t.first_time, t.last_time with
+   | Some a, Some b -> Format.fprintf ppf "@,clock range:     %d .. %d (%d ticks)" a b (b - a)
+   | _ -> ());
+  Format.fprintf ppf "@,violations:      %d (%.3f per transaction)"
+    t.violations (violation_rate t);
+  Format.fprintf ppf "@,peak aux space:  %d stored pairs" t.peak_space;
+  if not (String_map.is_empty t.by_constraint) then begin
+    Format.fprintf ppf "@,by constraint:";
+    String_map.iter
+      (fun name n -> Format.fprintf ppf "@,  %-30s %d" name n)
+      t.by_constraint
+  end;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,45 @@
+(** Run statistics for monitoring sessions.
+
+    A lightweight aggregator an application (or the CLI's [--stats] flag)
+    threads through a monitoring run: it accumulates per-constraint violation
+    counts, the peak auxiliary space observed, transaction counts, and clock
+    coverage, and renders a one-screen summary. Purely functional. *)
+
+type t
+(** Accumulated statistics. *)
+
+val empty : t
+(** No observations yet. *)
+
+val observe :
+  t ->
+  time:int ->
+  space:int ->
+  reports:Monitor.report list ->
+  t
+(** Record one processed transaction: its commit time, the monitor's
+    auxiliary space after the step, and the violations it raised. *)
+
+val transactions : t -> int
+(** Number of transactions observed. *)
+
+val violations : t -> int
+(** Total violations observed. *)
+
+val violations_by_constraint : t -> (string * int) list
+(** Violation counts per constraint name, sorted by name. *)
+
+val peak_space : t -> int
+(** Largest auxiliary space seen after any step. *)
+
+val first_time : t -> int option
+(** Commit time of the first observed transaction. *)
+
+val last_time : t -> int option
+(** Commit time of the last observed transaction. *)
+
+val violation_rate : t -> float
+(** [violations / transactions] (0 when nothing was observed). *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line human-readable summary. *)

@@ -1,0 +1,218 @@
+module Value = Rtic_relational.Value
+module Tuple = Rtic_relational.Tuple
+module Schema = Rtic_relational.Schema
+module Relation = Rtic_relational.Relation
+module Database = Rtic_relational.Database
+module A = Rtic_relational.Algebra
+module Formula = Rtic_mtl.Formula
+module Safety = Rtic_mtl.Safety
+module Pretty = Rtic_mtl.Pretty
+open Formula
+
+type compiled = {
+  expr : A.t;
+  columns : string list;
+}
+
+let ( let* ) r f = Result.bind r f
+
+let err fmt = Printf.ksprintf (fun m -> Error m) fmt
+
+let unit_expr = A.Const (Relation.of_list 0 [ [||] ])
+let empty0_expr = A.Const (Relation.empty 0)
+
+let index_of cols v =
+  let rec go i = function
+    | [] -> None
+    | c :: rest -> if c = v then Some i else go (i + 1) rest
+  in
+  go 0 cols
+
+let index_of_exn cols v =
+  match index_of cols v with
+  | Some i -> i
+  | None -> invalid_arg ("Codd: unbound column " ^ v)
+
+let cmp_to_algebra = function
+  | Eq -> A.Eq
+  | Ne -> A.Ne
+  | Lt -> A.Lt
+  | Le -> A.Le
+  | Gt -> A.Gt
+  | Ge -> A.Ge
+
+(* Natural join of two compiled results; output columns are the sorted
+   union of the inputs'. *)
+let join (ea, ca) (eb, cb) =
+  let shared = List.filter (fun v -> List.mem v cb) ca in
+  let pairs =
+    List.map (fun v -> (index_of_exn ca v, index_of_exn cb v)) shared
+  in
+  let union_cols = List.sort_uniq String.compare (ca @ cb) in
+  let positions =
+    List.map
+      (fun v ->
+        match index_of ca v with
+        | Some i -> i
+        | None -> List.length ca + index_of_exn cb v)
+      union_cols
+  in
+  (A.Project (Array.of_list positions, A.Join (pairs, ea, eb)), union_cols)
+
+(* Anti-join: rows of [a] whose shared-column projection does not match
+   [b]. Encoded as a \ semijoin(a, b). Requires cols(b) ⊆ cols(a). *)
+let antijoin (ea, ca) (eb, cb) =
+  let pairs =
+    List.map (fun v -> (index_of_exn ca v, index_of_exn cb v)) cb
+  in
+  let keep = Array.init (List.length ca) (fun i -> i) in
+  let semi = A.Project (keep, A.Join (pairs, ea, eb)) in
+  (A.Diff (ea, semi), ca)
+
+(* A comparison-only guard over bound columns, as a selection predicate. *)
+let rec guard_pred cols = function
+  | True -> Ok A.True_p
+  | False -> Ok (A.Not_p A.True_p)
+  | Cmp (c, l, r) ->
+    let rec operand = function
+      | Const v -> Ok (A.Lit v)
+      | Var x ->
+        (match index_of cols x with
+         | Some i -> Ok (A.Col i)
+         | None -> err "guard variable %s not bound" x)
+      | Add (a, b) ->
+        let* a = operand a in
+        let* b = operand b in
+        Ok (A.Add_op (a, b))
+      | Sub (a, b) ->
+        let* a = operand a in
+        let* b = operand b in
+        Ok (A.Sub_op (a, b))
+      | Mul (a, b) ->
+        let* a = operand a in
+        let* b = operand b in
+        Ok (A.Mul_op (a, b))
+    in
+    let* l = operand l in
+    let* r = operand r in
+    Ok (A.Compare (cmp_to_algebra c, l, r))
+  | Not a ->
+    let* p = guard_pred cols a in
+    Ok (A.Not_p p)
+  | And (a, b) ->
+    let* pa = guard_pred cols a in
+    let* pb = guard_pred cols b in
+    Ok (A.And_p (pa, pb))
+  | Or (a, b) ->
+    let* pa = guard_pred cols a in
+    let* pb = guard_pred cols b in
+    Ok (A.Or_p (pa, pb))
+  | f -> err "not a guard formula: %s" (Pretty.to_string f)
+
+let rec compile_core cat f =
+  match f with
+  | True -> Ok (unit_expr, [])
+  | False -> Ok (empty0_expr, [])
+  | Atom (rel, args) ->
+    (match Schema.Catalog.find rel cat with
+     | None -> err "unknown relation: %s" rel
+     | Some s ->
+       if Schema.arity s <> List.length args then
+         err "relation %s expects %d arguments, got %d" rel (Schema.arity s)
+           (List.length args)
+       else begin
+         (* constants and repeated variables become selections *)
+         let first_pos = Hashtbl.create 8 in
+         let preds = ref [] in
+         let arith = ref false in
+         List.iteri
+           (fun i t ->
+             match t with
+             | Const v ->
+               preds := A.Compare (A.Eq, A.Col i, A.Lit v) :: !preds
+             | Var x ->
+               (match Hashtbl.find_opt first_pos x with
+                | None -> Hashtbl.add first_pos x i
+                | Some j ->
+                  preds := A.Compare (A.Eq, A.Col i, A.Col j) :: !preds)
+             | Add _ | Sub _ | Mul _ -> arith := true)
+           args;
+         if !arith then
+           err "arithmetic is not allowed as a relation argument (in %s)" rel
+         else
+         let selected =
+           List.fold_left
+             (fun e p -> A.Select (p, e))
+             (A.Scan rel) !preds
+         in
+         let cols =
+           Hashtbl.fold (fun v _ acc -> v :: acc) first_pos []
+           |> List.sort String.compare
+         in
+         let positions =
+           Array.of_list (List.map (fun v -> Hashtbl.find first_pos v) cols)
+         in
+         Ok (A.Project (positions, selected), cols)
+       end)
+  | Cmp (Eq, Var x, Const v) | Cmp (Eq, Const v, Var x) ->
+    Ok (A.Const (Relation.of_list 1 [ [| v |] ]), [ x ])
+  | Cmp (c, Const a, Const b) ->
+    (* decidable at compile time were values comparable; emit a selection
+       over the unit relation so evaluation errors surface uniformly *)
+    Ok (A.Select (A.Compare (cmp_to_algebra c, A.Lit a, A.Lit b), unit_expr), [])
+  | Cmp _ -> err "unguarded comparison: %s" (Pretty.to_string f)
+  | Not a ->
+    if Var_set.is_empty (free_vars a) then
+      let* ea, _ = compile_core cat a in
+      Ok (A.Diff (unit_expr, ea), [])
+    else err "unguarded negation: %s" (Pretty.to_string f)
+  | And _ ->
+    let* steps = Safety.plan_conjunction (Safety.flatten_and f) in
+    List.fold_left
+      (fun acc step ->
+        let* acc = acc in
+        match step with
+        | Safety.Join g ->
+          let* cg = compile_core cat g in
+          Ok (join acc cg)
+        | Safety.Guard g ->
+          let e, cols = acc in
+          let* p = guard_pred cols g in
+          Ok (A.Select (p, e), cols)
+        | Safety.Antijoin g ->
+          let* cg = compile_core cat g in
+          Ok (antijoin acc cg))
+      (Ok (unit_expr, []))
+      steps
+  | Or (a, b) ->
+    let* ea, ca = compile_core cat a in
+    let* eb, cb = compile_core cat b in
+    if ca <> cb then
+      err "disjuncts have different free variables: %s" (Pretty.to_string f)
+    else Ok (A.Union (ea, eb), ca)
+  | Exists (vs, a) ->
+    let* ea, ca = compile_core cat a in
+    let keep = List.filter (fun v -> not (List.mem v vs)) ca in
+    let positions = Array.of_list (List.map (index_of_exn ca) keep) in
+    Ok (A.Project (positions, ea), keep)
+  | Inserted _ | Deleted _ ->
+    err "transition atom in a single-state query: %s" (Pretty.to_string f)
+  | Prev _ | Once _ | Since _ | Next _ | Until _ ->
+    err "temporal operator in a single-state query: %s" (Pretty.to_string f)
+  | Implies _ | Iff _ | Forall _ | Historically _ | Eventually _ | Always _ ->
+    err "non-core formula (normalize first): %s" (Pretty.to_string f)
+
+let compile cat f =
+  let f = Rtic_mtl.Rewrite.normalize f in
+  let* () = Safety.check f in
+  let* expr, columns =
+    try compile_core cat f with Invalid_argument m -> Error m
+  in
+  (* sanity: the expression must be statically well-formed *)
+  let* _arity = A.arity_of cat expr in
+  Ok { expr; columns }
+
+let eval_via_algebra db f =
+  let* { expr; columns } = compile (Database.catalog db) f in
+  let* rel = A.eval db expr in
+  Ok (Valrel.make columns (Relation.to_list rel))

@@ -1,0 +1,34 @@
+(** Compilation of first-order (non-temporal) formulas to relational algebra.
+
+    The classical Codd translation, restricted to the monitorable fragment:
+    a safe non-temporal formula compiles to a positional
+    {!Rtic_relational.Algebra} expression whose evaluation over any snapshot
+    yields exactly the formula's valuation relation. Conjunction becomes
+    equi-join + projection, guarded negation becomes the
+    semijoin/difference encoding of anti-join, guards become selections.
+
+    This is how the single-state part of a constraint would execute on a
+    plain relational engine; the property suite checks
+    [eval (compile f) = Fo.eval f] on random formulas and databases. *)
+
+type compiled = {
+  expr : Rtic_relational.Algebra.t;
+  columns : string list;
+      (** Output column names: the formula's free variables, sorted — the
+          [i]-th column of the result holds the [i]-th variable. *)
+}
+
+val compile :
+  Rtic_relational.Schema.Catalog.t ->
+  Rtic_mtl.Formula.t ->
+  (compiled, string) result
+(** Compile a formula. Fails on temporal operators, non-core connectives
+    (run {!Rtic_mtl.Rewrite.normalize} first) and non-monitorable shapes. *)
+
+val eval_via_algebra :
+  Rtic_relational.Database.t ->
+  Rtic_mtl.Formula.t ->
+  (Valrel.t, string) result
+(** [compile] against the database's catalog, evaluate the algebra, and
+    repackage the result as a valuation relation (for direct comparison
+    with {!Fo.eval}). *)

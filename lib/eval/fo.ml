@@ -1,0 +1,115 @@
+module Value = Rtic_relational.Value
+module Database = Rtic_relational.Database
+module Formula = Rtic_mtl.Formula
+module Safety = Rtic_mtl.Safety
+module Pretty = Rtic_mtl.Pretty
+open Formula
+
+exception Error of string
+
+let error fmt = Printf.ksprintf (fun m -> raise (Error m)) fmt
+
+let rec eval_term lookup = function
+  | Var x -> lookup x
+  | Const v -> v
+  | Add (a, b) -> arith "+" ( + ) ( +. ) lookup a b
+  | Sub (a, b) -> arith "-" ( - ) ( -. ) lookup a b
+  | Mul (a, b) -> arith "*" ( * ) ( *. ) lookup a b
+
+and arith name int_op real_op lookup a b =
+  match eval_term lookup a, eval_term lookup b with
+  | Value.Int x, Value.Int y -> Value.Int (int_op x y)
+  | Value.Real x, Value.Real y -> Value.Real (real_op x y)
+  | x, y ->
+    error "arithmetic '%s' on non-numeric or mixed values %s, %s" name
+      (Value.to_string x) (Value.to_string y)
+
+let cmp_values c a b =
+  match c with
+  | Eq -> Value.equal a b
+  | Ne -> not (Value.equal a b)
+  | Lt | Le | Gt | Ge ->
+    (match Value.numeric a, Value.numeric b with
+     | Some x, Some y ->
+       (match c with
+        | Lt -> x < y
+        | Le -> x <= y
+        | Gt -> x > y
+        | Ge -> x >= y
+        | Eq | Ne -> assert false)
+     | _ ->
+       error "order comparison on non-numeric values %s, %s"
+         (Value.to_string a) (Value.to_string b))
+
+let rec eval ~db ?prev ~temporal f =
+  match f with
+  | True -> Valrel.unit
+  | False -> Valrel.falsehood
+  | Atom (rel, args) ->
+    (match Database.relation db rel with
+     | None -> error "unknown relation: %s" rel
+     | Some r ->
+       (match Valrel.of_atom r args with
+        | Ok v -> v
+        | Error m -> error "%s: %s" rel m))
+  | Inserted (rel, args) | Deleted (rel, args) ->
+    let cur =
+      match Database.relation db rel with
+      | Some r -> r
+      | None -> error "unknown relation: %s" rel
+    in
+    let old =
+      match prev with
+      | None -> Rtic_relational.Relation.empty (Rtic_relational.Relation.arity cur)
+      | Some p -> Database.relation_exn p rel
+    in
+    let delta =
+      match f with
+      | Inserted _ -> Rtic_relational.Relation.diff cur old
+      | _ -> Rtic_relational.Relation.diff old cur
+    in
+    (match Valrel.of_atom delta args with
+     | Ok v -> v
+     | Error m -> error "%s: %s" rel m)
+  | Cmp (Eq, Var x, Const v) | Cmp (Eq, Const v, Var x) ->
+    Valrel.singleton [ (x, v) ]
+  | Cmp (c, Const a, Const b) -> Valrel.of_bool (cmp_values c a b)
+  | Cmp _ ->
+    error "unguarded comparison reached the evaluator: %s" (Pretty.to_string f)
+  | Not a ->
+    if Var_set.is_empty (free_vars a) then
+      Valrel.of_bool (not (Valrel.holds (eval ~db ?prev ~temporal a)))
+    else
+      error "unguarded negation reached the evaluator: %s" (Pretty.to_string f)
+  | And _ ->
+    (match Safety.plan_conjunction (Safety.flatten_and f) with
+     | Error m -> error "%s" m
+     | Ok steps -> exec_plan ~db ?prev ~temporal steps)
+  | Or (a, b) ->
+    Valrel.union (eval ~db ?prev ~temporal a) (eval ~db ?prev ~temporal b)
+  | Exists (vs, a) -> Valrel.project_away vs (eval ~db ?prev ~temporal a)
+  | Prev _ | Once _ | Since _ | Next _ | Until _ -> temporal f
+  | Implies _ | Iff _ | Forall _ | Historically _ | Eventually _ | Always _ ->
+    error "non-core formula reached the evaluator (normalize first): %s"
+      (Pretty.to_string f)
+
+and exec_plan ~db ?prev ~temporal steps =
+  List.fold_left
+    (fun acc step ->
+      match step with
+      | Safety.Join g -> Valrel.join acc (eval ~db ?prev ~temporal g)
+      | Safety.Guard g ->
+        let value row t = eval_term (Valrel.lookup acc row) t in
+        let rec guard row = function
+          | True -> true
+          | False -> false
+          | Cmp (c, l, r) -> cmp_values c (value row l) (value row r)
+          | Not a -> not (guard row a)
+          | And (a, b) -> guard row a && guard row b
+          | Or (a, b) -> guard row a || guard row b
+          | g ->
+            error "non-comparison formula in a guard: %s" (Pretty.to_string g)
+        in
+        Valrel.filter (fun row -> guard row g) acc
+      | Safety.Antijoin g -> Valrel.antijoin acc (eval ~db ?prev ~temporal g))
+    Valrel.unit steps

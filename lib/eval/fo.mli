@@ -1,0 +1,44 @@
+(** First-order (single-state) evaluation core.
+
+    Evaluates the non-temporal structure of a core formula over one database
+    snapshot, delegating every temporal subformula ([Prev], [Once], [Since])
+    to a caller-supplied oracle. Both the naive evaluator (whose oracle
+    recurses into the history) and the incremental checker (whose oracle
+    reads auxiliary relations) are built on this module, which guarantees the
+    two implement {e the same} first-order semantics.
+
+    Formulas must be in the core fragment ({!Rtic_mtl.Rewrite.normalize}) and
+    monitorable ({!Rtic_mtl.Safety.check}); violations raise {!Error}. *)
+
+exception Error of string
+(** Raised on non-monitorable input, unknown relations, or ill-typed
+    comparisons (all prevented by the static checks). *)
+
+val eval_term :
+  (string -> Rtic_relational.Value.t) ->
+  Rtic_mtl.Formula.term ->
+  Rtic_relational.Value.t
+(** Evaluate a term under a variable lookup: constants, variables and
+    arithmetic over one numeric type ([Int] with [Int], [Real] with [Real];
+    {!Error} otherwise, which the type checker prevents). *)
+
+val cmp_values :
+  Rtic_mtl.Formula.cmp ->
+  Rtic_relational.Value.t ->
+  Rtic_relational.Value.t ->
+  bool
+(** Comparison semantics shared by the whole system: [Eq]/[Ne] are defined on
+    all values; order comparisons on numeric values ({!Error} otherwise). *)
+
+val eval :
+  db:Rtic_relational.Database.t ->
+  ?prev:Rtic_relational.Database.t ->
+  temporal:(Rtic_mtl.Formula.t -> Valrel.t) ->
+  Rtic_mtl.Formula.t ->
+  Valrel.t
+(** [eval ~db ?prev ~temporal f] is the valuation relation of [f] over [db],
+    where [temporal g] must return the valuation relation of the temporal
+    subformula [g] (over exactly [g]'s sorted free variables) at the current
+    history position. [prev] is the previous committed state, used by the
+    transition atoms [+R]/[-R]; omitting it means "no previous state"
+    (position 0), where [+R] is all of [R] and [-R] is empty. *)

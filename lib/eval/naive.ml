@@ -1,0 +1,161 @@
+module Interval = Rtic_temporal.Interval
+module History = Rtic_temporal.History
+module Formula = Rtic_mtl.Formula
+module Rewrite = Rtic_mtl.Rewrite
+open Formula
+
+(* [eval_core h i f] — f is core and monitorable. Raises Fo.Error. *)
+let rec eval_core h i f =
+  if i = 0 then Fo.eval ~db:(History.db h i) ~temporal:(eval_temporal h i) f
+  else
+    Fo.eval ~db:(History.db h i)
+      ~prev:(History.db h (i - 1))
+      ~temporal:(eval_temporal h i) f
+
+and eval_temporal h i f =
+  match f with
+  | Prev (iv, a) ->
+    if i = 0 then Valrel.none (free_var_list a)
+    else
+      let gap = History.time h i - History.time h (i - 1) in
+      if Interval.mem gap iv then eval_core h (i - 1) a
+      else Valrel.none (free_var_list a)
+  | Once (iv, a) ->
+    let now = History.time h i in
+    let acc = ref (Valrel.none (free_var_list a)) in
+    let j = ref i in
+    let continue = ref true in
+    while !continue && !j >= 0 do
+      let d = now - History.time h !j in
+      (match Interval.hi iv with
+       | Some u when d > u -> continue := false
+       | _ ->
+         if Interval.mem d iv then acc := Valrel.union !acc (eval_core h !j a));
+      decr j
+    done;
+    !acc
+  | Since (iv, a, b) ->
+    let now = History.time h i in
+    let fv_since =
+      Var_set.union (free_vars a) (free_vars b) |> Var_set.elements
+    in
+    (* Positive left argument: maintain [constr], the join of the left
+       argument's relations at positions (j, i]; a candidate from the right
+       argument at j survives iff it joins with [constr].
+       Negated left argument [not a']: maintain [bad], the union of a''s
+       relations at positions (j, i]; a candidate survives iff it anti-joins. *)
+    let negated, left =
+      match a with
+      | Not a' -> (true, a')
+      | _ -> (false, a)
+    in
+    let acc = ref (Valrel.none fv_since) in
+    let constr = ref Valrel.unit in
+    let bad = ref (Valrel.none (free_var_list left)) in
+    let j = ref i in
+    let continue = ref true in
+    while !continue && !j >= 0 do
+      let d = now - History.time h !j in
+      (match Interval.hi iv with
+       | Some u when d > u -> continue := false
+       | _ ->
+         if Interval.mem d iv then begin
+           let cand = eval_core h !j b in
+           let surviving =
+             if negated then Valrel.antijoin cand !bad
+             else Valrel.join cand !constr
+           in
+           acc := Valrel.union !acc surviving
+         end;
+         (* Extend the survivor condition with position j before moving to
+            j-1 (the left argument must hold strictly after the witness). *)
+         if !continue && !j >= 1 then begin
+           let lv = eval_core h !j left in
+           if negated then bad := Valrel.union !bad lv
+           else begin
+             constr := Valrel.join !constr lv;
+             (* An empty survivor condition kills every older candidate. *)
+             if Valrel.is_empty !constr then continue := false
+           end
+         end);
+      decr j
+    done;
+    !acc
+  | Next (iv, a) ->
+    if i = History.last h then Valrel.none (free_var_list a)
+    else
+      let gap = History.time h (i + 1) - History.time h i in
+      if Interval.mem gap iv then eval_core h (i + 1) a
+      else Valrel.none (free_var_list a)
+  | Until (iv, a, b) ->
+    (* Mirror image of Since, walking forward: a witness for the right
+       argument at j >= i within the interval, with the left argument
+       holding at every k with i <= k < j. *)
+    let now = History.time h i in
+    let fv_until =
+      Var_set.union (free_vars a) (free_vars b) |> Var_set.elements
+    in
+    let negated, left =
+      match a with
+      | Not a' -> (true, a')
+      | _ -> (false, a)
+    in
+    let acc = ref (Valrel.none fv_until) in
+    let constr = ref Valrel.unit in
+    let bad = ref (Valrel.none (free_var_list left)) in
+    let j = ref i in
+    let continue = ref true in
+    let last = History.last h in
+    while !continue && !j <= last do
+      let d = History.time h !j - now in
+      (match Interval.hi iv with
+       | Some u when d > u -> continue := false
+       | _ ->
+         if Interval.mem d iv then begin
+           let cand = eval_core h !j b in
+           let surviving =
+             if negated then Valrel.antijoin cand !bad
+             else Valrel.join cand !constr
+           in
+           acc := Valrel.union !acc surviving
+         end;
+         (* the left argument must hold from i up to just before the
+            witness: record position j before moving to j+1 *)
+         if !continue && !j < last then begin
+           let lv = eval_core h !j left in
+           if negated then bad := Valrel.union !bad lv
+           else begin
+             constr := Valrel.join !constr lv;
+             if Valrel.is_empty !constr then continue := false
+           end
+         end);
+      incr j
+    done;
+    !acc
+  | _ -> invalid_arg "Naive.eval_temporal: not a temporal formula"
+
+let eval h i f =
+  let f = Rewrite.normalize f in
+  match Rtic_mtl.Safety.check f with
+  | Error m -> Error m
+  | Ok () ->
+    (try Ok (eval_core h i f) with
+     | Fo.Error m -> Error m
+     | Invalid_argument m -> Error m)
+
+let holds_at h i f = Result.map Valrel.holds (eval h i f)
+
+let violations h (d : def) =
+  let f = Rewrite.normalize d.body in
+  match Rtic_mtl.Safety.check f with
+  | Error m -> Error m
+  | Ok () ->
+    (try
+       let out = ref [] in
+       for i = 0 to History.last h do
+         if not (Valrel.holds (eval_core h i f)) then out := i :: !out
+       done;
+       Ok (List.rev !out)
+     with
+     | Fo.Error m -> Error m
+     | Invalid_argument m -> Error m)

@@ -1,0 +1,30 @@
+(** The naive reference evaluator (full-history baseline).
+
+    This is the semantics of the constraint language, implemented directly:
+    to evaluate a temporal operator at position [i] it walks backward over
+    the {e complete stored history}, exactly as the paper's strawman does.
+    Its cost per check grows with the history length — it is both the
+    baseline that the bounded-history-encoding checker is measured against
+    (experiments E1–E3) and the oracle that the incremental checker is
+    tested against.
+
+    Input formulas are normalized internally; they must be monitorable
+    ({!Rtic_mtl.Safety.check}). *)
+
+val eval :
+  Rtic_temporal.History.t ->
+  int ->
+  Rtic_mtl.Formula.t ->
+  (Valrel.t, string) result
+(** [eval h i f] is the valuation relation of [f] at position [i] of [h]
+    (over [f]'s free variables). *)
+
+val holds_at :
+  Rtic_temporal.History.t -> int -> Rtic_mtl.Formula.t -> (bool, string) result
+(** [holds_at h i f] for closed [f]: does [f] hold at position [i]? *)
+
+val violations :
+  Rtic_temporal.History.t -> Rtic_mtl.Formula.def -> (int list, string) result
+(** [violations h d] is the list of positions of [h] at which the constraint
+    body does {e not} hold — the naive checker's verdict on a whole history.
+    Positions are returned in increasing order. *)

@@ -1,0 +1,295 @@
+module Value = Rtic_relational.Value
+module Tuple = Rtic_relational.Tuple
+module Formula = Rtic_mtl.Formula
+
+module Tuple_set = Set.Make (struct
+  type t = Tuple.t
+
+  let compare = Tuple.compare
+end)
+
+type t = {
+  cols : string array;     (* sorted, distinct *)
+  rows : Tuple_set.t;      (* every row has [Array.length cols] fields *)
+}
+
+let sorted_distinct cols =
+  let sorted = List.sort_uniq String.compare cols in
+  if List.length sorted <> List.length cols then
+    invalid_arg "Valrel: duplicate column names";
+  Array.of_list sorted
+
+let none cols = { cols = sorted_distinct cols; rows = Tuple_set.empty }
+
+let make cols rows =
+  let order = sorted_distinct cols in
+  let given = Array.of_list cols in
+  let k = Array.length order in
+  (* position of sorted column j in the given order *)
+  let perm =
+    Array.map
+      (fun c ->
+        let rec find i = if given.(i) = c then i else find (i + 1) in
+        find 0)
+      order
+  in
+  let reorder row =
+    if Tuple.arity row <> k then
+      invalid_arg "Valrel.make: row arity mismatch"
+    else Array.map (fun i -> row.(i)) perm
+  in
+  { cols = order;
+    rows = List.fold_left (fun s r -> Tuple_set.add (reorder r) s) Tuple_set.empty rows }
+
+let unit = { cols = [||]; rows = Tuple_set.singleton [||] }
+let falsehood = { cols = [||]; rows = Tuple_set.empty }
+let of_bool b = if b then unit else falsehood
+
+let singleton bindings =
+  let bindings =
+    List.sort (fun (a, _) (b, _) -> String.compare a b) bindings
+  in
+  let cols = Array.of_list (List.map fst bindings) in
+  Array.iteri
+    (fun i c ->
+      if i > 0 && cols.(i - 1) = c then
+        invalid_arg "Valrel.singleton: duplicate column names")
+    cols;
+  { cols; rows = Tuple_set.singleton (Array.of_list (List.map snd bindings)) }
+
+let cols r = r.cols
+let cardinal r = Tuple_set.cardinal r.rows
+let is_empty r = Tuple_set.is_empty r.rows
+let holds r = not (is_empty r)
+let mem row r = Tuple_set.mem row r.rows
+let rows r = Tuple_set.elements r.rows
+
+let bindings r =
+  List.map
+    (fun row -> Array.to_list (Array.mapi (fun i v -> (r.cols.(i), v)) row))
+    (rows r)
+
+let col_index r c =
+  let rec go lo hi =
+    if lo >= hi then invalid_arg ("Valrel: unknown column " ^ c)
+    else
+      let mid = (lo + hi) / 2 in
+      let d = String.compare c r.cols.(mid) in
+      if d = 0 then mid else if d < 0 then go lo mid else go (mid + 1) hi
+  in
+  go 0 (Array.length r.cols)
+
+let lookup r row c = row.(col_index r c)
+
+let same_cols op a b =
+  if a.cols <> b.cols then
+    invalid_arg (Printf.sprintf "Valrel.%s: column mismatch" op)
+
+let equal a b = a.cols = b.cols && Tuple_set.equal a.rows b.rows
+
+let compare a b =
+  let c = Stdlib.compare a.cols b.cols in
+  if c <> 0 then c else Tuple_set.compare a.rows b.rows
+
+let union a b =
+  same_cols "union" a b;
+  { a with rows = Tuple_set.union a.rows b.rows }
+
+let inter a b =
+  same_cols "inter" a b;
+  { a with rows = Tuple_set.inter a.rows b.rows }
+
+let diff a b =
+  same_cols "diff" a b;
+  { a with rows = Tuple_set.diff a.rows b.rows }
+
+(* Positions of [sub]'s columns inside [sup]'s columns; None if not subset. *)
+let embedding sub sup =
+  let k = Array.length sub in
+  let out = Array.make k 0 in
+  let n = Array.length sup in
+  let rec go i j =
+    if i >= k then true
+    else if j >= n then false
+    else
+      let c = String.compare sub.(i) sup.(j) in
+      if c = 0 then begin
+        out.(i) <- j;
+        go (i + 1) (j + 1)
+      end
+      else if c > 0 then go i (j + 1)
+      else false
+  in
+  if go 0 0 then Some out else None
+
+let shared_cols a b =
+  Array.to_list a.cols
+  |> List.filter (fun c -> Array.exists (String.equal c) b.cols)
+  |> Array.of_list
+
+let join a b =
+  if a.cols = b.cols then inter a b
+  else
+    let shared = shared_cols a b in
+    let union_cols =
+      Array.to_list a.cols @ Array.to_list b.cols
+      |> List.sort_uniq String.compare |> Array.of_list
+    in
+    let ea = Option.get (embedding shared a.cols) in
+    let eb = Option.get (embedding shared b.cols) in
+    (* For each output column, whether it comes from a (Left i) or b. *)
+    let source =
+      Array.map
+        (fun c ->
+          match embedding [| c |] a.cols with
+          | Some [| i |] -> `Left i
+          | _ ->
+            (match embedding [| c |] b.cols with
+             | Some [| i |] -> `Right i
+             | _ -> assert false))
+        union_cols
+    in
+    (* Hash b's rows on the shared key. *)
+    let index = Hashtbl.create (max 16 (Tuple_set.cardinal b.rows)) in
+    Tuple_set.iter
+      (fun row ->
+        let key = Array.map (fun i -> row.(i)) eb in
+        let prev = try Hashtbl.find index key with Not_found -> [] in
+        Hashtbl.replace index key (row :: prev))
+      b.rows;
+    let out = ref Tuple_set.empty in
+    Tuple_set.iter
+      (fun ra ->
+        let key = Array.map (fun i -> ra.(i)) ea in
+        match Hashtbl.find_opt index key with
+        | None -> ()
+        | Some matches ->
+          List.iter
+            (fun rb ->
+              let merged =
+                Array.map
+                  (function `Left i -> ra.(i) | `Right i -> rb.(i))
+                  source
+              in
+              out := Tuple_set.add merged !out)
+            matches)
+      a.rows;
+    { cols = union_cols; rows = !out }
+
+let antijoin a b =
+  let shared = shared_cols a b in
+  let eb = Option.get (embedding shared b.cols) in
+  let ea = Option.get (embedding shared a.cols) in
+  let keys = Hashtbl.create (max 16 (Tuple_set.cardinal b.rows)) in
+  Tuple_set.iter
+    (fun row -> Hashtbl.replace keys (Array.map (fun i -> row.(i)) eb) ())
+    b.rows;
+  { a with
+    rows =
+      Tuple_set.filter
+        (fun ra -> not (Hashtbl.mem keys (Array.map (fun i -> ra.(i)) ea)))
+        a.rows }
+
+let project keep r =
+  let keep_cols =
+    Array.to_list r.cols |> List.filter (fun c -> List.mem c keep)
+  in
+  let idx =
+    Array.of_list
+      (List.map (fun c -> col_index r c) keep_cols)
+  in
+  { cols = Array.of_list keep_cols;
+    rows =
+      Tuple_set.fold
+        (fun row acc -> Tuple_set.add (Array.map (fun i -> row.(i)) idx) acc)
+        r.rows Tuple_set.empty }
+
+let project_away drop r =
+  let keep =
+    Array.to_list r.cols |> List.filter (fun c -> not (List.mem c drop))
+  in
+  project keep r
+
+let filter p r = { r with rows = Tuple_set.filter p r.rows }
+let fold f r acc = Tuple_set.fold f r.rows acc
+
+let of_atom rel args =
+  let k = List.length args in
+  if Rtic_relational.Relation.arity rel <> k then
+    Error
+      (Printf.sprintf "atom arity %d does not match relation arity %d" k
+         (Rtic_relational.Relation.arity rel))
+  else begin
+    (* Distinct variables of args, with the positions where each occurs. *)
+    let var_positions = Hashtbl.create 8 in
+    let arith = ref false in
+    List.iteri
+      (fun i t ->
+        match t with
+        | Formula.Var x ->
+          let prev = try Hashtbl.find var_positions x with Not_found -> [] in
+          Hashtbl.replace var_positions x (i :: prev)
+        | Formula.Const _ -> ()
+        | Formula.Add _ | Formula.Sub _ | Formula.Mul _ -> arith := true)
+      args;
+    if !arith then Error "arithmetic is not allowed as a relation argument"
+    else begin
+    let vars =
+      Hashtbl.fold (fun x _ acc -> x :: acc) var_positions []
+      |> List.sort String.compare
+    in
+    let var_arr = Array.of_list vars in
+    let args_arr = Array.of_list args in
+    let rows = ref Tuple_set.empty in
+    Rtic_relational.Relation.iter
+      (fun tup ->
+        let ok = ref true in
+        (* constants must match *)
+        Array.iteri
+          (fun i t ->
+            match t with
+            | Formula.Const v -> if not (Value.equal tup.(i) v) then ok := false
+            | Formula.Var _ -> ()
+            | Formula.Add _ | Formula.Sub _ | Formula.Mul _ -> ok := false)
+          args_arr;
+        if !ok then begin
+          (* repeated variables must agree *)
+          Hashtbl.iter
+            (fun _ positions ->
+              match positions with
+              | [] | [ _ ] -> ()
+              | p0 :: rest ->
+                List.iter
+                  (fun p ->
+                    if not (Value.equal tup.(p0) tup.(p)) then ok := false)
+                  rest)
+            var_positions;
+          if !ok then begin
+            let row =
+              Array.map
+                (fun x -> tup.(List.hd (Hashtbl.find var_positions x)))
+                var_arr
+            in
+            rows := Tuple_set.add row !rows
+          end
+        end)
+      rel;
+      Ok { cols = var_arr; rows = !rows }
+    end
+  end
+
+let pp ppf r =
+  let pp_row ppf row =
+    if Array.length r.cols = 0 then Format.pp_print_string ppf "()"
+    else
+      Format.pp_print_list
+        ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+        (fun ppf (c, v) -> Format.fprintf ppf "%s=%a" c Value.pp v)
+        ppf
+        (Array.to_list (Array.mapi (fun i v -> (r.cols.(i), v)) row))
+  in
+  Format.fprintf ppf "{@[%a@]}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+       pp_row)
+    (rows r)

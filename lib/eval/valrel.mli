@@ -1,0 +1,111 @@
+(** Valuation relations: finite sets of variable valuations.
+
+    A valuation relation is the denotation of an open formula at one history
+    position — a finite set of assignments of values to the formula's free
+    variables. It is a relation with {e named, canonically sorted} columns;
+    the closed formula case is the zero-column relation, which is either
+    empty ([false]) or the single empty row ([true]).
+
+    All operations are purely functional. Natural join, anti-join, union and
+    projection are exactly the operations the two checkers need. *)
+
+type t
+(** A valuation relation. Columns are distinct and sorted; every row has one
+    value per column. *)
+
+val make : string list -> Rtic_relational.Tuple.t list -> t
+(** [make cols rows] builds a relation. [cols] need not be sorted; rows are
+    given in the order of [cols] as written and are re-ordered internally.
+    Raises [Invalid_argument] on duplicate columns or arity mismatch. *)
+
+val none : string list -> t
+(** The empty relation over the given columns. *)
+
+val unit : t
+(** The zero-column relation containing the empty row — "true". *)
+
+val falsehood : t
+(** The zero-column empty relation — "false". *)
+
+val of_bool : bool -> t
+(** [of_bool true] is {!unit}; [of_bool false] is {!falsehood}. *)
+
+val singleton : (string * Rtic_relational.Value.t) list -> t
+(** The one-row relation binding each variable to the given value. *)
+
+val cols : t -> string array
+(** Column names, sorted. *)
+
+val cardinal : t -> int
+(** Number of rows. *)
+
+val is_empty : t -> bool
+(** [true] iff the relation has no row. *)
+
+val holds : t -> bool
+(** Truth value of a zero-column relation; for convenience defined on any
+    relation as "has at least one row". *)
+
+val mem : Rtic_relational.Tuple.t -> t -> bool
+(** Membership of a row (given in column order). *)
+
+val rows : t -> Rtic_relational.Tuple.t list
+(** All rows, sorted, each aligned with {!cols}. *)
+
+val bindings : t -> (string * Rtic_relational.Value.t) list list
+(** All rows as association lists — convenient for reporting witnesses. *)
+
+val lookup : t -> Rtic_relational.Tuple.t -> string -> Rtic_relational.Value.t
+(** [lookup r row c] is the value of column [c] in [row] (a row of [r]).
+    Raises [Invalid_argument] on unknown columns. *)
+
+val equal : t -> t -> bool
+(** Same columns and same rows. *)
+
+val compare : t -> t -> int
+(** Total order consistent with {!equal}. *)
+
+val union : t -> t -> t
+(** Set union. Raises [Invalid_argument] unless the column sets agree. *)
+
+val inter : t -> t -> t
+(** Set intersection over identical columns. *)
+
+val diff : t -> t -> t
+(** Set difference over identical columns. *)
+
+val join : t -> t -> t
+(** Natural join: the result's columns are the union of the arguments'
+    columns; a pair of rows combines when it agrees on the shared columns. *)
+
+val antijoin : t -> t -> t
+(** [antijoin a b] keeps the rows of [a] whose projection onto the shared
+    columns does {e not} appear in [b]'s projection onto those columns. When
+    [cols b ⊆ cols a] this is the relational anti-join used for guarded
+    negation. *)
+
+val project : string list -> t -> t
+(** [project keep r] restricts to the columns in [keep] (ignoring names not
+    present), collapsing duplicate rows. *)
+
+val project_away : string list -> t -> t
+(** [project_away drop r] removes the given columns — existential
+    quantification. *)
+
+val filter : (Rtic_relational.Tuple.t -> bool) -> t -> t
+(** Keep the rows satisfying the predicate (rows are in column order). *)
+
+val fold : (Rtic_relational.Tuple.t -> 'a -> 'a) -> t -> 'a -> 'a
+(** Fold over rows in increasing order. *)
+
+val of_atom :
+  Rtic_relational.Relation.t ->
+  Rtic_mtl.Formula.term list ->
+  (t, string) result
+(** [of_atom rel args] is the valuation relation of the atom [R(args)] given
+    the instance [rel] of [R]: constants must match, repeated variables must
+    be bound consistently, and the result's columns are the distinct
+    variables of [args]. Errors on arity mismatch. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [{x=1, y=2; x=3, y=4}]. *)

@@ -1,0 +1,59 @@
+open Formula
+
+module Formula_map = Map.Make (struct
+  type nonrec t = Formula.t
+
+  let compare = Formula.compare
+end)
+
+type t = {
+  nodes : Formula.t array;
+  index : int Formula_map.t;
+}
+
+let build f =
+  let index = ref Formula_map.empty in
+  let acc = ref [] in
+  let register g =
+    if not (Formula_map.mem g !index) then begin
+      index := Formula_map.add g (Formula_map.cardinal !index) !index;
+      acc := g :: !acc
+    end
+  in
+  let rec go g =
+    match g with
+    | True | False | Atom _ | Inserted _ | Deleted _ | Cmp _ -> ()
+    | Not a | Exists (_, a) ->
+      go a
+    | And (a, b) | Or (a, b) ->
+      go a;
+      go b
+    | Prev (_, a) | Once (_, a) ->
+      go a;
+      register g
+    | Since (_, a, b) ->
+      go a;
+      go b;
+      register g
+    | Next _ | Until _ ->
+      invalid_arg
+        "Closure.build: future operator (use Rtic_core.Future to monitor \
+         bounded-future constraints)"
+    | Implies _ | Iff _ | Forall _ | Historically _ | Eventually _
+    | Always _ ->
+      invalid_arg "Closure.build: formula not in core fragment (normalize first)"
+  in
+  go f;
+  { nodes = Array.of_list (List.rev !acc); index = !index }
+
+let count t = Array.length t.nodes
+let nodes t = t.nodes
+let id t g = Formula_map.find_opt g t.index
+
+let id_exn t g =
+  match id t g with
+  | Some i -> i
+  | None ->
+    invalid_arg
+      ("Closure.id_exn: not a temporal subformula of this closure: "
+       ^ Pretty.to_string g)

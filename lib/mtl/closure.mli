@@ -1,0 +1,28 @@
+(** Temporal subformula closure.
+
+    The incremental checker maintains one auxiliary relation per {e distinct}
+    temporal subformula ([Prev], [Once] or [Since] node) of the normalized
+    constraint. This module enumerates those subformulas bottom-up (children
+    before parents) and assigns each a stable integer id. Structurally equal
+    subformulas share an id, so a formula mentioning [once p(x)] twice gets a
+    single auxiliary relation. *)
+
+type t
+(** The closure of one formula. *)
+
+val build : Formula.t -> t
+(** [build f] enumerates the temporal subformulas of [f]. [f] is expected to
+    be in the core fragment (see {!Rewrite.normalize}); non-core operators
+    are rejected with [Invalid_argument]. *)
+
+val count : t -> int
+(** Number of distinct temporal subformulas. *)
+
+val nodes : t -> Formula.t array
+(** The temporal subformulas, indexed by id, children before parents. *)
+
+val id : t -> Formula.t -> int option
+(** The id of a temporal subformula, if it occurs in the closure. *)
+
+val id_exn : t -> Formula.t -> int
+(** Like {!id} but raises [Invalid_argument] for foreign subformulas. *)

@@ -1,0 +1,292 @@
+module Value = Rtic_relational.Value
+module Interval = Rtic_temporal.Interval
+
+type term =
+  | Var of string
+  | Const of Value.t
+  | Add of term * term
+  | Sub of term * term
+  | Mul of term * term
+
+type cmp =
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+
+type t =
+  | True
+  | False
+  | Atom of string * term list
+  | Inserted of string * term list
+  | Deleted of string * term list
+  | Cmp of cmp * term * term
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Implies of t * t
+  | Iff of t * t
+  | Exists of string list * t
+  | Forall of string list * t
+  | Prev of Interval.t * t
+  | Since of Interval.t * t * t
+  | Once of Interval.t * t
+  | Historically of Interval.t * t
+  | Next of Interval.t * t
+  | Until of Interval.t * t * t
+  | Eventually of Interval.t * t
+  | Always of Interval.t * t
+
+type def = {
+  name : string;
+  body : t;
+}
+
+let rec compare_term a b =
+  let rank = function
+    | Var _ -> 0 | Const _ -> 1 | Add _ -> 2 | Sub _ -> 3 | Mul _ -> 4
+  in
+  match a, b with
+  | Var x, Var y -> String.compare x y
+  | Const x, Const y -> Value.compare x y
+  | Add (a1, a2), Add (b1, b2)
+  | Sub (a1, a2), Sub (b1, b2)
+  | Mul (a1, a2), Mul (b1, b2) ->
+    let c = compare_term a1 b1 in
+    if c <> 0 then c else compare_term a2 b2
+  | _ -> Stdlib.compare (rank a) (rank b)
+
+let compare_cmp (a : cmp) (b : cmp) = Stdlib.compare a b
+
+let rec compare a b =
+  let rank = function
+    | True -> 0 | False -> 1 | Atom _ -> 2 | Cmp _ -> 3 | Not _ -> 4
+    | And _ -> 5 | Or _ -> 6 | Implies _ -> 7 | Iff _ -> 8 | Exists _ -> 9
+    | Forall _ -> 10 | Prev _ -> 11 | Since _ -> 12 | Once _ -> 13
+    | Historically _ -> 14 | Next _ -> 15 | Until _ -> 16
+    | Eventually _ -> 17 | Always _ -> 18 | Inserted _ -> 19 | Deleted _ -> 20
+  in
+  match a, b with
+  | True, True | False, False -> 0
+  | Atom (r1, ts1), Atom (r2, ts2)
+  | Inserted (r1, ts1), Inserted (r2, ts2)
+  | Deleted (r1, ts1), Deleted (r2, ts2) ->
+    let c = String.compare r1 r2 in
+    if c <> 0 then c else List.compare compare_term ts1 ts2
+  | Cmp (c1, l1, r1), Cmp (c2, l2, r2) ->
+    let c = compare_cmp c1 c2 in
+    if c <> 0 then c
+    else
+      let c = compare_term l1 l2 in
+      if c <> 0 then c else compare_term r1 r2
+  | Not a1, Not b1 -> compare a1 b1
+  | And (a1, a2), And (b1, b2)
+  | Or (a1, a2), Or (b1, b2)
+  | Implies (a1, a2), Implies (b1, b2)
+  | Iff (a1, a2), Iff (b1, b2) ->
+    let c = compare a1 b1 in
+    if c <> 0 then c else compare a2 b2
+  | Exists (vs1, a1), Exists (vs2, b1) | Forall (vs1, a1), Forall (vs2, b1) ->
+    let c = List.compare String.compare vs1 vs2 in
+    if c <> 0 then c else compare a1 b1
+  | Prev (i1, a1), Prev (i2, b1)
+  | Once (i1, a1), Once (i2, b1)
+  | Historically (i1, a1), Historically (i2, b1)
+  | Next (i1, a1), Next (i2, b1)
+  | Eventually (i1, a1), Eventually (i2, b1)
+  | Always (i1, a1), Always (i2, b1) ->
+    let c = Interval.compare i1 i2 in
+    if c <> 0 then c else compare a1 b1
+  | Since (i1, a1, a2), Since (i2, b1, b2)
+  | Until (i1, a1, a2), Until (i2, b1, b2) ->
+    let c = Interval.compare i1 i2 in
+    if c <> 0 then c
+    else
+      let c = compare a1 b1 in
+      if c <> 0 then c else compare a2 b2
+  | _ -> Stdlib.compare (rank a) (rank b)
+
+let equal a b = compare a b = 0
+
+module Var_set = Set.Make (String)
+
+let rec term_vars = function
+  | Var x -> Var_set.singleton x
+  | Const _ -> Var_set.empty
+  | Add (a, b) | Sub (a, b) | Mul (a, b) ->
+    Var_set.union (term_vars a) (term_vars b)
+
+let rec free_vars = function
+  | True | False -> Var_set.empty
+  | Atom (_, ts) | Inserted (_, ts) | Deleted (_, ts) ->
+    List.fold_left
+      (fun acc t -> Var_set.union acc (term_vars t))
+      Var_set.empty ts
+  | Cmp (_, l, r) -> Var_set.union (term_vars l) (term_vars r)
+  | Not a | Prev (_, a) | Once (_, a) | Historically (_, a)
+  | Next (_, a) | Eventually (_, a) | Always (_, a) -> free_vars a
+  | And (a, b) | Or (a, b) | Implies (a, b) | Iff (a, b) | Since (_, a, b)
+  | Until (_, a, b) ->
+    Var_set.union (free_vars a) (free_vars b)
+  | Exists (vs, a) | Forall (vs, a) ->
+    List.fold_left (fun acc v -> Var_set.remove v acc) (free_vars a) vs
+
+let free_var_list f = Var_set.elements (free_vars f)
+let is_closed f = Var_set.is_empty (free_vars f)
+
+let rec atoms = function
+  | True | False | Cmp _ -> []
+  | Atom (r, ts) | Inserted (r, ts) | Deleted (r, ts) -> [ (r, ts) ]
+  | Not a | Exists (_, a) | Forall (_, a)
+  | Prev (_, a) | Once (_, a) | Historically (_, a)
+  | Next (_, a) | Eventually (_, a) | Always (_, a) -> atoms a
+  | And (a, b) | Or (a, b) | Implies (a, b) | Iff (a, b) | Since (_, a, b)
+  | Until (_, a, b) ->
+    atoms a @ atoms b
+
+let relations f =
+  atoms f |> List.map fst |> List.sort_uniq String.compare
+
+let subst bindings f =
+  let rec subst_term env = function
+    | Var x as t ->
+      (match List.assoc_opt x env with Some v -> Const v | None -> t)
+    | Const _ as t -> t
+    | Add (a, b) -> Add (subst_term env a, subst_term env b)
+    | Sub (a, b) -> Sub (subst_term env a, subst_term env b)
+    | Mul (a, b) -> Mul (subst_term env a, subst_term env b)
+  in
+  let rec go env f =
+    if env = [] then f
+    else
+      match f with
+      | True | False -> f
+      | Atom (r, ts) -> Atom (r, List.map (subst_term env) ts)
+      | Inserted (r, ts) -> Inserted (r, List.map (subst_term env) ts)
+      | Deleted (r, ts) -> Deleted (r, List.map (subst_term env) ts)
+      | Cmp (c, l, r) -> Cmp (c, subst_term env l, subst_term env r)
+      | Not a -> Not (go env a)
+      | And (a, b) -> And (go env a, go env b)
+      | Or (a, b) -> Or (go env a, go env b)
+      | Implies (a, b) -> Implies (go env a, go env b)
+      | Iff (a, b) -> Iff (go env a, go env b)
+      | Exists (vs, a) ->
+        Exists (vs, go (List.filter (fun (x, _) -> not (List.mem x vs)) env) a)
+      | Forall (vs, a) ->
+        Forall (vs, go (List.filter (fun (x, _) -> not (List.mem x vs)) env) a)
+      | Prev (i, a) -> Prev (i, go env a)
+      | Since (i, a, b) -> Since (i, go env a, go env b)
+      | Once (i, a) -> Once (i, go env a)
+      | Historically (i, a) -> Historically (i, go env a)
+      | Next (i, a) -> Next (i, go env a)
+      | Until (i, a, b) -> Until (i, go env a, go env b)
+      | Eventually (i, a) -> Eventually (i, go env a)
+      | Always (i, a) -> Always (i, go env a)
+  in
+  go bindings f
+
+let rec size = function
+  | True | False | Atom _ | Inserted _ | Deleted _ | Cmp _ -> 1
+  | Not a | Exists (_, a) | Forall (_, a)
+  | Prev (_, a) | Once (_, a) | Historically (_, a)
+  | Next (_, a) | Eventually (_, a) | Always (_, a) -> 1 + size a
+  | And (a, b) | Or (a, b) | Implies (a, b) | Iff (a, b) | Since (_, a, b)
+  | Until (_, a, b) ->
+    1 + size a + size b
+
+let rec temporal_depth = function
+  | True | False | Atom _ | Inserted _ | Deleted _ | Cmp _ -> 0
+  | Not a | Exists (_, a) | Forall (_, a) -> temporal_depth a
+  | And (a, b) | Or (a, b) | Implies (a, b) | Iff (a, b) ->
+    max (temporal_depth a) (temporal_depth b)
+  | Prev (_, a) | Once (_, a) | Historically (_, a)
+  | Next (_, a) | Eventually (_, a) | Always (_, a) -> 1 + temporal_depth a
+  | Since (_, a, b) | Until (_, a, b) ->
+    1 + max (temporal_depth a) (temporal_depth b)
+
+let rec temporal_count = function
+  | True | False | Atom _ | Inserted _ | Deleted _ | Cmp _ -> 0
+  | Not a | Exists (_, a) | Forall (_, a) -> temporal_count a
+  | And (a, b) | Or (a, b) | Implies (a, b) | Iff (a, b) ->
+    temporal_count a + temporal_count b
+  | Prev (_, a) | Once (_, a) | Historically (_, a)
+  | Next (_, a) | Eventually (_, a) | Always (_, a) -> 1 + temporal_count a
+  | Since (_, a, b) | Until (_, a, b) ->
+    1 + temporal_count a + temporal_count b
+
+let opt_add a b =
+  match a, b with
+  | Some x, Some y -> Some (x + y)
+  | _ -> None
+
+let opt_max a b =
+  match a, b with
+  | Some x, Some y -> Some (max x y)
+  | _ -> None
+
+let rec time_reach = function
+  | True | False | Atom _ | Cmp _ -> Some 0
+  (* transition atoms read the previous snapshot, which every checker
+     retains when needed; their time reach is unbounded in clock terms but
+     bounded in state count — for windowing purposes treat them as the
+     current state *)
+  | Inserted _ | Deleted _ -> Some 0
+  | Not a | Exists (_, a) | Forall (_, a) -> time_reach a
+  | And (a, b) | Or (a, b) | Implies (a, b) | Iff (a, b) ->
+    opt_max (time_reach a) (time_reach b)
+  | Prev (i, a) | Once (i, a) | Historically (i, a) ->
+    opt_add (Interval.hi i) (time_reach a)
+  | Since (i, a, b) ->
+    opt_add (Interval.hi i) (opt_max (time_reach a) (time_reach b))
+  | Next (_, a) | Eventually (_, a) | Always (_, a) -> time_reach a
+  | Until (_, a, b) -> opt_max (time_reach a) (time_reach b)
+
+let rec future_reach = function
+  | True | False | Atom _ | Cmp _ | Inserted _ | Deleted _ -> Some 0
+  | Not a | Exists (_, a) | Forall (_, a) -> future_reach a
+  | And (a, b) | Or (a, b) | Implies (a, b) | Iff (a, b) ->
+    opt_max (future_reach a) (future_reach b)
+  | Prev (_, a) | Once (_, a) | Historically (_, a) -> future_reach a
+  | Since (_, a, b) -> opt_max (future_reach a) (future_reach b)
+  | Next (i, a) | Eventually (i, a) | Always (i, a) ->
+    opt_add (Interval.hi i) (future_reach a)
+  | Until (i, a, b) ->
+    opt_add (Interval.hi i) (opt_max (future_reach a) (future_reach b))
+
+let rec past_only = function
+  | True | False | Atom _ | Cmp _ | Inserted _ | Deleted _ -> true
+  | Not a | Exists (_, a) | Forall (_, a)
+  | Prev (_, a) | Once (_, a) | Historically (_, a) -> past_only a
+  | And (a, b) | Or (a, b) | Implies (a, b) | Iff (a, b) | Since (_, a, b) ->
+    past_only a && past_only b
+  | Next _ | Until _ | Eventually _ | Always _ -> false
+
+let rec map_intervals g = function
+  | (True | False | Atom _ | Cmp _ | Inserted _ | Deleted _) as f -> f
+  | Not a -> Not (map_intervals g a)
+  | And (a, b) -> And (map_intervals g a, map_intervals g b)
+  | Or (a, b) -> Or (map_intervals g a, map_intervals g b)
+  | Implies (a, b) -> Implies (map_intervals g a, map_intervals g b)
+  | Iff (a, b) -> Iff (map_intervals g a, map_intervals g b)
+  | Exists (vs, a) -> Exists (vs, map_intervals g a)
+  | Forall (vs, a) -> Forall (vs, map_intervals g a)
+  | Prev (i, a) -> Prev (g i, map_intervals g a)
+  | Since (i, a, b) -> Since (g i, map_intervals g a, map_intervals g b)
+  | Once (i, a) -> Once (g i, map_intervals g a)
+  | Historically (i, a) -> Historically (g i, map_intervals g a)
+  | Next (i, a) -> Next (g i, map_intervals g a)
+  | Until (i, a, b) -> Until (g i, map_intervals g a, map_intervals g b)
+  | Eventually (i, a) -> Eventually (g i, map_intervals g a)
+  | Always (i, a) -> Always (g i, map_intervals g a)
+
+let rec has_transition_atoms = function
+  | True | False | Atom _ | Cmp _ -> false
+  | Inserted _ | Deleted _ -> true
+  | Not a | Exists (_, a) | Forall (_, a)
+  | Prev (_, a) | Once (_, a) | Historically (_, a)
+  | Next (_, a) | Eventually (_, a) | Always (_, a) -> has_transition_atoms a
+  | And (a, b) | Or (a, b) | Implies (a, b) | Iff (a, b) | Since (_, a, b)
+  | Until (_, a, b) ->
+    has_transition_atoms a || has_transition_atoms b

@@ -1,0 +1,143 @@
+(** Abstract syntax of real-time integrity constraints.
+
+    The constraint language is first-order logic over the current database
+    state, closed under the {e metric past} temporal operators of the paper:
+
+    - [Prev i f]           — ⊖{_I} f: f held at the previous state and the
+                             clock advance since then lies in [i];
+    - [Since (i, f, g)]    — f S{_I} g: g held at some past (or current)
+                             state within distance [i], and f held at every
+                             state since (strictly after that state);
+    - [Once (i, f)]        — ◆{_I} f ≡ ⊤ S{_I} f;
+    - [Historically (i,f)] — ■{_I} f ≡ ¬◆{_I}¬f.
+
+    A {e constraint} is a named closed formula required to hold at every
+    state of the timed history. *)
+
+type term =
+  | Var of string
+  | Const of Rtic_relational.Value.t
+  | Add of term * term
+      (** Arithmetic is allowed in comparisons only (never as a relation
+          argument), over operands of one numeric type. *)
+  | Sub of term * term
+  | Mul of term * term
+
+(** Comparison operators usable in formulas. [Lt]/[Le]/[Gt]/[Ge] are defined
+    on numeric values only. *)
+type cmp =
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+
+type t =
+  | True
+  | False
+  | Atom of string * term list   (** [R(t1, ..., tk)] over the current state. *)
+  | Inserted of string * term list
+      (** [+R(t1, ..., tk)] — transition atom: the tuples of [R] present in
+          the current state but not in the previous one (at position 0:
+          everything in [R]). The active-DBMS "inserted" transition table. *)
+  | Deleted of string * term list
+      (** [-R(t1, ..., tk)] — the tuples of [R] present in the previous
+          state but no longer in the current one (empty at position 0). *)
+  | Cmp of cmp * term * term
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Implies of t * t
+  | Iff of t * t
+  | Exists of string list * t
+  | Forall of string list * t
+  | Prev of Rtic_temporal.Interval.t * t
+  | Since of Rtic_temporal.Interval.t * t * t
+  | Once of Rtic_temporal.Interval.t * t
+  | Historically of Rtic_temporal.Interval.t * t
+  | Next of Rtic_temporal.Interval.t * t
+      (** ⊕{_I} f — bounded future: f holds at the next state and the clock
+          advance lies in [I]. Checked by verdict delay (see
+          {!Rtic_core.Future}); the upper bound must be finite. *)
+  | Until of Rtic_temporal.Interval.t * t * t
+      (** f U{_I} g — bounded future: g holds at some state at distance in
+          [I], f holds at every state from now until just before it. *)
+  | Eventually of Rtic_temporal.Interval.t * t
+      (** ◇{_I} f ≡ ⊤ U{_I} f. *)
+  | Always of Rtic_temporal.Interval.t * t
+      (** □{_I} f ≡ ¬◇{_I}¬f. *)
+
+(** A named constraint. *)
+type def = {
+  name : string;
+  body : t;
+}
+
+val compare : t -> t -> int
+(** Structural total order. *)
+
+val equal : t -> t -> bool
+(** Structural equality. *)
+
+module Var_set : Set.S with type elt = string
+(** Sets of variable names. *)
+
+val term_vars : term -> Var_set.t
+(** Variables of a term. *)
+
+val free_vars : t -> Var_set.t
+(** Free variables. *)
+
+val free_var_list : t -> string list
+(** Free variables as a sorted list. *)
+
+val is_closed : t -> bool
+(** [true] iff the formula has no free variable. *)
+
+val atoms : t -> (string * term list) list
+(** All relational atoms, in syntactic order, with duplicates. *)
+
+val relations : t -> string list
+(** Names of relations mentioned, sorted, distinct. *)
+
+val subst : (string * Rtic_relational.Value.t) list -> t -> t
+(** [subst bindings f] replaces free occurrences of each bound variable by
+    the given constant. Quantifiers shadow as expected. *)
+
+val size : t -> int
+(** Number of AST nodes. *)
+
+val temporal_depth : t -> int
+(** Maximal nesting depth of temporal operators. *)
+
+val temporal_count : t -> int
+(** Number of temporal operator occurrences. *)
+
+val time_reach : t -> int option
+(** How far back in time the truth of the formula can depend on the history:
+    [Some d] if states older than [d] ticks can never matter, [None] if the
+    dependency is unbounded. [Prev] contributes its upper bound (it reaches
+    one state back, but that state can be up to [hi] ticks away — [None] for
+    an unbounded previous). Future operators contribute the past reach of
+    their arguments only. This is the paper's {e lookback window}; the
+    bounded-history encoding prunes against it. *)
+
+val future_reach : t -> int option
+(** How far {e forward} in time the truth of the formula can depend on the
+    history: [Some 0] for pure-past formulas, [Some d] when states more than
+    [d] ticks ahead can never matter, [None] when some future interval is
+    unbounded (such formulas cannot be monitored). The horizon of the
+    verdict delay in {!Rtic_core.Future}. *)
+
+val past_only : t -> bool
+(** [true] iff the formula contains no future operator — the fragment the
+    paper's incremental checker accepts directly. *)
+
+val map_intervals : (Rtic_temporal.Interval.t -> Rtic_temporal.Interval.t) -> t -> t
+(** Rewrite every operator interval (used by tests and benchmarks to sweep
+    window widths). *)
+
+val has_transition_atoms : t -> bool
+(** [true] iff the formula mentions [Inserted]/[Deleted] atoms — the
+    incremental checker then retains the previous snapshot to answer them. *)

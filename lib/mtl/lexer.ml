@@ -1,0 +1,230 @@
+type token =
+  | IDENT of string
+  | INT of int
+  | REAL of float
+  | STRING of string
+  | KW of string
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | DOT
+  | COLON
+  | SEMI
+  | AMP
+  | BAR
+  | BANG
+  | ARROW
+  | IFFARROW
+  | EQUAL
+  | NOTEQUAL
+  | LESS
+  | LESSEQ
+  | GREATER
+  | GREATEREQ
+  | PLUS
+  | MINUS
+  | STAR
+  | EOF
+
+type spanned = {
+  tok : token;
+  line : int;
+  col : int;
+}
+
+let keywords =
+  [ "forall"; "exists"; "not"; "and"; "or"; "since"; "once"; "historically";
+    "prev"; "next"; "until"; "eventually"; "always"; "true"; "false"; "inf";
+    "constraint"; "schema"; "key"; "reference" ]
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '\''
+let is_digit c = c >= '0' && c <= '9'
+
+let describe = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | INT n -> Printf.sprintf "integer %d" n
+  | REAL f -> Printf.sprintf "real %g" f
+  | STRING s -> Printf.sprintf "string %S" s
+  | KW s -> Printf.sprintf "keyword '%s'" s
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | LBRACKET -> "'['"
+  | RBRACKET -> "']'"
+  | COMMA -> "','"
+  | DOT -> "'.'"
+  | COLON -> "':'"
+  | SEMI -> "';'"
+  | AMP -> "'&'"
+  | BAR -> "'|'"
+  | BANG -> "'!'"
+  | ARROW -> "'->'"
+  | IFFARROW -> "'<->'"
+  | EQUAL -> "'='"
+  | NOTEQUAL -> "'!='"
+  | LESS -> "'<'"
+  | LESSEQ -> "'<='"
+  | GREATER -> "'>'"
+  | GREATEREQ -> "'>='"
+  | PLUS -> "'+'"
+  | MINUS -> "'-'"
+  | STAR -> "'*'"
+  | EOF -> "end of input"
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 and bol = ref 0 in
+  let error i msg =
+    Error (Printf.sprintf "line %d, column %d: %s" !line (i - !bol + 1) msg)
+  in
+  let emit i tok = toks := { tok; line = !line; col = i - !bol + 1 } :: !toks in
+  let prev_ends_term () =
+    match !toks with
+    | { tok = IDENT _ | INT _ | REAL _ | RPAREN; _ } :: _ -> true
+    | _ -> false
+  in
+  let peek i = if i < n then Some src.[i] else None in
+  let rec skip_line i = if i < n && src.[i] <> '\n' then skip_line (i + 1) else i in
+  let number i =
+    (* already at a digit or '-' followed by digit *)
+    let start = i in
+    let i = if src.[i] = '-' then i + 1 else i in
+    let rec digits j = if j < n && is_digit src.[j] then digits (j + 1) else j in
+    let j = digits i in
+    let j, is_real =
+      if j < n && src.[j] = '.' && j + 1 < n && is_digit src.[j + 1] then
+        (digits (j + 1), true)
+      else (j, false)
+    in
+    let j, is_real =
+      if j < n && (src.[j] = 'e' || src.[j] = 'E') then
+        let k = j + 1 in
+        let k = if k < n && (src.[k] = '+' || src.[k] = '-') then k + 1 else k in
+        if k < n && is_digit src.[k] then (digits k, true) else (j, is_real)
+      else (j, is_real)
+    in
+    let text = String.sub src start (j - start) in
+    if is_real then
+      match float_of_string_opt text with
+      | Some f ->
+        emit start (REAL f);
+        Ok j
+      | None -> error start ("bad real literal " ^ text)
+    else
+      match int_of_string_opt text with
+      | Some v ->
+        emit start (INT v);
+        Ok j
+      | None -> error start ("bad integer literal " ^ text)
+  in
+  let string_lit i =
+    let buf = Buffer.create 16 in
+    let rec go j =
+      if j >= n then error i "unterminated string literal"
+      else
+        match src.[j] with
+        | '"' ->
+          emit i (STRING (Buffer.contents buf));
+          Ok (j + 1)
+        | '\\' ->
+          if j + 1 >= n then error i "unterminated escape"
+          else begin
+            (match src.[j + 1] with
+             | 'n' -> Buffer.add_char buf '\n'
+             | 't' -> Buffer.add_char buf '\t'
+             | '\\' -> Buffer.add_char buf '\\'
+             | '"' -> Buffer.add_char buf '"'
+             | c -> Buffer.add_char buf c);
+            go (j + 2)
+          end
+        | '\n' -> error i "newline in string literal"
+        | c ->
+          Buffer.add_char buf c;
+          go (j + 1)
+    in
+    go (i + 1)
+  in
+  let rec loop i =
+    if i >= n then begin
+      emit i EOF;
+      Ok (List.rev !toks)
+    end
+    else
+      let c = src.[i] in
+      match c with
+      | ' ' | '\t' | '\r' -> loop (i + 1)
+      | '\n' ->
+        incr line;
+        bol := i + 1;
+        loop (i + 1)
+      | '#' -> loop (skip_line i)
+      | '/' when peek (i + 1) = Some '/' -> loop (skip_line i)
+      | '(' -> emit i LPAREN; loop (i + 1)
+      | ')' -> emit i RPAREN; loop (i + 1)
+      | '[' -> emit i LBRACKET; loop (i + 1)
+      | ']' -> emit i RBRACKET; loop (i + 1)
+      | ',' -> emit i COMMA; loop (i + 1)
+      | '.' -> emit i DOT; loop (i + 1)
+      | ':' -> emit i COLON; loop (i + 1)
+      | ';' -> emit i SEMI; loop (i + 1)
+      | '&' -> emit i AMP; loop (i + 1)
+      | '|' -> emit i BAR; loop (i + 1)
+      | '"' -> (match string_lit i with Ok j -> loop j | Error _ as e -> e)
+      | '!' ->
+        if peek (i + 1) = Some '=' then begin
+          emit i NOTEQUAL;
+          loop (i + 2)
+        end
+        else begin
+          emit i BANG;
+          loop (i + 1)
+        end
+      | '=' -> emit i EQUAL; loop (i + 1)
+      | '<' ->
+        (match peek (i + 1), peek (i + 2) with
+         | Some '-', Some '>' ->
+           emit i IFFARROW;
+           loop (i + 3)
+         | Some '=', _ ->
+           emit i LESSEQ;
+           loop (i + 2)
+         | _ ->
+           emit i LESS;
+           loop (i + 1))
+      | '>' ->
+        if peek (i + 1) = Some '=' then begin
+          emit i GREATEREQ;
+          loop (i + 2)
+        end
+        else begin
+          emit i GREATER;
+          loop (i + 1)
+        end
+      | '+' -> emit i PLUS; loop (i + 1)
+      | '*' -> emit i STAR; loop (i + 1)
+      | '-' ->
+        (match peek (i + 1) with
+         | Some '>' ->
+           emit i ARROW;
+           loop (i + 2)
+         | Some d when is_digit d && not (prev_ends_term ()) ->
+           (match number i with Ok j -> loop j | Error _ as e -> e)
+         | _ ->
+           emit i MINUS;
+           loop (i + 1))
+      | c when is_digit c ->
+        (match number i with Ok j -> loop j | Error _ as e -> e)
+      | c when is_ident_start c ->
+        let rec stop j = if j < n && is_ident_char src.[j] then stop (j + 1) else j in
+        let j = stop i in
+        let word = String.sub src i (j - i) in
+        if List.mem word keywords then emit i (KW word) else emit i (IDENT word);
+        loop j
+      | c -> error i (Printf.sprintf "unexpected character %C" c)
+  in
+  loop 0

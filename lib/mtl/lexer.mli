@@ -1,0 +1,54 @@
+(** Lexer for the constraint concrete syntax.
+
+    Produces the token stream consumed by {!Parser}. Comments start with [#]
+    or [//] and extend to the end of the line. *)
+
+(** Tokens. *)
+type token =
+  | IDENT of string      (** identifiers: [[A-Za-z_][A-Za-z0-9_']*], minus keywords *)
+  | INT of int           (** integer literals, possibly negative *)
+  | REAL of float        (** floating literals (contain ['.'] or exponent) *)
+  | STRING of string     (** double-quoted, with escapes *)
+  | KW of string         (** keywords: forall exists not and or since until once
+                             historically prev next eventually always true
+                             false inf constraint schema key reference *)
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | DOT
+  | COLON
+  | SEMI
+  | AMP                  (** [&] *)
+  | BAR                  (** [|] *)
+  | BANG                 (** [!] *)
+  | ARROW                (** [->] *)
+  | IFFARROW             (** [<->] *)
+  | EQUAL                (** [=] *)
+  | NOTEQUAL             (** [!=] *)
+  | LESS                 (** [<] *)
+  | LESSEQ               (** [<=] *)
+  | GREATER              (** [>] *)
+  | GREATEREQ            (** [>=] *)
+  | PLUS                 (** [+] *)
+  | MINUS                (** binary [-]; [-3] lexes as a negative literal
+                             except right after a term-ending token *)
+  | STAR                 (** [*] *)
+  | EOF
+
+type spanned = {
+  tok : token;
+  line : int;   (** 1-based *)
+  col : int;    (** 1-based *)
+}
+
+val keywords : string list
+(** The reserved words. *)
+
+val tokenize : string -> (spanned list, string) result
+(** Lex a whole input; the result always ends with an [EOF] token. Errors
+    mention line and column. *)
+
+val describe : token -> string
+(** Human-readable token name for error messages. *)

@@ -1,0 +1,465 @@
+module Value = Rtic_relational.Value
+module Schema = Rtic_relational.Schema
+module Interval = Rtic_temporal.Interval
+open Formula
+
+type spec = {
+  catalog : Schema.Catalog.t;
+  defs : Formula.def list;
+}
+
+exception Parse_error of string
+
+type state = {
+  toks : Lexer.spanned array;
+  mutable pos : int;
+}
+
+let peek st = st.toks.(st.pos).tok
+
+let fail_at st msg =
+  let s = st.toks.(st.pos) in
+  raise
+    (Parse_error (Printf.sprintf "line %d, column %d: %s" s.line s.col msg))
+
+let expected st what =
+  fail_at st
+    (Printf.sprintf "expected %s, found %s" what (Lexer.describe (peek st)))
+
+let advance st = st.pos <- st.pos + 1
+
+let eat st tok what =
+  if peek st = tok then advance st else expected st what
+
+let eat_kw st kw = eat st (Lexer.KW kw) (Printf.sprintf "'%s'" kw)
+
+(* interval ::= '[' nat ',' (nat | 'inf') ']'   (optional; default [0,inf]) *)
+let parse_interval_opt st =
+  match peek st with
+  | Lexer.LBRACKET ->
+    advance st;
+    let l =
+      match peek st with
+      | Lexer.INT l when l >= 0 ->
+        advance st;
+        l
+      | Lexer.INT _ -> fail_at st "interval bounds must be non-negative"
+      | _ -> expected st "a natural number"
+    in
+    eat st Lexer.COMMA "','";
+    let u =
+      match peek st with
+      | Lexer.INT u when u >= 0 ->
+        advance st;
+        Some u
+      | Lexer.INT _ -> fail_at st "interval bounds must be non-negative"
+      | Lexer.KW "inf" ->
+        advance st;
+        None
+      | _ -> expected st "a natural number or 'inf'"
+    in
+    eat st Lexer.RBRACKET "']'";
+    (match u with
+     | Some u when u < l -> fail_at st "empty interval: upper bound below lower"
+     | _ -> Interval.make l u)
+  | _ -> Interval.full
+
+let parse_term_opt st =
+  match peek st with
+  | Lexer.IDENT x ->
+    (* Only a term if not a relation atom, which the caller checks. *)
+    advance st;
+    Some (Var x)
+  | Lexer.INT n ->
+    advance st;
+    Some (Const (Value.Int n))
+  | Lexer.REAL f ->
+    advance st;
+    Some (Const (Value.Real f))
+  | Lexer.STRING s ->
+    advance st;
+    Some (Const (Value.Str s))
+  | _ -> None
+
+let parse_cmp_opt st =
+  let c =
+    match peek st with
+    | Lexer.EQUAL -> Some Eq
+    | Lexer.NOTEQUAL -> Some Ne
+    | Lexer.LESS -> Some Lt
+    | Lexer.LESSEQ -> Some Le
+    | Lexer.GREATER -> Some Gt
+    | Lexer.GREATEREQ -> Some Ge
+    | _ -> None
+  in
+  if c <> None then advance st;
+  c
+
+let parse_varlist st =
+  let rec go acc =
+    match peek st with
+    | Lexer.IDENT x ->
+      advance st;
+      if peek st = Lexer.COMMA then begin
+        advance st;
+        go (x :: acc)
+      end
+      else List.rev (x :: acc)
+    | _ -> expected st "a variable name"
+  in
+  go []
+
+let rec parse_formula st =
+  match peek st with
+  | Lexer.KW (("forall" | "exists") as q) ->
+    advance st;
+    let vs = parse_varlist st in
+    eat st Lexer.DOT "'.'";
+    let body = parse_formula st in
+    if q = "forall" then Forall (vs, body) else Exists (vs, body)
+  | _ -> parse_iff st
+
+and parse_iff st =
+  let rec go acc =
+    if peek st = Lexer.IFFARROW then begin
+      advance st;
+      let rhs = parse_implies st in
+      go (Iff (acc, rhs))
+    end
+    else acc
+  in
+  go (parse_implies st)
+
+and parse_implies st =
+  let lhs = parse_or st in
+  if peek st = Lexer.ARROW then begin
+    advance st;
+    let rhs = parse_implies st in
+    Implies (lhs, rhs)
+  end
+  else lhs
+
+and parse_or st =
+  let rec go acc =
+    match peek st with
+    | Lexer.BAR | Lexer.KW "or" ->
+      advance st;
+      let rhs = parse_and st in
+      go (Or (acc, rhs))
+    | _ -> acc
+  in
+  go (parse_and st)
+
+and parse_and st =
+  let rec go acc =
+    match peek st with
+    | Lexer.AMP | Lexer.KW "and" ->
+      advance st;
+      let rhs = parse_since st in
+      go (And (acc, rhs))
+    | _ -> acc
+  in
+  go (parse_since st)
+
+and parse_since st =
+  let rec go acc =
+    match peek st with
+    | Lexer.KW "since" ->
+      advance st;
+      let i = parse_interval_opt st in
+      let rhs = parse_unary st in
+      go (Since (i, acc, rhs))
+    | Lexer.KW "until" ->
+      advance st;
+      let i = parse_interval_opt st in
+      let rhs = parse_unary st in
+      go (Until (i, acc, rhs))
+    | _ -> acc
+  in
+  go (parse_unary st)
+
+and parse_unary st =
+  match peek st with
+  | Lexer.KW "not" | Lexer.BANG ->
+    advance st;
+    Not (parse_unary st)
+  | Lexer.KW "once" ->
+    advance st;
+    let i = parse_interval_opt st in
+    Once (i, parse_unary st)
+  | Lexer.KW "historically" ->
+    advance st;
+    let i = parse_interval_opt st in
+    Historically (i, parse_unary st)
+  | Lexer.KW "prev" ->
+    advance st;
+    let i = parse_interval_opt st in
+    Prev (i, parse_unary st)
+  | Lexer.KW "next" ->
+    advance st;
+    let i = parse_interval_opt st in
+    Next (i, parse_unary st)
+  | Lexer.KW "eventually" ->
+    advance st;
+    let i = parse_interval_opt st in
+    Eventually (i, parse_unary st)
+  | Lexer.KW "always" ->
+    advance st;
+    let i = parse_interval_opt st in
+    Always (i, parse_unary st)
+  | _ -> parse_atom st
+
+and parse_atom st =
+  match peek st with
+  | Lexer.PLUS | Lexer.MINUS ->
+    let deleted = peek st = Lexer.MINUS in
+    advance st;
+    (match peek st with
+     | Lexer.IDENT name when st.toks.(st.pos + 1).tok = Lexer.LPAREN ->
+       advance st;
+       advance st;
+       let ts = parse_atom_args st in
+       eat st Lexer.RPAREN "')'";
+       if deleted then Deleted (name, ts) else Inserted (name, ts)
+     | _ -> expected st "a relation atom after the transition sign")
+  | Lexer.LPAREN ->
+    (* Ambiguity: '(' may open a parenthesized formula or a parenthesized
+       arithmetic term heading a comparison. Try the formula reading first
+       and fall back to the arithmetic one. *)
+    let save = st.pos in
+    (try
+       advance st;
+       let f = parse_formula st in
+       eat st Lexer.RPAREN "')'";
+       f
+     with Parse_error _ ->
+       st.pos <- save;
+       let lhs = parse_arith st in
+       finish_cmp st lhs)
+  | Lexer.KW "true" when next_is_cmp st ->
+    advance st;
+    finish_cmp st (Const (Value.Bool true))
+  | Lexer.KW "false" when next_is_cmp st ->
+    advance st;
+    finish_cmp st (Const (Value.Bool false))
+  | Lexer.KW "true" ->
+    advance st;
+    True
+  | Lexer.KW "false" ->
+    advance st;
+    False
+  | Lexer.IDENT name when st.toks.(st.pos + 1).tok = Lexer.LPAREN ->
+    advance st;
+    advance st;
+    let ts = parse_atom_args st in
+    eat st Lexer.RPAREN "')'";
+    Atom (name, ts)
+  | _ ->
+    let lhs = parse_arith st in
+    finish_cmp st lhs
+
+and parse_atom_args st =
+  let rec args acc =
+    match parse_term_opt st with
+    | None ->
+      if acc = [] && peek st = Lexer.RPAREN then List.rev acc
+      else expected st "a term"
+    | Some t ->
+      if peek st = Lexer.COMMA then begin
+        advance st;
+        args (t :: acc)
+      end
+      else List.rev (t :: acc)
+  in
+  args []
+
+(* arithmetic terms:  arith ::= mul (('+'|'-') mul)*
+                      mul   ::= prim ('*' prim)*
+                      prim  ::= ident | literal | '(' arith ')'  *)
+and parse_arith st =
+  let rec go acc =
+    match peek st with
+    | Lexer.PLUS ->
+      advance st;
+      go (Add (acc, parse_arith_mul st))
+    | Lexer.MINUS ->
+      advance st;
+      go (Sub (acc, parse_arith_mul st))
+    | _ -> acc
+  in
+  go (parse_arith_mul st)
+
+and parse_arith_mul st =
+  let rec go acc =
+    match peek st with
+    | Lexer.STAR ->
+      advance st;
+      go (Mul (acc, parse_arith_prim st))
+    | _ -> acc
+  in
+  go (parse_arith_prim st)
+
+and parse_arith_prim st =
+  match peek st with
+  | Lexer.LPAREN ->
+    advance st;
+    let t = parse_arith st in
+    eat st Lexer.RPAREN "')'";
+    t
+  | _ ->
+    (match parse_term_opt st with
+     | Some t -> t
+     | None -> expected st "a term")
+
+and next_is_cmp st =
+  match st.toks.(st.pos + 1).tok with
+  | Lexer.EQUAL | Lexer.NOTEQUAL | Lexer.LESS | Lexer.LESSEQ | Lexer.GREATER
+  | Lexer.GREATEREQ -> true
+  | _ -> false
+
+and finish_cmp st lhs =
+  match parse_cmp_opt st with
+  | None -> expected st "a comparison operator"
+  | Some c ->
+    let rhs =
+      match peek st with
+      | Lexer.KW "true" ->
+        advance st;
+        Const (Value.Bool true)
+      | Lexer.KW "false" ->
+        advance st;
+        Const (Value.Bool false)
+      | _ -> parse_arith st
+    in
+    Cmp (c, lhs, rhs)
+
+(* schema ::= 'schema' IDENT '(' IDENT ':' IDENT, ... ')' *)
+let parse_schema st =
+  eat_kw st "schema";
+  let name =
+    match peek st with
+    | Lexer.IDENT x ->
+      advance st;
+      x
+    | _ -> expected st "a relation name"
+  in
+  eat st Lexer.LPAREN "'('";
+  let rec attrs acc =
+    match peek st with
+    | Lexer.IDENT a ->
+      advance st;
+      eat st Lexer.COLON "':'";
+      let ty =
+        match peek st with
+        | Lexer.IDENT ty_s ->
+          (match Value.ty_of_name ty_s with
+           | Some ty ->
+             advance st;
+             ty
+           | None -> fail_at st (Printf.sprintf "unknown type %S" ty_s))
+        | _ -> expected st "a type name (int, str, bool, real)"
+      in
+      if peek st = Lexer.COMMA then begin
+        advance st;
+        attrs ((a, ty) :: acc)
+      end
+      else List.rev ((a, ty) :: acc)
+    | _ -> expected st "an attribute name"
+  in
+  let attrs = attrs [] in
+  eat st Lexer.RPAREN "')'";
+  try Schema.make name attrs with Invalid_argument m -> fail_at st m
+
+(* 'key' IDENT '(' IDENT, ... ')'
+   'reference' IDENT '(' IDENT, ... ')' '->' IDENT '(' IDENT, ... ')' *)
+let parse_attr_list st =
+  eat st Lexer.LPAREN "'('";
+  let rec go acc =
+    match peek st with
+    | Lexer.IDENT a ->
+      advance st;
+      if peek st = Lexer.COMMA then begin
+        advance st;
+        go (a :: acc)
+      end
+      else List.rev (a :: acc)
+    | _ -> expected st "an attribute name"
+  in
+  let attrs = go [] in
+  eat st Lexer.RPAREN "')'";
+  attrs
+
+let parse_rel_attrs st =
+  match peek st with
+  | Lexer.IDENT rel ->
+    advance st;
+    let attrs = parse_attr_list st in
+    (rel, attrs)
+  | _ -> expected st "a relation name"
+
+let parse_key st =
+  eat_kw st "key";
+  let rel, attrs = parse_rel_attrs st in
+  Sugar.Key (rel, attrs)
+
+let parse_reference st =
+  eat_kw st "reference";
+  let r, r_attrs = parse_rel_attrs st in
+  eat st Lexer.ARROW "'->'";
+  let s, s_attrs = parse_rel_attrs st in
+  Sugar.Reference (r, r_attrs, s, s_attrs)
+
+(* constraint ::= 'constraint' IDENT ':' formula ';' *)
+let parse_def st =
+  eat_kw st "constraint";
+  let name =
+    match peek st with
+    | Lexer.IDENT x ->
+      advance st;
+      x
+    | _ -> expected st "a constraint name"
+  in
+  eat st Lexer.COLON "':'";
+  let body = parse_formula st in
+  eat st Lexer.SEMI "';'";
+  { name; body }
+
+let with_tokens src k =
+  match Lexer.tokenize src with
+  | Error m -> Error m
+  | Ok toks ->
+    let st = { toks = Array.of_list toks; pos = 0 } in
+    (try
+       let v = k st in
+       if peek st <> Lexer.EOF then
+         expected st "end of input"
+       else Ok v
+     with Parse_error m -> Error m)
+
+let formula_of_string src = with_tokens src parse_formula
+let def_of_string src = with_tokens src parse_def
+
+let spec_of_string src =
+  with_tokens src (fun st ->
+      let rec add_def cat defs d =
+        if List.exists (fun d' -> d'.name = d.name) defs then
+          fail_at st (Printf.sprintf "duplicate constraint name %s" d.name)
+        else go cat (d :: defs)
+      and go cat defs =
+        match peek st with
+        | Lexer.EOF -> { catalog = cat; defs = List.rev defs }
+        | Lexer.KW "schema" -> go (Schema.Catalog.add (parse_schema st) cat) defs
+        | Lexer.KW "key" ->
+          let decl = parse_key st in
+          (match Sugar.desugar cat decl with
+           | Ok d -> add_def cat defs d
+           | Error m -> fail_at st m)
+        | Lexer.KW "reference" ->
+          let decl = parse_reference st in
+          (match Sugar.desugar cat decl with
+           | Ok d -> add_def cat defs d
+           | Error m -> fail_at st m)
+        | Lexer.KW "constraint" -> add_def cat defs (parse_def st)
+        | _ -> expected st "'schema', 'key', 'reference' or 'constraint'"
+      in
+      go Schema.Catalog.empty [])

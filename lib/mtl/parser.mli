@@ -1,0 +1,49 @@
+(** Recursive-descent parser for the constraint concrete syntax.
+
+    Formula grammar (precedence increases downward; [I] is an optional
+    metric interval [\[l,u\]] with [u] a natural or [inf], defaulting to
+    [\[0,inf\]]):
+
+    {v
+    formula   ::= ('forall' | 'exists') x1, ..., xk '.' formula
+                | iff
+    iff       ::= implies ('<->' implies)*            (left-assoc)
+    implies   ::= or ('->' implies)?                  (right-assoc)
+    or        ::= and (('|' | 'or') and)*
+    and       ::= since (('&' | 'and') since)*
+    since     ::= unary ('since' I unary)*            (left-assoc)
+    unary     ::= ('not' | '!') unary
+                | 'once' I unary | 'historically' I unary | 'prev' I unary
+                | atom
+    atom      ::= 'true' | 'false'
+                | ident '(' term, ... ')'
+                | term cmp term
+                | '(' formula ')'
+    term      ::= ident | integer | real | string | 'true' | 'false'
+    cmp       ::= '=' | '!=' | '<' | '<=' | '>' | '>='
+    v}
+
+    A specification file is a sequence of schema declarations and named
+    constraints:
+
+    {v
+    schema emp(name:str, sal:int)
+    constraint salary_known:
+      forall e, s. emp(e, s) -> s >= 0 ;
+    v} *)
+
+type spec = {
+  catalog : Rtic_relational.Schema.Catalog.t;
+  defs : Formula.def list;
+}
+(** A parsed specification: declared schemas and constraints, in file
+    order. *)
+
+val formula_of_string : string -> (Formula.t, string) result
+(** Parse a single formula (the whole input must be consumed). *)
+
+val def_of_string : string -> (Formula.def, string) result
+(** Parse a single [constraint name: body ;] declaration. *)
+
+val spec_of_string : string -> (spec, string) result
+(** Parse a specification file. Constraint names must be distinct. *)

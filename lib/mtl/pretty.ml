@@ -1,0 +1,130 @@
+module Value = Rtic_relational.Value
+module Interval = Rtic_temporal.Interval
+open Formula
+
+(* Term precedence: 1 = additive, 2 = multiplicative, 3 = primary.
+   Left operands print at the operator's own level (left associativity),
+   right operands one level up. *)
+let rec term_go lvl ppf t =
+  let level = match t with
+    | Var _ | Const _ -> 3
+    | Mul _ -> 2
+    | Add _ | Sub _ -> 1
+  in
+  let wrap body =
+    if level < lvl then begin
+      Format.pp_print_char ppf '(';
+      body ();
+      Format.pp_print_char ppf ')'
+    end
+    else body ()
+  in
+  match t with
+  | Var x -> Format.pp_print_string ppf x
+  | Const v -> Value.pp ppf v
+  | Add (a, b) ->
+    wrap (fun () ->
+        Format.fprintf ppf "%a + %a" (term_go 1) a (term_go 2) b)
+  | Sub (a, b) ->
+    wrap (fun () ->
+        Format.fprintf ppf "%a - %a" (term_go 1) a (term_go 2) b)
+  | Mul (a, b) ->
+    wrap (fun () ->
+        Format.fprintf ppf "%a * %a" (term_go 2) a (term_go 3) b)
+
+let pp_term ppf t = term_go 1 ppf t
+
+let cmp_name = function
+  | Eq -> "="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let pp_cmp ppf c = Format.pp_print_string ppf (cmp_name c)
+
+(* Precedence levels, higher binds tighter:
+   0 quantifiers  1 iff  2 implies  3 or  4 and  5 since  6 unary  7 atoms.
+   [go min_level] parenthesizes any construct whose level is below
+   [min_level]. Binary operators print their "continuing" side at their own
+   level and the other side one level up, so that re-parsing rebuilds the
+   same tree ('&' and '|' and 'since' associate left, '->' right). *)
+let rec go min_level ppf f =
+  let level =
+    match f with
+    | Exists _ | Forall _ -> 0
+    | Iff _ -> 1
+    | Implies _ -> 2
+    | Or _ -> 3
+    | And _ -> 4
+    | Since _ | Until _ -> 5
+    | Not _ | Once _ | Historically _ | Prev _ | Next _ | Eventually _
+    | Always _ -> 6
+    | True | False | Atom _ | Inserted _ | Deleted _ | Cmp _ -> 7
+  in
+  let atomic fmt = Format.fprintf ppf fmt in
+  let wrap body =
+    if level < min_level then begin
+      Format.pp_print_char ppf '(';
+      body ();
+      Format.pp_print_char ppf ')'
+    end
+    else body ()
+  in
+  match f with
+  | True -> atomic "true"
+  | False -> atomic "false"
+  | Atom (r, ts) | Inserted (r, ts) | Deleted (r, ts) ->
+    let sign =
+      match f with Inserted _ -> "+" | Deleted _ -> "-" | _ -> ""
+    in
+    Format.fprintf ppf "%s%s(%a)" sign r
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         pp_term)
+      ts
+  | Cmp (c, l, r) ->
+    Format.fprintf ppf "%a %s %a" pp_term l (cmp_name c) pp_term r
+  | Not a -> wrap (fun () -> Format.fprintf ppf "not %a" (go 6) a)
+  | Once (i, a) ->
+    wrap (fun () -> Format.fprintf ppf "once%a %a" Interval.pp i (go 6) a)
+  | Historically (i, a) ->
+    wrap (fun () ->
+        Format.fprintf ppf "historically%a %a" Interval.pp i (go 6) a)
+  | Prev (i, a) ->
+    wrap (fun () -> Format.fprintf ppf "prev%a %a" Interval.pp i (go 6) a)
+  | Since (i, a, b) ->
+    wrap (fun () ->
+        Format.fprintf ppf "%a since%a %a" (go 5) a Interval.pp i (go 6) b)
+  | Until (i, a, b) ->
+    wrap (fun () ->
+        Format.fprintf ppf "%a until%a %a" (go 5) a Interval.pp i (go 6) b)
+  | Next (i, a) ->
+    wrap (fun () -> Format.fprintf ppf "next%a %a" Interval.pp i (go 6) a)
+  | Eventually (i, a) ->
+    wrap (fun () -> Format.fprintf ppf "eventually%a %a" Interval.pp i (go 6) a)
+  | Always (i, a) ->
+    wrap (fun () -> Format.fprintf ppf "always%a %a" Interval.pp i (go 6) a)
+  | And (a, b) ->
+    wrap (fun () -> Format.fprintf ppf "%a & %a" (go 4) a (go 5) b)
+  | Or (a, b) ->
+    wrap (fun () -> Format.fprintf ppf "%a | %a" (go 3) a (go 4) b)
+  | Implies (a, b) ->
+    wrap (fun () -> Format.fprintf ppf "%a -> %a" (go 3) a (go 2) b)
+  | Iff (a, b) ->
+    wrap (fun () -> Format.fprintf ppf "%a <-> %a" (go 1) a (go 2) b)
+  | Exists (vs, a) ->
+    wrap (fun () ->
+        Format.fprintf ppf "exists %s. %a" (String.concat ", " vs) (go 0) a)
+  | Forall (vs, a) ->
+    wrap (fun () ->
+        Format.fprintf ppf "forall %s. %a" (String.concat ", " vs) (go 0) a)
+
+let pp ppf f = go 0 ppf f
+let to_string f = Format.asprintf "%a" pp f
+
+let pp_def ppf (d : def) =
+  Format.fprintf ppf "constraint %s:@ %a ;" d.name pp d.body
+
+let def_to_string d = Format.asprintf "%a" pp_def d

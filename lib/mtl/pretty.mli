@@ -1,0 +1,24 @@
+(** Pretty-printing of formulas in the concrete syntax.
+
+    The output re-parses to a structurally identical formula:
+    [Parser.formula_of_string (Pretty.to_string f) = Ok f] for every
+    well-formed [f]. Parentheses are inserted only where the precedence and
+    associativity of the grammar require them. *)
+
+val pp_term : Format.formatter -> Formula.term -> unit
+(** Print a term: a variable name or a value literal. *)
+
+val pp_cmp : Format.formatter -> Formula.cmp -> unit
+(** Print a comparison operator ([=], [!=], [<], [<=], [>], [>=]). *)
+
+val pp : Format.formatter -> Formula.t -> unit
+(** Print a formula. *)
+
+val to_string : Formula.t -> string
+(** [to_string f] is [Format.asprintf "%a" pp f]. *)
+
+val pp_def : Format.formatter -> Formula.def -> unit
+(** Print a constraint declaration: [constraint name: body ;]. *)
+
+val def_to_string : Formula.def -> string
+(** [def_to_string d] is [Format.asprintf "%a" pp_def d]. *)

@@ -1,0 +1,133 @@
+open Formula
+
+let flip_cmp = function
+  | Eq -> Ne
+  | Ne -> Eq
+  | Lt -> Ge
+  | Le -> Gt
+  | Gt -> Le
+  | Ge -> Lt
+
+(* Smart negation: cancel double negations and flip comparisons as we
+   build, so that e.g. [not (s >= s0)] becomes the guardable filter
+   [s < s0]. *)
+let neg = function
+  | Not a -> a
+  | True -> False
+  | False -> True
+  | Cmp (c, l, r) -> Cmp (flip_cmp c, l, r)
+  | a -> Not a
+
+let rec normalize f =
+  match f with
+  | True | False | Atom _ | Inserted _ | Deleted _ | Cmp _ -> f
+  | Not a -> neg (normalize a)
+  | And (a, b) -> And (normalize a, normalize b)
+  | Or (a, b) -> Or (normalize a, normalize b)
+  | Implies (a, b) -> neg (And (normalize a, neg (normalize b)))
+  | Iff (a, b) ->
+    let a = normalize a and b = normalize b in
+    And (neg (And (a, neg b)), neg (And (b, neg a)))
+  | Exists (vs, a) -> Exists (vs, normalize a)
+  | Forall (vs, a) -> neg (Exists (vs, neg (normalize a)))
+  | Prev (i, a) -> Prev (i, normalize a)
+  | Since (i, a, b) -> Since (i, normalize a, normalize b)
+  | Once (i, a) -> Once (i, normalize a)
+  | Historically (i, a) -> neg (Once (i, neg (normalize a)))
+  | Next (i, a) -> Next (i, normalize a)
+  | Until (i, a, b) -> Until (i, normalize a, normalize b)
+  | Eventually (i, a) -> Until (i, True, normalize a)
+  | Always (i, a) -> neg (Until (i, True, neg (normalize a)))
+
+let rec is_core = function
+  | True | False | Atom _ | Inserted _ | Deleted _ | Cmp _ -> true
+  | Not a | Exists (_, a) | Prev (_, a) | Once (_, a) | Next (_, a) ->
+    is_core a
+  | And (a, b) | Or (a, b) | Since (_, a, b) | Until (_, a, b) ->
+    is_core a && is_core b
+  | Implies _ | Iff _ | Forall _ | Historically _ | Eventually _ | Always _ ->
+    false
+
+let rec simplify f =
+  match f with
+  | True | False | Atom _ | Inserted _ | Deleted _ | Cmp _ -> f
+  | Not a ->
+    (match simplify a with
+     | True -> False
+     | False -> True
+     | Not b -> b
+     | Cmp (c, l, r) -> Cmp (flip_cmp c, l, r)
+     | a -> Not a)
+  | And (a, b) ->
+    (match simplify a, simplify b with
+     | False, _ | _, False -> False
+     | True, b -> b
+     | a, True -> a
+     | a, b -> And (a, b))
+  | Or (a, b) ->
+    (match simplify a, simplify b with
+     | True, _ | _, True -> True
+     | False, b -> b
+     | a, False -> a
+     | a, b -> Or (a, b))
+  | Implies (a, b) -> simplify (normalize (Implies (a, b)))
+  | Iff (a, b) -> simplify (normalize (Iff (a, b)))
+  | Forall (vs, a) -> simplify (normalize (Forall (vs, a)))
+  | Historically (i, a) -> simplify (normalize (Historically (i, a)))
+  | Exists (vs, a) ->
+    (match simplify a with
+     (* Quantifying a constant is sound only when some tuple exists to bind
+        the variables; our safety discipline rules the [True] case out, so we
+        keep it unchanged rather than fold incorrectly. *)
+     | False -> False
+     | a -> Exists (vs, a))
+  | Prev (i, a) ->
+    (match simplify a with
+     | False -> False
+     | a -> Prev (i, a))
+  | Once (i, a) ->
+    (match simplify a with
+     | False -> False
+     | a -> Once (i, a))
+  | Since (i, a, b) ->
+    (match simplify a, simplify b with
+     | _, False -> False
+     | a, b -> Since (i, a, b))
+  | Next (i, a) ->
+    (match simplify a with
+     | False -> False
+     | a -> Next (i, a))
+  | Until (i, a, b) ->
+    (match simplify a, simplify b with
+     | _, False -> False
+     | a, b -> Until (i, a, b))
+  | Eventually (i, a) -> simplify (normalize (Eventually (i, a)))
+  | Always (i, a) -> simplify (normalize (Always (i, a)))
+
+let rec nnf_nontemporal f =
+  match f with
+  | True | False | Atom _ | Inserted _ | Deleted _ | Cmp _ -> f
+  | And (a, b) -> And (nnf_nontemporal a, nnf_nontemporal b)
+  | Or (a, b) -> Or (nnf_nontemporal a, nnf_nontemporal b)
+  | Exists (vs, a) -> Exists (vs, nnf_nontemporal a)
+  | Prev (i, a) -> Prev (i, nnf_nontemporal a)
+  | Once (i, a) -> Once (i, nnf_nontemporal a)
+  | Since (i, a, b) -> Since (i, nnf_nontemporal a, nnf_nontemporal b)
+  | Next (i, a) -> Next (i, nnf_nontemporal a)
+  | Until (i, a, b) -> Until (i, nnf_nontemporal a, nnf_nontemporal b)
+  | Not a ->
+    (match a with
+     | True -> False
+     | False -> True
+     | Not b -> nnf_nontemporal b
+     | And (x, y) -> Or (nnf_nontemporal (Not x), nnf_nontemporal (Not y))
+     | Or (x, y) -> And (nnf_nontemporal (Not x), nnf_nontemporal (Not y))
+     | Cmp (c, l, r) -> Cmp (flip_cmp c, l, r)
+     | Atom _ | Inserted _ | Deleted _ | Exists _ | Prev _ | Once _
+     | Since _ | Next _ | Until _ ->
+       Not (nnf_nontemporal a)
+     | Implies _ | Iff _ | Forall _ | Historically _ | Eventually _
+     | Always _ ->
+       Not (nnf_nontemporal (normalize a)))
+  | Implies _ | Iff _ | Forall _ | Historically _ | Eventually _ | Always _ ->
+    nnf_nontemporal (normalize f)

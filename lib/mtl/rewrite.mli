@@ -1,0 +1,36 @@
+(** Normalization and simplification of constraint formulas.
+
+    Both evaluators (the naive reference and the incremental checker) operate
+    on the {e core} fragment produced by {!normalize}:
+    [True], [False], [Atom], [Cmp], [Not], [And], [Or], [Exists], [Prev],
+    [Since], [Once] — i.e. without [Implies], [Iff], [Forall] and
+    [Historically], which are definable:
+
+    - [Implies (a, b)]      ⟶ [Not (And (a, Not b))]
+    - [Iff (a, b)]          ⟶ [And (Implies (a, b), Implies (b, a))]
+    - [Forall (vs, a)]      ⟶ [Not (Exists (vs, Not a))]
+    - [Historically (i, a)] ⟶ [Not (Once (i, Not a))]
+
+    Double negations introduced by these rules are cancelled, and negated
+    comparisons flip ([not (s >= t)] ⟶ [s < t]), so e.g. a guarded
+    [Historically (i, Not p)] normalizes to the directly monitorable
+    [Not (Once (i, p))]. *)
+
+val normalize : Formula.t -> Formula.t
+(** Translate to the core fragment (see above) and cancel double negations.
+    Free variables and the semantics are preserved. *)
+
+val is_core : Formula.t -> bool
+(** [true] iff the formula is already in the core fragment. *)
+
+val simplify : Formula.t -> Formula.t
+(** Constant folding on the core fragment: propagates [True]/[False] through
+    connectives, quantifiers and temporal operators (e.g.
+    [And (True, f) = f], [Once (i, False) = False]). Produces a formula
+    equivalent over every history. Also cancels double negation. *)
+
+val nnf_nontemporal : Formula.t -> Formula.t
+(** Push negations inward through the boolean connectives and quantifiers of
+    a core formula, stopping at atoms, comparisons and temporal operators
+    (negation is {e not} pushed through [Since]/[Once]/[Prev], which have no
+    dual in the language). Used by tests as a semantics-preserving shuffle. *)

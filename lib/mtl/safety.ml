@@ -1,0 +1,151 @@
+open Formula
+
+type step =
+  | Join of Formula.t
+  | Guard of Formula.t
+  | Antijoin of Formula.t
+
+let rec constraint_only = function
+  | True | False | Cmp _ -> true
+  | Not a -> constraint_only a
+  | And (a, b) | Or (a, b) -> constraint_only a && constraint_only b
+  | Atom _ | Inserted _ | Deleted _ | Exists _ | Prev _ | Once _ | Since _
+  | Next _ | Until _ | Implies _ | Iff _ | Forall _ | Historically _
+  | Eventually _ | Always _ -> false
+
+let ( let* ) r f = Result.bind r f
+
+let rec flatten_and = function
+  | And (a, b) -> flatten_and a @ flatten_and b
+  | f -> [ f ]
+
+let unsafe what f =
+  Error (Printf.sprintf "%s: %s" what (Pretty.to_string f))
+
+(* [safe f] holds when [f] evaluates standalone to a finite relation over
+   exactly its free variables. Defined on core formulas. *)
+let rec safe f =
+  match f with
+  | True | False | Atom _ | Inserted _ | Deleted _ -> Ok ()
+  | Cmp (Eq, Var _, Const _) | Cmp (Eq, Const _, Var _) -> Ok ()
+  | Cmp (_, Const _, Const _) -> Ok ()
+  | Cmp _ ->
+    unsafe "comparison must be guarded by a conjunct binding its variables" f
+  | Not a ->
+    if Var_set.is_empty (free_vars a) then safe a
+    else unsafe "negation of a formula with free variables must be guarded" f
+  | And _ ->
+    let* _ = plan_conjunction (flatten_and f) in
+    Ok ()
+  | Or (a, b) ->
+    let* () = safe a in
+    let* () = safe b in
+    if Var_set.equal (free_vars a) (free_vars b) then Ok ()
+    else
+      unsafe "disjuncts must have identical free variables" f
+  | Exists (vs, a) ->
+    let* () = safe a in
+    let fv = free_vars a in
+    let missing = List.filter (fun v -> not (Var_set.mem v fv)) vs in
+    if missing = [] then Ok ()
+    else
+      Error
+        (Printf.sprintf "quantified variable%s %s do%s not occur in %s"
+           (if List.length missing > 1 then "s" else "")
+           (String.concat ", " missing)
+           (if List.length missing > 1 then "" else "es")
+           (Pretty.to_string a))
+  | Prev (_, a) | Once (_, a) | Next (_, a) -> safe a
+  | Since (_, a, b) | Until (_, a, b) ->
+    let* () = safe b in
+    let fvb = free_vars b in
+    let sub name g =
+      if Var_set.subset (free_vars g) fvb then Ok ()
+      else
+        unsafe
+          (Printf.sprintf
+             "free variables of the %s argument of 'since' must be among \
+              those of the right argument"
+             name)
+          f
+    in
+    (match a with
+     | Not a' ->
+       let* () = safe a' in
+       sub "negated left" a'
+     | _ ->
+       let* () = safe a in
+       sub "left" a)
+  | Implies _ | Iff _ | Forall _ | Historically _ | Eventually _ | Always _ ->
+    unsafe "internal error: formula not normalized" f
+
+and plan_conjunction conjuncts =
+  (* Phase 1: all standalone-safe conjuncts become joins. *)
+  let standalone, pending =
+    List.partition (fun c -> Result.is_ok (safe c)) conjuncts
+  in
+  if standalone = [] then
+    Error
+      (Printf.sprintf "conjunction has no safe conjunct to bind variables: %s"
+         (Pretty.to_string
+            (match conjuncts with
+             | [ c ] -> c
+             | c :: rest -> List.fold_left (fun a b -> And (a, b)) c rest
+             | [] -> True)))
+  else
+    let bound =
+      List.fold_left
+        (fun acc c -> Var_set.union acc (free_vars c))
+        Var_set.empty standalone
+    in
+    let steps = List.map (fun c -> Join c) standalone in
+    (* Phase 2: guarded conjuncts, in any order that validates. *)
+    let applicable bound c =
+      if constraint_only c then Var_set.subset (free_vars c) bound
+      else
+        match c with
+        | Not a -> Result.is_ok (safe a) && Var_set.subset (free_vars a) bound
+        | _ -> false
+    in
+    let rec drain steps bound pending =
+      match pending with
+      | [] -> Ok (List.rev steps)
+      | _ ->
+        (match List.partition (applicable bound) pending with
+         | [], stuck ->
+           let culprit = List.hd stuck in
+           (match culprit with
+            | Not a -> unsafe "guarded negation not coverable by the safe conjuncts" (Not a)
+            | c -> unsafe "comparison variables not bound by the safe conjuncts" c)
+         | ready, rest ->
+           let new_steps =
+             List.map
+               (fun c ->
+                 if constraint_only c then Guard c
+                 else
+                   match c with
+                   | Not a -> Antijoin a
+                   | _ -> assert false)
+               ready
+           in
+           drain (List.rev_append new_steps steps) bound rest)
+    in
+    drain (List.rev steps) bound pending
+
+let check f =
+  let f = Rewrite.normalize f in
+  safe f
+
+let check_def (d : def) =
+  if not (is_closed d.body) then
+    Error
+      (Printf.sprintf "constraint %s has free variables: %s" d.name
+         (String.concat ", " (free_var_list d.body)))
+  else
+    match check d.body with
+    | Ok () -> Ok ()
+    | Error m -> Error (Printf.sprintf "constraint %s is not monitorable: %s" d.name m)
+
+let monitorable cat d =
+  let* _env = Typecheck.check_def cat d in
+  check_def d

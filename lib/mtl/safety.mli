@@ -1,0 +1,61 @@
+(** Safe-range (monitorability) analysis.
+
+    First-order logic over an infinite value domain is not evaluable in
+    general: formulas such as [not p(x)] or [x < y] denote infinite sets of
+    valuations. This module checks that a formula lies in the {e monitorable
+    fragment} — the effectively domain-independent class both checkers can
+    evaluate to finite relations — and produces the {e conjunction plans}
+    the evaluators execute.
+
+    The fragment (over {!Rewrite.normalize}d formulas):
+    - atoms are safe and bind their variables;
+    - [x = c] is safe (it binds [x]); all other comparisons must appear in a
+      conjunction whose safe conjuncts bind their variables;
+    - a negation must be closed, or appear in a conjunction whose safe
+      conjuncts bind the negated formula's variables (anti-join);
+    - both sides of a disjunction must be safe with equal free variables;
+    - existentially quantified variables must occur in the body;
+    - [Once]/[Prev] of safe formulas are safe;
+    - [f since g] requires [g] safe and either [f] safe with
+      [fv f ⊆ fv g], or [f = not f'] with [f'] safe and [fv f' ⊆ fv g]
+      (the "absence since" idiom, e.g. [not returned(b) since borrowed(b)]).
+
+    Because the checked formula must also hold under every catalog, the
+    analysis is purely syntactic. *)
+
+(** One step of a conjunction plan, to be executed left to right. *)
+type step =
+  | Join of Formula.t
+      (** A standalone-safe conjunct: evaluate and natural-join. *)
+  | Guard of Formula.t
+      (** A comparison-only conjunct (boolean combination of comparisons,
+          see {!constraint_only}) whose variables are bound by earlier
+          steps: filter row by row. *)
+  | Antijoin of Formula.t
+      (** A negated conjunct [not f] with [fv f] bound by earlier steps:
+          remove the valuations that satisfy [f]. *)
+
+val constraint_only : Formula.t -> bool
+(** [true] iff the formula is built only from comparisons, [true]/[false]
+    and boolean connectives — evaluable row by row once its variables are
+    bound. *)
+
+val flatten_and : Formula.t -> Formula.t list
+(** Conjuncts of a right-or-left-nested conjunction, in syntactic order. *)
+
+val plan_conjunction : Formula.t list -> (step list, string) result
+(** Order the conjuncts of a conjunction into an executable plan: safe
+    conjuncts first (joins), then filters and anti-joins as their variables
+    become bound. Fails if some conjunct can never be applied. *)
+
+val check : Formula.t -> (unit, string) result
+(** [check f] normalizes [f] (see {!Rewrite.normalize}) and verifies it is in
+    the monitorable fragment. *)
+
+val check_def : Formula.def -> (unit, string) result
+(** {!check} plus the requirement that the body is closed. *)
+
+val monitorable :
+  Rtic_relational.Schema.Catalog.t -> Formula.def -> (unit, string) result
+(** Full admission check for a constraint: well-typed ({!Typecheck}), closed,
+    and in the monitorable fragment. *)

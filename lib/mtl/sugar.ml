@@ -1,0 +1,141 @@
+module Schema = Rtic_relational.Schema
+open Formula
+
+type decl =
+  | Key of string * string list
+  | Reference of string * string list * string * string list
+
+let ( let* ) r f = Result.bind r f
+
+let err fmt = Printf.ksprintf (fun m -> Error m) fmt
+
+let find_schema cat rel =
+  match Schema.Catalog.find rel cat with
+  | Some s -> Ok s
+  | None -> err "unknown relation: %s" rel
+
+let attr_names (s : Schema.t) = List.map (fun a -> a.Schema.attr_name) s.attrs
+
+let check_attrs rel (s : Schema.t) attrs =
+  let names = attr_names s in
+  let* () =
+    List.fold_left
+      (fun acc a ->
+        let* () = acc in
+        if List.mem a names then Ok ()
+        else err "relation %s has no attribute %s" rel a)
+      (Ok ()) attrs
+  in
+  if List.length (List.sort_uniq String.compare attrs) <> List.length attrs
+  then err "duplicate attribute in the declaration for %s" rel
+  else Ok ()
+
+let key_constraint cat rel key_attrs =
+  let* s = find_schema cat rel in
+  let* () = check_attrs rel s key_attrs in
+  if key_attrs = [] then err "key for %s lists no attributes" rel
+  else
+    let others =
+      List.filter (fun a -> not (List.mem a key_attrs)) (attr_names s)
+    in
+    if others = [] then
+      err
+        "key for %s covers every attribute: under set semantics this is \
+         trivially true (did you mean a subset?)"
+        rel
+    else begin
+      (* variables: key attributes use their own name; each non-key
+         attribute a gets a_1 in the first copy and a_2 in the second *)
+      let collision =
+        List.exists
+          (fun a -> List.mem (a ^ "_1") (attr_names s) || List.mem (a ^ "_2") (attr_names s))
+          others
+      in
+      if collision then
+        err "attribute names of %s collide with generated _1/_2 variables" rel
+      else
+        let term_of copy a =
+          if List.mem a key_attrs then Var a
+          else Var (a ^ "_" ^ string_of_int copy)
+        in
+        let ts1 = List.map (term_of 1) (attr_names s) in
+        let ts2 = List.map (term_of 2) (attr_names s) in
+        let differs =
+          match others with
+          | [] -> assert false
+          | o :: rest ->
+            List.fold_left
+              (fun acc o -> Or (acc, Cmp (Ne, Var (o ^ "_1"), Var (o ^ "_2"))))
+              (Cmp (Ne, Var (o ^ "_1"), Var (o ^ "_2")))
+              rest
+        in
+        let all_vars =
+          key_attrs
+          @ List.concat_map (fun o -> [ o ^ "_1"; o ^ "_2" ]) others
+        in
+        Ok
+          { name = "key_" ^ rel;
+            body =
+              Not
+                (Exists
+                   ( all_vars,
+                     And (And (Atom (rel, ts1), Atom (rel, ts2)), differs) )) }
+    end
+
+let reference_constraint cat r r_attrs s s_attrs =
+  let* rs = find_schema cat r in
+  let* ss = find_schema cat s in
+  let* () = check_attrs r rs r_attrs in
+  let* () = check_attrs s ss s_attrs in
+  if List.length r_attrs <> List.length s_attrs then
+    err "reference %s -> %s lists %d and %d attributes" r s
+      (List.length r_attrs) (List.length s_attrs)
+  else if r_attrs = [] then err "reference %s -> %s lists no attributes" r s
+  else begin
+    (* join variables k0_, k1_, ...; other attributes prefixed by side *)
+    let join_var i = Printf.sprintf "k%d_" i in
+    let index_in attrs a =
+      let rec go i = function
+        | [] -> None
+        | x :: rest -> if x = a then Some i else go (i + 1) rest
+      in
+      go 0 attrs
+    in
+    let r_term a =
+      match index_in r_attrs a with
+      | Some i -> Var (join_var i)
+      | None -> Var ("r_" ^ a)
+    in
+    let s_term a =
+      match index_in s_attrs a with
+      | Some i -> Var (join_var i)
+      | None -> Var ("s_" ^ a)
+    in
+    let r_ts = List.map r_term (attr_names rs) in
+    let s_ts = List.map s_term (attr_names ss) in
+    let r_vars =
+      List.map
+        (fun a ->
+          match r_term a with Var v -> v | _ -> assert false)
+        (attr_names rs)
+    in
+    let s_rest =
+      List.filter_map
+        (fun a ->
+          match index_in s_attrs a with
+          | Some _ -> None
+          | None -> Some ("s_" ^ a))
+        (attr_names ss)
+    in
+    let target =
+      if s_rest = [] then Atom (s, s_ts) else Exists (s_rest, Atom (s, s_ts))
+    in
+    Ok
+      { name = Printf.sprintf "ref_%s_%s" r s;
+        body = Forall (r_vars, Implies (Atom (r, r_ts), target)) }
+  end
+
+let desugar cat = function
+  | Key (rel, attrs) -> key_constraint cat rel attrs
+  | Reference (r, r_attrs, s, s_attrs) ->
+    reference_constraint cat r r_attrs s s_attrs

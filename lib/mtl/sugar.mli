@@ -1,0 +1,48 @@
+(** Declaration sugar: classical static dependencies as generated constraints.
+
+    Specification files may declare keys and inclusion dependencies; both
+    desugar into ordinary (non-temporal) constraints checked by the same
+    machinery as everything else:
+
+    {v
+    key salary(emp)                       # emp functionally determines the rest
+    reference borrow(patron) -> member(patron)
+    v}
+
+    - [key R(a1, ..., ak)]: no two tuples of [R] agree on [a1..ak] but
+      differ elsewhere. Generated name: [key_R].
+    - [reference R(a) -> S(b)]: the projection of [R] on [a...] is contained
+      in the projection of [S] on [b...]. Generated name: [ref_R_S]. *)
+
+type decl =
+  | Key of string * string list
+      (** Relation name and key attribute names. *)
+  | Reference of string * string list * string * string list
+      (** [(r, r_attrs, s, s_attrs)] — [R(r_attrs) ⊆ S(s_attrs)]. *)
+
+val key_constraint :
+  Rtic_relational.Schema.Catalog.t ->
+  string ->
+  string list ->
+  (Formula.def, string) result
+(** [key_constraint cat rel attrs] builds the uniqueness constraint.
+    Fails on unknown relations/attributes, duplicate attributes, or a key
+    covering every attribute of a relation of arity > 0 (trivially true —
+    almost certainly a mistake, reported as such). *)
+
+val reference_constraint :
+  Rtic_relational.Schema.Catalog.t ->
+  string ->
+  string list ->
+  string ->
+  string list ->
+  (Formula.def, string) result
+(** [reference_constraint cat r r_attrs s s_attrs] builds the inclusion
+    dependency. The two attribute lists must have equal length and matching
+    types. *)
+
+val desugar :
+  Rtic_relational.Schema.Catalog.t ->
+  decl ->
+  (Formula.def, string) result
+(** Dispatch over {!decl}. *)

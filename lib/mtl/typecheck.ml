@@ -1,0 +1,129 @@
+module Value = Rtic_relational.Value
+module Schema = Rtic_relational.Schema
+open Formula
+
+type env = (string * Value.ty) list
+
+let ( let* ) r f = Result.bind r f
+
+(* Typing state: a mutable table mapping each variable name to its type. *)
+let unify_var tbl x ty =
+  match Hashtbl.find_opt tbl x with
+  | None ->
+    Hashtbl.add tbl x ty;
+    Ok ()
+  | Some ty' ->
+    if ty = ty' then Ok ()
+    else
+      Error
+        (Printf.sprintf "variable %s used both as %s and as %s" x
+           (Value.ty_name ty') (Value.ty_name ty))
+
+let numeric_ty = function
+  | Value.TInt | Value.TReal -> true
+  | Value.TStr | Value.TBool -> false
+
+let rec check_term tbl ty = function
+  | Var x -> unify_var tbl x ty
+  | Const v ->
+    let got = Value.type_of v in
+    if got = ty then Ok ()
+    else
+      Error
+        (Printf.sprintf "constant %s has type %s, expected %s"
+           (Value.to_string v) (Value.ty_name got) (Value.ty_name ty))
+  | Add (a, b) | Sub (a, b) | Mul (a, b) ->
+    if not (numeric_ty ty) then
+      Error
+        (Printf.sprintf "arithmetic used at non-numeric type %s"
+           (Value.ty_name ty))
+    else
+      let* () = check_term tbl ty a in
+      check_term tbl ty b
+
+(* For comparisons we know no expected type a priori; infer from whichever
+   side is determined first. *)
+let rec term_known_ty tbl = function
+  | Var x -> Hashtbl.find_opt tbl x
+  | Const v -> Some (Value.type_of v)
+  | Add (a, b) | Sub (a, b) | Mul (a, b) ->
+    (match term_known_ty tbl a with
+     | Some ty -> Some ty
+     | None -> term_known_ty tbl b)
+
+let check_cmp tbl c l r =
+  let check_both ty =
+    let* () = check_term tbl ty l in
+    check_term tbl ty r
+  in
+  match term_known_ty tbl l, term_known_ty tbl r with
+  | Some ty, _ | None, Some ty ->
+    let* () = check_both ty in
+    (match c with
+     | Eq | Ne -> Ok ()
+     | Lt | Le | Gt | Ge ->
+       if numeric_ty ty then Ok ()
+       else
+         Error
+           (Printf.sprintf "order comparison on non-numeric type %s"
+              (Value.ty_name ty)))
+  | None, None ->
+    Error
+      "cannot infer the types in a comparison; mention the variables in a \
+       relational atom first"
+
+let check cat f =
+  let tbl = Hashtbl.create 16 in
+  let rec go f =
+    match f with
+    | True | False -> Ok ()
+    | Atom (rel, ts) | Inserted (rel, ts) | Deleted (rel, ts) ->
+      (match Schema.Catalog.find rel cat with
+       | None -> Error ("unknown relation: " ^ rel)
+       | Some s ->
+         let want = Schema.arity s in
+         let got = List.length ts in
+         if got <> want then
+           Error
+             (Printf.sprintf "relation %s expects %d arguments, got %d" rel
+                want got)
+         else
+           let tys = Schema.attr_types s in
+           let rec args i = function
+             | [] -> Ok ()
+             | t :: rest ->
+               (match t with
+                | Add _ | Sub _ | Mul _ ->
+                  Error
+                    (Printf.sprintf
+                       "arithmetic is not allowed as an argument of \
+                        relation %s (use a comparison instead)"
+                       rel)
+                | Var _ | Const _ ->
+                  let* () = check_term tbl tys.(i) t in
+                  args (i + 1) rest)
+           in
+           args 0 ts)
+    | Cmp (c, l, r) -> check_cmp tbl c l r
+    | Not a | Exists (_, a) | Forall (_, a)
+    | Prev (_, a) | Once (_, a) | Historically (_, a)
+    | Next (_, a) | Eventually (_, a) | Always (_, a) -> go a
+    | And (a, b) | Or (a, b) | Implies (a, b) | Iff (a, b) | Since (_, a, b)
+    | Until (_, a, b) ->
+      let* () = go a in
+      go b
+  in
+  (* Two passes so that a comparison syntactically left of the atom that
+     grounds its variables still type-checks. *)
+  let* () = go f in
+  let* () = go f in
+  Ok
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+     |> List.sort (fun (a, _) (b, _) -> String.compare a b))
+
+let check_def cat (d : def) =
+  if not (is_closed d.body) then
+    Error
+      (Printf.sprintf "constraint %s has free variables: %s" d.name
+         (String.concat ", " (free_var_list d.body)))
+  else check cat d.body

@@ -1,0 +1,21 @@
+(** Type checking of constraint formulas against a catalog.
+
+    Checks that every relational atom names a catalog relation with the right
+    arity, that constants match the attribute types, that each variable is
+    used at a single type throughout the formula (variable names are typed
+    globally, so reusing a name at two types — even in disjoint scopes — is
+    rejected with a clear message), and that order comparisons
+    ([<], [<=], [>], [>=]) are applied to numeric operands only. *)
+
+type env = (string * Rtic_relational.Value.ty) list
+(** Inferred variable typing, sorted by variable name. *)
+
+val check :
+  Rtic_relational.Schema.Catalog.t -> Formula.t -> (env, string) result
+(** [check cat f] type-checks [f] and returns the inferred type of every
+    variable (free or bound). *)
+
+val check_def :
+  Rtic_relational.Schema.Catalog.t -> Formula.def -> (env, string) result
+(** Like {!check}; additionally requires the constraint body to be a closed
+    formula. *)

@@ -1,0 +1,241 @@
+type operand =
+  | Col of int
+  | Lit of Value.t
+  | Add_op of operand * operand
+  | Sub_op of operand * operand
+  | Mul_op of operand * operand
+
+type cmp =
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+
+type pred =
+  | Compare of cmp * operand * operand
+  | And_p of pred * pred
+  | Or_p of pred * pred
+  | Not_p of pred
+  | True_p
+
+type t =
+  | Scan of string
+  | Const of Relation.t
+  | Select of pred * t
+  | Project of int array * t
+  | Product of t * t
+  | Join of (int * int) list * t * t
+  | Union of t * t
+  | Diff of t * t
+
+let ( let* ) r f = Result.bind r f
+
+let rec operand_value t = function
+  | Lit v -> Ok v
+  | Col i ->
+    if i < 0 || i >= Tuple.arity t then
+      Error (Printf.sprintf "column %d out of range (arity %d)" i (Tuple.arity t))
+    else Ok (Tuple.get t i)
+  | Add_op (a, b) -> arith_value t "+" ( + ) ( +. ) a b
+  | Sub_op (a, b) -> arith_value t "-" ( - ) ( -. ) a b
+  | Mul_op (a, b) -> arith_value t "*" ( * ) ( *. ) a b
+
+and arith_value t name int_op real_op a b =
+  let* x = operand_value t a in
+  let* y = operand_value t b in
+  match x, y with
+  | Value.Int x, Value.Int y -> Ok (Value.Int (int_op x y))
+  | Value.Real x, Value.Real y -> Ok (Value.Real (real_op x y))
+  | x, y ->
+    Error
+      (Printf.sprintf "arithmetic '%s' on non-numeric or mixed values %s, %s"
+         name (Value.to_string x) (Value.to_string y))
+
+let compare_values c a b =
+  match c with
+  | Eq -> Ok (Value.equal a b)
+  | Ne -> Ok (not (Value.equal a b))
+  | Lt | Le | Gt | Ge ->
+    (match Value.numeric a, Value.numeric b with
+     | Some x, Some y ->
+       Ok
+         (match c with
+          | Lt -> x < y
+          | Le -> x <= y
+          | Gt -> x > y
+          | Ge -> x >= y
+          | Eq | Ne -> assert false)
+     | _ ->
+       Error
+         (Printf.sprintf "order comparison on non-numeric values %s, %s"
+            (Value.to_string a) (Value.to_string b)))
+
+let rec eval_pred p t =
+  match p with
+  | True_p -> Ok true
+  | Compare (c, l, r) ->
+    let* a = operand_value t l in
+    let* b = operand_value t r in
+    compare_values c a b
+  | And_p (a, b) ->
+    let* x = eval_pred a t in
+    if not x then Ok false else eval_pred b t
+  | Or_p (a, b) ->
+    let* x = eval_pred a t in
+    if x then Ok true else eval_pred b t
+  | Not_p a ->
+    let* x = eval_pred a t in
+    Ok (not x)
+
+let max_col_pred p =
+  let rec operand acc = function
+    | Col i -> max acc i
+    | Lit _ -> acc
+    | Add_op (a, b) | Sub_op (a, b) | Mul_op (a, b) -> operand (operand acc a) b
+  in
+  let rec go acc = function
+    | True_p -> acc
+    | Compare (_, l, r) -> operand (operand acc l) r
+    | And_p (a, b) | Or_p (a, b) -> go (go acc a) b
+    | Not_p a -> go acc a
+  in
+  go (-1) p
+
+let rec arity_of cat expr =
+  match expr with
+  | Scan name ->
+    (match Schema.Catalog.find name cat with
+     | Some s -> Ok (Schema.arity s)
+     | None -> Error ("unknown relation: " ^ name))
+  | Const r -> Ok (Relation.arity r)
+  | Select (p, e) ->
+    let* k = arity_of cat e in
+    if max_col_pred p >= k then
+      Error
+        (Printf.sprintf "selection refers to column %d of arity-%d input"
+           (max_col_pred p) k)
+    else Ok k
+  | Project (idx, e) ->
+    let* k = arity_of cat e in
+    if Array.exists (fun i -> i < 0 || i >= k) idx then
+      Error "projection index out of range"
+    else Ok (Array.length idx)
+  | Product (a, b) ->
+    let* ka = arity_of cat a in
+    let* kb = arity_of cat b in
+    Ok (ka + kb)
+  | Join (cols, a, b) ->
+    let* ka = arity_of cat a in
+    let* kb = arity_of cat b in
+    if List.exists (fun (i, j) -> i < 0 || i >= ka || j < 0 || j >= kb) cols
+    then Error "join column out of range"
+    else Ok (ka + kb)
+  | Union (a, b) | Diff (a, b) ->
+    let* ka = arity_of cat a in
+    let* kb = arity_of cat b in
+    if ka <> kb then
+      Error (Printf.sprintf "arity mismatch: %d vs %d" ka kb)
+    else Ok ka
+
+let rec eval db expr =
+  match expr with
+  | Scan name ->
+    (match Database.relation db name with
+     | Some r -> Ok r
+     | None -> Error ("unknown relation: " ^ name))
+  | Const r -> Ok r
+  | Select (p, e) ->
+    let* r = eval db e in
+    let err = ref None in
+    let out =
+      Relation.filter
+        (fun t ->
+          match eval_pred p t with
+          | Ok b -> b
+          | Error m ->
+            if !err = None then err := Some m;
+            false)
+        r
+    in
+    (match !err with Some m -> Error m | None -> Ok out)
+  | Project (idx, e) ->
+    let* r = eval db e in
+    (try Ok (Relation.project idx r) with Invalid_argument m -> Error m)
+  | Product (a, b) ->
+    let* ra = eval db a in
+    let* rb = eval db b in
+    Ok (Relation.product ra rb)
+  | Join (cols, a, b) ->
+    let* ra = eval db a in
+    let* rb = eval db b in
+    let k = Relation.arity ra + Relation.arity rb in
+    (try
+       Ok
+         (Relation.fold
+            (fun ta acc ->
+              Relation.fold
+                (fun tb acc ->
+                  let matches =
+                    List.for_all
+                      (fun (i, j) -> Value.equal (Tuple.get ta i) (Tuple.get tb j))
+                      cols
+                  in
+                  if matches then Relation.add (Tuple.append ta tb) acc else acc)
+                rb acc)
+            ra (Relation.empty k))
+     with Invalid_argument m -> Error m)
+  | Union (a, b) ->
+    let* ra = eval db a in
+    let* rb = eval db b in
+    (try Ok (Relation.union ra rb) with Invalid_argument m -> Error m)
+  | Diff (a, b) ->
+    let* ra = eval db a in
+    let* rb = eval db b in
+    (try Ok (Relation.diff ra rb) with Invalid_argument m -> Error m)
+
+let eval_exn db expr =
+  match eval db expr with
+  | Ok r -> r
+  | Error m -> failwith ("Algebra.eval: " ^ m)
+
+let pp_cmp ppf c =
+  Format.pp_print_string ppf
+    (match c with
+     | Eq -> "=" | Ne -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">=")
+
+let rec pp_operand ppf = function
+  | Col i -> Format.fprintf ppf "#%d" i
+  | Lit v -> Value.pp ppf v
+  | Add_op (a, b) -> Format.fprintf ppf "(%a + %a)" pp_operand a pp_operand b
+  | Sub_op (a, b) -> Format.fprintf ppf "(%a - %a)" pp_operand a pp_operand b
+  | Mul_op (a, b) -> Format.fprintf ppf "(%a * %a)" pp_operand a pp_operand b
+
+let rec pp_pred ppf = function
+  | True_p -> Format.pp_print_string ppf "true"
+  | Compare (c, a, b) ->
+    Format.fprintf ppf "%a %a %a" pp_operand a pp_cmp c pp_operand b
+  | And_p (a, b) -> Format.fprintf ppf "(%a & %a)" pp_pred a pp_pred b
+  | Or_p (a, b) -> Format.fprintf ppf "(%a | %a)" pp_pred a pp_pred b
+  | Not_p a -> Format.fprintf ppf "!(%a)" pp_pred a
+
+let rec pp ppf = function
+  | Scan name -> Format.pp_print_string ppf name
+  | Const r -> Relation.pp ppf r
+  | Select (p, e) -> Format.fprintf ppf "sel[%a](%a)" pp_pred p pp e
+  | Project (idx, e) ->
+    Format.fprintf ppf "proj[%a](%a)"
+      (Format.pp_print_seq
+         ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',')
+         Format.pp_print_int)
+      (Array.to_seq idx) pp e
+  | Product (a, b) -> Format.fprintf ppf "(%a x %a)" pp a pp b
+  | Join (cols, a, b) ->
+    Format.fprintf ppf "(%a join[%a] %a)" pp a
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',')
+         (fun ppf (i, j) -> Format.fprintf ppf "%d=%d" i j))
+      cols pp b
+  | Union (a, b) -> Format.fprintf ppf "(%a union %a)" pp a pp b
+  | Diff (a, b) -> Format.fprintf ppf "(%a diff %a)" pp a pp b

@@ -1,0 +1,64 @@
+(** A positional relational algebra over database states.
+
+    This is the classical algebra (selection, projection, product, equi-join,
+    union, difference) used by the first-order fragment of the system and by
+    tests and examples that want to query a single snapshot directly.
+    Attributes are addressed by position; the named-column machinery used for
+    constraint evaluation lives in [Rtic_eval.Valrel]. *)
+
+(** Operand of a comparison: a column of the input, a literal, or
+    arithmetic over operands of one numeric type. *)
+type operand =
+  | Col of int
+  | Lit of Value.t
+  | Add_op of operand * operand
+  | Sub_op of operand * operand
+  | Mul_op of operand * operand
+
+(** Comparison operators. Order comparisons require numeric operands. *)
+type cmp =
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+
+(** Selection predicates. *)
+type pred =
+  | Compare of cmp * operand * operand
+  | And_p of pred * pred
+  | Or_p of pred * pred
+  | Not_p of pred
+  | True_p
+
+(** Algebra expressions. *)
+type t =
+  | Scan of string                  (** A base relation, by name. *)
+  | Const of Relation.t             (** A literal relation. *)
+  | Select of pred * t              (** Keep tuples satisfying the predicate. *)
+  | Project of int array * t        (** Reorder/drop columns by position. *)
+  | Product of t * t                (** Cartesian product. *)
+  | Join of (int * int) list * t * t
+      (** [Join [(i1,j1);...]] is the equi-join on left column [i]s = right
+          column [j]s; the result keeps all left columns then all right
+          columns. *)
+  | Union of t * t
+  | Diff of t * t
+
+val arity_of : Schema.Catalog.t -> t -> (int, string) result
+(** Static arity of the expression; checks column references and operand
+    arities against the catalog. *)
+
+val eval : Database.t -> t -> (Relation.t, string) result
+(** Evaluate over a snapshot. Errors on unknown relations, out-of-range
+    columns, arity mismatches, or order comparisons on non-numeric values. *)
+
+val eval_exn : Database.t -> t -> Relation.t
+(** Like {!eval} but raises [Failure]. *)
+
+val eval_pred : pred -> Tuple.t -> (bool, string) result
+(** Evaluate a selection predicate on a single tuple. *)
+
+val pp : Format.formatter -> t -> unit
+(** Structural pretty-printer (for diagnostics). *)

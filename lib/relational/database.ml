@@ -1,0 +1,81 @@
+module String_map = Map.Make (String)
+
+type t = {
+  cat : Schema.Catalog.t;
+  data : Relation.t String_map.t;
+}
+
+let create cat =
+  let data =
+    List.fold_left
+      (fun m s -> String_map.add s.Schema.rel_name (Relation.empty (Schema.arity s)) m)
+      String_map.empty (Schema.Catalog.schemas cat)
+  in
+  { cat; data }
+
+let catalog db = db.cat
+let relation db name = String_map.find_opt name db.data
+
+let relation_exn db name =
+  match relation db name with
+  | Some r -> r
+  | None -> invalid_arg ("Database.relation_exn: unknown relation " ^ name)
+
+let with_relation db name r =
+  match Schema.Catalog.find name db.cat with
+  | None -> Error ("unknown relation: " ^ name)
+  | Some s ->
+    if Relation.arity r <> Schema.arity s then
+      Error
+        (Printf.sprintf "relation %s expects arity %d, got %d" name
+           (Schema.arity s) (Relation.arity r))
+    else Ok { db with data = String_map.add name r db.data }
+
+let insert db name t =
+  match Schema.Catalog.find name db.cat with
+  | None -> Error ("unknown relation: " ^ name)
+  | Some s ->
+    (match Schema.conforms s t with
+     | Error _ as e -> e
+     | Ok () ->
+       let r = String_map.find name db.data in
+       Ok { db with data = String_map.add name (Relation.add t r) db.data })
+
+let delete db name t =
+  match String_map.find_opt name db.data with
+  | None -> Error ("unknown relation: " ^ name)
+  | Some r -> Ok { db with data = String_map.add name (Relation.remove t r) db.data }
+
+let cardinal db =
+  String_map.fold (fun _ r acc -> acc + Relation.cardinal r) db.data 0
+
+module Value_set = Set.Make (struct
+  type t = Value.t
+
+  let compare = Value.compare
+end)
+
+let active_domain db =
+  let vs =
+    String_map.fold
+      (fun _ r acc ->
+        List.fold_left (fun acc v -> Value_set.add v acc) acc
+          (Relation.active_domain r))
+      db.data Value_set.empty
+  in
+  Value_set.elements vs
+
+let equal a b = String_map.equal Relation.equal a.data b.data
+
+let fold f db acc = String_map.fold f db.data acc
+
+let pp ppf db =
+  let first = ref true in
+  String_map.iter
+    (fun name r ->
+      if not (Relation.is_empty r) then begin
+        if not !first then Format.pp_print_newline ppf ();
+        first := false;
+        Format.fprintf ppf "%s = %a" name Relation.pp r
+      end)
+    db.data

@@ -1,0 +1,51 @@
+(** Database states: a catalog plus one relation instance per schema.
+
+    A database is a snapshot — one element of a timed history. It is
+    immutable; transactions (see {!Update}) produce new snapshots. Every
+    relation named in the catalog is always present (initially empty), and
+    every stored tuple conforms to its schema. *)
+
+type t
+(** A database state. *)
+
+val create : Schema.Catalog.t -> t
+(** [create cat] is the database over [cat] with every relation empty. *)
+
+val catalog : t -> Schema.Catalog.t
+(** The catalog the database was created with. *)
+
+val relation : t -> string -> Relation.t option
+(** [relation db name] is the instance of relation [name], or [None] if the
+    catalog has no such relation. *)
+
+val relation_exn : t -> string -> Relation.t
+(** Like {!relation} but raises [Invalid_argument] on unknown names. *)
+
+val with_relation : t -> string -> Relation.t -> (t, string) result
+(** [with_relation db name r] replaces the instance of [name] by [r].
+    Fails if [name] is not in the catalog or the arity of [r] differs from
+    the schema. (Per-tuple type conformance is enforced on {!insert}.) *)
+
+val insert : t -> string -> Tuple.t -> (t, string) result
+(** [insert db name t] adds [t] to relation [name], checking schema
+    conformance. Inserting an existing tuple is a no-op (set semantics). *)
+
+val delete : t -> string -> Tuple.t -> (t, string) result
+(** [delete db name t] removes [t] from relation [name]; removing an absent
+    tuple is a no-op. Fails only on unknown relation names. *)
+
+val cardinal : t -> int
+(** Total number of stored tuples across all relations. *)
+
+val active_domain : t -> Value.t list
+(** All values occurring anywhere in the database, sorted, distinct. *)
+
+val equal : t -> t -> bool
+(** Extensional equality of all relation instances (catalogs assumed
+    compatible). *)
+
+val fold : (string -> Relation.t -> 'a -> 'a) -> t -> 'a -> 'a
+(** Fold over relation instances in name order. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints each non-empty relation on its own line. *)

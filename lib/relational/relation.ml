@@ -1,0 +1,97 @@
+module Tuple_set = Set.Make (struct
+  type t = Tuple.t
+
+  let compare = Tuple.compare
+end)
+
+type t = {
+  arity : int;
+  tuples : Tuple_set.t;
+}
+
+let empty k =
+  if k < 0 then invalid_arg "Relation.empty: negative arity";
+  { arity = k; tuples = Tuple_set.empty }
+
+let arity r = r.arity
+let is_empty r = Tuple_set.is_empty r.tuples
+let cardinal r = Tuple_set.cardinal r.tuples
+let mem t r = Tuple_set.mem t r.tuples
+
+let check_arity op r t =
+  if Tuple.arity t <> r.arity then
+    invalid_arg
+      (Printf.sprintf "Relation.%s: tuple arity %d, relation arity %d" op
+         (Tuple.arity t) r.arity)
+
+let add t r =
+  check_arity "add" r t;
+  { r with tuples = Tuple_set.add t r.tuples }
+
+let remove t r = { r with tuples = Tuple_set.remove t r.tuples }
+let of_list k ts = List.fold_left (fun r t -> add t r) (empty k) ts
+let to_list r = Tuple_set.elements r.tuples
+let fold f r acc = Tuple_set.fold f r.tuples acc
+let iter f r = Tuple_set.iter f r.tuples
+let filter p r = { r with tuples = Tuple_set.filter p r.tuples }
+
+let map k f r =
+  fold (fun t acc -> add (f t) acc) r (empty k)
+
+let exists p r = Tuple_set.exists p r.tuples
+let for_all p r = Tuple_set.for_all p r.tuples
+
+let same_arity op a b =
+  if a.arity <> b.arity then
+    invalid_arg
+      (Printf.sprintf "Relation.%s: arities %d and %d differ" op a.arity b.arity)
+
+let union a b =
+  same_arity "union" a b;
+  { a with tuples = Tuple_set.union a.tuples b.tuples }
+
+let inter a b =
+  same_arity "inter" a b;
+  { a with tuples = Tuple_set.inter a.tuples b.tuples }
+
+let diff a b =
+  same_arity "diff" a b;
+  { a with tuples = Tuple_set.diff a.tuples b.tuples }
+
+let subset a b = a.arity = b.arity && Tuple_set.subset a.tuples b.tuples
+let equal a b = a.arity = b.arity && Tuple_set.equal a.tuples b.tuples
+
+let compare a b =
+  let c = Stdlib.compare a.arity b.arity in
+  if c <> 0 then c else Tuple_set.compare a.tuples b.tuples
+
+let product a b =
+  let k = a.arity + b.arity in
+  fold
+    (fun ta acc -> fold (fun tb acc -> add (Tuple.append ta tb) acc) b acc)
+    a (empty k)
+
+let project idx r =
+  fold (fun t acc -> add (Tuple.project idx t) acc) r
+    (empty (Array.length idx))
+
+module Value_set = Set.Make (struct
+  type t = Value.t
+
+  let compare = Value.compare
+end)
+
+let active_domain r =
+  let vs =
+    fold
+      (fun t acc -> Array.fold_left (fun acc v -> Value_set.add v acc) acc t)
+      r Value_set.empty
+  in
+  Value_set.elements vs
+
+let pp ppf r =
+  Format.fprintf ppf "{@[%a@]}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       Tuple.pp)
+    (to_list r)

@@ -1,0 +1,87 @@
+(** Finite relations: immutable sets of same-arity tuples.
+
+    A relation carries its arity explicitly so that the empty relation of
+    arity [k] is distinguishable from the empty relation of arity [j]. All
+    operations are purely functional. *)
+
+type t
+(** A finite relation. *)
+
+val empty : int -> t
+(** [empty k] is the empty relation of arity [k]. Raises [Invalid_argument]
+    if [k < 0]. *)
+
+val arity : t -> int
+(** Arity of the relation. *)
+
+val is_empty : t -> bool
+(** [true] iff the relation holds no tuple. *)
+
+val cardinal : t -> int
+(** Number of tuples. *)
+
+val mem : Tuple.t -> t -> bool
+(** Membership test. *)
+
+val add : Tuple.t -> t -> t
+(** [add t r] inserts [t]. Raises [Invalid_argument] if the arity of [t]
+    differs from the arity of [r]. *)
+
+val remove : Tuple.t -> t -> t
+(** [remove t r] deletes [t]; identity if absent. *)
+
+val of_list : int -> Tuple.t list -> t
+(** [of_list k ts] builds a relation of arity [k] from [ts]. *)
+
+val to_list : t -> Tuple.t list
+(** Tuples in increasing {!Tuple.compare} order. *)
+
+val fold : (Tuple.t -> 'a -> 'a) -> t -> 'a -> 'a
+(** Fold over tuples in increasing order. *)
+
+val iter : (Tuple.t -> unit) -> t -> unit
+(** Iterate over tuples in increasing order. *)
+
+val filter : (Tuple.t -> bool) -> t -> t
+(** Keep the tuples satisfying the predicate. *)
+
+val map : int -> (Tuple.t -> Tuple.t) -> t -> t
+(** [map k f r] applies [f] to every tuple; the result has arity [k].
+    Raises [Invalid_argument] if some [f t] does not have arity [k]. *)
+
+val exists : (Tuple.t -> bool) -> t -> bool
+(** [true] iff some tuple satisfies the predicate. *)
+
+val for_all : (Tuple.t -> bool) -> t -> bool
+(** [true] iff every tuple satisfies the predicate. *)
+
+val union : t -> t -> t
+(** Set union. Raises [Invalid_argument] on arity mismatch. *)
+
+val inter : t -> t -> t
+(** Set intersection. Raises [Invalid_argument] on arity mismatch. *)
+
+val diff : t -> t -> t
+(** Set difference. Raises [Invalid_argument] on arity mismatch. *)
+
+val subset : t -> t -> bool
+(** [subset a b] is [true] iff every tuple of [a] is in [b]. *)
+
+val equal : t -> t -> bool
+(** Extensional equality (same arity, same tuples). *)
+
+val compare : t -> t -> int
+(** Total order consistent with {!equal}. *)
+
+val product : t -> t -> t
+(** Cartesian product; the arity of the result is the sum of the arities. *)
+
+val project : int array -> t -> t
+(** [project idx r] projects every tuple through {!Tuple.project}[ idx]
+    (duplicates collapse). *)
+
+val active_domain : t -> Value.t list
+(** All values occurring in the relation, sorted, without duplicates. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [{(..), (..), ...}]. *)

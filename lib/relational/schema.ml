@@ -1,0 +1,83 @@
+type attr = {
+  attr_name : string;
+  attr_ty : Value.ty;
+}
+
+type t = {
+  rel_name : string;
+  attrs : attr list;
+}
+
+let make name attrs =
+  if name = "" then invalid_arg "Schema.make: empty relation name";
+  let names = List.map fst attrs in
+  let sorted = List.sort_uniq String.compare names in
+  if List.length sorted <> List.length names then
+    invalid_arg ("Schema.make: duplicate attribute name in " ^ name);
+  { rel_name = name;
+    attrs = List.map (fun (attr_name, attr_ty) -> { attr_name; attr_ty }) attrs }
+
+let arity s = List.length s.attrs
+
+let attr_types s = Array.of_list (List.map (fun a -> a.attr_ty) s.attrs)
+
+let attr_index s name =
+  let rec loop i = function
+    | [] -> None
+    | a :: rest -> if a.attr_name = name then Some i else loop (i + 1) rest
+  in
+  loop 0 s.attrs
+
+let conforms s t =
+  let want = arity s in
+  let got = Tuple.arity t in
+  if got <> want then
+    Error
+      (Printf.sprintf "relation %s expects arity %d, tuple has arity %d"
+         s.rel_name want got)
+  else
+    let rec loop i = function
+      | [] -> Ok ()
+      | a :: rest ->
+        let ty = Value.type_of (Tuple.get t i) in
+        if ty <> a.attr_ty then
+          Error
+            (Printf.sprintf "relation %s attribute %s expects %s, got %s"
+               s.rel_name a.attr_name (Value.ty_name a.attr_ty)
+               (Value.ty_name ty))
+        else loop (i + 1) rest
+    in
+    loop 0 s.attrs
+
+let equal a b =
+  a.rel_name = b.rel_name
+  && List.length a.attrs = List.length b.attrs
+  && List.for_all2
+       (fun x y -> x.attr_name = y.attr_name && x.attr_ty = y.attr_ty)
+       a.attrs b.attrs
+
+let pp ppf s =
+  let pp_attr ppf a =
+    Format.fprintf ppf "%s:%s" a.attr_name (Value.ty_name a.attr_ty)
+  in
+  Format.fprintf ppf "%s(@[%a@])" s.rel_name
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ") pp_attr)
+    s.attrs
+
+module String_map = Map.Make (String)
+
+module Catalog = struct
+  type schema = t
+  type t = schema String_map.t
+
+  let empty = String_map.empty
+  let add s c = String_map.add s.rel_name s c
+  let of_list ss = List.fold_left (fun c s -> add s c) empty ss
+  let find name c = String_map.find_opt name c
+  let mem name c = String_map.mem name c
+  let names c = List.map fst (String_map.bindings c)
+  let schemas c = List.map snd (String_map.bindings c)
+
+  let pp ppf c =
+    Format.pp_print_list ~pp_sep:Format.pp_print_newline pp ppf (schemas c)
+end

@@ -1,0 +1,72 @@
+(** Relation schemas and database catalogs.
+
+    A schema gives a relation's name and the name and type of each attribute.
+    A catalog maps relation names to their schemas; every database and every
+    constraint is checked against a catalog. *)
+
+(** A named, typed attribute. *)
+type attr = {
+  attr_name : string;
+  attr_ty : Value.ty;
+}
+
+(** A relation schema. Attribute names within a schema are distinct. *)
+type t = {
+  rel_name : string;
+  attrs : attr list;
+}
+
+val make : string -> (string * Value.ty) list -> t
+(** [make name attrs] builds a schema. Raises [Invalid_argument] if attribute
+    names repeat or [name] is empty. *)
+
+val arity : t -> int
+(** Number of attributes. *)
+
+val attr_types : t -> Value.ty array
+(** Attribute types, in declaration order. *)
+
+val attr_index : t -> string -> int option
+(** [attr_index s a] is the position of attribute [a] in [s], if any. *)
+
+val conforms : t -> Tuple.t -> (unit, string) result
+(** [conforms s t] checks that [t] has the arity and field types required by
+    [s]. *)
+
+val equal : t -> t -> bool
+(** Structural equality. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [name(attr1:ty1, attr2:ty2, ...)]. *)
+
+(** Catalogs: immutable maps from relation name to schema. *)
+module Catalog : sig
+  type schema := t
+
+  type t
+  (** A catalog. *)
+
+  val empty : t
+  (** The catalog with no relations. *)
+
+  val add : schema -> t -> t
+  (** [add s c] binds [s.rel_name] to [s], replacing any previous binding. *)
+
+  val of_list : schema list -> t
+  (** [of_list ss] is [List.fold_right add ss empty]. *)
+
+  val find : string -> t -> schema option
+  (** Look a schema up by relation name. *)
+
+  val mem : string -> t -> bool
+  (** [mem name c] is [true] iff [c] has a schema named [name]. *)
+
+  val names : t -> string list
+  (** All relation names, sorted. *)
+
+  val schemas : t -> schema list
+  (** All schemas, sorted by relation name. *)
+
+  val pp : Format.formatter -> t -> unit
+  (** One schema per line. *)
+end

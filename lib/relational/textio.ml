@@ -1,0 +1,158 @@
+let ( let* ) r f = Result.bind r f
+
+let strip_comment line =
+  let n = String.length line in
+  let rec find i in_string =
+    if i >= n then n
+    else
+      match line.[i] with
+      | '"' -> find (i + 1) (not in_string)
+      | '\\' when in_string -> find (i + 2) in_string
+      | '#' when not in_string -> i
+      | _ -> find (i + 1) in_string
+  in
+  String.trim (String.sub line 0 (find 0 false))
+
+let split_values s =
+  let n = String.length s in
+  let parts = ref [] in
+  let buf = Buffer.create 16 in
+  let flush () =
+    parts := String.trim (Buffer.contents buf) :: !parts;
+    Buffer.clear buf
+  in
+  let rec go i in_string =
+    if i >= n then
+      if in_string then Error "unterminated string literal"
+      else begin
+        flush ();
+        Ok (List.rev !parts)
+      end
+    else
+      match s.[i] with
+      | '"' ->
+        Buffer.add_char buf '"';
+        go (i + 1) (not in_string)
+      | '\\' when in_string && i + 1 < n ->
+        Buffer.add_char buf '\\';
+        Buffer.add_char buf s.[i + 1];
+        go (i + 2) in_string
+      | ',' when not in_string ->
+        flush ();
+        go (i + 1) false
+      | c ->
+        Buffer.add_char buf c;
+        go (i + 1) in_string
+  in
+  if String.trim s = "" then Ok [] else go 0 false
+
+(* Split "name(body)" into the name and the text between the outer parens. *)
+let split_call s what =
+  match String.index_opt s '(' with
+  | None -> Error (Printf.sprintf "%s: missing '(' in %S" what s)
+  | Some i ->
+    let name = String.trim (String.sub s 0 i) in
+    if name = "" then Error (Printf.sprintf "%s: missing name in %S" what s)
+    else if String.length s = 0 || s.[String.length s - 1] <> ')' then
+      Error (Printf.sprintf "%s: missing ')' in %S" what s)
+    else
+      Ok (name, String.sub s (i + 1) (String.length s - i - 2))
+
+let parse_schema_line line =
+  let line = strip_comment line in
+  let prefix = "schema " in
+  if not (String.length line > String.length prefix
+          && String.sub line 0 (String.length prefix) = prefix)
+  then Error (Printf.sprintf "not a schema declaration: %S" line)
+  else
+    let rest = String.sub line 7 (String.length line - 7) in
+    let* name, body = split_call (String.trim rest) "schema" in
+    let* fields = split_values body in
+    let* attrs =
+      List.fold_left
+        (fun acc field ->
+          let* acc = acc in
+          match String.index_opt field ':' with
+          | None -> Error (Printf.sprintf "schema attribute %S lacks ':type'" field)
+          | Some i ->
+            let a = String.trim (String.sub field 0 i) in
+            let ty_s =
+              String.trim (String.sub field (i + 1) (String.length field - i - 1))
+            in
+            (match Value.ty_of_name ty_s with
+             | None -> Error (Printf.sprintf "unknown type %S" ty_s)
+             | Some ty -> Ok ((a, ty) :: acc)))
+        (Ok []) fields
+    in
+    (try Ok (Schema.make name (List.rev attrs))
+     with Invalid_argument m -> Error m)
+
+let parse_fact line =
+  let line = strip_comment line in
+  let* name, body = split_call line "fact" in
+  let* raw = split_values body in
+  let* values =
+    List.fold_left
+      (fun acc s ->
+        let* acc = acc in
+        let* v = Value.of_string s in
+        Ok (v :: acc))
+      (Ok []) raw
+  in
+  Ok (name, Tuple.make (List.rev values))
+
+let fact_to_string rel t =
+  let fields =
+    Array.to_list t |> List.map Value.to_string |> String.concat ", "
+  in
+  Printf.sprintf "%s(%s)" rel fields
+
+let schema_to_string (s : Schema.t) =
+  let fields =
+    List.map
+      (fun a -> Printf.sprintf "%s:%s" a.Schema.attr_name (Value.ty_name a.Schema.attr_ty))
+      s.attrs
+    |> String.concat ", "
+  in
+  Printf.sprintf "schema %s(%s)" s.rel_name fields
+
+let dump_database db =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun s ->
+      Buffer.add_string buf (schema_to_string s);
+      Buffer.add_char buf '\n')
+    (Schema.Catalog.schemas (Database.catalog db));
+  Database.fold
+    (fun name r () ->
+      Relation.iter
+        (fun t ->
+          Buffer.add_string buf (fact_to_string name t);
+          Buffer.add_char buf '\n')
+        r)
+    db ();
+  Buffer.contents buf
+
+let parse_database text =
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno cat facts = function
+    | [] ->
+      let db = Database.create cat in
+      List.fold_left
+        (fun acc (name, t) ->
+          let* db = acc in
+          Database.insert db name t)
+        (Ok db) (List.rev facts)
+    | line :: rest ->
+      let body = strip_comment line in
+      if body = "" then go (lineno + 1) cat facts rest
+      else if String.length body >= 7 && String.sub body 0 7 = "schema " then
+        match parse_schema_line body with
+        | Ok s -> go (lineno + 1) (Schema.Catalog.add s cat) facts rest
+        | Error m -> Error (Printf.sprintf "line %d: %s" lineno m)
+      else
+        match parse_fact body with
+        | Ok f -> go (lineno + 1) cat (f :: facts) rest
+        | Error m -> Error (Printf.sprintf "line %d: %s" lineno m)
+  in
+  go 1 Schema.Catalog.empty [] lines

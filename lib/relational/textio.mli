@@ -1,0 +1,41 @@
+(** Textual serialization of schemas and facts.
+
+    The concrete syntax is line-oriented and shared by database dumps, trace
+    files and the command-line tool:
+
+    {v
+    schema emp(name:str, sal:int)     # a schema declaration
+    emp("alice", 100)                 # a fact
+    v}
+
+    Comments start with [#] and run to the end of the line; blank lines are
+    ignored. *)
+
+val parse_schema_line : string -> (Schema.t, string) result
+(** Parse a [schema name(attr:ty, ...)] declaration. *)
+
+val parse_fact : string -> (string * Tuple.t, string) result
+(** Parse a fact [rel(v1, v2, ...)] into the relation name and tuple.
+    Values use {!Value.of_string} syntax; commas inside string literals are
+    handled. *)
+
+val split_values : string -> (string list, string) result
+(** Split a comma-separated value list, respecting double-quoted strings.
+    Exposed for reuse by the trace parser. *)
+
+val strip_comment : string -> string
+(** Remove a trailing [# ...] comment (quote-aware) and surrounding
+    whitespace. *)
+
+val fact_to_string : string -> Tuple.t -> string
+(** Render a fact in the concrete syntax accepted by {!parse_fact}. *)
+
+val schema_to_string : Schema.t -> string
+(** Render a schema declaration accepted by {!parse_schema_line}. *)
+
+val dump_database : Database.t -> string
+(** Render the catalog followed by every stored fact, one item per line. *)
+
+val parse_database : string -> (Database.t, string) result
+(** Parse the output of {!dump_database} (schemas may be interleaved with
+    facts as long as each schema appears before its facts). *)

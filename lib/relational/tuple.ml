@@ -1,0 +1,44 @@
+type t = Value.t array
+
+let make vs = Array.of_list vs
+let arity = Array.length
+let get t i =
+  if i < 0 || i >= Array.length t then invalid_arg "Tuple.get: index out of range";
+  t.(i)
+
+let compare a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else
+    let rec loop i =
+      if i >= la then 0
+      else
+        let c = Value.compare a.(i) b.(i) in
+        if c <> 0 then c else loop (i + 1)
+    in
+    loop 0
+
+let equal a b = compare a b = 0
+
+let hash t = Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 17 t
+
+let project idx t =
+  Array.map
+    (fun i ->
+      if i < 0 || i >= Array.length t then
+        invalid_arg "Tuple.project: index out of range"
+      else t.(i))
+    idx
+
+let append = Array.append
+
+let types t = Array.map Value.type_of t
+
+let pp ppf t =
+  Format.fprintf ppf "(@[%a@])"
+    (Format.pp_print_seq
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       Value.pp)
+    (Array.to_seq t)
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,42 @@
+(** Database tuples: fixed-arity sequences of {!Value.t}.
+
+    Tuples are immutable by convention: the arrays backing them must never be
+    mutated after construction. All functions in this module respect that
+    convention. *)
+
+type t = Value.t array
+
+val make : Value.t list -> t
+(** [make vs] is a tuple with the values of [vs], in order. *)
+
+val arity : t -> int
+(** Number of fields. *)
+
+val get : t -> int -> Value.t
+(** [get t i] is the [i]-th field (0-based). Raises [Invalid_argument] when
+    out of range. *)
+
+val compare : t -> t -> int
+(** Lexicographic order; shorter tuples sort before longer ones. *)
+
+val equal : t -> t -> bool
+(** [equal a b] is [compare a b = 0]. *)
+
+val hash : t -> int
+(** Hash compatible with {!equal}. *)
+
+val project : int array -> t -> t
+(** [project idx t] is the tuple [[| t.(idx.(0)); t.(idx.(1)); ... |]].
+    Raises [Invalid_argument] if an index is out of range. *)
+
+val append : t -> t -> t
+(** [append a b] concatenates the fields of [a] and [b]. *)
+
+val types : t -> Value.ty array
+(** Runtime type of each field. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [(v1, v2, ...)]. *)
+
+val to_string : t -> string
+(** [to_string t] is [Format.asprintf "%a" pp t]. *)

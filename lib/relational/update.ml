@@ -1,0 +1,38 @@
+type op =
+  | Insert of string * Tuple.t
+  | Delete of string * Tuple.t
+
+type transaction = op list
+
+let insert rel vs = Insert (rel, Tuple.make vs)
+let delete rel vs = Delete (rel, Tuple.make vs)
+
+let apply_op db = function
+  | Insert (rel, t) -> Database.insert db rel t
+  | Delete (rel, t) -> Database.delete db rel t
+
+let apply db txn =
+  let rec loop db = function
+    | [] -> Ok db
+    | op :: rest ->
+      (match apply_op db op with
+       | Ok db -> loop db rest
+       | Error _ as e -> e)
+  in
+  loop db txn
+
+let apply_exn db txn =
+  match apply db txn with
+  | Ok db -> db
+  | Error msg -> failwith ("transaction failed: " ^ msg)
+
+let invert = function
+  | Insert (rel, t) -> Delete (rel, t)
+  | Delete (rel, t) -> Insert (rel, t)
+
+let pp_op ppf = function
+  | Insert (rel, t) -> Format.fprintf ppf "+%s%a" rel Tuple.pp t
+  | Delete (rel, t) -> Format.fprintf ppf "-%s%a" rel Tuple.pp t
+
+let pp ppf txn =
+  Format.pp_print_list ~pp_sep:Format.pp_print_space pp_op ppf txn

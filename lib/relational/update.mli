@@ -1,0 +1,42 @@
+(** Database updates and transactions.
+
+    A transaction is an ordered list of primitive updates applied atomically:
+    either all of them type-check against the catalog and the transaction
+    commits, or none is applied. Transactions are the unit at which the
+    real-time clock stamps states and at which integrity constraints are
+    re-checked. *)
+
+(** A primitive update. *)
+type op =
+  | Insert of string * Tuple.t  (** [Insert (rel, t)] adds [t] to [rel]. *)
+  | Delete of string * Tuple.t  (** [Delete (rel, t)] removes [t] from [rel]. *)
+
+type transaction = op list
+(** An atomic batch of updates, applied left to right. *)
+
+val insert : string -> Value.t list -> op
+(** [insert rel vs] is [Insert (rel, Tuple.make vs)]. *)
+
+val delete : string -> Value.t list -> op
+(** [delete rel vs] is [Delete (rel, Tuple.make vs)]. *)
+
+val apply_op : Database.t -> op -> (Database.t, string) result
+(** Apply one primitive update. *)
+
+val apply : Database.t -> transaction -> (Database.t, string) result
+(** [apply db txn] applies all updates of [txn] in order; the first failing
+    update aborts the whole transaction and the original [db] is reported in
+    no way modified. *)
+
+val apply_exn : Database.t -> transaction -> Database.t
+(** Like {!apply} but raises [Failure] with the error message. *)
+
+val invert : op -> op
+(** [invert op] is the update undoing [op] (assuming [op] changed the state:
+    inserts invert to deletes and vice versa). *)
+
+val pp_op : Format.formatter -> op -> unit
+(** Prints as [+rel(v, ...)] or [-rel(v, ...)]. *)
+
+val pp : Format.formatter -> transaction -> unit
+(** Prints the updates separated by spaces. *)

@@ -1,0 +1,92 @@
+type ty =
+  | TInt
+  | TStr
+  | TBool
+  | TReal
+
+type t =
+  | Int of int
+  | Str of string
+  | Bool of bool
+  | Real of float
+
+let type_of = function
+  | Int _ -> TInt
+  | Str _ -> TStr
+  | Bool _ -> TBool
+  | Real _ -> TReal
+
+let ty_name = function
+  | TInt -> "int"
+  | TStr -> "str"
+  | TBool -> "bool"
+  | TReal -> "real"
+
+let ty_of_name = function
+  | "int" -> Some TInt
+  | "str" -> Some TStr
+  | "bool" -> Some TBool
+  | "real" -> Some TReal
+  | _ -> None
+
+let ty_rank = function
+  | TInt -> 0
+  | TStr -> 1
+  | TBool -> 2
+  | TReal -> 3
+
+let compare a b =
+  match a, b with
+  | Int x, Int y -> Stdlib.compare x y
+  | Str x, Str y -> Stdlib.compare x y
+  | Bool x, Bool y -> Stdlib.compare x y
+  | Real x, Real y -> Stdlib.compare x y
+  | _ -> Stdlib.compare (ty_rank (type_of a)) (ty_rank (type_of b))
+
+let equal a b = compare a b = 0
+
+let hash = function
+  | Int x -> Hashtbl.hash (0, x)
+  | Str x -> Hashtbl.hash (1, x)
+  | Bool x -> Hashtbl.hash (2, x)
+  | Real x -> Hashtbl.hash (3, x)
+
+let numeric = function
+  | Int x -> Some (float_of_int x)
+  | Real x -> Some x
+  | Str _ | Bool _ -> None
+
+let pp ppf = function
+  | Int x -> Format.pp_print_int ppf x
+  | Str x -> Format.fprintf ppf "%S" x
+  | Bool x -> Format.pp_print_bool ppf x
+  | Real x ->
+    (* Keep a trailing component so the output re-parses as a real. *)
+    let s = Printf.sprintf "%.12g" x in
+    if String.contains s '.' || String.contains s 'e'
+       || String.contains s 'n' || String.contains s 'i'
+    then Format.pp_print_string ppf s
+    else Format.fprintf ppf "%s.0" s
+
+let pp_ty ppf ty = Format.pp_print_string ppf (ty_name ty)
+
+let to_string v = Format.asprintf "%a" pp v
+
+let of_string s =
+  let s = String.trim s in
+  let n = String.length s in
+  if n = 0 then Error "empty value"
+  else if s = "true" then Ok (Bool true)
+  else if s = "false" then Ok (Bool false)
+  else if s.[0] = '"' then
+    if n >= 2 && s.[n - 1] = '"' then
+      try Ok (Str (Scanf.sscanf s "%S" (fun x -> x)))
+      with Scanf.Scan_failure m | Failure m -> Error ("bad string literal: " ^ m)
+    else Error ("unterminated string literal: " ^ s)
+  else
+    match int_of_string_opt s with
+    | Some i -> Ok (Int i)
+    | None ->
+      (match float_of_string_opt s with
+       | Some f -> Ok (Real f)
+       | None -> Error ("unrecognized value literal: " ^ s))

@@ -1,0 +1,61 @@
+(** Typed atomic values stored in database relations.
+
+    Values are the constants of the whole system: they populate tuples, appear
+    as constants in constraint formulas, and are compared by selection
+    predicates. Four primitive types are supported: integers, strings,
+    booleans and reals. *)
+
+(** The type of an atomic value. *)
+type ty =
+  | TInt
+  | TStr
+  | TBool
+  | TReal
+
+(** An atomic value. *)
+type t =
+  | Int of int
+  | Str of string
+  | Bool of bool
+  | Real of float
+
+val type_of : t -> ty
+(** [type_of v] is the runtime type of [v]. *)
+
+val ty_name : ty -> string
+(** [ty_name ty] is the concrete-syntax name of [ty]:
+    ["int"], ["str"], ["bool"] or ["real"]. *)
+
+val ty_of_name : string -> ty option
+(** [ty_of_name s] parses a type name as printed by {!ty_name}. *)
+
+val compare : t -> t -> int
+(** Total order on values. Values of distinct types are ordered by type
+    ([Int < Str < Bool < Real]); values of the same type are ordered by their
+    natural order. *)
+
+val equal : t -> t -> bool
+(** [equal a b] is [compare a b = 0]. *)
+
+val hash : t -> int
+(** A hash compatible with {!equal}. *)
+
+val numeric : t -> float option
+(** [numeric v] is the numeric magnitude of [v] if it is an [Int] or [Real],
+    and [None] otherwise. Used by order comparisons in constraint formulas,
+    which are only defined on numeric values. *)
+
+val pp : Format.formatter -> t -> unit
+(** Pretty-printer. Strings are printed quoted with escapes so that the
+    output can be re-parsed by {!of_string}. *)
+
+val pp_ty : Format.formatter -> ty -> unit
+(** Pretty-printer for types. *)
+
+val to_string : t -> string
+(** [to_string v] is [Format.asprintf "%a" pp v]. *)
+
+val of_string : string -> (t, string) result
+(** [of_string s] parses the concrete syntax produced by {!to_string}:
+    integer literals, [true]/[false], floating literals (containing ['.']),
+    and double-quoted strings. Returns [Error msg] on malformed input. *)

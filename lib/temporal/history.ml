@@ -1,0 +1,58 @@
+module Database = Rtic_relational.Database
+
+type t = {
+  snaps : (int * Database.t) array;  (* non-empty, strictly increasing times *)
+}
+
+let initial ~time db = { snaps = [| (time, db) |] }
+
+let last_time h = fst h.snaps.(Array.length h.snaps - 1)
+
+let extend h ~time db =
+  if time <= last_time h then
+    Error
+      (Printf.sprintf "non-increasing timestamp: %d after %d" time (last_time h))
+  else Ok { snaps = Array.append h.snaps [| (time, db) |] }
+
+let extend_exn h ~time db =
+  match extend h ~time db with
+  | Ok h -> h
+  | Error m -> invalid_arg ("History.extend_exn: " ^ m)
+
+let of_snapshots = function
+  | [] -> Error "empty history"
+  | (t0, d0) :: rest ->
+    List.fold_left
+      (fun acc (t, d) ->
+        match acc with
+        | Error _ as e -> e
+        | Ok h -> extend h ~time:t d)
+      (Ok (initial ~time:t0 d0))
+      rest
+
+let length h = Array.length h.snaps
+let last h = Array.length h.snaps - 1
+
+let check_pos h i =
+  if i < 0 || i >= Array.length h.snaps then
+    invalid_arg (Printf.sprintf "History: position %d out of range" i)
+
+let time h i =
+  check_pos h i;
+  fst h.snaps.(i)
+
+let db h i =
+  check_pos h i;
+  snd h.snaps.(i)
+
+let snapshots h = Array.to_list h.snaps
+
+let stored_tuples h =
+  Array.fold_left (fun acc (_, d) -> acc + Database.cardinal d) 0 h.snaps
+
+let pp ppf h =
+  Array.iteri
+    (fun i (t, d) ->
+      if i > 0 then Format.pp_print_newline ppf ();
+      Format.fprintf ppf "@[<v>@%d@,%a@]" t Database.pp d)
+    h.snaps

@@ -1,0 +1,51 @@
+(** Timed database histories.
+
+    A history is a finite sequence of snapshots
+    [(D_0, t_0), (D_1, t_1), ..., (D_n, t_n)] with strictly increasing
+    integer timestamps: each snapshot is the database state committed by one
+    transaction, stamped by the real-time clock. Histories are what the
+    {i naive} checker stores in full and what the paper's incremental checker
+    avoids storing.
+
+    Positions are 0-based indices into the sequence. *)
+
+type t
+(** A non-empty timed history. *)
+
+val initial : time:int -> Rtic_relational.Database.t -> t
+(** [initial ~time db] is the one-snapshot history [(db, time)]. *)
+
+val extend : t -> time:int -> Rtic_relational.Database.t -> (t, string) result
+(** [extend h ~time db] appends a snapshot; fails unless [time] is strictly
+    greater than the last timestamp. *)
+
+val extend_exn : t -> time:int -> Rtic_relational.Database.t -> t
+(** Like {!extend} but raises [Invalid_argument]. *)
+
+val of_snapshots : (int * Rtic_relational.Database.t) list -> (t, string) result
+(** Build from an explicit snapshot list; fails on an empty list or
+    non-increasing timestamps. *)
+
+val length : t -> int
+(** Number of snapshots (at least 1). *)
+
+val last : t -> int
+(** Index of the last snapshot, i.e. [length h - 1]. *)
+
+val time : t -> int -> int
+(** [time h i] is the timestamp of snapshot [i].
+    Raises [Invalid_argument] when out of range. *)
+
+val db : t -> int -> Rtic_relational.Database.t
+(** [db h i] is the database of snapshot [i].
+    Raises [Invalid_argument] when out of range. *)
+
+val snapshots : t -> (int * Rtic_relational.Database.t) list
+(** All snapshots in order. *)
+
+val stored_tuples : t -> int
+(** Total number of tuples stored across all snapshots — the space cost of
+    keeping the full history, measured by the benchmarks. *)
+
+val pp : Format.formatter -> t -> unit
+(** One snapshot per block: [@time] followed by the database. *)

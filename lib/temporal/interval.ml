@@ -1,0 +1,70 @@
+type t = {
+  lo : int;
+  hi : int option;
+}
+
+let make l u =
+  if l < 0 then invalid_arg "Interval.make: negative lower bound";
+  (match u with
+   | Some u when u < l -> invalid_arg "Interval.make: upper bound below lower"
+   | _ -> ());
+  { lo = l; hi = u }
+
+let bounded l u = make l (Some u)
+let unbounded l = make l None
+let full = { lo = 0; hi = None }
+let point k = make k (Some k)
+let lo i = i.lo
+let hi i = i.hi
+let is_bounded i = i.hi <> None
+let is_full i = i.lo = 0 && i.hi = None
+
+let mem d i =
+  d >= i.lo && (match i.hi with None -> true | Some u -> d <= u)
+
+let width i =
+  match i.hi with
+  | None -> None
+  | Some u -> Some (u - i.lo)
+
+let inter a b =
+  let l = max a.lo b.lo in
+  let u =
+    match a.hi, b.hi with
+    | None, x | x, None -> x
+    | Some x, Some y -> Some (min x y)
+  in
+  match u with
+  | Some u when u < l -> None
+  | _ -> Some { lo = l; hi = u }
+
+let hull a b =
+  let l = min a.lo b.lo in
+  let u =
+    match a.hi, b.hi with
+    | None, _ | _, None -> None
+    | Some x, Some y -> Some (max x y)
+  in
+  { lo = l; hi = u }
+
+let shift k i =
+  { lo = max 0 (i.lo + k); hi = Option.map (fun u -> max 0 (u + k)) i.hi }
+
+let equal a b = a.lo = b.lo && a.hi = b.hi
+
+let compare a b =
+  let c = Stdlib.compare a.lo b.lo in
+  if c <> 0 then c
+  else
+    match a.hi, b.hi with
+    | None, None -> 0
+    | None, Some _ -> 1
+    | Some _, None -> -1
+    | Some x, Some y -> Stdlib.compare x y
+
+let pp_always ppf i =
+  match i.hi with
+  | None -> Format.fprintf ppf "[%d,inf]" i.lo
+  | Some u -> Format.fprintf ppf "[%d,%d]" i.lo u
+
+let pp ppf i = if is_full i then () else pp_always ppf i

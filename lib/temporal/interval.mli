@@ -1,0 +1,70 @@
+(** Metric intervals for real-time temporal operators.
+
+    An interval [[l, u]] constrains the distance (in clock ticks) between the
+    current state and a past state: [l] is a natural number, [u] is a natural
+    number or infinity, and [l <= u]. Intervals decorate every temporal
+    operator of the constraint language; the special interval [[0, ∞]]
+    recovers the qualitative (non-real-time) operators. *)
+
+type t
+(** A metric interval. Abstract to preserve the invariants [0 <= lo] and
+    [lo <= hi] when the upper bound is finite. *)
+
+val make : int -> int option -> t
+(** [make l u] is [[l, u]]; [u = None] means infinity.
+    Raises [Invalid_argument] if [l < 0] or [u < l]. *)
+
+val bounded : int -> int -> t
+(** [bounded l u] is [make l (Some u)]. *)
+
+val unbounded : int -> t
+(** [unbounded l] is [[l, ∞]]. *)
+
+val full : t
+(** [[0, ∞]] — the qualitative interval. *)
+
+val point : int -> t
+(** [point k] is [[k, k]]. *)
+
+val lo : t -> int
+(** Lower bound. *)
+
+val hi : t -> int option
+(** Upper bound; [None] for infinity. *)
+
+val is_bounded : t -> bool
+(** [true] iff the upper bound is finite. *)
+
+val is_full : t -> bool
+(** [true] iff the interval is [[0, ∞]]. *)
+
+val mem : int -> t -> bool
+(** [mem d i] is [true] iff distance [d] lies in [i]. Distances are never
+    negative in well-formed histories, but negative [d] simply yields
+    [false]. *)
+
+val width : t -> int option
+(** [width [l,u]] is [Some (u - l)], or [None] when unbounded. *)
+
+val inter : t -> t -> t option
+(** Intersection, or [None] when disjoint. *)
+
+val hull : t -> t -> t
+(** Smallest interval containing both arguments. *)
+
+val shift : int -> t -> t
+(** [shift k i] adds [k] to both bounds, clamping the lower bound at 0.
+    Used when composing nested operator windows. *)
+
+val equal : t -> t -> bool
+(** Structural equality. *)
+
+val compare : t -> t -> int
+(** Total order (by lower bound, then upper, with ∞ greatest). *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [[l,u]] or [[l,inf]]; prints nothing for the full interval
+    (matching the concrete syntax where [once p] means [once[0,inf] p]). *)
+
+val pp_always : Format.formatter -> t -> unit
+(** Like {!pp} but prints the full interval explicitly as [[0,inf]]. *)

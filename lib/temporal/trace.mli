@@ -1,0 +1,66 @@
+(** Update traces: the input stream of a constraint monitor.
+
+    A trace is a catalog, an (unstamped) initial database, and a non-empty
+    sequence of timestamped transactions. Materializing a trace yields the
+    timed history whose snapshot [i] is the state after transaction [i],
+    stamped with that transaction's commit time. The incremental checker
+    consumes traces one transaction at a time; the naive checker materializes
+    them in full.
+
+    Concrete text syntax (see {!parse}):
+    {v
+    schema emp(name:str, sal:int)
+    @0
+    +emp("alice", 100)
+    @5
+    -emp("alice", 100)
+    +emp("alice", 120)
+    v}
+    Each [@t] opens a transaction committed at time [t]; [+fact] and [-fact]
+    lines are its inserts and deletes. Timestamps must strictly increase. *)
+
+type t = {
+  cat : Rtic_relational.Schema.Catalog.t;
+  init : Rtic_relational.Database.t;
+      (** State before the first transaction; not itself a snapshot. *)
+  steps : (int * Rtic_relational.Update.transaction) list;
+      (** Timestamped transactions, strictly increasing times, non-empty. *)
+}
+
+val make :
+  Rtic_relational.Schema.Catalog.t ->
+  ?init:Rtic_relational.Database.t ->
+  (int * Rtic_relational.Update.transaction) list ->
+  (t, string) result
+(** [make cat ~init steps] validates that [steps] is non-empty, timestamps
+    strictly increase, and every transaction applies cleanly from [init]
+    (types, known relations). [init] defaults to the empty database over
+    [cat]. *)
+
+val make_exn :
+  Rtic_relational.Schema.Catalog.t ->
+  ?init:Rtic_relational.Database.t ->
+  (int * Rtic_relational.Update.transaction) list ->
+  t
+(** Like {!make} but raises [Invalid_argument]. *)
+
+val length : t -> int
+(** Number of transactions. *)
+
+val materialize : t -> (History.t, string) result
+(** Replay all transactions into a full timed history. *)
+
+val materialize_exn : t -> History.t
+(** Like {!materialize} but raises [Failure]. *)
+
+val parse : string -> (t, string) result
+(** Parse the text syntax described above. *)
+
+val to_string : t -> string
+(** Render in the text syntax; [parse (to_string tr)] succeeds and yields a
+    trace with the same materialization whenever [tr.init] is empty (an
+    initial database is rendered as an extra leading transaction only if
+    non-empty, in which case it is folded into the first snapshot). *)
+
+val pp : Format.formatter -> t -> unit
+(** Same output as {!to_string}. *)

@@ -1,0 +1,274 @@
+module Value = Rtic_relational.Value
+module Schema = Rtic_relational.Schema
+module Database = Rtic_relational.Database
+module Relation = Rtic_relational.Relation
+module Update = Rtic_relational.Update
+module Trace = Rtic_temporal.Trace
+module Interval = Rtic_temporal.Interval
+module F = Rtic_mtl.Formula
+
+let generic_catalog =
+  Schema.Catalog.of_list
+    [ Schema.make "p" [ ("a", Value.TInt) ];
+      Schema.make "q" [ ("a", Value.TInt) ];
+      Schema.make "r" [ ("a", Value.TInt); ("b", Value.TInt) ];
+      Schema.make "e" [] ]
+
+type params = {
+  steps : int;
+  domain : int;
+  txn_size : int;
+  max_gap : int;
+  delete_bias : float;
+}
+
+let default_params =
+  { steps = 100; domain = 8; txn_size = 3; max_gap = 3; delete_bias = 0.4 }
+
+let pick rng xs = List.nth xs (Random.State.int rng (List.length xs))
+
+let random_tuple rng domain = function
+  | "p" | "q" -> [ Value.Int (Random.State.int rng domain) ]
+  | "r" ->
+    [ Value.Int (Random.State.int rng domain);
+      Value.Int (Random.State.int rng domain) ]
+  | "e" -> []
+  | rel -> invalid_arg ("Gen.random_tuple: unknown relation " ^ rel)
+
+let random_trace ~seed params =
+  if params.steps < 1 then invalid_arg "Gen.random_trace: steps must be >= 1";
+  if params.txn_size < 1 then invalid_arg "Gen.random_trace: txn_size must be >= 1";
+  let rng = Random.State.make [| seed; 0x7a5e |] in
+  let db = ref (Database.create generic_catalog) in
+  let time = ref 0 in
+  let steps = ref [] in
+  for _ = 1 to params.steps do
+    time := !time + 1 + Random.State.int rng params.max_gap;
+    let txn = ref [] in
+    for _ = 1 to params.txn_size do
+      let rel = pick rng [ "p"; "q"; "r"; "r"; "e" ] in
+      let existing = Database.relation_exn !db rel in
+      let deletable = not (Relation.is_empty existing) in
+      let op =
+        if deletable && Random.State.float rng 1.0 < params.delete_bias then
+          let tuples = Relation.to_list existing in
+          Update.Delete (rel, pick rng tuples)
+        else
+          Update.Insert (rel, Array.of_list (random_tuple rng params.domain rel))
+      in
+      (match Update.apply_op !db op with
+       | Ok db' ->
+         db := db';
+         txn := op :: !txn
+       | Error _ -> ())
+    done;
+    steps := (!time, List.rev !txn) :: !steps
+  done;
+  Trace.make_exn generic_catalog (List.rev !steps)
+
+(* --- Random monitorable formulas ------------------------------------- *)
+
+let x = F.Var "x"
+let y = F.Var "y"
+
+type cfg = {
+  rng : Random.State.t;
+  bounded_only : bool;  (* forbid [l,inf] intervals (buffer monitoring) *)
+  future : bool;        (* allow bounded future operators *)
+  fo_only : bool;       (* no temporal operators at all *)
+}
+
+let random_interval cfg =
+  let rng = cfg.rng in
+  match Random.State.int rng (if cfg.bounded_only then 3 else 4) with
+  | 0 -> if cfg.bounded_only then Interval.bounded 0 6 else Interval.full
+  | 1 -> Interval.bounded 0 (Random.State.int rng 7)
+  | 2 ->
+    let l = Random.State.int rng 4 in
+    Interval.bounded l (l + Random.State.int rng 6)
+  | _ -> Interval.unbounded (Random.State.int rng 4)
+
+(* Future intervals must always be bounded. *)
+let random_future_interval cfg =
+  let rng = cfg.rng in
+  if Random.State.bool rng then Interval.bounded 0 (Random.State.int rng 7)
+  else
+    let l = Random.State.int rng 4 in
+    Interval.bounded l (l + Random.State.int rng 6)
+
+let random_cmp rng = pick rng F.[ Eq; Ne; Lt; Le; Gt; Ge ]
+
+(* Open formulas with exactly the target free variables, safe by
+   construction. [budget] bounds temporal nesting. When [cfg.future] is set
+   the generator also emits bounded future operators (always with bounded
+   intervals); when [cfg.bounded_only] is set, past intervals are bounded
+   too, so the result is buffer-monitorable. *)
+let rec gen_x cfg budget =
+  let rng = cfg.rng in
+  let leaf () =
+    (* transition atoms are multi-state: not in fo_only mode *)
+    match Random.State.int rng (if cfg.fo_only then 3 else 5) with
+    | 0 -> F.Atom ("p", [ x ])
+    | 1 -> F.Atom ("q", [ x ])
+    | 2 when not cfg.fo_only -> F.Inserted ("p", [ x ])
+    | 3 when not cfg.fo_only -> F.Deleted ("q", [ x ])
+    | _ -> F.Exists ([ "y" ], F.Atom ("r", [ x; y ]))
+  in
+  if budget <= 0 || Random.State.int rng 3 = 0 then leaf ()
+  else
+    match
+      (if cfg.fo_only then Random.State.int rng 4
+       else Random.State.int rng (if cfg.future then 11 else 8))
+    with
+    | 0 -> F.And (gen_x cfg (budget - 1), gen_x cfg (budget - 1))
+    | 1 -> F.Or (gen_x cfg (budget - 1), gen_x cfg (budget - 1))
+    | 2 ->
+      let lhs =
+        if Random.State.int rng 3 = 0 then
+          F.Add (x, F.Const (Value.Int (Random.State.int rng 4)))
+        else x
+      in
+      F.And
+        ( gen_x cfg (budget - 1),
+          F.Cmp (random_cmp rng, lhs, F.Const (Value.Int (Random.State.int rng 8))) )
+    | 3 -> F.And (gen_x cfg (budget - 1), F.Not (gen_x cfg (budget - 1)))
+    | 4 -> F.Once (random_interval cfg, gen_x cfg (budget - 1))
+    | 5 -> F.Prev (random_interval cfg, gen_x cfg (budget - 1))
+    | 6 ->
+      F.Since (random_interval cfg, gen_x cfg (budget - 1), gen_x cfg (budget - 1))
+    | 7 ->
+      F.Since
+        ( random_interval cfg,
+          F.Not (gen_x cfg (budget - 1)),
+          gen_x cfg (budget - 1) )
+    | 8 -> F.Eventually (random_future_interval cfg, gen_x cfg (budget - 1))
+    | 9 -> F.Next (random_future_interval cfg, gen_x cfg (budget - 1))
+    | _ ->
+      F.Until
+        (random_future_interval cfg, gen_x cfg (budget - 1), gen_x cfg (budget - 1))
+
+and gen_xy cfg budget =
+  let rng = cfg.rng in
+  let leaf () =
+    match Random.State.int rng (if cfg.fo_only then 3 else 4) with
+    | 0 -> F.Atom ("r", [ x; y ])
+    | 1 -> F.And (F.Atom ("p", [ x ]), F.Atom ("q", [ y ]))
+    | 2 when not cfg.fo_only -> F.Inserted ("r", [ x; y ])
+    | _ -> F.And (F.Atom ("q", [ x ]), F.Atom ("p", [ y ]))
+  in
+  if budget <= 0 || Random.State.int rng 3 = 0 then leaf ()
+  else
+    match
+      (if cfg.fo_only then Random.State.int rng 4
+       else Random.State.int rng (if cfg.future then 10 else 8))
+    with
+    | 0 -> F.And (gen_xy cfg (budget - 1), gen_x cfg (budget - 1))
+    | 1 -> F.Or (gen_xy cfg (budget - 1), gen_xy cfg (budget - 1))
+    | 2 ->
+      let rhs =
+        match Random.State.int rng 3 with
+        | 0 -> y
+        | 1 -> F.Add (y, F.Const (Value.Int (Random.State.int rng 5)))
+        | _ -> F.Sub (F.Mul (y, F.Const (Value.Int 2)), F.Const (Value.Int (Random.State.int rng 5)))
+      in
+      F.And (gen_xy cfg (budget - 1), F.Cmp (random_cmp rng, x, rhs))
+    | 3 ->
+      let g =
+        if Random.State.bool rng then gen_x cfg (budget - 1)
+        else gen_xy cfg (budget - 1)
+      in
+      F.And (gen_xy cfg (budget - 1), F.Not g)
+    | 4 -> F.Once (random_interval cfg, gen_xy cfg (budget - 1))
+    | 5 -> F.Prev (random_interval cfg, gen_xy cfg (budget - 1))
+    | 6 ->
+      let left =
+        if Random.State.bool rng then gen_x cfg (budget - 1)
+        else gen_xy cfg (budget - 1)
+      in
+      F.Since (random_interval cfg, left, gen_xy cfg (budget - 1))
+    | 7 ->
+      let left =
+        if Random.State.bool rng then gen_x cfg (budget - 1)
+        else gen_xy cfg (budget - 1)
+      in
+      F.Since (random_interval cfg, F.Not left, gen_xy cfg (budget - 1))
+    (* Always over an open positive operand normalizes to an unguardable
+       negation (like historically); only closed/negated operands are
+       monitorable, so the open generators stick to eventually. *)
+    | 8 -> F.Eventually (random_future_interval cfg, gen_xy cfg (budget - 1))
+    | _ ->
+      let left =
+        if Random.State.bool rng then gen_x cfg (budget - 1)
+        else gen_xy cfg (budget - 1)
+      in
+      F.Until (random_future_interval cfg, left, gen_xy cfg (budget - 1))
+
+and gen_closed cfg budget =
+  let rng = cfg.rng in
+  match
+    (if cfg.fo_only then [| 0; 5; 6; 7; 8; 9 |].(Random.State.int rng 6)
+     else Random.State.int rng (if cfg.future then 13 else 10))
+  with
+  | 0 ->
+    if cfg.fo_only || Random.State.bool rng then F.Atom ("e", [])
+    else F.Inserted ("e", [])
+  | 1 when budget > 0 -> F.Once (random_interval cfg, gen_closed cfg (budget - 1))
+  | 2 when budget > 0 -> F.Prev (random_interval cfg, gen_closed cfg (budget - 1))
+  | 3 when budget > 0 ->
+    F.Since
+      (random_interval cfg, gen_closed cfg (budget - 1), gen_closed cfg (budget - 1))
+  | 4 when budget > 0 ->
+    F.Historically (random_interval cfg, gen_closed cfg (budget - 1))
+  | 5 -> F.Not (gen_closed cfg (budget - 1))
+  | 6 -> F.And (gen_closed cfg (budget - 1), gen_closed cfg (budget - 1))
+  | 7 -> F.Or (gen_closed cfg (budget - 1), gen_closed cfg (budget - 1))
+  | 8 -> F.Exists ([ "x" ], gen_x cfg budget)
+  | 9 -> F.Forall ([ "x"; "y" ], F.Implies (gen_xy cfg budget, gen_xy cfg budget))
+  | 10 when budget > 0 ->
+    F.Eventually (random_future_interval cfg, gen_closed cfg (budget - 1))
+  | 11 when budget > 0 ->
+    F.Always (random_future_interval cfg, gen_closed cfg (budget - 1))
+  | 12 when budget > 0 ->
+    F.Until
+      (random_future_interval cfg, gen_closed cfg (budget - 1),
+       gen_closed cfg (budget - 1))
+  | _ -> F.Atom ("e", [])
+
+let random_formula ~seed ~depth =
+  let cfg =
+    { rng = Random.State.make [| seed; 0x0f0f |];
+      bounded_only = false;
+      future = false;
+      fo_only = false }
+  in
+  gen_closed cfg depth
+
+let random_formulas ~seed ~depth ~count =
+  List.init count (fun i -> random_formula ~seed:(seed + (1000 * i)) ~depth)
+
+let random_bounded_future_formula ~seed ~depth =
+  let cfg =
+    { rng = Random.State.make [| seed; 0xf07e |];
+      bounded_only = true;
+      future = true;
+      fo_only = false }
+  in
+  gen_closed cfg depth
+
+let random_fo_formula ~seed ~depth =
+  let cfg =
+    { rng = Random.State.make [| seed; 0xf0f0 |];
+      bounded_only = true;
+      future = false;
+      fo_only = true }
+  in
+  gen_closed cfg depth
+
+let random_open_fo_formula ~seed ~depth =
+  let cfg =
+    { rng = Random.State.make [| seed; 0x0ff0 |];
+      bounded_only = true;
+      future = false;
+      fo_only = true }
+  in
+  if Random.State.bool cfg.rng then gen_x cfg depth else gen_xy cfg depth

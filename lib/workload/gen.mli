@@ -1,0 +1,55 @@
+(** Deterministic synthetic workload generation.
+
+    All generators are pure functions of their [seed]: the same parameters
+    always produce the same trace, so tests and benchmarks are reproducible.
+
+    The generic catalog used by random traces and formulas:
+    {v
+    p(a:int)   q(a:int)   r(a:int, b:int)   e()
+    v}
+    [p], [q], [r] are state relations (tuples persist until deleted); [e] is
+    a 0-ary event relation toggled at random. *)
+
+val generic_catalog : Rtic_relational.Schema.Catalog.t
+(** The four-relation catalog above. *)
+
+(** Parameters of the generic random trace. *)
+type params = {
+  steps : int;        (** number of transactions (>= 1) *)
+  domain : int;       (** values are drawn from [0, domain) *)
+  txn_size : int;     (** updates per transaction (>= 1) *)
+  max_gap : int;      (** clock advance per transaction is uniform in [1, max_gap] *)
+  delete_bias : float;(** probability that an update is a deletion of an
+                          existing tuple rather than an insertion *)
+}
+
+val default_params : params
+(** [{ steps = 100; domain = 8; txn_size = 3; max_gap = 3; delete_bias = 0.4 }] *)
+
+val random_trace : seed:int -> params -> Rtic_temporal.Trace.t
+(** A random update stream over {!generic_catalog}. Deletions target tuples
+    currently in the database when possible, so relations keep a bounded
+    population. *)
+
+val random_formula : seed:int -> depth:int -> Rtic_mtl.Formula.t
+(** A random {e closed, well-typed, monitorable} constraint body over
+    {!generic_catalog}, with temporal operators nested up to [depth]. Safety
+    holds by construction; the generator covers atoms, conjunction, guarded
+    negation and comparisons, disjunction, quantifiers and all three
+    temporal operators (including the negated-left [since] idiom). *)
+
+val random_formulas : seed:int -> depth:int -> count:int -> Rtic_mtl.Formula.t list
+(** [count] independent formulas derived from [seed]. *)
+
+val random_bounded_future_formula : seed:int -> depth:int -> Rtic_mtl.Formula.t
+(** Like {!random_formula} but every interval is bounded and the bounded
+    future operators ([next], [until], [eventually], [always]) may appear —
+    the fragment monitored by {!Rtic_core.Future} via verdict delay. *)
+
+val random_fo_formula : seed:int -> depth:int -> Rtic_mtl.Formula.t
+(** A random closed monitorable formula with {e no} temporal operators —
+    used to test the first-order query compiler ({!Rtic_eval.Codd}). *)
+
+val random_open_fo_formula : seed:int -> depth:int -> Rtic_mtl.Formula.t
+(** Like {!random_fo_formula} but open: exactly the free variables [x] (or
+    [x] and [y]); evaluates to a non-trivial valuation relation. *)

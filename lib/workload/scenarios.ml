@@ -1,0 +1,554 @@
+module Value = Rtic_relational.Value
+module Schema = Rtic_relational.Schema
+module Database = Rtic_relational.Database
+module Update = Rtic_relational.Update
+module Trace = Rtic_temporal.Trace
+module F = Rtic_mtl.Formula
+module Parser = Rtic_mtl.Parser
+
+type t = {
+  name : string;
+  catalog : Schema.Catalog.t;
+  constraints : F.def list;
+  generate : seed:int -> steps:int -> violation_rate:float -> Trace.t;
+}
+
+let def_exn src =
+  match Parser.def_of_string src with
+  | Ok d -> d
+  | Error m -> failwith (Printf.sprintf "Scenarios: bad constraint %S: %s" src m)
+
+let str s = Value.Str s
+let int n = Value.Int n
+
+(* Shared helper: each step consists of deletions of the previous step's
+   event facts, then the step's own operations. *)
+module Event_queue = struct
+  type t = Update.op list ref
+
+  let create () : t = ref []
+
+  let flush (q : t) =
+    let deletions = List.map Update.invert !q in
+    q := [];
+    deletions
+
+  let emit (q : t) op =
+    q := op :: !q;
+    op
+end
+
+(* ---------------------------------------------------------------- *)
+(* Banking                                                           *)
+(* ---------------------------------------------------------------- *)
+
+let banking_catalog =
+  Schema.Catalog.of_list
+    [ Schema.make "salary" [ ("emp", Value.TStr); ("amt", Value.TInt) ];
+      Schema.make "account" [ ("acct", Value.TStr) ];
+      Schema.make "withdraw" [ ("acct", Value.TStr); ("amt", Value.TInt) ];
+      Schema.make "audit" [ ("acct", Value.TStr) ] ]
+
+let banking_constraints =
+  [ def_exn
+      "constraint salary_monotone: forall e, s, t. salary(e, s) & prev once \
+       salary(e, t) -> s >= t ;";
+    def_exn
+      "constraint withdraw_rate_limit: forall a, m. withdraw(a, m) & m > 500 \
+       -> not once[1,10] (exists n. (withdraw(a, n) & n > 500)) ;";
+    def_exn
+      "constraint big_withdraw_audited: forall a, m. withdraw(a, m) & m > \
+       900 -> once[0,20] audit(a) ;" ]
+
+let banking_generate ~seed ~steps ~violation_rate =
+  let rng = Random.State.make [| seed; 0xba7b |] in
+  let employees = [| "amy"; "bob"; "cho"; "dee"; "eli" |] in
+  let accounts = [| "a1"; "a2"; "a3"; "a4" |] in
+  let salaries = Hashtbl.create 8 in
+  let last_big = Hashtbl.create 8 in
+  let last_audit = Hashtbl.create 8 in
+  let events = Event_queue.create () in
+  let time = ref 0 in
+  let out = ref [] in
+  for _ = 1 to steps do
+    time := !time + 1 + Random.State.int rng 3;
+    let now = !time in
+    let txn = ref (Event_queue.flush events) in
+    let add op = txn := !txn @ [ op ] in
+    let violate = Random.State.float rng 1.0 < violation_rate in
+    if violate then begin
+      match Random.State.int rng 3 with
+      | 0 ->
+        (* salary decrease *)
+        let e = employees.(Random.State.int rng (Array.length employees)) in
+        (match Hashtbl.find_opt salaries e with
+         | Some s when s > 10 ->
+           add (Update.Delete ("salary", [| str e; int s |]));
+           add (Update.Insert ("salary", [| str e; int (s - 10) |]));
+           Hashtbl.replace salaries e (s - 10)
+         | _ ->
+           Hashtbl.replace salaries e 10;
+           add (Update.Insert ("salary", [| str e; int 10 |])))
+      | 1 ->
+        (* two big withdrawals within the rate-limit window *)
+        let a = accounts.(Random.State.int rng (Array.length accounts)) in
+        add (Event_queue.emit events (Update.Insert ("withdraw", [| str a; int 800 |])));
+        Hashtbl.replace last_big a now
+        (* the violation manifests on the *next* big withdrawal; force one
+           soon by resetting the tracker into the window *)
+      | _ ->
+        (* large withdrawal with no recent audit *)
+        let a = accounts.(Random.State.int rng (Array.length accounts)) in
+        if (match Hashtbl.find_opt last_audit a with
+            | Some t -> now - t > 20
+            | None -> true)
+        then
+          add
+            (Event_queue.emit events (Update.Insert ("withdraw", [| str a; int 950 |])))
+        else
+          add (Event_queue.emit events (Update.Insert ("withdraw", [| str a; int 990 |])))
+    end
+    else begin
+      (* normal activity *)
+      (match Random.State.int rng 5 with
+       | 0 ->
+         (* raise somebody's salary *)
+         let e = employees.(Random.State.int rng (Array.length employees)) in
+         let old = Hashtbl.find_opt salaries e in
+         let s = (match old with Some s -> s | None -> 50) in
+         let s' = s + 1 + Random.State.int rng 20 in
+         (match old with
+          | Some s -> add (Update.Delete ("salary", [| str e; int s |]))
+          | None -> ());
+         add (Update.Insert ("salary", [| str e; int s' |]));
+         Hashtbl.replace salaries e s'
+       | 1 ->
+         let a = accounts.(Random.State.int rng (Array.length accounts)) in
+         add (Update.Insert ("account", [| str a |]))
+       | 2 ->
+         (* small withdrawal, always legal *)
+         let a = accounts.(Random.State.int rng (Array.length accounts)) in
+         let m = 1 + Random.State.int rng 400 in
+         add (Event_queue.emit events (Update.Insert ("withdraw", [| str a; int m |])))
+       | 3 ->
+         (* audited large withdrawal, spaced beyond the rate limit *)
+         let a = accounts.(Random.State.int rng (Array.length accounts)) in
+         let spaced =
+           match Hashtbl.find_opt last_big a with
+           | Some t -> now - t > 10
+           | None -> true
+         in
+         if spaced then begin
+           add (Event_queue.emit events (Update.Insert ("audit", [| str a |])));
+           Hashtbl.replace last_audit a now;
+           add
+             (Event_queue.emit events
+                (Update.Insert ("withdraw", [| str a; int (901 + Random.State.int rng 99) |])));
+           Hashtbl.replace last_big a now
+         end
+         else begin
+           let m = 1 + Random.State.int rng 400 in
+           add (Event_queue.emit events (Update.Insert ("withdraw", [| str a; int m |])))
+         end
+       | _ ->
+         let a = accounts.(Random.State.int rng (Array.length accounts)) in
+         add (Event_queue.emit events (Update.Insert ("audit", [| str a |])));
+         Hashtbl.replace last_audit a now)
+    end;
+    out := (now, !txn) :: !out
+  done;
+  Trace.make_exn banking_catalog (List.rev !out)
+
+let banking =
+  { name = "banking";
+    catalog = banking_catalog;
+    constraints = banking_constraints;
+    generate = banking_generate }
+
+(* ---------------------------------------------------------------- *)
+(* Library loans                                                     *)
+(* ---------------------------------------------------------------- *)
+
+let library_catalog =
+  Schema.Catalog.of_list
+    [ Schema.make "member" [ ("patron", Value.TStr) ];
+      Schema.make "borrow" [ ("patron", Value.TStr); ("book", Value.TStr) ];
+      Schema.make "return" [ ("patron", Value.TStr); ("book", Value.TStr) ] ]
+
+let library_constraints =
+  [ def_exn
+      "constraint member_borrow: forall p, b. borrow(p, b) -> member(p) ;";
+    def_exn
+      "constraint no_double_borrow: forall p, b. borrow(p, b) -> not prev \
+       ((not (exists q. return(q, b))) since (exists q. borrow(q, b))) ;";
+    def_exn
+      "constraint loan_expiry: not (exists b. ((not (exists q. return(q, \
+       b))) since[29,inf] (exists p. borrow(p, b)))) ;" ]
+
+let library_generate ~seed ~steps ~violation_rate =
+  let rng = Random.State.make [| seed; 0x11bb |] in
+  let patrons = [| "ann"; "ben"; "cat"; "dan" |] in
+  let books = [| "b1"; "b2"; "b3"; "b4"; "b5"; "b6" |] in
+  let members = Hashtbl.create 8 in
+  let out_books = Hashtbl.create 8 in (* book -> (patron, borrow time) *)
+  let events = Event_queue.create () in
+  let time = ref 0 in
+  let out = ref [] in
+  for _ = 1 to steps do
+    time := !time + 1 + Random.State.int rng 3;
+    let now = !time in
+    let txn = ref (Event_queue.flush events) in
+    let add op = txn := !txn @ [ op ] in
+    (* A return only clears the "since borrowed" chain at states strictly
+       after the borrow witness, so a book returned in this very step must
+       not be lent again before the next step. *)
+    let returned_this_step = Hashtbl.create 4 in
+    let do_return patron book =
+      add (Event_queue.emit events (Update.Insert ("return", [| str patron; str book |])));
+      Hashtbl.remove out_books book;
+      Hashtbl.replace returned_this_step book ()
+    in
+    let lendable b =
+      (not (Hashtbl.mem out_books b)) && not (Hashtbl.mem returned_this_step b)
+    in
+    (* Forced returns: books about to exceed the 28-tick loan period. *)
+    Hashtbl.iter
+      (fun book (patron, t0) -> if now - t0 >= 22 then do_return patron book)
+      (Hashtbl.copy out_books);
+    let violate = Random.State.float rng 1.0 < violation_rate in
+    if violate then begin
+      match Random.State.int rng 2 with
+      | 0 ->
+        (* borrow by a non-member *)
+        let p = "zed" in
+        let avail = Array.to_list books |> List.filter lendable in
+        (match avail with
+         | b :: _ ->
+           add (Event_queue.emit events (Update.Insert ("borrow", [| str p; str b |])));
+           Hashtbl.replace out_books b (p, now)
+         | [] -> ())
+      | _ ->
+        (* double borrow: borrow a book that is already out *)
+        let outs = Hashtbl.fold (fun b _ acc -> b :: acc) out_books [] in
+        (match outs with
+         | b :: _ ->
+           let p = patrons.(Random.State.int rng (Array.length patrons)) in
+           if not (Hashtbl.mem members p) then begin
+             Hashtbl.replace members p ();
+             add (Update.Insert ("member", [| str p |]))
+           end;
+           add (Event_queue.emit events (Update.Insert ("borrow", [| str p; str b |])))
+         | [] -> ())
+    end
+    else begin
+      match Random.State.int rng 4 with
+      | 0 ->
+        let p = patrons.(Random.State.int rng (Array.length patrons)) in
+        if not (Hashtbl.mem members p) then begin
+          Hashtbl.replace members p ();
+          add (Update.Insert ("member", [| str p |]))
+        end
+      | 1 | 2 ->
+        (* legal borrow: a member takes an available book *)
+        let p = patrons.(Random.State.int rng (Array.length patrons)) in
+        if not (Hashtbl.mem members p) then begin
+          Hashtbl.replace members p ();
+          add (Update.Insert ("member", [| str p |]))
+        end;
+        let avail = Array.to_list books |> List.filter lendable in
+        (match avail with
+         | [] -> ()
+         | bs ->
+           let b = List.nth bs (Random.State.int rng (List.length bs)) in
+           add (Event_queue.emit events (Update.Insert ("borrow", [| str p; str b |])));
+           Hashtbl.replace out_books b (p, now))
+      | _ ->
+        (* voluntary early return *)
+        let outs = Hashtbl.fold (fun b pt acc -> (b, pt) :: acc) out_books [] in
+        (match outs with
+         | (b, (p, _)) :: _ -> do_return p b
+         | [] -> ())
+    end;
+    out := (now, !txn) :: !out
+  done;
+  Trace.make_exn library_catalog (List.rev !out)
+
+let library =
+  { name = "library";
+    catalog = library_catalog;
+    constraints = library_constraints;
+    generate = library_generate }
+
+(* ---------------------------------------------------------------- *)
+(* Process monitoring                                                *)
+(* ---------------------------------------------------------------- *)
+
+let monitoring_catalog =
+  Schema.Catalog.of_list
+    [ Schema.make "sensor" [ ("id", Value.TStr); ("val", Value.TInt) ];
+      Schema.make "fault" [ ("id", Value.TStr) ];
+      Schema.make "alarm" [ ("id", Value.TStr) ];
+      Schema.make "ack" [ ("id", Value.TStr) ] ]
+
+let monitoring_constraints =
+  [ def_exn
+      "constraint alarm_has_fault: forall i. alarm(i) -> once[0,30] fault(i) ;";
+    def_exn "constraint ack_has_alarm: forall i. ack(i) -> once[0,5] alarm(i) ;";
+    def_exn
+      "constraint no_flapping: forall i. alarm(i) -> not once[1,20] alarm(i) ;";
+    def_exn
+      "constraint sensor_range: forall i, v. sensor(i, v) -> v >= 0 & v <= \
+       100 ;";
+    def_exn
+      "constraint sensor_smooth: forall i, v, w. sensor(i, v) & prev \
+       sensor(i, w) -> v <= w + 10 & v >= w - 10 ;" ]
+
+let monitoring_generate ~seed ~steps ~violation_rate =
+  let rng = Random.State.make [| seed; 0x5e45 |] in
+  let ids = [| "s1"; "s2"; "s3" |] in
+  let sensor_vals = Hashtbl.create 8 in
+  let last_alarm = Hashtbl.create 8 in
+  let recent_fault = Hashtbl.create 8 in (* id -> fault time *)
+  let events = Event_queue.create () in
+  let time = ref 0 in
+  let out = ref [] in
+  for _ = 1 to steps do
+    time := !time + 1 + Random.State.int rng 3;
+    let now = !time in
+    let txn = ref (Event_queue.flush events) in
+    let add op = txn := !txn @ [ op ] in
+    let violate = Random.State.float rng 1.0 < violation_rate in
+    let pick_id () = ids.(Random.State.int rng (Array.length ids)) in
+    if violate then begin
+      match Random.State.int rng 3 with
+      | 0 ->
+        (* alarm with no recent fault *)
+        let i = pick_id () in
+        if (match Hashtbl.find_opt recent_fault i with
+            | Some t -> now - t > 30
+            | None -> true)
+        then add (Event_queue.emit events (Update.Insert ("alarm", [| str i |])))
+        else add (Event_queue.emit events (Update.Insert ("ack", [| str i |])))
+      | 1 ->
+        (* out-of-range (and discontinuous) sensor value *)
+        let i = pick_id () in
+        (match Hashtbl.find_opt sensor_vals i with
+         | Some v -> add (Update.Delete ("sensor", [| str i; int v |]))
+         | None -> ());
+        let bad = 101 + Random.State.int rng 100 in
+        add (Update.Insert ("sensor", [| str i; int bad |]));
+        Hashtbl.replace sensor_vals i bad
+      | _ ->
+        (* stray acknowledgement *)
+        let i = pick_id () in
+        if (match Hashtbl.find_opt last_alarm i with
+            | Some t -> now - t > 5
+            | None -> true)
+        then add (Event_queue.emit events (Update.Insert ("ack", [| str i |])))
+        else add (Event_queue.emit events (Update.Insert ("fault", [| str i |])))
+    end
+    else begin
+      match Random.State.int rng 4 with
+      | 0 ->
+        (* sensor update: bounded random walk within range *)
+        let i = pick_id () in
+        let old = Hashtbl.find_opt sensor_vals i in
+        (match old with
+         | Some v -> add (Update.Delete ("sensor", [| str i; int v |]))
+         | None -> ());
+        let v =
+          match old with
+          | None -> Random.State.int rng 101
+          | Some w -> max 0 (min 100 (w - 10 + Random.State.int rng 21))
+        in
+        add (Update.Insert ("sensor", [| str i; int v |]));
+        Hashtbl.replace sensor_vals i v
+      | 1 ->
+        (* a fault occurs *)
+        let i = pick_id () in
+        add (Event_queue.emit events (Update.Insert ("fault", [| str i |])));
+        Hashtbl.replace recent_fault i now
+      | 2 ->
+        (* alarm for a recent fault, respecting the flap limit;
+           acknowledge immediately *)
+        let i = pick_id () in
+        let fault_ok =
+          match Hashtbl.find_opt recent_fault i with
+          | Some t -> now - t <= 30
+          | None -> false
+        in
+        let flap_ok =
+          match Hashtbl.find_opt last_alarm i with
+          | Some t -> now - t > 20
+          | None -> true
+        in
+        if fault_ok && flap_ok then begin
+          add (Event_queue.emit events (Update.Insert ("alarm", [| str i |])));
+          Hashtbl.replace last_alarm i now;
+          if Random.State.bool rng then
+            add (Event_queue.emit events (Update.Insert ("ack", [| str i |])))
+        end
+        else begin
+          add (Event_queue.emit events (Update.Insert ("fault", [| str i |])));
+          Hashtbl.replace recent_fault i now
+        end
+      | _ ->
+        (* quiet step: fresh fault to keep the pipeline busy *)
+        let i = pick_id () in
+        add (Event_queue.emit events (Update.Insert ("fault", [| str i |])));
+        Hashtbl.replace recent_fault i now
+    end;
+    out := (now, !txn) :: !out
+  done;
+  Trace.make_exn monitoring_catalog (List.rev !out)
+
+let monitoring =
+  { name = "monitoring";
+    catalog = monitoring_catalog;
+    constraints = monitoring_constraints;
+    generate = monitoring_generate }
+
+(* ---------------------------------------------------------------- *)
+(* Order fulfillment (logistics)                                     *)
+(* ---------------------------------------------------------------- *)
+
+let logistics_catalog =
+  Schema.Catalog.of_list
+    [ Schema.make "order" [ ("id", Value.TStr) ];
+      Schema.make "ship" [ ("id", Value.TStr) ];
+      Schema.make "cancel" [ ("id", Value.TStr) ] ]
+
+let logistics_constraints =
+  [ def_exn
+      "constraint ship_has_order: forall i. ship(i) -> once[0,15] order(i) ;";
+    def_exn
+      "constraint no_ship_after_cancel: forall i. ship(i) -> not once \
+       cancel(i) ;";
+    def_exn
+      "constraint order_fulfilled: not (exists i. ((not (ship(i) | \
+       cancel(i))) since[21,inf] order(i))) ;" ]
+
+let logistics_generate ~seed ~steps ~violation_rate =
+  let rng = Random.State.make [| seed; 0x10c5 |] in
+  let events = Event_queue.create () in
+  let open_orders = Hashtbl.create 16 in  (* id -> order time *)
+  let cancelled = Hashtbl.create 16 in
+  let neglected = Hashtbl.create 4 in     (* injected expiry violations *)
+  let next_id = ref 0 in
+  let fresh_id () =
+    incr next_id;
+    Printf.sprintf "o%d" !next_id
+  in
+  let time = ref 0 in
+  let out = ref [] in
+  for _ = 1 to steps do
+    time := !time + 1 + Random.State.int rng 3;
+    let now = !time in
+    let txn = ref (Event_queue.flush events) in
+    let add op = txn := !txn @ [ op ] in
+    (* Deadline handling: open orders must be shipped or cancelled before
+       the 21-tick fulfilment limit, except those deliberately neglected. *)
+    Hashtbl.iter
+      (fun id t0 ->
+        (* neglected orders are left to expire (an injected violation), but
+           even those are cancelled eventually so one injection does not
+           violate at every later state *)
+        let deadline = if Hashtbl.mem neglected id then 50 else 16 in
+        if now - t0 >= deadline then begin
+          add (Event_queue.emit events (Update.Insert ("cancel", [| str id |])));
+          Hashtbl.replace cancelled id ();
+          Hashtbl.remove open_orders id;
+          Hashtbl.remove neglected id
+        end)
+      (Hashtbl.copy open_orders);
+    let violate = Random.State.float rng 1.0 < violation_rate in
+    if violate then begin
+      match Random.State.int rng 3 with
+      | 0 ->
+        (* ship something that was never ordered *)
+        add (Event_queue.emit events (Update.Insert ("ship", [| str (fresh_id () ^ "x") |])))
+      | 1 ->
+        (* ship a cancelled order *)
+        let ids = Hashtbl.fold (fun id () acc -> id :: acc) cancelled [] in
+        (match ids with
+         | id :: _ ->
+           add (Event_queue.emit events (Update.Insert ("ship", [| str id |])))
+         | [] ->
+           add (Event_queue.emit events (Update.Insert ("ship", [| str (fresh_id () ^ "y") |]))))
+      | _ ->
+        (* neglect an open order so that it expires unfulfilled *)
+        let ids = Hashtbl.fold (fun id _ acc -> id :: acc) open_orders [] in
+        (match ids with
+         | id :: _ -> Hashtbl.replace neglected id ()
+         | [] ->
+           let id = fresh_id () in
+           add (Event_queue.emit events (Update.Insert ("order", [| str id |])));
+           Hashtbl.replace open_orders id now;
+           Hashtbl.replace neglected id ())
+    end
+    else begin
+      match Random.State.int rng 3 with
+      | 0 ->
+        (* place a new order *)
+        let id = fresh_id () in
+        add (Event_queue.emit events (Update.Insert ("order", [| str id |])));
+        Hashtbl.replace open_orders id now
+      | 1 ->
+        (* ship an open, recent, never-cancelled order *)
+        let candidates =
+          Hashtbl.fold
+            (fun id t0 acc ->
+              if now - t0 <= 15 && not (Hashtbl.mem cancelled id)
+                 && not (Hashtbl.mem neglected id)
+              then id :: acc
+              else acc)
+            open_orders []
+        in
+        (match candidates with
+         | id :: _ ->
+           add (Event_queue.emit events (Update.Insert ("ship", [| str id |])));
+           Hashtbl.remove open_orders id
+         | [] ->
+           let id = fresh_id () in
+           add (Event_queue.emit events (Update.Insert ("order", [| str id |])));
+           Hashtbl.replace open_orders id now)
+      | _ ->
+        (* voluntary cancellation *)
+        let ids =
+          Hashtbl.fold
+            (fun id _ acc ->
+              if Hashtbl.mem neglected id then acc else id :: acc)
+            open_orders []
+        in
+        (match ids with
+         | id :: _ ->
+           add (Event_queue.emit events (Update.Insert ("cancel", [| str id |])));
+           Hashtbl.replace cancelled id ();
+           Hashtbl.remove open_orders id
+         | [] ->
+           let id = fresh_id () in
+           add (Event_queue.emit events (Update.Insert ("order", [| str id |])));
+           Hashtbl.replace open_orders id now)
+    end;
+    out := (now, !txn) :: !out
+  done;
+  Trace.make_exn logistics_catalog (List.rev !out)
+
+let logistics =
+  { name = "logistics";
+    catalog = logistics_catalog;
+    constraints = logistics_constraints;
+    generate = logistics_generate }
+
+let all = [ banking; library; monitoring; logistics ]
+
+let constraint_catalog =
+  let tagged prefix scenario =
+    List.mapi
+      (fun i d -> (Printf.sprintf "C%s%d" prefix (i + 1), d))
+      scenario.constraints
+  in
+  List.mapi
+    (fun i (_, d) -> (Printf.sprintf "C%d" (i + 1), d))
+    (tagged "b" banking @ tagged "l" library @ tagged "m" monitoring
+     @ tagged "o" logistics)

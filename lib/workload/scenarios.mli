@@ -1,0 +1,41 @@
+(** Realistic workloads: the paper's motivating application domains.
+
+    Four scenarios, each bundling a schema, a set of named real-time
+    constraints (the benchmark catalog C1–C13), and a deterministic trace
+    generator that can be asked to produce clean traces or to inject
+    violations at a given rate.
+
+    - {b Banking}: salaries and withdrawals. Salaries must never decrease;
+      large withdrawals must be rate-limited; audited accounts must have a
+      recent audit event.
+    - {b Library}: book loans. Borrowing requires membership; a book cannot
+      be borrowed while it is out; loans expire after 28 ticks.
+    - {b Monitoring}: sensors, faults and alarms. Alarms must be preceded by
+      a recent fault; acknowledgements must follow recent alarms; alarms
+      must not flap; sensor readings must stay in range.
+    - {b Logistics}: order fulfilment. A shipment needs a recent order; a
+      cancelled order is never shipped; every order is shipped or cancelled
+      within 21 ticks. *)
+
+type t = {
+  name : string;
+  catalog : Rtic_relational.Schema.Catalog.t;
+  constraints : Rtic_mtl.Formula.def list;
+  generate : seed:int -> steps:int -> violation_rate:float -> Rtic_temporal.Trace.t;
+      (** [generate ~seed ~steps ~violation_rate] produces [steps]
+          transactions; with rate 0.0 the trace satisfies every constraint of
+          the scenario, and with a positive rate each step may instead
+          perform a violating update with that probability. *)
+}
+
+val banking : t
+val library : t
+val monitoring : t
+val logistics : t
+
+val all : t list
+(** The four scenarios. *)
+
+val constraint_catalog : (string * Rtic_mtl.Formula.def) list
+(** The benchmark constraints C1–C13 with their experiment ids, drawn from
+    the four scenarios (used by E7). *)

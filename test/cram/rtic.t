@@ -1,0 +1,173 @@
+The rtic command-line tool, end to end.
+
+A small spec and trace:
+
+  $ cat > loans.spec <<'EOF'
+  > schema member(patron:str)
+  > schema borrow(patron:str, book:str)
+  > schema return(patron:str, book:str)
+  > constraint member_borrow:
+  >   forall p, b. borrow(p, b) -> member(p) ;
+  > constraint loan_expiry:
+  >   not (exists b. ((not (exists q. return(q, b))) since[29,inf]
+  >                   (exists p. borrow(p, b)))) ;
+  > EOF
+
+  $ cat > loans.trace <<'EOF'
+  > schema member(patron:str)
+  > schema borrow(patron:str, book:str)
+  > schema return(patron:str, book:str)
+  > @0
+  > +member("ann")
+  > @2
+  > +borrow("ann", "b1")
+  > @3
+  > -borrow("ann", "b1")
+  > +borrow("zed", "b2")
+  > @40
+  > -borrow("zed", "b2")
+  > EOF
+
+parse reports monitorability and windows:
+
+  $ rtic parse loans.spec
+  catalog: 3 relation(s)
+    borrow(patron:str, book:str)
+    member(patron:str)
+    return(patron:str, book:str)
+  constraints: 2
+  
+  constraint member_borrow:
+    forall p, b. borrow(p, b) -> member(p)
+    normalized:   not (exists p, b. borrow(p, b) & not member(p))
+    past window:  0 ticks
+    future horizon: 0 (pure past)
+  
+  constraint loan_expiry:
+    not (exists b. not (exists q. return(q, b)) since[29,inf] (exists p. borrow(p, b)))
+    normalized:   not (exists b. not (exists q. return(q, b)) since[29,inf] (exists p. borrow(p, b)))
+    past window:  unbounded
+    future horizon: 0 (pure past)
+
+
+
+check finds the two violations (zed is not a member; b2 expires):
+
+  $ rtic check loans.spec loans.trace
+  [3] constraint member_borrow violated at position 2
+  [40] constraint loan_expiry violated at position 3
+  4 transaction(s), 2 violation(s)
+  [1]
+
+the three engines agree:
+
+  $ rtic check -q --engine naive loans.spec loans.trace
+  4 transaction(s), 2 violation(s)
+  [1]
+  $ rtic check -q --engine active loans.spec loans.trace
+  4 transaction(s), 2 violation(s)
+  [1]
+  $ rtic check -q --no-prune loans.spec loans.trace
+  4 transaction(s), 2 violation(s)
+  [1]
+
+explain names the culprits:
+
+  $ rtic explain loans.spec loans.trace member_borrow
+  
+  violated at position 2 (time 3)
+    witness: b = "b2", p = "zed"
+  [1]
+
+
+rules shows the compiled maintenance rules:
+
+  $ rtic rules loans.spec | head -4
+  constraint member_borrow:
+  constraint loan_expiry:
+    table _aux0(b:str, _ts:int)
+    rule maintain__aux0 (for not (exists q. return(q, b)) since[29,inf] (exists p. borrow(p, b))):
+
+gen produces a trace the checker accepts:
+
+  $ rtic gen --scenario monitoring --steps 20 --seed 4 -o m.trace --spec-out m.spec
+  $ rtic check -q m.spec m.trace
+  20 transaction(s), 0 violation(s)
+
+errors are reported with locations:
+
+  $ cat > bad.spec <<'EOF'
+  > schema p(a:int)
+  > constraint broken: exists x, y. (p(x) & x < y) ;
+  > EOF
+  $ rtic parse bad.spec
+  catalog: 1 relation(s)
+    p(a:int)
+  constraints: 1
+  
+  constraint broken:
+    exists x, y. p(x) & x < y
+    NOT MONITORABLE: constraint broken is not monitorable: comparison variables not bound by the safe conjuncts: x < y
+
+
+checkpointing: run the first half, save, resume with the second half:
+
+  $ cat > part1.trace <<'TRACE'
+  > schema member(patron:str)
+  > schema borrow(patron:str, book:str)
+  > schema return(patron:str, book:str)
+  > @0
+  > +member("ann")
+  > @2
+  > +borrow("ann", "b1")
+  > TRACE
+  $ cat > part2.trace <<'TRACE'
+  > schema member(patron:str)
+  > schema borrow(patron:str, book:str)
+  > schema return(patron:str, book:str)
+  > @3
+  > -borrow("ann", "b1")
+  > +borrow("zed", "b2")
+  > @40
+  > -borrow("zed", "b2")
+  > TRACE
+  $ rtic check -q --save-state state.ck loans.spec part1.trace
+  2 transaction(s), 0 violation(s)
+  $ rtic check --load-state state.ck loans.spec part2.trace
+  [3] constraint member_borrow violated at position 2
+  [40] constraint loan_expiry violated at position 3
+  2 transaction(s), 2 violation(s)
+  [1]
+
+statistics:
+
+  $ rtic check -q --stats loans.spec loans.trace
+  transactions:    4
+  clock range:     0 .. 40 (40 ticks)
+  violations:      2 (0.500 per transaction)
+  peak aux space:  2 stored pairs
+  by constraint:
+    loan_expiry                    1
+    member_borrow                  1
+  4 transaction(s), 2 violation(s)
+  [1]
+
+ad-hoc queries (open formulas print witnesses; transition atoms work):
+
+  $ rtic query loans.spec loans.trace 'borrow(p, b)' --at 2
+  at position 2 (time 3): 1 witness(es)
+    b = "b2", p = "zed"
+  $ rtic query loans.spec loans.trace '+borrow(p, b)' --at 2
+  at position 2 (time 3): 1 witness(es)
+    b = "b2", p = "zed"
+  $ rtic query loans.spec loans.trace 'exists p, b. -borrow(p, b)' --at 2
+  at position 2 (time 3): true
+  $ rtic query loans.spec loans.trace 'member(p) & not (exists b. (once borrow(p, b)))'
+  at position 3 (time 40): 0 witness(es)
+  [1]
+
+the shared-kernel engine agrees too:
+
+  $ rtic check -q --engine shared loans.spec loans.trace
+  4 transaction(s), 2 violation(s)
+  [1]

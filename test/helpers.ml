@@ -1,0 +1,88 @@
+(* Shared helpers for the test suite. *)
+
+module Value = Rtic_relational.Value
+module Tuple = Rtic_relational.Tuple
+module Schema = Rtic_relational.Schema
+module Relation = Rtic_relational.Relation
+module Database = Rtic_relational.Database
+module Update = Rtic_relational.Update
+module Algebra = Rtic_relational.Algebra
+module Textio = Rtic_relational.Textio
+module Interval = Rtic_temporal.Interval
+module History = Rtic_temporal.History
+module Trace = Rtic_temporal.Trace
+module Formula = Rtic_mtl.Formula
+module Parser = Rtic_mtl.Parser
+module Pretty = Rtic_mtl.Pretty
+module Rewrite = Rtic_mtl.Rewrite
+module Typecheck = Rtic_mtl.Typecheck
+module Safety = Rtic_mtl.Safety
+module Closure = Rtic_mtl.Closure
+module Valrel = Rtic_eval.Valrel
+module Naive = Rtic_eval.Naive
+module Incremental = Rtic_core.Incremental
+module Monitor = Rtic_core.Monitor
+module Bounds = Rtic_core.Bounds
+module Gen = Rtic_workload.Gen
+module Scenarios = Rtic_workload.Scenarios
+
+let get_ok what = function
+  | Ok v -> v
+  | Error m -> Alcotest.failf "%s: %s" what m
+
+let get_error what = function
+  | Ok _ -> Alcotest.failf "%s: expected an error" what
+  | Error m -> m
+
+let parse_formula s = get_ok ("parse " ^ s) (Parser.formula_of_string s)
+
+let generic_schemas =
+  "schema p(a:int)\nschema q(a:int)\nschema r(a:int, b:int)\nschema e()\n"
+
+let trace_of_text text = get_ok "parse trace" (Trace.parse text)
+
+let history_of_text text =
+  get_ok "materialize" (Trace.materialize (trace_of_text text))
+
+let generic_history body = history_of_text (generic_schemas ^ body)
+
+(* Run a closed formula at every position of a history with the naive
+   evaluator, returning the satisfaction vector. *)
+let naive_vector h f =
+  List.init (History.length h) (fun i ->
+      get_ok "naive eval" (Naive.holds_at h i f))
+
+(* Same vector via the incremental checker. *)
+let incremental_vector ?config cat h f =
+  let d = { Formula.name = "t"; body = f } in
+  let st = get_ok "create checker" (Incremental.create ?config cat d) in
+  let _, rev =
+    List.fold_left
+      (fun (st, acc) (time, db) ->
+        let st, v = get_ok "step" (Incremental.step st ~time db) in
+        (st, v.Incremental.satisfied :: acc))
+      (st, [])
+      (History.snapshots h)
+  in
+  List.rev rev
+
+let bool_list = Alcotest.(list bool)
+let int_list = Alcotest.(list int)
+
+let check_vector name h f expected =
+  Alcotest.check bool_list (name ^ " (naive)") expected (naive_vector h f)
+
+let check_both_vectors name cat h f expected =
+  Alcotest.check bool_list (name ^ " (naive)") expected (naive_vector h f);
+  Alcotest.check bool_list
+    (name ^ " (incremental)")
+    expected
+    (incremental_vector cat h f);
+  Alcotest.check bool_list
+    (name ^ " (incremental, no pruning)")
+    expected
+    (incremental_vector ~config:{ Incremental.prune = false } cat h f)
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count ~name gen prop)

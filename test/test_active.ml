@@ -1,0 +1,103 @@
+(* The compiled active-rule engine must agree with the incremental checker
+   and with the naive semantics on every trace. *)
+
+open Helpers
+module Compile = Rtic_active.Compile
+
+let active_vector cat h f =
+  let d = { Formula.name = "t"; body = f } in
+  let prog = get_ok "compile" (Compile.compile cat d) in
+  let _, rev =
+    List.fold_left
+      (fun (eng, acc) (time, db) ->
+        let eng, ok = get_ok "step" (Compile.step eng ~time db) in
+        (eng, ok :: acc))
+      (Compile.start prog, [])
+      (History.snapshots h)
+  in
+  List.rev rev
+
+let agreement =
+  qtest ~count:120 "active rules = naive on random formulas/traces"
+    QCheck.(pair small_nat small_nat)
+    (fun (fseed, tseed) ->
+      let f = Gen.random_formula ~seed:(fseed + 13) ~depth:4 in
+      let tr =
+        Gen.random_trace ~seed:(tseed + 13)
+          { Gen.default_params with steps = 35 }
+      in
+      let h = get_ok "materialize" (Trace.materialize tr) in
+      naive_vector h f = active_vector Gen.generic_catalog h f)
+
+let scenario_agreement =
+  List.map
+    (fun (sc : Scenarios.t) ->
+      Alcotest.test_case (sc.name ^ " compiled = incremental") `Quick (fun () ->
+          let tr = sc.generate ~seed:42 ~steps:80 ~violation_rate:0.25 in
+          let h = get_ok "m" (Trace.materialize tr) in
+          List.iter
+            (fun (d : Formula.def) ->
+              Alcotest.check bool_list d.name
+                (incremental_vector sc.catalog h d.body)
+                (active_vector sc.catalog h d.body))
+            sc.constraints))
+    Scenarios.all
+
+let structure_cases =
+  [ Alcotest.test_case "emits one rule per temporal subformula" `Quick
+      (fun () ->
+        let d =
+          { Formula.name = "c";
+            body =
+              parse_formula
+                "forall x. q(x) -> once[0,5] p(x) & prev (p(x) since q(x))" }
+        in
+        let prog = get_ok "compile" (Compile.compile Gen.generic_catalog d) in
+        let rs = Compile.rules prog in
+        Alcotest.(check int) "three rules" 3 (List.length rs);
+        List.iter
+          (fun (r : Compile.rule_desc) ->
+            Alcotest.(check bool) "described" true
+              (String.length r.description > 0);
+            Alcotest.(check bool) "targets an aux table" true
+              (String.length r.target > 4))
+          rs);
+    Alcotest.test_case "aux tables typed from the constraint" `Quick (fun () ->
+        let cat = Scenarios.banking.Scenarios.catalog in
+        let d =
+          { Formula.name = "c";
+            body = parse_formula "forall e, s. salary(e, s) -> once[0,9] salary(e, s)" }
+        in
+        let prog = get_ok "compile" (Compile.compile cat d) in
+        let aux = Compile.aux_catalog prog in
+        match Schema.Catalog.schemas aux with
+        | [ s ] ->
+          Alcotest.(check int) "vars + _ts" 3 (Schema.arity s);
+          Alcotest.(check bool) "_ts is int" true
+            (List.exists
+               (fun a -> a.Schema.attr_name = "_ts" && a.Schema.attr_ty = Value.TInt)
+               s.Schema.attrs)
+        | _ -> Alcotest.fail "expected exactly one auxiliary table");
+    Alcotest.test_case "space comparable to incremental" `Quick (fun () ->
+        let sc = Scenarios.monitoring in
+        let tr = sc.generate ~seed:7 ~steps:60 ~violation_rate:0.0 in
+        let h = get_ok "m" (Trace.materialize tr) in
+        let d = List.hd sc.constraints in
+        let prog = get_ok "compile" (Compile.compile sc.catalog d) in
+        let eng =
+          List.fold_left
+            (fun eng (time, db) -> fst (get_ok "step" (Compile.step eng ~time db)))
+            (Compile.start prog) (History.snapshots h)
+        in
+        let st =
+          List.fold_left
+            (fun st (time, db) -> fst (get_ok "step" (Incremental.step st ~time db)))
+            (get_ok "create" (Incremental.create sc.catalog d))
+            (History.snapshots h)
+        in
+        Alcotest.(check int) "same stored pairs" (Incremental.space st)
+          (Compile.space eng)) ]
+
+let suite =
+  [ ("active:agreement", agreement :: scenario_agreement);
+    ("active:structure", structure_cases) ]

@@ -1,0 +1,147 @@
+(* The paper's correctness theorem, tested: on every trace, the incremental
+   bounded-history-encoding checker reaches exactly the verdicts of the
+   naive full-history evaluator — with and without pruning — and prunes to
+   no more space than the unpruned ablation. *)
+
+open Helpers
+
+let vectors_agree ?config f tr =
+  let h = get_ok "materialize" (Trace.materialize tr) in
+  let naive = naive_vector h f in
+  let inc = incremental_vector ?config Gen.generic_catalog h f in
+  naive = inc
+
+(* Random monitorable formulas over random generic traces. *)
+let qcheck_agreement =
+  qtest ~count:250 "incremental = naive on random formulas/traces"
+    QCheck.(pair small_nat small_nat)
+    (fun (fseed, tseed) ->
+      let f = Gen.random_formula ~seed:fseed ~depth:4 in
+      let tr =
+        Gen.random_trace ~seed:tseed
+          { Gen.default_params with steps = 40; max_gap = 4 }
+      in
+      vectors_agree f tr)
+
+let qcheck_agreement_noprune =
+  qtest ~count:80 "unpruned ablation = naive on random formulas/traces"
+    QCheck.(pair small_nat small_nat)
+    (fun (fseed, tseed) ->
+      let f = Gen.random_formula ~seed:(fseed + 7) ~depth:4 in
+      let tr =
+        Gen.random_trace ~seed:(tseed + 7)
+          { Gen.default_params with steps = 35 }
+      in
+      vectors_agree ~config:{ Incremental.prune = false } f tr)
+
+let qcheck_deeper =
+  qtest ~count:60 "agreement at temporal depth 7"
+    QCheck.(pair small_nat small_nat)
+    (fun (fseed, tseed) ->
+      let f = Gen.random_formula ~seed:(fseed + 31) ~depth:7 in
+      let tr =
+        Gen.random_trace ~seed:(tseed + 31)
+          { Gen.default_params with steps = 25 }
+      in
+      vectors_agree f tr)
+
+(* Scenario constraints over scenario traces, clean and violating. *)
+let scenario_agreement =
+  List.concat_map
+    (fun (sc : Scenarios.t) ->
+      List.concat_map
+        (fun rate ->
+          List.map
+            (fun seed ->
+              Alcotest.test_case
+                (Printf.sprintf "%s seed=%d rate=%.1f" sc.name seed rate)
+                `Quick
+                (fun () ->
+                  let tr = sc.generate ~seed ~steps:60 ~violation_rate:rate in
+                  let inc =
+                    get_ok "run_trace" (Monitor.run_trace sc.constraints tr)
+                  in
+                  let naive =
+                    get_ok "run_trace_naive"
+                      (Monitor.run_trace_naive sc.constraints tr)
+                  in
+                  let show r =
+                    Printf.sprintf "%s@%d/%d" r.Monitor.constraint_name
+                      r.Monitor.position r.Monitor.time
+                  in
+                  Alcotest.check
+                    Alcotest.(list string)
+                    "same violation reports" (List.map show naive)
+                    (List.map show inc)))
+            [ 1; 2; 3; 4; 5 ])
+        [ 0.0; 0.3 ])
+    Scenarios.all
+
+(* Clean scenario traces must satisfy all their constraints. *)
+let clean_traces_satisfied =
+  List.map
+    (fun (sc : Scenarios.t) ->
+      Alcotest.test_case (sc.name ^ " clean trace has no violations") `Quick
+        (fun () ->
+          List.iter
+            (fun seed ->
+              let tr = sc.generate ~seed ~steps:120 ~violation_rate:0.0 in
+              let reports =
+                get_ok "run_trace" (Monitor.run_trace sc.constraints tr)
+              in
+              Alcotest.check Alcotest.int
+                (Printf.sprintf "seed %d" seed)
+                0 (List.length reports))
+            [ 11; 12; 13 ]))
+    Scenarios.all
+
+(* Violating traces must produce at least one violation (checks that the
+   injection machinery and the checker see each other). *)
+let dirty_traces_violated =
+  List.map
+    (fun (sc : Scenarios.t) ->
+      Alcotest.test_case (sc.name ^ " violating trace is caught") `Quick
+        (fun () ->
+          let total = ref 0 in
+          List.iter
+            (fun seed ->
+              let tr = sc.generate ~seed ~steps:120 ~violation_rate:0.5 in
+              let reports =
+                get_ok "run_trace" (Monitor.run_trace sc.constraints tr)
+              in
+              total := !total + List.length reports)
+            [ 21; 22; 23 ];
+          if !total = 0 then
+            Alcotest.fail "no violations detected across three dirty traces"))
+    Scenarios.all
+
+(* Pruning saves space (never costs) relative to the ablation. *)
+let pruning_space =
+  qtest ~count:40 "space(pruned) <= space(unpruned)"
+    QCheck.(pair small_nat small_nat)
+    (fun (fseed, tseed) ->
+      let f = Gen.random_formula ~seed:fseed ~depth:4 in
+      let tr =
+        Gen.random_trace ~seed:tseed { Gen.default_params with steps = 50 }
+      in
+      let h = get_ok "materialize" (Trace.materialize tr) in
+      let d = { Formula.name = "t"; body = f } in
+      let run config =
+        let st =
+          get_ok "create" (Incremental.create ~config Gen.generic_catalog d)
+        in
+        List.fold_left
+          (fun st (time, db) ->
+            fst (get_ok "step" (Incremental.step st ~time db)))
+          st (History.snapshots h)
+      in
+      let pruned = run { Incremental.prune = true } in
+      let unpruned = run { Incremental.prune = false } in
+      Incremental.space pruned <= Incremental.space unpruned)
+
+let suite =
+  [ ( "agreement:qcheck",
+      [ qcheck_agreement; qcheck_agreement_noprune; qcheck_deeper; pruning_space ] );
+    ("agreement:scenarios", scenario_agreement);
+    ("agreement:clean", clean_traces_satisfied);
+    ("agreement:dirty", dirty_traces_violated) ]

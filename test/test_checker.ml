@@ -1,0 +1,174 @@
+(* Behavioural tests of the incremental checker itself: the space bound
+   (the paper's theorem), pruning, admission, and the monitor API. *)
+
+open Helpers
+module F = Formula
+
+let cat = Gen.generic_catalog
+
+let def name body = { F.name; body = parse_formula body }
+
+let run_steps ?config d snaps =
+  List.fold_left
+    (fun st (time, db) -> fst (get_ok "step" (Incremental.step st ~time db)))
+    (get_ok "create" (Incremental.create ?config cat d))
+    snaps
+
+let admission_cases =
+  [ Alcotest.test_case "rejects open constraints" `Quick (fun () ->
+        ignore
+          (get_error "open" (Incremental.create cat (def "c" "p(x)"))));
+    Alcotest.test_case "rejects unsafe constraints" `Quick (fun () ->
+        ignore
+          (get_error "unsafe"
+             (Incremental.create cat (def "c" "forall x. not p(x) -> q(x)"))));
+    Alcotest.test_case "rejects ill-typed constraints" `Quick (fun () ->
+        ignore
+          (get_error "ill-typed"
+             (Incremental.create cat (def "c" "forall x. p(x) -> r(x)"))));
+    Alcotest.test_case "rejects non-increasing time" `Quick (fun () ->
+        let st = get_ok "create" (Incremental.create cat (def "c" "e() | not e()")) in
+        let db = Database.create cat in
+        let st, _ = get_ok "step" (Incremental.step st ~time:4 db) in
+        Alcotest.(check bool) "equal time" true
+          (Result.is_error (Incremental.step st ~time:4 db));
+        Alcotest.(check bool) "past time" true
+          (Result.is_error (Incremental.step st ~time:1 db))) ]
+
+(* Feed n states, each carrying a single fresh p-event (inserted at step i,
+   gone at step i+1): with a bounded window the auxiliary space must
+   stabilize while the unpruned ablation grows with the history. *)
+let growing_history n =
+  let db0 = Database.create cat in
+  let rec go i db acc =
+    if i > n then List.rev acc
+    else
+      let db =
+        get_ok "del"
+          (Database.delete db "p" (Tuple.make [ Value.Int (i - 1) ]))
+      in
+      let db =
+        get_ok "ins" (Database.insert db "p" (Tuple.make [ Value.Int i ]))
+      in
+      go (i + 1) db ((i, db) :: acc)
+  in
+  go 1 db0 []
+
+let space_cases =
+  [ Alcotest.test_case "bounded window => bounded space" `Quick (fun () ->
+        let d = def "c" "forall x. q(x) -> once[0,10] p(x)" in
+        let snaps = growing_history 200 in
+        let st = run_steps d snaps in
+        (* Only tuples inserted in the last 10 ticks may be remembered:
+           at one insert per tick that is at most 11 valuations. *)
+        Alcotest.(check bool) "space <= 11"
+          true
+          (Incremental.space st <= 11);
+        Alcotest.(check int) "steps" 200 (Incremental.steps_taken st));
+    Alcotest.test_case "ablation grows linearly" `Quick (fun () ->
+        let d = def "c" "forall x. q(x) -> once[0,10] p(x)" in
+        let snaps = growing_history 200 in
+        let st =
+          run_steps ~config:{ Incremental.prune = false } d snaps
+        in
+        (* every p-tuple ever seen is remembered *)
+        Alcotest.(check int) "space = 200" 200 (Incremental.space st));
+    Alcotest.test_case "unbounded once compresses to one timestamp" `Quick
+      (fun () ->
+        (* the same tuple is re-inserted every step; with min-compression the
+           aux holds a single (valuation, timestamp) pair *)
+        let d = def "c" "forall x. q(x) -> once p(x)" in
+        let db =
+          get_ok "ins"
+            (Database.insert (Database.create cat) "p" (Tuple.make [ Value.Int 1 ]))
+        in
+        let snaps = List.init 50 (fun i -> (i + 1, db)) in
+        let st = run_steps d snaps in
+        Alcotest.(check int) "one pair" 1 (Incremental.space st));
+    Alcotest.test_case "space_detail names subformulas" `Quick (fun () ->
+        let d = def "c" "forall x. q(x) -> once[0,10] p(x) & prev p(x)" in
+        let st = run_steps d (growing_history 5) in
+        let detail = Incremental.space_detail st in
+        Alcotest.(check int) "two temporal nodes" 2 (List.length detail);
+        Alcotest.(check bool) "sums to space" true
+          (List.fold_left (fun a (_, n) -> a + n) 0 detail = Incremental.space st)) ]
+
+let monitor_cases =
+  [ Alcotest.test_case "reports carry names, positions, times" `Quick (fun () ->
+        let defs =
+          [ def "no_p" "not (exists x. p(x))"; def "has_e" "e()" ]
+        in
+        let tr =
+          trace_of_text (generic_schemas ^ "@2\n+e()\n@5\n+p(1)\n@9\n-e()\n")
+        in
+        let reports = get_ok "run" (Monitor.run_trace defs tr) in
+        let show r =
+          Format.asprintf "%a" Monitor.pp_report r
+        in
+        Alcotest.(check (list string)) "reports"
+          [ "[5] constraint no_p violated at position 1";
+            "[9] constraint no_p violated at position 2";
+            "[9] constraint has_e violated at position 2" ]
+          (List.map show reports));
+    Alcotest.test_case "duplicate names rejected" `Quick (fun () ->
+        ignore
+          (get_error "dup"
+             (Monitor.create cat [ def "c" "e()"; def "c" "not e()" ])));
+    Alcotest.test_case "bad transaction rejected, state unchanged" `Quick
+      (fun () ->
+        let m = get_ok "create" (Monitor.create cat [ def "c" "true" ]) in
+        let r =
+          Monitor.step m ~time:1 [ Update.insert "zzz" [ Value.Int 1 ] ]
+        in
+        Alcotest.(check bool) "error" true (Result.is_error r));
+    Alcotest.test_case "monitor space aggregates checkers" `Quick (fun () ->
+        let defs =
+          [ def "a" "forall x. q(x) -> once[0,5] p(x)";
+            def "b" "forall x. q(x) -> once[0,5] p(x)" ]
+        in
+        let m = get_ok "create" (Monitor.create cat defs) in
+        let m, _ =
+          get_ok "step"
+            (Monitor.step m ~time:1 [ Update.insert "p" [ Value.Int 1 ] ])
+        in
+        Alcotest.(check int) "two checkers, one pair each" 2 (Monitor.space m)) ]
+
+(* The incremental checker must not care how a state was reached: a state
+   rebuilt from scratch by inserting the same tuples gives the same
+   verdicts as the state produced by the original update path. *)
+let path_independence =
+  qtest ~count:60 "verdicts depend only on snapshot contents"
+    QCheck.small_nat
+    (fun seed ->
+      let tr = Gen.random_trace ~seed { Gen.default_params with steps = 30 } in
+      let h = get_ok "m" (Trace.materialize tr) in
+      let f = Gen.random_formula ~seed:(seed * 3) ~depth:2 in
+      let rebuild db =
+        Database.fold
+          (fun name r acc ->
+            Relation.fold
+              (fun t acc -> get_ok "ins" (Database.insert acc name t))
+              r acc)
+          db (Database.create cat)
+      in
+      let verdicts snaps =
+        let d = { F.name = "t"; body = f } in
+        let st = get_ok "create" (Incremental.create cat d) in
+        let _, acc =
+          List.fold_left
+            (fun (st, acc) (time, db) ->
+              let st, v = get_ok "step" (Incremental.step st ~time db) in
+              (st, v.Incremental.satisfied :: acc))
+            (st, []) snaps
+        in
+        List.rev acc
+      in
+      let originals = History.snapshots h in
+      let rebuilt = List.map (fun (t, db) -> (t, rebuild db)) originals in
+      verdicts originals = verdicts rebuilt)
+
+let suite =
+  [ ("checker:admission", admission_cases);
+    ("checker:space", space_cases);
+    ("checker:monitor", monitor_cases);
+    ("checker:path", [ path_independence ]) ]

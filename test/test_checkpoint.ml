@@ -1,0 +1,173 @@
+(* Checkpoint/restore: saving the bounded history encoding and restoring it
+   must be observationally identical to never having stopped. *)
+
+open Helpers
+module F = Formula
+
+let cat = Gen.generic_catalog
+
+let steps_of_history h = History.snapshots h
+
+let run_with_checkpoint d snaps cut =
+  let st = get_ok "create" (Incremental.create cat d) in
+  let before, after =
+    List.filteri (fun i _ -> i < cut) snaps,
+    List.filteri (fun i _ -> i >= cut) snaps
+  in
+  let st =
+    List.fold_left
+      (fun st (time, db) -> fst (get_ok "step" (Incremental.step st ~time db)))
+      st before
+  in
+  let text = Incremental.to_text st in
+  let st = get_ok "restore" (Incremental.of_text cat d text) in
+  let _, rev =
+    List.fold_left
+      (fun (st, acc) (time, db) ->
+        let st, v = get_ok "step" (Incremental.step st ~time db) in
+        (st, v.Incremental.satisfied :: acc))
+      (st, []) after
+  in
+  List.rev rev
+
+let straight_run d snaps =
+  let st = get_ok "create" (Incremental.create cat d) in
+  let _, rev =
+    List.fold_left
+      (fun (st, acc) (time, db) ->
+        let st, v = get_ok "step" (Incremental.step st ~time db) in
+        (st, v.Incremental.satisfied :: acc))
+      (st, []) snaps
+  in
+  List.rev rev
+
+let roundtrip_property =
+  qtest ~count:80 "restore-and-continue = run-straight-through"
+    QCheck.(triple small_nat small_nat (int_bound 30))
+    (fun (fseed, tseed, cut) ->
+      let f = Gen.random_formula ~seed:fseed ~depth:4 in
+      let tr =
+        Gen.random_trace ~seed:tseed { Gen.default_params with steps = 35 }
+      in
+      let h = get_ok "m" (Trace.materialize tr) in
+      let snaps = steps_of_history h in
+      let cut = 1 + min cut (List.length snaps - 2) in
+      let d = { F.name = "c"; body = f } in
+      let straight = straight_run d snaps in
+      let resumed = run_with_checkpoint d snaps cut in
+      List.filteri (fun i _ -> i >= cut) straight = resumed)
+
+let unit_cases =
+  [ Alcotest.test_case "state survives textually" `Quick (fun () ->
+        let d =
+          { F.name = "c";
+            body = parse_formula "forall x. q(x) -> once[0,9] p(x)" }
+        in
+        let st = get_ok "create" (Incremental.create cat d) in
+        let db =
+          get_ok "ins"
+            (Database.insert (Database.create cat) "p"
+               (Tuple.make [ Value.Int 5 ]))
+        in
+        let st, _ = get_ok "s1" (Incremental.step st ~time:3 db) in
+        let text = Incremental.to_text st in
+        let st' = get_ok "restore" (Incremental.of_text cat d text) in
+        Alcotest.(check int) "space preserved" (Incremental.space st)
+          (Incremental.space st');
+        Alcotest.(check int) "steps preserved" 1 (Incremental.steps_taken st');
+        (* next step must still reject non-increasing timestamps *)
+        Alcotest.(check bool) "clock restored" true
+          (Result.is_error (Incremental.step st' ~time:3 db)));
+    Alcotest.test_case "string values with tricky characters" `Quick (fun () ->
+        let cat =
+          Schema.Catalog.of_list
+            [ Schema.make "s" [ ("v", Value.TStr) ] ]
+        in
+        let d =
+          { F.name = "c";
+            body = parse_formula "forall x. s(x) -> once[0,9] s(x)" }
+        in
+        let st = get_ok "create" (Incremental.create cat d) in
+        let db =
+          get_ok "ins"
+            (Database.insert (Database.create cat) "s"
+               (Tuple.make [ Value.Str "a, \"b\" @ 3" ]))
+        in
+        let st, _ = get_ok "s1" (Incremental.step st ~time:1 db) in
+        let st' =
+          get_ok "restore" (Incremental.of_text cat d (Incremental.to_text st))
+        in
+        Alcotest.(check int) "space" (Incremental.space st)
+          (Incremental.space st'));
+    Alcotest.test_case "rejects checkpoints of other constraints" `Quick
+      (fun () ->
+        let d1 = { F.name = "a"; body = parse_formula "e()" } in
+        let d2 = { F.name = "b"; body = parse_formula "not e()" } in
+        let st = get_ok "create" (Incremental.create cat d1) in
+        let text = Incremental.to_text st in
+        ignore (get_error "mismatch" (Incremental.of_text cat d2 text)));
+    Alcotest.test_case "rejects garbage" `Quick (fun () ->
+        let d = { F.name = "a"; body = parse_formula "e()" } in
+        List.iter
+          (fun text -> ignore (get_error "garbage" (Incremental.of_text cat d text)))
+          [ ""; "hello world"; "rtic-checkpoint 2\nformula e()";
+            "rtic-checkpoint 1\nformula e()\nrow 1" ]) ]
+
+(* Monitor-level checkpoints: database + all checkers. *)
+let monitor_cases =
+  [ Alcotest.test_case "monitor restore-and-continue" `Quick (fun () ->
+        let sc = Scenarios.banking in
+        let tr = sc.Scenarios.generate ~seed:17 ~steps:80 ~violation_rate:0.2 in
+        let cut = 40 in
+        let before = List.filteri (fun i _ -> i < cut) tr.Trace.steps in
+        let after = List.filteri (fun i _ -> i >= cut) tr.Trace.steps in
+        let feed m steps =
+          List.fold_left
+            (fun (m, out) (time, txn) ->
+              let m, rs = get_ok "step" (Monitor.step m ~time txn) in
+              (m, out @ rs))
+            (m, []) steps
+        in
+        (* straight-through run *)
+        let m0 =
+          get_ok "create" (Monitor.create sc.Scenarios.catalog sc.Scenarios.constraints)
+        in
+        let m_all, reports_all = feed m0 tr.Trace.steps in
+        (* checkpointed run *)
+        let m1, reports_before =
+          feed
+            (get_ok "create"
+               (Monitor.create sc.Scenarios.catalog sc.Scenarios.constraints))
+            before
+        in
+        let text = Monitor.to_text m1 in
+        let m2 =
+          get_ok "restore"
+            (Monitor.of_text sc.Scenarios.catalog sc.Scenarios.constraints text)
+        in
+        let m_res, reports_after = feed m2 after in
+        let show r =
+          Printf.sprintf "%s@%d" r.Monitor.constraint_name r.Monitor.time
+        in
+        Alcotest.(check (list string))
+          "same reports"
+          (List.map show reports_all)
+          (List.map show (reports_before @ reports_after));
+        Alcotest.(check bool) "same database" true
+          (Database.equal (Monitor.database m_all) (Monitor.database m_res));
+        Alcotest.(check int) "same space" (Monitor.space m_all)
+          (Monitor.space m_res));
+    Alcotest.test_case "monitor checkpoint rejects wrong constraint set" `Quick
+      (fun () ->
+        let cat = Gen.generic_catalog in
+        let d1 = { Formula.name = "a"; body = parse_formula "e()" } in
+        let d2 = { Formula.name = "b"; body = parse_formula "not e()" } in
+        let m = get_ok "create" (Monitor.create cat [ d1 ]) in
+        let text = Monitor.to_text m in
+        ignore (get_error "count" (Monitor.of_text cat [ d1; d2 ] text));
+        ignore (get_error "formula" (Monitor.of_text cat [ d2 ] text))) ]
+
+let suite =
+  [ ("checkpoint:roundtrip", [ roundtrip_property ]);
+    ("checkpoint:unit", unit_cases);
+    ("checkpoint:monitor", monitor_cases) ]

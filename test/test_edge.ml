@@ -1,0 +1,142 @@
+(* Edge cases across the stack: degenerate inputs, 0-ary relations, empty
+   transactions, parser totality under fuzzing, and exact window
+   boundaries. *)
+
+open Helpers
+module F = Formula
+
+let cat = Gen.generic_catalog
+
+(* -- Parser totality: random garbage must produce Error, never raise. -- *)
+
+let parser_total =
+  qtest ~count:500 "parser never raises on garbage"
+    QCheck.(string_gen_of_size (QCheck.Gen.int_bound 60) QCheck.Gen.printable)
+    (fun s ->
+      match Parser.formula_of_string s with
+      | Ok _ | Error _ -> true)
+
+let lexer_total =
+  qtest ~count:500 "lexer never raises on arbitrary bytes"
+    QCheck.(string_gen_of_size (QCheck.Gen.int_bound 60) QCheck.Gen.char)
+    (fun s ->
+      match Rtic_mtl.Lexer.tokenize s with
+      | Ok _ | Error _ -> true)
+
+let trace_parser_total =
+  qtest ~count:300 "trace parser never raises on garbage"
+    QCheck.(string_gen_of_size (QCheck.Gen.int_bound 80) QCheck.Gen.printable)
+    (fun s ->
+      match Trace.parse s with
+      | Ok _ | Error _ -> true)
+
+let checkpoint_parser_total =
+  qtest ~count:300 "checkpoint restore never raises on garbage"
+    QCheck.(string_gen_of_size (QCheck.Gen.int_bound 80) QCheck.Gen.printable)
+    (fun s ->
+      let d = { F.name = "c"; body = parse_formula "once[0,3] e()" } in
+      match Incremental.of_text cat d s with
+      | Ok _ | Error _ -> true)
+
+(* -- Degenerate monitoring inputs. -- *)
+
+let degenerate_cases =
+  [ Alcotest.test_case "empty transactions still advance the clock" `Quick
+      (fun () ->
+        (* the constraint flips to violated purely by time passing *)
+        let d = { F.name = "c"; body = parse_formula "once[0,3] e()" } in
+        let h = generic_history "@0\n+e()\n@2\n-e()\n@3\n@10\n" in
+        check_both_vectors "time-only flip" cat h d.F.body
+          [ true; true; true; false ]);
+    Alcotest.test_case "single-state history" `Quick (fun () ->
+        let h = generic_history "@5\n+p(1)\n" in
+        check_both_vectors "prev at lone state" cat h
+          (parse_formula "not prev (exists x. p(x))")
+          [ true ];
+        check_both_vectors "since at lone state" cat h
+          (parse_formula "(exists x. p(x)) since (exists x. p(x))")
+          [ true ]);
+    Alcotest.test_case "0-ary relation everywhere" `Quick (fun () ->
+        let h = generic_history "@0\n+e()\n@1\n-e()\n@2\n+e()\n" in
+        check_both_vectors "e flip-flop" cat h
+          (parse_formula "e() since[0,2] (not e())")
+          (* pos0: no j with not-e. pos1: not-e now -> T.
+             pos2: witness at t1 (d1), e at t2 holds -> T *)
+          [ false; true; true ]);
+    Alcotest.test_case "interval [0,0] means 'this very state'" `Quick
+      (fun () ->
+        let h = generic_history "@0\n+e()\n@1\n-e()\n" in
+        check_both_vectors "once now" cat h
+          (parse_formula "once[0,0] e()")
+          [ true; false ]);
+    Alcotest.test_case "window boundary is inclusive on both ends" `Quick
+      (fun () ->
+        let h = generic_history "@0\n+e()\n@1\n-e()\n@5\n@6\n" in
+        (* e at t=0; distance 5 at t=5, 6 at t=6 *)
+        check_both_vectors "hi edge" cat h
+          (parse_formula "once[5,5] e()")
+          [ false; false; true; false ];
+        check_both_vectors "lo edge" cat h
+          (parse_formula "once[6,9] e()")
+          [ false; false; false; true ]);
+    Alcotest.test_case "duplicate constraint admission is idempotent" `Quick
+      (fun () ->
+        let d = { F.name = "c"; body = parse_formula "e() | not e()" } in
+        let st1 = get_ok "c1" (Incremental.create cat d) in
+        let st2 = get_ok "c2" (Incremental.create cat d) in
+        Alcotest.(check int) "same space" (Incremental.space st1)
+          (Incremental.space st2));
+    Alcotest.test_case "monitor with zero constraints" `Quick (fun () ->
+        let m = get_ok "create" (Monitor.create cat []) in
+        let m, rs = get_ok "step" (Monitor.step m ~time:1 []) in
+        Alcotest.(check int) "no reports" 0 (List.length rs);
+        Alcotest.(check int) "no space" 0 (Monitor.space m));
+    Alcotest.test_case "shared monitor with zero constraints" `Quick (fun () ->
+        let m = get_ok "create" (Rtic_core.Shared.create cat []) in
+        let m, rs = get_ok "step" (Rtic_core.Shared.step m ~time:1 []) in
+        Alcotest.(check int) "no reports" 0 (List.length rs);
+        Alcotest.(check int) "no nodes" 0 (Rtic_core.Shared.shared_nodes m)) ]
+
+(* -- Large values and deep structures. -- *)
+
+let stress_cases =
+  [ Alcotest.test_case "wide disjunction" `Quick (fun () ->
+        let src =
+          "forall x. p(x) -> "
+          ^ String.concat " | "
+              (List.init 40 (fun i -> Printf.sprintf "x = %d" i))
+        in
+        let h = generic_history "@0\n+p(3)\n@1\n+p(99)\n" in
+        check_both_vectors "wide or" cat h (parse_formula src) [ true; false ]);
+    Alcotest.test_case "deep since chain" `Quick (fun () ->
+        let rec chain k = if k = 0 then "e()" else
+            Printf.sprintf "(%s) since e()" (chain (k - 1))
+        in
+        let f = parse_formula (chain 12) in
+        let h = generic_history "@0\n+e()\n@1\n@2\n+q(1)\n" in
+        (* all states satisfy every level while e() held at 0; once e()
+           disappears the chain survives only through the left side *)
+        let v = naive_vector h f in
+        Alcotest.(check int) "three verdicts" 3 (List.length v);
+        Alcotest.check bool_list "incremental agrees" v
+          (incremental_vector cat h f));
+    Alcotest.test_case "min_int/max_int values survive the pipeline" `Quick
+      (fun () ->
+        let db =
+          get_ok "i"
+            (Database.insert (Database.create cat) "p"
+               (Tuple.make [ Value.Int max_int ]))
+        in
+        let db =
+          get_ok "i2" (Database.insert db "p" (Tuple.make [ Value.Int min_int ]))
+        in
+        let d = { F.name = "c"; body = parse_formula "exists x. (p(x) & x > 0)" } in
+        let st = get_ok "create" (Incremental.create cat d) in
+        let _, v = get_ok "s" (Incremental.step st ~time:1 db) in
+        Alcotest.(check bool) "max_int > 0" true v.Incremental.satisfied) ]
+
+let suite =
+  [ ( "edge:totality",
+      [ parser_total; lexer_total; trace_parser_total; checkpoint_parser_total ] );
+    ("edge:degenerate", degenerate_cases);
+    ("edge:stress", stress_cases) ]

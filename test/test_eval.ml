@@ -1,0 +1,125 @@
+(* Unit tests for valuation relations and the first-order evaluation core. *)
+
+open Helpers
+
+let vi n = Value.Int n
+
+let vr cols rows =
+  Valrel.make cols (List.map (fun r -> Tuple.make (List.map vi r)) rows)
+
+let valrel_cases =
+  [ Alcotest.test_case "columns are canonicalized" `Quick (fun () ->
+        let a = vr [ "y"; "x" ] [ [ 1; 2 ]; [ 3; 4 ] ] in
+        Alcotest.(check (array string)) "sorted" [| "x"; "y" |] (Valrel.cols a);
+        (* row (y=1, x=2) must now read x=2, y=1 *)
+        Alcotest.(check bool) "reordered" true
+          (Valrel.mem (Tuple.make [ vi 2; vi 1 ]) a));
+    Alcotest.test_case "unit and falsehood" `Quick (fun () ->
+        Alcotest.(check bool) "unit holds" true (Valrel.holds Valrel.unit);
+        Alcotest.(check bool) "falsehood doesn't" false
+          (Valrel.holds Valrel.falsehood);
+        Alcotest.(check int) "unit is 0-ary" 0
+          (Array.length (Valrel.cols Valrel.unit)));
+    Alcotest.test_case "join on shared column" `Quick (fun () ->
+        let a = vr [ "x" ] [ [ 1 ]; [ 2 ]; [ 3 ] ] in
+        let b = vr [ "x"; "y" ] [ [ 1; 10 ]; [ 2; 20 ]; [ 9; 90 ] ] in
+        let j = Valrel.join a b in
+        Alcotest.(check int) "two rows" 2 (Valrel.cardinal j);
+        Alcotest.(check (array string)) "cols" [| "x"; "y" |] (Valrel.cols j));
+    Alcotest.test_case "join with no shared column is a product" `Quick
+      (fun () ->
+        let a = vr [ "x" ] [ [ 1 ]; [ 2 ] ] in
+        let b = vr [ "y" ] [ [ 10 ]; [ 20 ]; [ 30 ] ] in
+        Alcotest.(check int) "6 rows" 6 (Valrel.cardinal (Valrel.join a b)));
+    Alcotest.test_case "join with unit is identity" `Quick (fun () ->
+        let a = vr [ "x" ] [ [ 1 ]; [ 2 ] ] in
+        Alcotest.(check bool) "left unit" true
+          (Valrel.equal a (Valrel.join Valrel.unit a));
+        Alcotest.(check bool) "right unit" true
+          (Valrel.equal a (Valrel.join a Valrel.unit)));
+    Alcotest.test_case "antijoin" `Quick (fun () ->
+        let a = vr [ "x"; "y" ] [ [ 1; 10 ]; [ 2; 20 ]; [ 3; 30 ] ] in
+        let b = vr [ "x" ] [ [ 2 ] ] in
+        let r = Valrel.antijoin a b in
+        Alcotest.(check int) "two rows survive" 2 (Valrel.cardinal r);
+        Alcotest.(check bool) "killed the x=2 row" false
+          (Valrel.mem (Tuple.make [ vi 2; vi 20 ]) r));
+    Alcotest.test_case "antijoin against empty keeps all" `Quick (fun () ->
+        let a = vr [ "x" ] [ [ 1 ]; [ 2 ] ] in
+        Alcotest.(check bool) "identity" true
+          (Valrel.equal a (Valrel.antijoin a (Valrel.none [ "x" ]))));
+    Alcotest.test_case "project collapses" `Quick (fun () ->
+        let a = vr [ "x"; "y" ] [ [ 1; 10 ]; [ 1; 20 ]; [ 2; 10 ] ] in
+        Alcotest.(check int) "x view" 2
+          (Valrel.cardinal (Valrel.project [ "x" ] a));
+        Alcotest.(check int) "away y" 2
+          (Valrel.cardinal (Valrel.project_away [ "y" ] a)));
+    Alcotest.test_case "of_atom with constants and repeats" `Quick (fun () ->
+        let rel =
+          Relation.of_list 2
+            [ Tuple.make [ vi 1; vi 1 ]; Tuple.make [ vi 1; vi 2 ];
+              Tuple.make [ vi 3; vi 3 ] ]
+        in
+        let diag =
+          get_ok "diag"
+            (Valrel.of_atom rel [ Formula.Var "x"; Formula.Var "x" ])
+        in
+        Alcotest.(check int) "diagonal" 2 (Valrel.cardinal diag);
+        let const1 =
+          get_ok "const"
+            (Valrel.of_atom rel [ Formula.Const (vi 1); Formula.Var "z" ])
+        in
+        Alcotest.(check int) "matching rows" 2 (Valrel.cardinal const1);
+        let closed =
+          get_ok "closed"
+            (Valrel.of_atom rel [ Formula.Const (vi 3); Formula.Const (vi 3) ])
+        in
+        Alcotest.(check bool) "holds" true (Valrel.holds closed);
+        Alcotest.(check bool) "arity error" true
+          (Result.is_error (Valrel.of_atom rel [ Formula.Var "x" ]))) ]
+
+let valrel_laws =
+  let gen =
+    QCheck.Gen.(
+      map
+        (fun rows ->
+          vr [ "x"; "y" ] (List.map (fun (a, b) -> [ a; b ]) rows))
+        (list_size (int_bound 10) (pair (int_bound 4) (int_bound 4))))
+  in
+  let arb = QCheck.make gen in
+  [ qtest ~count:200 "join is commutative (same cols)"
+      QCheck.(pair arb arb)
+      (fun (a, b) -> Valrel.equal (Valrel.join a b) (Valrel.join b a));
+    qtest ~count:200 "join is idempotent" arb (fun a ->
+        Valrel.equal a (Valrel.join a a));
+    qtest ~count:200 "antijoin and semijoin are disjoint"
+      QCheck.(pair arb arb)
+      (fun (a, b) ->
+        let anti = Valrel.antijoin a b in
+        let semi = Valrel.join a b in
+        Valrel.is_empty (Valrel.inter anti (Valrel.project [ "x"; "y" ] semi)));
+    qtest ~count:200 "antijoin partitions"
+      QCheck.(pair arb arb)
+      (fun (a, b) ->
+        let anti = Valrel.antijoin a b in
+        let semi = Valrel.antijoin a anti in
+        Valrel.equal a (Valrel.union anti semi)) ]
+
+let naive_error_cases =
+  [ Alcotest.test_case "unsafe formula reported" `Quick (fun () ->
+        let h = generic_history "@0\n+p(1)\n" in
+        ignore (get_error "unsafe" (Naive.eval h 0 (parse_formula "not p(x)"))));
+    Alcotest.test_case "unknown relation reported" `Quick (fun () ->
+        let h = generic_history "@0\n+p(1)\n" in
+        ignore
+          (get_error "unknown" (Naive.holds_at h 0 (parse_formula "zzz(3)"))));
+    Alcotest.test_case "open formulas produce witnesses" `Quick (fun () ->
+        let h = generic_history "@0\n+p(1)\n+p(2)\n@1\n+q(1)\n" in
+        let v = get_ok "eval" (Naive.eval h 1 (parse_formula "q(x) & once p(x)")) in
+        Alcotest.(check int) "one witness" 1 (Valrel.cardinal v);
+        Alcotest.(check bool) "x=1" true (Valrel.mem (Tuple.make [ vi 1 ]) v)) ]
+
+let suite =
+  [ ("eval:valrel", valrel_cases);
+    ("eval:valrel-laws", valrel_laws);
+    ("eval:naive-errors", naive_error_cases) ]

@@ -1,0 +1,65 @@
+(* Golden regression vectors: pinned violation reports for the catalog
+   constraints on fixed scenario seeds. Generators and checkers are both
+   deterministic, so any drift in either shows up here as a precise diff —
+   the canary for silent semantic changes. Checked: the total count, the
+   first six reports, and the per-constraint counts. *)
+
+open Helpers
+module Stats = Rtic_core.Stats
+
+let run sc seed rate =
+  let sc' = (sc : Scenarios.t) in
+  let tr = sc'.generate ~seed ~steps:80 ~violation_rate:rate in
+  let reports = get_ok "run" (Monitor.run_trace sc'.constraints tr) in
+  let shown =
+    List.filteri (fun i _ -> i < 6) reports
+    |> List.map (fun (r : Monitor.report) ->
+        Printf.sprintf "%s@%d" r.constraint_name r.position)
+  in
+  let by =
+    List.fold_left
+      (fun s (r : Monitor.report) ->
+        Stats.observe s ~time:r.time ~space:0 ~reports:[ r ])
+      Stats.empty reports
+  in
+  (List.length reports, shown, Stats.violations_by_constraint by)
+
+let golden name sc seed rate ~total ~head ~by =
+  Alcotest.test_case name `Quick (fun () ->
+      let t, h, b = run sc seed rate in
+      Alcotest.(check int) (name ^ " total") total t;
+      Alcotest.(check (list string)) (name ^ " head") head h;
+      Alcotest.(check (list (pair string int))) (name ^ " by-constraint") by b)
+
+let suite_cases =
+  [ golden "banking seed=100 rate=0.2" Scenarios.banking 100 0.2 ~total:50
+      ~head:
+        [ "withdraw_rate_limit@10"; "withdraw_rate_limit@21";
+          "salary_monotone@32"; "salary_monotone@33"; "salary_monotone@34";
+          "salary_monotone@35" ]
+      ~by:[ ("salary_monotone", 48); ("withdraw_rate_limit", 2) ];
+    golden "library seed=100 rate=0.2" Scenarios.library 100 0.2 ~total:22
+      ~head:
+        [ "member_borrow@4"; "member_borrow@18"; "no_double_borrow@19";
+          "member_borrow@23"; "no_double_borrow@24"; "no_double_borrow@25" ]
+      ~by:[ ("member_borrow", 12); ("no_double_borrow", 10) ];
+    golden "monitoring seed=100 rate=0.2" Scenarios.monitoring 100 0.2
+      ~total:56
+      ~head:
+        [ "ack_has_alarm@5"; "ack_has_alarm@15"; "sensor_range@19";
+          "sensor_smooth@19"; "sensor_range@20"; "sensor_range@21" ]
+      ~by:
+        [ ("ack_has_alarm", 9); ("alarm_has_fault", 1); ("sensor_range", 38);
+          ("sensor_smooth", 8) ];
+    golden "logistics seed=100 rate=0.2" Scenarios.logistics 100 0.2 ~total:22
+      ~head:
+        [ "ship_has_order@4"; "no_ship_after_cancel@9"; "ship_has_order@14";
+          "no_ship_after_cancel@14"; "ship_has_order@16"; "ship_has_order@21" ]
+      ~by:[ ("no_ship_after_cancel", 7); ("ship_has_order", 15) ];
+    (* clean traces must stay clean *)
+    golden "banking clean seed=100" Scenarios.banking 100 0.0 ~total:0 ~head:[]
+      ~by:[];
+    golden "logistics clean seed=100" Scenarios.logistics 100 0.0 ~total:0
+      ~head:[] ~by:[] ]
+
+let suite = [ ("golden", suite_cases) ]

@@ -1,0 +1,272 @@
+(* Unit tests for the constraint language: AST utilities, parser,
+   pretty-printer, rewriting, type checking, safety and closure. *)
+
+open Helpers
+module F = Formula
+
+let formula_cases =
+  [ Alcotest.test_case "free variables" `Quick (fun () ->
+        let f = parse_formula "forall x. p(x) -> (exists y. r(x, y)) & q(z)" in
+        Alcotest.(check (list string)) "fv" [ "z" ] (F.free_var_list f));
+    Alcotest.test_case "subst respects binders" `Quick (fun () ->
+        let f = parse_formula "p(x) & (exists x. q(x))" in
+        let g = F.subst [ ("x", Value.Int 7) ] f in
+        Alcotest.(check string) "substituted" "p(7) & (exists x. q(x))"
+          (Pretty.to_string g));
+    Alcotest.test_case "sizes and depths" `Quick (fun () ->
+        let f = parse_formula "once[0,3] (p(x) since prev q(x))" in
+        Alcotest.(check int) "temporal_count" 3 (F.temporal_count f);
+        Alcotest.(check int) "temporal_depth" 3 (F.temporal_depth f));
+    Alcotest.test_case "time_reach" `Quick (fun () ->
+        let reach s = F.time_reach (parse_formula s) in
+        Alcotest.(check (option int)) "fo" (Some 0) (reach "p(x)");
+        Alcotest.(check (option int)) "once bounded" (Some 7)
+          (reach "once[2,7] p(x)");
+        Alcotest.(check (option int)) "nested" (Some 12)
+          (reach "once[0,7] prev[0,5] p(x)");
+        Alcotest.(check (option int)) "unbounded" None (reach "once p(x)");
+        Alcotest.(check (option int)) "since takes max" (Some 9)
+          (reach "(once[0,4] p(x)) since[0,5] q(x)"));
+    Alcotest.test_case "map_intervals" `Quick (fun () ->
+        let f = parse_formula "once[0,3] p(x)" in
+        let g = F.map_intervals (fun _ -> Interval.bounded 0 9) f in
+        Alcotest.(check (option int)) "widened" (Some 9) (F.time_reach g)) ]
+
+let parser_cases =
+  [ Alcotest.test_case "precedence" `Quick (fun () ->
+        let cases =
+          [ ("p(x) & q(x) | p(x)", "p(x) & q(x) | p(x)");
+            ("not p(x) & q(x)", "not p(x) & q(x)");
+            ("p(x) -> q(x) -> p(x)", "p(x) -> q(x) -> p(x)");
+            ("once p(x) since q(x)", "once p(x) since q(x)");
+            ("(p(x) | q(x)) & q(x)", "(p(x) | q(x)) & q(x)") ]
+        in
+        List.iter
+          (fun (src, want) ->
+            Alcotest.(check string) src want (Pretty.to_string (parse_formula src)))
+          cases);
+    Alcotest.test_case "since is left-assoc, arg levels" `Quick (fun () ->
+        let f = parse_formula "e() since e() since e()" in
+        (match f with
+         | F.Since (_, F.Since _, F.Atom _) -> ()
+         | _ -> Alcotest.fail "wrong associativity"));
+    Alcotest.test_case "intervals" `Quick (fun () ->
+        (match parse_formula "once[2,7] e()" with
+         | F.Once (i, _) ->
+           Alcotest.(check int) "lo" 2 (Interval.lo i);
+           Alcotest.(check (option int)) "hi" (Some 7) (Interval.hi i)
+         | _ -> Alcotest.fail "not a Once");
+        (match parse_formula "e() since[3,inf] e()" with
+         | F.Since (i, _, _) ->
+           Alcotest.(check (option int)) "inf" None (Interval.hi i)
+         | _ -> Alcotest.fail "not a Since"));
+    Alcotest.test_case "errors are located" `Quick (fun () ->
+        let m = get_error "parse" (Parser.formula_of_string "p(x) &") in
+        Alcotest.(check bool) "mentions line" true
+          (String.length m > 0 && String.sub m 0 4 = "line");
+        List.iter
+          (fun src ->
+            ignore (get_error src (Parser.formula_of_string src)))
+          [ "once[5,2] e()"; "once[-1,2] e()"; "p(x"; "p(x))"; "forall . p(x)";
+            "p(x) q(x)"; "" ]);
+    Alcotest.test_case "boolean constants vs comparisons" `Quick (fun () ->
+        (match parse_formula "true" with
+         | F.True -> ()
+         | _ -> Alcotest.fail "expected True");
+        (match parse_formula "x = true" with
+         | F.Cmp (F.Eq, F.Var "x", F.Const (Value.Bool true)) -> ()
+         | _ -> Alcotest.fail "expected comparison with bool literal"));
+    Alcotest.test_case "spec files" `Quick (fun () ->
+        let spec =
+          get_ok "spec"
+            (Parser.spec_of_string
+               "schema p(a:int)\n\
+                schema q(a:int)\n\
+                constraint c1: forall x. p(x) -> q(x) ;\n\
+                constraint c2: not (exists x. (p(x) & q(x))) ;")
+        in
+        Alcotest.(check int) "two constraints" 2 (List.length spec.Parser.defs);
+        Alcotest.(check bool) "catalog has p" true
+          (Schema.Catalog.mem "p" spec.Parser.catalog));
+    Alcotest.test_case "duplicate constraint names rejected" `Quick (fun () ->
+        ignore
+          (get_error "dup"
+             (Parser.spec_of_string
+                "schema p(a:int)\n\
+                 constraint c: exists x. p(x) ;\n\
+                 constraint c: exists x. p(x) ;"))) ]
+
+let roundtrip_property =
+  qtest ~count:400 "parse (pretty f) = f"
+    QCheck.(pair small_nat (int_bound 4))
+    (fun (seed, depth) ->
+      let f = Gen.random_formula ~seed ~depth in
+      match Parser.formula_of_string (Pretty.to_string f) with
+      | Ok f' -> F.equal f f'
+      | Error m ->
+        QCheck.Test.fail_reportf "did not re-parse: %s\n%s" (Pretty.to_string f) m)
+
+let rewrite_cases =
+  [ Alcotest.test_case "normalize eliminates sugar" `Quick (fun () ->
+        List.iter
+          (fun src ->
+            let f = Rewrite.normalize (parse_formula src) in
+            Alcotest.(check bool) (src ^ " is core") true (Rewrite.is_core f))
+          [ "forall x. p(x) -> q(x)";
+            "historically[0,3] e()";
+            "p(x) <-> q(x)";
+            "forall x. historically (p(x) -> once q(x))" ]);
+    Alcotest.test_case "double negation cancels" `Quick (fun () ->
+        let f = Rewrite.normalize (parse_formula "not not e()") in
+        Alcotest.(check string) "plain" "e()" (Pretty.to_string f));
+    Alcotest.test_case "negated comparisons flip" `Quick (fun () ->
+        let f = Rewrite.normalize (parse_formula "not (x >= y)") in
+        Alcotest.(check string) "flipped" "x < y" (Pretty.to_string f));
+    Alcotest.test_case "guarded historically is monitorable" `Quick (fun () ->
+        let f =
+          Rewrite.normalize (parse_formula "p(x) & historically[0,5] (not q(x))")
+        in
+        Alcotest.(check string) "anti-join shape" "p(x) & not once[0,5] q(x)"
+          (Pretty.to_string f));
+    Alcotest.test_case "simplify constant folds" `Quick (fun () ->
+        List.iter
+          (fun (src, want) ->
+            Alcotest.(check string) src want
+              (Pretty.to_string (Rewrite.simplify (parse_formula src))))
+          [ ("e() & true", "e()");
+            ("e() & false", "false");
+            ("e() | true", "true");
+            ("once[0,3] false", "false");
+            ("not not e()", "e()");
+            ("prev (e() & false)", "false") ]) ]
+
+let simplify_preserves =
+  qtest ~count:100 "simplify preserves semantics"
+    QCheck.(pair small_nat small_nat)
+    (fun (fseed, tseed) ->
+      let f = Gen.random_formula ~seed:fseed ~depth:4 in
+      let g = Rewrite.simplify (Rewrite.normalize f) in
+      let tr = Gen.random_trace ~seed:tseed { Gen.default_params with steps = 25 } in
+      let h = get_ok "materialize" (Trace.materialize tr) in
+      (* simplify may fold to True/False which are trivially safe; evaluate
+         both and compare verdict vectors. *)
+      naive_vector h f = naive_vector h g)
+
+let nnf_preserves =
+  qtest ~count:100 "nnf preserves semantics"
+    QCheck.(pair small_nat small_nat)
+    (fun (fseed, tseed) ->
+      let f = Rewrite.normalize (Gen.random_formula ~seed:fseed ~depth:3) in
+      let g = Rewrite.nnf_nontemporal f in
+      let tr = Gen.random_trace ~seed:tseed { Gen.default_params with steps = 20 } in
+      let h = get_ok "materialize" (Trace.materialize tr) in
+      (* NNF can push negation into shapes that are no longer monitorable
+         (e.g. lone negated atoms under Or); skip those instances. *)
+      match Safety.check g with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok () -> naive_vector h f = naive_vector h g)
+
+let typecheck_cases =
+  let cat = Scenarios.banking.Scenarios.catalog in
+  let check_ok src =
+    ignore (get_ok src (Typecheck.check cat (parse_formula src)))
+  in
+  let check_err src =
+    ignore (get_error src (Typecheck.check cat (parse_formula src)))
+  in
+  [ Alcotest.test_case "accepts well-typed" `Quick (fun () ->
+        check_ok "forall e, s. salary(e, s) -> s >= 0";
+        check_ok "salary(\"amy\", 100)";
+        check_ok "forall a, m. withdraw(a, m) -> account(a)");
+    Alcotest.test_case "rejects ill-typed" `Quick (fun () ->
+        check_err "salary(1, 2)";
+        check_err "forall e, s. salary(e, s) -> salary(s, e)";
+        check_err "salary(\"amy\")";
+        check_err "zzz(1)";
+        check_err "forall e, s. salary(e, s) & e > 2 -> true");
+    Alcotest.test_case "infers variable types" `Quick (fun () ->
+        let env =
+          get_ok "env"
+            (Typecheck.check cat (parse_formula "exists e, s. salary(e, s)"))
+        in
+        Alcotest.(check (option string)) "e is str" (Some "str")
+          (Option.map Value.ty_name (List.assoc_opt "e" env));
+        Alcotest.(check (option string)) "s is int" (Some "int")
+          (Option.map Value.ty_name (List.assoc_opt "s" env)));
+    Alcotest.test_case "comparison needs grounded type" `Quick (fun () ->
+        ignore (get_error "ungrounded" (Typecheck.check cat (parse_formula "x < y"))));
+    Alcotest.test_case "defs must be closed" `Quick (fun () ->
+        ignore
+          (get_error "open def"
+             (Typecheck.check_def cat
+                { F.name = "c"; body = parse_formula "salary(e, s)" }))) ]
+
+let safety_cases =
+  let ok src = ignore (get_ok src (Safety.check (parse_formula src))) in
+  let err src = ignore (get_error src (Safety.check (parse_formula src))) in
+  [ Alcotest.test_case "accepts the monitorable fragment" `Quick (fun () ->
+        ok "forall x. p(x) -> q(x)";
+        ok "forall x, y. r(x, y) & x < y -> once[0,3] p(x)";
+        ok "not (exists x. (p(x) & not q(x)))";
+        ok "forall x. p(x) -> not (x >= 1 & x <= 2)";
+        ok "exists x. ((not q(x)) since p(x))";
+        ok "forall x. p(x) -> historically[0,9] (not q(x))";
+        ok "x = 3 & p(x)";
+        ok "forall x. p(x) & prev once p(x) -> true";
+        ok "e() since e()");
+    Alcotest.test_case "rejects the unsafe" `Quick (fun () ->
+        err "not p(x)";
+        err "x < y";
+        err "p(x) | q(y)";
+        err "exists y. p(x)";
+        err "forall x. p(x)";
+        err "r(x, y) since q(y)";
+        err "p(x) & (q(x) | x < 2)");
+    Alcotest.test_case "subtle but safe" `Quick (fun () ->
+        (* the left argument of since may have fewer variables ... *)
+        ok "exists x, y. (q(y) since r(x, y))";
+        (* ... and a disjunction with an equality constraint is finite *)
+        ok "exists x. (p(x) & (q(x) | x = 2))") ]
+
+let closure_cases =
+  [ Alcotest.test_case "shared subformulas get one id" `Quick (fun () ->
+        let f =
+          Rewrite.normalize
+            (parse_formula "(once[0,3] e()) & (once[0,3] e() | prev e())")
+        in
+        let c = Closure.build f in
+        Alcotest.(check int) "two distinct nodes" 2 (Closure.count c));
+    Alcotest.test_case "bottom-up order" `Quick (fun () ->
+        let f = Rewrite.normalize (parse_formula "once prev e()") in
+        let c = Closure.build f in
+        Alcotest.(check int) "count" 2 (Closure.count c);
+        (match (Closure.nodes c).(0) with
+         | F.Prev _ -> ()
+         | _ -> Alcotest.fail "child should come first"));
+    Alcotest.test_case "rejects non-core" `Quick (fun () ->
+        try
+          ignore (Closure.build (parse_formula "historically e()"));
+          Alcotest.fail "expected Invalid_argument"
+        with Invalid_argument _ -> ()) ]
+
+let bounds_cases =
+  [ Alcotest.test_case "node windows" `Quick (fun () ->
+        Alcotest.(check (option int)) "bounded" (Some 9)
+          (Bounds.node_window (parse_formula "once[2,9] e()"));
+        Alcotest.(check (option int)) "unbounded" None
+          (Bounds.node_window (parse_formula "e() since[3,inf] e()"));
+        Alcotest.(check int) "per-valuation bounded" 10
+          (Bounds.max_stored_timestamps_per_valuation (parse_formula "once[2,9] e()"));
+        Alcotest.(check int) "per-valuation unbounded" 1
+          (Bounds.max_stored_timestamps_per_valuation (parse_formula "once e()"))) ]
+
+let suite =
+  [ ("mtl:formula", formula_cases);
+    ("mtl:parser", parser_cases);
+    ("mtl:roundtrip", [ roundtrip_property ]);
+    ("mtl:rewrite", rewrite_cases);
+    ("mtl:rewrite-prop", [ simplify_preserves; nnf_preserves ]);
+    ("mtl:typecheck", typecheck_cases);
+    ("mtl:safety", safety_cases);
+    ("mtl:closure", closure_cases);
+    ("mtl:bounds", bounds_cases) ]

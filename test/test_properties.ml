@@ -1,0 +1,167 @@
+(* Cross-cutting property tests: serialization fuzz round-trips, update
+   inversion, interval algebra, closure sharing, and monitor/trace
+   invariants that do not belong to any single module's suite. *)
+
+open Helpers
+
+(* -- Trace/Textio fuzz ------------------------------------------------- *)
+
+let trace_roundtrip =
+  qtest ~count:150 "trace to_string/parse preserves materialization"
+    QCheck.small_nat
+    (fun seed ->
+      let tr =
+        Gen.random_trace ~seed
+          { Gen.default_params with steps = 15; txn_size = 4 }
+      in
+      let tr' = get_ok "reparse" (Trace.parse (Trace.to_string tr)) in
+      let h = get_ok "m1" (Trace.materialize tr) in
+      let h' = get_ok "m2" (Trace.materialize tr') in
+      History.length h = History.length h'
+      && List.for_all2
+           (fun (t, d) (t', d') -> t = t' && Database.equal d d')
+           (History.snapshots h) (History.snapshots h'))
+
+let db_dump_roundtrip =
+  qtest ~count:150 "database dump/parse round-trips"
+    QCheck.small_nat
+    (fun seed ->
+      let tr = Gen.random_trace ~seed { Gen.default_params with steps = 10 } in
+      let h = get_ok "m" (Trace.materialize tr) in
+      let db = History.db h (History.last h) in
+      let db' = get_ok "parse" (Textio.parse_database (Textio.dump_database db)) in
+      Database.equal db db')
+
+(* -- Updates ----------------------------------------------------------- *)
+
+let update_inversion =
+  qtest ~count:150 "applying a transaction then its inverse restores the state"
+    QCheck.small_nat
+    (fun seed ->
+      let tr = Gen.random_trace ~seed { Gen.default_params with steps = 8 } in
+      let h = get_ok "m" (Trace.materialize tr) in
+      let db = History.db h (History.last h) in
+      (* Build a random insert-only transaction of fresh tuples, apply it,
+         invert it, and check we are back. (Inversion of a delete of an
+         absent tuple would not round-trip, so use fresh inserts.) *)
+      let rng = Random.State.make [| seed; 77 |] in
+      let txn =
+        List.init 4 (fun i ->
+            Update.insert "r"
+              [ Value.Int (1000 + i); Value.Int (Random.State.int rng 5) ])
+      in
+      let db' = get_ok "apply" (Update.apply db txn) in
+      let db'' =
+        get_ok "invert" (Update.apply db' (List.rev_map Update.invert txn))
+      in
+      Database.equal db db'')
+
+(* -- Intervals --------------------------------------------------------- *)
+
+let interval_gen =
+  QCheck.make
+    QCheck.Gen.(
+      oneof
+        [ map2 (fun l w -> Interval.bounded l (l + w)) (int_bound 10) (int_bound 10);
+          map (fun l -> Interval.unbounded l) (int_bound 10) ])
+
+let interval_laws =
+  [ qtest ~count:300 "inter is the conjunction of memberships"
+      QCheck.(pair (pair interval_gen interval_gen) (int_bound 30))
+      (fun ((a, b), d) ->
+        let both = Interval.mem d a && Interval.mem d b in
+        match Interval.inter a b with
+        | Some i -> Interval.mem d i = both
+        | None -> not both);
+    qtest ~count:300 "hull contains both arguments"
+      QCheck.(pair (pair interval_gen interval_gen) (int_bound 30))
+      (fun ((a, b), d) ->
+        let h = Interval.hull a b in
+        (not (Interval.mem d a || Interval.mem d b)) || Interval.mem d h);
+    qtest ~count:300 "shift preserves width for positive shifts"
+      QCheck.(pair interval_gen (int_bound 10))
+      (fun (a, k) ->
+        Interval.width (Interval.shift k a) = Interval.width a) ]
+
+(* -- Closure ----------------------------------------------------------- *)
+
+let closure_sharing =
+  qtest ~count:150 "closure size <= temporal_count, children first"
+    QCheck.small_nat
+    (fun seed ->
+      let f = Rewrite.normalize (Gen.random_formula ~seed ~depth:4) in
+      let c = Closure.build f in
+      let nodes = Closure.nodes c in
+      Closure.count c <= Formula.temporal_count f
+      && Array.for_all
+           (fun n ->
+             (* every temporal subformula strictly inside n has a smaller id *)
+             let my_id = Closure.id_exn c n in
+             let rec subs acc g =
+               match (g : Formula.t) with
+               | Prev (_, a) | Once (_, a) -> a :: acc
+               | Since (_, a, b) -> a :: b :: acc
+               | Not a | Exists (_, a) -> subs acc a
+               | And (a, b) | Or (a, b) -> subs (subs acc a) b
+               | _ -> acc
+             in
+             List.for_all
+               (fun sub ->
+                 match Closure.id c sub with
+                 | Some i -> i < my_id
+                 | None ->
+                   (* non-temporal child: its own temporal descendants must
+                      still be smaller *)
+                   true)
+               (subs [] n))
+           nodes)
+
+(* -- Monitor ----------------------------------------------------------- *)
+
+let monitor_positions_increase =
+  qtest ~count:60 "report positions are non-decreasing and in range"
+    QCheck.small_nat
+    (fun seed ->
+      let sc = Scenarios.library in
+      let tr = sc.Scenarios.generate ~seed ~steps:50 ~violation_rate:0.4 in
+      let reports =
+        get_ok "run" (Monitor.run_trace sc.Scenarios.constraints tr)
+      in
+      let rec ordered = function
+        | a :: (b :: _ as rest) ->
+          a.Monitor.position <= b.Monitor.position && ordered rest
+        | _ -> true
+      in
+      ordered reports
+      && List.for_all
+           (fun r -> r.Monitor.position >= 0 && r.Monitor.position < 50)
+           reports)
+
+(* -- Valrel vs naive coherence ---------------------------------------- *)
+
+let witnesses_satisfy =
+  qtest ~count:100 "every witness of an open formula satisfies it when substituted"
+    QCheck.(pair small_nat small_nat)
+    (fun (fseed, tseed) ->
+      let f = Gen.random_open_fo_formula ~seed:fseed ~depth:3 in
+      let tr = Gen.random_trace ~seed:tseed { Gen.default_params with steps = 10 } in
+      let h = get_ok "m" (Trace.materialize tr) in
+      let i = History.last h in
+      match Naive.eval h i f with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok vr ->
+        List.for_all
+          (fun bindings ->
+            let closed = Formula.subst bindings f in
+            match Naive.holds_at h i closed with
+            | Ok b -> b
+            | Error _ -> false)
+          (Valrel.bindings vr))
+
+let suite =
+  [ ("properties:serialization", [ trace_roundtrip; db_dump_roundtrip ]);
+    ("properties:updates", [ update_inversion ]);
+    ("properties:intervals", interval_laws);
+    ("properties:closure", [ closure_sharing ]);
+    ("properties:monitor", [ monitor_positions_increase ]);
+    ("properties:witnesses", [ witnesses_satisfy ]) ]

@@ -1,0 +1,230 @@
+(* Unit tests for the relational substrate: values, tuples, relations,
+   databases, updates, algebra and text serialization. *)
+
+open Helpers
+
+let v_int n = Value.Int n
+let v_str s = Value.Str s
+
+let value_cases =
+  [ Alcotest.test_case "round-trip" `Quick (fun () ->
+        List.iter
+          (fun v ->
+            let s = Value.to_string v in
+            match Value.of_string s with
+            | Ok v' ->
+              if not (Value.equal v v') then
+                Alcotest.failf "%s re-parsed as %s" s (Value.to_string v')
+            | Error m -> Alcotest.failf "%s failed to parse: %s" s m)
+          [ Value.Int 0; Value.Int (-42); Value.Int max_int;
+            Value.Str ""; Value.Str "hello"; Value.Str "with \"quotes\" and \\";
+            Value.Str "comma, inside"; Value.Bool true; Value.Bool false;
+            Value.Real 0.5; Value.Real (-3.25); Value.Real 1e10 ]);
+    Alcotest.test_case "ordering is total and typed" `Quick (fun () ->
+        Alcotest.(check bool) "int < str" true
+          (Value.compare (v_int 99) (v_str "a") < 0);
+        Alcotest.(check bool) "same-type order" true
+          (Value.compare (v_int 1) (v_int 2) < 0);
+        Alcotest.(check bool) "equal" true (Value.equal (v_str "x") (v_str "x")));
+    Alcotest.test_case "numeric" `Quick (fun () ->
+        Alcotest.(check (option (float 0.0))) "int" (Some 3.0)
+          (Value.numeric (v_int 3));
+        Alcotest.(check (option (float 0.0))) "str" None
+          (Value.numeric (v_str "3")));
+    Alcotest.test_case "type names" `Quick (fun () ->
+        List.iter
+          (fun ty ->
+            Alcotest.(check bool) (Value.ty_name ty) true
+              (Value.ty_of_name (Value.ty_name ty) = Some ty))
+          [ Value.TInt; Value.TStr; Value.TBool; Value.TReal ]) ]
+
+let tuple_cases =
+  [ Alcotest.test_case "compare lexicographic" `Quick (fun () ->
+        let a = Tuple.make [ v_int 1; v_int 2 ] in
+        let b = Tuple.make [ v_int 1; v_int 3 ] in
+        Alcotest.(check bool) "a < b" true (Tuple.compare a b < 0);
+        Alcotest.(check bool) "shorter first" true
+          (Tuple.compare (Tuple.make [ v_int 9 ]) a < 0));
+    Alcotest.test_case "project and append" `Quick (fun () ->
+        let t = Tuple.make [ v_int 1; v_int 2; v_int 3 ] in
+        Alcotest.(check bool) "project" true
+          (Tuple.equal (Tuple.project [| 2; 0 |] t) (Tuple.make [ v_int 3; v_int 1 ]));
+        Alcotest.(check int) "append arity" 5
+          (Tuple.arity (Tuple.append t (Tuple.make [ v_int 4; v_int 5 ])))) ]
+
+let rel12 () =
+  Relation.of_list 2
+    [ Tuple.make [ v_int 1; v_int 10 ];
+      Tuple.make [ v_int 2; v_int 20 ];
+      Tuple.make [ v_int 3; v_int 30 ] ]
+
+let relation_cases =
+  [ Alcotest.test_case "set semantics" `Quick (fun () ->
+        let r = Relation.add (Tuple.make [ v_int 1; v_int 10 ]) (rel12 ()) in
+        Alcotest.(check int) "no duplicate" 3 (Relation.cardinal r));
+    Alcotest.test_case "union inter diff" `Quick (fun () ->
+        let a = rel12 () in
+        let b =
+          Relation.of_list 2
+            [ Tuple.make [ v_int 3; v_int 30 ]; Tuple.make [ v_int 4; v_int 40 ] ]
+        in
+        Alcotest.(check int) "union" 4 (Relation.cardinal (Relation.union a b));
+        Alcotest.(check int) "inter" 1 (Relation.cardinal (Relation.inter a b));
+        Alcotest.(check int) "diff" 2 (Relation.cardinal (Relation.diff a b)));
+    Alcotest.test_case "arity mismatch rejected" `Quick (fun () ->
+        let a = rel12 () in
+        let b = Relation.of_list 1 [ Tuple.make [ v_int 1 ] ] in
+        (try
+           ignore (Relation.union a b);
+           Alcotest.fail "expected Invalid_argument"
+         with Invalid_argument _ -> ()));
+    Alcotest.test_case "product and project" `Quick (fun () ->
+        let a = Relation.of_list 1 [ Tuple.make [ v_int 1 ]; Tuple.make [ v_int 2 ] ] in
+        let p = Relation.product a (rel12 ()) in
+        Alcotest.(check int) "product size" 6 (Relation.cardinal p);
+        Alcotest.(check int) "product arity" 3 (Relation.arity p);
+        Alcotest.(check int) "project collapses" 2
+          (Relation.cardinal (Relation.project [| 0 |] p)));
+    Alcotest.test_case "active domain" `Quick (fun () ->
+        Alcotest.(check int) "distinct values" 6
+          (List.length (Relation.active_domain (rel12 ())))) ]
+
+let emp_schema () =
+  Schema.make "emp" [ ("name", Value.TStr); ("sal", Value.TInt) ]
+
+let database_cases =
+  [ Alcotest.test_case "insert type checks" `Quick (fun () ->
+        let db = Database.create (Schema.Catalog.of_list [ emp_schema () ]) in
+        let ok = Database.insert db "emp" (Tuple.make [ v_str "a"; v_int 1 ]) in
+        Alcotest.(check bool) "ok" true (Result.is_ok ok);
+        let bad = Database.insert db "emp" (Tuple.make [ v_int 1; v_int 1 ]) in
+        Alcotest.(check bool) "type error" true (Result.is_error bad);
+        let bad2 = Database.insert db "emp" (Tuple.make [ v_str "a" ]) in
+        Alcotest.(check bool) "arity error" true (Result.is_error bad2);
+        let bad3 = Database.insert db "nope" (Tuple.make [ v_str "a" ]) in
+        Alcotest.(check bool) "unknown relation" true (Result.is_error bad3));
+    Alcotest.test_case "transactions are atomic" `Quick (fun () ->
+        let db = Database.create (Schema.Catalog.of_list [ emp_schema () ]) in
+        let txn =
+          [ Update.insert "emp" [ v_str "a"; v_int 1 ];
+            Update.insert "nope" [ v_str "b" ] ]
+        in
+        (match Update.apply db txn with
+         | Ok _ -> Alcotest.fail "expected failure"
+         | Error _ -> ());
+        Alcotest.(check int) "db unchanged" 0 (Database.cardinal db));
+    Alcotest.test_case "delete is idempotent" `Quick (fun () ->
+        let db = Database.create (Schema.Catalog.of_list [ emp_schema () ]) in
+        let t = Tuple.make [ v_str "a"; v_int 1 ] in
+        let db = get_ok "ins" (Database.insert db "emp" t) in
+        let db = get_ok "del" (Database.delete db "emp" t) in
+        let db = get_ok "del2" (Database.delete db "emp" t) in
+        Alcotest.(check int) "empty" 0 (Database.cardinal db)) ]
+
+let algebra_db () =
+  let cat =
+    Schema.Catalog.of_list
+      [ emp_schema ();
+        Schema.make "dept" [ ("name", Value.TStr); ("head", Value.TStr) ] ]
+  in
+  let db = Database.create cat in
+  let db =
+    List.fold_left
+      (fun db (r, vs) -> get_ok "ins" (Database.insert db r (Tuple.make vs)))
+      db
+      [ ("emp", [ v_str "a"; v_int 100 ]);
+        ("emp", [ v_str "b"; v_int 200 ]);
+        ("emp", [ v_str "c"; v_int 300 ]);
+        ("dept", [ v_str "cs"; v_str "a" ]);
+        ("dept", [ v_str "ee"; v_str "z" ]) ]
+  in
+  db
+
+let algebra_cases =
+  [ Alcotest.test_case "select" `Quick (fun () ->
+        let open Algebra in
+        let e = Select (Compare (Gt, Col 1, Lit (v_int 150)), Scan "emp") in
+        Alcotest.(check int) "two rows" 2
+          (Relation.cardinal (get_ok "eval" (eval (algebra_db ()) e))));
+    Alcotest.test_case "join" `Quick (fun () ->
+        let open Algebra in
+        (* employees who head a department *)
+        let e = Join ([ (0, 1) ], Scan "emp", Scan "dept") in
+        let r = get_ok "eval" (eval (algebra_db ()) e) in
+        Alcotest.(check int) "one match" 1 (Relation.cardinal r);
+        Alcotest.(check int) "arity" 4 (Relation.arity r));
+    Alcotest.test_case "project-union-diff" `Quick (fun () ->
+        let open Algebra in
+        let names = Project ([| 0 |], Scan "emp") in
+        let heads = Project ([| 1 |], Scan "dept") in
+        let u = get_ok "u" (eval (algebra_db ()) (Union (names, heads))) in
+        Alcotest.(check int) "union" 4 (Relation.cardinal u);
+        let d = get_ok "d" (eval (algebra_db ()) (Diff (names, heads))) in
+        Alcotest.(check int) "diff" 2 (Relation.cardinal d));
+    Alcotest.test_case "static arity check" `Quick (fun () ->
+        let open Algebra in
+        let cat = Database.catalog (algebra_db ()) in
+        Alcotest.(check bool) "bad union" true
+          (Result.is_error (arity_of cat (Union (Scan "emp", Project ([| 0 |], Scan "emp")))));
+        Alcotest.(check bool) "bad column" true
+          (Result.is_error
+             (arity_of cat (Select (Compare (Eq, Col 7, Lit (v_int 0)), Scan "emp")))));
+    Alcotest.test_case "order comparison needs numbers" `Quick (fun () ->
+        let open Algebra in
+        let e = Select (Compare (Lt, Col 0, Lit (v_int 0)), Scan "emp") in
+        Alcotest.(check bool) "error" true
+          (Result.is_error (eval (algebra_db ()) e))) ]
+
+let textio_cases =
+  [ Alcotest.test_case "schema line round-trip" `Quick (fun () ->
+        let s = emp_schema () in
+        let line = Textio.schema_to_string s in
+        let s' = get_ok "parse" (Textio.parse_schema_line line) in
+        Alcotest.(check bool) "equal" true (Schema.equal s s'));
+    Alcotest.test_case "fact round-trip with tricky strings" `Quick (fun () ->
+        let t = Tuple.make [ v_str "a, \"b\""; v_int (-3) ] in
+        let line = Textio.fact_to_string "emp" t in
+        let rel, t' = get_ok "parse" (Textio.parse_fact line) in
+        Alcotest.(check string) "rel" "emp" rel;
+        Alcotest.(check bool) "tuple" true (Tuple.equal t t'));
+    Alcotest.test_case "database dump round-trip" `Quick (fun () ->
+        let db = algebra_db () in
+        let db' = get_ok "parse" (Textio.parse_database (Textio.dump_database db)) in
+        Alcotest.(check bool) "equal" true (Database.equal db db'));
+    Alcotest.test_case "comments and blanks ignored" `Quick (fun () ->
+        let text = "# a comment\nschema p(a:int)\n\np(1)  # trailing\n" in
+        let db = get_ok "parse" (Textio.parse_database text) in
+        Alcotest.(check int) "one fact" 1 (Database.cardinal db)) ]
+
+let qcheck_relation_laws =
+  let tuple_gen =
+    QCheck.Gen.(
+      map
+        (fun (a, b) -> Tuple.make [ Value.Int a; Value.Int b ])
+        (pair (int_bound 5) (int_bound 5)))
+  in
+  let rel_gen =
+    QCheck.Gen.(map (Relation.of_list 2) (list_size (int_bound 12) tuple_gen))
+  in
+  let arb = QCheck.make rel_gen in
+  [ qtest ~count:200 "union commutes"
+      QCheck.(pair arb arb)
+      (fun (a, b) -> Relation.equal (Relation.union a b) (Relation.union b a));
+    qtest ~count:200 "inter via diff"
+      QCheck.(pair arb arb)
+      (fun (a, b) ->
+        Relation.equal (Relation.inter a b) (Relation.diff a (Relation.diff a b)));
+    qtest ~count:200 "project idempotent"
+      arb
+      (fun a ->
+        let p = Relation.project [| 0 |] a in
+        Relation.equal p (Relation.project [| 0 |] p)) ]
+
+let suite =
+  [ ("relational:value", value_cases);
+    ("relational:tuple", tuple_cases);
+    ("relational:relation", relation_cases);
+    ("relational:database", database_cases);
+    ("relational:algebra", algebra_cases);
+    ("relational:textio", textio_cases);
+    ("relational:laws", qcheck_relation_laws) ]

@@ -1,0 +1,116 @@
+(* Robustness: checkpoint mutation fuzzing, serialization fixpoints, and
+   catalog-wide sanity. *)
+
+open Helpers
+module Shared = Rtic_core.Shared
+module F = Formula
+
+let cat = Gen.generic_catalog
+
+let some_state seed =
+  let d =
+    { F.name = "c";
+      body = parse_formula "forall x. q(x) -> once[0,9] p(x) & prev p(x)" }
+  in
+  let tr = Gen.random_trace ~seed { Gen.default_params with steps = 20 } in
+  let h = get_ok "m" (Trace.materialize tr) in
+  ( d,
+    List.fold_left
+      (fun st (time, db) -> fst (get_ok "s" (Incremental.step st ~time db)))
+      (get_ok "create" (Incremental.create cat d))
+      (History.snapshots h) )
+
+(* Mutate a valid checkpoint by dropping, duplicating or truncating lines:
+   restore must never raise, and must never silently produce a state with
+   more steps than the original. *)
+let checkpoint_mutation =
+  qtest ~count:150 "mutated checkpoints never crash the restorer"
+    QCheck.(triple small_nat small_nat (int_bound 2))
+    (fun (seed, pos, kind) ->
+      let d, st = some_state seed in
+      let text = Incremental.to_text st in
+      let lines = String.split_on_char '\n' text in
+      let n = List.length lines in
+      let pos = pos mod max 1 n in
+      let mutated =
+        match kind with
+        | 0 -> List.filteri (fun i _ -> i <> pos) lines          (* drop *)
+        | 1 ->
+          List.concat (List.mapi (fun i l -> if i = pos then [ l; l ] else [ l ]) lines)
+        | _ -> List.filteri (fun i _ -> i < pos) lines           (* truncate *)
+      in
+      match Incremental.of_text cat d (String.concat "\n" mutated) with
+      | Ok st' -> Incremental.steps_taken st' <= Incremental.steps_taken st
+      | Error _ -> true)
+
+(* Serialization is a fixpoint after one round trip. *)
+let checkpoint_fixpoint =
+  qtest ~count:80 "to_text (of_text (to_text st)) = to_text st"
+    QCheck.small_nat
+    (fun seed ->
+      let d, st = some_state seed in
+      let text = Incremental.to_text st in
+      let st' = get_ok "restore" (Incremental.of_text cat d text) in
+      Incremental.to_text st' = text)
+
+(* Monitor-level checkpoints are fixpoints too. *)
+let monitor_fixpoint =
+  qtest ~count:40 "monitor checkpoint round trip is a fixpoint"
+    QCheck.small_nat
+    (fun seed ->
+      let sc = Scenarios.banking in
+      let tr = sc.Scenarios.generate ~seed ~steps:30 ~violation_rate:0.2 in
+      let m =
+        List.fold_left
+          (fun m (time, txn) -> fst (get_ok "step" (Monitor.step m ~time txn)))
+          (get_ok "create"
+             (Monitor.create sc.Scenarios.catalog sc.Scenarios.constraints))
+          tr.Trace.steps
+      in
+      let text = Monitor.to_text m in
+      let m' =
+        get_ok "restore"
+          (Monitor.of_text sc.Scenarios.catalog sc.Scenarios.constraints text)
+      in
+      Monitor.to_text m' = text)
+
+(* The shared monitor agrees with the per-constraint monitor on every
+   scenario's own constraint set. *)
+let shared_scenarios =
+  List.map
+    (fun (sc : Scenarios.t) ->
+      Alcotest.test_case (sc.name ^ ": shared = per-constraint") `Quick
+        (fun () ->
+          let tr = sc.generate ~seed:33 ~steps:80 ~violation_rate:0.25 in
+          let a = get_ok "shared" (Shared.run_trace sc.constraints tr) in
+          let b = get_ok "plain" (Monitor.run_trace sc.constraints tr) in
+          let show r =
+            Printf.sprintf "%s@%d" r.Monitor.constraint_name r.Monitor.position
+          in
+          Alcotest.(check (list string)) "reports" (List.map show b)
+            (List.map show a)))
+    Scenarios.all
+
+(* The exported benchmark catalog is well-formed. *)
+let catalog_sane =
+  Alcotest.test_case "constraint catalog C1-C14 is well-formed" `Quick
+    (fun () ->
+      let entries = Scenarios.constraint_catalog in
+      Alcotest.(check int) "fourteen constraints" 14 (List.length entries);
+      let ids = List.map fst entries in
+      Alcotest.(check int) "distinct ids" 14
+        (List.length (List.sort_uniq String.compare ids));
+      (* every catalog constraint is monitorable against its scenario *)
+      List.iter
+        (fun (sc : Scenarios.t) ->
+          List.iter
+            (fun d ->
+              ignore (get_ok (sc.name ^ "/" ^ d.F.name) (Safety.monitorable sc.catalog d)))
+            sc.constraints)
+        Scenarios.all)
+
+let suite =
+  [ ( "robustness:checkpoint",
+      [ checkpoint_mutation; checkpoint_fixpoint; monitor_fixpoint ] );
+    ("robustness:shared-scenarios", shared_scenarios);
+    ("robustness:catalog", [ catalog_sane ]) ]

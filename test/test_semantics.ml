@@ -1,0 +1,133 @@
+(* Hand-crafted histories with known satisfaction vectors: the ground truth
+   the naive evaluator and the incremental checker must both reproduce. *)
+
+open Helpers
+
+(* Three snapshots:
+     t=0: p(1)
+     t=5: q(1)
+     t=7: p(2), q(1)   *)
+let h3 () =
+  generic_history
+    "@0\n+p(1)\n@5\n-p(1)\n+q(1)\n@7\n+p(2)\n"
+
+let cat = Gen.generic_catalog
+
+let case name formula expected =
+  Alcotest.test_case name `Quick (fun () ->
+      check_both_vectors name cat (h3 ()) (parse_formula formula) expected)
+
+let basic_cases =
+  [ case "exists-p" "exists x. p(x)" [ true; false; true ];
+    case "once-unbounded" "once (exists x. p(x))" [ true; true; true ];
+    case "once-window" "once[0,4] (exists x. p(x))" [ true; false; true ];
+    case "once-point" "once[5,5] (exists x. p(x))" [ false; true; false ];
+    case "prev-q" "prev (exists x. q(x))" [ false; false; true ];
+    case "prev-gap" "prev[3,10] (exists x. p(x))" [ false; true; false ];
+    case "since-plain"
+      "(exists x. q(x)) since (exists x. p(x))"
+      [ true; true; true ];
+    case "since-lower-bound"
+      "(exists x. q(x)) since[2,inf] (exists x. p(x))"
+      [ false; true; true ];
+    case "since-negated-left"
+      "(not (exists x. q(x))) since (exists x. p(x))"
+      [ true; false; true ];
+    case "forall-once"
+      "forall x. q(x) -> once[0,10] p(x)"
+      [ true; true; true ];
+    case "forall-prev-once"
+      "forall x. p(x) -> prev once q(x)"
+      [ false; true; false ];
+    case "historically-or"
+      "historically (exists x. (p(x) | q(x)))"
+      [ true; true; true ];
+    case "historically-window"
+      "historically[0,4] (exists x. p(x))"
+      [ true; false; false ];
+    case "nested-once-prev"
+      "once[0,10] prev (exists x. p(x))"
+      [ false; true; true ];
+    case "guarded-negation"
+      "forall x. p(x) -> not q(x)"
+      [ true; true; true ];
+    case "comparison-filter"
+      "forall x. p(x) -> x >= 1 & x <= 2"
+      [ true; true; true ];
+    case "comparison-violated"
+      "forall x. p(x) -> x >= 2"
+      [ false; true; true ] ]
+
+(* Per-valuation windows: witnesses for different valuations age
+   independently.
+     t=0: p(1)
+     t=2: p(2)
+     t=9: q(1), q(2)    (neither p within [0,5]... p(2) at d=7, p(1) at d=9)
+     t=10: q(1), q(2)   *)
+let h_window () =
+  generic_history
+    "@0\n+p(1)\n@2\n-p(1)\n+p(2)\n@9\n-p(2)\n+q(1)\n+q(2)\n@10\n"
+
+let window_cases =
+  [ Alcotest.test_case "per-valuation-window" `Quick (fun () ->
+        check_both_vectors "q-implies-recent-p" cat (h_window ())
+          (parse_formula "forall x. q(x) -> once[0,8] p(x)")
+          (* pos2 (t=9): q(1): p(1) at d9 — too old; fails.
+             pos3 (t=10): same. *)
+          [ true; true; false; false ]);
+    Alcotest.test_case "per-valuation-window-wide" `Quick (fun () ->
+        check_both_vectors "q-implies-p-within-9" cat (h_window ())
+          (parse_formula "forall x. q(x) -> once[0,9] p(x)")
+          (* pos2 (t=9): p(1)@0 d=9 ok, p(2)@2 d=7 ok: holds.
+             pos3 (t=10): p(1)@0 d=10 too old, p(2)@2 d=8 ok for x=2;
+             x=1 fails. *)
+          [ true; true; true; false ]) ]
+
+(* Since with survival: the left argument must hold at every state after the
+   witness.
+     t=1: q(5)          (witness)
+     t=2: p(5)          (left holds; q gone)
+     t=3: p(5)          (left holds)
+     t=4:               (left fails)
+     t=5: p(5)          (left holds again, but chain broken)  *)
+let h_since () =
+  generic_history
+    "@1\n+q(5)\n@2\n-q(5)\n+p(5)\n@3\n@4\n-p(5)\n@5\n+p(5)\n"
+
+let since_cases =
+  [ Alcotest.test_case "since-survival" `Quick (fun () ->
+        check_both_vectors "p-since-q" cat (h_since ())
+          (parse_formula "exists x. (p(x) since q(x))")
+          (* pos0: witness q(5) at t1 (j=i allowed). pos1: q@1 + p@2 holds.
+             pos2: p@2,3 hold. pos3: p fails at t4 — chain broken.
+             pos4: p holds at t5 but no further q witness. *)
+          [ true; true; true; false; false ]) ]
+
+(* Prev chains and empty-history edges. *)
+let edge_cases =
+  [ Alcotest.test_case "prev-at-origin" `Quick (fun () ->
+        check_both_vectors "prev-false-at-0" cat
+          (generic_history "@0\n+e()\n")
+          (parse_formula "prev e()")
+          [ false ]);
+    Alcotest.test_case "prev-prev" `Quick (fun () ->
+        check_both_vectors "prev-prev" cat
+          (generic_history "@0\n+e()\n@1\n-e()\n@2\n@3\n")
+          (parse_formula "prev prev e()")
+          [ false; false; true; false ]);
+    Alcotest.test_case "once-event" `Quick (fun () ->
+        check_both_vectors "once-e" cat
+          (generic_history "@0\n@3\n+e()\n@4\n-e()\n@20\n")
+          (parse_formula "once[0,10] e()")
+          [ false; true; true; false ]);
+    Alcotest.test_case "true-false" `Quick (fun () ->
+        check_both_vectors "truth" cat
+          (generic_history "@0\n")
+          (parse_formula "true & not false")
+          [ true ]) ]
+
+let suite =
+  [ ("semantics:basic", basic_cases);
+    ("semantics:window", window_cases);
+    ("semantics:since", since_cases);
+    ("semantics:edge", edge_cases) ]

@@ -1,0 +1,86 @@
+(* Cross-constraint subformula sharing: the shared monitor must report
+   exactly what the per-constraint monitor reports, with fewer auxiliary
+   relations when constraints overlap. *)
+
+open Helpers
+module Shared = Rtic_core.Shared
+module F = Formula
+
+let cat = Gen.generic_catalog
+
+let def name body = { F.name; body = parse_formula body }
+
+(* three constraints sharing the subformula once[0,30] p(x) *)
+let overlapping =
+  [ def "a" "forall x. q(x) -> once[0,30] p(x)";
+    def "b" "forall x, y. r(x, y) -> once[0,30] p(x)";
+    def "c" "not (exists x. ((once[0,30] p(x)) & (prev q(x)) & not q(x)))" ]
+
+let sharing_cases =
+  [ Alcotest.test_case "shared kernel is smaller" `Quick (fun () ->
+        let m = get_ok "create" (Shared.create cat overlapping) in
+        Alcotest.(check int) "three distinct subformulas" 2
+          (Shared.shared_nodes m);
+        Alcotest.(check int) "per-constraint would keep four" 4
+          (Shared.unshared_nodes m));
+    Alcotest.test_case "agrees with the per-constraint monitor" `Quick
+      (fun () ->
+        List.iter
+          (fun seed ->
+            let tr =
+              Gen.random_trace ~seed { Gen.default_params with steps = 50 }
+            in
+            let shared = get_ok "shared" (Shared.run_trace overlapping tr) in
+            let plain = get_ok "plain" (Monitor.run_trace overlapping tr) in
+            let show r =
+              Printf.sprintf "%s@%d/%d" r.Monitor.constraint_name
+                r.Monitor.position r.Monitor.time
+            in
+            Alcotest.(check (list string))
+              (Printf.sprintf "seed %d" seed)
+              (List.map show plain) (List.map show shared))
+          [ 1; 2; 3; 4 ]);
+    Alcotest.test_case "shared space <= sum of per-constraint spaces" `Quick
+      (fun () ->
+        let tr = Gen.random_trace ~seed:5 { Gen.default_params with steps = 60 } in
+        let h = get_ok "m" (Trace.materialize tr) in
+        let m0 = get_ok "create" (Shared.create cat overlapping) in
+        let final =
+          List.fold_left
+            (fun m (time, txn) -> fst (get_ok "step" (Shared.step m ~time txn)))
+            m0 tr.Trace.steps
+        in
+        let per =
+          List.fold_left
+            (fun acc d ->
+              let st =
+                List.fold_left
+                  (fun st (time, db) ->
+                    fst (get_ok "step" (Incremental.step st ~time db)))
+                  (get_ok "create" (Incremental.create cat d))
+                  (History.snapshots h)
+              in
+              acc + Incremental.space st)
+            0 overlapping
+        in
+        Alcotest.(check bool) "no larger" true (Shared.space final <= per)) ]
+
+let agreement_property =
+  qtest ~count:60 "shared monitor = per-constraint monitor on random batches"
+    QCheck.small_nat
+    (fun seed ->
+      let defs =
+        List.mapi
+          (fun i f -> { F.name = Printf.sprintf "c%d" i; body = f })
+          (Gen.random_formulas ~seed ~depth:3 ~count:3)
+      in
+      let tr = Gen.random_trace ~seed:(seed + 101) { Gen.default_params with steps = 30 } in
+      match Shared.run_trace defs tr, Monitor.run_trace defs tr with
+      | Ok a, Ok b ->
+        List.map (fun r -> (r.Monitor.constraint_name, r.Monitor.position)) a
+        = List.map (fun r -> (r.Monitor.constraint_name, r.Monitor.position)) b
+      | Error _, Error _ -> true
+      | _ -> false)
+
+let suite =
+  [ ("shared:unit", sharing_cases); ("shared:property", [ agreement_property ]) ]

@@ -1,0 +1,69 @@
+(* Run statistics aggregation. *)
+
+open Helpers
+module Stats = Rtic_core.Stats
+
+let report name position time = { Monitor.constraint_name = name; position; time }
+
+let unit_cases =
+  [ Alcotest.test_case "accumulates" `Quick (fun () ->
+        let s = Stats.empty in
+        let s = Stats.observe s ~time:3 ~space:5 ~reports:[] in
+        let s =
+          Stats.observe s ~time:7 ~space:9
+            ~reports:[ report "a" 1 7; report "b" 1 7 ]
+        in
+        let s = Stats.observe s ~time:12 ~space:2 ~reports:[ report "a" 2 12 ] in
+        Alcotest.(check int) "transactions" 3 (Stats.transactions s);
+        Alcotest.(check int) "violations" 3 (Stats.violations s);
+        Alcotest.(check int) "peak space" 9 (Stats.peak_space s);
+        Alcotest.(check (option int)) "first" (Some 3) (Stats.first_time s);
+        Alcotest.(check (option int)) "last" (Some 12) (Stats.last_time s);
+        Alcotest.(check (list (pair string int)))
+          "per constraint"
+          [ ("a", 2); ("b", 1) ]
+          (Stats.violations_by_constraint s);
+        Alcotest.(check (float 0.001)) "rate" 1.0 (Stats.violation_rate s));
+    Alcotest.test_case "empty is quiet" `Quick (fun () ->
+        Alcotest.(check int) "txns" 0 (Stats.transactions Stats.empty);
+        Alcotest.(check (float 0.0)) "rate" 0.0
+          (Stats.violation_rate Stats.empty);
+        Alcotest.(check (option int)) "first" None (Stats.first_time Stats.empty));
+    Alcotest.test_case "renders" `Quick (fun () ->
+        let s =
+          Stats.observe Stats.empty ~time:1 ~space:4
+            ~reports:[ report "c" 0 1 ]
+        in
+        let text = Format.asprintf "%a" Stats.pp s in
+        Alcotest.(check bool) "mentions constraint" true
+          (String.length text > 0
+           && Option.is_some (String.index_opt text 'c'))) ]
+
+(* Statistics over a real monitoring run agree with the report stream. *)
+let end_to_end =
+  Alcotest.test_case "stats match the monitor's reports" `Quick (fun () ->
+      let sc = Scenarios.monitoring in
+      let tr = sc.Scenarios.generate ~seed:9 ~steps:100 ~violation_rate:0.2 in
+      let m =
+        get_ok "create"
+          (Monitor.create sc.Scenarios.catalog sc.Scenarios.constraints)
+      in
+      let _, stats, all_reports =
+        List.fold_left
+          (fun (m, stats, all) (time, txn) ->
+            let m, rs = get_ok "step" (Monitor.step m ~time txn) in
+            ( m,
+              Stats.observe stats ~time ~space:(Monitor.space m) ~reports:rs,
+              all @ rs ))
+          (m, Stats.empty, [])
+          tr.Trace.steps
+      in
+      Alcotest.(check int) "violations" (List.length all_reports)
+        (Stats.violations stats);
+      Alcotest.(check int) "transactions" (Trace.length tr)
+        (Stats.transactions stats);
+      let by = Stats.violations_by_constraint stats in
+      let total = List.fold_left (fun a (_, n) -> a + n) 0 by in
+      Alcotest.(check int) "per-constraint sums" (Stats.violations stats) total)
+
+let suite = [ ("stats", unit_cases @ [ end_to_end ]) ]

@@ -1,0 +1,115 @@
+(* key / reference declarations: desugaring into monitorable constraints. *)
+
+open Helpers
+module Sugar = Rtic_mtl.Sugar
+module F = Formula
+
+let cat =
+  Schema.Catalog.of_list
+    [ Schema.make "emp" [ ("name", Value.TStr); ("sal", Value.TInt);
+                          ("dept", Value.TStr) ];
+      Schema.make "dept" [ ("dname", Value.TStr); ("head", Value.TStr) ] ]
+
+let desugar_cases =
+  [ Alcotest.test_case "key constraint is generated and monitorable" `Quick
+      (fun () ->
+        let d = get_ok "key" (Sugar.key_constraint cat "emp" [ "name" ]) in
+        Alcotest.(check string) "name" "key_emp" d.F.name;
+        ignore (get_ok "monitorable" (Safety.monitorable cat d)));
+    Alcotest.test_case "reference constraint is generated and monitorable"
+      `Quick (fun () ->
+        let d =
+          get_ok "ref"
+            (Sugar.reference_constraint cat "emp" [ "dept" ] "dept" [ "dname" ])
+        in
+        Alcotest.(check string) "name" "ref_emp_dept" d.F.name;
+        ignore (get_ok "monitorable" (Safety.monitorable cat d)));
+    Alcotest.test_case "bad declarations rejected" `Quick (fun () ->
+        ignore (get_error "unknown rel" (Sugar.key_constraint cat "zzz" [ "a" ]));
+        ignore (get_error "unknown attr" (Sugar.key_constraint cat "emp" [ "zzz" ]));
+        ignore (get_error "dup attr" (Sugar.key_constraint cat "emp" [ "name"; "name" ]));
+        ignore
+          (get_error "whole-relation key"
+             (Sugar.key_constraint cat "emp" [ "name"; "sal"; "dept" ]));
+        ignore
+          (get_error "length mismatch"
+             (Sugar.reference_constraint cat "emp" [ "dept" ] "dept" []));
+        ignore
+          (get_error "type mismatch is caught by typecheck"
+             (let d =
+                Result.get_ok
+                  (Sugar.reference_constraint cat "emp" [ "sal" ] "dept"
+                     [ "dname" ])
+              in
+              Typecheck.check_def cat d))) ]
+
+(* semantics: keys catch duplicates, references catch dangling tuples *)
+let semantics_cases =
+  [ Alcotest.test_case "key violation detected" `Quick (fun () ->
+        let d = get_ok "key" (Sugar.key_constraint cat "emp" [ "name" ]) in
+        let db = Database.create cat in
+        let t1 = Tuple.make [ Value.Str "amy"; Value.Int 1; Value.Str "cs" ] in
+        let t2 = Tuple.make [ Value.Str "amy"; Value.Int 2; Value.Str "cs" ] in
+        let db1 = get_ok "i1" (Database.insert db "emp" t1) in
+        let db2 = get_ok "i2" (Database.insert db1 "emp" t2) in
+        let st = get_ok "create" (Incremental.create cat d) in
+        let st, v1 = get_ok "s1" (Incremental.step st ~time:1 db1) in
+        let _, v2 = get_ok "s2" (Incremental.step st ~time:2 db2) in
+        Alcotest.(check (list bool)) "second state violates" [ true; false ]
+          [ v1.Incremental.satisfied; v2.Incremental.satisfied ]);
+    Alcotest.test_case "reference violation detected" `Quick (fun () ->
+        let d =
+          get_ok "ref"
+            (Sugar.reference_constraint cat "emp" [ "dept" ] "dept" [ "dname" ])
+        in
+        let db = Database.create cat in
+        let db1 =
+          get_ok "i1"
+            (Database.insert db "dept"
+               (Tuple.make [ Value.Str "cs"; Value.Str "amy" ]))
+        in
+        let db2 =
+          get_ok "i2"
+            (Database.insert db1 "emp"
+               (Tuple.make [ Value.Str "amy"; Value.Int 1; Value.Str "cs" ]))
+        in
+        let db3 =
+          get_ok "i3"
+            (Database.insert db2 "emp"
+               (Tuple.make [ Value.Str "bob"; Value.Int 1; Value.Str "ee" ]))
+        in
+        let st = get_ok "create" (Incremental.create cat d) in
+        let st, v1 = get_ok "s1" (Incremental.step st ~time:1 db2) in
+        let _, v2 = get_ok "s2" (Incremental.step st ~time:2 db3) in
+        ignore db1;
+        Alcotest.(check (list bool)) "dangling dept violates" [ true; false ]
+          [ v1.Incremental.satisfied; v2.Incremental.satisfied ]) ]
+
+let spec_cases =
+  [ Alcotest.test_case "declarations in spec files" `Quick (fun () ->
+        let spec =
+          get_ok "spec"
+            (Parser.spec_of_string
+               "schema emp(name:str, sal:int, dept:str)\n\
+                schema dept(dname:str, head:str)\n\
+                key emp(name)\n\
+                reference emp(dept) -> dept(dname)\n\
+                constraint salary_positive:\n\
+               \  forall n, s, d. emp(n, s, d) -> s >= 0 ;")
+        in
+        Alcotest.(check (list string)) "three constraints"
+          [ "key_emp"; "ref_emp_dept"; "salary_positive" ]
+          (List.map (fun (d : F.def) -> d.F.name) spec.Parser.defs));
+    Alcotest.test_case "declaration errors are located" `Quick (fun () ->
+        ignore
+          (get_error "unknown rel"
+             (Parser.spec_of_string "key emp(name)"));
+        ignore
+          (get_error "bad arrow"
+             (Parser.spec_of_string
+                "schema p(a:int)\nreference p(a) p(a)"))) ]
+
+let suite =
+  [ ("sugar:desugar", desugar_cases);
+    ("sugar:semantics", semantics_cases);
+    ("sugar:spec", spec_cases) ]

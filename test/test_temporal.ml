@@ -1,0 +1,121 @@
+(* Unit tests for intervals, histories and traces. *)
+
+open Helpers
+
+let interval_cases =
+  [ Alcotest.test_case "membership" `Quick (fun () ->
+        let i = Interval.bounded 2 5 in
+        List.iter
+          (fun (d, want) ->
+            Alcotest.(check bool) (string_of_int d) want (Interval.mem d i))
+          [ (1, false); (2, true); (5, true); (6, false); (-1, false) ];
+        Alcotest.(check bool) "unbounded" true
+          (Interval.mem 1_000_000 (Interval.unbounded 3));
+        Alcotest.(check bool) "below lower" false
+          (Interval.mem 2 (Interval.unbounded 3)));
+    Alcotest.test_case "constructors validate" `Quick (fun () ->
+        (try
+           ignore (Interval.make (-1) None);
+           Alcotest.fail "negative lower accepted"
+         with Invalid_argument _ -> ());
+        (try
+           ignore (Interval.bounded 5 3);
+           Alcotest.fail "inverted bounds accepted"
+         with Invalid_argument _ -> ()));
+    Alcotest.test_case "inter and hull" `Quick (fun () ->
+        let a = Interval.bounded 0 10 and b = Interval.bounded 5 20 in
+        (match Interval.inter a b with
+         | Some i ->
+           Alcotest.(check int) "lo" 5 (Interval.lo i);
+           Alcotest.(check (option int)) "hi" (Some 10) (Interval.hi i)
+         | None -> Alcotest.fail "expected overlap");
+        Alcotest.(check bool) "disjoint" true
+          (Interval.inter (Interval.bounded 0 2) (Interval.bounded 5 9) = None);
+        let h = Interval.hull (Interval.bounded 0 2) (Interval.unbounded 5) in
+        Alcotest.(check int) "hull lo" 0 (Interval.lo h);
+        Alcotest.(check (option int)) "hull hi" None (Interval.hi h));
+    Alcotest.test_case "shift clamps at zero" `Quick (fun () ->
+        let i = Interval.shift (-4) (Interval.bounded 2 6) in
+        Alcotest.(check int) "lo" 0 (Interval.lo i);
+        Alcotest.(check (option int)) "hi" (Some 2) (Interval.hi i));
+    qtest ~count:200 "mem consistent with bounds"
+      QCheck.(triple small_nat small_nat small_nat)
+      (fun (l, w, d) ->
+        let i = Interval.bounded l (l + w) in
+        Interval.mem d i = (d >= l && d <= l + w)) ]
+
+let history_cases =
+  [ Alcotest.test_case "strictly increasing times" `Quick (fun () ->
+        let db = Database.create Gen.generic_catalog in
+        let h = History.initial ~time:5 db in
+        Alcotest.(check bool) "equal time rejected" true
+          (Result.is_error (History.extend h ~time:5 db));
+        Alcotest.(check bool) "smaller time rejected" true
+          (Result.is_error (History.extend h ~time:4 db));
+        let h = get_ok "extend" (History.extend h ~time:9 db) in
+        Alcotest.(check int) "length" 2 (History.length h);
+        Alcotest.(check int) "time" 9 (History.time h 1));
+    Alcotest.test_case "out-of-range access" `Quick (fun () ->
+        let db = Database.create Gen.generic_catalog in
+        let h = History.initial ~time:0 db in
+        (try
+           ignore (History.time h 1);
+           Alcotest.fail "expected Invalid_argument"
+         with Invalid_argument _ -> ())) ]
+
+let trace_cases =
+  [ Alcotest.test_case "parse and materialize" `Quick (fun () ->
+        let h = generic_history "@0\n+p(1)\n@4\n+p(2)\n-p(1)\n" in
+        Alcotest.(check int) "length" 2 (History.length h);
+        let d1 = History.db h 1 in
+        let p = Database.relation_exn d1 "p" in
+        Alcotest.(check int) "p cardinality" 1 (Relation.cardinal p));
+    Alcotest.test_case "rejects decreasing stamps" `Quick (fun () ->
+        let r = Trace.parse (generic_schemas ^ "@5\n+p(1)\n@5\n+p(2)\n") in
+        Alcotest.(check bool) "error" true (Result.is_error r));
+    Alcotest.test_case "rejects update before marker" `Quick (fun () ->
+        let r = Trace.parse (generic_schemas ^ "+p(1)\n@5\n") in
+        Alcotest.(check bool) "error" true (Result.is_error r));
+    Alcotest.test_case "rejects unknown relation" `Quick (fun () ->
+        let r = Trace.parse (generic_schemas ^ "@1\n+zz(1)\n") in
+        Alcotest.(check bool) "error" true (Result.is_error r));
+    Alcotest.test_case "to_string round-trips materialization" `Quick (fun () ->
+        let tr = Gen.random_trace ~seed:5 { Gen.default_params with steps = 20 } in
+        let tr' = get_ok "reparse" (Trace.parse (Trace.to_string tr)) in
+        let h = get_ok "m1" (Trace.materialize tr) in
+        let h' = get_ok "m2" (Trace.materialize tr') in
+        Alcotest.(check int) "same length" (History.length h) (History.length h');
+        List.iter2
+          (fun (t, d) (t', d') ->
+            Alcotest.(check int) "time" t t';
+            Alcotest.(check bool) "db" true (Database.equal d d'))
+          (History.snapshots h) (History.snapshots h'));
+    Alcotest.test_case "non-empty init is folded into first txn" `Quick (fun () ->
+        let cat = Gen.generic_catalog in
+        let init =
+          get_ok "ins"
+            (Database.insert (Database.create cat) "p" (Tuple.make [ Value.Int 7 ]))
+        in
+        let tr =
+          Trace.make_exn cat ~init
+            [ (3, [ Update.insert "q" [ Value.Int 1 ] ]) ]
+        in
+        let tr' = get_ok "reparse" (Trace.parse (Trace.to_string tr)) in
+        let h = get_ok "m" (Trace.materialize tr') in
+        let d0 = History.db h 0 in
+        Alcotest.(check int) "p present" 1
+          (Relation.cardinal (Database.relation_exn d0 "p"));
+        Alcotest.(check int) "q present" 1
+          (Relation.cardinal (Database.relation_exn d0 "q"))) ]
+
+let stored_tuples_cases =
+  [ Alcotest.test_case "stored_tuples counts all snapshots" `Quick (fun () ->
+        let h = generic_history "@0\n+p(1)\n@1\n+p(2)\n@2\n+q(1)\n" in
+        (* snapshots hold 1, 2 and 3 tuples respectively *)
+        Alcotest.(check int) "total" 6 (History.stored_tuples h)) ]
+
+let suite =
+  [ ("temporal:interval", interval_cases);
+    ("temporal:history", history_cases);
+    ("temporal:trace", trace_cases);
+    ("temporal:space", stored_tuples_cases) ]

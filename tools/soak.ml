@@ -1,0 +1,71 @@
+(* Deep differential verification, opt-in (slow): dune exec tools/soak.exe *)
+(* One-off soak: high-volume differential testing of all engines. *)
+module Trace = Rtic_temporal.Trace
+module History = Rtic_temporal.History
+module F = Rtic_mtl.Formula
+module Naive = Rtic_eval.Naive
+module Incremental = Rtic_core.Incremental
+module Future = Rtic_core.Future
+module Compile = Rtic_active.Compile
+module Gen = Rtic_workload.Gen
+
+let ok = function Ok v -> v | Error m -> failwith m
+let cat = Gen.generic_catalog
+
+let naive_vec h f =
+  List.init (History.length h) (fun i -> ok (Naive.holds_at h i f))
+
+let inc_vec ?config h f =
+  let d = { F.name = "s"; body = f } in
+  let st = ok (Incremental.create ?config cat d) in
+  List.fold_left
+    (fun (st, acc) (t, db) ->
+      let st, v = ok (Incremental.step st ~time:t db) in
+      (st, v.Incremental.satisfied :: acc))
+    (st, []) (History.snapshots h)
+  |> snd |> List.rev
+
+let active_vec h f =
+  let prog = ok (Compile.compile cat { F.name = "s"; body = f }) in
+  List.fold_left
+    (fun (e, acc) (t, db) ->
+      let e, b = ok (Compile.step e ~time:t db) in
+      (e, b :: acc))
+    (Compile.start prog, [])
+    (History.snapshots h)
+  |> snd |> List.rev
+
+let future_vec h f =
+  let st = ok (Future.create cat { F.name = "s"; body = f }) in
+  let st, out =
+    List.fold_left
+      (fun (st, out) (t, db) ->
+        let st, vs = ok (Future.step st ~time:t db) in
+        (st, out @ vs))
+      (st, []) (History.snapshots h)
+  in
+  List.map (fun v -> v.Future.satisfied) (out @ Future.finish st)
+
+let () =
+  let fails = ref 0 in
+  let n_past = 1200 and n_future = 400 in
+  for i = 1 to n_past do
+    let f = Gen.random_formula ~seed:(7000 + i) ~depth:5 in
+    let tr = Gen.random_trace ~seed:(9000 + i) { Gen.default_params with steps = 35 } in
+    let h = ok (Trace.materialize tr) in
+    let nv = naive_vec h f in
+    if inc_vec h f <> nv then (incr fails; Printf.printf "INC mismatch seed %d\n" i);
+    if inc_vec ~config:{ Incremental.prune = false } h f <> nv then
+      (incr fails; Printf.printf "NOPRUNE mismatch seed %d\n" i);
+    if active_vec h f <> nv then (incr fails; Printf.printf "ACTIVE mismatch seed %d\n" i)
+  done;
+  for i = 1 to n_future do
+    let f = Gen.random_bounded_future_formula ~seed:(300 + i) ~depth:4 in
+    let tr = Gen.random_trace ~seed:(500 + i) { Gen.default_params with steps = 30 } in
+    let h = ok (Trace.materialize tr) in
+    if future_vec h f <> naive_vec h f then
+      (incr fails; Printf.printf "FUTURE mismatch seed %d\n" i)
+  done;
+  Printf.printf "soak: %d past-engine runs x3 + %d future runs, %d failures\n"
+    n_past n_future !fails;
+  exit (if !fails = 0 then 0 else 1)
