@@ -13,6 +13,8 @@ module Formula = Rtic_mtl.Formula
 module Interval = Rtic_temporal.Interval
 module Incremental = Rtic_core.Incremental
 module Monitor = Rtic_core.Monitor
+module Metrics = Rtic_core.Metrics
+module Json = Rtic_core.Json
 module Compile = Rtic_active.Compile
 module Naive = Rtic_eval.Naive
 module Gen = Rtic_workload.Gen
@@ -26,6 +28,24 @@ let header title claim =
 
 let row fmt = Printf.printf fmt
 
+(* Machine-readable companions to the printed tables: each experiment that
+   feeds a plot also drops a BENCH_<NAME>.json artifact (schema
+   rtic-bench/1; see EXPERIMENTS.md) into the working directory. *)
+let write_artifact ~experiment series =
+  let doc =
+    Json.Obj
+      [ ("schema", Json.Str "rtic-bench/1");
+        ("experiment", Json.Str experiment);
+        ("quick", Json.Bool !quick);
+        ("series", Json.List series) ]
+  in
+  let path = Printf.sprintf "BENCH_%s.json" (String.uppercase_ascii experiment) in
+  let oc = open_out path in
+  output_string oc (Json.to_string ~indent:true doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "(wrote %s)\n" path
+
 (* ------------------------------------------------------------------ *)
 (* E1 — space vs history length                                        *)
 (* ------------------------------------------------------------------ *)
@@ -38,18 +58,26 @@ let e1 () =
   let d = parse_def "constraint c: forall x. q(x) -> once[0,50] p(x) ;" in
   let sweep = if !quick then [ 250; 500; 1000 ] else [ 250; 500; 1000; 2000; 4000 ] in
   row "%8s %16s %16s %16s\n" "n" "incremental" "no-pruning" "naive(tuples)";
-  List.iter
-    (fun n ->
-      let snaps = event_snapshots n in
-      let st = run_incremental d snaps in
-      let st_np =
-        run_incremental ~config:{ Incremental.prune = false } d snaps
-      in
-      let h = history_of_snapshots snaps in
-      row "%8d %16d %16d %16d\n" n (Incremental.space st)
-        (Incremental.space st_np)
-        (History.stored_tuples h))
-    sweep
+  let series =
+    List.map
+      (fun n ->
+        let snaps = event_snapshots n in
+        let st = run_incremental d snaps in
+        let st_np =
+          run_incremental ~config:{ Incremental.prune = false } d snaps
+        in
+        let h = history_of_snapshots snaps in
+        row "%8d %16d %16d %16d\n" n (Incremental.space st)
+          (Incremental.space st_np)
+          (History.stored_tuples h);
+        Json.Obj
+          [ ("n", Json.Int n);
+            ("incremental_space", Json.Int (Incremental.space st));
+            ("noprune_space", Json.Int (Incremental.space st_np));
+            ("naive_tuples", Json.Int (History.stored_tuples h)) ])
+      sweep
+  in
+  write_artifact ~experiment:"e1" series
 
 (* ------------------------------------------------------------------ *)
 (* E2 — per-transition check time vs history length                    *)
@@ -65,34 +93,41 @@ let e2 () =
   let sweep = if !quick then [ 250; 500; 1000 ] else [ 250; 500; 1000; 2000 ] in
   let reps = 50 in
   row "%8s %22s %22s\n" "n" "incremental (us/txn)" "naive (us/check)";
-  List.iter
-    (fun n ->
-      let snaps = event_snapshots n in
-      let st = run_incremental d snaps in
-      let last_t = fst (List.nth snaps (n - 1)) in
-      let db = snd (List.nth snaps (n - 1)) in
-      let (), t_inc =
-        time_it (fun () ->
-            let _ =
-              List.fold_left
-                (fun st k ->
-                  fst (or_die "step" (Incremental.step st ~time:(last_t + k) db)))
-                st
-                (List.init reps (fun k -> k + 1))
-            in
-            ())
-      in
-      let h = history_of_snapshots snaps in
-      let (), t_naive =
-        time_it (fun () ->
-            for _ = 1 to reps do
-              ignore (or_die "naive" (Naive.holds_at h (n - 1) d.Formula.body))
-            done)
-      in
-      row "%8d %22.1f %22.1f\n" n
-        (1e6 *. t_inc /. float_of_int reps)
-        (1e6 *. t_naive /. float_of_int reps))
-    sweep
+  let series =
+    List.map
+      (fun n ->
+        let snaps = event_snapshots n in
+        let st = run_incremental d snaps in
+        let last_t = fst (List.nth snaps (n - 1)) in
+        let db = snd (List.nth snaps (n - 1)) in
+        let (), t_inc =
+          time_it (fun () ->
+              let _ =
+                List.fold_left
+                  (fun st k ->
+                    fst (or_die "step" (Incremental.step st ~time:(last_t + k) db)))
+                  st
+                  (List.init reps (fun k -> k + 1))
+              in
+              ())
+        in
+        let h = history_of_snapshots snaps in
+        let (), t_naive =
+          time_it (fun () ->
+              for _ = 1 to reps do
+                ignore (or_die "naive" (Naive.holds_at h (n - 1) d.Formula.body))
+              done)
+        in
+        let inc_us = 1e6 *. t_inc /. float_of_int reps in
+        let naive_us = 1e6 *. t_naive /. float_of_int reps in
+        row "%8d %22.1f %22.1f\n" n inc_us naive_us;
+        Json.Obj
+          [ ("n", Json.Int n);
+            ("incremental_us_per_txn", Json.Float inc_us);
+            ("naive_us_per_check", Json.Float naive_us) ])
+      sweep
+  in
+  write_artifact ~experiment:"e2" series
 
 (* ------------------------------------------------------------------ *)
 (* E3 — total trace-processing time                                    *)
@@ -406,6 +441,10 @@ let micro () =
       snaps
   in
   let h = history_of_snapshots snaps in
+  (* An instrumented twin of the incremental checker: same warmed state but
+     with a metrics recorder attached, to expose the instrumentation
+     overhead next to the uninstrumented baseline. *)
+  let st_m = run_incremental ~metrics:(Metrics.create ()) d snaps in
   let counter = ref 0 in
   let fresh () =
     incr counter;
@@ -416,6 +455,9 @@ let micro () =
       [ Test.make ~name:"incremental"
           (Staged.stage (fun () ->
                ignore (or_die "step" (Incremental.step st ~time:(fresh ()) db))));
+        Test.make ~name:"incremental-metrics"
+          (Staged.stage (fun () ->
+               ignore (or_die "step" (Incremental.step st_m ~time:(fresh ()) db))));
         Test.make ~name:"active-rules"
           (Staged.stage (fun () ->
                ignore (or_die "step" (Compile.step eng ~time:(fresh ()) db))));
@@ -433,12 +475,21 @@ let micro () =
   let raw = Benchmark.all cfg [ instance ] tests in
   let results = Analyze.all ols instance raw in
   let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) results [] in
-  List.iter
-    (fun (name, ols_result) ->
-      match Analyze.OLS.estimates ols_result with
-      | Some [ est ] -> row "%-28s %14.0f ns/run\n" name est
-      | _ -> row "%-28s %14s\n" name "n/a")
-    (List.sort (fun (a, _) (b, _) -> String.compare a b) rows)
+  let series =
+    List.filter_map
+      (fun (name, ols_result) ->
+        match Analyze.OLS.estimates ols_result with
+        | Some [ est ] ->
+          row "%-28s %14.0f ns/run\n" name est;
+          Some
+            (Json.Obj
+               [ ("name", Json.Str name); ("ns_per_run", Json.Float est) ])
+        | _ ->
+          row "%-28s %14s\n" name "n/a";
+          None)
+      (List.sort (fun (a, _) (b, _) -> String.compare a b) rows)
+  in
+  write_artifact ~experiment:"micro" series
 
 (* ------------------------------------------------------------------ *)
 

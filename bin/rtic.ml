@@ -6,7 +6,8 @@
      rtic check SPEC TRACE      monitor a trace, report violations
      rtic rules SPEC            show the compiled active-DBMS rules
      rtic explain SPEC TRACE    show violation witnesses
-     rtic gen                   generate a synthetic trace *)
+     rtic gen                   generate a synthetic trace
+     rtic lint-json [FILE]      validate a JSON document (stdin by default) *)
 
 module Schema = Rtic_relational.Schema
 module Database = Rtic_relational.Database
@@ -23,6 +24,8 @@ module Incremental = Rtic_core.Incremental
 module Monitor = Rtic_core.Monitor
 module Shared = Rtic_core.Shared
 module Stats = Rtic_core.Stats
+module Metrics = Rtic_core.Metrics
+module Json = Rtic_core.Json
 module Future = Rtic_core.Future
 module Compile = Rtic_active.Compile
 module Scenarios = Rtic_workload.Scenarios
@@ -136,20 +139,23 @@ let check_with_future cat defs tr =
 (* Incremental run with optional checkpoint restore/save. The restored
    monitor's database replaces the trace's initial state, so a saved run can
    be continued with a trace holding only the remaining transactions. *)
-let run_incremental_with_state config cat past_defs (tr : Trace.t) load save
-    want_stats =
+let run_incremental_with_state ?metrics config cat past_defs (tr : Trace.t)
+    load save want_stats =
   let* m =
     match load with
-    | None -> Monitor.create_with ~config tr.Trace.init past_defs
+    | None -> Monitor.create_with ?metrics ~config tr.Trace.init past_defs
     | Some path ->
       let* text = read_file path in
-      Monitor.of_text ~config cat past_defs text
+      Monitor.of_text ?metrics ~config cat past_defs text
   in
   let* m, reports, stats =
     List.fold_left
       (fun acc (time, txn) ->
         let* m, out, stats = acc in
         let* m, rs = Monitor.step m ~time txn in
+        Logs.info (fun k ->
+            k "[%d] txn: %d violation(s), aux space %d" time (List.length rs)
+              (Monitor.space m));
         let stats =
           if want_stats then
             Stats.observe stats ~time ~space:(Monitor.space m) ~reports:rs
@@ -165,25 +171,40 @@ let run_incremental_with_state config cat past_defs (tr : Trace.t) load save
      output_string oc (Monitor.to_text m);
      close_out oc
    | None -> ());
-  if want_stats then Format.printf "%a@." Stats.pp stats;
-  Ok reports
+  Ok (reports, stats)
 
-let run_check spec_file trace_file engine no_prune quiet load save want_stats =
+let run_check spec_file trace_file engine no_prune quiet load save want_stats
+    want_json want_trace =
   let spec = or_die (load_spec spec_file) in
   let tr = or_die (load_trace trace_file) in
   let cat = spec.Parser.catalog in
   let config = { Incremental.prune = not no_prune } in
   let past_defs, future_defs = split_defs spec in
+  let want_stats = want_stats || want_json in
+  if want_trace then begin
+    Logs.set_reporter (Logs_fmt.reporter ());
+    Logs.set_level (Some Logs.Info)
+  end;
   if (load <> None || save <> None) && engine <> E_incremental then begin
     Printf.eprintf "rtic: checkpointing requires --engine incremental\n";
     exit 2
   end;
+  if want_stats && engine <> E_incremental then begin
+    Printf.eprintf "rtic: --stats/--json require --engine incremental\n";
+    exit 2
+  end;
+  let metrics = if want_stats then Some (Metrics.create ()) else None in
+  let stats = ref Stats.empty in
   let reports =
     match engine with
     | E_incremental ->
-      or_die
-        (run_incremental_with_state config cat past_defs tr load save
-           want_stats)
+      let rs, st =
+        or_die
+          (run_incremental_with_state ?metrics config cat past_defs tr load
+             save want_stats)
+      in
+      stats := st;
+      rs
     | E_shared -> or_die (Shared.run_trace ~config past_defs tr)
     | E_naive -> or_die (Monitor.run_trace_naive past_defs tr)
     | E_active ->
@@ -223,10 +244,22 @@ let run_check spec_file trace_file engine no_prune quiet load save want_stats =
       reports @ or_die (check_with_future cat future_defs tr)
     end
   in
-  if not quiet then
-    List.iter (fun r -> Format.printf "%a@." Monitor.pp_report r) reports;
-  Printf.printf "%d transaction(s), %d violation(s)\n" (Trace.length tr)
-    (List.length reports);
+  if want_json then
+    (* Machine mode: the JSON document is the only stdout output; report
+       lines and the human summary are suppressed. Exit code is unchanged. *)
+    print_endline (Json.to_string ~indent:true (Stats.to_json ?metrics !stats))
+  else begin
+    if not quiet then
+      List.iter (fun r -> Format.printf "%a@." Monitor.pp_report r) reports;
+    if want_stats then begin
+      Format.printf "%a@." Stats.pp !stats;
+      match metrics with
+      | Some m -> Format.printf "%a@." Metrics.pp m
+      | None -> ()
+    end;
+    Printf.printf "%d transaction(s), %d violation(s)\n" (Trace.length tr)
+      (List.length reports)
+  end;
   if reports = [] then 0 else 1
 
 (* ------------------------------------------------------------------ *)
@@ -457,13 +490,55 @@ let save_state_arg =
 let stats_arg =
   Arg.(value & flag & info [ "stats" ]
          ~doc:"Print run statistics (transactions, violations per \
-               constraint, peak auxiliary space). Incremental engine only.")
+               constraint, peak auxiliary space) and the kernel metrics \
+               (formula-cache hits, step-latency percentiles, per-node \
+               auxiliary gauges). Incremental engine only.")
+
+let json_arg =
+  Arg.(value & flag & info [ "json" ]
+         ~doc:"Emit the run statistics as a JSON document (schema \
+               rtic-stats/1, see FORMATS.md) instead of any human-readable \
+               output; implies --stats. The document is the only stdout \
+               output; the exit code is unchanged.")
+
+let trace_flag_arg =
+  Arg.(value & flag & info [ "trace" ]
+         ~doc:"Log one line per transaction (time, violation count, \
+               auxiliary space) to stderr while checking.")
 
 let check_cmd =
   let doc = "monitor a trace and report constraint violations" in
   Cmd.v (Cmd.info "check" ~doc)
     Term.(const run_check $ spec_arg $ trace_pos 1 $ engine_arg $ no_prune_arg
-          $ quiet_arg $ load_state_arg $ save_state_arg $ stats_arg)
+          $ quiet_arg $ load_state_arg $ save_state_arg $ stats_arg
+          $ json_arg $ trace_flag_arg)
+
+(* ------------------------------------------------------------------ *)
+(* lint-json                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let run_lint_json file =
+  let text =
+    match file with
+    | Some path -> or_die (read_file path)
+    | None -> In_channel.input_all stdin
+  in
+  match Json.of_string text with
+  | Ok _ ->
+    print_endline "valid JSON";
+    0
+  | Error m ->
+    Printf.eprintf "rtic: invalid JSON: %s\n" m;
+    1
+
+let lint_json_cmd =
+  let doc = "validate that a file (or stdin) is a single well-formed JSON \
+             document" in
+  let file_arg =
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"File to validate (default: read stdin).")
+  in
+  Cmd.v (Cmd.info "lint-json" ~doc) Term.(const run_lint_json $ file_arg)
 
 let rules_cmd =
   let doc = "show the active-DBMS rules a constraint compiles to" in
@@ -528,6 +603,7 @@ let gen_cmd =
 let main_cmd =
   let doc = "real-time integrity constraints over timed database histories" in
   Cmd.group (Cmd.info "rtic" ~version:"1.0.0" ~doc)
-    [ parse_cmd; check_cmd; rules_cmd; explain_cmd; query_cmd; gen_cmd ]
+    [ parse_cmd; check_cmd; rules_cmd; explain_cmd; query_cmd; gen_cmd;
+      lint_json_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -21,9 +21,10 @@ type t = {
   next_index : int;
   first_undecided : int;
   last_time : int option;
+  metrics : Metrics.t option;
 }
 
-let create cat (d : Formula.def) =
+let create ?metrics cat (d : Formula.def) =
   match Safety.monitorable cat d with
   | Error _ as e -> e
   | Ok () ->
@@ -51,7 +52,8 @@ let create cat (d : Formula.def) =
            buffer = [];
            next_index = 0;
            first_undecided = 0;
-           last_time = None })
+           last_time = None;
+           metrics })
 
 let horizon st = st.hz
 let pending st = st.next_index - st.first_undecided
@@ -116,6 +118,9 @@ let step st ~time db =
   | Some t0 when time <= t0 ->
     Error (Printf.sprintf "non-increasing timestamp: %d after %d" time t0)
   | _ ->
+    let t0 =
+      match st.metrics with None -> 0.0 | Some _ -> Unix.gettimeofday ()
+    in
     let st =
       { st with
         buffer = st.buffer @ [ (st.next_index, time, db) ];
@@ -136,6 +141,13 @@ let step st ~time db =
            else (st, List.rev acc)
        in
        let st, verdicts = go st [] in
+       (match st.metrics with
+        | None -> ()
+        | Some mx ->
+          Metrics.incr_steps mx;
+          Metrics.record_latency mx (Unix.gettimeofday () -. t0);
+          Metrics.add_violations mx
+            (List.length (List.filter (fun v -> not v.satisfied) verdicts)));
        Ok (prune st, verdicts)
      with Invalid_argument m -> Error m)
 

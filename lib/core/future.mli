@@ -26,10 +26,14 @@ type verdict = {
 }
 
 val create :
+  ?metrics:Metrics.t ->
   Rtic_relational.Schema.Catalog.t ->
   Rtic_mtl.Formula.def ->
   (t, string) result
-(** Admit a constraint with (possibly) bounded-future operators. *)
+(** Admit a constraint with (possibly) bounded-future operators. With
+    [?metrics], {!step} records step counts, per-step wall-clock latency
+    and unsatisfied-verdict counts (this monitor has no kernel, so no
+    per-node gauges are registered). *)
 
 val horizon : t -> int
 (** The verdict delay in ticks: a position is decided once the clock is more

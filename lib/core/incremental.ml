@@ -27,7 +27,7 @@ type t = {
   last_time : int option;
 }
 
-let create ?(config = default_config) cat (d : Formula.def) =
+let create ?metrics ?(config = default_config) cat (d : Formula.def) =
   match Safety.monitorable cat d with
   | Error _ as e -> e
   | Ok () when not (Formula.past_only d.body) ->
@@ -38,7 +38,12 @@ let create ?(config = default_config) cat (d : Formula.def) =
          d.name)
   | Ok () ->
     let norm = Rewrite.normalize d.body in
-    Ok { d; norm; kernel = Kernel.create config [ norm ]; count = 0; last_time = None }
+    Ok
+      { d;
+        norm;
+        kernel = Kernel.create ?metrics ~label:d.name config [ norm ];
+        count = 0;
+        last_time = None }
 
 let def st = st.d
 let formula st = st.norm
@@ -69,7 +74,7 @@ let space_detail st = Kernel.space_detail st.kernel
 let to_text st =
   let buf = Buffer.create 1024 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
-  line "rtic-checkpoint 1";
+  line "rtic-checkpoint 2";
   line "constraint %s" st.d.Formula.name;
   line "formula %s" (Pretty.to_string st.norm);
   line "steps %d" st.count;
@@ -79,9 +84,17 @@ let to_text st =
   Buffer.add_string buf (Kernel.to_text st.kernel);
   Buffer.contents buf
 
-let of_text ?config cat d text =
+type header = {
+  header_seen : bool;
+  formula_seen : bool;
+  steps_line : int option;
+  last_time_seen : bool;
+  lt : int option;
+}
+
+let of_text ?metrics ?config cat d text =
   let ( let* ) r f = Result.bind r f in
-  let* st = create ?config cat d in
+  let* st = create ?metrics ?config cat d in
   let lines =
     String.split_on_char '\n' text
     |> List.map String.trim
@@ -92,7 +105,7 @@ let of_text ?config cat d text =
   let* steps, last_time =
     List.fold_left
       (fun acc l ->
-        let* ((header_seen, formula_seen, steps, last_time) as st0) = acc in
+        let* h = acc in
         let key, arg =
           match String.index_opt l ' ' with
           | None -> (l, "")
@@ -101,32 +114,57 @@ let of_text ?config cat d text =
         in
         match key with
         | "rtic-checkpoint" ->
-          if String.trim arg = "1" then Ok (true, formula_seen, steps, last_time)
+          if String.trim arg = "2" then Ok { h with header_seen = true }
           else fail "unsupported version %s" arg
-        | "constraint" -> Ok st0
+        | "constraint" -> Ok h
         | "formula" ->
           if String.trim arg = Pretty.to_string st.norm then
-            Ok (header_seen, true, steps, last_time)
+            Ok { h with formula_seen = true }
           else fail "checkpoint is for a different constraint (%s)" arg
         | "steps" ->
           (match int_of_string_opt (String.trim arg) with
-           | Some n when n >= 0 -> Ok (header_seen, formula_seen, n, last_time)
+           | Some n when n >= 0 -> Ok { h with steps_line = Some n }
            | _ -> fail "bad steps %s" arg)
         | "last_time" ->
-          if String.trim arg = "none" then Ok st0
+          if String.trim arg = "none" then Ok { h with last_time_seen = true }
           else
             (match int_of_string_opt (String.trim arg) with
-             | Some t -> Ok (header_seen, formula_seen, steps, Some t)
+             | Some t -> Ok { h with last_time_seen = true; lt = Some t }
              | None -> fail "bad last_time %s" arg)
-        | "aux" | "row" | "prev_fact" -> Ok st0
+        | "aux" | "row" | "prev_fact" | "end" -> Ok h
         | _ -> fail "unknown key %s" key)
-      (Ok (false, false, 0, None))
+      (Ok
+         { header_seen = false;
+           formula_seen = false;
+           steps_line = None;
+           last_time_seen = false;
+           lt = None })
       lines
     |> fun r ->
-    let* header_seen, formula_seen, steps, last_time = r in
-    if not header_seen then fail "missing header"
-    else if not formula_seen then fail "missing formula line"
-    else Ok (steps, last_time)
+    let* h = r in
+    if not h.header_seen then fail "missing header"
+    else if not h.formula_seen then fail "missing formula line"
+    else
+      match h.steps_line with
+      | None -> fail "missing steps line"
+      | Some steps ->
+        if not h.last_time_seen then fail "missing last_time line"
+        else Ok (steps, h.lt)
   in
   let* kernel = Kernel.restore cat st.kernel text in
+  (* Cross-check the wrapper's claims against the restored kernel content:
+     inconsistencies here mean the file was hand-edited or corrupted in a
+     way the line-level parser cannot see. *)
+  let* () =
+    match last_time, Kernel.max_timestamp kernel with
+    | None, Some mx ->
+      fail "last_time is none but restored state holds timestamp %d" mx
+    | Some t, Some mx when t < mx ->
+      fail "last_time %d is older than restored timestamp %d" t mx
+    | Some _, _ when steps = 0 ->
+      fail "steps is 0 but last_time is set"
+    | None, _ when steps > 0 ->
+      fail "steps is %d but last_time is none" steps
+    | _ -> Ok ()
+  in
   Ok { st with kernel; count = steps; last_time }

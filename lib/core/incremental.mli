@@ -39,13 +39,16 @@ type verdict = {
 }
 
 val create :
+  ?metrics:Metrics.t ->
   ?config:config ->
   Rtic_relational.Schema.Catalog.t ->
   Rtic_mtl.Formula.def ->
   (t, string) result
 (** Admit a constraint: type-check it against the catalog, require it closed
     and monitorable, normalize it, build the temporal closure, and return the
-    pre-history checker state. *)
+    pre-history checker state. With [?metrics], the underlying kernel
+    registers its temporal nodes (labelled with the constraint name) and
+    records per-step gauges and counters into the recorder. *)
 
 val def : t -> Rtic_mtl.Formula.def
 (** The constraint as admitted. *)
@@ -81,11 +84,17 @@ val to_text : t -> string
 (** Serialize the checker state. *)
 
 val of_text :
+  ?metrics:Metrics.t ->
   ?config:config ->
   Rtic_relational.Schema.Catalog.t ->
   Rtic_mtl.Formula.def ->
   string ->
   (t, string) result
 (** [of_text cat d text] re-admits [d] and restores the auxiliary state
-    saved by {!to_text}. Fails if the checkpoint was taken for a different
-    constraint (detected via the normalized formula) or is malformed. *)
+    saved by {!to_text}. Strict: fails if the checkpoint was taken for a
+    different constraint (detected via the normalized formula), has the
+    wrong version, is missing its [steps]/[last_time]/[end] lines, contains
+    an unknown key, or makes claims inconsistent with its own content
+    ([last_time] older than a restored timestamp, [steps 0] with a
+    non-empty window, …). Corrupt input yields [Error _], never a state
+    with silently missing auxiliary data. *)

@@ -1,0 +1,33 @@
+(** Minimal JSON tree, emitter and strict parser.
+
+    Used for the machine-readable observability surface ([rtic check --stats
+    --json], the [BENCH_*.json] artifacts) without adding a dependency. The
+    emitter escapes control characters; non-finite floats become [null]. The
+    parser is strict RFC-8259: it rejects trailing garbage, raw control
+    characters in strings, and malformed escapes, so it doubles as a
+    validator ([rtic lint-json]). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?indent:bool -> t -> string
+(** Serialize. [~indent:true] pretty-prints with two-space indentation. *)
+
+val of_string : string -> (t, string) result
+(** Strict parse of a complete JSON document. *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj]; [None] on missing key or non-object. *)
+
+val to_int : t -> int option
+val to_float : t -> float option
+(** [to_float] also accepts [Int]. *)
+
+val to_list : t -> t list option
+val to_str : t -> string option

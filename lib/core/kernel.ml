@@ -52,6 +52,8 @@ type t = {
   aux : aux array;
   needs_prev : bool;
   prev_db : Database.t option;
+  instr : (Metrics.t * int) option;
+      (* recorder and this kernel's base node index; None = no overhead *)
 }
 
 (* Positions of the (sorted) [sub] columns inside the (sorted) [sup]
@@ -92,7 +94,7 @@ let initial_aux = function
   | { kind = KPrev _; _ } -> Prev_aux None
   | { kind = KOnce _ | KSince _; _ } -> Window_aux Row_map.empty
 
-let create cfg roots =
+let create ?metrics ?(label = "") cfg roots =
   (* Chain the roots under a synthetic conjunction so a single closure
      traversal registers every temporal subformula, shared structurally. *)
   let combined =
@@ -100,13 +102,24 @@ let create cfg roots =
   in
   let closure = Closure.build combined in
   let infos = Array.map info_of_node (Closure.nodes closure) in
+  let instr =
+    match metrics with
+    | None -> None
+    | Some m ->
+      let name info =
+        let s = Pretty.to_string info.node in
+        if label = "" then s else label ^ ": " ^ s
+      in
+      Some (m, Metrics.register_nodes m (Array.to_list (Array.map name infos)))
+  in
   { cfg;
     root_list = roots;
     closure;
     infos;
     aux = Array.map initial_aux infos;
     needs_prev = List.exists Formula.has_transition_atoms roots;
-    prev_db = None }
+    prev_db = None;
+    instr }
 
 let roots st = st.root_list
 
@@ -153,14 +166,35 @@ let add_witnesses ~time vr m =
       Row_map.add row (Ts_set.add time ts) m)
     vr m
 
+(* Stored (valuation, timestamp) pairs of a window map. *)
+let window_pairs m = Row_map.fold (fun _ ts acc -> acc + Ts_set.cardinal ts) m 0
+
+let aux_size = function
+  | Prev_aux None -> 0
+  | Prev_aux (Some (_, v)) -> Valrel.cardinal v
+  | Window_aux m -> window_pairs m
+
 let step st ~time db =
   let new_aux = Array.copy st.aux in
   let cache = ref Formula_map.empty in
+  (* Window pruning, with the dropped-entry count recorded per node when a
+     metrics recorder is attached (the counting pass only runs then). *)
+  let prune idx iv m =
+    match st.instr with
+    | None -> prune_map st.cfg iv ~time m
+    | Some (mx, base) ->
+      let m' = prune_map st.cfg iv ~time m in
+      Metrics.add_pruned mx (base + idx) (window_pairs m - window_pairs m');
+      m'
+  in
   let rec now f = Fo.eval ~db ?prev:st.prev_db ~temporal:temporal_now f
   and temporal_now g =
     match Formula_map.find_opt g !cache with
-    | Some v -> v
+    | Some v ->
+      (match st.instr with Some (mx, _) -> Metrics.cache_hit mx | None -> ());
+      v
     | None ->
+      (match st.instr with Some (mx, _) -> Metrics.cache_miss mx | None -> ());
       let idx = Closure.id_exn st.closure g in
       let info = st.infos.(idx) in
       let v =
@@ -182,7 +216,7 @@ let step st ~time db =
           let na = now a in
           let m = window_of st.aux.(idx) in
           let m = add_witnesses ~time na m in
-          let m = prune_map st.cfg iv ~time m in
+          let m = prune idx iv m in
           new_aux.(idx) <- Window_aux m;
           read_map iv ~time ~cols:info.node_cols m
         | KSince (iv, negated, left, right, proj) ->
@@ -191,6 +225,7 @@ let step st ~time db =
           let m = window_of st.aux.(idx) in
           (* Survival: the left argument must hold now (or fail to hold,
              for a negated left) under the entry's valuation. *)
+          let before = Row_map.cardinal m in
           let m =
             Row_map.filter
               (fun row _ ->
@@ -199,8 +234,13 @@ let step st ~time db =
                 if negated then not holds_left else holds_left)
               m
           in
+          (match st.instr with
+           | Some (mx, base) ->
+             Metrics.add_survival mx (base + idx) ~checked:before
+               ~kept:(Row_map.cardinal m)
+           | None -> ());
           let m = add_witnesses ~time nr m in
-          let m = prune_map st.cfg iv ~time m in
+          let m = prune idx iv m in
           new_aux.(idx) <- Window_aux m;
           read_map iv ~time ~cols:info.node_cols m
       in
@@ -212,18 +252,17 @@ let step st ~time db =
      evaluation happened to touch it (cannot happen with the combined
      closure, but guard against future refactors). *)
   Array.iter (fun info -> ignore (temporal_now info.node)) st.infos;
+  (match st.instr with
+   | Some (mx, base) ->
+     Metrics.incr_steps mx;
+     Array.iteri (fun i a -> Metrics.set_aux_size mx (base + i) (aux_size a)) new_aux
+   | None -> ());
   ( { st with
       aux = new_aux;
       prev_db = (if st.needs_prev then Some db else None) },
     results )
 
 let node_count st = Array.length st.infos
-
-let aux_size = function
-  | Prev_aux None -> 0
-  | Prev_aux (Some (_, v)) -> Valrel.cardinal v
-  | Window_aux m ->
-    Row_map.fold (fun _ ts acc -> acc + Ts_set.cardinal ts) m 0
 
 let space st =
   let prev =
@@ -264,7 +303,14 @@ let parse_row ~arity s =
 
 let to_text st =
   let buf = Buffer.create 1024 in
-  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  let count = ref 0 in
+  let line fmt =
+    Printf.ksprintf
+      (fun s ->
+        incr count;
+        Buffer.add_string buf (s ^ "\n"))
+      fmt
+  in
   (match st.prev_db with
    | None -> ()
    | Some db ->
@@ -290,7 +336,44 @@ let to_text st =
               (Ts_set.elements ts |> List.map string_of_int |> String.concat " "))
           m)
     st.aux;
+  (* Trailing marker carrying the number of kernel-owned lines above it, so
+     a truncated checkpoint can never restore successfully. *)
+  Buffer.add_string buf (Printf.sprintf "end %d\n" !count);
   Buffer.contents buf
+
+(* Largest timestamp recorded anywhere in the auxiliary state; lets the
+   wrapper cross-check its [last_time] header against the restored body. *)
+let max_timestamp st =
+  Array.fold_left
+    (fun acc a ->
+      let keep t = function
+        | Some best when best >= t -> Some best
+        | _ -> Some t
+      in
+      match a with
+      | Prev_aux None -> acc
+      | Prev_aux (Some (t, _)) -> keep t acc
+      | Window_aux m ->
+        Row_map.fold (fun _ ts acc -> keep (Ts_set.max_elt ts) acc) m acc)
+    None st.aux
+
+(* Position of the last '@' outside string quotes (the values/timestamps
+   separator of a window row); -1 if none. Quote-aware so a '@' inside a
+   quoted string value can never be mistaken for the separator. *)
+let split_at arg =
+  let n = String.length arg in
+  let at = ref (-1) in
+  let i = ref 0 in
+  let in_string = ref false in
+  while !i < n do
+    (match arg.[!i] with
+     | '"' -> in_string := not !in_string
+     | '\\' when !in_string -> incr i
+     | '@' when not !in_string -> at := !i
+     | _ -> ());
+    incr i
+  done;
+  !at
 
 let restore cat st text =
   let ( let* ) r f = Result.bind r f in
@@ -305,8 +388,20 @@ let restore cat st text =
   let fail fmt = Printf.ksprintf (fun m -> Error ("checkpoint: " ^ m)) fmt in
   let node_arity i = List.length st.infos.(i).node_cols in
   let steps_seen = ref 0 in
+  (* Truncation detection: kernel-owned lines are counted and checked
+     against the mandatory trailing [end N] marker. *)
+  let kernel_lines = ref 0 in
+  let end_seen = ref None in
   let rec go = function
     | [] ->
+      let* () =
+        match !end_seen with
+        | None -> fail "truncated checkpoint: missing end marker"
+        | Some n when n <> !kernel_lines ->
+          fail "truncated checkpoint: end marker says %d line(s), found %d" n
+            !kernel_lines
+        | Some _ -> Ok ()
+      in
       Ok
         { st with
           aux;
@@ -325,12 +420,26 @@ let restore cat st text =
           | Some sp ->
             (String.sub l 0 sp, String.sub l (sp + 1) (String.length l - sp - 1))
         in
+        let* () =
+          match key, !end_seen with
+          | ("prev_fact" | "aux" | "row" | "end"), Some _ ->
+            fail "content after end marker"
+          | _ -> Ok ()
+        in
+        if key = "prev_fact" || key = "aux" || key = "row" then
+          incr kernel_lines;
         (match key with
          | "steps" ->
            (match int_of_string_opt (String.trim arg) with
             | Some n -> steps_seen := n
             | None -> ());
            Ok ()
+         | "end" ->
+           (match int_of_string_opt (String.trim arg) with
+            | Some n ->
+              end_seen := Some n;
+              Ok ()
+            | None -> fail "bad end marker %S" arg)
          | "prev_fact" ->
            (match Rtic_relational.Textio.parse_fact arg with
             | Error m -> fail "bad prev_fact: %s" m
@@ -381,9 +490,9 @@ let restore cat st text =
                  aux.(i) <- Prev_aux (Some (t, Valrel.union v (Valrel.make cols [ row ])));
                  Ok ()
                | (KOnce _ | KSince _), Window_aux m ->
-                 (match String.rindex_opt arg '@' with
-                  | None -> fail "window row lacks '@': %S" arg
-                  | Some at ->
+                 (match split_at arg with
+                  | -1 -> fail "window row lacks '@': %S" arg
+                  | at ->
                     let vals_s = String.sub arg 0 at in
                     let ts_s = String.sub arg (at + 1) (String.length arg - at - 1) in
                     let* row = parse_row ~arity:(node_arity i) vals_s in
@@ -404,7 +513,11 @@ let restore cat st text =
                       Ok ()
                     end)
                | _ -> fail "row in mismatched aux section"))
-         | _ -> Ok ()  (* wrapper-owned keys: header, formula, steps, ... *))
+         (* Wrapper-owned keys, whitelisted explicitly: everything else is a
+            hard error — a misspelled [row]/[aux] line must never restore
+            "successfully" with silently missing auxiliary data. *)
+         | "rtic-checkpoint" | "constraint" | "formula" | "last_time" -> Ok ()
+         | _ -> fail "unknown key %S" key)
       in
       go rest
   in

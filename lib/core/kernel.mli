@@ -22,10 +22,15 @@ type config = {
 type t
 (** Kernel state. Functional: {!step} returns a new state. *)
 
-val create : config -> Rtic_mtl.Formula.t list -> t
+val create :
+  ?metrics:Metrics.t -> ?label:string -> config -> Rtic_mtl.Formula.t list -> t
 (** [create config roots] builds the combined closure of the given
     (normalized, past-only, core) formulas and empty auxiliary state.
-    Raises [Invalid_argument] on non-core input — wrappers validate first. *)
+    Raises [Invalid_argument] on non-core input — wrappers validate first.
+    When [?metrics] is given, every temporal node is registered as a gauge
+    row (prefixed with [label] when non-empty) and {!step} records counters,
+    per-node gauges and cache statistics into the recorder; without it the
+    instrumentation is compiled to a [None] check. *)
 
 val roots : t -> Rtic_mtl.Formula.t list
 (** The registered formulas, in registration order. *)
@@ -50,9 +55,16 @@ val space : t -> int
 val space_detail : t -> (string * int) list
 (** Per-subformula space, pretty-printed keys. *)
 
+val max_timestamp : t -> int option
+(** Largest timestamp stored anywhere in the auxiliary state ([None] when
+    no timestamps are stored). Used by wrappers to cross-check a restored
+    checkpoint's [last_time] claim against its actual content. *)
+
 val to_text : t -> string
 (** Serialize the auxiliary state (see {!Incremental.to_text} for the
-    format; the kernel writes the [aux]/[row]/[prev_fact] sections). *)
+    format; the kernel writes the [aux]/[row]/[prev_fact] sections and a
+    trailing [end N] marker, where [N] counts the kernel-owned lines — the
+    truncation guard checked by {!restore}). *)
 
 val restore :
   Rtic_relational.Schema.Catalog.t ->
@@ -60,5 +72,7 @@ val restore :
   string ->
   (t, string) result
 (** Restore the [aux]/[row]/[prev_fact] sections of a checkpoint into a
-    freshly created kernel with the same roots. Lines with other keys are
-    ignored (the wrapper owns them). *)
+    freshly created kernel with the same roots. Strict: wrapper-owned keys
+    ([rtic-checkpoint], [constraint], [formula], [steps], [last_time]) are
+    whitelisted explicitly; any other key is a hard error, as is a missing
+    or mismatched [end] marker (truncation) or content after it. *)

@@ -1,0 +1,220 @@
+(* Mutable metrics recorder shared by every engine layer. One recorder is
+   created by the embedding application (or the CLI) and threaded through
+   Monitor/Shared/Future down to the kernel; every engine records into it
+   imperatively so the hot path pays nothing when no recorder is given. *)
+
+type node = {
+  node_name : string;
+  mutable aux_size : int;
+  mutable peak_aux_size : int;
+  mutable pruned : int;
+  mutable survival_checked : int;
+  mutable survival_kept : int;
+}
+
+type node_view = {
+  name : string;
+  size : int;
+  peak_size : int;
+  prune_dropped : int;
+  surv_checked : int;
+  surv_kept : int;
+}
+
+type latency_summary = {
+  count : int;
+  min_ns : float;
+  mean_ns : float;
+  p50_ns : float;
+  p95_ns : float;
+  max_ns : float;
+}
+
+let reservoir_size = 1024
+
+type t = {
+  mutable steps : int;
+  mutable violations : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable nodes : node array;
+  (* step latency: exact running aggregates plus a uniform reservoir for
+     percentiles, deterministic across runs (own xorshift state). *)
+  mutable lat_count : int;
+  mutable lat_sum : float;
+  mutable lat_min : float;
+  mutable lat_max : float;
+  reservoir : float array;
+  mutable rng : int64;
+}
+
+let create () =
+  { steps = 0;
+    violations = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    nodes = [||];
+    lat_count = 0;
+    lat_sum = 0.0;
+    lat_min = infinity;
+    lat_max = neg_infinity;
+    reservoir = Array.make reservoir_size 0.0;
+    rng = 0x9e3779b97f4a7c15L }
+
+let register_nodes m names =
+  let base = Array.length m.nodes in
+  let fresh =
+    Array.of_list
+      (List.map
+         (fun name ->
+           { node_name = name;
+             aux_size = 0;
+             peak_aux_size = 0;
+             pruned = 0;
+             survival_checked = 0;
+             survival_kept = 0 })
+         names)
+  in
+  m.nodes <- Array.append m.nodes fresh;
+  base
+
+let incr_steps m = m.steps <- m.steps + 1
+let add_violations m n = m.violations <- m.violations + n
+let cache_hit m = m.cache_hits <- m.cache_hits + 1
+let cache_miss m = m.cache_misses <- m.cache_misses + 1
+
+let set_aux_size m i size =
+  let nd = m.nodes.(i) in
+  nd.aux_size <- size;
+  if size > nd.peak_aux_size then nd.peak_aux_size <- size
+
+let add_pruned m i n = m.nodes.(i).pruned <- m.nodes.(i).pruned + n
+
+let add_survival m i ~checked ~kept =
+  let nd = m.nodes.(i) in
+  nd.survival_checked <- nd.survival_checked + checked;
+  nd.survival_kept <- nd.survival_kept + kept
+
+(* xorshift64*: deterministic reservoir sampling, no Random dependency. *)
+let next_int m bound =
+  let x = m.rng in
+  let x = Int64.logxor x (Int64.shift_left x 13) in
+  let x = Int64.logxor x (Int64.shift_right_logical x 7) in
+  let x = Int64.logxor x (Int64.shift_left x 17) in
+  m.rng <- x;
+  Int64.to_int (Int64.unsigned_rem x (Int64.of_int bound))
+
+let record_latency m seconds =
+  let ns = seconds *. 1e9 in
+  if m.lat_count < reservoir_size then m.reservoir.(m.lat_count) <- ns
+  else begin
+    let j = next_int m (m.lat_count + 1) in
+    if j < reservoir_size then m.reservoir.(j) <- ns
+  end;
+  m.lat_count <- m.lat_count + 1;
+  m.lat_sum <- m.lat_sum +. ns;
+  if ns < m.lat_min then m.lat_min <- ns;
+  if ns > m.lat_max then m.lat_max <- ns
+
+let steps m = m.steps
+let violations m = m.violations
+let cache_hits m = m.cache_hits
+let cache_misses m = m.cache_misses
+
+let nodes m =
+  Array.to_list
+    (Array.map
+       (fun nd ->
+         { name = nd.node_name;
+           size = nd.aux_size;
+           peak_size = nd.peak_aux_size;
+           prune_dropped = nd.pruned;
+           surv_checked = nd.survival_checked;
+           surv_kept = nd.survival_kept })
+       m.nodes)
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else
+    let rank = p *. float_of_int (n - 1) in
+    let lo = int_of_float rank in
+    let hi = min (n - 1) (lo + 1) in
+    let frac = rank -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+
+let latency m =
+  if m.lat_count = 0 then None
+  else begin
+    let filled = min m.lat_count reservoir_size in
+    let sorted = Array.sub m.reservoir 0 filled in
+    Array.sort compare sorted;
+    Some
+      { count = m.lat_count;
+        min_ns = m.lat_min;
+        mean_ns = m.lat_sum /. float_of_int m.lat_count;
+        p50_ns = percentile sorted 0.50;
+        p95_ns = percentile sorted 0.95;
+        max_ns = m.lat_max }
+  end
+
+let ratio num den = if den = 0 then 0.0 else float_of_int num /. float_of_int den
+
+let to_json m =
+  let node_json nd =
+    Json.Obj
+      [ ("node", Json.Str nd.node_name);
+        ("aux_size", Json.Int nd.aux_size);
+        ("peak_aux_size", Json.Int nd.peak_aux_size);
+        ("prune_dropped", Json.Int nd.pruned);
+        ("survival_checked", Json.Int nd.survival_checked);
+        ("survival_kept", Json.Int nd.survival_kept);
+        ("survival_hit_rate",
+         Json.Float (ratio nd.survival_kept nd.survival_checked)) ]
+  in
+  let latency_json =
+    match latency m with
+    | None -> Json.Null
+    | Some l ->
+      Json.Obj
+        [ ("count", Json.Int l.count);
+          ("min_ns", Json.Float l.min_ns);
+          ("mean_ns", Json.Float l.mean_ns);
+          ("p50_ns", Json.Float l.p50_ns);
+          ("p95_ns", Json.Float l.p95_ns);
+          ("max_ns", Json.Float l.max_ns) ]
+  in
+  Json.Obj
+    [ ("steps", Json.Int m.steps);
+      ("violations", Json.Int m.violations);
+      ("cache_hits", Json.Int m.cache_hits);
+      ("cache_misses", Json.Int m.cache_misses);
+      ("cache_hit_rate", Json.Float (ratio m.cache_hits (m.cache_hits + m.cache_misses)));
+      ("latency_ns", latency_json);
+      ("nodes", Json.List (Array.to_list (Array.map node_json m.nodes))) ]
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v>kernel steps:    %d" m.steps;
+  Format.fprintf ppf "@,formula cache:   %d hit / %d miss (%.1f%%)"
+    m.cache_hits m.cache_misses
+    (100.0 *. ratio m.cache_hits (m.cache_hits + m.cache_misses));
+  (match latency m with
+   | None -> ()
+   | Some l ->
+     Format.fprintf ppf
+       "@,step latency:    min %.1fus  mean %.1fus  p50 %.1fus  p95 %.1fus  \
+        max %.1fus (%d samples)"
+       (l.min_ns /. 1e3) (l.mean_ns /. 1e3) (l.p50_ns /. 1e3) (l.p95_ns /. 1e3)
+       (l.max_ns /. 1e3) l.count);
+  if Array.length m.nodes > 0 then begin
+    Format.fprintf ppf "@,per-node auxiliary state:";
+    Array.iter
+      (fun nd ->
+        Format.fprintf ppf "@,  %-44s size %-6d peak %-6d pruned %-6d"
+          nd.node_name nd.aux_size nd.peak_aux_size nd.pruned;
+        if nd.survival_checked > 0 then
+          Format.fprintf ppf " survival %d/%d" nd.survival_kept
+            nd.survival_checked)
+      m.nodes
+  end;
+  Format.fprintf ppf "@]"

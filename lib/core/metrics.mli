@@ -1,0 +1,85 @@
+(** Mutable per-run metrics recorder — the observability layer.
+
+    A recorder is created by the embedding application (or the CLI's
+    [--stats]/[--trace] flags) and passed to {!Monitor.create},
+    {!Shared.create}, {!Incremental.create} or {!Future.create} via their
+    [?metrics] argument; the engines then record into it imperatively on
+    every step. When no recorder is given the instrumentation is off and
+    the hot path pays only a [None] check (≤5% on the MICRO bench —
+    asserted by the bench harness's baselines).
+
+    It collects three families of measurements:
+
+    - {b cumulative counters}: kernel steps, violations, formula-cache
+      hits/misses ({!Kernel.step}'s per-step memo table);
+    - {b per-temporal-node gauges}: auxiliary relation cardinality (current
+      and peak), entries dropped by window pruning, and the since-survival
+      filter's checked/kept counts — one row per registered node, in
+      registration order ({!register_nodes});
+    - {b step latency}: wall-clock per transaction, recorded by the driving
+      layer; summarized as min/mean/p50/p95/max over an exact running
+      aggregate plus a deterministic 1024-sample reservoir.
+
+    The recorder is shared mutable state: one recorder may serve many
+    checkers (a {!Monitor} registers every constraint's kernel into the
+    same recorder). Not thread-safe. *)
+
+type t
+
+type node_view = {
+  name : string;          (** Pretty-printed temporal subformula (with an
+                              owning-constraint prefix when registered by a
+                              wrapper that knows it). *)
+  size : int;             (** Auxiliary cardinality after the last step. *)
+  peak_size : int;        (** Largest cardinality seen after any step. *)
+  prune_dropped : int;    (** Cumulative entries dropped by pruning. *)
+  surv_checked : int;     (** Since-survival: entries tested, cumulative. *)
+  surv_kept : int;        (** Since-survival: entries that survived. *)
+}
+
+type latency_summary = {
+  count : int;
+  min_ns : float;
+  mean_ns : float;
+  p50_ns : float;
+  p95_ns : float;
+  max_ns : float;
+}
+
+val create : unit -> t
+(** A fresh recorder with no nodes and zeroed counters. *)
+
+(** {2 Recording (engine-facing)} *)
+
+val register_nodes : t -> string list -> int
+(** [register_nodes m names] appends one gauge row per name and returns the
+    base index of the first; a kernel addresses its node [j] as [base + j]. *)
+
+val incr_steps : t -> unit
+val add_violations : t -> int -> unit
+val cache_hit : t -> unit
+val cache_miss : t -> unit
+val set_aux_size : t -> int -> int -> unit
+val add_pruned : t -> int -> int -> unit
+val add_survival : t -> int -> checked:int -> kept:int -> unit
+
+val record_latency : t -> float -> unit
+(** [record_latency m seconds] records one step's wall-clock duration. *)
+
+(** {2 Reading} *)
+
+val steps : t -> int
+val violations : t -> int
+val cache_hits : t -> int
+val cache_misses : t -> int
+val nodes : t -> node_view list
+val latency : t -> latency_summary option
+(** [None] until the first {!record_latency}. Percentiles are reservoir
+    estimates once more than 1024 samples were recorded; min/max/mean are
+    always exact. *)
+
+val to_json : t -> Json.t
+(** The [kernel] section of the [--stats --json] schema (FORMATS.md). *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line human-readable summary (the [--stats] extension). *)

@@ -13,11 +13,12 @@ type report = {
 type t = {
   db : Database.t;
   checkers : Incremental.t list;  (* in registration order *)
+  metrics : Metrics.t option;
 }
 
 let ( let* ) r f = Result.bind r f
 
-let create_with ?config db defs =
+let create_with ?metrics ?config db defs =
   let names = List.map (fun (d : Formula.def) -> d.name) defs in
   if List.length (List.sort_uniq String.compare names) <> List.length names
   then Error "duplicate constraint names"
@@ -26,17 +27,21 @@ let create_with ?config db defs =
       List.fold_left
         (fun acc d ->
           let* acc = acc in
-          let* c = Incremental.create ?config (Database.catalog db) d in
+          let* c = Incremental.create ?metrics ?config (Database.catalog db) d in
           Ok (c :: acc))
         (Ok []) defs
     in
-    Ok { db; checkers = List.rev checkers }
+    Ok { db; checkers = List.rev checkers; metrics }
 
-let create ?config cat defs = create_with ?config (Database.create cat) defs
+let create ?metrics ?config cat defs =
+  create_with ?metrics ?config (Database.create cat) defs
 
 let database m = m.db
 
 let step m ~time txn =
+  let t0 =
+    match m.metrics with None -> 0.0 | Some _ -> Unix.gettimeofday ()
+  in
   let* db = Update.apply m.db txn in
   let* checkers, reports =
     List.fold_left
@@ -55,13 +60,19 @@ let step m ~time txn =
       (Ok ([], []))
       m.checkers
   in
-  Ok ({ db; checkers = List.rev checkers }, List.rev reports)
+  let reports = List.rev reports in
+  (match m.metrics with
+   | None -> ()
+   | Some mx ->
+     Metrics.record_latency mx (Unix.gettimeofday () -. t0);
+     Metrics.add_violations mx (List.length reports));
+  Ok ({ m with db; checkers = List.rev checkers }, reports)
 
 let space m =
   List.fold_left (fun acc c -> acc + Incremental.space c) 0 m.checkers
 
-let run_trace ?config defs (tr : Trace.t) =
-  let* m = create_with ?config tr.Trace.init defs in
+let run_trace ?metrics ?config defs (tr : Trace.t) =
+  let* m = create_with ?metrics ?config tr.Trace.init defs in
   let* _, reports =
     List.fold_left
       (fun acc (time, txn) ->
@@ -108,7 +119,7 @@ let pp_report ppf r =
 
 let to_text m =
   let buf = Buffer.create 2048 in
-  Buffer.add_string buf "rtic-monitor-checkpoint 1\n";
+  Buffer.add_string buf "rtic-monitor-checkpoint 2\n";
   Buffer.add_string buf "-- database\n";
   Buffer.add_string buf (Rtic_relational.Textio.dump_database m.db);
   List.iter
@@ -118,14 +129,14 @@ let to_text m =
     m.checkers;
   Buffer.contents buf
 
-let of_text ?config cat defs text =
+let of_text ?metrics ?config cat defs text =
   let lines = String.split_on_char '\n' text in
   (* Split into the database section and one section per checker. *)
   let rec split sections current header_ok = function
     | [] -> Ok (header_ok, List.rev (List.rev current :: sections))
     | l :: rest ->
       let t = String.trim l in
-      if t = "rtic-monitor-checkpoint 1" then split sections current true rest
+      if t = "rtic-monitor-checkpoint 2" then split sections current true rest
       else if t = "-- database" || t = "-- checker" then
         split (List.rev current :: sections) [] header_ok rest
       else split sections (l :: current) header_ok rest
@@ -150,10 +161,11 @@ let of_text ?config cat defs text =
             (fun acc d section ->
               let* acc = acc in
               let* c =
-                Incremental.of_text ?config cat d (String.concat "\n" section)
+                Incremental.of_text ?metrics ?config cat d
+                  (String.concat "\n" section)
               in
               Ok (c :: acc))
             (Ok []) defs checker_sections
         in
-        Ok { db; checkers = List.rev checkers }
+        Ok { db; checkers = List.rev checkers; metrics }
     | _ -> Error "monitor checkpoint: missing database section"

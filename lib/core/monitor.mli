@@ -19,14 +19,19 @@ type t
 (** Monitor state: the current database plus every checker's state. *)
 
 val create :
+  ?metrics:Metrics.t ->
   ?config:Incremental.config ->
   Rtic_relational.Schema.Catalog.t ->
   Rtic_mtl.Formula.def list ->
   (t, string) result
 (** Admit all constraints (each must pass {!Incremental.create}) over an
-    initially empty database. Constraint names must be distinct. *)
+    initially empty database. Constraint names must be distinct. With
+    [?metrics], every checker's kernel registers into the shared recorder
+    and {!step} additionally records per-transaction wall-clock latency and
+    the violation count. *)
 
 val create_with :
+  ?metrics:Metrics.t ->
   ?config:Incremental.config ->
   Rtic_relational.Database.t ->
   Rtic_mtl.Formula.def list ->
@@ -48,6 +53,7 @@ val space : t -> int
 (** Total auxiliary space across all checkers ({!Incremental.space}). *)
 
 val run_trace :
+  ?metrics:Metrics.t ->
   ?config:Incremental.config ->
   Rtic_mtl.Formula.def list ->
   Rtic_temporal.Trace.t ->
@@ -77,10 +83,12 @@ val to_text : t -> string
 (** Serialize the monitor state. *)
 
 val of_text :
+  ?metrics:Metrics.t ->
   ?config:Incremental.config ->
   Rtic_relational.Schema.Catalog.t ->
   Rtic_mtl.Formula.def list ->
   string ->
   (t, string) result
 (** [of_text cat defs text] re-admits [defs] (same constraints, same order
-    as when the checkpoint was written) and restores the saved state. *)
+    as when the checkpoint was written) and restores the saved state.
+    Strict on corrupt input: see {!Incremental.of_text}. *)

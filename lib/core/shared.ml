@@ -14,11 +14,12 @@ type t = {
   db : Database.t;
   count : int;
   last_time : int option;
+  metrics : Metrics.t option;
 }
 
 let ( let* ) r f = Result.bind r f
 
-let create ?(config = Incremental.default_config) cat defs =
+let create ?metrics ?(config = Incremental.default_config) cat defs =
   let names = List.map (fun (d : Formula.def) -> d.name) defs in
   if List.length (List.sort_uniq String.compare names) <> List.length names
   then Error "duplicate constraint names"
@@ -40,16 +41,20 @@ let create ?(config = Incremental.default_config) cat defs =
     in
     Ok
       { names;
-        kernel = Kernel.create config norms;
+        kernel = Kernel.create ?metrics config norms;
         db = Database.create cat;
         count = 0;
-        last_time = None }
+        last_time = None;
+        metrics }
 
 let step m ~time txn =
   match m.last_time with
   | Some t0 when time <= t0 ->
     Error (Printf.sprintf "non-increasing timestamp: %d after %d" time t0)
   | _ ->
+    let t0 =
+      match m.metrics with None -> 0.0 | Some _ -> Unix.gettimeofday ()
+    in
     let* db = Update.apply m.db txn in
     (try
        let kernel, results = Kernel.step m.kernel ~time db in
@@ -64,13 +69,18 @@ let step m ~time txn =
                    time })
            (List.combine m.names results)
        in
+       (match m.metrics with
+        | None -> ()
+        | Some mx ->
+          Metrics.record_latency mx (Unix.gettimeofday () -. t0);
+          Metrics.add_violations mx (List.length reports));
        Ok
          ( { m with kernel; db; count = m.count + 1; last_time = Some time },
            reports )
      with Fo.Error msg -> Error msg)
 
-let run_trace ?config defs (tr : Trace.t) =
-  let* m = create ?config (Database.catalog tr.Trace.init) defs in
+let run_trace ?metrics ?config defs (tr : Trace.t) =
+  let* m = create ?metrics ?config (Database.catalog tr.Trace.init) defs in
   let m = { m with db = tr.Trace.init } in
   let* _, reports =
     List.fold_left

@@ -16,13 +16,16 @@ type t
 (** Monitor state. Functional: {!step} returns a new state. *)
 
 val create :
+  ?metrics:Metrics.t ->
   ?config:Incremental.config ->
   Rtic_relational.Schema.Catalog.t ->
   Rtic_mtl.Formula.def list ->
   (t, string) result
 (** Admit all constraints (same admission rules as {!Incremental.create};
     names must be distinct) into one shared kernel, over an initially empty
-    database. *)
+    database. With [?metrics], the shared kernel's nodes are registered
+    once (reflecting the sharing) and {!step} records latency and
+    violation counts. *)
 
 val step :
   t ->
@@ -34,6 +37,7 @@ val step :
     registration order). *)
 
 val run_trace :
+  ?metrics:Metrics.t ->
   ?config:Incremental.config ->
   Rtic_mtl.Formula.def list ->
   Rtic_temporal.Trace.t ->

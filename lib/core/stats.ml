@@ -44,6 +44,30 @@ let violation_rate t =
   if t.transactions = 0 then 0.0
   else float_of_int t.violations /. float_of_int t.transactions
 
+let to_json ?metrics t =
+  let opt_time = function
+    | Some v -> Json.Int v
+    | None -> Json.Null
+  in
+  let by_constraint =
+    String_map.bindings t.by_constraint
+    |> List.map (fun (name, n) ->
+           Json.Obj [ ("constraint", Json.Str name); ("violations", Json.Int n) ])
+  in
+  let base =
+    [ ("schema", Json.Str "rtic-stats/1");
+      ("transactions", Json.Int t.transactions);
+      ("violations", Json.Int t.violations);
+      ("violation_rate", Json.Float (violation_rate t));
+      ("first_time", opt_time t.first_time);
+      ("last_time", opt_time t.last_time);
+      ("peak_aux_space", Json.Int t.peak_space);
+      ("by_constraint", Json.List by_constraint) ]
+  in
+  match metrics with
+  | None -> Json.Obj base
+  | Some m -> Json.Obj (base @ [ ("kernel", Metrics.to_json m) ])
+
 let pp ppf t =
   Format.fprintf ppf "@[<v>transactions:    %d" t.transactions;
   (match t.first_time, t.last_time with

@@ -43,3 +43,9 @@ val violation_rate : t -> float
 
 val pp : Format.formatter -> t -> unit
 (** Multi-line human-readable summary. *)
+
+val to_json : ?metrics:Metrics.t -> t -> Json.t
+(** The [rtic-stats/1] document emitted by [rtic check --stats --json]
+    (schema in FORMATS.md). With [?metrics], a [kernel] section is included
+    ({!Metrics.to_json}): cumulative counters, step-latency percentiles and
+    per-temporal-node gauges. *)

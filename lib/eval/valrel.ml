@@ -29,7 +29,14 @@ let make cols rows =
   let perm =
     Array.map
       (fun c ->
-        let rec find i = if given.(i) = c then i else find (i + 1) in
+        let rec find i =
+          if i >= Array.length given then
+            invalid_arg
+              (Printf.sprintf
+                 "Valrel.make: column %s is not among the given columns" c)
+          else if given.(i) = c then i
+          else find (i + 1)
+        in
         find 0)
       order
   in

@@ -80,7 +80,13 @@ let of_string s =
   else if s = "false" then Ok (Bool false)
   else if s.[0] = '"' then
     if n >= 2 && s.[n - 1] = '"' then
-      try Ok (Str (Scanf.sscanf s "%S" (fun x -> x)))
+      (* %n checks the scanner consumed the whole token: %S alone would
+         silently accept (and drop) trailing garbage after the close quote,
+         e.g. ["a" "b"] parsing as just "a". *)
+      try
+        let x, consumed = Scanf.sscanf s "%S%n" (fun x k -> (x, k)) in
+        if consumed = n then Ok (Str x)
+        else Error ("trailing garbage after string literal: " ^ s)
       with Scanf.Scan_failure m | Failure m -> Error ("bad string literal: " ^ m)
     else Error ("unterminated string literal: " ^ s)
   else

@@ -139,9 +139,9 @@ checkpointing: run the first half, save, resume with the second half:
   2 transaction(s), 2 violation(s)
   [1]
 
-statistics:
+statistics (the step-latency line is timing-dependent, so it is masked):
 
-  $ rtic check -q --stats loans.spec loans.trace
+  $ rtic check -q --stats loans.spec loans.trace | sed 's/^step latency:.*/step latency:    [masked]/'
   transactions:    4
   clock range:     0 .. 40 (40 ticks)
   violations:      2 (0.500 per transaction)
@@ -149,8 +149,57 @@ statistics:
   by constraint:
     loan_expiry                    1
     member_borrow                  1
+  kernel steps:    8
+  formula cache:   4 hit / 4 miss (50.0%)
+  step latency:    [masked]
+  per-node auxiliary state:
+    loan_expiry: not (exists q. return(q, b)) since[29,inf] (exists p. borrow(p, b)) size 2      peak 2      pruned 0      survival 3/3
+  4 transaction(s), 2 violation(s)
+
+--json emits machine-readable statistics only; the document must survive
+the bundled linter, and a generated workload round-trips end to end:
+
+  $ rtic check -q --stats --json loans.spec loans.trace > stats.json
+  [1]
+  $ rtic lint-json stats.json
+  valid JSON
+  $ grep -c '"schema": "rtic-stats/1"' stats.json
+  1
+  $ rtic gen --scenario monitoring --steps 10 --seed 7 -o g.trace --spec-out g.spec
+  $ rtic check -q --stats --json g.spec g.trace | rtic lint-json
+  valid JSON
+
+the linter rejects what is not JSON:
+
+  $ echo 'not json {' | rtic lint-json
+  rtic: invalid JSON: bad literal at offset 0
+  [1]
+
+--trace narrates every transaction on stderr:
+
+  $ rtic check -q --trace loans.spec loans.trace 2>&1
+  rtic: [INFO] [0] txn: 0 violation(s), aux space 0
+  rtic: [INFO] [2] txn: 0 violation(s), aux space 1
+  rtic: [INFO] [3] txn: 1 violation(s), aux space 2
+  rtic: [INFO] [40] txn: 1 violation(s), aux space 2
   4 transaction(s), 2 violation(s)
   [1]
+
+stats require the incremental engine:
+
+  $ rtic check -q --stats --engine naive loans.spec loans.trace
+  rtic: --stats/--json require --engine incremental
+  [2]
+
+corrupt checkpoints are refused rather than silently accepted:
+
+  $ sed 's/^row /rwo /' state.ck > broken.ck
+  $ rtic check --load-state broken.ck loans.spec part2.trace
+  rtic: checkpoint: unknown key rwo
+  [1]
+  $ head -n 5 state.ck > truncated.ck
+  $ rtic check --load-state truncated.ck loans.spec part2.trace 2>&1 | head -1
+  rtic: monitor checkpoint holds 0 checker(s), 2 constraint(s) given
 
 ad-hoc queries (open formulas print witnesses; transition atoms work):
 

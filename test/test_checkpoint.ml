@@ -113,6 +113,176 @@ let unit_cases =
           [ ""; "hello world"; "rtic-checkpoint 2\nformula e()";
             "rtic-checkpoint 1\nformula e()\nrow 1" ]) ]
 
+(* ---------------- Corrupt-checkpoint regression corpus ----------------
+
+   Every mutation below must produce a clean [Error _]: the lenient restore
+   this replaces accepted misspelled keys (silently dropping auxiliary
+   data) and undetectably truncated files. *)
+
+let corpus_constraint =
+  { F.name = "c"; body = parse_formula "forall x. q(x) -> once[0,9] p(x)" }
+
+(* A real checkpoint with window content, two steps taken. *)
+let healthy_checkpoint () =
+  let st = get_ok "create" (Incremental.create cat corpus_constraint) in
+  let db =
+    get_ok "ins"
+      (Database.insert (Database.create cat) "p" (Tuple.make [ Value.Int 5 ]))
+  in
+  let st, _ = get_ok "s1" (Incremental.step st ~time:3 db) in
+  let st, _ = get_ok "s2" (Incremental.step st ~time:5 db) in
+  Incremental.to_text st
+
+let lines_of t = String.split_on_char '\n' t |> List.filter (fun l -> l <> "")
+let text_of ls = String.concat "\n" ls ^ "\n"
+
+let map_lines f t = text_of (List.map f (lines_of t))
+
+let starts_with prefix l =
+  String.length l >= String.length prefix
+  && String.sub l 0 (String.length prefix) = prefix
+
+let corrupt_cases =
+  [ Alcotest.test_case "healthy corpus checkpoint restores" `Quick (fun () ->
+        let text = healthy_checkpoint () in
+        ignore (get_ok "healthy" (Incremental.of_text cat corpus_constraint text)));
+    Alcotest.test_case "misspelled row key is a hard error" `Quick (fun () ->
+        let text =
+          map_lines
+            (fun l -> if starts_with "row " l then "rwo " ^ String.sub l 4 (String.length l - 4) else l)
+            (healthy_checkpoint ())
+        in
+        ignore (get_error "rwo" (Incremental.of_text cat corpus_constraint text)));
+    Alcotest.test_case "unknown extra key is a hard error" `Quick (fun () ->
+        let text = healthy_checkpoint () ^ "futuristic_extension 42\n" in
+        ignore
+          (get_error "unknown" (Incremental.of_text cat corpus_constraint text)));
+    Alcotest.test_case "truncation: missing end marker" `Quick (fun () ->
+        let ls = lines_of (healthy_checkpoint ()) in
+        let text = text_of (List.filteri (fun i _ -> i < List.length ls - 1) ls) in
+        let m = get_error "trunc" (Incremental.of_text cat corpus_constraint text) in
+        Alcotest.(check bool) "names truncation" true
+          (String.length m > 0));
+    Alcotest.test_case "truncation: row dropped but end kept" `Quick (fun () ->
+        let dropped = ref false in
+        let ls =
+          List.filter
+            (fun l ->
+              if (not !dropped) && starts_with "row " l then begin
+                dropped := true;
+                false
+              end
+              else true)
+            (lines_of (healthy_checkpoint ()))
+        in
+        Alcotest.(check bool) "corpus had a row to drop" true !dropped;
+        ignore
+          (get_error "count" (Incremental.of_text cat corpus_constraint (text_of ls))));
+    Alcotest.test_case "content after the end marker" `Quick (fun () ->
+        let text = healthy_checkpoint () ^ "row 7 @ 3\n" in
+        ignore
+          (get_error "after-end" (Incremental.of_text cat corpus_constraint text)));
+    Alcotest.test_case "row for the wrong aux kind" `Quick (fun () ->
+        let text =
+          map_lines
+            (fun l -> if starts_with "aux " l then "aux 0 prev 3" else l)
+            (healthy_checkpoint ())
+        in
+        ignore
+          (get_error "kind" (Incremental.of_text cat corpus_constraint text)));
+    Alcotest.test_case "old version 1 checkpoints are refused" `Quick (fun () ->
+        let text =
+          map_lines
+            (fun l ->
+              if starts_with "rtic-checkpoint" l then "rtic-checkpoint 1" else l)
+            (healthy_checkpoint ())
+        in
+        ignore (get_error "v1" (Incremental.of_text cat corpus_constraint text)));
+    Alcotest.test_case "missing steps line" `Quick (fun () ->
+        let text =
+          text_of
+            (List.filter
+               (fun l -> not (starts_with "steps" l))
+               (lines_of (healthy_checkpoint ())))
+        in
+        ignore (get_error "steps" (Incremental.of_text cat corpus_constraint text)));
+    Alcotest.test_case "missing last_time line" `Quick (fun () ->
+        let text =
+          text_of
+            (List.filter
+               (fun l -> not (starts_with "last_time" l))
+               (lines_of (healthy_checkpoint ())))
+        in
+        ignore
+          (get_error "last_time" (Incremental.of_text cat corpus_constraint text)));
+    Alcotest.test_case "steps 0 contradicting content" `Quick (fun () ->
+        let text =
+          map_lines
+            (fun l -> if starts_with "steps" l then "steps 0" else l)
+            (healthy_checkpoint ())
+        in
+        ignore (get_error "steps0" (Incremental.of_text cat corpus_constraint text)));
+    Alcotest.test_case "last_time older than restored timestamps" `Quick
+      (fun () ->
+        let text =
+          map_lines
+            (fun l -> if starts_with "last_time" l then "last_time 1" else l)
+            (healthy_checkpoint ())
+        in
+        ignore (get_error "stale" (Incremental.of_text cat corpus_constraint text)));
+    Alcotest.test_case "last_time none contradicting content" `Quick (fun () ->
+        let text =
+          map_lines
+            (fun l -> if starts_with "last_time" l then "last_time none" else l)
+            (healthy_checkpoint ())
+        in
+        ignore (get_error "none" (Incremental.of_text cat corpus_constraint text))) ]
+
+(* ---------------- Adversarial string values ----------------
+
+   The checkpoint line format quotes string values (%S) and splits window
+   rows on the last unquoted '@'; strings full of separators, quotes and
+   escapes must survive a save/restore round-trip bit-exactly. *)
+
+let adversarial_string =
+  let gen =
+    QCheck.Gen.(
+      map
+        (fun cs -> String.concat "" cs)
+        (list_size (int_bound 12)
+           (oneofl
+              [ "@"; ","; " "; "\""; "\\"; "\n"; "\t"; "a"; "b"; "#"; "(";
+                ")"; "\r"; "\000"; "\xff"; "4"; "."; "-"; "@ 3"; " @ " ])))
+  in
+  QCheck.make ~print:(Printf.sprintf "%S") gen
+
+let string_roundtrip_property =
+  let scat =
+    Schema.Catalog.of_list [ Schema.make "s" [ ("v", Value.TStr) ] ]
+  in
+  let d =
+    { F.name = "c"; body = parse_formula "forall x. s(x) -> once[0,9] s(x)" }
+  in
+  qtest ~count:300 "restore . to_text = id over adversarial strings"
+    QCheck.(pair adversarial_string adversarial_string)
+    (fun (s1, s2) ->
+      let db =
+        get_ok "ins"
+          (Database.insert (Database.create scat) "s"
+             (Tuple.make [ Value.Str s1 ]))
+      in
+      let db =
+        if s1 = s2 then db
+        else
+          get_ok "ins2" (Database.insert db "s" (Tuple.make [ Value.Str s2 ]))
+      in
+      let st = get_ok "create" (Incremental.create scat d) in
+      let st, _ = get_ok "step" (Incremental.step st ~time:7 db) in
+      let text = Incremental.to_text st in
+      match Incremental.of_text scat d text with
+      | Error m -> QCheck.Test.fail_reportf "restore failed: %s" m
+      | Ok st' -> Incremental.to_text st' = text)
+
 (* Monitor-level checkpoints: database + all checkers. *)
 let monitor_cases =
   [ Alcotest.test_case "monitor restore-and-continue" `Quick (fun () ->
@@ -168,6 +338,7 @@ let monitor_cases =
         ignore (get_error "formula" (Monitor.of_text cat [ d2 ] text))) ]
 
 let suite =
-  [ ("checkpoint:roundtrip", [ roundtrip_property ]);
+  [ ("checkpoint:roundtrip", [ roundtrip_property; string_roundtrip_property ]);
     ("checkpoint:unit", unit_cases);
+    ("checkpoint:corrupt", corrupt_cases);
     ("checkpoint:monitor", monitor_cases) ]

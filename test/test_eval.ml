@@ -76,7 +76,28 @@ let valrel_cases =
         in
         Alcotest.(check bool) "holds" true (Valrel.holds closed);
         Alcotest.(check bool) "arity error" true
-          (Result.is_error (Valrel.of_atom rel [ Formula.Var "x" ]))) ]
+          (Result.is_error (Valrel.of_atom rel [ Formula.Var "x" ])));
+    Alcotest.test_case "make rejects malformed input descriptively" `Quick
+      (fun () ->
+        let contains hay needle =
+          let nh = String.length hay and nn = String.length needle in
+          let rec go i =
+            i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+          in
+          go 0
+        in
+        let raises_invalid_arg expected f =
+          match f () with
+          | exception Invalid_argument m ->
+            Alcotest.(check bool)
+              (Printf.sprintf "message %S mentions %S" m expected)
+              true (contains m expected)
+          | _ -> Alcotest.failf "expected Invalid_argument (%s)" expected
+        in
+        raises_invalid_arg "duplicate column" (fun () ->
+            Valrel.make [ "x"; "x" ] [ Tuple.make [ vi 1; vi 2 ] ]);
+        raises_invalid_arg "arity mismatch" (fun () ->
+            Valrel.make [ "x"; "y" ] [ Tuple.make [ vi 1 ] ])) ]
 
 let valrel_laws =
   let gen =

@@ -1,0 +1,117 @@
+(* The hand-rolled JSON emitter/parser backing the observability surface. *)
+
+open Helpers
+module Json = Rtic_core.Json
+
+let rec pp_json ppf = function
+  | Json.Null -> Format.fprintf ppf "null"
+  | Json.Bool b -> Format.fprintf ppf "%b" b
+  | Json.Int i -> Format.fprintf ppf "%d" i
+  | Json.Float f -> Format.fprintf ppf "%g" f
+  | Json.Str s -> Format.fprintf ppf "%S" s
+  | Json.List xs ->
+    Format.fprintf ppf "[%a]"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ";")
+         pp_json)
+      xs
+  | Json.Obj kvs ->
+    Format.fprintf ppf "{%a}"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ";")
+         (fun ppf (k, v) -> Format.fprintf ppf "%S:%a" k pp_json v))
+      kvs
+
+let json_t : Json.t Alcotest.testable =
+  Alcotest.testable pp_json ( = )
+
+let parse_ok s = get_ok ("parse " ^ s) (Json.of_string s)
+let parse_err s = get_error ("parse " ^ s) (Json.of_string s)
+
+let emit_cases =
+  [ Alcotest.test_case "escapes control and quote characters" `Quick (fun () ->
+        Alcotest.(check string) "escapes" "\"a\\\"b\\\\c\\n\\u0001\""
+          (Json.to_string (Json.Str "a\"b\\c\n\001")));
+    Alcotest.test_case "non-finite floats become null" `Quick (fun () ->
+        Alcotest.(check string) "nan" "null" (Json.to_string (Json.Float Float.nan));
+        Alcotest.(check string) "inf" "null"
+          (Json.to_string (Json.Float Float.infinity)));
+    Alcotest.test_case "floats keep a decimal point" `Quick (fun () ->
+        Alcotest.(check string) "2.0" "2.0" (Json.to_string (Json.Float 2.0)));
+    Alcotest.test_case "indent mode is parseable" `Quick (fun () ->
+        let doc =
+          Json.Obj
+            [ ("a", Json.List [ Json.Int 1; Json.Null ]);
+              ("b", Json.Obj [ ("c", Json.Bool true) ]) ]
+        in
+        Alcotest.check json_t "roundtrip"
+          doc
+          (parse_ok (Json.to_string ~indent:true doc))) ]
+
+let parse_cases =
+  [ Alcotest.test_case "accepts scalars" `Quick (fun () ->
+        Alcotest.check json_t "int" (Json.Int 42) (parse_ok " 42 ");
+        Alcotest.check json_t "neg float" (Json.Float (-2.5)) (parse_ok "-2.5");
+        Alcotest.check json_t "bool" (Json.Bool false) (parse_ok "false");
+        Alcotest.check json_t "null" Json.Null (parse_ok "null");
+        Alcotest.check json_t "str" (Json.Str "hi\n") (parse_ok "\"hi\\n\""));
+    Alcotest.test_case "decodes unicode escapes" `Quick (fun () ->
+        Alcotest.check json_t "2-byte" (Json.Str "\xc3\xa9") (parse_ok "\"\\u00e9\"");
+        Alcotest.check json_t "3-byte" (Json.Str "\xe2\x82\xac")
+          (parse_ok "\"\\u20ac\""));
+    Alcotest.test_case "rejects malformed documents" `Quick (fun () ->
+        List.iter
+          (fun s -> ignore (parse_err s))
+          [ ""; "{"; "[1,"; "[1 2]"; "{\"a\":}"; "{\"a\" 1}"; "tru";
+            "\"unterminated"; "\"raw\tcontrol\""; "\"bad \\q escape\"";
+            "\"\\u12\""; "1 2"; "[1],"; "{} garbage"; "nan"; "+1"; "01a" ]);
+    Alcotest.test_case "rejects trailing garbage specifically" `Quick (fun () ->
+        let m = parse_err "{\"a\": 1} {\"b\": 2}" in
+        Alcotest.(check bool) "mentions trailing" true
+          (String.length m > 0)) ]
+
+(* Emitter output always re-parses to the same tree (floats excepted: they
+   go through a %.12g representation, so compare on a grid that's exact). *)
+let roundtrip_property =
+  let gen =
+    QCheck.Gen.(
+      sized @@ fix (fun self n ->
+          let scalar =
+            oneof
+              [ return Json.Null;
+                map (fun b -> Json.Bool b) bool;
+                map (fun i -> Json.Int i) int;
+                map (fun f -> Json.Float (float_of_int f /. 4.0)) (int_bound 10000);
+                map (fun s -> Json.Str s) (string_size (int_bound 12)) ]
+          in
+          if n = 0 then scalar
+          else
+            frequency
+              [ (3, scalar);
+                (1, map (fun xs -> Json.List xs)
+                      (list_size (int_bound 4) (self (n / 2))));
+                (1, map (fun kvs -> Json.Obj kvs)
+                      (list_size (int_bound 4)
+                         (pair (string_size (int_bound 6)) (self (n / 2))))) ]))
+  in
+  qtest ~count:500 "of_string (to_string j) = j"
+    (QCheck.make gen)
+    (fun j ->
+      match Json.of_string (Json.to_string j) with
+      | Ok j' -> j = j'
+      | Error _ -> false)
+
+let accessor_cases =
+  [ Alcotest.test_case "member and coercions" `Quick (fun () ->
+        let doc = parse_ok "{\"n\": 3, \"xs\": [1.5], \"s\": \"v\"}" in
+        Alcotest.(check (option int)) "n" (Some 3)
+          (Option.bind (Json.member "n" doc) Json.to_int);
+        Alcotest.(check (option string)) "s" (Some "v")
+          (Option.bind (Json.member "s" doc) Json.to_str);
+        Alcotest.(check bool) "missing" true (Json.member "zzz" doc = None);
+        Alcotest.(check (option (float 0.0))) "int as float" (Some 3.0)
+          (Option.bind (Json.member "n" doc) Json.to_float)) ]
+
+let suite =
+  [ ("json:emit", emit_cases);
+    ("json:parse", parse_cases);
+    ("json:roundtrip", [ roundtrip_property ]);
+    ("json:accessors", accessor_cases) ]

@@ -1,0 +1,269 @@
+(* The metrics recorder and its wiring through the engine layers. *)
+
+open Helpers
+module Metrics = Rtic_core.Metrics
+module Stats = Rtic_core.Stats
+module Json = Rtic_core.Json
+module Shared = Rtic_core.Shared
+
+let cat = Gen.generic_catalog
+
+let recorder_cases =
+  [ Alcotest.test_case "counters accumulate" `Quick (fun () ->
+        let m = Metrics.create () in
+        Metrics.incr_steps m;
+        Metrics.incr_steps m;
+        Metrics.add_violations m 3;
+        Metrics.cache_hit m;
+        Metrics.cache_miss m;
+        Metrics.cache_hit m;
+        Alcotest.(check int) "steps" 2 (Metrics.steps m);
+        Alcotest.(check int) "violations" 3 (Metrics.violations m);
+        Alcotest.(check int) "hits" 2 (Metrics.cache_hits m);
+        Alcotest.(check int) "misses" 1 (Metrics.cache_misses m));
+    Alcotest.test_case "node gauges track peak" `Quick (fun () ->
+        let m = Metrics.create () in
+        let base = Metrics.register_nodes m [ "a"; "b" ] in
+        Alcotest.(check int) "base of first batch" 0 base;
+        let base2 = Metrics.register_nodes m [ "c" ] in
+        Alcotest.(check int) "base of second batch" 2 base2;
+        Metrics.set_aux_size m 0 5;
+        Metrics.set_aux_size m 0 2;
+        Metrics.add_pruned m 1 4;
+        Metrics.add_survival m 2 ~checked:10 ~kept:7;
+        match Metrics.nodes m with
+        | [ a; b; c ] ->
+          Alcotest.(check string) "name" "a" a.Metrics.name;
+          Alcotest.(check int) "size is current" 2 a.Metrics.size;
+          Alcotest.(check int) "peak retained" 5 a.Metrics.peak_size;
+          Alcotest.(check int) "pruned" 4 b.Metrics.prune_dropped;
+          Alcotest.(check int) "checked" 10 c.Metrics.surv_checked;
+          Alcotest.(check int) "kept" 7 c.Metrics.surv_kept
+        | l -> Alcotest.failf "expected 3 nodes, got %d" (List.length l));
+    Alcotest.test_case "latency summary is exact on few samples" `Quick
+      (fun () ->
+        let m = Metrics.create () in
+        Alcotest.(check bool) "none before recording" true
+          (Metrics.latency m = None);
+        List.iter (Metrics.record_latency m) [ 1e-6; 3e-6; 2e-6 ];
+        match Metrics.latency m with
+        | None -> Alcotest.fail "expected a summary"
+        | Some l ->
+          Alcotest.(check int) "count" 3 l.Metrics.count;
+          Alcotest.(check (float 0.5)) "min" 1000.0 l.Metrics.min_ns;
+          Alcotest.(check (float 0.5)) "max" 3000.0 l.Metrics.max_ns;
+          Alcotest.(check (float 0.5)) "mean" 2000.0 l.Metrics.mean_ns;
+          Alcotest.(check (float 0.5)) "p50" 2000.0 l.Metrics.p50_ns);
+    Alcotest.test_case "reservoir survives more samples than its size" `Quick
+      (fun () ->
+        let m = Metrics.create () in
+        for i = 1 to 5000 do
+          Metrics.record_latency m (float_of_int i *. 1e-9)
+        done;
+        match Metrics.latency m with
+        | None -> Alcotest.fail "expected a summary"
+        | Some l ->
+          Alcotest.(check int) "count" 5000 l.Metrics.count;
+          Alcotest.(check (float 0.01)) "exact min" 1.0 l.Metrics.min_ns;
+          Alcotest.(check (float 0.01)) "exact max" 5000.0 l.Metrics.max_ns;
+          (* percentiles are reservoir estimates; they must stay in range
+             and be ordered *)
+          Alcotest.(check bool) "p50 <= p95" true (l.Metrics.p50_ns <= l.Metrics.p95_ns);
+          Alcotest.(check bool) "in range" true
+            (l.Metrics.p50_ns >= 1.0 && l.Metrics.p95_ns <= 5000.0)) ]
+
+(* Drive an instrumented checker and read the gauges back. *)
+let feed ?metrics d text =
+  let h = generic_history text in
+  let st = get_ok "create" (Incremental.create ?metrics cat d) in
+  List.fold_left
+    (fun st (time, db) -> fst (get_ok "step" (Incremental.step st ~time db)))
+    st (History.snapshots h)
+
+let kernel_cases =
+  [ Alcotest.test_case "per-node gauges from a once window" `Quick (fun () ->
+        let m = Metrics.create () in
+        let d =
+          { Formula.name = "c";
+            body = parse_formula "forall x. q(x) -> once[0,2] p(x)" }
+        in
+        (* p-events at 0,1,2,3; window width 2, so by t=10 all are pruned *)
+        let _ =
+          feed ~metrics:m d
+            "@0\n+p(1)\n@1\n+p(2)\n-p(1)\n@2\n+p(3)\n-p(2)\n@3\n-p(3)\n@10\n+q(9)\n"
+        in
+        Alcotest.(check int) "steps" 5 (Metrics.steps m);
+        let once_node =
+          List.find
+            (fun n ->
+              String.length n.Metrics.name >= 4
+              && String.sub n.Metrics.name 0 2 = "c:")
+            (Metrics.nodes m)
+        in
+        Alcotest.(check int) "window emptied" 0 once_node.Metrics.size;
+        Alcotest.(check bool) "peak saw entries" true
+          (once_node.Metrics.peak_size >= 2);
+        Alcotest.(check bool) "pruning was counted" true
+          (once_node.Metrics.prune_dropped >= 3));
+    Alcotest.test_case "formula cache hits recorded on repeated subformulas"
+      `Quick (fun () ->
+        let m = Metrics.create () in
+        let d =
+          { Formula.name = "c";
+            body =
+              parse_formula
+                "(exists x. once[0,5] p(x)) & (exists y. once[0,5] p(y))" }
+        in
+        let _ = feed ~metrics:m d "@0\n+p(1)\n@1\n+e()\n" in
+        (* the two once-subformulas are structurally equal: the second lookup
+           per step must hit the per-step memo table *)
+        Alcotest.(check bool) "hits recorded" true (Metrics.cache_hits m > 0));
+    Alcotest.test_case "since-survival filter counted" `Quick (fun () ->
+        let m = Metrics.create () in
+        let d =
+          { Formula.name = "c";
+            body = parse_formula "exists x. p(x) since[0,8] q(x)" }
+        in
+        let _ = feed ~metrics:m d "@0\n+q(1)\n@1\n+p(1)\n-q(1)\n@2\n+e()\n" in
+        let since_node =
+          List.find (fun n -> n.Metrics.surv_checked > 0) (Metrics.nodes m)
+        in
+        Alcotest.(check bool) "some entries survived" true
+          (since_node.Metrics.surv_kept > 0);
+        Alcotest.(check bool) "kept <= checked" true
+          (since_node.Metrics.surv_kept <= since_node.Metrics.surv_checked));
+    Alcotest.test_case "violations and latency recorded by the monitor" `Quick
+      (fun () ->
+        let sc = Scenarios.banking in
+        let tr = sc.Scenarios.generate ~seed:11 ~steps:40 ~violation_rate:0.2 in
+        let m = Metrics.create () in
+        let mon =
+          get_ok "create"
+            (Monitor.create ~metrics:m sc.Scenarios.catalog
+               sc.Scenarios.constraints)
+        in
+        let _, reports =
+          List.fold_left
+            (fun (mon, out) (time, txn) ->
+              let mon, rs = get_ok "step" (Monitor.step mon ~time txn) in
+              (mon, out @ rs))
+            (mon, []) tr.Trace.steps
+        in
+        Alcotest.(check int) "violations agree" (List.length reports)
+          (Metrics.violations m);
+        (match Metrics.latency m with
+         | None -> Alcotest.fail "latency expected"
+         | Some l ->
+           Alcotest.(check int) "one sample per txn" (Trace.length tr)
+             l.Metrics.count;
+           Alcotest.(check bool) "positive" true (l.Metrics.min_ns > 0.0))) ]
+
+(* Instrumentation must be observationally inert: same verdicts with and
+   without a recorder, for every engine that accepts one. *)
+let parity_property =
+  qtest ~count:60 "metrics on/off verdict parity"
+    QCheck.(pair small_nat small_nat)
+    (fun (fseed, tseed) ->
+      let f = Gen.random_formula ~seed:fseed ~depth:4 in
+      let tr =
+        Gen.random_trace ~seed:tseed { Gen.default_params with steps = 25 }
+      in
+      let h = get_ok "m" (Trace.materialize tr) in
+      let run metrics =
+        let d = { Formula.name = "c"; body = f } in
+        let st = get_ok "create" (Incremental.create ?metrics cat d) in
+        let _, rev =
+          List.fold_left
+            (fun (st, acc) (time, db) ->
+              let st, v = get_ok "step" (Incremental.step st ~time db) in
+              (st, v.Incremental.satisfied :: acc))
+            (st, []) (History.snapshots h)
+        in
+        List.rev rev
+      in
+      run None = run (Some (Metrics.create ())))
+
+let shared_parity =
+  Alcotest.test_case "shared monitor with metrics agrees" `Quick (fun () ->
+      let defs =
+        List.init 3 (fun i ->
+            get_ok "def"
+              (Parser.def_of_string
+                 (Printf.sprintf
+                    "constraint c%d: forall x. q(x) & x >= %d -> once[0,40] \
+                     p(x) ;"
+                    i i)))
+      in
+      let tr = Gen.random_trace ~seed:4 { Gen.default_params with steps = 60 } in
+      let plain = get_ok "plain" (Shared.run_trace defs tr) in
+      let m = Metrics.create () in
+      let instrumented =
+        get_ok "instrumented" (Shared.run_trace ~metrics:m defs tr)
+      in
+      Alcotest.(check int) "same report count" (List.length plain)
+        (List.length instrumented);
+      Alcotest.(check int) "one latency sample per txn" (Trace.length tr)
+        (match Metrics.latency m with Some l -> l.Metrics.count | None -> 0))
+
+let json_cases =
+  [ Alcotest.test_case "stats JSON is valid and complete" `Quick (fun () ->
+        let sc = Scenarios.banking in
+        let tr = sc.Scenarios.generate ~seed:3 ~steps:30 ~violation_rate:0.15 in
+        let m = Metrics.create () in
+        let mon =
+          get_ok "create"
+            (Monitor.create ~metrics:m sc.Scenarios.catalog
+               sc.Scenarios.constraints)
+        in
+        let _, stats =
+          List.fold_left
+            (fun (mon, stats) (time, txn) ->
+              let mon, rs = get_ok "step" (Monitor.step mon ~time txn) in
+              (mon, Stats.observe stats ~time ~space:(Monitor.space mon) ~reports:rs))
+            (mon, Stats.empty) tr.Trace.steps
+        in
+        let text = Json.to_string ~indent:true (Stats.to_json ~metrics:m stats) in
+        let doc = get_ok "parse emitted JSON" (Json.of_string text) in
+        let str_field k =
+          Option.bind (Json.member k doc) Json.to_str
+        in
+        let int_field k =
+          Option.bind (Json.member k doc) Json.to_int
+        in
+        Alcotest.(check (option string)) "schema" (Some "rtic-stats/1")
+          (str_field "schema");
+        Alcotest.(check (option int)) "transactions" (Some (Trace.length tr))
+          (int_field "transactions");
+        Alcotest.(check (option int)) "violations"
+          (Some (Stats.violations stats))
+          (int_field "violations");
+        let kernel = Json.member "kernel" doc in
+        Alcotest.(check bool) "kernel section present" true (kernel <> None);
+        let kernel = Option.get kernel in
+        Alcotest.(check (option int)) "kernel steps"
+          (Some (Metrics.steps m))
+          (Option.bind (Json.member "steps" kernel) Json.to_int);
+        let nodes =
+          Option.bind (Json.member "nodes" kernel) Json.to_list
+          |> Option.value ~default:[]
+        in
+        Alcotest.(check int) "one row per registered node"
+          (List.length (Metrics.nodes m))
+          (List.length nodes);
+        Alcotest.(check bool) "latency object present" true
+          (match Json.member "latency_ns" kernel with
+           | Some (Json.Obj _) -> true
+           | _ -> false));
+    Alcotest.test_case "stats JSON without metrics has no kernel key" `Quick
+      (fun () ->
+        let doc = Stats.to_json Stats.empty in
+        Alcotest.(check bool) "no kernel" true (Json.member "kernel" doc = None);
+        (* still a valid document *)
+        ignore
+          (get_ok "parse" (Json.of_string (Json.to_string doc)))) ]
+
+let suite =
+  [ ("metrics:recorder", recorder_cases);
+    ("metrics:kernel", kernel_cases);
+    ("metrics:parity", [ parity_property; shared_parity ]);
+    ("metrics:json", json_cases) ]

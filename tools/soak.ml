@@ -15,9 +15,9 @@ let cat = Gen.generic_catalog
 let naive_vec h f =
   List.init (History.length h) (fun i -> ok (Naive.holds_at h i f))
 
-let inc_vec ?config h f =
+let inc_vec ?metrics ?config h f =
   let d = { F.name = "s"; body = f } in
-  let st = ok (Incremental.create ?config cat d) in
+  let st = ok (Incremental.create ?metrics ?config cat d) in
   List.fold_left
     (fun (st, acc) (t, db) ->
       let st, v = ok (Incremental.step st ~time:t db) in
@@ -55,6 +55,8 @@ let () =
     let h = ok (Trace.materialize tr) in
     let nv = naive_vec h f in
     if inc_vec h f <> nv then (incr fails; Printf.printf "INC mismatch seed %d\n" i);
+    if inc_vec ~metrics:(Rtic_core.Metrics.create ()) h f <> nv then
+      (incr fails; Printf.printf "METRICS mismatch seed %d\n" i);
     if inc_vec ~config:{ Incremental.prune = false } h f <> nv then
       (incr fails; Printf.printf "NOPRUNE mismatch seed %d\n" i);
     if active_vec h f <> nv then (incr fails; Printf.printf "ACTIVE mismatch seed %d\n" i)
@@ -66,6 +68,6 @@ let () =
     if future_vec h f <> naive_vec h f then
       (incr fails; Printf.printf "FUTURE mismatch seed %d\n" i)
   done;
-  Printf.printf "soak: %d past-engine runs x3 + %d future runs, %d failures\n"
+  Printf.printf "soak: %d past-engine runs x4 + %d future runs, %d failures\n"
     n_past n_future !fails;
   exit (if !fails = 0 then 0 else 1)
