@@ -1,5 +1,6 @@
-(* The experiment harness: regenerates every claim-validation table E1–E8
-   described in DESIGN.md / EXPERIMENTS.md, plus Bechamel micro-benchmarks.
+(* The experiment harness: regenerates every claim-validation table
+   (E1–E9 and the E-R robustness table) described in DESIGN.md /
+   EXPERIMENTS.md, plus Bechamel micro-benchmarks.
 
      dune exec bench/main.exe               run everything (default sizes)
      dune exec bench/main.exe -- e1 e4      run selected experiments
@@ -420,6 +421,88 @@ let e9 () =
     sweep
 
 (* ------------------------------------------------------------------ *)
+(* E-R — robustness: recovery time vs WAL-suffix length                *)
+(* ------------------------------------------------------------------ *)
+
+let er () =
+  header "E-R: recovery time vs WAL-suffix length"
+    "Claim: recovering a supervised monitor costs (load newest checkpoint,\n\
+     proportional to the live state size) + (replay the WAL suffix past\n\
+     it, linear in the suffix length). Columns vary the pre-checkpoint\n\
+     prefix (hence state size), rows the suffix. Measured on in-memory\n\
+     filesystems (no disk noise), repair off.";
+  let module Supervisor = Rtic_core.Supervisor in
+  let module Faults = Rtic_core.Faults in
+  let sc = Scenarios.banking in
+  let sweep = if !quick then [ 0; 25; 100 ] else [ 0; 25; 50; 100; 200; 400 ] in
+  let prefixes = if !quick then [ 200 ] else [ 400; 800 ] in
+  let config = { Supervisor.default_config with auto_checkpoint = 0 } in
+  (* One damaged-and-abandoned run per (prefix, suffix): feed everything,
+     checkpoint manually so exactly [suffix] records sit past the newest
+     snapshot, walk away, then time [Supervisor.recover]. *)
+  let measure ~prefix ~suffix =
+    let tr =
+      sc.generate ~seed:11 ~steps:(prefix + suffix) ~violation_rate:0.05
+    in
+    let fs = Faults.mem_fs () in
+    let sup =
+      or_die "create"
+        (Supervisor.create ~fs ~config ~init:tr.Trace.init ~state_dir:"state"
+           sc.catalog sc.constraints)
+    in
+    let feed steps =
+      List.iter
+        (fun (time, txn) ->
+          ignore (or_die "step" (Supervisor.step sup ~time txn)))
+        steps
+    in
+    let pre = List.filteri (fun i _ -> i < prefix) tr.Trace.steps in
+    let post = List.filteri (fun i _ -> i >= prefix) tr.Trace.steps in
+    feed pre;
+    or_die "checkpoint" (Supervisor.checkpoint sup);
+    feed post;
+    let (_, info), t =
+      time_it (fun () ->
+          or_die "recover"
+            (Supervisor.recover ~fs ~config ~init:tr.Trace.init ~repair:false
+               ~state_dir:"state" sc.catalog sc.constraints))
+    in
+    if info.Supervisor.replayed <> suffix then
+      Printf.printf "  !! expected %d replayed records, got %d\n" suffix
+        info.Supervisor.replayed;
+    ms t
+  in
+  row "%10s" "suffix";
+  List.iter (fun p -> row " %18s" (Printf.sprintf "prefix=%d (ms)" p)) prefixes;
+  row "\n";
+  let series =
+    List.map
+      (fun suffix ->
+        row "%10d" suffix;
+        let cells =
+          List.map
+            (fun prefix ->
+              let t = measure ~prefix ~suffix in
+              row " %18.2f" t;
+              (prefix, t))
+            prefixes
+        in
+        row "\n";
+        Json.Obj
+          [ ("wal_suffix", Json.Int suffix);
+            ("recover_ms",
+             Json.List
+               (List.map
+                  (fun (prefix, t) ->
+                    Json.Obj
+                      [ ("prefix", Json.Int prefix);
+                        ("ms", Json.Float t) ])
+                  cells)) ])
+      sweep
+  in
+  write_artifact ~experiment:"er" series
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -495,7 +578,7 @@ let micro () =
 
 let experiments =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
-    ("e7", e7); ("e8", e8); ("e9", e9); ("micro", micro) ]
+    ("e7", e7); ("e8", e8); ("e9", e9); ("er", er); ("micro", micro) ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in

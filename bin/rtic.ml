@@ -4,10 +4,17 @@
    Subcommands:
      rtic parse SPEC            validate a specification file
      rtic check SPEC TRACE      monitor a trace, report violations
+     rtic recover SPEC DIR      inspect (and repair) a crash-safe state dir
      rtic rules SPEC            show the compiled active-DBMS rules
      rtic explain SPEC TRACE    show violation witnesses
      rtic gen                   generate a synthetic trace
-     rtic lint-json [FILE]      validate a JSON document (stdin by default) *)
+     rtic lint-json [FILE]      validate a JSON document (stdin by default)
+
+   Exit codes, everywhere: 0 = success and every constraint holds;
+   1 = the check ran but found violations (or: the linted document is
+   invalid, the queried formula is false, the state dir is
+   unrecoverable); 2 = usage or internal error (unreadable file, parse
+   failure, invalid flag combination). *)
 
 module Schema = Rtic_relational.Schema
 module Database = Rtic_relational.Database
@@ -27,6 +34,9 @@ module Stats = Rtic_core.Stats
 module Metrics = Rtic_core.Metrics
 module Json = Rtic_core.Json
 module Future = Rtic_core.Future
+module Supervisor = Rtic_core.Supervisor
+module Faults = Rtic_core.Faults
+module Wal = Rtic_core.Wal
 module Compile = Rtic_active.Compile
 module Scenarios = Rtic_workload.Scenarios
 module Gen = Rtic_workload.Gen
@@ -44,11 +54,15 @@ let read_file path =
 
 let ( let* ) r f = Result.bind r f
 
+(* Usage and internal errors exit 2; exit 1 is reserved for "the check ran
+   and found violations" (see the header comment). *)
+let usage_error m =
+  Printf.eprintf "rtic: %s\n" m;
+  exit 2
+
 let or_die = function
   | Ok v -> v
-  | Error m ->
-    Printf.eprintf "rtic: %s\n" m;
-    exit 1
+  | Error m -> usage_error m
 
 let load_spec path =
   let* text = read_file path in
@@ -173,8 +187,99 @@ let run_incremental_with_state ?metrics config cat past_defs (tr : Trace.t)
    | None -> ());
   Ok (reports, stats)
 
+(* Crash-safe service mode (--state-dir): run the trace through a
+   Supervisor instead of a bare Monitor. A fresh directory starts a new
+   service; an existing one is recovered (checkpoint + WAL replay) and
+   trace transactions that recovery already covered are skipped, so the
+   same invocation can simply be re-run after a crash. *)
+let run_supervised config cat past_defs (tr : Trace.t) state_dir auto_ck
+    on_error aux_budget quiet want_stats =
+  let policy = or_die (Supervisor.policy_of_string on_error) in
+  let scfg =
+    { Supervisor.auto_checkpoint = auto_ck;
+      retain = 2;
+      on_error = policy;
+      aux_budget }
+  in
+  let metrics = if want_stats then Some (Metrics.create ()) else None in
+  let sup, steps =
+    if Supervisor.state_exists Faults.real_fs state_dir then begin
+      let sup, info =
+        or_die
+          (Supervisor.recover ?metrics ~config:scfg ~init:tr.Trace.init
+             ~state_dir cat past_defs)
+      in
+      List.iter
+        (fun (file, reason) ->
+          Printf.eprintf "rtic: skipped corrupt checkpoint %s: %s\n" file
+            reason)
+        info.Supervisor.checkpoints_skipped;
+      (match info.Supervisor.torn_tail with
+       | Some reason -> Printf.eprintf "rtic: dropped torn WAL tail: %s\n" reason
+       | None -> ());
+      Printf.eprintf
+        "rtic: recovered %d transaction(s) from %s (checkpoint %s, %d \
+         replayed)\n"
+        (Supervisor.steps sup) state_dir
+        (match info.Supervisor.checkpoint_step with
+         | Some s -> string_of_int s
+         | None -> "none")
+        info.Supervisor.replayed;
+      (* Drop trace transactions recovery already covered. *)
+      let already t =
+        match Supervisor.last_time sup with
+        | Some l -> t <= l
+        | None -> false
+      in
+      let steps = List.filter (fun (t, _) -> not (already t)) tr.Trace.steps in
+      let dropped = List.length tr.Trace.steps - List.length steps in
+      if dropped > 0 then
+        Printf.eprintf "rtic: %d trace transaction(s) already processed\n"
+          dropped;
+      (sup, steps)
+    end
+    else
+      ( or_die
+          (Supervisor.create ?metrics ~config:scfg ~init:tr.Trace.init
+             ~state_dir cat past_defs),
+        tr.Trace.steps )
+  in
+  ignore config;
+  let reports = ref [] in
+  let dropped = ref 0 in
+  List.iter
+    (fun (time, txn) ->
+      match or_die (Supervisor.step sup ~time txn) with
+      | Supervisor.Checked { reports = rs; inconclusive = _ } ->
+        if not quiet then
+          List.iter (fun r -> Format.printf "%a@." Monitor.pp_report r) rs;
+        reports := List.rev_append rs !reports
+      | Supervisor.Skipped reason | Supervisor.Rejected reason ->
+        incr dropped;
+        Printf.eprintf "rtic: dropped transaction at time %d: %s\n" time
+          reason)
+    steps;
+  (match Supervisor.quarantined sup with
+   | [] -> ()
+   | q ->
+     Printf.eprintf
+       "rtic: %d constraint(s) quarantined (verdicts inconclusive): %s\n"
+       (List.length q)
+       (String.concat ", " (List.map fst q)));
+  if Supervisor.degraded sup then
+    Printf.eprintf
+      "rtic: durability degraded (a WAL or checkpoint write failed)\n";
+  (match metrics with
+   | Some m when want_stats -> Format.printf "%a@." Metrics.pp m
+   | _ -> ());
+  Printf.printf "%d transaction(s), %d violation(s)%s\n"
+    (List.length steps)
+    (List.length !reports)
+    (if !dropped > 0 then Printf.sprintf ", %d dropped" !dropped else "");
+  if !reports = [] then 0 else 1
+
 let run_check spec_file trace_file engine no_prune quiet load save want_stats
-    want_json want_trace =
+    want_json want_trace state_dir auto_ck on_error aux_budget =
   let spec = or_die (load_spec spec_file) in
   let tr = or_die (load_trace trace_file) in
   let cat = spec.Parser.catalog in
@@ -185,14 +290,28 @@ let run_check spec_file trace_file engine no_prune quiet load save want_stats
     Logs.set_reporter (Logs_fmt.reporter ());
     Logs.set_level (Some Logs.Info)
   end;
-  if (load <> None || save <> None) && engine <> E_incremental then begin
-    Printf.eprintf "rtic: checkpointing requires --engine incremental\n";
-    exit 2
-  end;
-  if want_stats && engine <> E_incremental then begin
-    Printf.eprintf "rtic: --stats/--json require --engine incremental\n";
-    exit 2
-  end;
+  if (load <> None || save <> None) && engine <> E_incremental then
+    usage_error "checkpointing requires --engine incremental";
+  if want_stats && engine <> E_incremental then
+    usage_error "--stats/--json require --engine incremental";
+  match state_dir with
+  | Some dir ->
+    if engine <> E_incremental then
+      usage_error "--state-dir requires --engine incremental";
+    if load <> None || save <> None then
+      usage_error "--state-dir conflicts with --load-state/--save-state";
+    if want_json then
+      usage_error "--state-dir does not support --json";
+    if future_defs <> [] then
+      usage_error
+        "--state-dir supports past-only constraints (future operators need \
+         verdict delay, which is not crash-safe)";
+    run_supervised config cat past_defs tr dir auto_ck on_error aux_budget
+      quiet want_stats
+  | None ->
+    if on_error <> "halt" || auto_ck <> 64 || aux_budget <> None then
+      usage_error
+        "--on-error/--auto-checkpoint/--aux-budget require --state-dir";
   let metrics = if want_stats then Some (Metrics.create ()) else None in
   let stats = ref Stats.empty in
   let reports =
@@ -263,6 +382,54 @@ let run_check spec_file trace_file engine no_prune quiet load save want_stats
   if reports = [] then 0 else 1
 
 (* ------------------------------------------------------------------ *)
+(* recover                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Inspect a crash-safe state directory: report the WAL and every
+   checkpoint, then attempt a recovery (read-only unless --repair).
+   Exit 0 if the directory is recoverable, 1 if not, 2 on usage errors. *)
+let run_recover spec_file dir repair =
+  let spec = or_die (load_spec spec_file) in
+  let cat = spec.Parser.catalog in
+  let past_defs, _ = split_defs spec in
+  let fs = Faults.real_fs in
+  if not (Supervisor.state_exists fs dir) then
+    usage_error (dir ^ " holds no WAL; not a supervisor state directory");
+  (match fs.Faults.read_file (Supervisor.wal_path dir) with
+   | Error m -> Printf.printf "wal: unreadable (%s)\n" m
+   | Ok text ->
+     (match Wal.recover text with
+      | Error m -> Printf.printf "wal: corrupt header (%s)\n" m
+      | Ok w ->
+        Printf.printf "wal: start %d, %d record(s)%s\n" w.Wal.start
+          (List.length w.Wal.records)
+          (match w.Wal.torn with
+           | Some reason -> ", torn tail (" ^ reason ^ ")"
+           | None -> "")));
+  List.iter
+    (fun (step, path) ->
+      match Supervisor.load_checkpoint ~fs cat past_defs path with
+      | Ok _ -> Printf.printf "checkpoint %d: ok\n" step
+      | Error m -> Printf.printf "checkpoint %d: corrupt (%s)\n" step m)
+    (Supervisor.checkpoint_files fs dir);
+  match
+    Supervisor.recover ~fs ~repair ~state_dir:dir cat past_defs
+  with
+  | Error m ->
+    Printf.printf "unrecoverable: %s\n" m;
+    1
+  | Ok (sup, info) ->
+    Printf.printf "recoverable: %d transaction(s) (checkpoint %s, %d \
+                   replayed)%s\n"
+      (Supervisor.steps sup)
+      (match info.Supervisor.checkpoint_step with
+       | Some s -> string_of_int s
+       | None -> "none")
+      info.Supervisor.replayed
+      (if info.Supervisor.repaired then "; repaired" else "");
+    0
+
+(* ------------------------------------------------------------------ *)
 (* rules                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -297,9 +464,7 @@ let run_explain spec_file trace_file name limit =
       List.find_opt (fun (d : Formula.def) -> d.name = name) spec.Parser.defs
     with
     | Some d -> d
-    | None ->
-      Printf.eprintf "rtic: no constraint named %s\n" name;
-      exit 1
+    | None -> usage_error (Printf.sprintf "no constraint named %s" name)
   in
   let h = or_die (Trace.materialize tr) in
   let viols = or_die (Naive.violations h d) in
@@ -355,17 +520,14 @@ let run_query spec_file trace_file formula_src at limit =
   let f = or_die (Parser.formula_of_string formula_src) in
   (match Rtic_mtl.Typecheck.check spec.Parser.catalog f with
    | Ok _ -> ()
-   | Error m ->
-     Printf.eprintf "rtic: ill-typed query: %s\n" m;
-     exit 1);
+   | Error m -> usage_error ("ill-typed query: " ^ m));
   let h = or_die (Trace.materialize tr) in
   let i =
     match at with
     | Some i when i >= 0 && i < History.length h -> i
     | Some i ->
-      Printf.eprintf "rtic: position %d out of range (0..%d)\n" i
-        (History.last h);
-      exit 1
+      usage_error
+        (Printf.sprintf "position %d out of range (0..%d)" i (History.last h))
     | None -> History.last h
   in
   let vr = or_die (Naive.eval h i f) in
@@ -413,11 +575,11 @@ let run_gen scenario steps seed rate out spec_out =
         List.find_opt (fun (s : Scenarios.t) -> s.name = scenario) Scenarios.all
       with
       | None ->
-        Printf.eprintf
-          "rtic: unknown scenario %s (expected banking, library, monitoring \
-           or generic)\n"
-          scenario;
-        exit 1
+        usage_error
+          (Printf.sprintf
+             "unknown scenario %s (expected banking, library, monitoring or \
+              generic)"
+             scenario)
       | Some sc ->
         let tr = sc.generate ~seed ~steps ~violation_rate:rate in
         let spec =
@@ -506,12 +668,55 @@ let trace_flag_arg =
          ~doc:"Log one line per transaction (time, violation count, \
                auxiliary space) to stderr while checking.")
 
+let state_dir_arg =
+  Arg.(value & opt (some string) None & info [ "state-dir" ] ~docv:"DIR"
+         ~doc:"Run as a crash-safe service: append every accepted \
+               transaction to a write-ahead log in $(docv) and checkpoint \
+               the monitor state there periodically. If $(docv) already \
+               holds state, recover from it first (checkpoint + WAL \
+               replay) and skip trace transactions that were already \
+               processed. Incremental engine, past-only constraints.")
+
+let auto_checkpoint_arg =
+  Arg.(value & opt int 64 & info [ "auto-checkpoint" ] ~docv:"N"
+         ~doc:"With --state-dir: checkpoint every $(docv) accepted \
+               transactions (0 disables; default 64).")
+
+let on_error_arg =
+  Arg.(value & opt string "halt" & info [ "on-error" ] ~docv:"POLICY"
+         ~doc:"With --state-dir: what to do with a clock regression or a \
+               malformed transaction — $(b,halt) (stop, exit 2), \
+               $(b,skip) (drop silently) or $(b,reject) (drop and report \
+               on stderr).")
+
+let aux_budget_arg =
+  Arg.(value & opt (some int) None & info [ "aux-budget" ] ~docv:"N"
+         ~doc:"With --state-dir: quarantine any constraint whose auxiliary \
+               state exceeds $(docv) entries; its verdicts become \
+               inconclusive while the others keep full monitoring.")
+
 let check_cmd =
   let doc = "monitor a trace and report constraint violations" in
   Cmd.v (Cmd.info "check" ~doc)
     Term.(const run_check $ spec_arg $ trace_pos 1 $ engine_arg $ no_prune_arg
           $ quiet_arg $ load_state_arg $ save_state_arg $ stats_arg
-          $ json_arg $ trace_flag_arg)
+          $ json_arg $ trace_flag_arg $ state_dir_arg $ auto_checkpoint_arg
+          $ on_error_arg $ aux_budget_arg)
+
+let recover_cmd =
+  let doc = "inspect (and optionally repair) a crash-safe state directory" in
+  let dir_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"DIR"
+           ~doc:"State directory written by check --state-dir.")
+  in
+  let repair_arg =
+    Arg.(value & flag & info [ "repair" ]
+           ~doc:"After recovering, write a fresh checkpoint and compact \
+                 the WAL (clears torn tails and prunes corrupt snapshots' \
+                 influence). Without it the directory is not modified.")
+  in
+  Cmd.v (Cmd.info "recover" ~doc)
+    Term.(const run_recover $ spec_arg $ dir_arg $ repair_arg)
 
 (* ------------------------------------------------------------------ *)
 (* lint-json                                                           *)
@@ -603,7 +808,7 @@ let gen_cmd =
 let main_cmd =
   let doc = "real-time integrity constraints over timed database histories" in
   Cmd.group (Cmd.info "rtic" ~version:"1.0.0" ~doc)
-    [ parse_cmd; check_cmd; rules_cmd; explain_cmd; query_cmd; gen_cmd;
-      lint_json_cmd ]
+    [ parse_cmd; check_cmd; recover_cmd; rules_cmd; explain_cmd; query_cmd;
+      gen_cmd; lint_json_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

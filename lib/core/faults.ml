@@ -1,0 +1,241 @@
+(* Deterministic fault injection: a swappable filesystem record plus
+   seeded corruption plans. All variability comes from the caller's seed
+   through a private xorshift64* stream so failures replay exactly. *)
+
+type fs = {
+  read_file : string -> (string, string) result;
+  write_file : string -> string -> (unit, string) result;
+  append_file : string -> string -> (unit, string) result;
+  rename : string -> string -> (unit, string) result;
+  remove : string -> (unit, string) result;
+  list_dir : string -> (string list, string) result;
+  mkdir : string -> (unit, string) result;
+  exists : string -> bool;
+}
+
+let wrap f = try Ok (f ()) with Sys_error m -> Error m | Unix.Unix_error (e, op, p) -> Error (Printf.sprintf "%s %s: %s" op p (Unix.error_message e))
+
+let real_fs =
+  { read_file =
+      (fun path ->
+        wrap (fun () ->
+            let ic = open_in_bin path in
+            Fun.protect
+              ~finally:(fun () -> close_in_noerr ic)
+              (fun () -> really_input_string ic (in_channel_length ic))));
+    write_file =
+      (fun path text ->
+        wrap (fun () ->
+            let oc = open_out_bin path in
+            Fun.protect
+              ~finally:(fun () -> close_out_noerr oc)
+              (fun () -> output_string oc text)));
+    append_file =
+      (fun path text ->
+        wrap (fun () ->
+            let oc =
+              open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path
+            in
+            Fun.protect
+              ~finally:(fun () -> close_out_noerr oc)
+              (fun () -> output_string oc text)));
+    rename = (fun src dst -> wrap (fun () -> Sys.rename src dst));
+    remove = (fun path -> wrap (fun () -> Sys.remove path));
+    list_dir =
+      (fun dir ->
+        wrap (fun () ->
+            let names = Array.to_list (Sys.readdir dir) in
+            List.sort String.compare
+              (List.filter
+                 (fun n -> not (Sys.is_directory (Filename.concat dir n)))
+                 names)));
+    mkdir =
+      (fun dir ->
+        try
+          Unix.mkdir dir 0o755;
+          Ok ()
+        with
+        | Unix.Unix_error (Unix.EEXIST, _, _) -> Ok ()
+        | Unix.Unix_error (e, _, _) -> Error (Unix.error_message e));
+    exists = Sys.file_exists }
+
+(* ---------------- In-memory filesystem ---------------- *)
+
+let mem_fs () =
+  let files : (string, string) Hashtbl.t = Hashtbl.create 16 in
+  let dirs : (string, unit) Hashtbl.t = Hashtbl.create 4 in
+  { read_file =
+      (fun path ->
+        match Hashtbl.find_opt files path with
+        | Some text -> Ok text
+        | None -> Error (path ^ ": no such file"));
+    write_file =
+      (fun path text ->
+        Hashtbl.replace files path text;
+        Ok ());
+    append_file =
+      (fun path text ->
+        let old = Option.value ~default:"" (Hashtbl.find_opt files path) in
+        Hashtbl.replace files path (old ^ text);
+        Ok ());
+    rename =
+      (fun src dst ->
+        match Hashtbl.find_opt files src with
+        | None -> Error (src ^ ": no such file")
+        | Some text ->
+          Hashtbl.remove files src;
+          Hashtbl.replace files dst text;
+          Ok ());
+    remove =
+      (fun path ->
+        if Hashtbl.mem files path then begin
+          Hashtbl.remove files path;
+          Ok ()
+        end
+        else Error (path ^ ": no such file"));
+    list_dir =
+      (fun dir ->
+        let under =
+          Hashtbl.fold
+            (fun path _ acc ->
+              if Filename.dirname path = dir then Filename.basename path :: acc
+              else acc)
+            files []
+        in
+        if under = [] && not (Hashtbl.mem dirs dir) then
+          Error (dir ^ ": no such directory")
+        else Ok (List.sort String.compare under));
+    mkdir =
+      (fun dir ->
+        Hashtbl.replace dirs dir ();
+        Ok ());
+    exists =
+      (fun path -> Hashtbl.mem files path || Hashtbl.mem dirs path) }
+
+(* ---------------- Seeded randomness, xorshift64-star ---------------- *)
+
+type rng = { mutable state : int64 }
+
+let make_rng seed =
+  (* Avoid the all-zeros fixed point; fold the seed into a large odd salt. *)
+  { state =
+      Int64.logor 1L
+        (Int64.mul (Int64.of_int (seed + 1)) 0x9E3779B97F4A7C15L) }
+
+let next r =
+  let x = r.state in
+  let x = Int64.logxor x (Int64.shift_left x 13) in
+  let x = Int64.logxor x (Int64.shift_right_logical x 7) in
+  let x = Int64.logxor x (Int64.shift_left x 17) in
+  r.state <- x;
+  x
+
+let next_int r bound =
+  if bound <= 0 then 0
+  else Int64.to_int (Int64.unsigned_rem (next r) (Int64.of_int bound))
+
+let next_float r =
+  Int64.to_float (Int64.shift_right_logical (next r) 11) /. 9007199254740992.0
+
+(* ---------------- Injected write failures ---------------- *)
+
+let with_write_failures ~seed ~rate fs =
+  let r = make_rng seed in
+  let maybe_fail k = if next_float r < rate then Error "injected write failure" else k () in
+  { fs with
+    write_file = (fun p t -> maybe_fail (fun () -> fs.write_file p t));
+    append_file = (fun p t -> maybe_fail (fun () -> fs.append_file p t));
+    rename = (fun s d -> maybe_fail (fun () -> fs.rename s d)) }
+
+(* ---------------- Corruption primitives ---------------- *)
+
+let ( let* ) r f = Result.bind r f
+
+let bit_flip_file fs ~seed ?(min_pos = 0) path =
+  let* text = fs.read_file path in
+  if String.length text <= min_pos then
+    Error (path ^ ": nothing to flip past the protected prefix")
+  else
+    let r = make_rng seed in
+    let pos = min_pos + next_int r (String.length text - min_pos) in
+    let bit = next_int r 8 in
+    let bytes = Bytes.of_string text in
+    Bytes.set bytes pos
+      (Char.chr (Char.code (Bytes.get bytes pos) lxor (1 lsl bit)));
+    let* () = fs.write_file path (Bytes.to_string bytes) in
+    Ok (Printf.sprintf "flipped bit %d of byte %d in %s" bit pos path)
+
+let truncate_file_tail fs ~seed ?(max_bytes = 80) ?(keep = 1) path =
+  let* text = fs.read_file path in
+  let len = String.length text in
+  if len <= keep then Error (path ^ ": too short to truncate")
+  else
+    let r = make_rng seed in
+    let cut = 1 + next_int r (min max_bytes (len - keep)) in
+    let* () = fs.write_file path (String.sub text 0 (len - cut)) in
+    Ok (Printf.sprintf "truncated %d byte(s) from %s" cut path)
+
+let perturb_times ~seed ~rate entries =
+  let r = make_rng seed in
+  match entries with
+  | [] -> []
+  | first :: rest ->
+    let _, out =
+      List.fold_left
+        (fun (prev_time, acc) (time, x) ->
+          if next_float r < rate then
+            (* A clock regression: stamp at or before the predecessor. *)
+            let bad = prev_time - next_int r 3 in
+            (prev_time, (bad, x) :: acc)
+          else (time, (time, x) :: acc))
+        (fst first, [ first ])
+        rest
+    in
+    List.rev out
+
+(* ---------------- Fault plans ---------------- *)
+
+type plan = Kill | Flip_checkpoint | Torn_wal | Flip_wal
+
+let all_plans = [ Kill; Flip_checkpoint; Torn_wal; Flip_wal ]
+
+let plan_name = function
+  | Kill -> "kill"
+  | Flip_checkpoint -> "flip-checkpoint"
+  | Torn_wal -> "torn-wal"
+  | Flip_wal -> "flip-wal"
+
+(* Offset just past the two WAL header lines. Plans simulate damage done
+   by crashed appends or bit rot in the record area; the header is written
+   once, atomically, so it stays out of bounds (Wal.recover treats header
+   damage as a hard error, not a torn tail). *)
+let wal_body_offset text =
+  match String.index_opt text '\n' with
+  | None -> String.length text
+  | Some i ->
+    (match String.index_from_opt text (i + 1) '\n' with
+     | None -> String.length text
+     | Some j -> j + 1)
+
+let apply_plan fs ~seed ~wal ~checkpoints plan =
+  match plan with
+  | Kill -> Ok "killed without touching any file"
+  | Flip_checkpoint ->
+    (match checkpoints with
+     | [] -> Ok "no checkpoint to corrupt; killed only"
+     | newest :: _ -> bit_flip_file fs ~seed newest)
+  | Torn_wal ->
+    (match fs.read_file wal with
+     | Error _ -> Ok "no WAL to tear; killed only"
+     | Ok text ->
+       let keep = wal_body_offset text in
+       if String.length text <= keep then Ok "WAL has no records; killed only"
+       else truncate_file_tail fs ~seed ~keep wal)
+  | Flip_wal ->
+    (match fs.read_file wal with
+     | Error _ -> Ok "no WAL to flip; killed only"
+     | Ok text ->
+       let min_pos = wal_body_offset text in
+       if String.length text <= min_pos then
+         Ok "WAL has no records; killed only"
+       else bit_flip_file fs ~seed ~min_pos wal)

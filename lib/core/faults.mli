@@ -1,0 +1,101 @@
+(** Deterministic fault injection for the resilience layer.
+
+    Two facilities, both seeded and reproducible:
+
+    - a {b swappable file-ops record} ({!fs}): every byte the
+      {!Supervisor} reads or writes goes through one of these, so tests
+      can run against a real directory ({!real_fs}), an in-memory
+      filesystem ({!mem_fs}, hermetic and fast), or a wrapper that fails
+      writes at seeded points ({!with_write_failures});
+    - {b seeded fault plans} ({!plan}): deterministic corruptions of a
+      supervisor state directory — bit-flip a checkpoint, truncate the WAL
+      mid-record, flip a WAL byte — used by the crash-recovery-equivalence
+      property ([test/test_resilience.ml]) and the chaos soak
+      ([tools/soak.ml --chaos]).
+
+    Nothing here is random at run time: all variability derives from the
+    caller's seed via a private xorshift64* stream, so every failure a
+    chaos run finds is replayable from its seed. *)
+
+(** A minimal filesystem interface. All functions report failures as
+    [Error message]; none raises. Paths are plain strings; directories are
+    flat (the supervisor never nests below its state dir). *)
+type fs = {
+  read_file : string -> (string, string) result;
+  write_file : string -> string -> (unit, string) result;
+      (** Create or truncate, then write the whole contents. *)
+  append_file : string -> string -> (unit, string) result;
+      (** Append to (creating if absent) a file. *)
+  rename : string -> string -> (unit, string) result;
+      (** [rename src dst] atomically replaces [dst]. *)
+  remove : string -> (unit, string) result;
+  list_dir : string -> (string list, string) result;
+      (** Basenames of the files in a directory, sorted. *)
+  mkdir : string -> (unit, string) result;
+      (** Create a directory; succeeds if it already exists. *)
+  exists : string -> bool;
+}
+
+val real_fs : fs
+(** The actual filesystem. *)
+
+val mem_fs : unit -> fs
+(** A fresh, empty in-memory filesystem (a path → contents table). Each
+    call returns an independent instance; handy for hermetic tests and for
+    simulating a crash by simply abandoning the supervisor that wrote to
+    it. *)
+
+val with_write_failures : seed:int -> rate:float -> fs -> fs
+(** Wrap [fs] so that each [write_file]/[append_file]/[rename] call fails
+    with ["injected write failure"] with probability [rate], deterministic
+    in [seed] and the call sequence. Reads are never failed. *)
+
+(** {2 Corruption primitives} *)
+
+val bit_flip_file :
+  fs -> seed:int -> ?min_pos:int -> string -> (string, string) result
+(** Flip one seeded bit at or after byte [min_pos] (default 0); returns a
+    description of what was flipped. Errors if the file is missing or has
+    nothing past the protected prefix. *)
+
+val truncate_file_tail :
+  fs -> seed:int -> ?max_bytes:int -> ?keep:int -> string ->
+  (string, string) result
+(** Drop between 1 and [max_bytes] (default 80) seeded bytes from the end
+    of the file, never cutting into the first [keep] bytes (default 1) —
+    the shape a torn final write leaves behind. Returns a description. *)
+
+val perturb_times :
+  seed:int -> rate:float -> (int * 'a) list -> (int * 'a) list
+(** Break clock monotonicity: each timestamped entry after the first is,
+    with probability [rate], re-stamped at or before its predecessor's
+    time (a clock regression). Deterministic in [seed]. *)
+
+(** {2 Fault plans}
+
+    A plan is one crash-site shape applied to a state directory. The
+    caller points the plan at the concrete WAL file and checkpoint files
+    (newest first) so this module stays ignorant of the directory
+    layout. *)
+
+type plan =
+  | Kill  (** Lose only the in-memory state; touch no file. *)
+  | Flip_checkpoint  (** Flip one bit of the newest checkpoint. *)
+  | Torn_wal  (** Truncate the WAL inside its last record(s). *)
+  | Flip_wal  (** Flip one bit somewhere in the WAL body. *)
+
+val all_plans : plan list
+
+val plan_name : plan -> string
+
+val apply_plan :
+  fs ->
+  seed:int ->
+  wal:string ->
+  checkpoints:string list ->
+  plan ->
+  (string, string) result
+(** Apply one plan to the given files ([checkpoints] newest first);
+    returns a human-readable description of the damage done. A plan whose
+    target is absent (e.g. [Flip_checkpoint] with no checkpoints) degrades
+    to [Kill] and says so. *)

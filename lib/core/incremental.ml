@@ -48,6 +48,7 @@ let create ?metrics ?(config = default_config) cat (d : Formula.def) =
 let def st = st.d
 let formula st = st.norm
 let steps_taken st = st.count
+let last_time st = st.last_time
 
 let step st ~time db =
   match st.last_time with

@@ -59,6 +59,10 @@ val formula : t -> Rtic_mtl.Formula.t
 val steps_taken : t -> int
 (** Number of states processed so far. *)
 
+val last_time : t -> int option
+(** Commit time of the last processed state; [None] before the first
+    {!step}. The next {!step}'s time must be strictly greater. *)
+
 val step : t -> time:int -> Rtic_relational.Database.t -> (t * verdict, string) result
 (** [step st ~time db] processes the next committed state. Fails if [time]
     does not strictly increase. The database is only read during the call;

@@ -46,6 +46,10 @@ type t = {
   mutable lat_max : float;
   reservoir : float array;
   mutable rng : int64;
+  (* named counters: the resilience layer's event counts (checkpoints
+     written/failed, WAL appends/replays, skipped/rejected transactions,
+     quarantines). A bag, so new event families need no schema change. *)
+  named : (string, int) Hashtbl.t;
 }
 
 let create () =
@@ -59,7 +63,8 @@ let create () =
     lat_min = infinity;
     lat_max = neg_infinity;
     reservoir = Array.make reservoir_size 0.0;
-    rng = 0x9e3779b97f4a7c15L }
+    rng = 0x9e3779b97f4a7c15L;
+    named = Hashtbl.create 8 }
 
 let register_nodes m names =
   let base = Array.length m.nodes in
@@ -115,6 +120,17 @@ let record_latency m seconds =
   m.lat_sum <- m.lat_sum +. ns;
   if ns < m.lat_min then m.lat_min <- ns;
   if ns > m.lat_max then m.lat_max <- ns
+
+let bump ?(by = 1) m name =
+  Hashtbl.replace m.named name
+    (by + Option.value ~default:0 (Hashtbl.find_opt m.named name))
+
+let counter m name = Option.value ~default:0 (Hashtbl.find_opt m.named name)
+
+let counters m =
+  List.sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) m.named [])
 
 let steps m = m.steps
 let violations m = m.violations
@@ -184,14 +200,21 @@ let to_json m =
           ("p95_ns", Json.Float l.p95_ns);
           ("max_ns", Json.Float l.max_ns) ]
   in
+  let counters_json =
+    match counters m with
+    | [] -> []
+    | cs ->
+      [ ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) cs)) ]
+  in
   Json.Obj
-    [ ("steps", Json.Int m.steps);
-      ("violations", Json.Int m.violations);
-      ("cache_hits", Json.Int m.cache_hits);
-      ("cache_misses", Json.Int m.cache_misses);
-      ("cache_hit_rate", Json.Float (ratio m.cache_hits (m.cache_hits + m.cache_misses)));
-      ("latency_ns", latency_json);
-      ("nodes", Json.List (Array.to_list (Array.map node_json m.nodes))) ]
+    ([ ("steps", Json.Int m.steps);
+       ("violations", Json.Int m.violations);
+       ("cache_hits", Json.Int m.cache_hits);
+       ("cache_misses", Json.Int m.cache_misses);
+       ("cache_hit_rate", Json.Float (ratio m.cache_hits (m.cache_hits + m.cache_misses)));
+       ("latency_ns", latency_json);
+       ("nodes", Json.List (Array.to_list (Array.map node_json m.nodes))) ]
+     @ counters_json)
 
 let pp ppf m =
   Format.fprintf ppf "@[<v>kernel steps:    %d" m.steps;
@@ -217,4 +240,9 @@ let pp ppf m =
             nd.survival_checked)
       m.nodes
   end;
+  (match counters m with
+   | [] -> ()
+   | cs ->
+     Format.fprintf ppf "@,event counters:";
+     List.iter (fun (k, v) -> Format.fprintf ppf "@,  %-44s %d" k v) cs);
   Format.fprintf ppf "@]"

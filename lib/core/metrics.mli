@@ -66,6 +66,13 @@ val add_survival : t -> int -> checked:int -> kept:int -> unit
 val record_latency : t -> float -> unit
 (** [record_latency m seconds] records one step's wall-clock duration. *)
 
+val bump : ?by:int -> t -> string -> unit
+(** [bump m name] increments the named event counter [name] (created at 0 on
+    first use). The resilience layer counts its events here — checkpoints
+    written/skipped, WAL records appended/replayed, transactions
+    skipped/rejected by error policy, constraints quarantined — without the
+    recorder needing a schema change per event family. *)
+
 (** {2 Reading} *)
 
 val steps : t -> int
@@ -73,6 +80,13 @@ val violations : t -> int
 val cache_hits : t -> int
 val cache_misses : t -> int
 val nodes : t -> node_view list
+
+val counter : t -> string -> int
+(** The named counter's value; [0] if never bumped. *)
+
+val counters : t -> (string * int) list
+(** All named counters, sorted by name. *)
+
 val latency : t -> latency_summary option
 (** [None] until the first {!record_latency}. Percentiles are reservoir
     estimates once more than 1024 samples were recorded; min/max/mean are

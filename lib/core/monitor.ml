@@ -38,6 +38,11 @@ let create ?metrics ?config cat defs =
 
 let database m = m.db
 
+(* The resilience layer (Supervisor) steps checkers individually so it can
+   quarantine one without stopping the rest; it re-enters through these. *)
+let parts m = (m.db, m.checkers)
+let of_parts ?metrics db checkers = { db; checkers; metrics }
+
 let step m ~time txn =
   let t0 =
     match m.metrics with None -> 0.0 | Some _ -> Unix.gettimeofday ()

@@ -41,6 +41,20 @@ val create_with :
 val database : t -> Rtic_relational.Database.t
 (** The current database state. *)
 
+val parts : t -> Rtic_relational.Database.t * Incremental.t list
+(** The database and the per-constraint checkers, in registration order.
+    Used by the resilience layer ({!Supervisor}), which steps checkers
+    individually so it can quarantine one without stopping the rest. *)
+
+val of_parts :
+  ?metrics:Metrics.t ->
+  Rtic_relational.Database.t ->
+  Incremental.t list ->
+  t
+(** Reassemble a monitor from {!parts}. The caller is responsible for the
+    checkers matching the database's catalog; intended only for the
+    resilience layer's checkpoint plumbing. *)
+
 val step :
   t ->
   time:int ->

@@ -1,0 +1,551 @@
+(* Crash-safe monitoring service. See supervisor.mli for the design; the
+   invariants the code below maintains are:
+
+   - WAL append happens before verdict delivery (the durability point);
+   - checkpoint files only ever appear complete (temp-then-rename) and
+     carry a whole-file CRC trailer;
+   - the WAL only loses records from the front, and only after a newer
+     checkpoint is durable;
+   - record indices in the WAL are contiguous: once an append fails the
+     supervisor stops appending (degraded) until a successful checkpoint
+     re-establishes a consistent log, rather than leaving a silent gap
+     that would make replay attribute wrong indices;
+   - quarantine is a pure function of checker space vs the budget, so it
+     never needs persisting. *)
+
+module Database = Rtic_relational.Database
+module Update = Rtic_relational.Update
+module Formula = Rtic_mtl.Formula
+
+let ( let* ) r f = Result.bind r f
+
+type policy = Halt | Skip | Reject
+
+let policy_of_string = function
+  | "halt" -> Ok Halt
+  | "skip" -> Ok Skip
+  | "reject" -> Ok Reject
+  | s -> Error (Printf.sprintf "unknown error policy %S (halt|skip|reject)" s)
+
+let policy_to_string = function
+  | Halt -> "halt"
+  | Skip -> "skip"
+  | Reject -> "reject"
+
+type config = {
+  auto_checkpoint : int;
+  retain : int;
+  on_error : policy;
+  aux_budget : int option;
+}
+
+let default_config =
+  { auto_checkpoint = 64; retain = 2; on_error = Halt; aux_budget = None }
+
+type outcome =
+  | Checked of {
+      reports : Monitor.report list;
+      inconclusive : string list;
+    }
+  | Skipped of string
+  | Rejected of string
+
+type t = {
+  fs : Faults.fs;
+  cfg : config;
+  dir : string;
+  metrics : Metrics.t option;
+  mutable db : Database.t;
+  mutable checkers : Incremental.t list;  (* registration order *)
+  mutable quarantine : (string * string) list;  (* registration order *)
+  mutable accepted : int;  (* global WAL index of the next record *)
+  mutable last : int option;  (* commit time of the last accepted txn *)
+  mutable since_ck : int;
+  mutable degraded : bool;
+}
+
+let bump ?by t name = Option.iter (fun m -> Metrics.bump ?by m name) t.metrics
+
+(* ---------------- Paths ---------------- *)
+
+let wal_path dir = Filename.concat dir "wal.log"
+
+let checkpoint_path dir step =
+  Filename.concat dir (Printf.sprintf "checkpoint-%09d.ck" step)
+
+let checkpoint_step_of_name name =
+  let pre = "checkpoint-" and suf = ".ck" in
+  let lp = String.length pre and ls = String.length suf in
+  let ln = String.length name in
+  if
+    ln > lp + ls
+    && String.sub name 0 lp = pre
+    && String.sub name (ln - ls) ls = suf
+  then int_of_string_opt (String.sub name lp (ln - lp - ls))
+  else None
+
+let checkpoint_files (fs : Faults.fs) dir =
+  match fs.list_dir dir with
+  | Error _ -> []
+  | Ok names ->
+    List.filter_map
+      (fun n ->
+        Option.map
+          (fun step -> (step, Filename.concat dir n))
+          (checkpoint_step_of_name n))
+      names
+    |> List.sort (fun (a, _) (b, _) -> compare b a)
+
+let state_exists (fs : Faults.fs) dir = fs.exists (wal_path dir)
+
+(* ---------------- Checkpoint files ----------------
+
+   A supervisor-written checkpoint is Monitor.to_text followed by a
+   trailer of "# "-prefixed lines:
+
+     # accepted <N>
+     # last_time <T|none>
+     # crc32 <8 hex digits>      (always last; covers everything above)
+
+   The CRC turns any bit flip anywhere in the file into a load error —
+   Monitor.of_text's structural checks alone cannot see a flipped digit
+   inside a stored value. Files without a trailer (plain --save-state
+   output) are still accepted; their step comes from the filename and
+   their last_time from the restored checkers. *)
+
+type snapshot = {
+  snap_step : int;
+  snap_monitor : Monitor.t;
+  snap_last_time : int option;
+}
+
+let checkpoint_text mon ~accepted ~last =
+  let body =
+    Printf.sprintf "%s# accepted %d\n# last_time %s\n" (Monitor.to_text mon)
+      accepted
+      (match last with Some t -> string_of_int t | None -> "none")
+  in
+  Printf.sprintf "%s# crc32 %08x\n" body (Wal.crc32 body)
+
+let load_checkpoint_text ?metrics cat defs ~step text =
+  let fail fmt = Printf.ksprintf (fun m -> Error ("checkpoint: " ^ m)) fmt in
+  let lines = String.split_on_char '\n' text in
+  let rev = match List.rev lines with "" :: r -> r | r -> r in
+  let is_meta l = String.length l >= 2 && String.sub l 0 2 = "# " in
+  let rec take_meta meta = function
+    | l :: rest when is_meta l -> take_meta (l :: meta) rest
+    | rest -> (meta, rest)
+  in
+  let meta, body_rev = take_meta [] rev in
+  (* Verify the CRC first: it covers the exact bytes before its own line. *)
+  let* meta =
+    match List.rev meta with
+    | last :: rest_rev when String.length last > 8 && String.sub last 0 8 = "# crc32 "
+      ->
+      let rest = List.rev rest_rev in
+      (match int_of_string_opt ("0x" ^ String.sub last 8 (String.length last - 8)) with
+       | None -> fail "malformed crc32 trailer %S" last
+       | Some claimed ->
+         let covered =
+           String.concat "\n" (List.rev_append body_rev rest) ^ "\n"
+         in
+         if Wal.crc32 covered <> claimed then
+           fail "crc mismatch (stored %08x, computed %08x)" claimed
+             (Wal.crc32 covered)
+         else Ok rest)
+    | meta ->
+      (* No CRC trailer: tolerate (plain --save-state output), but then a
+         supervisor meta line without its protecting CRC is suspicious. *)
+      if meta = [] then Ok [] else fail "trailer lines without a crc32 line"
+  in
+  let* accepted, last =
+    List.fold_left
+      (fun acc l ->
+        let* accepted, last = acc in
+        match String.index_from_opt l 2 ' ' with
+        | None -> fail "malformed trailer line %S" l
+        | Some sp ->
+          let key = String.sub l 2 (sp - 2) in
+          let arg = String.sub l (sp + 1) (String.length l - sp - 1) in
+          (match key with
+           | "accepted" ->
+             (match int_of_string_opt arg with
+              | Some n when n >= 0 -> Ok (Some n, last)
+              | _ -> fail "bad accepted %s" arg)
+           | "last_time" ->
+             if arg = "none" then Ok (accepted, None)
+             else
+               (match int_of_string_opt arg with
+                | Some v -> Ok (accepted, Some v)
+                | None -> fail "bad last_time %s" arg)
+           | _ -> fail "unknown trailer key %s" key))
+      (Ok (None, None))
+      meta
+  in
+  let* () =
+    match accepted with
+    | Some n when n <> step ->
+      fail "trailer says accepted %d but filename says %d" n step
+    | _ -> Ok ()
+  in
+  let body = String.concat "\n" (List.rev body_rev) ^ "\n" in
+  let* mon = Monitor.of_text ?metrics cat defs body in
+  let last =
+    match last with
+    | Some _ as l -> l
+    | None ->
+      (* No trailer: the freshest checker timestamp is the best bound. *)
+      List.fold_left
+        (fun acc c ->
+          match (acc, Incremental.last_time c) with
+          | None, l | l, None -> l
+          | Some a, Some b -> Some (max a b))
+        None
+        (snd (Monitor.parts mon))
+  in
+  Ok { snap_step = step; snap_monitor = mon; snap_last_time = last }
+
+let load_checkpoint ?metrics ~(fs : Faults.fs) cat defs path =
+  match checkpoint_step_of_name (Filename.basename path) with
+  | None -> Error (Printf.sprintf "checkpoint: unrecognized filename %s" path)
+  | Some step ->
+    let* text = fs.read_file path in
+    load_checkpoint_text ?metrics cat defs ~step text
+
+(* ---------------- Stepping ---------------- *)
+
+let checker_name c = (Incremental.def c).Formula.name
+
+let is_quarantined t name = List.mem_assoc name t.quarantine
+
+(* Derive the quarantine set from checker spaces alone — used at recovery
+   so the checkpoint is the whole state. *)
+let derive_quarantine cfg checkers =
+  match cfg.aux_budget with
+  | None -> []
+  | Some budget ->
+    List.filter_map
+      (fun c ->
+        let sp = Incremental.space c in
+        if sp > budget then
+          Some
+            ( checker_name c,
+              Printf.sprintf "auxiliary space %d exceeds budget %d" sp budget
+            )
+        else None)
+      checkers
+
+(* Step every active checker on the already-updated database; freeze any
+   whose space crosses the budget (its crossing verdict is still
+   delivered — from the next transaction on it reports inconclusive). *)
+let step_checkers t ~time db =
+  let* checkers_rev, reports_rev =
+    List.fold_left
+      (fun acc c ->
+        let* cs, rs = acc in
+        let name = checker_name c in
+        if is_quarantined t name then Ok (c :: cs, rs)
+        else
+          let* c, v = Incremental.step c ~time db in
+          let rs =
+            if v.Incremental.satisfied then rs
+            else
+              { Monitor.constraint_name = name;
+                position = v.Incremental.index;
+                time }
+              :: rs
+          in
+          (match t.cfg.aux_budget with
+           | Some budget when Incremental.space c > budget ->
+             t.quarantine <-
+               t.quarantine
+               @ [ ( name,
+                     Printf.sprintf "auxiliary space %d exceeds budget %d"
+                       (Incremental.space c) budget ) ];
+             bump t "constraints_quarantined"
+           | _ -> ());
+          Ok (c :: cs, rs))
+      (Ok ([], []))
+      t.checkers
+  in
+  t.checkers <- List.rev checkers_rev;
+  t.db <- db;
+  t.accepted <- t.accepted + 1;
+  t.last <- Some time;
+  t.since_ck <- t.since_ck + 1;
+  let reports = List.rev reports_rev in
+  (match t.metrics with
+   | None -> ()
+   | Some m -> Metrics.add_violations m (List.length reports));
+  Ok reports
+
+(* ---------------- Checkpointing ---------------- *)
+
+let oldest_retained t =
+  match checkpoint_files t.fs t.dir with
+  | [] -> t.accepted
+  | files ->
+    let keep = min t.cfg.retain (List.length files) in
+    fst (List.nth files (keep - 1))
+
+(* Rewrite the WAL so it holds exactly the records for
+   [oldest retained checkpoint, accepted) — or, if the on-disk log cannot
+   supply them (torn tail, or appends lost while degraded), an empty log
+   starting at [accepted]: the fresh checkpoint alone carries the state,
+   and a log with a silent gap must never be left behind. *)
+let compact_wal t =
+  let oldest = oldest_retained t in
+  let give_up () = Wal.encode ~start:t.accepted [] in
+  let text =
+    match t.fs.read_file (wal_path t.dir) with
+    | Error _ -> give_up ()
+    | Ok text ->
+      (match Wal.recover text with
+       | Error _ -> give_up ()
+       | Ok w ->
+         let e = w.Wal.start + List.length w.Wal.records in
+         if w.Wal.start <= oldest && e >= t.accepted then
+           let rec drop n l =
+             if n <= 0 then l
+             else match l with [] -> [] | _ :: tl -> drop (n - 1) tl
+           in
+           Wal.encode ~start:oldest (drop (oldest - w.Wal.start) w.Wal.records)
+         else give_up ())
+  in
+  let tmp = Filename.concat t.dir ".wal.tmp" in
+  let* () = t.fs.write_file tmp text in
+  let* () = t.fs.rename tmp (wal_path t.dir) in
+  bump t "wal_compactions";
+  Ok ()
+
+let checkpoint t =
+  let result =
+    let mon = Monitor.of_parts ?metrics:t.metrics t.db t.checkers in
+    let text = checkpoint_text mon ~accepted:t.accepted ~last:t.last in
+    let tmp = Filename.concat t.dir ".checkpoint.tmp" in
+    let* () = t.fs.write_file tmp text in
+    let* () = t.fs.rename tmp (checkpoint_path t.dir t.accepted) in
+    bump t "checkpoints_written";
+    t.since_ck <- 0;
+    (* Prune, then compact: the WAL may only shrink once the snapshots
+       that replace its prefix are durable. Pruning is best-effort. *)
+    let files = checkpoint_files t.fs t.dir in
+    List.iteri
+      (fun i (_, path) ->
+        if i >= t.cfg.retain then ignore (t.fs.remove path))
+      files;
+    compact_wal t
+  in
+  match result with
+  | Ok () ->
+    t.degraded <- false;
+    Ok ()
+  | Error e ->
+    bump t "checkpoint_failures";
+    Error e
+
+(* ---------------- Feeding transactions ---------------- *)
+
+let reject t reason =
+  match t.cfg.on_error with
+  | Halt -> Error reason
+  | Skip ->
+    bump t "txns_skipped";
+    Ok (Skipped reason)
+  | Reject ->
+    bump t "txns_rejected";
+    Ok (Rejected reason)
+
+let step t ~time txn =
+  let t0 =
+    match t.metrics with None -> 0.0 | Some _ -> Unix.gettimeofday ()
+  in
+  match t.last with
+  | Some t1 when time <= t1 ->
+    bump t "clock_regressions";
+    reject t (Printf.sprintf "clock regression: time %d after %d" time t1)
+  | _ ->
+    (match Update.apply t.db txn with
+     | Error e ->
+       bump t "malformed_txns";
+       reject t ("malformed transaction: " ^ e)
+     | Ok db ->
+       (* Accepted: durability point first, then verdicts. A failed append
+          suspends logging entirely (degraded) instead of leaving a gap
+          that replay would mis-index. *)
+       if not t.degraded then begin
+         match t.fs.append_file (wal_path t.dir) (Wal.encode_record ~time txn) with
+         | Ok () -> bump t "wal_records_appended"
+         | Error _ ->
+           bump t "wal_append_failures";
+           t.degraded <- true
+       end;
+       let inconclusive = List.map fst t.quarantine in
+       let* reports = step_checkers t ~time db in
+       (match t.metrics with
+        | None -> ()
+        | Some m -> Metrics.record_latency m (Unix.gettimeofday () -. t0));
+       if t.cfg.auto_checkpoint > 0 && t.since_ck >= t.cfg.auto_checkpoint
+       then begin
+         match checkpoint t with
+         | Ok () -> ()
+         | Error _ -> t.degraded <- true
+       end;
+       Ok (Checked { reports; inconclusive }))
+
+(* ---------------- Lifecycle ---------------- *)
+
+let create ?(fs = Faults.real_fs) ?metrics ?(config = default_config) ?init
+    ~state_dir:dir cat defs =
+  let* () = fs.mkdir dir in
+  if state_exists fs dir then
+    Error
+      (Printf.sprintf
+         "%s already holds a WAL; refusing to overwrite live state (use \
+          recover)"
+         dir)
+  else
+    let db = match init with Some db -> db | None -> Database.create cat in
+    let* mon = Monitor.create_with ?metrics db defs in
+    let db, checkers = Monitor.parts mon in
+    let t =
+      { fs;
+        cfg = config;
+        dir;
+        metrics;
+        db;
+        checkers;
+        quarantine = [];
+        accepted = 0;
+        last = None;
+        since_ck = 0;
+        degraded = false }
+    in
+    let* () = fs.write_file (wal_path dir) (Wal.header ~start:0) in
+    let* () = checkpoint t in
+    Ok t
+
+(* ---------------- Recovery ---------------- *)
+
+type recovery_info = {
+  checkpoint_step : int option;
+  checkpoints_skipped : (string * string) list;
+  wal_start : int;
+  replayed : int;
+  replay_reports : Monitor.report list;
+  torn_tail : string option;
+  repaired : bool;
+}
+
+let recover ?(fs = Faults.real_fs) ?metrics ?(config = default_config) ?init
+    ?(repair = true) ~state_dir:dir cat defs =
+  if not (state_exists fs dir) then
+    Error (Printf.sprintf "%s holds no WAL; not a supervisor state directory" dir)
+  else
+    let* wal_text = fs.read_file (wal_path dir) in
+    let* w = Wal.recover wal_text in
+    (* Newest checkpoint that loads cleanly; collect skip reasons. *)
+    let rec pick skipped = function
+      | [] -> (None, List.rev skipped)
+      | (step, path) :: rest ->
+        let name = Filename.basename path in
+        (match fs.read_file path with
+         | Error e -> pick ((name, e) :: skipped) rest
+         | Ok text ->
+           (match load_checkpoint_text ?metrics cat defs ~step text with
+            | Error e -> pick ((name, e) :: skipped) rest
+            | Ok snap -> (Some snap, List.rev skipped)))
+    in
+    let picked, skipped = pick [] (checkpoint_files fs dir) in
+    Option.iter
+      (fun m -> Metrics.bump ~by:(List.length skipped) m "checkpoints_skipped")
+      (if skipped = [] then None else metrics);
+    let* base_step, mon =
+      match picked with
+      | Some snap ->
+        if snap.snap_step < w.Wal.start then
+          Error
+            (Printf.sprintf
+               "newest valid checkpoint (step %d) predates the WAL (start \
+                %d): records needed to reach it were compacted away; \
+                unrecoverable"
+               snap.snap_step w.Wal.start)
+        else Ok (Some snap, snap.snap_monitor)
+      | None ->
+        if w.Wal.start = 0 then
+          (* No usable snapshot but the full history is in the log. *)
+          let db =
+            match init with Some db -> db | None -> Database.create cat
+          in
+          let* mon = Monitor.create_with ?metrics db defs in
+          Ok (None, mon)
+        else
+          Error
+            (Printf.sprintf
+               "no valid checkpoint and the WAL starts at record %d; \
+                unrecoverable"
+               w.Wal.start)
+    in
+    let db, checkers = Monitor.parts mon in
+    let accepted, last =
+      match base_step with
+      | Some snap -> (snap.snap_step, snap.snap_last_time)
+      | None -> (0, None)
+    in
+    let t =
+      { fs;
+        cfg = config;
+        dir;
+        metrics;
+        db;
+        checkers;
+        quarantine = [];
+        accepted;
+        last;
+        since_ck = 0;
+        (* Never append after damaged bytes; repair (below) clears this. *)
+        degraded = w.Wal.torn <> None }
+    in
+    t.quarantine <- derive_quarantine config t.checkers;
+    (* Replay the WAL suffix past the checkpoint. Replayed records are not
+       re-appended; they go through the same stepping (and quarantine)
+       logic as live traffic. *)
+    let rec drop n l =
+      if n <= 0 then l else match l with [] -> [] | _ :: tl -> drop (n - 1) tl
+    in
+    let suffix = drop (accepted - w.Wal.start) w.Wal.records in
+    let* replay_reports_rev =
+      List.fold_left
+        (fun acc (time, txn) ->
+          let* rs = acc in
+          match Update.apply t.db txn with
+          | Error e ->
+            Error ("recovery replay: WAL record does not apply: " ^ e)
+          | Ok db ->
+            bump t "wal_records_replayed";
+            let* reports = step_checkers t ~time db in
+            Ok (List.rev_append reports rs))
+        (Ok []) suffix
+    in
+    let repaired =
+      repair && (match checkpoint t with Ok () -> true | Error _ -> false)
+    in
+    Ok
+      ( t,
+        { checkpoint_step = Option.map (fun s -> s.snap_step) base_step;
+          checkpoints_skipped = skipped;
+          wal_start = w.Wal.start;
+          replayed = List.length suffix;
+          replay_reports = List.rev replay_reports_rev;
+          torn_tail = w.Wal.torn;
+          repaired } )
+
+(* ---------------- Introspection ---------------- *)
+
+let database t = t.db
+let steps t = t.accepted
+let last_time t = t.last
+let space t = List.fold_left (fun a c -> a + Incremental.space c) 0 t.checkers
+let quarantined t = t.quarantine
+let degraded t = t.degraded
+let state_dir t = t.dir

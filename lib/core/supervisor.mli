@@ -1,0 +1,223 @@
+(** Crash-safe monitoring service: the resilience layer around {!Monitor}.
+
+    A supervisor owns a {e state directory} and keeps the monitor
+    recoverable at all times:
+
+    - every accepted transaction is appended to a CRC-per-record
+      write-ahead log ({!Wal}) {e before} its verdicts are delivered, so a
+      crash at any point loses no accepted transaction;
+    - every [auto_checkpoint] accepted transactions the full monitor state
+      is written to a fresh checkpoint file — write-temp-then-rename, so a
+      crash mid-write never damages an existing snapshot — the newest
+      [retain] checkpoints are kept, and the WAL is compacted to the
+      oldest retained one;
+    - {!recover} restarts from the newest checkpoint that loads cleanly
+      (corrupt ones are skipped and reported, using {!Monitor.of_text}'s
+      strict errors plus a whole-file CRC trailer) and replays the WAL
+      suffix, yielding a state observationally identical to the
+      uninterrupted run — the crash-recovery equivalence property of
+      [test/test_resilience.ml].
+
+    Ill-formed input — a clock regression or a malformed transaction — is
+    handled per the configured {!policy} instead of killing the service,
+    and a per-constraint auxiliary-space budget {e quarantines} a
+    constraint whose bounded history encoding outgrows it: monitoring of
+    the other constraints continues and the quarantined constraint's
+    verdicts become explicitly inconclusive rather than the process dying
+    of memory exhaustion.
+
+    All file I/O goes through a {!Faults.fs} record, so the whole layer
+    runs hermetically against {!Faults.mem_fs} and under injected write
+    failures. Write failures degrade rather than kill: verdicts keep
+    flowing, durability is suspended ({!degraded}), and the next
+    successful checkpoint restores it.
+
+    State directory layout (FORMATS.md §5): [wal.log] plus
+    [checkpoint-NNNNNNNNN.ck] files, where [NNNNNNNNN] is the zero-padded
+    count of transactions accepted when the snapshot was taken. *)
+
+(** What to do with a transaction the monitor cannot process — a clock
+    regression (commit time not past the last accepted one) or a malformed
+    transaction (an update {!Rtic_relational.Update.apply} refuses). *)
+type policy =
+  | Halt  (** Return [Error]: stop the service (the conservative default). *)
+  | Skip  (** Drop it silently and keep monitoring; only counted. *)
+  | Reject  (** Drop it and tell the caller via {!outcome}[.Rejected]. *)
+
+val policy_of_string : string -> (policy, string) result
+(** ["halt"], ["skip"] or ["reject"]. *)
+
+val policy_to_string : policy -> string
+
+type config = {
+  auto_checkpoint : int;
+      (** Checkpoint every N accepted transactions; [0] disables automatic
+          checkpointing (explicit {!checkpoint} still works). *)
+  retain : int;  (** Keep the newest K checkpoint files, K ≥ 1. *)
+  on_error : policy;
+  aux_budget : int option;
+      (** Per-constraint auxiliary-space budget ({!Incremental.space});
+          [None] = unlimited. Crossing it quarantines the constraint. *)
+}
+
+val default_config : config
+(** [{ auto_checkpoint = 64; retain = 2; on_error = Halt;
+      aux_budget = None }]. *)
+
+(** The result of feeding one transaction. *)
+type outcome =
+  | Checked of {
+      reports : Monitor.report list;
+          (** Violations at the new state, as {!Monitor.step}. *)
+      inconclusive : string list;
+          (** Constraints quarantined {e before} this transaction, in
+              registration order: their verdicts are unknown, not "holds". *)
+    }
+  | Skipped of string  (** Dropped under {!Skip}; the reason. *)
+  | Rejected of string  (** Dropped under {!Reject}; the reason. *)
+
+type t
+(** A running supervised monitor. Mutable: {!step} updates it in place
+    (unlike {!Monitor.step}) because it also owns on-disk state that
+    cannot be forked. *)
+
+(** {2 Lifecycle} *)
+
+val create :
+  ?fs:Faults.fs ->
+  ?metrics:Metrics.t ->
+  ?config:config ->
+  ?init:Rtic_relational.Database.t ->
+  state_dir:string ->
+  Rtic_relational.Schema.Catalog.t ->
+  Rtic_mtl.Formula.def list ->
+  (t, string) result
+(** Start a fresh supervised monitor: create [state_dir] if needed, admit
+    the constraints over [?init] (default: empty database), write the
+    initial checkpoint ([checkpoint-000000000.ck]) and the WAL header.
+    Fails if the directory already holds a WAL — an existing service state
+    must go through {!recover} instead, never be silently overwritten. *)
+
+val step :
+  t ->
+  time:int ->
+  Rtic_relational.Update.transaction ->
+  (outcome, string) result
+(** Feed one transaction. Accepted transactions are WAL-appended before
+    any checker runs (the durability point precedes verdict delivery);
+    ill-formed ones take the {!policy} path and are {e not} logged, so
+    re-feeding the same input after a crash skips them again
+    deterministically. [Error] means the service must stop: {!Halt}
+    policy, or an internal failure. *)
+
+val checkpoint : t -> (unit, string) result
+(** Snapshot now: write the full state to a fresh checkpoint file
+    (temp-then-rename), prune to the newest [retain] snapshots, and
+    compact the WAL to the oldest retained one. On success durability is
+    (re-)established: {!degraded} becomes [false]. *)
+
+(** {2 Recovery} *)
+
+type recovery_info = {
+  checkpoint_step : int option;
+      (** Step count of the checkpoint restored from; [None] when no
+          checkpoint was usable and recovery replayed from scratch. *)
+  checkpoints_skipped : (string * string) list;
+      (** Corrupt or unreadable snapshots: [(basename, reason)]. *)
+  wal_start : int;  (** Global index of the WAL's first record. *)
+  replayed : int;  (** WAL records re-applied on top of the checkpoint. *)
+  replay_reports : Monitor.report list;
+      (** Violations re-observed during replay (already delivered before
+          the crash; useful for audit). *)
+  torn_tail : string option;
+      (** Why the WAL's tail was dropped, if it was ({!Wal.recovery}). *)
+  repaired : bool;
+      (** A post-recovery checkpoint was written (and the WAL compacted,
+          clearing any torn tail). *)
+}
+
+val recover :
+  ?fs:Faults.fs ->
+  ?metrics:Metrics.t ->
+  ?config:config ->
+  ?init:Rtic_relational.Database.t ->
+  ?repair:bool ->
+  state_dir:string ->
+  Rtic_relational.Schema.Catalog.t ->
+  Rtic_mtl.Formula.def list ->
+  (t * recovery_info, string) result
+(** Restart from [state_dir]: load the newest checkpoint that passes its
+    CRC trailer and {!Monitor.of_text}'s strict checks (skipping corrupt
+    ones), then replay every WAL record past it. With no usable
+    checkpoint, falls back to replaying the whole WAL from scratch — but
+    only if the WAL actually starts at record 0; a compacted WAL with no
+    valid checkpoint is unrecoverable ([Error]).
+
+    [?repair] (default [true]) writes a fresh checkpoint immediately
+    after recovery, compacting the WAL and clearing any torn tail. With
+    [~repair:false] the directory is left untouched (inspection mode);
+    if the WAL had a torn tail the returned supervisor starts
+    {!degraded} so it never appends after damaged bytes.
+
+    [?init] must be the same pre-history database given to {!create} —
+    it is only used by the replay-from-scratch fallback.
+
+    Quarantine is not persisted separately: it is re-derived from the
+    restored checker spaces against [config.aux_budget] (a frozen
+    checker's space exceeds the budget by construction), so the
+    checkpoint alone is the whole state. *)
+
+(** {2 Introspection} *)
+
+val database : t -> Rtic_relational.Database.t
+val steps : t -> int
+(** Transactions accepted so far (the global WAL index). *)
+
+val last_time : t -> int option
+(** Commit time of the last accepted transaction. *)
+
+val space : t -> int
+(** Total auxiliary space across all checkers, quarantined included. *)
+
+val quarantined : t -> (string * string) list
+(** Quarantined constraints: [(name, reason)], registration order. *)
+
+val degraded : t -> bool
+(** [true] while durability is suspended — a WAL append or checkpoint
+    failed, or recovery found a torn tail and was told not to repair.
+    Verdicts still flow; a successful {!checkpoint} clears it. *)
+
+val state_dir : t -> string
+
+(** {2 State-directory helpers} (used by [rtic recover] and the tests) *)
+
+val wal_path : string -> string
+(** [state_dir/wal.log]. *)
+
+val checkpoint_path : string -> int -> string
+(** [state_dir/checkpoint-NNNNNNNNN.ck]. *)
+
+val checkpoint_files :
+  Faults.fs -> string -> (int * string) list
+(** The checkpoint files present, [(step, path)], newest first. *)
+
+val state_exists : Faults.fs -> string -> bool
+(** Whether [state_dir] holds a WAL (i.e. {!create} would refuse). *)
+
+type snapshot = {
+  snap_step : int;  (** From the filename; cross-checked vs the trailer. *)
+  snap_monitor : Monitor.t;
+  snap_last_time : int option;
+}
+
+val load_checkpoint :
+  ?metrics:Metrics.t ->
+  fs:Faults.fs ->
+  Rtic_relational.Schema.Catalog.t ->
+  Rtic_mtl.Formula.def list ->
+  string ->
+  (snapshot, string) result
+(** Load and fully validate one checkpoint file: verify the [# crc32]
+    trailer when present (supervisor-written snapshots always carry one;
+    plain [--save-state] files without it are still accepted), then
+    restore through {!Monitor.of_text}. *)

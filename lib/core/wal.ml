@@ -1,0 +1,145 @@
+(* Write-ahead transaction log: rtic-wal/1. Pure encode/decode; the
+   Supervisor does the file I/O through a Faults.fs record. *)
+
+module Update = Rtic_relational.Update
+module Textio = Rtic_relational.Textio
+
+let version_line = "rtic-wal/1"
+
+(* ---------------- CRC-32 (IEEE 802.3, reflected) ---------------- *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFF in
+  String.iter
+    (fun ch -> c := table.((!c lxor Char.code ch) land 0xff) lxor (!c lsr 8))
+    s;
+  !c lxor 0xFFFFFFFF
+
+(* ---------------- Encoding ---------------- *)
+
+let header ~start = Printf.sprintf "%s\nstart %d\n" version_line start
+
+let op_line = function
+  | Update.Insert (rel, t) -> "+" ^ Textio.fact_to_string rel t
+  | Update.Delete (rel, t) -> "-" ^ Textio.fact_to_string rel t
+
+(* The CRC covers the commit time and the op lines, so a flipped bit in
+   any of them (or in the time echoed on the txn line) is detected. *)
+let record_body ~time op_lines =
+  string_of_int time ^ "\n"
+  ^ String.concat "" (List.map (fun l -> l ^ "\n") op_lines)
+
+let encode_record ~time txn =
+  let ops = List.map op_line txn in
+  Printf.sprintf "txn %d %d %08x\n%s" time (List.length ops)
+    (crc32 (record_body ~time ops))
+    (String.concat "" (List.map (fun l -> l ^ "\n") ops))
+
+let encode ~start records =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (header ~start);
+  List.iter
+    (fun (time, txn) -> Buffer.add_string buf (encode_record ~time txn))
+    records;
+  Buffer.contents buf
+
+(* ---------------- Decoding ---------------- *)
+
+type recovery = {
+  start : int;
+  records : (int * Update.transaction) list;
+  torn : string option;
+}
+
+let parse_txn_line l =
+  match Scanf.sscanf l "txn %d %d %x%!" (fun t n c -> (t, n, c)) with
+  | tnc -> Some tnc
+  | exception (Scanf.Scan_failure _ | Failure _ | End_of_file) -> None
+
+let parse_op line =
+  if line = "" then Error "empty op line"
+  else
+    let rest = String.sub line 1 (String.length line - 1) in
+    match line.[0] with
+    | '+' ->
+      Result.map (fun (rel, t) -> Update.Insert (rel, t)) (Textio.parse_fact rest)
+    | '-' ->
+      Result.map (fun (rel, t) -> Update.Delete (rel, t)) (Textio.parse_fact rest)
+    | _ -> Error ("op line must start with + or -: " ^ line)
+
+let recover text =
+  let len = String.length text in
+  if len = 0 then Error "wal: empty file"
+  else
+    let ends_nl = text.[len - 1] = '\n' in
+    let lines = Array.of_list (String.split_on_char '\n' text) in
+    (* split_on_char leaves a final "" when the text is newline-terminated;
+       otherwise the final element is an unterminated (possibly torn) line. *)
+    let nlines = Array.length lines in
+    let nlines = if ends_nl then nlines - 1 else nlines in
+    (* Index of the first line NOT terminated by a newline (= nlines when
+       the file ends cleanly). Only the final line can be unterminated. *)
+    let complete = if ends_nl then nlines else nlines - 1 in
+    if complete < 1 || lines.(0) <> version_line then
+      Error "wal: missing rtic-wal/1 header"
+    else if complete < 2 then Error "wal: truncated header"
+    else
+      match
+        Scanf.sscanf lines.(1) "start %d%!" (fun s -> s)
+      with
+      | exception (Scanf.Scan_failure _ | Failure _ | End_of_file) ->
+        Error ("wal: bad start line: " ^ lines.(1))
+      | start when start < 0 -> Error "wal: negative start index"
+      | start ->
+        let rec go i prev_time acc =
+          let nrec = List.length acc in
+          let torn reason =
+            { start;
+              records = List.rev acc;
+              torn = Some (Printf.sprintf "record %d (index %d): %s" nrec
+                             (start + nrec) reason) }
+          in
+          if i >= nlines then { start; records = List.rev acc; torn = None }
+          else if i >= complete then torn "unterminated final line (torn write)"
+          else
+            match parse_txn_line lines.(i) with
+            | None -> torn ("malformed txn line: " ^ lines.(i))
+            | Some (_, nops, _) when nops < 0 -> torn "negative op count"
+            | Some (time, nops, crc) ->
+              (* op lines i+1 .. i+nops must all exist and be
+                 newline-terminated *)
+              if nops > 0 && i + nops >= complete then
+                torn "ops cut short by end of file"
+              else
+                let ops_raw = Array.to_list (Array.sub lines (i + 1) nops) in
+                if crc32 (record_body ~time ops_raw) <> crc then
+                  torn "CRC mismatch"
+                else if
+                  (match prev_time with
+                   | Some p -> time <= p
+                   | None -> false)
+                then torn "non-increasing commit time"
+                else
+                  let rec parse_ops acc_ops = function
+                    | [] -> Ok (List.rev acc_ops)
+                    | l :: rest ->
+                      (match parse_op l with
+                       | Ok op -> parse_ops (op :: acc_ops) rest
+                       | Error m -> Error m)
+                  in
+                  (match parse_ops [] ops_raw with
+                   | Error m -> torn ("bad op: " ^ m)
+                   | Ok txn ->
+                     go (i + nops + 1) (Some time) ((time, txn) :: acc))
+        in
+        Ok (go 2 None [])

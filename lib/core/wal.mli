@@ -1,0 +1,59 @@
+(** Write-ahead transaction log — the durability half of the resilience
+    layer ([rtic-wal/1], FORMATS.md §5).
+
+    A WAL file is an append-only text log of the transactions a
+    {!Supervisor} has {e accepted}: a two-line header naming the format and
+    the global index of the first record, then one record per transaction.
+    Each record carries a CRC-32 of its own body, so recovery can tell a
+    record that was written completely from one torn by a crash mid-write
+    or damaged by bit rot.
+
+    Recovery is {e valid-prefix}: records are replayed from the front until
+    the first record that is structurally malformed, fails its CRC, is cut
+    short by the end of the file, or sits in a file that does not end in a
+    newline (a torn final write). Everything before that point is trusted;
+    everything from it on is dropped and reported, never half-applied.
+
+    This module is pure — it encodes and decodes strings. All file I/O is
+    done by the {!Supervisor} through a {!Faults.fs} record so tests can
+    inject write failures and corruption deterministically. *)
+
+val version_line : string
+(** ["rtic-wal/1"] — the first line of every WAL file. *)
+
+val crc32 : string -> int
+(** CRC-32 (IEEE 802.3, reflected) of a string, in [0, 0xFFFFFFFF]. *)
+
+val header : start:int -> string
+(** The two header lines ([rtic-wal/1] and [start N]), newline-terminated.
+    [start] is the global index of the first record in the file; it moves
+    forward when the {!Supervisor} compacts the log after a checkpoint. *)
+
+val encode_record :
+  time:int -> Rtic_relational.Update.transaction -> string
+(** One record, newline-terminated: a [txn <time> <nops> <crc>] line
+    followed by one [+rel(...)]/[-rel(...)] line per update (trace-file op
+    syntax). The CRC covers the time and the op lines, so a flipped bit
+    anywhere in the record is detected. *)
+
+val encode :
+  start:int -> (int * Rtic_relational.Update.transaction) list -> string
+(** A whole WAL file: {!header} plus the given [(time, txn)] records.
+    Used for compaction and repair; [recover (encode ~start rs)] yields
+    exactly [rs] with no torn tail. *)
+
+type recovery = {
+  start : int;  (** Global index of the first record in the file. *)
+  records : (int * Rtic_relational.Update.transaction) list;
+      (** The valid prefix, in file order; record [i] of this list has
+          global index [start + i]. *)
+  torn : string option;
+      (** [Some reason] when a suffix of the file was dropped (torn tail,
+          CRC mismatch, malformed record); [None] for a clean log. *)
+}
+
+val recover : string -> (recovery, string) result
+(** Decode a WAL file. A damaged or missing {e header} is a hard [Error]
+    (the header is written once, atomically, so it cannot be torn by an
+    append); damage anywhere after it is reported via [torn] with the
+    valid prefix in [records]. *)

@@ -1,0 +1,255 @@
+module Supervisor = Rtic_core.Supervisor
+module Faults = Rtic_core.Faults
+module Monitor = Rtic_core.Monitor
+module Database = Rtic_relational.Database
+module Trace = Rtic_temporal.Trace
+
+let ( let* ) r f = Result.bind r f
+
+type episode = {
+  plan : Faults.plan;
+  crash_at : int;
+  accepted_at_crash : int;
+  recovered_step : int;
+  resumed_at : int;
+  replayed : int;
+  torn : bool;
+  skipped_checkpoints : int;
+  unrecoverable : bool;
+  damage : string;
+}
+
+(* Outcomes are compared by rendering: two runs are equivalent iff every
+   verdict, report, inconclusive marker and drop reason coincides. *)
+let outcome_repr = function
+  | Supervisor.Checked { reports; inconclusive } ->
+    Printf.sprintf "checked{%s}{%s}"
+      (String.concat ";"
+         (List.map
+            (fun r ->
+              Printf.sprintf "%s@%d/%d" r.Monitor.constraint_name
+                r.Monitor.position r.Monitor.time)
+            reports))
+      (String.concat ";" inconclusive)
+  | Supervisor.Skipped reason -> "skipped{" ^ reason ^ "}"
+  | Supervisor.Rejected reason -> "rejected{" ^ reason ^ "}"
+
+let feed sup inputs =
+  List.fold_left
+    (fun acc (time, txn) ->
+      let* outs = acc in
+      let* o = Supervisor.step sup ~time txn in
+      Ok (o :: outs))
+    (Ok []) inputs
+  |> Result.map List.rev
+
+let rec drop n l =
+  if n <= 0 then l else match l with [] -> [] | _ :: tl -> drop (n - 1) tl
+
+let rec take n l =
+  if n <= 0 then []
+  else match l with [] -> [] | x :: tl -> x :: take (n - 1) tl
+
+(* Input index just past the [s]-th accepted transaction: everything the
+   recovered supervisor already holds; the resumed run re-feeds the rest
+   (including any inputs that were skipped or lost to the damage). *)
+let resume_pos outcomes s =
+  let rec go seen i l =
+    if seen >= s then Some i
+    else
+      match l with
+      | [] -> None
+      | o :: tl ->
+        let seen =
+          match o with Supervisor.Checked _ -> seen + 1 | _ -> seen
+        in
+        go seen (i + 1) tl
+  in
+  go 0 0 outcomes
+
+let state_dir = "state"
+
+let run_episode ?init ~config cat defs ~inputs ~seed ~plan ~crash_at =
+  let crash_at = max 0 (min crash_at (List.length inputs)) in
+  (* Uninterrupted reference run. *)
+  let fs_a = Faults.mem_fs () in
+  let* sup_a = Supervisor.create ~fs:fs_a ~config ?init ~state_dir cat defs in
+  let* base = feed sup_a inputs in
+  (* Crashed run: same inputs, fresh filesystem. *)
+  let fs_b = Faults.mem_fs () in
+  let* sup_b = Supervisor.create ~fs:fs_b ~config ?init ~state_dir cat defs in
+  let* pre = feed sup_b (take crash_at inputs) in
+  let accepted_at_crash = Supervisor.steps sup_b in
+  (* Determinism sanity: the crashed run's prefix must match the
+     reference run's — otherwise the oracle itself is unsound. *)
+  let* () =
+    let mismatch =
+      List.exists2
+        (fun a b -> outcome_repr a <> outcome_repr b)
+        pre (take crash_at base)
+    in
+    if mismatch then Error "non-deterministic prefix (oracle unsound)"
+    else Ok ()
+  in
+  (* The crash: abandon sup_b, then damage the abandoned state dir. *)
+  let checkpoints =
+    List.map snd (Supervisor.checkpoint_files fs_b state_dir)
+  in
+  let* damage =
+    Faults.apply_plan fs_b ~seed ~wal:(Supervisor.wal_path state_dir)
+      ~checkpoints plan
+  in
+  match Supervisor.recover ~fs:fs_b ~config ?init ~state_dir cat defs with
+  | Error e when plan <> Faults.Kill ->
+    (* Destructive plans can legitimately obliterate the only retained
+       snapshot (retain = 1) or the WAL header itself.  Detected,
+       reported data loss is an acceptable outcome — a silent wrong
+       answer is not, and a clean kill must always recover. *)
+    Ok
+      { plan;
+        crash_at;
+        accepted_at_crash;
+        recovered_step = 0;
+        resumed_at = 0;
+        replayed = 0;
+        torn = false;
+        skipped_checkpoints = 0;
+        unrecoverable = true;
+        damage = Printf.sprintf "%s; unrecoverable: %s" damage e }
+  | Error e -> Error ("recovery failed after a clean kill: " ^ e)
+  | Ok (sup_c, info) ->
+  let s = Supervisor.steps sup_c in
+  let* () =
+    if s > accepted_at_crash then
+      Error
+        (Printf.sprintf "recovered %d transactions but only %d were accepted"
+           s accepted_at_crash)
+    else if plan = Faults.Kill && s <> accepted_at_crash then
+      Error
+        (Printf.sprintf
+           "clean kill lost transactions: accepted %d, recovered %d"
+           accepted_at_crash s)
+    else Ok ()
+  in
+  let* p =
+    match resume_pos pre s with
+    | Some p -> Ok p
+    | None -> Error "recovered step count exceeds accepted prefix"
+  in
+  let* post = feed sup_c (drop p inputs) in
+  let expected = drop p base in
+  let* () =
+    if List.length post <> List.length expected then
+      Error "resumed run produced a different number of outcomes"
+    else
+      let rec first_diff i a b =
+        match (a, b) with
+        | [], [] -> Ok ()
+        | x :: xs, y :: ys ->
+          let rx = outcome_repr x and ry = outcome_repr y in
+          if rx <> ry then
+            Error
+              (Printf.sprintf
+                 "divergence at input %d after %s crash at %d (seed %d):\n\
+                  \  resumed:       %s\n\
+                  \  uninterrupted: %s"
+                 i (Faults.plan_name plan) crash_at seed rx ry)
+          else first_diff (i + 1) xs ys
+        | _ -> Error "unequal lengths"
+      in
+      first_diff p post expected
+  in
+  Ok
+    { plan;
+      crash_at;
+      accepted_at_crash;
+      recovered_step = s;
+      resumed_at = p;
+      replayed = info.Supervisor.replayed;
+      torn = info.Supervisor.torn_tail <> None;
+      skipped_checkpoints = List.length info.Supervisor.checkpoints_skipped;
+      unrecoverable = false;
+      damage }
+
+(* ---------------- Seeded sweep ---------------- *)
+
+(* Local xorshift64* stream, same idiom as Faults/Metrics: the sweep's
+   shape is a pure function of the seed. *)
+type rng = { mutable state : int64 }
+
+let make_rng seed =
+  { state =
+      Int64.logor 1L
+        (Int64.mul (Int64.of_int (seed + 1)) 0x9E3779B97F4A7C15L) }
+
+let next_int r bound =
+  let x = r.state in
+  let x = Int64.logxor x (Int64.shift_left x 13) in
+  let x = Int64.logxor x (Int64.shift_right_logical x 7) in
+  let x = Int64.logxor x (Int64.shift_left x 17) in
+  r.state <- x;
+  if bound <= 0 then 0
+  else Int64.to_int (Int64.unsigned_rem x (Int64.of_int bound))
+
+let policies = [| Supervisor.Halt; Supervisor.Skip; Supervisor.Reject |]
+
+let run ~seed ~iters =
+  let r = make_rng seed in
+  let rec go i acc =
+    if i >= iters then Ok (List.rev acc)
+    else
+      let episode_seed = (seed * 7919) + i in
+      let plan =
+        List.nth Faults.all_plans (i mod List.length Faults.all_plans)
+      in
+      let policy = policies.(next_int r 3) in
+      (* Half the episodes run a scenario workload, half a random one. *)
+      let cat, defs, init, inputs =
+        if i mod 2 = 0 then begin
+          let sc = List.nth Scenarios.all (next_int r 4) in
+          let tr =
+            sc.Scenarios.generate ~seed:episode_seed ~steps:(20 + next_int r 25)
+              ~violation_rate:0.15
+          in
+          (sc.Scenarios.catalog, sc.Scenarios.constraints, tr.Trace.init,
+           tr.Trace.steps)
+        end
+        else begin
+          let tr =
+            Gen.random_trace ~seed:episode_seed
+              { Gen.default_params with steps = 20 + next_int r 25 }
+          in
+          let defs =
+            List.mapi
+              (fun j body ->
+                { Rtic_mtl.Formula.name = Printf.sprintf "g%d" j; body })
+              (Gen.random_formulas ~seed:episode_seed ~depth:2 ~count:2)
+          in
+          (Gen.generic_catalog, defs, tr.Trace.init, tr.Trace.steps)
+        end
+      in
+      (* Clock regressions only under a policy that tolerates them. *)
+      let inputs =
+        if policy <> Supervisor.Halt && next_int r 2 = 0 then
+          Faults.perturb_times ~seed:episode_seed ~rate:0.1 inputs
+        else inputs
+      in
+      let config =
+        { Supervisor.auto_checkpoint = 3 + next_int r 8;
+          retain = 1 + next_int r 3;
+          on_error = policy;
+          (* A small budget now and then exercises quarantine. *)
+          aux_budget = (if next_int r 3 = 0 then Some (10 + next_int r 40) else None) }
+      in
+      let crash_at = next_int r (List.length inputs + 1) in
+      match
+        run_episode ~init ~config cat defs ~inputs ~seed:episode_seed ~plan
+          ~crash_at
+      with
+      | Error e ->
+        Error
+          (Printf.sprintf "episode %d (seed %d, plan %s): %s" i episode_seed
+             (Faults.plan_name plan) e)
+      | Ok ep -> go (i + 1) (ep :: acc)
+  in
+  go 0 []

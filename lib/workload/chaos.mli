@@ -1,0 +1,62 @@
+(** Chaos episodes: the crash-recovery equivalence harness.
+
+    One {e episode} runs the same input stream twice through a supervised
+    monitor ({!Rtic_core.Supervisor}) over hermetic in-memory filesystems:
+
+    + {b uninterrupted}: feed every input, record every {!outcome};
+    + {b crashed}: feed a prefix, abandon the supervisor (the crash),
+      damage its state directory with a seeded {!Rtic_core.Faults.plan},
+      {!Rtic_core.Supervisor.recover}, and feed the rest — resuming from
+      the input position matching the recovered transaction count.
+
+    The episode passes iff the crashed run's outcome sequence — skipped
+    and rejected transactions, every violation report, every inconclusive
+    marker — is byte-identical to the uninterrupted run's from the resume
+    position on. This is the paper-level claim that checkpoint + WAL
+    replay is observationally equivalent to never having crashed, under
+    every crash site and every supported corruption.
+
+    Everything is deterministic in the caller's seed; a failing episode
+    reports enough to replay it exactly. Used by [test/test_resilience.ml]
+    (small fixed sweep) and [tools/soak.ml --chaos] (wide sweep). *)
+
+(** What one episode did; all fields are observable facts for logging. *)
+type episode = {
+  plan : Rtic_core.Faults.plan;
+  crash_at : int;  (** Input index at which the first run was abandoned. *)
+  accepted_at_crash : int;
+  recovered_step : int;
+      (** Transactions the recovered supervisor believes were accepted;
+          less than [accepted_at_crash] when the damage lost a WAL tail. *)
+  resumed_at : int;  (** Input index the second run resumed from. *)
+  replayed : int;  (** WAL records replayed during recovery. *)
+  torn : bool;  (** The WAL had a torn tail. *)
+  skipped_checkpoints : int;  (** Corrupt snapshots skipped. *)
+  unrecoverable : bool;
+      (** Recovery correctly refused: the damage destroyed every valid
+          snapshot (or the WAL header) and the loss was detected and
+          reported.  Only possible under a destructive plan — after a
+          clean {!Rtic_core.Faults.Kill} this is an episode failure. *)
+  damage : string;  (** The fault plan's description of what it did. *)
+}
+
+val run_episode :
+  ?init:Rtic_relational.Database.t ->
+  config:Rtic_core.Supervisor.config ->
+  Rtic_relational.Schema.Catalog.t ->
+  Rtic_mtl.Formula.def list ->
+  inputs:(int * Rtic_relational.Update.transaction) list ->
+  seed:int ->
+  plan:Rtic_core.Faults.plan ->
+  crash_at:int ->
+  (episode, string) result
+(** Run one episode. [Error] is an equivalence violation (or an internal
+    failure), with a message naming the first diverging position. *)
+
+val run :
+  seed:int -> iters:int -> (episode list, string) result
+(** A seeded sweep of [iters] episodes over varied workloads — the four
+    {!Scenarios} and random {!Gen} formulas — cycling through every fault
+    plan, error policy, crash position, small auxiliary budgets
+    (exercising quarantine) and occasional clock regressions. Stops at
+    the first failing episode. *)

@@ -196,7 +196,7 @@ corrupt checkpoints are refused rather than silently accepted:
   $ sed 's/^row /rwo /' state.ck > broken.ck
   $ rtic check --load-state broken.ck loans.spec part2.trace
   rtic: checkpoint: unknown key rwo
-  [1]
+  [2]
   $ head -n 5 state.ck > truncated.ck
   $ rtic check --load-state truncated.ck loans.spec part2.trace 2>&1 | head -1
   rtic: monitor checkpoint holds 0 checker(s), 2 constraint(s) given
@@ -219,4 +219,88 @@ the shared-kernel engine agrees too:
 
   $ rtic check -q --engine shared loans.spec loans.trace
   4 transaction(s), 2 violation(s)
+  [1]
+
+exit codes follow one convention everywhere: 0 when every constraint
+holds, 1 when a violation (or unrecoverable state) is reported, 2 for
+usage and internal errors.  A few pins:
+
+  $ echo 'schema p(' > mangled.spec
+  $ rtic check -q mangled.spec loans.trace
+  rtic: line 2, column 1: expected an attribute name, found end of input
+  [2]
+  $ rtic explain loans.spec loans.trace nosuch
+  rtic: no constraint named nosuch
+  [2]
+  $ rtic gen --scenario nosuch
+  rtic: unknown scenario nosuch (expected banking, library, monitoring or generic)
+  [2]
+
+supervised mode: --state-dir turns check into a crash-safe service
+that journals every accepted transaction to a WAL and checkpoints
+periodically; the supervised flags require it, and it requires the
+incremental engine:
+
+  $ rtic check -q --on-error skip loans.spec loans.trace
+  rtic: --on-error/--auto-checkpoint/--aux-budget require --state-dir
+  [2]
+  $ rtic check -q --state-dir svc --engine naive loans.spec loans.trace
+  rtic: --state-dir requires --engine incremental
+  [2]
+
+a fresh run creates the state directory (checkpoint 0 plus one per
+--auto-checkpoint transactions, retaining the newest two):
+
+  $ rtic check -q --state-dir svc --auto-checkpoint 2 loans.spec part1.trace
+  2 transaction(s), 0 violation(s)
+  $ ls svc
+  checkpoint-000000000.ck
+  checkpoint-000000002.ck
+  wal.log
+
+re-running over the full trace recovers, skips the prefix it already
+processed, and reports only the new transactions:
+
+  $ rtic check --state-dir svc --auto-checkpoint 2 loans.spec loans.trace 2>recover.log
+  [3] constraint member_borrow violated at position 2
+  [40] constraint loan_expiry violated at position 3
+  2 transaction(s), 2 violation(s)
+  [1]
+  $ cat recover.log
+  rtic: recovered 2 transaction(s) from svc (checkpoint 2, 0 replayed)
+  rtic: 2 trace transaction(s) already processed
+
+recover inspects a damaged directory: tear the WAL tail and corrupt
+the older checkpoint, and it falls back to the newest intact snapshot:
+
+  $ printf '12345678 999 torn' >> svc/wal.log
+  $ sed -i 's/^row /rwo /' svc/checkpoint-000000002.ck
+  $ rtic recover loans.spec svc
+  wal: start 2, 2 record(s), torn tail (record 2 (index 4): unterminated final line (torn write))
+  checkpoint 4: ok
+  checkpoint 2: corrupt (checkpoint: crc mismatch (stored e76c78de, computed 8766c385))
+  recoverable: 4 transaction(s) (checkpoint 4, 0 replayed)
+
+--repair rewrites a fresh checkpoint and compacts the WAL, healing
+the torn tail (the corrupt old snapshot is merely reported):
+
+  $ rtic recover --repair loans.spec svc
+  wal: start 2, 2 record(s), torn tail (record 2 (index 4): unterminated final line (torn write))
+  checkpoint 4: ok
+  checkpoint 2: corrupt (checkpoint: crc mismatch (stored e76c78de, computed 8766c385))
+  recoverable: 4 transaction(s) (checkpoint 4, 0 replayed); repaired
+  $ rtic recover loans.spec svc | head -1
+  wal: start 2, 2 record(s)
+
+a directory without a WAL is not a state directory (usage error), and
+a destroyed WAL header is unrecoverable (violation-class exit):
+
+  $ mkdir not-a-state-dir
+  $ rtic recover loans.spec not-a-state-dir
+  rtic: not-a-state-dir holds no WAL; not a supervisor state directory
+  [2]
+  $ mkdir destroyed && printf 'xtic-wal/1 0\n' > destroyed/wal.log
+  $ rtic recover loans.spec destroyed
+  wal: corrupt header (wal: missing rtic-wal/1 header)
+  unrecoverable: wal: missing rtic-wal/1 header
   [1]

@@ -337,8 +337,51 @@ let monitor_cases =
         ignore (get_error "count" (Monitor.of_text cat [ d1; d2 ] text));
         ignore (get_error "formula" (Monitor.of_text cat [ d2 ] text))) ]
 
+(* Every-prefix property: for a whole scenario run, saving the monitor
+   after EVERY prefix and resuming from the text must reproduce the
+   uninterrupted run's report stream exactly.  This is the invariant the
+   supervisor's auto-checkpointing leans on: no checkpoint position is
+   privileged. *)
+let every_prefix_property =
+  let show r =
+    Printf.sprintf "%s@%d/%d" r.Monitor.constraint_name r.Monitor.position
+      r.Monitor.time
+  in
+  let feed m steps =
+    List.fold_left
+      (fun (m, out) (time, txn) ->
+        let m, rs = get_ok "step" (Monitor.step m ~time txn) in
+        (m, out @ List.map show rs))
+      (m, []) steps
+  in
+  qtest ~count:25 "monitor save/restore agrees at every prefix"
+    QCheck.(pair (int_bound 3) small_nat)
+    (fun (sc_idx, seed) ->
+      let sc = List.nth Scenarios.all sc_idx in
+      let tr = sc.Scenarios.generate ~seed ~steps:14 ~violation_rate:0.2 in
+      let fresh () =
+        get_ok "create"
+          (Monitor.create_with tr.Trace.init sc.Scenarios.constraints)
+      in
+      let _, straight = feed (fresh ()) tr.Trace.steps in
+      let n = List.length tr.Trace.steps in
+      List.for_all
+        (fun cut ->
+          let before = List.filteri (fun i _ -> i < cut) tr.Trace.steps in
+          let after = List.filteri (fun i _ -> i >= cut) tr.Trace.steps in
+          let m1, rs_before = feed (fresh ()) before in
+          let m2 =
+            get_ok "restore"
+              (Monitor.of_text sc.Scenarios.catalog sc.Scenarios.constraints
+                 (Monitor.to_text m1))
+          in
+          let _, rs_after = feed m2 after in
+          rs_before @ rs_after = straight)
+        (List.init (n + 1) (fun i -> i)))
+
 let suite =
-  [ ("checkpoint:roundtrip", [ roundtrip_property; string_roundtrip_property ]);
+  [ ("checkpoint:roundtrip",
+     [ roundtrip_property; string_roundtrip_property; every_prefix_property ]);
     ("checkpoint:unit", unit_cases);
     ("checkpoint:corrupt", corrupt_cases);
     ("checkpoint:monitor", monitor_cases) ]

@@ -1,5 +1,16 @@
-(* Deep differential verification, opt-in (slow): dune exec tools/soak.exe *)
-(* One-off soak: high-volume differential testing of all engines. *)
+(* Deep differential + chaos soak testing.
+
+   Differential mode (default): high-volume agreement checks across all
+   engines.  Opt-in and slow at full size:
+     dune exec tools/soak.exe -- --iters 1200
+
+   Chaos mode: seeded crash-recovery equivalence sweep (Chaos.run) —
+   every episode crashes a supervised monitor, damages its state
+   directory and checks the recovered run is observationally identical:
+     dune exec tools/soak.exe -- --chaos --iters 200 --seed 42
+
+   Both modes are pure functions of --seed, so a CI failure line is
+   enough to replay the exact run locally. *)
 module Trace = Rtic_temporal.Trace
 module History = Rtic_temporal.History
 module F = Rtic_mtl.Formula
@@ -7,7 +18,9 @@ module Naive = Rtic_eval.Naive
 module Incremental = Rtic_core.Incremental
 module Future = Rtic_core.Future
 module Compile = Rtic_active.Compile
+module Faults = Rtic_core.Faults
 module Gen = Rtic_workload.Gen
+module Chaos = Rtic_workload.Chaos
 
 let ok = function Ok v -> v | Error m -> failwith m
 let cat = Gen.generic_catalog
@@ -46,12 +59,16 @@ let future_vec h f =
   in
   List.map (fun v -> v.Future.satisfied) (out @ Future.finish st)
 
-let () =
+let run_differential ~seed ~iters =
   let fails = ref 0 in
-  let n_past = 1200 and n_future = 400 in
+  let n_past = iters and n_future = max 1 (iters / 3) in
+  let base = seed * 1000 in
   for i = 1 to n_past do
-    let f = Gen.random_formula ~seed:(7000 + i) ~depth:5 in
-    let tr = Gen.random_trace ~seed:(9000 + i) { Gen.default_params with steps = 35 } in
+    let f = Gen.random_formula ~seed:(base + i) ~depth:5 in
+    let tr =
+      Gen.random_trace ~seed:(base + 2000 + i)
+        { Gen.default_params with steps = 35 }
+    in
     let h = ok (Trace.materialize tr) in
     let nv = naive_vec h f in
     if inc_vec h f <> nv then (incr fails; Printf.printf "INC mismatch seed %d\n" i);
@@ -62,12 +79,60 @@ let () =
     if active_vec h f <> nv then (incr fails; Printf.printf "ACTIVE mismatch seed %d\n" i)
   done;
   for i = 1 to n_future do
-    let f = Gen.random_bounded_future_formula ~seed:(300 + i) ~depth:4 in
-    let tr = Gen.random_trace ~seed:(500 + i) { Gen.default_params with steps = 30 } in
+    let f = Gen.random_bounded_future_formula ~seed:(base + 4000 + i) ~depth:4 in
+    let tr =
+      Gen.random_trace ~seed:(base + 6000 + i)
+        { Gen.default_params with steps = 30 }
+    in
     let h = ok (Trace.materialize tr) in
     if future_vec h f <> naive_vec h f then
       (incr fails; Printf.printf "FUTURE mismatch seed %d\n" i)
   done;
   Printf.printf "soak: %d past-engine runs x4 + %d future runs, %d failures\n"
     n_past n_future !fails;
-  exit (if !fails = 0 then 0 else 1)
+  !fails = 0
+
+let run_chaos ~seed ~iters =
+  match Chaos.run ~seed ~iters with
+  | Error m ->
+    Printf.printf "chaos FAILED: %s\n" m;
+    false
+  | Ok episodes ->
+    let count p = List.length (List.filter p episodes) in
+    let by_plan plan = count (fun e -> e.Chaos.plan = plan) in
+    List.iter
+      (fun p ->
+        Printf.printf "  %-15s %3d episode(s)\n" (Faults.plan_name p)
+          (by_plan p))
+      Faults.all_plans;
+    Printf.printf
+      "  torn tails %d, corrupt checkpoints skipped %d, records replayed %d\n"
+      (count (fun e -> e.Chaos.torn))
+      (List.fold_left (fun a e -> a + e.Chaos.skipped_checkpoints) 0 episodes)
+      (List.fold_left (fun a e -> a + e.Chaos.replayed) 0 episodes);
+    let lost = count (fun e -> e.Chaos.unrecoverable) in
+    if lost > 0 then
+      Printf.printf "  detected (reported) data loss in %d episode(s)\n" lost;
+    Printf.printf
+      "chaos soak: %d episode(s), seed %d, all crash-recovery equivalent\n"
+      (List.length episodes) seed;
+    true
+
+let () =
+  let seed = ref 7 and iters = ref 1200 and chaos = ref false in
+  let usage = "soak.exe [--chaos] [--seed N] [--iters N]" in
+  let specs =
+    [ ("--seed", Arg.Set_int seed, "N  base seed (default 7)");
+      ("--iters", Arg.Set_int iters,
+       "N  iterations: differential runs or chaos episodes (default 1200)");
+      ("--chaos", Arg.Set chaos,
+       "  crash-recovery equivalence sweep instead of engine differential") ]
+  in
+  Arg.parse specs
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    usage;
+  let passed =
+    if !chaos then run_chaos ~seed:!seed ~iters:!iters
+    else run_differential ~seed:!seed ~iters:!iters
+  in
+  exit (if passed then 0 else 1)
