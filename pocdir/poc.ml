@@ -1,0 +1,8 @@
+let () =
+  let text = Printf.sprintf "rtic-wal/1\nstart 0\ntxn 5 %d 00000000\n" max_int in
+  (match Rtic_core.Wal.recover text with
+  | Ok w ->
+    Printf.printf "ok: records=%d torn=%s\n" (List.length w.Rtic_core.Wal.records)
+      (match w.Rtic_core.Wal.torn with Some r -> r | None -> "none")
+  | Error e -> Printf.printf "error: %s\n" e
+  | exception e -> Printf.printf "EXCEPTION: %s\n" (Printexc.to_string e))
