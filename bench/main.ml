@@ -524,10 +524,22 @@ let micro () =
       snaps
   in
   let h = history_of_snapshots snaps in
-  (* An instrumented twin of the incremental checker: same warmed state but
-     with a metrics recorder attached, to expose the instrumentation
-     overhead next to the uninstrumented baseline. *)
+  (* Instrumented twins of the incremental checker: same warmed state but
+     with a metrics recorder / a span tracer attached, to expose the
+     instrumentation overhead next to the uninstrumented baseline. The
+     tracer serializes into a buffer that is drained between fills, so the
+     measured cost is event construction + serialization, not file I/O. *)
   let st_m = run_incremental ~metrics:(Metrics.create ()) d snaps in
+  let sink = Buffer.create 65536 in
+  let tracer =
+    Rtic_core.Tracer.create
+      ~emit:(fun line ->
+        if Buffer.length sink > 1_000_000 then Buffer.clear sink;
+        Buffer.add_string sink line;
+        Buffer.add_char sink '\n')
+      ()
+  in
+  let st_t = run_incremental ~tracer d snaps in
   let counter = ref 0 in
   let fresh () =
     incr counter;
@@ -541,6 +553,9 @@ let micro () =
         Test.make ~name:"incremental-metrics"
           (Staged.stage (fun () ->
                ignore (or_die "step" (Incremental.step st_m ~time:(fresh ()) db))));
+        Test.make ~name:"incremental-traced"
+          (Staged.stage (fun () ->
+               ignore (or_die "step" (Incremental.step st_t ~time:(fresh ()) db))));
         Test.make ~name:"active-rules"
           (Staged.stage (fun () ->
                ignore (or_die "step" (Compile.step eng ~time:(fresh ()) db))));
@@ -553,7 +568,11 @@ let micro () =
   in
   let instance = Toolkit.Instance.monotonic_clock in
   let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) ~stabilize:true ()
+    (* --quick: a shorter quota for the runtest regression smoke; estimates
+       are noisier, which the smoke's tolerances account for. *)
+    Benchmark.cfg ~limit:2000
+      ~quota:(Time.second (if !quick then 0.35 else 1.0))
+      ~stabilize:true ()
   in
   let raw = Benchmark.all cfg [ instance ] tests in
   let results = Analyze.all ols instance raw in

@@ -49,10 +49,11 @@ let history_of_snapshots snaps =
 
 (* Run a full snapshot list through the incremental checker; returns the
    final state. *)
-let run_incremental ?metrics ?config d snaps =
+let run_incremental ?metrics ?tracer ?config d snaps =
   List.fold_left
     (fun st (time, db) -> fst (or_die "step" (Incremental.step st ~time db)))
-    (or_die "create" (Incremental.create ?metrics ?config Gen.generic_catalog d))
+    (or_die "create"
+       (Incremental.create ?metrics ?tracer ?config Gen.generic_catalog d))
     snaps
 
 (* Wall-clock helper (CPU time; workloads are CPU-bound and single-threaded). *)

@@ -9,6 +9,7 @@
      rtic explain SPEC TRACE    show violation witnesses
      rtic gen                   generate a synthetic trace
      rtic lint-json [FILE]      validate a JSON document (stdin by default)
+     rtic profile [FILE]        aggregate an rtic-trace/1 stream (stdin)
 
    Exit codes, everywhere: 0 = success and every constraint holds;
    1 = the check ran but found violations (or: the linted document is
@@ -32,6 +33,8 @@ module Monitor = Rtic_core.Monitor
 module Shared = Rtic_core.Shared
 module Stats = Rtic_core.Stats
 module Metrics = Rtic_core.Metrics
+module Tracer = Rtic_core.Tracer
+module Profile = Rtic_core.Profile
 module Json = Rtic_core.Json
 module Future = Rtic_core.Future
 module Supervisor = Rtic_core.Supervisor
@@ -119,13 +122,13 @@ let split_defs spec =
     (fun (d : Formula.def) -> Formula.past_only d.body)
     spec.Parser.defs
 
-let check_with_future cat defs tr =
+let check_with_future ?tracer cat defs tr =
   (* verdict-delay monitoring for bounded-future constraints *)
   let* h = Trace.materialize tr in
   List.fold_left
     (fun acc (d : Formula.def) ->
       let* acc = acc in
-      let* st = Future.create cat d in
+      let* st = Future.create ?tracer cat d in
       let* st, out =
         List.fold_left
           (fun acc (time, db) ->
@@ -153,14 +156,15 @@ let check_with_future cat defs tr =
 (* Incremental run with optional checkpoint restore/save. The restored
    monitor's database replaces the trace's initial state, so a saved run can
    be continued with a trace holding only the remaining transactions. *)
-let run_incremental_with_state ?metrics config cat past_defs (tr : Trace.t)
-    load save want_stats =
+let run_incremental_with_state ?metrics ?tracer config cat past_defs
+    (tr : Trace.t) load save want_stats =
   let* m =
     match load with
-    | None -> Monitor.create_with ?metrics ~config tr.Trace.init past_defs
+    | None ->
+      Monitor.create_with ?metrics ?tracer ~config tr.Trace.init past_defs
     | Some path ->
       let* text = read_file path in
-      Monitor.of_text ?metrics ~config cat past_defs text
+      Monitor.of_text ?metrics ?tracer ~config cat past_defs text
   in
   let* m, reports, stats =
     List.fold_left
@@ -192,8 +196,8 @@ let run_incremental_with_state ?metrics config cat past_defs (tr : Trace.t)
    service; an existing one is recovered (checkpoint + WAL replay) and
    trace transactions that recovery already covered are skipped, so the
    same invocation can simply be re-run after a crash. *)
-let run_supervised config cat past_defs (tr : Trace.t) state_dir auto_ck
-    on_error aux_budget quiet want_stats =
+let run_supervised ?tracer ~ppf config cat past_defs (tr : Trace.t) state_dir
+    auto_ck on_error aux_budget quiet want_stats want_json =
   let policy = or_die (Supervisor.policy_of_string on_error) in
   let scfg =
     { Supervisor.auto_checkpoint = auto_ck;
@@ -206,7 +210,7 @@ let run_supervised config cat past_defs (tr : Trace.t) state_dir auto_ck
     if Supervisor.state_exists Faults.real_fs state_dir then begin
       let sup, info =
         or_die
-          (Supervisor.recover ?metrics ~config:scfg ~init:tr.Trace.init
+          (Supervisor.recover ?metrics ?tracer ~config:scfg ~init:tr.Trace.init
              ~state_dir cat past_defs)
       in
       List.iter
@@ -240,19 +244,24 @@ let run_supervised config cat past_defs (tr : Trace.t) state_dir auto_ck
     end
     else
       ( or_die
-          (Supervisor.create ?metrics ~config:scfg ~init:tr.Trace.init
+          (Supervisor.create ?metrics ?tracer ~config:scfg ~init:tr.Trace.init
              ~state_dir cat past_defs),
         tr.Trace.steps )
   in
   ignore config;
   let reports = ref [] in
   let dropped = ref 0 in
+  let stats = ref Stats.empty in
   List.iter
     (fun (time, txn) ->
       match or_die (Supervisor.step sup ~time txn) with
       | Supervisor.Checked { reports = rs; inconclusive = _ } ->
-        if not quiet then
-          List.iter (fun r -> Format.printf "%a@." Monitor.pp_report r) rs;
+        if not (quiet || want_json) then
+          List.iter (fun r -> Format.fprintf ppf "%a@." Monitor.pp_report r) rs;
+        if want_stats then
+          stats :=
+            Stats.observe !stats ~time ~space:(Supervisor.space sup)
+              ~reports:rs;
         reports := List.rev_append rs !reports
       | Supervisor.Skipped reason | Supervisor.Rejected reason ->
         incr dropped;
@@ -269,22 +278,27 @@ let run_supervised config cat past_defs (tr : Trace.t) state_dir auto_ck
   if Supervisor.degraded sup then
     Printf.eprintf
       "rtic: durability degraded (a WAL or checkpoint write failed)\n";
-  (match metrics with
-   | Some m when want_stats -> Format.printf "%a@." Metrics.pp m
-   | _ -> ());
-  Printf.printf "%d transaction(s), %d violation(s)%s\n"
-    (List.length steps)
-    (List.length !reports)
-    (if !dropped > 0 then Printf.sprintf ", %d dropped" !dropped else "");
+  if want_json then
+    (* Machine mode composes with the supervised run: the rtic-stats/1
+       document (covering the transactions processed after recovery) is the
+       only stdout output; diagnostics stay on stderr. *)
+    print_endline (Json.to_string ~indent:true (Stats.to_json ?metrics !stats))
+  else begin
+    if want_stats then begin
+      Format.fprintf ppf "%a@." Stats.pp !stats;
+      match metrics with
+      | Some m -> Format.fprintf ppf "%a@." Metrics.pp m
+      | None -> ()
+    end;
+    Format.fprintf ppf "%d transaction(s), %d violation(s)%s@."
+      (List.length steps)
+      (List.length !reports)
+      (if !dropped > 0 then Printf.sprintf ", %d dropped" !dropped else "")
+  end;
   if !reports = [] then 0 else 1
 
 let run_check spec_file trace_file engine no_prune quiet load save want_stats
-    want_json want_trace state_dir auto_ck on_error aux_budget =
-  let spec = or_die (load_spec spec_file) in
-  let tr = or_die (load_trace trace_file) in
-  let cat = spec.Parser.catalog in
-  let config = { Incremental.prune = not no_prune } in
-  let past_defs, future_defs = split_defs spec in
+    want_json want_trace trace_out state_dir auto_ck on_error aux_budget =
   let want_stats = want_stats || want_json in
   if want_trace then begin
     Logs.set_reporter (Logs_fmt.reporter ());
@@ -294,20 +308,63 @@ let run_check spec_file trace_file engine no_prune quiet load save want_stats
     usage_error "checkpointing requires --engine incremental";
   if want_stats && engine <> E_incremental then
     usage_error "--stats/--json require --engine incremental";
+  (match trace_out with
+   | None -> ()
+   | Some dest ->
+     if not (List.mem engine [ E_incremental; E_shared; E_future ]) then
+       usage_error
+         "--trace-out requires --engine incremental, shared or future";
+     if dest = "-" && want_json then
+       usage_error "--trace-out - conflicts with --json (both claim stdout)");
+  let trace_oc, close_trace =
+    match trace_out with
+    | None -> (None, fun () -> ())
+    | Some "-" -> (Some stdout, fun () -> flush stdout)
+    | Some path ->
+      let oc = open_out path in
+      (Some oc, fun () -> close_out oc)
+  in
+  let tracer =
+    Option.map
+      (fun oc ->
+        Tracer.create
+          ~emit:(fun line ->
+            output_string oc line;
+            output_char oc '\n')
+          ())
+      trace_oc
+  in
+  (* With --trace-out -, the event stream owns stdout and every human line
+     moves to stderr, so `rtic check --trace-out - | rtic profile` works. *)
+  let ppf =
+    if trace_out = Some "-" then Format.err_formatter else Format.std_formatter
+  in
+  let spec =
+    or_die
+      (Tracer.span tracer ~cat:"parse" ~name:"spec" ~arg:spec_file (fun () ->
+           load_spec spec_file))
+  in
+  let tr =
+    or_die
+      (Tracer.span tracer ~cat:"parse" ~name:"trace" ~arg:trace_file
+         (fun () -> load_trace trace_file))
+  in
+  let cat = spec.Parser.catalog in
+  let config = { Incremental.prune = not no_prune } in
+  let past_defs, future_defs = split_defs spec in
+  let code =
   match state_dir with
   | Some dir ->
     if engine <> E_incremental then
       usage_error "--state-dir requires --engine incremental";
     if load <> None || save <> None then
       usage_error "--state-dir conflicts with --load-state/--save-state";
-    if want_json then
-      usage_error "--state-dir does not support --json";
     if future_defs <> [] then
       usage_error
         "--state-dir supports past-only constraints (future operators need \
          verdict delay, which is not crash-safe)";
-    run_supervised config cat past_defs tr dir auto_ck on_error aux_budget
-      quiet want_stats
+    run_supervised ?tracer ~ppf config cat past_defs tr dir auto_ck on_error
+      aux_budget quiet want_stats want_json
   | None ->
     if on_error <> "halt" || auto_ck <> 64 || aux_budget <> None then
       usage_error
@@ -319,12 +376,12 @@ let run_check spec_file trace_file engine no_prune quiet load save want_stats
     | E_incremental ->
       let rs, st =
         or_die
-          (run_incremental_with_state ?metrics config cat past_defs tr load
-             save want_stats)
+          (run_incremental_with_state ?metrics ?tracer config cat past_defs
+             tr load save want_stats)
       in
       stats := st;
       rs
-    | E_shared -> or_die (Shared.run_trace ~config past_defs tr)
+    | E_shared -> or_die (Shared.run_trace ?tracer ~config past_defs tr)
     | E_naive -> or_die (Monitor.run_trace_naive past_defs tr)
     | E_active ->
       let h = or_die (Trace.materialize tr) in
@@ -350,7 +407,7 @@ let run_check spec_file trace_file engine no_prune quiet load save want_stats
           Ok (acc @ List.rev viols))
         (Ok []) past_defs
       |> or_die
-    | E_future -> or_die (check_with_future cat spec.Parser.defs tr)
+    | E_future -> or_die (check_with_future ?tracer cat spec.Parser.defs tr)
   in
   let reports =
     if engine = E_future then reports
@@ -360,7 +417,7 @@ let run_check spec_file trace_file engine no_prune quiet load save want_stats
           "rtic: note: %d constraint(s) use future operators and were \
            checked by verdict delay\n"
           (List.length future_defs);
-      reports @ or_die (check_with_future cat future_defs tr)
+      reports @ or_die (check_with_future ?tracer cat future_defs tr)
     end
   in
   if want_json then
@@ -369,17 +426,22 @@ let run_check spec_file trace_file engine no_prune quiet load save want_stats
     print_endline (Json.to_string ~indent:true (Stats.to_json ?metrics !stats))
   else begin
     if not quiet then
-      List.iter (fun r -> Format.printf "%a@." Monitor.pp_report r) reports;
+      List.iter (fun r -> Format.fprintf ppf "%a@." Monitor.pp_report r)
+        reports;
     if want_stats then begin
-      Format.printf "%a@." Stats.pp !stats;
+      Format.fprintf ppf "%a@." Stats.pp !stats;
       match metrics with
-      | Some m -> Format.printf "%a@." Metrics.pp m
+      | Some m -> Format.fprintf ppf "%a@." Metrics.pp m
       | None -> ()
     end;
-    Printf.printf "%d transaction(s), %d violation(s)\n" (Trace.length tr)
+    Format.fprintf ppf "%d transaction(s), %d violation(s)@." (Trace.length tr)
       (List.length reports)
   end;
   if reports = [] then 0 else 1
+  in
+  Format.pp_print_flush ppf ();
+  close_trace ();
+  code
 
 (* ------------------------------------------------------------------ *)
 (* recover                                                             *)
@@ -668,6 +730,14 @@ let trace_flag_arg =
          ~doc:"Log one line per transaction (time, violation count, \
                auxiliary space) to stderr while checking.")
 
+let trace_out_arg =
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE"
+         ~doc:"Stream a structured span trace (JSONL, schema rtic-trace/1, \
+               see FORMATS.md) of the run to $(docv); $(b,-) streams to \
+               stdout (human output then moves to stderr, so the stream \
+               pipes straight into $(b,rtic profile)). Engines \
+               incremental, shared and future.")
+
 let state_dir_arg =
   Arg.(value & opt (some string) None & info [ "state-dir" ] ~docv:"DIR"
          ~doc:"Run as a crash-safe service: append every accepted \
@@ -700,8 +770,8 @@ let check_cmd =
   Cmd.v (Cmd.info "check" ~doc)
     Term.(const run_check $ spec_arg $ trace_pos 1 $ engine_arg $ no_prune_arg
           $ quiet_arg $ load_state_arg $ save_state_arg $ stats_arg
-          $ json_arg $ trace_flag_arg $ state_dir_arg $ auto_checkpoint_arg
-          $ on_error_arg $ aux_budget_arg)
+          $ json_arg $ trace_flag_arg $ trace_out_arg $ state_dir_arg
+          $ auto_checkpoint_arg $ on_error_arg $ aux_budget_arg)
 
 let recover_cmd =
   let doc = "inspect (and optionally repair) a crash-safe state directory" in
@@ -744,6 +814,51 @@ let lint_json_cmd =
            ~doc:"File to validate (default: read stdin).")
   in
   Cmd.v (Cmd.info "lint-json" ~doc) Term.(const run_lint_json $ file_arg)
+
+(* ------------------------------------------------------------------ *)
+(* profile                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Aggregate an rtic-trace/1 stream (check --trace-out) into a
+   per-span-identity time attribution: self time, total time, call count. *)
+let run_profile file want_json want_collapsed =
+  if want_json && want_collapsed then
+    usage_error "--json and --collapsed are mutually exclusive";
+  let text =
+    match file with
+    | Some path -> or_die (read_file path)
+    | None -> In_channel.input_all stdin
+  in
+  match Profile.of_string text with
+  | Error m ->
+    Printf.eprintf "rtic: bad trace: %s\n" m;
+    exit 2
+  | Ok p ->
+    if want_collapsed then print_string (Profile.to_collapsed p)
+    else if want_json then
+      print_endline (Json.to_string ~indent:true (Profile.to_json p))
+    else Format.printf "%a@." Profile.pp p;
+    0
+
+let profile_cmd =
+  let doc = "aggregate a span trace into a per-constraint time profile" in
+  let file_arg =
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"rtic-trace/1 stream written by check --trace-out \
+                 (default: read stdin).")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Emit the profile as a JSON document (schema \
+                 rtic-profile/1, see FORMATS.md).")
+  in
+  let collapsed_arg =
+    Arg.(value & flag & info [ "collapsed" ]
+           ~doc:"Emit collapsed-stack lines (one $(b,frame;frame;frame \
+                 self_ns) per stack) for flamegraph tools.")
+  in
+  Cmd.v (Cmd.info "profile" ~doc)
+    Term.(const run_profile $ file_arg $ json_arg $ collapsed_arg)
 
 let rules_cmd =
   let doc = "show the active-DBMS rules a constraint compiles to" in
@@ -808,7 +923,7 @@ let gen_cmd =
 let main_cmd =
   let doc = "real-time integrity constraints over timed database histories" in
   Cmd.group (Cmd.info "rtic" ~version:"1.0.0" ~doc)
-    [ parse_cmd; check_cmd; recover_cmd; rules_cmd; explain_cmd; query_cmd;
-      gen_cmd; lint_json_cmd ]
+    [ parse_cmd; check_cmd; recover_cmd; profile_cmd; rules_cmd; explain_cmd;
+      query_cmd; gen_cmd; lint_json_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

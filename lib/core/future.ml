@@ -22,9 +22,10 @@ type t = {
   first_undecided : int;
   last_time : int option;
   metrics : Metrics.t option;
+  tracer : Tracer.t option;
 }
 
-let create ?metrics cat (d : Formula.def) =
+let create ?metrics ?tracer cat (d : Formula.def) =
   match Safety.monitorable cat d with
   | Error _ as e -> e
   | Ok () ->
@@ -53,7 +54,8 @@ let create ?metrics cat (d : Formula.def) =
            next_index = 0;
            first_undecided = 0;
            last_time = None;
-           metrics })
+           metrics;
+           tracer })
 
 let horizon st = st.hz
 let pending st = st.next_index - st.first_undecided
@@ -118,6 +120,7 @@ let step st ~time db =
   | Some t0 when time <= t0 ->
     Error (Printf.sprintf "non-increasing timestamp: %d after %d" time t0)
   | _ ->
+    Tracer.span st.tracer ~cat:"txn" ~arg:(string_of_int time) @@ fun () ->
     let t0 =
       match st.metrics with None -> 0.0 | Some _ -> Unix.gettimeofday ()
     in
@@ -140,7 +143,10 @@ let step st ~time db =
              go { st with first_undecided = j + 1 } (v :: acc)
            else (st, List.rev acc)
        in
-       let st, verdicts = go st [] in
+       let st, verdicts =
+         Tracer.span st.tracer ~cat:"constraint" ~name:st.d.Formula.name
+           (fun () -> go st [])
+       in
        (match st.metrics with
         | None -> ()
         | Some mx ->

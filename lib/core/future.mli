@@ -27,13 +27,16 @@ type verdict = {
 
 val create :
   ?metrics:Metrics.t ->
+  ?tracer:Tracer.t ->
   Rtic_relational.Schema.Catalog.t ->
   Rtic_mtl.Formula.def ->
   (t, string) result
 (** Admit a constraint with (possibly) bounded-future operators. With
     [?metrics], {!step} records step counts, per-step wall-clock latency
     and unsatisfied-verdict counts (this monitor has no kernel, so no
-    per-node gauges are registered). *)
+    per-node gauges are registered). With [?tracer], each {!step} emits a
+    [txn] root span with a [constraint] span around the verdicts that
+    became decidable. *)
 
 val horizon : t -> int
 (** The verdict delay in ticks: a position is decided once the clock is more

@@ -27,7 +27,7 @@ type t = {
   last_time : int option;
 }
 
-let create ?metrics ?(config = default_config) cat (d : Formula.def) =
+let create ?metrics ?tracer ?(config = default_config) cat (d : Formula.def) =
   match Safety.monitorable cat d with
   | Error _ as e -> e
   | Ok () when not (Formula.past_only d.body) ->
@@ -41,7 +41,9 @@ let create ?metrics ?(config = default_config) cat (d : Formula.def) =
     Ok
       { d;
         norm;
-        kernel = Kernel.create ?metrics ~label:d.name config [ norm ];
+        kernel =
+          Kernel.create ?metrics ?tracer ~label:d.name
+            ~root_names:[ d.name ] config [ norm ];
         count = 0;
         last_time = None }
 
@@ -93,9 +95,9 @@ type header = {
   lt : int option;
 }
 
-let of_text ?metrics ?config cat d text =
+let of_text ?metrics ?tracer ?config cat d text =
   let ( let* ) r f = Result.bind r f in
-  let* st = create ?metrics ?config cat d in
+  let* st = create ?metrics ?tracer ?config cat d in
   let lines =
     String.split_on_char '\n' text
     |> List.map String.trim

@@ -40,6 +40,7 @@ type verdict = {
 
 val create :
   ?metrics:Metrics.t ->
+  ?tracer:Tracer.t ->
   ?config:config ->
   Rtic_relational.Schema.Catalog.t ->
   Rtic_mtl.Formula.def ->
@@ -48,7 +49,9 @@ val create :
     and monitorable, normalize it, build the temporal closure, and return the
     pre-history checker state. With [?metrics], the underlying kernel
     registers its temporal nodes (labelled with the constraint name) and
-    records per-step gauges and counters into the recorder. *)
+    records per-step gauges and counters into the recorder. With [?tracer],
+    each {!step} emits a [constraint] span named after the constraint with
+    the per-node update spans nested inside (see {!Tracer}). *)
 
 val def : t -> Rtic_mtl.Formula.def
 (** The constraint as admitted. *)
@@ -89,6 +92,7 @@ val to_text : t -> string
 
 val of_text :
   ?metrics:Metrics.t ->
+  ?tracer:Tracer.t ->
   ?config:config ->
   Rtic_relational.Schema.Catalog.t ->
   Rtic_mtl.Formula.def ->

@@ -54,6 +54,9 @@ type t = {
   prev_db : Database.t option;
   instr : (Metrics.t * int) option;
       (* recorder and this kernel's base node index; None = no overhead *)
+  tracer : Tracer.t option;
+  span_names : string array;  (* per-node span names; [||] when untraced *)
+  root_names : string array;  (* per-root constraint names for spans *)
 }
 
 (* Positions of the (sorted) [sub] columns inside the (sorted) [sup]
@@ -94,7 +97,7 @@ let initial_aux = function
   | { kind = KPrev _; _ } -> Prev_aux None
   | { kind = KOnce _ | KSince _; _ } -> Window_aux Row_map.empty
 
-let create ?metrics ?(label = "") cfg roots =
+let create ?metrics ?tracer ?(label = "") ?(root_names = []) cfg roots =
   (* Chain the roots under a synthetic conjunction so a single closure
      traversal registers every temporal subformula, shared structurally. *)
   let combined =
@@ -102,15 +105,21 @@ let create ?metrics ?(label = "") cfg roots =
   in
   let closure = Closure.build combined in
   let infos = Array.map info_of_node (Closure.nodes closure) in
+  let names =
+    (* Node display names serve both the metrics gauges and the tracer's
+       per-node spans; only computed when an instrument is attached. *)
+    if metrics = None && tracer = None then [||]
+    else
+      Array.map
+        (fun info ->
+          let s = Pretty.to_string info.node in
+          if label = "" then s else label ^ ": " ^ s)
+        infos
+  in
   let instr =
     match metrics with
     | None -> None
-    | Some m ->
-      let name info =
-        let s = Pretty.to_string info.node in
-        if label = "" then s else label ^ ": " ^ s
-      in
-      Some (m, Metrics.register_nodes m (Array.to_list (Array.map name infos)))
+    | Some m -> Some (m, Metrics.register_nodes m (Array.to_list names))
   in
   { cfg;
     root_list = roots;
@@ -119,7 +128,10 @@ let create ?metrics ?(label = "") cfg roots =
     aux = Array.map initial_aux infos;
     needs_prev = List.exists Formula.has_transition_atoms roots;
     prev_db = None;
-    instr }
+    instr;
+    tracer;
+    span_names = names;
+    root_names = Array.of_list root_names }
 
 let roots st = st.root_list
 
@@ -197,7 +209,7 @@ let step st ~time db =
       (match st.instr with Some (mx, _) -> Metrics.cache_miss mx | None -> ());
       let idx = Closure.id_exn st.closure g in
       let info = st.infos.(idx) in
-      let v =
+      let compute () =
         match info.kind with
         | KPrev (iv, a) ->
           (* Compute the child now, for the benefit of the next step. *)
@@ -244,10 +256,30 @@ let step st ~time db =
           new_aux.(idx) <- Window_aux m;
           read_map iv ~time ~cols:info.node_cols m
       in
+      let v =
+        match st.tracer with
+        | None -> compute ()
+        | Some _ ->
+          Tracer.span st.tracer ~cat:"node" ~name:st.span_names.(idx) compute
+      in
       cache := Formula_map.add g v !cache;
       v
   in
-  let results = List.map now st.root_list in
+  let results =
+    match st.tracer with
+    | None -> List.map now st.root_list
+    | Some _ ->
+      (* One span per root evaluation: with per-root names (supplied by the
+         wrappers) this is the per-constraint attribution level. Node spans
+         nest under whichever constraint forced the update first. *)
+      List.mapi
+        (fun i f ->
+          let name =
+            if i < Array.length st.root_names then st.root_names.(i) else ""
+          in
+          Tracer.span st.tracer ~cat:"constraint" ~name (fun () -> now f))
+        st.root_list
+  in
   (* Every auxiliary relation must advance this step even if no root's
      evaluation happened to touch it (cannot happen with the combined
      closure, but guard against future refactors). *)

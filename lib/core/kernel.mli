@@ -23,14 +23,24 @@ type t
 (** Kernel state. Functional: {!step} returns a new state. *)
 
 val create :
-  ?metrics:Metrics.t -> ?label:string -> config -> Rtic_mtl.Formula.t list -> t
+  ?metrics:Metrics.t ->
+  ?tracer:Tracer.t ->
+  ?label:string ->
+  ?root_names:string list ->
+  config ->
+  Rtic_mtl.Formula.t list ->
+  t
 (** [create config roots] builds the combined closure of the given
     (normalized, past-only, core) formulas and empty auxiliary state.
     Raises [Invalid_argument] on non-core input — wrappers validate first.
     When [?metrics] is given, every temporal node is registered as a gauge
     row (prefixed with [label] when non-empty) and {!step} records counters,
     per-node gauges and cache statistics into the recorder; without it the
-    instrumentation is compiled to a [None] check. *)
+    instrumentation is compiled to a [None] check. When [?tracer] is given,
+    {!step} wraps each root evaluation in a [constraint] span named by the
+    corresponding entry of [root_names] (aligned with [roots]; unnamed when
+    absent) and each auxiliary-node update in a [node] span named like the
+    metrics gauge row; without it tracing costs one [None] check per site. *)
 
 val roots : t -> Rtic_mtl.Formula.t list
 (** The registered formulas, in registration order. *)

@@ -23,10 +23,12 @@ type node_view = {
 
 type latency_summary = {
   count : int;
+  total_ns : float;
   min_ns : float;
   mean_ns : float;
   p50_ns : float;
   p95_ns : float;
+  p99_ns : float;
   max_ns : float;
 }
 
@@ -167,10 +169,12 @@ let latency m =
     Array.sort compare sorted;
     Some
       { count = m.lat_count;
+        total_ns = m.lat_sum;
         min_ns = m.lat_min;
         mean_ns = m.lat_sum /. float_of_int m.lat_count;
         p50_ns = percentile sorted 0.50;
         p95_ns = percentile sorted 0.95;
+        p99_ns = percentile sorted 0.99;
         max_ns = m.lat_max }
   end
 
@@ -194,10 +198,12 @@ let to_json m =
     | Some l ->
       Json.Obj
         [ ("count", Json.Int l.count);
+          ("total_ns", Json.Float l.total_ns);
           ("min_ns", Json.Float l.min_ns);
           ("mean_ns", Json.Float l.mean_ns);
           ("p50_ns", Json.Float l.p50_ns);
           ("p95_ns", Json.Float l.p95_ns);
+          ("p99_ns", Json.Float l.p99_ns);
           ("max_ns", Json.Float l.max_ns) ]
   in
   let counters_json =
@@ -226,9 +232,9 @@ let pp ppf m =
    | Some l ->
      Format.fprintf ppf
        "@,step latency:    min %.1fus  mean %.1fus  p50 %.1fus  p95 %.1fus  \
-        max %.1fus (%d samples)"
+        p99 %.1fus  max %.1fus  total %.1fms (%d samples)"
        (l.min_ns /. 1e3) (l.mean_ns /. 1e3) (l.p50_ns /. 1e3) (l.p95_ns /. 1e3)
-       (l.max_ns /. 1e3) l.count);
+       (l.p99_ns /. 1e3) (l.max_ns /. 1e3) (l.total_ns /. 1e6) l.count);
   if Array.length m.nodes > 0 then begin
     Format.fprintf ppf "@,per-node auxiliary state:";
     Array.iter

@@ -37,12 +37,19 @@ type node_view = {
   surv_kept : int;        (** Since-survival: entries that survived. *)
 }
 
+(** Step-latency summary. All fields are {e nanoseconds} (see
+    {!record_latency} for the unit convention): [count], [min_ns], [max_ns],
+    [mean_ns] and the cumulative [total_ns] are exact over every recorded
+    sample; [p50_ns]/[p95_ns]/[p99_ns] are interpolated from the
+    deterministic 1024-sample reservoir. *)
 type latency_summary = {
   count : int;
+  total_ns : float;
   min_ns : float;
   mean_ns : float;
   p50_ns : float;
   p95_ns : float;
+  p99_ns : float;
   max_ns : float;
 }
 
@@ -64,7 +71,14 @@ val add_pruned : t -> int -> int -> unit
 val add_survival : t -> int -> checked:int -> kept:int -> unit
 
 val record_latency : t -> float -> unit
-(** [record_latency m seconds] records one step's wall-clock duration. *)
+(** [record_latency m seconds] records one step's wall-clock duration.
+
+    {b Unit convention — seconds in, nanoseconds out}: the argument is in
+    {e seconds} (what subtracting two [Unix.gettimeofday] readings gives
+    the recording layer), while every reading-side surface — the
+    [latency_summary] fields, [to_json]'s [latency_ns] object and {!pp} —
+    reports {e nanoseconds}, the scale at which per-transaction costs are
+    legible. The conversion (× 1e9) happens once, here. *)
 
 val bump : ?by:int -> t -> string -> unit
 (** [bump m name] increments the named event counter [name] (created at 0 on

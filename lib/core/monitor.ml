@@ -14,11 +14,12 @@ type t = {
   db : Database.t;
   checkers : Incremental.t list;  (* in registration order *)
   metrics : Metrics.t option;
+  tracer : Tracer.t option;
 }
 
 let ( let* ) r f = Result.bind r f
 
-let create_with ?metrics ?config db defs =
+let create_with ?metrics ?tracer ?config db defs =
   let names = List.map (fun (d : Formula.def) -> d.name) defs in
   if List.length (List.sort_uniq String.compare names) <> List.length names
   then Error "duplicate constraint names"
@@ -27,27 +28,32 @@ let create_with ?metrics ?config db defs =
       List.fold_left
         (fun acc d ->
           let* acc = acc in
-          let* c = Incremental.create ?metrics ?config (Database.catalog db) d in
+          let* c =
+            Incremental.create ?metrics ?tracer ?config (Database.catalog db) d
+          in
           Ok (c :: acc))
         (Ok []) defs
     in
-    Ok { db; checkers = List.rev checkers; metrics }
+    Ok { db; checkers = List.rev checkers; metrics; tracer }
 
-let create ?metrics ?config cat defs =
-  create_with ?metrics ?config (Database.create cat) defs
+let create ?metrics ?tracer ?config cat defs =
+  create_with ?metrics ?tracer ?config (Database.create cat) defs
 
 let database m = m.db
 
 (* The resilience layer (Supervisor) steps checkers individually so it can
    quarantine one without stopping the rest; it re-enters through these. *)
 let parts m = (m.db, m.checkers)
-let of_parts ?metrics db checkers = { db; checkers; metrics }
+let of_parts ?metrics ?tracer db checkers = { db; checkers; metrics; tracer }
 
 let step m ~time txn =
+  Tracer.span m.tracer ~cat:"txn" ~arg:(string_of_int time) @@ fun () ->
   let t0 =
     match m.metrics with None -> 0.0 | Some _ -> Unix.gettimeofday ()
   in
-  let* db = Update.apply m.db txn in
+  let* db =
+    Tracer.span m.tracer ~cat:"apply" (fun () -> Update.apply m.db txn)
+  in
   let* checkers, reports =
     List.fold_left
       (fun acc c ->
@@ -76,8 +82,8 @@ let step m ~time txn =
 let space m =
   List.fold_left (fun acc c -> acc + Incremental.space c) 0 m.checkers
 
-let run_trace ?metrics ?config defs (tr : Trace.t) =
-  let* m = create_with ?metrics ?config tr.Trace.init defs in
+let run_trace ?metrics ?tracer ?config defs (tr : Trace.t) =
+  let* m = create_with ?metrics ?tracer ?config tr.Trace.init defs in
   let* _, reports =
     List.fold_left
       (fun acc (time, txn) ->
@@ -134,7 +140,7 @@ let to_text m =
     m.checkers;
   Buffer.contents buf
 
-let of_text ?metrics ?config cat defs text =
+let of_text ?metrics ?tracer ?config cat defs text =
   let lines = String.split_on_char '\n' text in
   (* Split into the database section and one section per checker. *)
   let rec split sections current header_ok = function
@@ -166,11 +172,11 @@ let of_text ?metrics ?config cat defs text =
             (fun acc d section ->
               let* acc = acc in
               let* c =
-                Incremental.of_text ?metrics ?config cat d
+                Incremental.of_text ?metrics ?tracer ?config cat d
                   (String.concat "\n" section)
               in
               Ok (c :: acc))
             (Ok []) defs checker_sections
         in
-        Ok { db; checkers = List.rev checkers; metrics }
+        Ok { db; checkers = List.rev checkers; metrics; tracer }
     | _ -> Error "monitor checkpoint: missing database section"

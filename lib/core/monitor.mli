@@ -20,6 +20,7 @@ type t
 
 val create :
   ?metrics:Metrics.t ->
+  ?tracer:Tracer.t ->
   ?config:Incremental.config ->
   Rtic_relational.Schema.Catalog.t ->
   Rtic_mtl.Formula.def list ->
@@ -28,10 +29,13 @@ val create :
     initially empty database. Constraint names must be distinct. With
     [?metrics], every checker's kernel registers into the shared recorder
     and {!step} additionally records per-transaction wall-clock latency and
-    the violation count. *)
+    the violation count. With [?tracer], every {!step} emits a [txn] root
+    span containing an [apply] span and one [constraint] span per checker
+    (see {!Tracer}). *)
 
 val create_with :
   ?metrics:Metrics.t ->
+  ?tracer:Tracer.t ->
   ?config:Incremental.config ->
   Rtic_relational.Database.t ->
   Rtic_mtl.Formula.def list ->
@@ -48,6 +52,7 @@ val parts : t -> Rtic_relational.Database.t * Incremental.t list
 
 val of_parts :
   ?metrics:Metrics.t ->
+  ?tracer:Tracer.t ->
   Rtic_relational.Database.t ->
   Incremental.t list ->
   t
@@ -68,6 +73,7 @@ val space : t -> int
 
 val run_trace :
   ?metrics:Metrics.t ->
+  ?tracer:Tracer.t ->
   ?config:Incremental.config ->
   Rtic_mtl.Formula.def list ->
   Rtic_temporal.Trace.t ->
@@ -98,6 +104,7 @@ val to_text : t -> string
 
 val of_text :
   ?metrics:Metrics.t ->
+  ?tracer:Tracer.t ->
   ?config:Incremental.config ->
   Rtic_relational.Schema.Catalog.t ->
   Rtic_mtl.Formula.def list ->

@@ -1,0 +1,249 @@
+(* rtic-trace/1 stream analysis: parse events, replay the span stack,
+   aggregate (cat, name) groups and collapsed stacks. *)
+
+type event = {
+  ev : [ `Open | `Close | `Point ];
+  id : int;
+  parent : int option;
+  cat : string;
+  name : string;
+  arg : string;
+  t_ns : int;
+}
+
+type row = {
+  cat : string;
+  name : string;
+  count : int;
+  total_ns : int;
+  self_ns : int;
+}
+
+type t = {
+  p_events : int;
+  p_spans : int;
+  p_points : int;
+  p_unclosed : int;
+  p_rows : row list;                   (* sorted by (cat, name) *)
+  p_collapsed : (string * int) list;   (* stack path -> self ns, sorted *)
+}
+
+let ( let* ) = Result.bind
+
+(* ---------- parsing ---------- *)
+
+let str_field j key =
+  match Json.member key j with
+  | None -> Ok ""
+  | Some v ->
+    (match Json.to_str v with
+     | Some s -> Ok s
+     | None -> Error (Printf.sprintf "field %S is not a string" key))
+
+let int_field j key =
+  match Option.bind (Json.member key j) Json.to_int with
+  | Some n -> Ok n
+  | None -> Error (Printf.sprintf "missing or non-integer field %S" key)
+
+let parent_of j =
+  match Json.member "parent" j with
+  | None | Some Json.Null -> Ok None
+  | Some v ->
+    (match Json.to_int v with
+     | Some n -> Ok (Some n)
+     | None -> Error "field \"parent\" is not an integer or null")
+
+let event_of_json j =
+  let* ev_name = str_field j "ev" in
+  let* ev =
+    match ev_name with
+    | "open" -> Ok `Open
+    | "close" -> Ok `Close
+    | "point" -> Ok `Point
+    | "" -> Error "missing field \"ev\""
+    | other -> Error (Printf.sprintf "unknown event type %S" other)
+  in
+  let* id = int_field j "id" in
+  let* t_ns = int_field j "t_ns" in
+  let* parent = parent_of j in
+  let* cat = str_field j "cat" in
+  let* name = str_field j "name" in
+  let* arg = str_field j "arg" in
+  match ev with
+  | `Close -> Ok { ev; id; parent = None; cat = ""; name = ""; arg = ""; t_ns }
+  | `Open | `Point ->
+    if cat = "" then Error "missing field \"cat\""
+    else Ok { ev; id; parent; cat; name; arg; t_ns }
+
+let parse_events text =
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+      let err msg = Error (Printf.sprintf "trace line %d: %s" lineno msg) in
+      if String.trim line = "" then go (lineno + 1) acc rest
+      else
+        (match Json.of_string line with
+         | Error e -> err e
+         | Ok j ->
+           (match Json.member "schema" j with
+            | Some (Json.Str "rtic-trace/1") -> go (lineno + 1) acc rest
+            | Some (Json.Str other) ->
+              err (Printf.sprintf "unsupported trace schema %S" other)
+            | Some _ -> err "schema field is not a string"
+            | None ->
+              (match event_of_json j with
+               | Ok ev -> go (lineno + 1) (ev :: acc) rest
+               | Error e -> err e)))
+  in
+  go 1 [] lines
+
+(* ---------- replay ---------- *)
+
+type frame = {
+  f_id : int;
+  f_cat : string;
+  f_name : string;
+  f_open : int;
+  f_path : string;
+  mutable f_child_ns : int;
+}
+
+let frame_label cat name = if name = "" then cat else cat ^ ":" ^ name
+
+let of_events events =
+  let groups : (string * string, int ref * int ref * int ref) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  let group cat name =
+    let key = (cat, name) in
+    match Hashtbl.find_opt groups key with
+    | Some g -> g
+    | None ->
+      let g = (ref 0, ref 0, ref 0) in
+      Hashtbl.add groups key g;
+      g
+  in
+  let stacks : (string, int ref) Hashtbl.t = Hashtbl.create 32 in
+  let spans = ref 0 and points = ref 0 and n = ref 0 in
+  let rec replay stack = function
+    | [] -> Ok (List.length stack)
+    | e :: rest ->
+      incr n;
+      (match e.ev with
+       | `Open ->
+         incr spans;
+         let path =
+           match stack with
+           | [] -> frame_label e.cat e.name
+           | parent :: _ -> parent.f_path ^ ";" ^ frame_label e.cat e.name
+         in
+         let fr =
+           { f_id = e.id; f_cat = e.cat; f_name = e.name; f_open = e.t_ns;
+             f_path = path; f_child_ns = 0 }
+         in
+         replay (fr :: stack) rest
+       | `Point ->
+         incr points;
+         let count, _, _ = group e.cat e.name in
+         incr count;
+         replay stack rest
+       | `Close ->
+         (match stack with
+          | [] ->
+            Error
+              (Printf.sprintf "close event for span %d with no span open" e.id)
+          | fr :: stack' when fr.f_id = e.id ->
+            let dur = e.t_ns - fr.f_open in
+            let self = dur - fr.f_child_ns in
+            let count, total, self_acc = group fr.f_cat fr.f_name in
+            incr count;
+            total := !total + dur;
+            self_acc := !self_acc + self;
+            (match Hashtbl.find_opt stacks fr.f_path with
+             | Some r -> r := !r + self
+             | None -> Hashtbl.add stacks fr.f_path (ref self));
+            (match stack' with
+             | parent :: _ -> parent.f_child_ns <- parent.f_child_ns + dur
+             | [] -> ());
+            replay stack' rest
+          | fr :: _ ->
+            Error
+              (Printf.sprintf
+                 "close event for span %d does not match innermost open span %d"
+                 e.id fr.f_id)))
+  in
+  let* unclosed = replay [] events in
+  let rows =
+    Hashtbl.fold
+      (fun (cat, name) (count, total, self) acc ->
+        { cat; name; count = !count; total_ns = !total; self_ns = !self } :: acc)
+      groups []
+    |> List.sort (fun a b -> compare (a.cat, a.name) (b.cat, b.name))
+  in
+  let collapsed =
+    Hashtbl.fold (fun path self acc -> (path, !self) :: acc) stacks []
+    |> List.sort compare
+  in
+  Ok
+    { p_events = !n; p_spans = !spans; p_points = !points;
+      p_unclosed = unclosed; p_rows = rows; p_collapsed = collapsed }
+
+let of_string text =
+  let* events = parse_events text in
+  of_events events
+
+(* ---------- views ---------- *)
+
+let events t = t.p_events
+let spans t = t.p_spans
+let points t = t.p_points
+let unclosed t = t.p_unclosed
+let rows t = t.p_rows
+
+let to_json t =
+  Json.Obj
+    [ ("schema", Json.Str "rtic-profile/1");
+      ("events", Json.Int t.p_events);
+      ("spans", Json.Int t.p_spans);
+      ("points", Json.Int t.p_points);
+      ("unclosed", Json.Int t.p_unclosed);
+      ( "rows",
+        Json.List
+          (List.map
+             (fun r ->
+               Json.Obj
+                 [ ("cat", Json.Str r.cat); ("name", Json.Str r.name);
+                   ("count", Json.Int r.count);
+                   ("total_ns", Json.Int r.total_ns);
+                   ("self_ns", Json.Int r.self_ns) ])
+             t.p_rows) ) ]
+
+let to_collapsed t =
+  t.p_collapsed
+  |> List.map (fun (path, self) -> Printf.sprintf "%s %d\n" path self)
+  |> String.concat ""
+
+let pp ppf t =
+  Format.fprintf ppf "trace: %d event(s), %d span(s), %d point(s)" t.p_events
+    t.p_spans t.p_points;
+  if t.p_unclosed > 0 then Format.fprintf ppf ", %d unclosed" t.p_unclosed;
+  Format.fprintf ppf "@.";
+  let by_self =
+    List.sort
+      (fun a b ->
+        match compare b.self_ns a.self_ns with
+        | 0 -> compare (a.cat, a.name) (b.cat, b.name)
+        | c -> c)
+      t.p_rows
+  in
+  Format.fprintf ppf "%12s %12s %7s  %s@." "SELF(us)" "TOTAL(us)" "COUNT"
+    "SPAN";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%12.1f %12.1f %7d  %s@."
+        (float_of_int r.self_ns /. 1e3)
+        (float_of_int r.total_ns /. 1e3)
+        r.count
+        (frame_label r.cat r.name))
+    by_self

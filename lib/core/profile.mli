@@ -1,0 +1,72 @@
+(** Trace-stream analysis: turns an [rtic-trace/1] event stream (emitted
+    by {!Tracer}, FORMATS.md §6) into a per-constraint / per-node time
+    breakdown. This is the library behind [rtic profile].
+
+    The stream is replayed with a span stack; each closed span contributes
+    its duration ([close.t_ns - open.t_ns]) to its [(cat, name)] group and
+    its {e self} time (duration minus time spent in child spans) both to
+    that group and to its stack path for collapsed-stack output. [arg]
+    fields carry per-instance detail (e.g. a commit timestamp) and never
+    split groups. Self times partition wall time exactly: the sum of
+    [self_ns] over all rows equals the sum of root-span durations. *)
+
+type event = {
+  ev : [ `Open | `Close | `Point ];
+  id : int;
+  parent : int option;  (** [None] for root spans and on [`Close] events *)
+  cat : string;         (** empty on [`Close] events *)
+  name : string;
+  arg : string;
+  t_ns : int;
+}
+
+val parse_events : string -> (event list, string) result
+(** Parse a whole trace stream (JSONL text). Blank lines and
+    [{"schema":"rtic-trace/1"}] header lines are skipped; any other
+    schema header, non-JSON line, or event with missing/ill-typed
+    required fields is an error naming the offending line number. *)
+
+type row = {
+  cat : string;
+  name : string;
+  count : int;     (** closed spans + points in this group *)
+  total_ns : int;  (** sum of span durations; points contribute 0 *)
+  self_ns : int;   (** total minus time inside child spans *)
+}
+
+type t
+
+val of_events : event list -> (t, string) result
+(** Replay the events. Errors on a [close] that does not match the
+    innermost open span (the stream is not a well-formed LIFO forest).
+    Spans still open at end-of-stream (truncated capture) are counted in
+    {!unclosed} and contribute nothing to any row. *)
+
+val of_string : string -> (t, string) result
+(** {!parse_events} followed by {!of_events}. *)
+
+val events : t -> int
+(** Total events consumed, header excluded. *)
+
+val spans : t -> int
+(** Spans opened. *)
+
+val points : t -> int
+
+val unclosed : t -> int
+(** Spans never closed (truncated stream). *)
+
+val rows : t -> row list
+(** Aggregated groups, sorted by [(cat, name)]. *)
+
+val to_json : t -> Json.t
+(** The [rtic-profile/1] document: summary counts plus {!rows}. *)
+
+val to_collapsed : t -> string
+(** Flamegraph-compatible collapsed stacks: one [path self_ns] line per
+    distinct span stack, where a frame is [cat] or [cat:name] and frames
+    are joined with [;]. Lines are sorted by path; feed to flamegraph.pl
+    or speedscope. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable breakdown table, heaviest self-time first. *)

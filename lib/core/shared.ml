@@ -15,11 +15,12 @@ type t = {
   count : int;
   last_time : int option;
   metrics : Metrics.t option;
+  tracer : Tracer.t option;
 }
 
 let ( let* ) r f = Result.bind r f
 
-let create ?metrics ?(config = Incremental.default_config) cat defs =
+let create ?metrics ?tracer ?(config = Incremental.default_config) cat defs =
   let names = List.map (fun (d : Formula.def) -> d.name) defs in
   if List.length (List.sort_uniq String.compare names) <> List.length names
   then Error "duplicate constraint names"
@@ -41,21 +42,25 @@ let create ?metrics ?(config = Incremental.default_config) cat defs =
     in
     Ok
       { names;
-        kernel = Kernel.create ?metrics config norms;
+        kernel = Kernel.create ?metrics ?tracer ~root_names:names config norms;
         db = Database.create cat;
         count = 0;
         last_time = None;
-        metrics }
+        metrics;
+        tracer }
 
 let step m ~time txn =
   match m.last_time with
   | Some t0 when time <= t0 ->
     Error (Printf.sprintf "non-increasing timestamp: %d after %d" time t0)
   | _ ->
+    Tracer.span m.tracer ~cat:"txn" ~arg:(string_of_int time) @@ fun () ->
     let t0 =
       match m.metrics with None -> 0.0 | Some _ -> Unix.gettimeofday ()
     in
-    let* db = Update.apply m.db txn in
+    let* db =
+      Tracer.span m.tracer ~cat:"apply" (fun () -> Update.apply m.db txn)
+    in
     (try
        let kernel, results = Kernel.step m.kernel ~time db in
        let reports =
@@ -79,8 +84,10 @@ let step m ~time txn =
            reports )
      with Fo.Error msg -> Error msg)
 
-let run_trace ?metrics ?config defs (tr : Trace.t) =
-  let* m = create ?metrics ?config (Database.catalog tr.Trace.init) defs in
+let run_trace ?metrics ?tracer ?config defs (tr : Trace.t) =
+  let* m =
+    create ?metrics ?tracer ?config (Database.catalog tr.Trace.init) defs
+  in
   let m = { m with db = tr.Trace.init } in
   let* _, reports =
     List.fold_left

@@ -17,6 +17,7 @@ type t
 
 val create :
   ?metrics:Metrics.t ->
+  ?tracer:Tracer.t ->
   ?config:Incremental.config ->
   Rtic_relational.Schema.Catalog.t ->
   Rtic_mtl.Formula.def list ->
@@ -25,7 +26,9 @@ val create :
     names must be distinct) into one shared kernel, over an initially empty
     database. With [?metrics], the shared kernel's nodes are registered
     once (reflecting the sharing) and {!step} records latency and
-    violation counts. *)
+    violation counts. With [?tracer], each {!step} emits a [txn] root span
+    with [apply], per-constraint and per-node child spans; a shared node's
+    update is attributed to whichever constraint forced it first. *)
 
 val step :
   t ->
@@ -38,6 +41,7 @@ val step :
 
 val run_trace :
   ?metrics:Metrics.t ->
+  ?tracer:Tracer.t ->
   ?config:Incremental.config ->
   Rtic_mtl.Formula.def list ->
   Rtic_temporal.Trace.t ->

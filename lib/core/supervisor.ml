@@ -55,6 +55,7 @@ type t = {
   cfg : config;
   dir : string;
   metrics : Metrics.t option;
+  tracer : Tracer.t option;
   mutable db : Database.t;
   mutable checkers : Incremental.t list;  (* registration order *)
   mutable quarantine : (string * string) list;  (* registration order *)
@@ -65,6 +66,13 @@ type t = {
 }
 
 let bump ?by t name = Option.iter (fun m -> Metrics.bump ?by m name) t.metrics
+
+(* Durability suspension is a state transition worth a trace event; only
+   the entry edge is emitted, re-failures while already degraded are not. *)
+let enter_degraded t ~why =
+  if not t.degraded then
+    Tracer.point t.tracer ~cat:"supervisor" ~name:"degraded" ~arg:why ();
+  t.degraded <- true
 
 (* ---------------- Paths ---------------- *)
 
@@ -127,7 +135,7 @@ let checkpoint_text mon ~accepted ~last =
   in
   Printf.sprintf "%s# crc32 %08x\n" body (Wal.crc32 body)
 
-let load_checkpoint_text ?metrics cat defs ~step text =
+let load_checkpoint_text ?metrics ?tracer cat defs ~step text =
   let fail fmt = Printf.ksprintf (fun m -> Error ("checkpoint: " ^ m)) fmt in
   let lines = String.split_on_char '\n' text in
   let rev = match List.rev lines with "" :: r -> r | r -> r in
@@ -189,7 +197,7 @@ let load_checkpoint_text ?metrics cat defs ~step text =
     | _ -> Ok ()
   in
   let body = String.concat "\n" (List.rev body_rev) ^ "\n" in
-  let* mon = Monitor.of_text ?metrics cat defs body in
+  let* mon = Monitor.of_text ?metrics ?tracer cat defs body in
   let last =
     match last with
     | Some _ as l -> l
@@ -205,12 +213,12 @@ let load_checkpoint_text ?metrics cat defs ~step text =
   in
   Ok { snap_step = step; snap_monitor = mon; snap_last_time = last }
 
-let load_checkpoint ?metrics ~(fs : Faults.fs) cat defs path =
+let load_checkpoint ?metrics ?tracer ~(fs : Faults.fs) cat defs path =
   match checkpoint_step_of_name (Filename.basename path) with
   | None -> Error (Printf.sprintf "checkpoint: unrecognized filename %s" path)
   | Some step ->
     let* text = fs.read_file path in
-    load_checkpoint_text ?metrics cat defs ~step text
+    load_checkpoint_text ?metrics ?tracer cat defs ~step text
 
 (* ---------------- Stepping ---------------- *)
 
@@ -262,7 +270,9 @@ let step_checkers t ~time db =
                @ [ ( name,
                      Printf.sprintf "auxiliary space %d exceeds budget %d"
                        (Incremental.space c) budget ) ];
-             bump t "constraints_quarantined"
+             bump t "constraints_quarantined";
+             Tracer.point t.tracer ~cat:"supervisor" ~name:"quarantine"
+               ~arg:name ()
            | _ -> ());
           Ok (c :: cs, rs))
       (Ok ([], []))
@@ -320,7 +330,12 @@ let compact_wal t =
 
 let checkpoint t =
   let result =
-    let mon = Monitor.of_parts ?metrics:t.metrics t.db t.checkers in
+    Tracer.span t.tracer ~cat:"checkpoint" ~name:"write"
+      ~arg:(string_of_int t.accepted)
+    @@ fun () ->
+    let mon =
+      Monitor.of_parts ?metrics:t.metrics ?tracer:t.tracer t.db t.checkers
+    in
     let text = checkpoint_text mon ~accepted:t.accepted ~last:t.last in
     let tmp = Filename.concat t.dir ".checkpoint.tmp" in
     let* () = t.fs.write_file tmp text in
@@ -351,9 +366,11 @@ let reject t reason =
   | Halt -> Error reason
   | Skip ->
     bump t "txns_skipped";
+    Tracer.point t.tracer ~cat:"supervisor" ~name:"txn-skipped" ~arg:reason ();
     Ok (Skipped reason)
   | Reject ->
     bump t "txns_rejected";
+    Tracer.point t.tracer ~cat:"supervisor" ~name:"txn-rejected" ~arg:reason ();
     Ok (Rejected reason)
 
 let step t ~time txn =
@@ -363,9 +380,13 @@ let step t ~time txn =
   match t.last with
   | Some t1 when time <= t1 ->
     bump t "clock_regressions";
+    Tracer.point t.tracer ~cat:"supervisor" ~name:"clock-regression" ();
     reject t (Printf.sprintf "clock regression: time %d after %d" time t1)
   | _ ->
-    (match Update.apply t.db txn with
+    Tracer.span t.tracer ~cat:"txn" ~arg:(string_of_int time) @@ fun () ->
+    (match
+       Tracer.span t.tracer ~cat:"apply" (fun () -> Update.apply t.db txn)
+     with
      | Error e ->
        bump t "malformed_txns";
        reject t ("malformed transaction: " ^ e)
@@ -374,11 +395,14 @@ let step t ~time txn =
           suspends logging entirely (degraded) instead of leaving a gap
           that replay would mis-index. *)
        if not t.degraded then begin
-         match t.fs.append_file (wal_path t.dir) (Wal.encode_record ~time txn) with
+         match
+           Tracer.span t.tracer ~cat:"wal" ~name:"append" (fun () ->
+               t.fs.append_file (wal_path t.dir) (Wal.encode_record ~time txn))
+         with
          | Ok () -> bump t "wal_records_appended"
-         | Error _ ->
+         | Error e ->
            bump t "wal_append_failures";
-           t.degraded <- true
+           enter_degraded t ~why:("wal append failed: " ^ e)
        end;
        let inconclusive = List.map fst t.quarantine in
        let* reports = step_checkers t ~time db in
@@ -389,14 +413,14 @@ let step t ~time txn =
        then begin
          match checkpoint t with
          | Ok () -> ()
-         | Error _ -> t.degraded <- true
+         | Error e -> enter_degraded t ~why:("checkpoint failed: " ^ e)
        end;
        Ok (Checked { reports; inconclusive }))
 
 (* ---------------- Lifecycle ---------------- *)
 
-let create ?(fs = Faults.real_fs) ?metrics ?(config = default_config) ?init
-    ~state_dir:dir cat defs =
+let create ?(fs = Faults.real_fs) ?metrics ?tracer ?(config = default_config)
+    ?init ~state_dir:dir cat defs =
   let* () = fs.mkdir dir in
   if state_exists fs dir then
     Error
@@ -406,13 +430,14 @@ let create ?(fs = Faults.real_fs) ?metrics ?(config = default_config) ?init
          dir)
   else
     let db = match init with Some db -> db | None -> Database.create cat in
-    let* mon = Monitor.create_with ?metrics db defs in
+    let* mon = Monitor.create_with ?metrics ?tracer db defs in
     let db, checkers = Monitor.parts mon in
     let t =
       { fs;
         cfg = config;
         dir;
         metrics;
+        tracer;
         db;
         checkers;
         quarantine = [];
@@ -437,13 +462,17 @@ type recovery_info = {
   repaired : bool;
 }
 
-let recover ?(fs = Faults.real_fs) ?metrics ?(config = default_config) ?init
-    ?(repair = true) ~state_dir:dir cat defs =
+let recover ?(fs = Faults.real_fs) ?metrics ?tracer ?(config = default_config)
+    ?init ?(repair = true) ~state_dir:dir cat defs =
   if not (state_exists fs dir) then
     Error (Printf.sprintf "%s holds no WAL; not a supervisor state directory" dir)
   else
     let* wal_text = fs.read_file (wal_path dir) in
     let* w = Wal.recover wal_text in
+    Option.iter
+      (fun why ->
+        Tracer.point tracer ~cat:"recovery" ~name:"torn-tail" ~arg:why ())
+      w.Wal.torn;
     (* Newest checkpoint that loads cleanly; collect skip reasons. *)
     let rec pick skipped = function
       | [] -> (None, List.rev skipped)
@@ -452,11 +481,19 @@ let recover ?(fs = Faults.real_fs) ?metrics ?(config = default_config) ?init
         (match fs.read_file path with
          | Error e -> pick ((name, e) :: skipped) rest
          | Ok text ->
-           (match load_checkpoint_text ?metrics cat defs ~step text with
+           (match load_checkpoint_text ?metrics ?tracer cat defs ~step text with
             | Error e -> pick ((name, e) :: skipped) rest
             | Ok snap -> (Some snap, List.rev skipped)))
     in
-    let picked, skipped = pick [] (checkpoint_files fs dir) in
+    let picked, skipped =
+      Tracer.span tracer ~cat:"recovery" ~name:"load-checkpoint" (fun () ->
+          pick [] (checkpoint_files fs dir))
+    in
+    List.iter
+      (fun (name, _) ->
+        Tracer.point tracer ~cat:"recovery" ~name:"checkpoint-skipped"
+          ~arg:name ())
+      skipped;
     Option.iter
       (fun m -> Metrics.bump ~by:(List.length skipped) m "checkpoints_skipped")
       (if skipped = [] then None else metrics);
@@ -477,7 +514,7 @@ let recover ?(fs = Faults.real_fs) ?metrics ?(config = default_config) ?init
           let db =
             match init with Some db -> db | None -> Database.create cat
           in
-          let* mon = Monitor.create_with ?metrics db defs in
+          let* mon = Monitor.create_with ?metrics ?tracer db defs in
           Ok (None, mon)
         else
           Error
@@ -497,6 +534,7 @@ let recover ?(fs = Faults.real_fs) ?metrics ?(config = default_config) ?init
         cfg = config;
         dir;
         metrics;
+        tracer;
         db;
         checkers;
         quarantine = [];
@@ -515,6 +553,9 @@ let recover ?(fs = Faults.real_fs) ?metrics ?(config = default_config) ?init
     in
     let suffix = drop (accepted - w.Wal.start) w.Wal.records in
     let* replay_reports_rev =
+      Tracer.span tracer ~cat:"recovery" ~name:"replay"
+        ~arg:(string_of_int (List.length suffix))
+      @@ fun () ->
       List.fold_left
         (fun acc (time, txn) ->
           let* rs = acc in

@@ -86,6 +86,7 @@ type t
 val create :
   ?fs:Faults.fs ->
   ?metrics:Metrics.t ->
+  ?tracer:Tracer.t ->
   ?config:config ->
   ?init:Rtic_relational.Database.t ->
   state_dir:string ->
@@ -96,7 +97,14 @@ val create :
     the constraints over [?init] (default: empty database), write the
     initial checkpoint ([checkpoint-000000000.ck]) and the WAL header.
     Fails if the directory already holds a WAL — an existing service state
-    must go through {!recover} instead, never be silently overwritten. *)
+    must go through {!recover} instead, never be silently overwritten.
+
+    With [?tracer], the service's durability work becomes visible in the
+    trace stream alongside the engine spans: {!step} wraps the WAL append
+    in a [wal:append] span and {!checkpoint} the snapshot write in a
+    [checkpoint:write] span, while quarantine decisions, degraded-mode
+    entry, policy drops and clock regressions are emitted as [supervisor]
+    point events (see {!Tracer}). *)
 
 val step :
   t ->
@@ -139,6 +147,7 @@ type recovery_info = {
 val recover :
   ?fs:Faults.fs ->
   ?metrics:Metrics.t ->
+  ?tracer:Tracer.t ->
   ?config:config ->
   ?init:Rtic_relational.Database.t ->
   ?repair:bool ->
@@ -151,7 +160,10 @@ val recover :
     ones), then replay every WAL record past it. With no usable
     checkpoint, falls back to replaying the whole WAL from scratch — but
     only if the WAL actually starts at record 0; a compacted WAL with no
-    valid checkpoint is unrecoverable ([Error]).
+    valid checkpoint is unrecoverable ([Error]). With [?tracer], the
+    snapshot probe and the WAL replay run inside [recovery:load-checkpoint]
+    and [recovery:replay] spans, with torn tails and skipped checkpoints
+    as [recovery] point events.
 
     [?repair] (default [true]) writes a fresh checkpoint immediately
     after recovery, compacting the WAL and clearing any torn tail. With
@@ -212,6 +224,7 @@ type snapshot = {
 
 val load_checkpoint :
   ?metrics:Metrics.t ->
+  ?tracer:Tracer.t ->
   fs:Faults.fs ->
   Rtic_relational.Schema.Catalog.t ->
   Rtic_mtl.Formula.def list ->

@@ -1,0 +1,72 @@
+(* Structured span tracer: emits the rtic-trace/1 JSONL event stream.
+   One mutable recorder per run, threaded through the engines as a
+   [t option] so the disabled path costs one None check per site. *)
+
+type t = {
+  clock : unit -> float;
+  emit : string -> unit;
+  t0 : float;
+  mutable next_id : int;
+  mutable stack : int list;  (* open span ids, innermost first *)
+}
+
+let now_ns t = int_of_float ((t.clock () -. t.t0) *. 1e9)
+
+let event t fields = t.emit (Json.to_string (Json.Obj fields))
+
+let create ?(clock = Unix.gettimeofday) ~emit () =
+  let t = { clock; emit; t0 = clock (); next_id = 0; stack = [] } in
+  event t [ ("schema", Json.Str "rtic-trace/1") ];
+  t
+
+let fresh_id t =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  id
+
+let parent_field t =
+  match t.stack with
+  | [] -> Json.Null
+  | p :: _ -> Json.Int p
+
+(* [name]/[arg] are omitted from the event when empty, keeping the
+   stream compact: most spans have no per-instance argument. *)
+let open_fields t ~ev ~id ~cat ~name ~arg =
+  [ ("ev", Json.Str ev); ("id", Json.Int id); ("parent", parent_field t);
+    ("cat", Json.Str cat) ]
+  @ (if name = "" then [] else [ ("name", Json.Str name) ])
+  @ (if arg = "" then [] else [ ("arg", Json.Str arg) ])
+  @ [ ("t_ns", Json.Int (now_ns t)) ]
+
+let open_span t ~cat ~name ~arg =
+  let id = fresh_id t in
+  event t (open_fields t ~ev:"open" ~id ~cat ~name ~arg);
+  t.stack <- id :: t.stack;
+  id
+
+let close_span t id =
+  (* Spans close LIFO by construction ({!span} brackets the body); popping
+     past [id] only happens if an emit raised mid-open — drop the strays
+     rather than corrupt the parent chain of later spans. *)
+  let rec pop = function
+    | [] -> []
+    | x :: rest -> if x = id then rest else pop rest
+  in
+  t.stack <- pop t.stack;
+  event t
+    [ ("ev", Json.Str "close"); ("id", Json.Int id);
+      ("t_ns", Json.Int (now_ns t)) ]
+
+let span tr ~cat ?(name = "") ?(arg = "") f =
+  match tr with
+  | None -> f ()
+  | Some t ->
+    let id = open_span t ~cat ~name ~arg in
+    Fun.protect ~finally:(fun () -> close_span t id) f
+
+let point tr ~cat ?(name = "") ?(arg = "") () =
+  match tr with
+  | None -> ()
+  | Some t ->
+    let id = fresh_id t in
+    event t (open_fields t ~ev:"point" ~id ~cat ~name ~arg)

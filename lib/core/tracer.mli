@@ -1,0 +1,55 @@
+(** Structured span tracing — the time-attribution side of observability.
+
+    Where {!Metrics} aggregates counters and gauges, a tracer records {e
+    where the time goes}: a stream of nested spans (transaction → parse /
+    apply → per-constraint evaluation → per-temporal-node update → WAL
+    append → checkpoint / recovery) with clock timestamps, emitted as one
+    JSON object per line — the [rtic-trace/1] event stream specified in
+    FORMATS.md §6 and consumed by [rtic profile] (via {!Profile}).
+
+    A tracer is created by the embedding application (or [rtic check
+    --trace-out]) and passed to {!Monitor.create}, {!Shared.create},
+    {!Incremental.create}, {!Future.create} or {!Supervisor.create} via
+    their [?tracer] argument. Every instrumentation site takes the whole
+    [t option]: when no tracer is given ({!span} / {!point} on [None]) the
+    hot path pays only a [None] check plus one closure, the same zero-cost
+    discipline as [?metrics] (asserted against the MICRO baseline by
+    [tools/bench_diff.exe]).
+
+    Span discipline is strictly LIFO per tracer — {!span} opens, runs the
+    body, and closes even when the body raises — so a well-formed stream
+    has every [close] matching the most recent unclosed [open], children
+    fully inside their parents, and one root per top-level operation
+    (property-tested in [test/test_tracer.ml]).
+
+    Timestamps are nanoseconds relative to the tracer's creation, read
+    from an injectable clock (defaults to [Unix.gettimeofday]; pass
+    [?clock] for a deterministic fake in tests). The recorder is shared
+    mutable state and not thread-safe, like {!Metrics}. *)
+
+type t
+
+val create : ?clock:(unit -> float) -> emit:(string -> unit) -> unit -> t
+(** [create ~emit ()] starts a tracer: emits the [{"schema":"rtic-trace/1"}]
+    header line and returns a recorder with an empty span stack. [emit] is
+    called once per event with a complete single-line JSON document (no
+    trailing newline). [?clock] returns seconds (monotone for meaningful
+    profiles); it is sampled once at creation for the time origin. *)
+
+val span : t option -> cat:string -> ?name:string -> ?arg:string -> (unit -> 'a) -> 'a
+(** [span tr ~cat f] runs [f ()] inside a fresh span: emits an [open]
+    event (id, parent = innermost open span, category, name, timestamp),
+    runs [f], and emits the matching [close] event even if [f] raises.
+    On [None] it is just [f ()].
+
+    [cat] is the aggregation family ([txn], [apply], [constraint], [node],
+    [wal], [checkpoint], [recovery], [parse]); [name] identifies the
+    instance {e class} within it (constraint name, pretty-printed temporal
+    node) and is what [rtic profile] groups by; [arg] carries per-instance
+    detail that must not split aggregation groups (a commit timestamp, a
+    file name). *)
+
+val point : t option -> cat:string -> ?name:string -> ?arg:string -> unit -> unit
+(** [point tr ~cat ()] emits a zero-duration event (a thing that happened,
+    not a region of time): quarantine decisions, degraded-mode entry,
+    policy drops. Parented like {!span}; no-op on [None]. *)

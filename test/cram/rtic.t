@@ -236,6 +236,116 @@ usage and internal errors.  A few pins:
   rtic: unknown scenario nosuch (expected banking, library, monitoring or generic)
   [2]
 
+span tracing: --trace-out streams an rtic-trace/1 JSONL event log of the
+run; with - it owns stdout (human output moves to stderr) and pipes
+straight into rtic profile. Span durations are timing-dependent, so the
+nanosecond fields are scrubbed; the span counts are exact:
+
+  $ rtic check -q --trace-out - loans.spec loans.trace 2>/dev/null \
+  >   | head -3 | sed -E 's/"t_ns":[0-9]+/"t_ns":_/'
+  {"schema":"rtic-trace/1"}
+  {"ev":"open","id":0,"parent":null,"cat":"parse","name":"spec","arg":"loans.spec","t_ns":_}
+  {"ev":"close","id":0,"t_ns":_}
+  $ rtic check -q --trace-out - loans.spec loans.trace 2>&1 >/dev/null
+  4 transaction(s), 2 violation(s)
+  [1]
+  $ rtic check -q --trace-out - loans.spec loans.trace 2>/dev/null | rtic profile --json | rtic lint-json
+  valid JSON
+  $ rtic check -q --trace-out - loans.spec loans.trace 2>/dev/null \
+  >   | rtic profile --json | sed -E 's/"(total|self)_ns": [0-9]+/"\1_ns": _/'
+  {
+    "schema": "rtic-profile/1",
+    "events": 44,
+    "spans": 22,
+    "points": 0,
+    "unclosed": 0,
+    "rows": [
+      {
+        "cat": "apply",
+        "name": "",
+        "count": 4,
+        "total_ns": _,
+        "self_ns": _
+      },
+      {
+        "cat": "constraint",
+        "name": "loan_expiry",
+        "count": 4,
+        "total_ns": _,
+        "self_ns": _
+      },
+      {
+        "cat": "constraint",
+        "name": "member_borrow",
+        "count": 4,
+        "total_ns": _,
+        "self_ns": _
+      },
+      {
+        "cat": "node",
+        "name": "loan_expiry: not (exists q. return(q, b)) since[29,inf] (exists p. borrow(p, b))",
+        "count": 4,
+        "total_ns": _,
+        "self_ns": _
+      },
+      {
+        "cat": "parse",
+        "name": "spec",
+        "count": 1,
+        "total_ns": _,
+        "self_ns": _
+      },
+      {
+        "cat": "parse",
+        "name": "trace",
+        "count": 1,
+        "total_ns": _,
+        "self_ns": _
+      },
+      {
+        "cat": "txn",
+        "name": "",
+        "count": 4,
+        "total_ns": _,
+        "self_ns": _
+      }
+    ]
+  }
+
+collapsed stacks for flamegraph tools, and the human table's header line:
+
+  $ rtic check -q --trace-out trace.jsonl loans.spec loans.trace
+  4 transaction(s), 2 violation(s)
+  [1]
+  $ rtic profile --collapsed trace.jsonl | sed -E 's/ [0-9]+$/ _/'
+  parse:spec _
+  parse:trace _
+  txn _
+  txn;apply _
+  txn;constraint:loan_expiry _
+  txn;constraint:loan_expiry;node:loan_expiry: not (exists q. return(q, b)) since[29,inf] (exists p. borrow(p, b)) _
+  txn;constraint:member_borrow _
+  $ rtic profile trace.jsonl | head -1
+  trace: 44 event(s), 22 span(s), 0 point(s)
+
+the tracing flags validate their combinations:
+
+  $ rtic check -q --engine naive --trace-out - loans.spec loans.trace
+  rtic: --trace-out requires --engine incremental, shared or future
+  [2]
+  $ rtic check -q --trace-out - --json loans.spec loans.trace
+  rtic: --trace-out - conflicts with --json (both claim stdout)
+  [2]
+  $ rtic profile --json --collapsed trace.jsonl
+  rtic: --json and --collapsed are mutually exclusive
+  [2]
+
+a mangled trace stream is a usage error with a line number:
+
+  $ echo 'not json' | rtic profile
+  rtic: bad trace: trace line 1: bad literal at offset 0
+  [2]
+
 supervised mode: --state-dir turns check into a crash-safe service
 that journals every accepted transaction to a WAL and checkpoints
 periodically; the supervised flags require it, and it requires the
@@ -269,6 +379,22 @@ processed, and reports only the new transactions:
   $ cat recover.log
   rtic: recovered 2 transaction(s) from svc (checkpoint 2, 0 replayed)
   rtic: 2 trace transaction(s) already processed
+
+supervised runs compose with --json: the stats document (covering the
+transactions processed after any recovery) is the only stdout output,
+diagnostics stay on stderr, and the document survives the linter:
+
+  $ rtic check -q --state-dir svcjson --json loans.spec loans.trace > svc-stats.json
+  [1]
+  $ rtic lint-json svc-stats.json
+  valid JSON
+  $ grep -cE '"schema": "rtic-stats/1"|"wal_records_appended": 4' svc-stats.json
+  2
+  $ rtic check -q --state-dir svcjson --json loans.spec loans.trace 2>resume.log | grep '"transactions"'
+    "transactions": 0,
+  $ cat resume.log
+  rtic: recovered 4 transaction(s) from svcjson (checkpoint 0, 4 replayed)
+  rtic: 4 trace transaction(s) already processed
 
 recover inspects a damaged directory: tear the WAL tail and corrupt
 the older checkpoint, and it falls back to the newest intact snapshot:

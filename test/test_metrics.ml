@@ -53,7 +53,11 @@ let recorder_cases =
           Alcotest.(check (float 0.5)) "min" 1000.0 l.Metrics.min_ns;
           Alcotest.(check (float 0.5)) "max" 3000.0 l.Metrics.max_ns;
           Alcotest.(check (float 0.5)) "mean" 2000.0 l.Metrics.mean_ns;
-          Alcotest.(check (float 0.5)) "p50" 2000.0 l.Metrics.p50_ns);
+          Alcotest.(check (float 0.5)) "p50" 2000.0 l.Metrics.p50_ns;
+          Alcotest.(check (float 0.5)) "total is the exact sum" 6000.0
+            l.Metrics.total_ns;
+          Alcotest.(check (float 0.5)) "p99 tops out at the max" 2980.0
+            l.Metrics.p99_ns);
     Alcotest.test_case "reservoir survives more samples than its size" `Quick
       (fun () ->
         let m = Metrics.create () in
@@ -69,8 +73,11 @@ let recorder_cases =
           (* percentiles are reservoir estimates; they must stay in range
              and be ordered *)
           Alcotest.(check bool) "p50 <= p95" true (l.Metrics.p50_ns <= l.Metrics.p95_ns);
+          Alcotest.(check bool) "p95 <= p99" true (l.Metrics.p95_ns <= l.Metrics.p99_ns);
           Alcotest.(check bool) "in range" true
-            (l.Metrics.p50_ns >= 1.0 && l.Metrics.p95_ns <= 5000.0)) ]
+            (l.Metrics.p50_ns >= 1.0 && l.Metrics.p99_ns <= 5000.0);
+          Alcotest.(check (float 0.01)) "total stays exact past the reservoir"
+            12502500.0 l.Metrics.total_ns) ]
 
 (* Drive an instrumented checker and read the gauges back. *)
 let feed ?metrics d text =

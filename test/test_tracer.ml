@@ -1,0 +1,335 @@
+(* The tracing subsystem: Tracer's rtic-trace/1 stream and Profile's
+   aggregation.
+
+   The load-bearing properties: every emitted stream is a well-formed
+   LIFO span forest (closes match the innermost open, children nest
+   within their parents, exactly one root span per transaction), and
+   Profile's self-time attribution conserves time exactly (the rows'
+   self_ns sum to the root spans' total duration). *)
+
+open Helpers
+module Tracer = Rtic_core.Tracer
+module Profile = Rtic_core.Profile
+module Metrics = Rtic_core.Metrics
+module Supervisor = Rtic_core.Supervisor
+module Faults = Rtic_core.Faults
+
+(* A tracer writing into a buffer on a deterministic clock (1us per
+   reading), so tests see exact timestamps. *)
+let buffer_tracer () =
+  let buf = Buffer.create 4096 in
+  let c = ref 0.0 in
+  let clock () =
+    c := !c +. 1e-6;
+    !c
+  in
+  let t =
+    Tracer.create ~clock
+      ~emit:(fun line ->
+        Buffer.add_string buf line;
+        Buffer.add_char buf '\n')
+      ()
+  in
+  (t, buf)
+
+let parse_ok text = get_ok "parse trace stream" (Profile.parse_events text)
+let profile_ok text = get_ok "profile" (Profile.of_string text)
+
+let find_row p cat name =
+  List.find_opt
+    (fun (r : Profile.row) -> r.cat = cat && r.name = name)
+    (Profile.rows p)
+
+let row_exn what p cat name =
+  match find_row p cat name with
+  | Some r -> r
+  | None -> Alcotest.failf "%s: no row (%s, %s)" what cat name
+
+(* Root-span durations, by replaying opens/closes with a depth counter. *)
+let root_durations events =
+  let rec go depth open_at acc = function
+    | [] -> List.rev acc
+    | (e : Profile.event) :: rest ->
+      (match e.ev with
+       | `Point -> go depth open_at acc rest
+       | `Open ->
+         if depth = 0 then go 1 e.t_ns acc rest
+         else go (depth + 1) open_at acc rest
+       | `Close ->
+         if depth = 1 then go 0 0 ((e.t_ns - open_at) :: acc) rest
+         else go (depth - 1) open_at acc rest)
+  in
+  go 0 0 [] events
+
+(* -- Tracer stream shape ----------------------------------------------- *)
+
+let span_nesting () =
+  let t, buf = buffer_tracer () in
+  Tracer.span (Some t) ~cat:"txn" ~arg:"5" (fun () ->
+      Tracer.span (Some t) ~cat:"apply" (fun () -> ());
+      Tracer.span (Some t) ~cat:"constraint" ~name:"c" (fun () ->
+          Tracer.span (Some t) ~cat:"node" ~name:"n" (fun () -> ())));
+  Tracer.point (Some t) ~cat:"supervisor" ~name:"degraded" ~arg:"why" ();
+  let p = profile_ok (Buffer.contents buf) in
+  Alcotest.(check int) "spans" 4 (Profile.spans p);
+  Alcotest.(check int) "points" 1 (Profile.points p);
+  Alcotest.(check int) "unclosed" 0 (Profile.unclosed p);
+  Alcotest.(check int) "events" 9 (Profile.events p);
+  let txn = row_exn "txn" p "txn" "" in
+  Alcotest.(check int) "txn count" 1 txn.count;
+  (* deterministic clock: every span closes 2 readings after it opens
+     except txn (8 readings inside), and self partitions the root. *)
+  let sum_self =
+    List.fold_left (fun a (r : Profile.row) -> a + r.self_ns) 0
+      (Profile.rows p)
+  in
+  Alcotest.(check int) "conservation" txn.total_ns sum_self
+
+let disabled_tracer_is_noop () =
+  (* The None path must not emit or allocate a stream at all. *)
+  let hits = ref 0 in
+  let r = Tracer.span None ~cat:"txn" (fun () -> incr hits; 42) in
+  Tracer.point None ~cat:"supervisor" ();
+  Alcotest.(check int) "body ran" 1 !hits;
+  Alcotest.(check int) "value through" 42 r
+
+let span_closes_on_exception () =
+  let t, buf = buffer_tracer () in
+  (try
+     Tracer.span (Some t) ~cat:"txn" (fun () ->
+         Tracer.span (Some t) ~cat:"constraint" ~name:"c" (fun () ->
+             failwith "boom"))
+   with Failure _ -> ());
+  let p = profile_ok (Buffer.contents buf) in
+  Alcotest.(check int) "all spans closed" 0 (Profile.unclosed p);
+  Alcotest.(check int) "both spans present" 2 (Profile.spans p)
+
+(* -- Engine integration ------------------------------------------------ *)
+
+let monitor_emits_txn_forest () =
+  let spec =
+    "constraint c1: forall x. q(x) -> once[0,20] p(x) ;\n\
+     constraint c2: forall x. q(x) -> once[0,5] p(x) ;"
+  in
+  let defs =
+    List.map
+      (fun src -> get_ok "def" (Parser.def_of_string src))
+      (String.split_on_char '\n' spec |> List.filter (fun s -> s <> ""))
+  in
+  let tr =
+    Gen.random_trace ~seed:3 { Gen.default_params with steps = 12 }
+  in
+  let t, buf = buffer_tracer () in
+  let _ = get_ok "run" (Monitor.run_trace ~tracer:t defs tr) in
+  let events = parse_ok (Buffer.contents buf) in
+  let p = get_ok "profile" (Profile.of_events events) in
+  Alcotest.(check int) "no unclosed spans" 0 (Profile.unclosed p);
+  let txn = row_exn "txn row" p "txn" "" in
+  Alcotest.(check int) "one root span per transaction"
+    (List.length tr.Trace.steps) txn.count;
+  Alcotest.(check int) "same count of apply spans"
+    (List.length tr.Trace.steps)
+    (row_exn "apply row" p "apply" "").count;
+  List.iter
+    (fun name ->
+      Alcotest.(check int)
+        ("constraint " ^ name ^ " evaluated once per txn")
+        (List.length tr.Trace.steps)
+        (row_exn "constraint row" p "constraint" name).count)
+    [ "c1"; "c2" ]
+
+let supervisor_traces_durability () =
+  let d = get_ok "def" (Parser.def_of_string
+    "constraint c: forall x. q(x) -> once[0,20] p(x) ;") in
+  let tr = Gen.random_trace ~seed:5 { Gen.default_params with steps = 6 } in
+  let t, buf = buffer_tracer () in
+  let fs = Faults.mem_fs () in
+  let sup =
+    get_ok "create"
+      (Supervisor.create ~fs ~tracer:t
+         ~config:{ Supervisor.default_config with auto_checkpoint = 2 }
+         ~init:tr.Trace.init ~state_dir:"state" Gen.generic_catalog [ d ])
+  in
+  List.iter
+    (fun (time, txn) -> ignore (get_ok "step" (Supervisor.step sup ~time txn)))
+    tr.Trace.steps;
+  let p = profile_ok (Buffer.contents buf) in
+  Alcotest.(check int) "unclosed" 0 (Profile.unclosed p);
+  Alcotest.(check int) "one wal append per accepted txn"
+    (List.length tr.Trace.steps)
+    (row_exn "wal" p "wal" "append").count;
+  (* the initial snapshot create writes, plus one every 2 accepted txns *)
+  Alcotest.(check int) "auto-checkpoint every 2 txns"
+    (1 + (List.length tr.Trace.steps / 2))
+    (row_exn "checkpoint" p "checkpoint" "write").count
+
+(* -- The stream property ----------------------------------------------- *)
+
+(* Validate the raw event stream invariants directly (not via Profile):
+   ids unique and increasing, timestamps monotone, every close matches
+   the innermost open, every open closes, opens record the then-innermost
+   span as parent, and root spans are exactly the txn spans. *)
+let well_formed_stream events ~txns =
+  let seen_ids = Hashtbl.create 64 in
+  let ok = ref true in
+  let check b = if not b then ok := false in
+  let last_t = ref min_int in
+  let last_id = ref (-1) in
+  let roots = ref 0 in
+  let rec go stack = function
+    | [] -> check (stack = [])
+    | (e : Profile.event) :: rest ->
+      check (e.t_ns >= !last_t);
+      last_t := e.t_ns;
+      (match e.ev with
+       | `Open | `Point ->
+         check (not (Hashtbl.mem seen_ids e.id));
+         Hashtbl.replace seen_ids e.id ();
+         check (e.id > !last_id);
+         last_id := e.id;
+         check
+           (e.parent
+           = match stack with [] -> None | (id, _) :: _ -> Some id);
+         (match e.ev with
+          | `Open ->
+            if stack = [] then begin
+              incr roots;
+              check (e.cat = "txn")
+            end;
+            go ((e.id, e.cat) :: stack) rest
+          | _ -> go stack rest)
+       | `Close ->
+         (match stack with
+          | (id, _) :: stack' ->
+            check (id = e.id);
+            go stack' rest
+          | [] -> check false))
+  in
+  go [] events;
+  !ok && !roots = txns
+
+let stream_property =
+  qtest ~count:60 "every emitted stream is a well-formed span forest"
+    QCheck.small_nat
+    (fun seed ->
+      let d =
+        match Parser.def_of_string
+                "constraint c: forall x. q(x) -> once[0,10] p(x) ;"
+        with
+        | Ok d -> d
+        | Error m -> failwith m
+      in
+      let tr =
+        Gen.random_trace ~seed { Gen.default_params with steps = 10 }
+      in
+      let t, buf = buffer_tracer () in
+      (match Monitor.run_trace ~tracer:t [ d ] tr with
+       | Ok _ -> ()
+       | Error m -> failwith m);
+      let events =
+        match Profile.parse_events (Buffer.contents buf) with
+        | Ok es -> es
+        | Error m -> failwith m
+      in
+      let p =
+        match Profile.of_events events with
+        | Ok p -> p
+        | Error m -> failwith m
+      in
+      let sum_self =
+        List.fold_left (fun a (r : Profile.row) -> a + r.self_ns) 0
+          (Profile.rows p)
+      in
+      let roots = root_durations events in
+      well_formed_stream events ~txns:(List.length tr.Trace.steps)
+      && Profile.unclosed p = 0
+      && sum_self = List.fold_left ( + ) 0 roots)
+
+(* -- Profile aggregation on a hand-written stream ---------------------- *)
+
+let hand_trace =
+  {|{"schema":"rtic-trace/1"}
+{"ev":"open","id":0,"parent":null,"cat":"txn","arg":"5","t_ns":0}
+{"ev":"open","id":1,"parent":0,"cat":"constraint","name":"c","t_ns":20}
+{"ev":"close","id":1,"t_ns":50}
+{"ev":"close","id":0,"t_ns":70}
+{"ev":"point","id":2,"parent":null,"cat":"supervisor","name":"quarantine","arg":"c","t_ns":80}
+|}
+
+let profile_aggregation () =
+  let p = profile_ok hand_trace in
+  Alcotest.(check int) "events" 5 (Profile.events p);
+  Alcotest.(check int) "spans" 2 (Profile.spans p);
+  Alcotest.(check int) "points" 1 (Profile.points p);
+  let txn = row_exn "txn" p "txn" "" in
+  Alcotest.(check int) "txn total" 70 txn.total_ns;
+  Alcotest.(check int) "txn self excludes the child" 40 txn.self_ns;
+  let c = row_exn "c" p "constraint" "c" in
+  Alcotest.(check int) "constraint total" 30 c.total_ns;
+  Alcotest.(check int) "constraint self" 30 c.self_ns;
+  let q = row_exn "quarantine" p "supervisor" "quarantine" in
+  Alcotest.(check int) "points count but take no time" 0 q.total_ns;
+  Alcotest.(check int) "point count" 1 q.count
+
+let profile_collapsed () =
+  let p = profile_ok hand_trace in
+  Alcotest.(check string) "collapsed stacks"
+    "txn 40\ntxn;constraint:c 30\n"
+    (Profile.to_collapsed p)
+
+let profile_json_shape () =
+  let p = profile_ok hand_trace in
+  let j = Profile.to_json p in
+  let module Json = Rtic_core.Json in
+  Alcotest.(check (option string)) "schema" (Some "rtic-profile/1")
+    (Option.bind (Json.member "schema" j) Json.to_str);
+  match Option.bind (Json.member "rows" j) Json.to_list with
+  | Some rows -> Alcotest.(check int) "row count" 3 (List.length rows)
+  | None -> Alcotest.fail "rows missing"
+
+let profile_errors () =
+  let err = get_error "mismatched close"
+      (Profile.of_string
+         {|{"ev":"open","id":0,"parent":null,"cat":"txn","t_ns":0}
+{"ev":"open","id":1,"parent":0,"cat":"apply","t_ns":1}
+{"ev":"close","id":0,"t_ns":2}
+|})
+  in
+  Alcotest.(check bool) "names the offending span"
+    true
+    (String.length err > 0);
+  let err =
+    get_error "foreign schema"
+      (Profile.parse_events {|{"schema":"rtic-stats/1"}|})
+  in
+  Alcotest.(check bool) "line number in parse errors" true
+    (String.length err >= 12 && String.sub err 0 12 = "trace line 1");
+  (* truncated capture: unclosed spans are counted, not errors *)
+  let p =
+    profile_ok
+      {|{"ev":"open","id":0,"parent":null,"cat":"txn","t_ns":0}
+{"ev":"open","id":1,"parent":0,"cat":"apply","t_ns":1}
+{"ev":"close","id":1,"t_ns":3}
+|}
+  in
+  Alcotest.(check int) "unclosed counted" 1 (Profile.unclosed p);
+  let txn = find_row p "txn" "" in
+  Alcotest.(check bool) "unclosed span contributes no row" true (txn = None)
+
+let suite =
+  [ ( "tracer",
+      [ Alcotest.test_case "span nesting and conservation" `Quick span_nesting;
+        Alcotest.test_case "disabled tracer is a no-op" `Quick
+          disabled_tracer_is_noop;
+        Alcotest.test_case "spans close on exception" `Quick
+          span_closes_on_exception;
+        Alcotest.test_case "monitor emits one txn root per transaction" `Quick
+          monitor_emits_txn_forest;
+        Alcotest.test_case "supervisor traces WAL and checkpoints" `Quick
+          supervisor_traces_durability;
+        stream_property ] );
+    ( "profile",
+      [ Alcotest.test_case "aggregation" `Quick profile_aggregation;
+        Alcotest.test_case "collapsed stacks" `Quick profile_collapsed;
+        Alcotest.test_case "json document" `Quick profile_json_shape;
+        Alcotest.test_case "errors and truncation" `Quick profile_errors ] ) ]

@@ -1,0 +1,156 @@
+(* Bench regression guard: compare fresh BENCH_*.json artifacts (schema
+   rtic-bench/1) against the checked-in baselines and fail when a timing
+   metric regressed past its tolerance.
+
+     bench_diff --baseline-dir bench/baselines [--default-tol 0.05]
+                [--tol ns_per_run=0.35] BENCH_MICRO.json ...
+
+   Series entries are matched by their "name" field when present, by
+   position otherwise; within a matched pair every numeric leaf with a
+   time-like key (ns_per_run, ms, or a *_ns/*_ms/*_us suffix) is compared.
+   A fresh value above baseline * (1 + tol) is a regression. Faster runs,
+   metrics new in the fresh artifact, and non-timing fields never fail.
+   Exit 0 when clean, 1 on any regression, 2 on usage or parse errors. *)
+
+module Json = Rtic_core.Json
+
+let die fmt = Printf.ksprintf (fun m -> prerr_endline ("bench_diff: " ^ m); exit 2) fmt
+
+let read_json path =
+  let text =
+    try In_channel.with_open_bin path In_channel.input_all
+    with Sys_error m -> die "%s" m
+  in
+  match Json.of_string text with
+  | Ok j -> j
+  | Error m -> die "%s: %s" path m
+
+let time_like key =
+  key = "ns_per_run" || key = "ms"
+  || List.exists
+       (fun suffix ->
+         String.length key > String.length suffix
+         && String.ends_with ~suffix key)
+       [ "_ns"; "_ms"; "_us" ]
+
+(* Every time-like numeric leaf under [j], with a dotted path for display
+   and the bare key for tolerance lookup. *)
+let rec metrics prefix j =
+  match j with
+  | Json.Obj fields ->
+    List.concat_map
+      (fun (k, v) ->
+        let path = if prefix = "" then k else prefix ^ "." ^ k in
+        match v with
+        | (Json.Int _ | Json.Float _) when time_like k ->
+          [ (path, k, Option.get (Json.to_float v)) ]
+        | _ -> metrics path v)
+      fields
+  | Json.List items ->
+    List.concat (List.mapi (fun i v -> metrics (Printf.sprintf "%s[%d]" prefix i) v) items)
+  | _ -> []
+
+let series_of path j =
+  (match Json.member "schema" j |> Option.map Json.to_str with
+   | Some (Some "rtic-bench/1") -> ()
+   | _ -> die "%s: not an rtic-bench/1 artifact" path);
+  match Json.member "series" j |> Option.map Json.to_list with
+  | Some (Some items) -> items
+  | _ -> die "%s: missing series list" path
+
+let entry_name i j =
+  match Json.member "name" j |> Option.map Json.to_str with
+  | Some (Some n) -> n
+  | _ -> Printf.sprintf "#%d" i
+
+let () =
+  let baseline_dir = ref None in
+  let default_tol = ref 0.05 in
+  let tols : (string, float) Hashtbl.t = Hashtbl.create 8 in
+  let fresh_files = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--baseline-dir" :: dir :: rest ->
+      baseline_dir := Some dir;
+      parse rest
+    | "--default-tol" :: r :: rest ->
+      (match float_of_string_opt r with
+       | Some f when f >= 0.0 -> default_tol := f
+       | _ -> die "--default-tol wants a non-negative number, got %s" r);
+      parse rest
+    | "--tol" :: kv :: rest ->
+      (match String.index_opt kv '=' with
+       | Some i ->
+         let key = String.sub kv 0 i in
+         let r = String.sub kv (i + 1) (String.length kv - i - 1) in
+         (match float_of_string_opt r with
+          | Some f when f >= 0.0 -> Hashtbl.replace tols key f
+          | _ -> die "--tol %s: bad ratio" kv)
+       | None -> die "--tol wants KEY=RATIO, got %s" kv);
+      parse rest
+    | arg :: _ when String.length arg > 1 && arg.[0] = '-' ->
+      die "unknown option %s" arg
+    | file :: rest ->
+      fresh_files := file :: !fresh_files;
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let baseline_dir =
+    match !baseline_dir with
+    | Some d -> d
+    | None -> die "--baseline-dir is required"
+  in
+  let fresh_files = List.rev !fresh_files in
+  if fresh_files = [] then die "no fresh artifacts given";
+  let regressions = ref 0 in
+  List.iter
+    (fun fresh_path ->
+      let base_path = Filename.concat baseline_dir (Filename.basename fresh_path) in
+      if not (Sys.file_exists base_path) then
+        Printf.printf "%-24s no baseline (%s), skipped\n"
+          (Filename.basename fresh_path) base_path
+      else begin
+        let fresh = series_of fresh_path (read_json fresh_path) in
+        let base = series_of base_path (read_json base_path) in
+        let base_by_name =
+          List.mapi (fun i j -> (entry_name i j, j)) base
+        in
+        List.iteri
+          (fun i fj ->
+            let name = entry_name i fj in
+            match List.assoc_opt name base_by_name with
+            | None ->
+              Printf.printf "%-28s new series (no baseline)\n" name
+            | Some bj ->
+              let base_metrics = metrics "" bj in
+              List.iter
+                (fun (path, key, fv) ->
+                  match
+                    List.find_opt (fun (p, _, _) -> p = path) base_metrics
+                  with
+                  | None ->
+                    Printf.printf "%-28s %-24s new metric (no baseline)\n"
+                      name path
+                  | Some (_, _, bv) ->
+                    let tol =
+                      Option.value ~default:!default_tol
+                        (Hashtbl.find_opt tols key)
+                    in
+                    let ratio = if bv = 0.0 then 0.0 else fv /. bv in
+                    let bad = fv > bv *. (1.0 +. tol) in
+                    if bad then incr regressions;
+                    Printf.printf
+                      "%-28s %-24s %12.1f -> %12.1f  (%+.1f%%, tol %.0f%%)%s\n"
+                      name path bv fv
+                      (100.0 *. (ratio -. 1.0))
+                      (100.0 *. tol)
+                      (if bad then "  REGRESSION" else ""))
+                (metrics "" fj))
+          fresh
+      end)
+    fresh_files;
+  if !regressions > 0 then begin
+    Printf.printf "%d regression(s)\n" !regressions;
+    exit 1
+  end
+  else print_endline "no regressions"
