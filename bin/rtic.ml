@@ -40,6 +40,7 @@ module Future = Rtic_core.Future
 module Supervisor = Rtic_core.Supervisor
 module Faults = Rtic_core.Faults
 module Wal = Rtic_core.Wal
+module Pool = Rtic_core.Pool
 module Compile = Rtic_active.Compile
 module Scenarios = Rtic_workload.Scenarios
 module Gen = Rtic_workload.Gen
@@ -129,16 +130,16 @@ let check_with_future ?tracer cat defs tr =
     (fun acc (d : Formula.def) ->
       let* acc = acc in
       let* st = Future.create ?tracer cat d in
-      let* st, out =
+      let* st, out_rev =
         List.fold_left
           (fun acc (time, db) ->
-            let* st, out = acc in
+            let* st, out_rev = acc in
             let* st, vs = Future.step st ~time db in
-            Ok (st, out @ vs))
+            Ok (st, List.rev_append vs out_rev))
           (Ok (st, []))
           (History.snapshots h)
       in
-      let out = out @ Future.finish st in
+      let out = List.rev_append out_rev (Future.finish st) in
       let viols =
         List.filter_map
           (fun (v : Future.verdict) ->
@@ -150,26 +151,28 @@ let check_with_future ?tracer cat defs tr =
                   time = v.time })
           out
       in
-      Ok (acc @ viols))
+      Ok (List.rev_append viols acc))
     (Ok []) defs
+  |> Result.map List.rev
 
 (* Incremental run with optional checkpoint restore/save. The restored
    monitor's database replaces the trace's initial state, so a saved run can
    be continued with a trace holding only the remaining transactions. *)
-let run_incremental_with_state ?metrics ?tracer config cat past_defs
+let run_incremental_with_state ?metrics ?tracer ?pool config cat past_defs
     (tr : Trace.t) load save want_stats =
   let* m =
     match load with
     | None ->
-      Monitor.create_with ?metrics ?tracer ~config tr.Trace.init past_defs
+      Monitor.create_with ?metrics ?tracer ?pool ~config tr.Trace.init
+        past_defs
     | Some path ->
       let* text = read_file path in
-      Monitor.of_text ?metrics ?tracer ~config cat past_defs text
+      Monitor.of_text ?metrics ?tracer ?pool ~config cat past_defs text
   in
-  let* m, reports, stats =
+  let* m, reports_rev, stats =
     List.fold_left
       (fun acc (time, txn) ->
-        let* m, out, stats = acc in
+        let* m, out_rev, stats = acc in
         let* m, rs = Monitor.step m ~time txn in
         Logs.info (fun k ->
             k "[%d] txn: %d violation(s), aux space %d" time (List.length rs)
@@ -179,7 +182,7 @@ let run_incremental_with_state ?metrics ?tracer config cat past_defs
             Stats.observe stats ~time ~space:(Monitor.space m) ~reports:rs
           else stats
         in
-        Ok (m, out @ rs, stats))
+        Ok (m, List.rev_append rs out_rev, stats))
       (Ok (m, [], Stats.empty))
       tr.Trace.steps
   in
@@ -189,15 +192,15 @@ let run_incremental_with_state ?metrics ?tracer config cat past_defs
      output_string oc (Monitor.to_text m);
      close_out oc
    | None -> ());
-  Ok (reports, stats)
+  Ok (List.rev reports_rev, stats)
 
 (* Crash-safe service mode (--state-dir): run the trace through a
    Supervisor instead of a bare Monitor. A fresh directory starts a new
    service; an existing one is recovered (checkpoint + WAL replay) and
    trace transactions that recovery already covered are skipped, so the
    same invocation can simply be re-run after a crash. *)
-let run_supervised ?tracer ~ppf config cat past_defs (tr : Trace.t) state_dir
-    auto_ck on_error aux_budget quiet want_stats want_json =
+let run_supervised ?tracer ?pool ~ppf config cat past_defs (tr : Trace.t)
+    state_dir auto_ck on_error aux_budget quiet want_stats want_json =
   let policy = or_die (Supervisor.policy_of_string on_error) in
   let scfg =
     { Supervisor.auto_checkpoint = auto_ck;
@@ -210,8 +213,8 @@ let run_supervised ?tracer ~ppf config cat past_defs (tr : Trace.t) state_dir
     if Supervisor.state_exists Faults.real_fs state_dir then begin
       let sup, info =
         or_die
-          (Supervisor.recover ?metrics ?tracer ~config:scfg ~init:tr.Trace.init
-             ~state_dir cat past_defs)
+          (Supervisor.recover ?metrics ?tracer ?pool ~config:scfg
+             ~init:tr.Trace.init ~state_dir cat past_defs)
       in
       List.iter
         (fun (file, reason) ->
@@ -244,8 +247,8 @@ let run_supervised ?tracer ~ppf config cat past_defs (tr : Trace.t) state_dir
     end
     else
       ( or_die
-          (Supervisor.create ?metrics ?tracer ~config:scfg ~init:tr.Trace.init
-             ~state_dir cat past_defs),
+          (Supervisor.create ?metrics ?tracer ?pool ~config:scfg
+             ~init:tr.Trace.init ~state_dir cat past_defs),
         tr.Trace.steps )
   in
   ignore config;
@@ -297,9 +300,13 @@ let run_supervised ?tracer ~ppf config cat past_defs (tr : Trace.t) state_dir
   end;
   if !reports = [] then 0 else 1
 
-let run_check spec_file trace_file engine no_prune quiet load save want_stats
-    want_json want_trace trace_out state_dir auto_ck on_error aux_budget =
+let run_check spec_file trace_file engine no_prune jobs quiet load save
+    want_stats want_json want_trace trace_out state_dir auto_ck on_error
+    aux_budget =
   let want_stats = want_stats || want_json in
+  if jobs < 1 then usage_error "--jobs must be at least 1";
+  if jobs > 1 && not (List.mem engine [ E_incremental; E_shared ]) then
+    usage_error "--jobs requires --engine incremental or shared";
   if want_trace then begin
     Logs.set_reporter (Logs_fmt.reporter ());
     Logs.set_level (Some Logs.Info)
@@ -352,6 +359,7 @@ let run_check spec_file trace_file engine no_prune quiet load save want_stats
   let cat = spec.Parser.catalog in
   let config = { Incremental.prune = not no_prune } in
   let past_defs, future_defs = split_defs spec in
+  let pool = if jobs > 1 then Some (Pool.create jobs) else None in
   let code =
   match state_dir with
   | Some dir ->
@@ -363,8 +371,8 @@ let run_check spec_file trace_file engine no_prune quiet load save want_stats
       usage_error
         "--state-dir supports past-only constraints (future operators need \
          verdict delay, which is not crash-safe)";
-    run_supervised ?tracer ~ppf config cat past_defs tr dir auto_ck on_error
-      aux_budget quiet want_stats want_json
+    run_supervised ?tracer ?pool ~ppf config cat past_defs tr dir auto_ck
+      on_error aux_budget quiet want_stats want_json
   | None ->
     if on_error <> "halt" || auto_ck <> 64 || aux_budget <> None then
       usage_error
@@ -376,12 +384,12 @@ let run_check spec_file trace_file engine no_prune quiet load save want_stats
     | E_incremental ->
       let rs, st =
         or_die
-          (run_incremental_with_state ?metrics ?tracer config cat past_defs
-             tr load save want_stats)
+          (run_incremental_with_state ?metrics ?tracer ?pool config cat
+             past_defs tr load save want_stats)
       in
       stats := st;
       rs
-    | E_shared -> or_die (Shared.run_trace ?tracer ~config past_defs tr)
+    | E_shared -> or_die (Shared.run_trace ?tracer ?pool ~config past_defs tr)
     | E_naive -> or_die (Monitor.run_trace_naive past_defs tr)
     | E_active ->
       let h = or_die (Trace.materialize tr) in
@@ -404,8 +412,9 @@ let run_check spec_file trace_file engine no_prune quiet load save want_stats
               (Ok (Compile.start prog, 0, []))
               (History.snapshots h)
           in
-          Ok (acc @ List.rev viols))
+          Ok (viols @ acc))
         (Ok []) past_defs
+      |> Result.map List.rev
       |> or_die
     | E_future -> or_die (check_with_future ?tracer cat spec.Parser.defs tr)
   in
@@ -441,6 +450,7 @@ let run_check spec_file trace_file engine no_prune quiet load save want_stats
   in
   Format.pp_print_flush ppf ();
   close_trace ();
+  Option.iter Pool.shutdown pool;
   code
 
 (* ------------------------------------------------------------------ *)
@@ -697,6 +707,15 @@ let no_prune_arg =
          ~doc:"Disable the bounded-history-encoding pruning (ablation; \
                verdicts are unchanged, auxiliary space grows).")
 
+let jobs_arg =
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N"
+         ~doc:"Check constraints on $(docv) worker domains: the constraint \
+               set is sharded across a fixed pool and every transaction \
+               fans out to all shards, with verdicts merged back in \
+               registration order — reports, statistics and exit codes are \
+               identical to a sequential run. $(b,1) (the default) is the \
+               sequential path. Engines incremental and shared.")
+
 let quiet_arg =
   Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Only print the summary line.")
 
@@ -769,7 +788,7 @@ let check_cmd =
   let doc = "monitor a trace and report constraint violations" in
   Cmd.v (Cmd.info "check" ~doc)
     Term.(const run_check $ spec_arg $ trace_pos 1 $ engine_arg $ no_prune_arg
-          $ quiet_arg $ load_state_arg $ save_state_arg $ stats_arg
+          $ jobs_arg $ quiet_arg $ load_state_arg $ save_state_arg $ stats_arg
           $ json_arg $ trace_flag_arg $ trace_out_arg $ state_dir_arg
           $ auto_checkpoint_arg $ on_error_arg $ aux_budget_arg)
 

@@ -1,0 +1,45 @@
+(** Round-robin fan-out plan for per-constraint checkers.
+
+    {!Monitor} and {!Supervisor} run one {!Incremental} checker per
+    constraint; with a {!Pool} of size N > 1 the checkers are partitioned
+    round-robin into [min N count] shards (checker [i] lands in shard
+    [i mod nshards]) and each shard is stepped by one domain.
+
+    Because {!Metrics.t} is not thread-safe, each shard records into a
+    {e private} recorder created here; after every parallel step the
+    coordinator calls {!sync}, which copies every shard gauge row onto its
+    sequential-order slot in the main recorder and overwrites the shared
+    step/cache counters with the shard sums — making the main recorder's
+    stats document identical to a sequential run's (latencies excepted;
+    they are timing). *)
+
+type t
+
+val make : ?metrics:Metrics.t -> Pool.t -> int -> t
+(** [make ?metrics pool n] plans a fan-out of [n] checkers over the pool.
+    [?metrics] is the {e main} recorder the caller reports from; when
+    given, one private recorder per shard is created for the checkers to
+    record into. Callers should only build a plan when [Pool.size pool > 1]
+    and [n > 1] — otherwise the sequential path is both correct and
+    cheaper. *)
+
+val pool : t -> Pool.t
+val nshards : t -> int
+
+val groups : t -> int array array
+(** Checker indices per shard, ascending within each shard. *)
+
+val shard_metrics : t -> int -> Metrics.t option
+(** The private recorder checker [i] must be created with ([None] when the
+    plan has no main recorder). *)
+
+val register : t -> int -> string list -> unit
+(** [register t i names] — call right after creating checker [i] (which
+    appended [names] rows to its shard recorder): appends the same rows to
+    the main recorder, in checker order, and remembers the row mapping for
+    {!sync}. No-op without a main recorder. *)
+
+val sync : t -> unit
+(** Copy every shard gauge row to the main recorder and overwrite its
+    step/cache counters with the shard sums. Call after each parallel
+    step, from the coordinator only. *)

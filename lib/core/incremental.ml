@@ -71,6 +71,7 @@ let step st ~time db =
 
 let space st = Kernel.space st.kernel
 let space_detail st = Kernel.space_detail st.kernel
+let node_names st = Kernel.node_names st.kernel
 
 (* ---------------- Checkpointing ---------------- *)
 

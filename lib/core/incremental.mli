@@ -78,6 +78,12 @@ val space : t -> int
 val space_detail : t -> (string * int) list
 (** Same measure, per temporal subformula (pretty-printed). *)
 
+val node_names : t -> string list
+(** The checker's metrics gauge-row names (constraint-prefixed temporal
+    subformulas), in registration order; empty unless the checker was
+    created with [?metrics] or [?tracer]. The parallel fan-out uses this
+    to mirror a shard-recorder registration into the main recorder. *)
+
 (** {2 Checkpointing}
 
     The whole point of the bounded history encoding is that it {e is} the

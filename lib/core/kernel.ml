@@ -296,6 +296,10 @@ let step st ~time db =
 
 let node_count st = Array.length st.infos
 
+let node_formulas st = Array.map (fun info -> info.node) st.infos
+
+let node_names st = Array.to_list st.span_names
+
 let space st =
   let prev =
     match st.prev_db with

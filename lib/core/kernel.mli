@@ -59,6 +59,18 @@ val step :
 val node_count : t -> int
 (** Number of distinct temporal subformulas maintained. *)
 
+val node_formulas : t -> Rtic_mtl.Formula.t array
+(** The maintained temporal subformulas, in closure (registration) order —
+    the order of this kernel's gauge rows in its metrics recorder. Used by
+    the parallel fan-out to map a shard kernel's rows onto the global
+    sequential-order rows. *)
+
+val node_names : t -> string list
+(** The display names of {!node_formulas} (metrics gauge rows / tracer
+    node spans), in the same order. Empty unless the kernel was created
+    with [?metrics] or [?tracer] — the names are only computed when an
+    instrument is attached. *)
+
 val space : t -> int
 (** Stored (valuation, timestamp) pairs + previous-state rows. *)
 

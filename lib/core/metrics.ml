@@ -90,6 +90,23 @@ let add_violations m n = m.violations <- m.violations + n
 let cache_hit m = m.cache_hits <- m.cache_hits + 1
 let cache_miss m = m.cache_misses <- m.cache_misses + 1
 
+(* Parallel-shard synchronisation (see Fanout): a coordinator copies a
+   shard recorder's gauges into the main recorder after the join, so the
+   main recorder's document equals the sequential run's exactly. *)
+let copy_node ~src i ~dst j =
+  let s = src.nodes.(i) and d = dst.nodes.(j) in
+  d.aux_size <- s.aux_size;
+  d.peak_aux_size <- s.peak_aux_size;
+  d.pruned <- s.pruned;
+  d.survival_checked <- s.survival_checked;
+  d.survival_kept <- s.survival_kept
+
+let set_steps m n = m.steps <- n
+
+let set_cache_counts m ~hits ~misses =
+  m.cache_hits <- hits;
+  m.cache_misses <- misses
+
 let set_aux_size m i size =
   let nd = m.nodes.(i) in
   nd.aux_size <- size;

@@ -70,6 +70,23 @@ val set_aux_size : t -> int -> int -> unit
 val add_pruned : t -> int -> int -> unit
 val add_survival : t -> int -> checked:int -> kept:int -> unit
 
+val copy_node : src:t -> int -> dst:t -> int -> unit
+(** [copy_node ~src i ~dst j] overwrites gauge row [j] of [dst] with row
+    [i] of [src] (size, peak, pruned, survival counts). Used by the
+    parallel fan-out: shard kernels record into private per-shard
+    recorders (the main recorder is not thread-safe), and the coordinator
+    copies each shard row to its sequential-order slot in the main
+    recorder after the join, so the main document is byte-identical to a
+    sequential run's. *)
+
+val set_steps : t -> int -> unit
+(** Overwrite the kernel-step count. Parallel fan-out only: the
+    coordinator sets the main recorder to the sum over shard recorders. *)
+
+val set_cache_counts : t -> hits:int -> misses:int -> unit
+(** Overwrite the formula-cache counters. Parallel fan-out only, like
+    {!set_steps}. *)
+
 val record_latency : t -> float -> unit
 (** [record_latency m seconds] records one step's wall-clock duration.
 

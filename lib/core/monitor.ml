@@ -15,45 +15,68 @@ type t = {
   checkers : Incremental.t list;  (* in registration order *)
   metrics : Metrics.t option;
   tracer : Tracer.t option;
+  fan : Fanout.t option;  (* parallel plan; None = sequential *)
 }
 
 let ( let* ) r f = Result.bind r f
 
-let create_with ?metrics ?tracer ?config db defs =
+(* Build the checkers in registration order. With a pool of size > 1 the
+   checkers are partitioned round-robin (Fanout): each is created against
+   its shard's private recorder and without a tracer (both are
+   single-threaded recorders), and the main recorder receives the same
+   gauge rows in the same order a sequential run would have registered
+   them. [mk] admits one checker from its def plus a per-def payload
+   (unit for [create], the checkpoint section for [of_text]). *)
+let build ?metrics ?tracer ?pool ~db defs payloads mk =
   let names = List.map (fun (d : Formula.def) -> d.name) defs in
   if List.length (List.sort_uniq String.compare names) <> List.length names
   then Error "duplicate constraint names"
-  else
-    let* checkers =
-      List.fold_left
-        (fun acc d ->
-          let* acc = acc in
-          let* c =
-            Incremental.create ?metrics ?tracer ?config (Database.catalog db) d
-          in
-          Ok (c :: acc))
-        (Ok []) defs
+  else begin
+    let fan =
+      match pool with
+      | Some p when Pool.size p > 1 && List.length defs > 1 ->
+        Some (Fanout.make ?metrics p (List.length defs))
+      | _ -> None
     in
-    Ok { db; checkers = List.rev checkers; metrics; tracer }
+    let* checkers =
+      List.fold_left2
+        (fun acc d payload ->
+          let* i, acc = acc in
+          let* c =
+            match fan with
+            | None -> mk ?metrics ?tracer d payload
+            | Some fan -> mk ?metrics:(Fanout.shard_metrics fan i) ?tracer:None d payload
+          in
+          (match fan with
+           | Some fan -> Fanout.register fan i (Incremental.node_names c)
+           | None -> ());
+          Ok (i + 1, c :: acc))
+        (Ok (0, []))
+        defs payloads
+      |> Result.map (fun (_, cs) -> List.rev cs)
+    in
+    Ok { db; checkers; metrics; tracer; fan }
+  end
 
-let create ?metrics ?tracer ?config cat defs =
-  create_with ?metrics ?tracer ?config (Database.create cat) defs
+let create_with ?metrics ?tracer ?pool ?config db defs =
+  build ?metrics ?tracer ?pool ~db defs
+    (List.map (fun _ -> ()) defs)
+    (fun ?metrics ?tracer d () ->
+      Incremental.create ?metrics ?tracer ?config (Database.catalog db) d)
+
+let create ?metrics ?tracer ?pool ?config cat defs =
+  create_with ?metrics ?tracer ?pool ?config (Database.create cat) defs
 
 let database m = m.db
 
 (* The resilience layer (Supervisor) steps checkers individually so it can
    quarantine one without stopping the rest; it re-enters through these. *)
 let parts m = (m.db, m.checkers)
-let of_parts ?metrics ?tracer db checkers = { db; checkers; metrics; tracer }
+let fanout m = m.fan
+let of_parts ?metrics ?tracer db checkers =
+  { db; checkers; metrics; tracer; fan = None }
 
-let step m ~time txn =
-  Tracer.span m.tracer ~cat:"txn" ~arg:(string_of_int time) @@ fun () ->
-  let t0 =
-    match m.metrics with None -> 0.0 | Some _ -> Unix.gettimeofday ()
-  in
-  let* db =
-    Tracer.span m.tracer ~cat:"apply" (fun () -> Update.apply m.db txn)
-  in
+let step_seq m ~time db =
   let* checkers, reports =
     List.fold_left
       (fun acc c ->
@@ -71,19 +94,105 @@ let step m ~time txn =
       (Ok ([], []))
       m.checkers
   in
-  let reports = List.rev reports in
+  Ok (List.rev checkers, List.rev reports)
+
+(* One parallel step: each shard steps its checkers in ascending order;
+   verdicts are scattered back to registration order, and if any checker
+   failed the error of the lowest-index one is returned — the same error a
+   sequential run would have stopped on. *)
+let step_par m fan ~time db =
+  let cs = Array.of_list m.checkers in
+  let timed = m.tracer <> None in
+  let outs =
+    Pool.run (Fanout.pool fan)
+      (Array.map
+         (fun idxs () ->
+           let w0 = if timed then Unix.gettimeofday () else 0.0 in
+           let rec go acc = function
+             | [] -> Ok (List.rev acc)
+             | i :: rest ->
+               (match Incremental.step cs.(i) ~time db with
+                | Error e -> Error (i, e)
+                | Ok (c, v) -> go ((i, c, v) :: acc) rest)
+           in
+           let r = go [] (Array.to_list idxs) in
+           (r, w0, if timed then Unix.gettimeofday () else 0.0))
+         (Fanout.groups fan))
+  in
+  (match m.tracer with
+   | None -> ()
+   | Some tr ->
+     Array.iteri
+       (fun s ((_, w0, w1) : _ * float * float) ->
+         Tracer.timed_span m.tracer ~cat:"shard" ~name:(string_of_int s)
+           ~arg:(string_of_int (Array.length (Fanout.groups fan).(s)))
+           ~t0_ns:(Tracer.stamp tr w0) ~t1_ns:(Tracer.stamp tr w1) ())
+       outs);
+  let err =
+    Array.fold_left
+      (fun acc (r, _, _) ->
+        match r with
+        | Error (i, e) ->
+          (match acc with
+           | Some (j, _) when j <= i -> acc
+           | _ -> Some (i, e))
+        | Ok _ -> acc)
+      None outs
+  in
+  match err with
+  | Some (_, e) -> Error e
+  | None ->
+    let verdicts = Array.make (Array.length cs) None in
+    Array.iter
+      (fun (r, _, _) ->
+        match r with
+        | Ok entries ->
+          List.iter
+            (fun (i, c, v) ->
+              cs.(i) <- c;
+              verdicts.(i) <- Some v)
+            entries
+        | Error _ -> ())
+      outs;
+    let reports = ref [] in
+    for i = Array.length cs - 1 downto 0 do
+      match verdicts.(i) with
+      | Some v when not v.Incremental.satisfied ->
+        reports :=
+          { constraint_name = (Incremental.def cs.(i)).Formula.name;
+            position = v.Incremental.index;
+            time }
+          :: !reports
+      | _ -> ()
+    done;
+    Fanout.sync fan;
+    Ok (Array.to_list cs, !reports)
+
+let step m ~time txn =
+  Tracer.span m.tracer ~cat:"txn" ~arg:(string_of_int time) @@ fun () ->
+  let t0 =
+    match m.metrics with None -> 0.0 | Some _ -> Unix.gettimeofday ()
+  in
+  let* db =
+    Tracer.span m.tracer ~cat:"apply" (fun () -> Update.apply m.db txn)
+  in
+  let* checkers, reports =
+    match m.fan with
+    | None -> step_seq m ~time db
+    | Some fan -> step_par m fan ~time db
+  in
   (match m.metrics with
    | None -> ()
    | Some mx ->
      Metrics.record_latency mx (Unix.gettimeofday () -. t0);
      Metrics.add_violations mx (List.length reports));
-  Ok ({ m with db; checkers = List.rev checkers }, reports)
+  Ok ({ m with db; checkers }, reports)
 
 let space m =
   List.fold_left (fun acc c -> acc + Incremental.space c) 0 m.checkers
 
-let run_trace ?metrics ?tracer ?config defs (tr : Trace.t) =
-  let* m = create_with ?metrics ?tracer ?config tr.Trace.init defs in
+let run_trace ?metrics ?tracer ?pool ?config defs (tr : Trace.t) =
+  let* m = create_with ?metrics ?tracer ?pool ?config tr.Trace.init defs in
   let* _, reports =
     List.fold_left
       (fun acc (time, txn) ->
@@ -140,7 +249,7 @@ let to_text m =
     m.checkers;
   Buffer.contents buf
 
-let of_text ?metrics ?tracer ?config cat defs text =
+let of_text ?metrics ?tracer ?pool ?config cat defs text =
   let lines = String.split_on_char '\n' text in
   (* Split into the database section and one section per checker. *)
   let rec split sections current header_ok = function
@@ -167,16 +276,8 @@ let of_text ?metrics ?tracer ?config cat defs text =
           Rtic_relational.Textio.parse_database
             (String.concat "\n" db_section)
         in
-        let* checkers =
-          List.fold_left2
-            (fun acc d section ->
-              let* acc = acc in
-              let* c =
-                Incremental.of_text ?metrics ?tracer ?config cat d
-                  (String.concat "\n" section)
-              in
-              Ok (c :: acc))
-            (Ok []) defs checker_sections
-        in
-        Ok { db; checkers = List.rev checkers; metrics; tracer }
+        build ?metrics ?tracer ?pool ~db defs checker_sections
+          (fun ?metrics ?tracer d section ->
+            Incremental.of_text ?metrics ?tracer ?config cat d
+              (String.concat "\n" section))
     | _ -> Error "monitor checkpoint: missing database section"

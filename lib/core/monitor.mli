@@ -21,6 +21,7 @@ type t
 val create :
   ?metrics:Metrics.t ->
   ?tracer:Tracer.t ->
+  ?pool:Pool.t ->
   ?config:Incremental.config ->
   Rtic_relational.Schema.Catalog.t ->
   Rtic_mtl.Formula.def list ->
@@ -31,11 +32,20 @@ val create :
     and {!step} additionally records per-transaction wall-clock latency and
     the violation count. With [?tracer], every {!step} emits a [txn] root
     span containing an [apply] span and one [constraint] span per checker
-    (see {!Tracer}). *)
+    (see {!Tracer}).
+
+    With [?pool] of size > 1, the checkers are partitioned round-robin
+    across the pool's domains ({!Fanout}) and every {!step} fans the
+    transaction out to all shards, merging verdicts (and any error) back
+    in registration order — reports, error strings and synced metrics are
+    identical to the sequential run; per-constraint tracer spans are
+    replaced by per-shard [shard] spans. A pool of size 1 is the
+    sequential path, bit-for-bit. *)
 
 val create_with :
   ?metrics:Metrics.t ->
   ?tracer:Tracer.t ->
+  ?pool:Pool.t ->
   ?config:Incremental.config ->
   Rtic_relational.Database.t ->
   Rtic_mtl.Formula.def list ->
@@ -49,6 +59,11 @@ val parts : t -> Rtic_relational.Database.t * Incremental.t list
 (** The database and the per-constraint checkers, in registration order.
     Used by the resilience layer ({!Supervisor}), which steps checkers
     individually so it can quarantine one without stopping the rest. *)
+
+val fanout : t -> Fanout.t option
+(** The parallel fan-out plan, when the monitor was created with a pool of
+    size > 1. The resilience layer reuses it to step its checker shards in
+    parallel with the same metrics synchronisation. *)
 
 val of_parts :
   ?metrics:Metrics.t ->
@@ -74,6 +89,7 @@ val space : t -> int
 val run_trace :
   ?metrics:Metrics.t ->
   ?tracer:Tracer.t ->
+  ?pool:Pool.t ->
   ?config:Incremental.config ->
   Rtic_mtl.Formula.def list ->
   Rtic_temporal.Trace.t ->
@@ -105,6 +121,7 @@ val to_text : t -> string
 val of_text :
   ?metrics:Metrics.t ->
   ?tracer:Tracer.t ->
+  ?pool:Pool.t ->
   ?config:Incremental.config ->
   Rtic_relational.Schema.Catalog.t ->
   Rtic_mtl.Formula.def list ->

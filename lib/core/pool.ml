@@ -1,0 +1,130 @@
+(* Fixed worker pool on OCaml 5 domains. One pool is created per run (the
+   CLI's --jobs N) and shared by every fan-out site; workers are spawned
+   once and live until [shutdown], so the per-transaction cost of a
+   parallel step is one enqueue + one latch wait, not a domain spawn.
+
+   The caller participates: [run] enqueues every task and then drains the
+   queue itself alongside the workers, so a pool of size N applies N
+   domains to the task set (the calling domain plus N-1 workers) and a
+   pool of size 1 degenerates to a plain sequential loop with no
+   synchronization at all. *)
+
+type task = unit -> unit
+
+type t = {
+  size : int;
+  lock : Mutex.t;
+  work : Condition.t;  (* signalled when a task is enqueued or on shutdown *)
+  mutable queue : task list;  (* pending tasks, LIFO (order is irrelevant:
+                                 every task writes to its own slot) *)
+  mutable stop : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let size t = t.size
+
+(* Pop one task, or None after shutdown. Workers block here when idle. *)
+let next_task t =
+  Mutex.lock t.lock;
+  let rec wait () =
+    match t.queue with
+    | task :: rest ->
+      t.queue <- rest;
+      Mutex.unlock t.lock;
+      Some task
+    | [] ->
+      if t.stop then begin
+        Mutex.unlock t.lock;
+        None
+      end
+      else begin
+        Condition.wait t.work t.lock;
+        wait ()
+      end
+  in
+  wait ()
+
+let worker t =
+  let rec loop () =
+    match next_task t with
+    | None -> ()
+    | Some task ->
+      task ();
+      loop ()
+  in
+  loop ()
+
+let create n =
+  if n < 1 then invalid_arg "Pool.create: size must be >= 1";
+  let t =
+    { size = n;
+      lock = Mutex.create ();
+      work = Condition.create ();
+      queue = [];
+      stop = false;
+      domains = [] }
+  in
+  (* The calling domain is worker 0; spawn the other n-1. *)
+  t.domains <- List.init (n - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let shutdown t =
+  Mutex.lock t.lock;
+  t.stop <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.lock;
+  List.iter Domain.join t.domains;
+  t.domains <- []
+
+(* Tasks store into their own result slot; completion is observed through
+   [remaining], an atomic the caller re-checks under the lock. The final
+   decrement broadcasts so the caller never sleeps past the last task. *)
+let map_array f xs t =
+  let n = Array.length xs in
+  if t.size = 1 || n <= 1 then Array.map f xs
+  else begin
+    let results = Array.make n None in
+    let errors = Array.make n None in
+    let remaining = Atomic.make n in
+    let task i () =
+      (match f xs.(i) with
+       | v -> results.(i) <- Some v
+       | exception e -> errors.(i) <- Some e);
+      if Atomic.fetch_and_add remaining (-1) = 1 then begin
+        Mutex.lock t.lock;
+        Condition.broadcast t.work;
+        Mutex.unlock t.lock
+      end
+    in
+    Mutex.lock t.lock;
+    for i = n - 1 downto 0 do
+      t.queue <- task i :: t.queue
+    done;
+    Condition.broadcast t.work;
+    Mutex.unlock t.lock;
+    (* Help drain our own batch (the queue may also hold nothing of ours
+       anymore if workers grabbed everything; then we just wait). *)
+    let rec help () =
+      Mutex.lock t.lock;
+      match t.queue with
+      | task :: rest ->
+        t.queue <- rest;
+        Mutex.unlock t.lock;
+        task ();
+        help ()
+      | [] ->
+        if Atomic.get remaining > 0 then begin
+          Condition.wait t.work t.lock;
+          Mutex.unlock t.lock;
+          help ()
+        end
+        else Mutex.unlock t.lock
+    in
+    help ();
+    (* Deterministic failure: re-raise the lowest-index task's exception
+       regardless of which domain ran it or finished first. *)
+    Array.iter (function Some e -> raise e | None -> ()) errors;
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let run t thunks = map_array (fun f -> f ()) thunks t

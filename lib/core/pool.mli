@@ -1,0 +1,38 @@
+(** Fixed worker pool on OCaml 5 domains.
+
+    A pool of size N applies N domains to a batch of independent tasks:
+    the calling domain participates, so [create n] spawns only n-1 worker
+    domains, and a pool of size 1 runs every batch sequentially in the
+    caller with no synchronization at all — the property the engines rely
+    on for [--jobs 1] being bit-for-bit identical to the sequential path.
+
+    Tasks in one batch must be independent (they run concurrently in any
+    order); results are returned positionally, and a failing batch
+    re-raises the {e lowest-index} task's exception whatever the execution
+    order was, so error behaviour is deterministic too.
+
+    The pool is itself thread-safe, but one batch at a time is the
+    intended discipline (the engines fan out from a single coordinator).
+    Always {!shutdown} a pool when done: worker domains otherwise idle
+    until process exit. *)
+
+type t
+
+val create : int -> t
+(** [create n] spawns a pool of [n] domains total ([n-1] workers plus the
+    caller). Raises [Invalid_argument] when [n < 1]. *)
+
+val size : t -> int
+(** The total parallelism, as given to {!create}. *)
+
+val run : t -> (unit -> 'a) array -> 'a array
+(** [run t thunks] runs every thunk (concurrently for pools of size > 1)
+    and returns their results positionally. If any thunk raised, re-raises
+    the exception of the lowest-index failing thunk after the whole batch
+    has finished. *)
+
+val map_array : ('a -> 'b) -> 'a array -> t -> 'b array
+(** [map_array f xs t] is [run t] over [fun () -> f xs.(i)]. *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains. The pool must not be used after. *)

@@ -5,12 +5,30 @@ module Formula = Rtic_mtl.Formula
 module Rewrite = Rtic_mtl.Rewrite
 module Safety = Rtic_mtl.Safety
 module Closure = Rtic_mtl.Closure
+module Pretty = Rtic_mtl.Pretty
 module Valrel = Rtic_eval.Valrel
 module Fo = Rtic_eval.Fo
 
+(* One shard of a parallel run: a subset of the constraints, whole
+   sharing-components at a time, with its own kernel and (when the run is
+   instrumented) its own private metrics recorder. *)
+type part = {
+  p_indices : int array;  (* global constraint indices, ascending *)
+  p_metrics : Metrics.t option;
+  p_slots : int array;  (* shard node j -> main-recorder row; [||] bare *)
+}
+
+type body =
+  | Single of Kernel.t
+  | Sharded of {
+      pool : Pool.t;
+      parts : part array;
+      kernels : Kernel.t array;  (* aligned with [parts] *)
+    }
+
 type t = {
-  names : string list;  (* registration order, aligned with kernel roots *)
-  kernel : Kernel.t;
+  names : string list;  (* registration order *)
+  body : body;
   db : Database.t;
   count : int;
   last_time : int option;
@@ -20,7 +38,115 @@ type t = {
 
 let ( let* ) r f = Result.bind r f
 
-let create ?metrics ?tracer ?(config = Incremental.default_config) cat defs =
+module Fmap = Map.Make (struct
+  type t = Formula.t
+
+  let compare = Formula.compare
+end)
+
+(* Sharing components: constraints i and j are connected iff their
+   temporal closures intersect (share an auxiliary relation). Keeping a
+   component within one shard preserves the sharing optimization — and
+   with it the exact per-node statistics of the sequential run: every
+   auxiliary relation is still maintained exactly once. Returns the
+   components as index lists, ordered by their smallest member. *)
+let components norms =
+  let n = List.length norms in
+  let parent = Array.init n Fun.id in
+  let rec find i =
+    if parent.(i) = i then i
+    else begin
+      let r = find parent.(i) in
+      parent.(i) <- r;
+      r
+    end
+  in
+  let union a b =
+    let ra = find a and rb = find b in
+    if ra <> rb then parent.(max ra rb) <- min ra rb
+  in
+  let seen = ref Fmap.empty in
+  List.iteri
+    (fun i norm ->
+      Array.iter
+        (fun f ->
+          match Fmap.find_opt f !seen with
+          | Some j -> union i j
+          | None -> seen := Fmap.add f i !seen)
+        (Closure.nodes (Closure.build norm)))
+    norms;
+  let tbl = Hashtbl.create 8 in
+  for i = n - 1 downto 0 do
+    let r = find i in
+    Hashtbl.replace tbl r
+      (i :: Option.value ~default:[] (Hashtbl.find_opt tbl r))
+  done;
+  Hashtbl.fold (fun r members acc -> (r, members) :: acc) tbl []
+  |> List.sort compare
+  |> List.map snd
+
+(* Exactly the combination Kernel.create performs — the global closure
+   built here must enumerate the same nodes in the same order as the
+   sequential run's kernel, because its order is the main recorder's
+   gauge-row order. *)
+let combined_closure norms =
+  Closure.build
+    (List.fold_left (fun acc f -> Formula.And (acc, f)) Formula.True norms)
+
+let build_sharded ?metrics pool config names norms =
+  let comps = components norms in
+  let k = min (Pool.size pool) (List.length comps) in
+  if k < 2 then None
+  else begin
+    let names_arr = Array.of_list names in
+    let norms_arr = Array.of_list norms in
+    (* The main recorder gets the global node rows up front, in the order
+       the sequential single-kernel run would have registered them. *)
+    let reg =
+      Option.map
+        (fun main ->
+          let gcl = combined_closure norms in
+          let gnames =
+            Array.to_list (Array.map Pretty.to_string (Closure.nodes gcl))
+          in
+          (gcl, Metrics.register_nodes main gnames))
+        metrics
+    in
+    let groups = Array.make k [] in
+    List.iteri
+      (fun c members -> groups.(c mod k) <- List.rev_append members groups.(c mod k))
+      comps;
+    let parts_kernels =
+      Array.map
+        (fun members ->
+          let idx = Array.of_list (List.sort compare members) in
+          let p_metrics = Option.map (fun _ -> Metrics.create ()) metrics in
+          let kernel =
+            Kernel.create ?metrics:p_metrics
+              ~root_names:(Array.to_list (Array.map (fun i -> names_arr.(i)) idx))
+              config
+              (Array.to_list (Array.map (fun i -> norms_arr.(i)) idx))
+          in
+          let p_slots =
+            match reg with
+            | None -> [||]
+            | Some (gcl, base) ->
+              Array.map
+                (fun f -> base + Closure.id_exn gcl f)
+                (Kernel.node_formulas kernel)
+          in
+          ({ p_indices = idx; p_metrics; p_slots }, kernel))
+        groups
+    in
+    Some
+      (Sharded
+         { pool;
+           parts = Array.map fst parts_kernels;
+           kernels = Array.map snd parts_kernels })
+  end
+
+let create ?metrics ?tracer ?pool ?(config = Incremental.default_config) cat
+    defs =
   let names = List.map (fun (d : Formula.def) -> d.name) defs in
   if List.length (List.sort_uniq String.compare names) <> List.length names
   then Error "duplicate constraint names"
@@ -40,14 +166,113 @@ let create ?metrics ?tracer ?(config = Incremental.default_config) cat defs =
         (Ok []) defs
       |> Result.map List.rev
     in
+    let body =
+      match pool with
+      | Some p when Pool.size p > 1 && List.length defs > 1 ->
+        (match build_sharded ?metrics p config names norms with
+         | Some body -> body
+         | None ->
+           Single (Kernel.create ?metrics ?tracer ~root_names:names config norms))
+      | _ ->
+        Single (Kernel.create ?metrics ?tracer ~root_names:names config norms)
+    in
     Ok
       { names;
-        kernel = Kernel.create ?metrics ?tracer ~root_names:names config norms;
+        body;
         db = Database.create cat;
         count = 0;
         last_time = None;
         metrics;
         tracer }
+
+(* Merge one parallel fan-out: scatter per-shard verdicts back to global
+   registration order; on failure, the lowest-index shard's error wins —
+   deterministic whatever the domains' interleaving was. *)
+let step_sharded m pool parts kernels ~time db =
+  let timed = m.tracer <> None in
+  let outs =
+    Pool.run pool
+      (Array.init (Array.length parts) (fun s () ->
+           let w0 = if timed then Unix.gettimeofday () else 0.0 in
+           let r =
+             try Ok (Kernel.step kernels.(s) ~time db)
+             with Fo.Error e -> Error e
+           in
+           (r, w0, if timed then Unix.gettimeofday () else 0.0)))
+  in
+  (match m.tracer with
+   | None -> ()
+   | Some tr ->
+     Array.iteri
+       (fun s ((_, w0, w1) : _ * float * float) ->
+         Tracer.timed_span m.tracer ~cat:"shard" ~name:(string_of_int s)
+           ~arg:(string_of_int (Array.length parts.(s).p_indices))
+           ~t0_ns:(Tracer.stamp tr w0) ~t1_ns:(Tracer.stamp tr w1) ())
+       outs);
+  let err =
+    Array.fold_left
+      (fun acc (r, _, _) ->
+        match acc, r with
+        | None, Error e -> Some e
+        | acc, _ -> acc)
+      None outs
+  in
+  match err with
+  | Some e -> Error e
+  | None ->
+    let names_arr = Array.of_list m.names in
+    let n = Array.length names_arr in
+    let verdicts = Array.make n None in
+    let kernels' = Array.copy kernels in
+    Array.iteri
+      (fun s (r, _, _) ->
+        match r with
+        | Ok (k', results) ->
+          kernels'.(s) <- k';
+          List.iteri
+            (fun j v -> verdicts.(parts.(s).p_indices.(j)) <- Some v)
+            results
+        | Error _ -> ())
+      outs;
+    let reports = ref [] in
+    for i = n - 1 downto 0 do
+      match verdicts.(i) with
+      | Some v when not (Valrel.holds v) ->
+        reports :=
+          { Monitor.constraint_name = names_arr.(i);
+            position = m.count;
+            time }
+          :: !reports
+      | _ -> ()
+    done;
+    (match m.metrics with
+     | None -> ()
+     | Some main ->
+       Array.iter
+         (fun part ->
+           match part.p_metrics with
+           | None -> ()
+           | Some src ->
+             Array.iteri
+               (fun j row -> Metrics.copy_node ~src j ~dst:main row)
+               part.p_slots)
+         parts;
+       let sum f =
+         Array.fold_left
+           (fun acc part ->
+             match part.p_metrics with
+             | Some r -> acc + f r
+             | None -> acc)
+           0 parts
+       in
+       (* One logical kernel step per transaction, exactly as the single
+          shared kernel counts; cache totals are the shard sums (every
+          lookup happens in the shard maintaining the node, so the sums
+          equal the sequential counts). *)
+       Metrics.incr_steps main;
+       Metrics.set_cache_counts main ~hits:(sum Metrics.cache_hits)
+         ~misses:(sum Metrics.cache_misses));
+    Ok (kernels', !reports)
 
 let step m ~time txn =
   match m.last_time with
@@ -61,50 +286,72 @@ let step m ~time txn =
     let* db =
       Tracer.span m.tracer ~cat:"apply" (fun () -> Update.apply m.db txn)
     in
-    (try
-       let kernel, results = Kernel.step m.kernel ~time db in
-       let reports =
-         List.filter_map
-           (fun (name, v) ->
-             if Valrel.holds v then None
-             else
-               Some
-                 { Monitor.constraint_name = name;
-                   position = m.count;
-                   time })
-           (List.combine m.names results)
+    let finish body reports =
+      (match m.metrics with
+       | None -> ()
+       | Some mx ->
+         Metrics.record_latency mx (Unix.gettimeofday () -. t0);
+         Metrics.add_violations mx (List.length reports));
+      Ok
+        ( { m with body; db; count = m.count + 1; last_time = Some time },
+          reports )
+    in
+    (match m.body with
+     | Single kernel ->
+       (try
+          let kernel, results = Kernel.step kernel ~time db in
+          let reports =
+            List.filter_map
+              (fun (name, v) ->
+                if Valrel.holds v then None
+                else
+                  Some
+                    { Monitor.constraint_name = name;
+                      position = m.count;
+                      time })
+              (List.combine m.names results)
+          in
+          finish (Single kernel) reports
+        with Fo.Error msg -> Error msg)
+     | Sharded sh ->
+       let* kernels, reports =
+         step_sharded m sh.pool sh.parts sh.kernels ~time db
        in
-       (match m.metrics with
-        | None -> ()
-        | Some mx ->
-          Metrics.record_latency mx (Unix.gettimeofday () -. t0);
-          Metrics.add_violations mx (List.length reports));
-       Ok
-         ( { m with kernel; db; count = m.count + 1; last_time = Some time },
-           reports )
-     with Fo.Error msg -> Error msg)
+       finish (Sharded { sh with kernels }) reports)
 
-let run_trace ?metrics ?tracer ?config defs (tr : Trace.t) =
+let run_trace ?metrics ?tracer ?pool ?config defs (tr : Trace.t) =
   let* m =
-    create ?metrics ?tracer ?config (Database.catalog tr.Trace.init) defs
+    create ?metrics ?tracer ?pool ?config (Database.catalog tr.Trace.init) defs
   in
   let m = { m with db = tr.Trace.init } in
-  let* _, reports =
+  let* _, reports_rev =
     List.fold_left
       (fun acc (time, txn) ->
         let* m, out = acc in
         let* m, rs = step m ~time txn in
-        Ok (m, out @ rs))
+        Ok (m, List.rev_append rs out))
       (Ok (m, []))
       tr.Trace.steps
   in
-  Ok reports
+  Ok (List.rev reports_rev)
 
-let space m = Kernel.space m.kernel
-let shared_nodes m = Kernel.node_count m.kernel
+let kernels m =
+  match m.body with
+  | Single k -> [ k ]
+  | Sharded sh -> Array.to_list sh.kernels
+
+let space m = List.fold_left (fun acc k -> acc + Kernel.space k) 0 (kernels m)
+
+let shard_count m =
+  match m.body with Single _ -> 1 | Sharded sh -> Array.length sh.parts
+
+let shared_nodes m =
+  List.fold_left (fun acc k -> acc + Kernel.node_count k) 0 (kernels m)
 
 let unshared_nodes m =
   List.fold_left
-    (fun acc root -> acc + Closure.count (Closure.build root))
-    0
-    (Kernel.roots m.kernel)
+    (fun acc k ->
+      List.fold_left
+        (fun acc root -> acc + Closure.count (Closure.build root))
+        acc (Kernel.roots k))
+    0 (kernels m)

@@ -18,6 +18,7 @@ type t
 val create :
   ?metrics:Metrics.t ->
   ?tracer:Tracer.t ->
+  ?pool:Pool.t ->
   ?config:Incremental.config ->
   Rtic_relational.Schema.Catalog.t ->
   Rtic_mtl.Formula.def list ->
@@ -28,7 +29,19 @@ val create :
     once (reflecting the sharing) and {!step} records latency and
     violation counts. With [?tracer], each {!step} emits a [txn] root span
     with [apply], per-constraint and per-node child spans; a shared node's
-    update is attributed to whichever constraint forced it first. *)
+    update is attributed to whichever constraint forced it first.
+
+    With [?pool] of size > 1, the constraint set is {e sharded} across the
+    pool's domains: the sharing components (constraints connected through
+    a common temporal subformula) are computed, kept whole, and spread
+    round-robin over [min size components] per-domain kernels. {!step}
+    then fans each transaction out to every shard and merges the verdicts
+    in registration order — reports, error strings and (synced) metrics
+    are identical to the sequential run; only step latencies and the trace
+    stream differ (per-shard [shard] spans replace the per-constraint and
+    per-node spans, which would race on the tracer). A pool of size 1 (or
+    a constraint set with fewer than two components) uses the sequential
+    single-kernel path, bit-for-bit. *)
 
 val step :
   t ->
@@ -42,6 +55,7 @@ val step :
 val run_trace :
   ?metrics:Metrics.t ->
   ?tracer:Tracer.t ->
+  ?pool:Pool.t ->
   ?config:Incremental.config ->
   Rtic_mtl.Formula.def list ->
   Rtic_temporal.Trace.t ->
@@ -49,7 +63,12 @@ val run_trace :
 (** Run a whole trace; report order matches {!Monitor.run_trace}. *)
 
 val space : t -> int
-(** Stored pairs across the shared auxiliary relations. *)
+(** Stored pairs across the shared auxiliary relations. Under a sharded
+    run, a retained previous-state snapshot (transition atoms) is counted
+    once per shard that needs it. *)
+
+val shard_count : t -> int
+(** Number of kernels the constraint set runs on (1 = sequential). *)
 
 val shared_nodes : t -> int
 (** Distinct temporal subformulas maintained. *)

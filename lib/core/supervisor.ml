@@ -56,6 +56,7 @@ type t = {
   dir : string;
   metrics : Metrics.t option;
   tracer : Tracer.t option;
+  fan : Fanout.t option;  (* parallel checker fan-out; None = sequential *)
   mutable db : Database.t;
   mutable checkers : Incremental.t list;  (* registration order *)
   mutable quarantine : (string * string) list;  (* registration order *)
@@ -135,7 +136,7 @@ let checkpoint_text mon ~accepted ~last =
   in
   Printf.sprintf "%s# crc32 %08x\n" body (Wal.crc32 body)
 
-let load_checkpoint_text ?metrics ?tracer cat defs ~step text =
+let load_checkpoint_text ?metrics ?tracer ?pool cat defs ~step text =
   let fail fmt = Printf.ksprintf (fun m -> Error ("checkpoint: " ^ m)) fmt in
   let lines = String.split_on_char '\n' text in
   let rev = match List.rev lines with "" :: r -> r | r -> r in
@@ -197,7 +198,7 @@ let load_checkpoint_text ?metrics ?tracer cat defs ~step text =
     | _ -> Ok ()
   in
   let body = String.concat "\n" (List.rev body_rev) ^ "\n" in
-  let* mon = Monitor.of_text ?metrics ?tracer cat defs body in
+  let* mon = Monitor.of_text ?metrics ?tracer ?pool cat defs body in
   let last =
     match last with
     | Some _ as l -> l
@@ -213,12 +214,12 @@ let load_checkpoint_text ?metrics ?tracer cat defs ~step text =
   in
   Ok { snap_step = step; snap_monitor = mon; snap_last_time = last }
 
-let load_checkpoint ?metrics ?tracer ~(fs : Faults.fs) cat defs path =
+let load_checkpoint ?metrics ?tracer ?pool ~(fs : Faults.fs) cat defs path =
   match checkpoint_step_of_name (Filename.basename path) with
   | None -> Error (Printf.sprintf "checkpoint: unrecognized filename %s" path)
   | Some step ->
     let* text = fs.read_file path in
-    load_checkpoint_text ?metrics ?tracer cat defs ~step text
+    load_checkpoint_text ?metrics ?tracer ?pool cat defs ~step text
 
 (* ---------------- Stepping ---------------- *)
 
@@ -246,7 +247,7 @@ let derive_quarantine cfg checkers =
 (* Step every active checker on the already-updated database; freeze any
    whose space crosses the budget (its crossing verdict is still
    delivered — from the next transaction on it reports inconclusive). *)
-let step_checkers t ~time db =
+let step_checkers_seq t ~time db =
   let* checkers_rev, reports_rev =
     List.fold_left
       (fun acc c ->
@@ -288,6 +289,110 @@ let step_checkers t ~time db =
    | None -> ()
    | Some m -> Metrics.add_violations m (List.length reports));
   Ok reports
+
+(* Parallel variant: each shard steps its non-quarantined checkers in
+   ascending order and stops at its first error; the coordinator then
+   replays the budget/quarantine accounting in global registration order —
+   on an error, only for the checkers a sequential run would have stepped
+   before halting — so quarantine decisions, counters, trace points and
+   reports are exactly the sequential ones. Workers read [t.quarantine]
+   but never write it; the pool's join orders those reads before the
+   coordinator's mutations below. *)
+let step_checkers_par t fan ~time db =
+  let cs = Array.of_list t.checkers in
+  let timed = t.tracer <> None in
+  let outs =
+    Pool.run (Fanout.pool fan)
+      (Array.map
+         (fun idxs () ->
+           let w0 = if timed then Unix.gettimeofday () else 0.0 in
+           let rec go acc = function
+             | [] -> Ok (List.rev acc)
+             | i :: rest ->
+               let c = cs.(i) in
+               if is_quarantined t (checker_name c) then go acc rest
+               else
+                 (match Incremental.step c ~time db with
+                  | Error e -> Error (i, e)
+                  | Ok (c, v) -> go ((i, c, v) :: acc) rest)
+           in
+           let r = go [] (Array.to_list idxs) in
+           (r, w0, if timed then Unix.gettimeofday () else 0.0))
+         (Fanout.groups fan))
+  in
+  (match t.tracer with
+   | None -> ()
+   | Some tr ->
+     Array.iteri
+       (fun s ((_, w0, w1) : _ * float * float) ->
+         Tracer.timed_span t.tracer ~cat:"shard" ~name:(string_of_int s)
+           ~arg:(string_of_int (Array.length (Fanout.groups fan).(s)))
+           ~t0_ns:(Tracer.stamp tr w0) ~t1_ns:(Tracer.stamp tr w1) ())
+       outs);
+  let err =
+    Array.fold_left
+      (fun acc (r, _, _) ->
+        match r with
+        | Error (i, e) ->
+          (match acc with
+           | Some (j, _) when j <= i -> acc
+           | _ -> Some (i, e))
+        | Ok _ -> acc)
+      None outs
+  in
+  let stepped = Array.make (Array.length cs) None in
+  Array.iter
+    (fun (r, _, _) ->
+      match r with
+      | Ok entries ->
+        List.iter (fun (i, c, v) -> stepped.(i) <- Some (c, v)) entries
+      | Error _ -> ())
+    outs;
+  let stop = match err with Some (i, _) -> i | None -> Array.length cs in
+  let reports_rev = ref [] in
+  for i = 0 to stop - 1 do
+    match stepped.(i) with
+    | None -> ()
+    | Some (c, v) ->
+      cs.(i) <- c;
+      let name = checker_name c in
+      if not v.Incremental.satisfied then
+        reports_rev :=
+          { Monitor.constraint_name = name;
+            position = v.Incremental.index;
+            time }
+          :: !reports_rev;
+      (match t.cfg.aux_budget with
+       | Some budget when Incremental.space c > budget ->
+         t.quarantine <-
+           t.quarantine
+           @ [ ( name,
+                 Printf.sprintf "auxiliary space %d exceeds budget %d"
+                   (Incremental.space c) budget ) ];
+         bump t "constraints_quarantined";
+         Tracer.point t.tracer ~cat:"supervisor" ~name:"quarantine" ~arg:name
+           ()
+       | _ -> ())
+  done;
+  match err with
+  | Some (_, e) -> Error e
+  | None ->
+    t.checkers <- Array.to_list cs;
+    t.db <- db;
+    t.accepted <- t.accepted + 1;
+    t.last <- Some time;
+    t.since_ck <- t.since_ck + 1;
+    Fanout.sync fan;
+    let reports = List.rev !reports_rev in
+    (match t.metrics with
+     | None -> ()
+     | Some m -> Metrics.add_violations m (List.length reports));
+    Ok reports
+
+let step_checkers t ~time db =
+  match t.fan with
+  | None -> step_checkers_seq t ~time db
+  | Some fan -> step_checkers_par t fan ~time db
 
 (* ---------------- Checkpointing ---------------- *)
 
@@ -419,8 +524,8 @@ let step t ~time txn =
 
 (* ---------------- Lifecycle ---------------- *)
 
-let create ?(fs = Faults.real_fs) ?metrics ?tracer ?(config = default_config)
-    ?init ~state_dir:dir cat defs =
+let create ?(fs = Faults.real_fs) ?metrics ?tracer ?pool
+    ?(config = default_config) ?init ~state_dir:dir cat defs =
   let* () = fs.mkdir dir in
   if state_exists fs dir then
     Error
@@ -430,7 +535,7 @@ let create ?(fs = Faults.real_fs) ?metrics ?tracer ?(config = default_config)
          dir)
   else
     let db = match init with Some db -> db | None -> Database.create cat in
-    let* mon = Monitor.create_with ?metrics ?tracer db defs in
+    let* mon = Monitor.create_with ?metrics ?tracer ?pool db defs in
     let db, checkers = Monitor.parts mon in
     let t =
       { fs;
@@ -438,6 +543,7 @@ let create ?(fs = Faults.real_fs) ?metrics ?tracer ?(config = default_config)
         dir;
         metrics;
         tracer;
+        fan = Monitor.fanout mon;
         db;
         checkers;
         quarantine = [];
@@ -462,8 +568,8 @@ type recovery_info = {
   repaired : bool;
 }
 
-let recover ?(fs = Faults.real_fs) ?metrics ?tracer ?(config = default_config)
-    ?init ?(repair = true) ~state_dir:dir cat defs =
+let recover ?(fs = Faults.real_fs) ?metrics ?tracer ?pool
+    ?(config = default_config) ?init ?(repair = true) ~state_dir:dir cat defs =
   if not (state_exists fs dir) then
     Error (Printf.sprintf "%s holds no WAL; not a supervisor state directory" dir)
   else
@@ -481,7 +587,9 @@ let recover ?(fs = Faults.real_fs) ?metrics ?tracer ?(config = default_config)
         (match fs.read_file path with
          | Error e -> pick ((name, e) :: skipped) rest
          | Ok text ->
-           (match load_checkpoint_text ?metrics ?tracer cat defs ~step text with
+           (match
+            load_checkpoint_text ?metrics ?tracer ?pool cat defs ~step text
+          with
             | Error e -> pick ((name, e) :: skipped) rest
             | Ok snap -> (Some snap, List.rev skipped)))
     in
@@ -514,7 +622,7 @@ let recover ?(fs = Faults.real_fs) ?metrics ?tracer ?(config = default_config)
           let db =
             match init with Some db -> db | None -> Database.create cat
           in
-          let* mon = Monitor.create_with ?metrics ?tracer db defs in
+          let* mon = Monitor.create_with ?metrics ?tracer ?pool db defs in
           Ok (None, mon)
         else
           Error
@@ -535,6 +643,7 @@ let recover ?(fs = Faults.real_fs) ?metrics ?tracer ?(config = default_config)
         dir;
         metrics;
         tracer;
+        fan = Monitor.fanout mon;
         db;
         checkers;
         quarantine = [];

@@ -87,6 +87,7 @@ val create :
   ?fs:Faults.fs ->
   ?metrics:Metrics.t ->
   ?tracer:Tracer.t ->
+  ?pool:Pool.t ->
   ?config:config ->
   ?init:Rtic_relational.Database.t ->
   state_dir:string ->
@@ -104,7 +105,16 @@ val create :
     in a [wal:append] span and {!checkpoint} the snapshot write in a
     [checkpoint:write] span, while quarantine decisions, degraded-mode
     entry, policy drops and clock regressions are emitted as [supervisor]
-    point events (see {!Tracer}). *)
+    point events (see {!Tracer}).
+
+    With [?pool] of size > 1, the checkers are sharded across the pool's
+    domains exactly as in {!Monitor.create}: every {!step} fans the
+    transaction out to all shards and replays the per-constraint
+    quarantine/budget accounting in registration order afterwards, so
+    outcomes, quarantine decisions, counters and synced metrics are
+    identical to the sequential service; per-constraint tracer spans are
+    replaced by per-shard [shard] spans. All durability work (WAL append,
+    checkpointing) stays on the calling domain. *)
 
 val step :
   t ->
@@ -148,6 +158,7 @@ val recover :
   ?fs:Faults.fs ->
   ?metrics:Metrics.t ->
   ?tracer:Tracer.t ->
+  ?pool:Pool.t ->
   ?config:config ->
   ?init:Rtic_relational.Database.t ->
   ?repair:bool ->
@@ -225,6 +236,7 @@ type snapshot = {
 val load_checkpoint :
   ?metrics:Metrics.t ->
   ?tracer:Tracer.t ->
+  ?pool:Pool.t ->
   fs:Faults.fs ->
   Rtic_relational.Schema.Catalog.t ->
   Rtic_mtl.Formula.def list ->

@@ -64,6 +64,31 @@ let span tr ~cat ?(name = "") ?(arg = "") f =
     let id = open_span t ~cat ~name ~arg in
     Fun.protect ~finally:(fun () -> close_span t id) f
 
+(* Timestamp conversion for events measured off the tracer's thread: a
+   worker domain samples wall-clock seconds itself (it must not touch the
+   tracer) and the coordinator stamps them into the stream after the join.
+   Reads only the immutable [t0], so it is safe to call from anywhere. *)
+let stamp t wall = int_of_float ((wall -. t.t0) *. 1e9)
+
+let timed_span tr ~cat ?(name = "") ?(arg = "") ~t0_ns ~t1_ns () =
+  match tr with
+  | None -> ()
+  | Some t ->
+    let id = fresh_id t in
+    (* A leaf open/close pair with explicit timestamps: nothing is pushed
+       on the stack, so the stream stays well-formed (LIFO) even though
+       the span's interval may overlap a sibling's — which happens when
+       the spans describe genuinely concurrent shard work. *)
+    event t
+      ([ ("ev", Json.Str "open"); ("id", Json.Int id);
+         ("parent", parent_field t); ("cat", Json.Str cat) ]
+       @ (if name = "" then [] else [ ("name", Json.Str name) ])
+       @ (if arg = "" then [] else [ ("arg", Json.Str arg) ])
+       @ [ ("t_ns", Json.Int t0_ns) ]);
+    event t
+      [ ("ev", Json.Str "close"); ("id", Json.Int id);
+        ("t_ns", Json.Int t1_ns) ]
+
 let point tr ~cat ?(name = "") ?(arg = "") () =
   match tr with
   | None -> ()

@@ -49,6 +49,31 @@ val span : t option -> cat:string -> ?name:string -> ?arg:string -> (unit -> 'a)
     detail that must not split aggregation groups (a commit timestamp, a
     file name). *)
 
+val stamp : t -> float -> int
+(** [stamp t wall] converts an absolute wall-clock reading (seconds, as
+    from [Unix.gettimeofday]) into this tracer's relative nanosecond
+    timestamp. Reads only immutable state, so worker domains may sample
+    wall-clock times themselves and the coordinator stamps them after the
+    join (see {!timed_span}). *)
+
+val timed_span :
+  t option ->
+  cat:string ->
+  ?name:string ->
+  ?arg:string ->
+  t0_ns:int ->
+  t1_ns:int ->
+  unit ->
+  unit
+(** [timed_span tr ~cat ~t0_ns ~t1_ns ()] emits a retrospective span: an
+    [open]/[close] pair with the given explicit timestamps, parented under
+    the innermost open span, without touching the span stack. This is how
+    the parallel fan-out reports per-shard work ([cat = "shard"]): workers
+    measure their own wall-clock interval and the single-threaded
+    coordinator emits the spans after the join, keeping the stream
+    well-formed. Note the intervals of sibling [shard] spans may overlap
+    (they describe concurrent work); see FORMATS.md §6. No-op on [None]. *)
+
 val point : t option -> cat:string -> ?name:string -> ?arg:string -> unit -> unit
 (** [point tr ~cat ()] emits a zero-duration event (a thing that happened,
     not a region of time): quarantine decisions, degraded-mode entry,

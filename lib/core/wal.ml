@@ -101,8 +101,10 @@ let recover text =
         Error ("wal: bad start line: " ^ lines.(1))
       | start when start < 0 -> Error "wal: negative start index"
       | start ->
-        let rec go i prev_time acc =
-          let nrec = List.length acc in
+        (* [nrec] is carried through the recursion — recomputing it with
+           List.length per record would make recovery quadratic in the
+           log length. *)
+        let rec go i prev_time acc nrec =
           let torn reason =
             { start;
               records = List.rev acc;
@@ -140,6 +142,7 @@ let recover text =
                   (match parse_ops [] ops_raw with
                    | Error m -> torn ("bad op: " ^ m)
                    | Ok txn ->
-                     go (i + nops + 1) (Some time) ((time, txn) :: acc))
+                     go (i + nops + 1) (Some time) ((time, txn) :: acc)
+                       (nrec + 1))
         in
-        Ok (go 2 None [])
+        Ok (go 2 None [] 0)

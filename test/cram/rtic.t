@@ -71,6 +71,31 @@ the three engines agree:
   4 transaction(s), 2 violation(s)
   [1]
 
+--jobs shards the constraint set across a fixed pool of worker domains;
+reports, stats and exit codes are identical to the sequential run (only
+the wall-clock latency block differs):
+
+  $ rtic check --jobs 4 loans.spec loans.trace
+  [3] constraint member_borrow violated at position 2
+  [40] constraint loan_expiry violated at position 3
+  4 transaction(s), 2 violation(s)
+  [1]
+  $ rtic check -q --engine shared --jobs 2 loans.spec loans.trace
+  4 transaction(s), 2 violation(s)
+  [1]
+  $ rtic check --json loans.spec loans.trace | sed '/"latency_ns": {/,/}/d' > seq-stats.json
+  $ rtic check --json --jobs 4 loans.spec loans.trace | sed '/"latency_ns": {/,/}/d' > par-stats.json
+  $ diff seq-stats.json par-stats.json
+
+and the flag is validated:
+
+  $ rtic check --jobs 0 loans.spec loans.trace
+  rtic: --jobs must be at least 1
+  [2]
+  $ rtic check -q --engine naive --jobs 2 loans.spec loans.trace
+  rtic: --jobs requires --engine incremental or shared
+  [2]
+
 explain names the culprits:
 
   $ rtic explain loans.spec loans.trace member_borrow

@@ -10,6 +10,9 @@
    time-like key (ns_per_run, ms, or a *_ns/*_ms/*_us suffix) is compared.
    A fresh value above baseline * (1 + tol) is a regression. Faster runs,
    metrics new in the fresh artifact, and non-timing fields never fail.
+   Speedup-like keys (speedup, or a *_speedup suffix — the BENCH_PAR
+   family) invert the rule: higher is better, and a fresh value below
+   baseline * (1 - tol) is the regression.
    Exit 0 when clean, 1 on any regression, 2 on usage or parse errors. *)
 
 module Json = Rtic_core.Json
@@ -33,6 +36,13 @@ let time_like key =
          && String.ends_with ~suffix key)
        [ "_ns"; "_ms"; "_us" ]
 
+(* Throughput-style metrics where LOWER is the regression. *)
+let speedup_like key =
+  key = "speedup"
+  || (String.length key > 8 && String.ends_with ~suffix:"_speedup" key)
+
+let watched key = time_like key || speedup_like key
+
 (* Every time-like numeric leaf under [j], with a dotted path for display
    and the bare key for tolerance lookup. *)
 let rec metrics prefix j =
@@ -42,7 +52,7 @@ let rec metrics prefix j =
       (fun (k, v) ->
         let path = if prefix = "" then k else prefix ^ "." ^ k in
         match v with
-        | (Json.Int _ | Json.Float _) when time_like k ->
+        | (Json.Int _ | Json.Float _) when watched k ->
           [ (path, k, Option.get (Json.to_float v)) ]
         | _ -> metrics path v)
       fields
@@ -137,7 +147,10 @@ let () =
                         (Hashtbl.find_opt tols key)
                     in
                     let ratio = if bv = 0.0 then 0.0 else fv /. bv in
-                    let bad = fv > bv *. (1.0 +. tol) in
+                    let bad =
+                      if speedup_like key then fv < bv *. (1.0 -. tol)
+                      else fv > bv *. (1.0 +. tol)
+                    in
                     if bad then incr regressions;
                     Printf.printf
                       "%-28s %-24s %12.1f -> %12.1f  (%+.1f%%, tol %.0f%%)%s\n"
