@@ -654,11 +654,104 @@ let micro () =
   write_artifact ~experiment:"micro" series
 
 (* ------------------------------------------------------------------ *)
+(* E-SERVE — streaming service throughput                              *)
+(* ------------------------------------------------------------------ *)
+
+let serve () =
+  header "E-SERVE: streaming service throughput (rtic-serve/1 protocol)"
+    "Claim: serving a transaction stream through the protocol engine —\n\
+     request parse, supervised check with WAL append, JSON reply — costs a\n\
+     small constant per transaction over the batch checker, so a resident\n\
+     monitor sustains thousands of transactions per second. Measured\n\
+     in-process (Server.handle_lines over an in-memory filesystem): no\n\
+     socket or scheduler noise, the protocol + checking cost itself.\n\
+     tools/drive.exe measures the same workload across a real socket.";
+  let module Server = Rtic_core.Server in
+  let module Faults = Rtic_core.Faults in
+  let module Textio = Rtic_relational.Textio in
+  let module Update = Rtic_relational.Update in
+  let module Schema = Rtic_relational.Schema in
+  let steps = if !quick then 200 else 1000 in
+  let op_line = function
+    | Update.Insert (rel, t) -> "+" ^ Textio.fact_to_string rel t
+    | Update.Delete (rel, t) -> "-" ^ Textio.fact_to_string rel t
+  in
+  let percentile sorted q =
+    let n = Array.length sorted in
+    if n = 0 then 0.0
+    else
+      sorted.(min (n - 1) (max 0 (int_of_float (ceil (q *. float_of_int n)) - 1)))
+  in
+  let expect_ok what = function
+    | [ reply ] ->
+      (match Json.of_string reply with
+       | Ok doc when Json.member "ok" doc = Some (Json.Bool true) -> ()
+       | _ ->
+         Printf.eprintf "bench: serve %s failed: %s\n" what reply;
+         exit 1)
+    | rs ->
+      Printf.eprintf "bench: serve %s: expected one reply, got %d\n" what
+        (List.length rs);
+      exit 1
+  in
+  row "%-12s %8s %10s %12s %10s %10s %10s\n" "scenario" "txns" "ms"
+    "txns/sec" "p50 us" "p95 us" "p99 us";
+  let series =
+    List.map
+      (fun (sc : Scenarios.t) ->
+        let tr = sc.generate ~seed:7 ~steps ~violation_rate:0.1 in
+        let spec_text =
+          String.concat "\n"
+            (List.map Textio.schema_to_string
+               (Schema.Catalog.schemas sc.catalog)
+             @ List.map Rtic_mtl.Pretty.def_to_string sc.constraints)
+          ^ "\n"
+        in
+        let fs = Faults.mem_fs () in
+        or_die "spec" (fs.Faults.write_file "bench.spec" spec_text);
+        let srv = Server.create ~fs () in
+        expect_ok "open"
+          (Server.handle_lines srv [ Printf.sprintf "open s bench.spec" ]);
+        let lat = Array.make (List.length tr.Trace.steps) 0.0 in
+        let t_start = Unix.gettimeofday () in
+        List.iteri
+          (fun i (time, txn) ->
+            let lines =
+              Printf.sprintf "txn s %d %d" time (List.length txn)
+              :: List.map op_line txn
+            in
+            let t0 = Unix.gettimeofday () in
+            expect_ok "txn" (Server.handle_lines srv lines);
+            lat.(i) <- (Unix.gettimeofday () -. t0) *. 1e6)
+          tr.Trace.steps;
+        let elapsed = Unix.gettimeofday () -. t_start in
+        expect_ok "close" (Server.handle_lines srv [ "close s" ]);
+        Array.sort compare lat;
+        let txns = List.length tr.Trace.steps in
+        let per_sec = float_of_int txns /. elapsed in
+        let p50 = percentile lat 0.50
+        and p95 = percentile lat 0.95
+        and p99 = percentile lat 0.99 in
+        row "%-12s %8d %10.1f %12.1f %10.1f %10.1f %10.1f\n" sc.name txns
+          (ms elapsed) per_sec p50 p95 p99;
+        Json.Obj
+          [ ("name", Json.Str sc.name);
+            ("txns", Json.Int txns);
+            ("ms", Json.Float (ms elapsed));
+            ("txns_per_sec", Json.Float per_sec);
+            ("p50_us", Json.Float p50);
+            ("p95_us", Json.Float p95);
+            ("p99_us", Json.Float p99) ])
+      [ Scenarios.banking; Scenarios.monitoring ]
+  in
+  write_artifact ~experiment:"serve" series
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("par", par); ("er", er);
-    ("micro", micro) ]
+    ("serve", serve); ("micro", micro) ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in

@@ -41,20 +41,16 @@ module Supervisor = Rtic_core.Supervisor
 module Faults = Rtic_core.Faults
 module Wal = Rtic_core.Wal
 module Pool = Rtic_core.Pool
+module Server = Rtic_core.Server
 module Compile = Rtic_active.Compile
 module Scenarios = Rtic_workload.Scenarios
 module Gen = Rtic_workload.Gen
 
 open Cmdliner
 
-let read_file path =
-  try
-    let ic = open_in_bin path in
-    let n = in_channel_length ic in
-    let s = really_input_string ic n in
-    close_in ic;
-    Ok s
-  with Sys_error m -> Error m
+(* Delegate to the hardened fs record: reads to EOF (no length/size race),
+   closes the channel on every path, and maps I/O exceptions to [Error]. *)
+let read_file path = Faults.(real_fs.read_file) path
 
 let ( let* ) r f = Result.bind r f
 
@@ -502,6 +498,121 @@ let run_recover spec_file dir repair =
     0
 
 (* ------------------------------------------------------------------ *)
+(* serve                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let rec go off len =
+    if len > 0 then begin
+      let n = Unix.write fd b off len in
+      go (off + n) (len - n)
+    end
+  in
+  go 0 (Bytes.length b)
+
+(* Pump one connected stream: read chunks, feed the complete lines of each
+   chunk to the server, then drain and write one reply line per request.
+   Draining once per chunk (not per line) is what makes the admission bound
+   observable: a pipelined burst larger than --max-pending arrives as one
+   chunk and its tail gets explicit `overloaded` replies. Returns on peer
+   EOF or after a shutdown request was executed. *)
+let pump_stream srv ~read ~write =
+  write (Server.hello ^ "\n");
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 65536 in
+  let reply_all () =
+    List.iter (fun r -> write (r ^ "\n")) (Server.drain srv)
+  in
+  let rec loop () =
+    if not (Server.stopped srv) then begin
+      let n = read chunk in
+      if n = 0 then begin
+        (* EOF: a final unterminated line still counts as a line *)
+        if Buffer.length buf > 0 then begin
+          Server.feed_line srv (Buffer.contents buf);
+          Buffer.clear buf
+        end;
+        reply_all ()
+      end
+      else begin
+        for i = 0 to n - 1 do
+          match Bytes.get chunk i with
+          | '\n' ->
+            Server.feed_line srv (Buffer.contents buf);
+            Buffer.clear buf
+          | c -> Buffer.add_char buf c
+        done;
+        reply_all ();
+        loop ()
+      end
+    end
+  in
+  loop ()
+
+let run_serve socket jobs max_pending trace_out =
+  if jobs < 1 then usage_error "--jobs must be at least 1";
+  if max_pending < 1 then usage_error "--max-pending must be at least 1";
+  let trace_oc =
+    match trace_out with
+    | None -> None
+    | Some "-" ->
+      usage_error
+        "--trace-out - is not supported by serve (stdout carries replies); \
+         give a file"
+    | Some path -> Some (open_out path)
+  in
+  let tracer =
+    Option.map
+      (fun oc ->
+        Tracer.create
+          ~emit:(fun line ->
+            output_string oc line;
+            output_char oc '\n')
+          ())
+      trace_oc
+  in
+  let pool = if jobs > 1 then Some (Pool.create jobs) else None in
+  let srv =
+    Server.create ?tracer ?pool ~config:{ Server.max_pending } ()
+  in
+  (match socket with
+   | None ->
+     pump_stream srv
+       ~read:(fun b -> Unix.read Unix.stdin b 0 (Bytes.length b))
+       ~write:(write_all Unix.stdout)
+   | Some path ->
+     if Sys.file_exists path then
+       usage_error
+         (path ^ " already exists; remove it or pick another socket path");
+     Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+     let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+     Unix.bind sock (Unix.ADDR_UNIX path);
+     Unix.listen sock 8;
+     Printf.eprintf "rtic: serving on %s\n%!" path;
+     (* One connection at a time; sessions outlive connections, so a client
+        can reconnect and keep feeding the same named session. *)
+     let rec accept_loop () =
+       if not (Server.stopped srv) then begin
+         let conn, _ = Unix.accept sock in
+         (try
+            pump_stream srv
+              ~read:(fun b -> Unix.read conn b 0 (Bytes.length b))
+              ~write:(write_all conn)
+          with
+          | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ());
+         (try Unix.close conn with Unix.Unix_error _ -> ());
+         accept_loop ()
+       end
+     in
+     accept_loop ();
+     (try Unix.close sock with Unix.Unix_error _ -> ());
+     (try Sys.remove path with Sys_error _ -> ()));
+  Option.iter Pool.shutdown pool;
+  (match trace_oc with Some oc -> close_out oc | None -> ());
+  0
+
+(* ------------------------------------------------------------------ *)
 (* rules                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -913,6 +1024,42 @@ let query_cmd =
     Term.(const run_query $ spec_arg $ trace_pos 1 $ formula_arg $ at_arg
           $ limit_arg)
 
+let serve_cmd =
+  let doc = "run the monitor as a long-lived service (rtic-serve/1)" in
+  let man =
+    [ `S Manpage.s_description;
+      `P
+        "Accepts the line-oriented $(b,rtic-serve/1) request protocol (see \
+         FORMATS.md §7) over stdin/stdout, or over a Unix-domain socket \
+         with $(b,--socket). Requests open named sessions (each a \
+         crash-safe supervised monitor, as $(b,check --state-dir)), feed \
+         them transactions, query statistics, checkpoint, close, and shut \
+         the server down; every request gets one single-line JSON reply. \
+         $(b,tools/drive.exe) is the matching load client." ]
+  in
+  let socket_arg =
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Listen on a Unix-domain socket at $(docv) instead of \
+                 stdin/stdout; one connection is served at a time and \
+                 sessions persist across connections. The path must not \
+                 exist yet; it is removed on shutdown.")
+  in
+  let max_pending_arg =
+    Arg.(value & opt int 64 & info [ "max-pending" ] ~docv:"N"
+           ~doc:"Admission control: at most $(docv) parsed requests may \
+                 await execution; a pipelined burst beyond that gets \
+                 explicit $(b,overloaded) error replies (never silent \
+                 drops).")
+  in
+  let serve_trace_out_arg =
+    Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE"
+           ~doc:"Stream a structured span trace (JSONL, schema \
+                 rtic-trace/1) of every executed request to $(docv).")
+  in
+  Cmd.v (Cmd.info "serve" ~doc ~man)
+    Term.(const run_serve $ socket_arg $ jobs_arg $ max_pending_arg
+          $ serve_trace_out_arg)
+
 let gen_cmd =
   let doc = "generate a synthetic trace (and spec) for a scenario" in
   let scenario_arg =
@@ -942,7 +1089,7 @@ let gen_cmd =
 let main_cmd =
   let doc = "real-time integrity constraints over timed database histories" in
   Cmd.group (Cmd.info "rtic" ~version:"1.0.0" ~doc)
-    [ parse_cmd; check_cmd; recover_cmd; profile_cmd; rules_cmd; explain_cmd;
-      query_cmd; gen_cmd; lint_json_cmd ]
+    [ parse_cmd; check_cmd; serve_cmd; recover_cmd; profile_cmd; rules_cmd;
+      explain_cmd; query_cmd; gen_cmd; lint_json_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -13,16 +13,25 @@ type fs = {
   exists : string -> bool;
 }
 
-let wrap f = try Ok (f ()) with Sys_error m -> Error m | Unix.Unix_error (e, op, p) -> Error (Printf.sprintf "%s %s: %s" op p (Unix.error_message e))
+let wrap f =
+  try Ok (f ()) with
+  | Sys_error m -> Error m
+  | End_of_file -> Error "unexpected end of file"
+  | Unix.Unix_error (e, op, p) ->
+    Error (Printf.sprintf "%s %s: %s" op p (Unix.error_message e))
 
 let real_fs =
   { read_file =
       (fun path ->
         wrap (fun () ->
             let ic = open_in_bin path in
+            (* Read to EOF rather than trusting [in_channel_length]: a file
+               that shrinks between the size probe and the read, or a
+               special file reporting length 0, must not raise or come back
+               empty. [Fun.protect] closes the channel on every path. *)
             Fun.protect
               ~finally:(fun () -> close_in_noerr ic)
-              (fun () -> really_input_string ic (in_channel_length ic))));
+              (fun () -> In_channel.input_all ic)));
     write_file =
       (fun path text ->
         wrap (fun () ->

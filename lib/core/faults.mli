@@ -37,7 +37,10 @@ type fs = {
 }
 
 val real_fs : fs
-(** The actual filesystem. *)
+(** The actual filesystem. [read_file] reads to end-of-file (robust
+    against files that shrink mid-read and against special files whose
+    reported length is 0) and closes its channel on every path, including
+    errors. *)
 
 val mem_fs : unit -> fs
 (** A fresh, empty in-memory filesystem (a path → contents table). Each

@@ -17,7 +17,13 @@ type t = {
   transitions : bool;  (* +R/-R atoms: keep one extra state when pruning *)
   past : int;     (* finite past reach *)
   hz : int;       (* finite future horizon *)
-  buffer : (int * int * Database.t) list;  (* (index, time, db), oldest first *)
+  (* The buffer of (index, time, db) states is a two-list deque: [front]
+     holds the oldest states in order, [back_rev] the newest in reverse, so
+     appending is O(1) and pruning pops from the front — both amortized
+     constant, where a single `buffer @ [x]` list was quadratic over a run.
+     Invariant: [front = []] implies [back_rev = []]. *)
+  front : (int * int * Database.t) list;
+  back_rev : (int * int * Database.t) list;
   next_index : int;
   first_undecided : int;
   last_time : int option;
@@ -50,7 +56,8 @@ let create ?metrics ?tracer cat (d : Formula.def) =
            transitions = Formula.has_transition_atoms norm;
            past;
            hz;
-           buffer = [];
+           front = [];
+           back_rev = [];
            next_index = 0;
            first_undecided = 0;
            last_time = None;
@@ -59,20 +66,24 @@ let create ?metrics ?tracer cat (d : Formula.def) =
 
 let horizon st = st.hz
 let pending st = st.next_index - st.first_undecided
-let buffered_states st = List.length st.buffer
+let buffered_states st = List.length st.front + List.length st.back_rev
+let buffer st = st.front @ List.rev st.back_rev
+
+let append st entry =
+  match st.front with
+  | [] -> { st with front = [ entry ] }
+  | _ -> { st with back_rev = entry :: st.back_rev }
 
 (* Evaluate the (closed, monitorable) constraint at absolute position [j]
    against the buffered window. The buffer always contains every state
    within the past window of any undecided position, so truncation cannot
    change the verdict. *)
 let decide st j =
-  match st.buffer with
+  match buffer st with
   | [] -> invalid_arg "Future.decide: empty buffer"
-  | (first_idx, _, _) :: _ ->
+  | (first_idx, _, _) :: _ as buf ->
     let h =
-      match
-        History.of_snapshots (List.map (fun (_, t, db) -> (t, db)) st.buffer)
-      with
+      match History.of_snapshots (List.map (fun (_, t, db) -> (t, db)) buf) with
       | Ok h -> h
       | Error m -> invalid_arg ("Future.decide: " ^ m)
     in
@@ -82,14 +93,25 @@ let decide st j =
      | Error m -> invalid_arg ("Future.decide: " ^ m))
 
 let buffer_time st j =
-  match st.buffer with
-  | (first_idx, _, _) :: _ ->
-    let _, t, _ = List.nth st.buffer (j - first_idx) in
-    t
+  match st.front with
   | [] -> invalid_arg "Future.buffer_time: empty buffer"
+  | (first_idx, _, _) :: _ ->
+    let rec nth_time k = function
+      | (_, t, _) :: rest -> if k = 0 then Some t else nth_time (k - 1) rest
+      | [] -> None
+    in
+    let off = j - first_idx in
+    (match nth_time off st.front with
+     | Some t -> t
+     | None ->
+       (match
+          nth_time (off - List.length st.front) (List.rev st.back_rev)
+        with
+        | Some t -> t
+        | None -> invalid_arg "Future.buffer_time: index out of buffer"))
 
 let prune st =
-  match st.buffer with
+  match st.front with
   | [] -> st
   | _ ->
     let keep_from =
@@ -100,20 +122,35 @@ let prune st =
          | Some now -> now - st.past
          | None -> min_int)
     in
-    let kept = List.filter (fun (_, t, _) -> t >= keep_from) st.buffer in
-    let kept =
+    (* Timestamps are strictly increasing, so everything to drop is a prefix
+       of the deque: pop from the front only, refilling it from [back_rev]
+       when it runs dry. Each state is dropped at most once over the whole
+       run, making pruning amortized O(1) per step. *)
+    let rec drop newest_dropped front back_rev =
+      match front with
+      | ((_, t, _) as e) :: rest when t < keep_from ->
+        drop (Some e) rest back_rev
+      | [] ->
+        (match back_rev with
+         | [] -> (newest_dropped, [], [])
+         | _ -> drop newest_dropped (List.rev back_rev) [])
+      | _ -> (newest_dropped, front, back_rev)
+    in
+    let newest_dropped, front, back_rev =
+      drop None st.front st.back_rev
+    in
+    let front =
       (* transition atoms read the immediately preceding state, however old
          it is: retain the newest dropped state as well *)
-      if st.transitions then
-        match
-          List.filter (fun (_, t, _) -> t < keep_from) st.buffer
-          |> List.rev
-        with
-        | newest_dropped :: _ -> newest_dropped :: kept
-        | [] -> kept
-      else kept
+      match newest_dropped with
+      | Some e when st.transitions -> e :: front
+      | _ -> front
     in
-    { st with buffer = kept }
+    (* restore the invariant: a non-empty buffer has a non-empty front *)
+    let front, back_rev =
+      match front with [] -> (List.rev back_rev, []) | _ -> (front, back_rev)
+    in
+    { st with front; back_rev }
 
 let step st ~time db =
   match st.last_time with
@@ -125,10 +162,9 @@ let step st ~time db =
       match st.metrics with None -> 0.0 | Some _ -> Unix.gettimeofday ()
     in
     let st =
-      { st with
-        buffer = st.buffer @ [ (st.next_index, time, db) ];
-        next_index = st.next_index + 1;
-        last_time = Some time }
+      append
+        { st with next_index = st.next_index + 1; last_time = Some time }
+        (st.next_index, time, db)
     in
     (try
        (* Decide every pending position whose horizon has fully passed:
@@ -153,7 +189,9 @@ let step st ~time db =
           Metrics.incr_steps mx;
           Metrics.record_latency mx (Unix.gettimeofday () -. t0);
           Metrics.add_violations mx
-            (List.length (List.filter (fun v -> not v.satisfied) verdicts)));
+            (List.fold_left
+               (fun n v -> if v.satisfied then n else n + 1)
+               0 verdicts));
        Ok (prune st, verdicts)
      with Invalid_argument m -> Error m)
 

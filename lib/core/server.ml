@@ -1,0 +1,477 @@
+(* The rtic-serve/1 protocol engine: parse request lines, queue them under
+   an admission bound, execute them against named Supervisor-backed
+   sessions, and render single-line JSON replies. Transport-agnostic; see
+   server.mli and FORMATS.md §7. *)
+
+module Formula = Rtic_mtl.Formula
+module Parser = Rtic_mtl.Parser
+
+type config = { max_pending : int }
+
+let default_config = { max_pending = 64 }
+
+let hello = Json.to_string (Json.Obj [ ("schema", Json.Str "rtic-serve/1") ])
+
+type request =
+  | Open of {
+      session : string;
+      spec_path : string;
+      opts : (string * string) list;
+    }
+  | Txn of {
+      session : string;
+      time : int;
+      (* parse errors in the op body are carried to execution time so the
+         reply still comes out in request order *)
+      ops : (Rtic_relational.Update.transaction, string) result;
+    }
+  | Stats of string
+  | Checkpoint of string
+  | Close of string
+  | Shutdown
+
+let request_name = function
+  | Open _ -> "open"
+  | Txn _ -> "txn"
+  | Stats _ -> "stats"
+  | Checkpoint _ -> "checkpoint"
+  | Close _ -> "close"
+  | Shutdown -> "shutdown"
+
+let request_arg = function
+  | Open { session; _ } | Txn { session; _ } | Stats session
+  | Checkpoint session | Close session ->
+    Some session
+  | Shutdown -> None
+
+(* A queued entry: a parsed request awaiting execution, or a reply already
+   decided at feed time (refused for overload / shutdown) kept in the queue
+   so replies stay in request order. *)
+type entry =
+  | Exec of request
+  | Canned of Json.t
+
+(* A half-received txn request: the header told us how many op lines
+   follow. The first malformed op is remembered but the remaining body
+   lines are still consumed, keeping the stream in sync. *)
+type collecting = {
+  c_session : string;
+  c_time : int;
+  mutable c_want : int;
+  mutable c_ops_rev : Rtic_relational.Update.op list;
+  mutable c_err : string option;
+}
+
+type session = {
+  sup : Supervisor.t;
+  metrics : Metrics.t;
+  mutable stats : Stats.t;
+  recovered_through : int option;
+      (* last accepted commit time restored by recovery: txns at or before
+         it are answered "replayed", mirroring rtic check --state-dir *)
+}
+
+type t = {
+  fs : Faults.fs;
+  tracer : Tracer.t option;
+  pool : Pool.t option;
+  cfg : config;
+  sessions : (string, session) Hashtbl.t;
+  mutable queue_rev : entry list;
+  mutable queued : int;
+  mutable collecting : collecting option;
+  mutable is_stopped : bool;
+}
+
+let create ?(fs = Faults.real_fs) ?tracer ?pool ?(config = default_config) ()
+    =
+  if config.max_pending < 1 then
+    invalid_arg "Server.create: max_pending must be at least 1";
+  { fs;
+    tracer;
+    pool;
+    cfg = config;
+    sessions = Hashtbl.create 8;
+    queue_rev = [];
+    queued = 0;
+    collecting = None;
+    is_stopped = false }
+
+let pending t = t.queued
+let stopped t = t.is_stopped
+let session_count t = Hashtbl.length t.sessions
+
+(* ---------------- replies ---------------- *)
+
+let err ~req ~code msg =
+  Json.Obj
+    [ ("ok", Json.Bool false);
+      ("req", Json.Str req);
+      ("error", Json.Str code);
+      ("message", Json.Str msg) ]
+
+let ok ~req fields =
+  Json.Obj (("ok", Json.Bool true) :: ("req", Json.Str req) :: fields)
+
+let report_json (r : Monitor.report) =
+  Json.Obj
+    [ ("constraint", Json.Str r.Monitor.constraint_name);
+      ("position", Json.Int r.Monitor.position);
+      ("time", Json.Int r.Monitor.time) ]
+
+(* ---------------- request-line parsing ---------------- *)
+
+let session_name_ok name =
+  name <> ""
+  && String.for_all
+       (function
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' | '.' -> true
+         | _ -> false)
+       name
+
+let tokens line =
+  String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+
+let parse_opts ~req pairs =
+  let known =
+    [ "state-dir"; "auto-checkpoint"; "on-error"; "aux-budget" ]
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | kv :: rest ->
+      (match String.index_opt kv '=' with
+       | None ->
+         Error (err ~req ~code:"bad-request" ("malformed option: " ^ kv))
+       | Some i ->
+         let k = String.sub kv 0 i in
+         let v = String.sub kv (i + 1) (String.length kv - i - 1) in
+         if not (List.mem k known) then
+           Error (err ~req ~code:"bad-request" ("unknown option: " ^ k))
+         else if v = "" then
+           Error (err ~req ~code:"bad-request" ("empty value for option " ^ k))
+         else go ((k, v) :: acc) rest)
+  in
+  go [] pairs
+
+let int_of ~req what s k =
+  match int_of_string_opt s with
+  | Some n -> k n
+  | None ->
+    Error (err ~req ~code:"bad-request" (what ^ " must be an integer: " ^ s))
+
+(* Parse one request line into either a request, a canned error reply, or
+   a txn body to start collecting. *)
+type parsed =
+  | P_request of request
+  | P_collect of collecting
+  | P_error of Json.t
+
+let check_session ~req name k =
+  if session_name_ok name then k ()
+  else
+    Error
+      (err ~req ~code:"bad-request"
+         ("invalid session name (want [A-Za-z0-9_.-]+): " ^ name))
+
+let parse_request_line line =
+  let fail = function Ok p -> p | Error j -> P_error j in
+  match tokens line with
+  | [] -> P_error (err ~req:"?" ~code:"bad-request" "empty request")
+  | "open" :: session :: spec_path :: opts ->
+    fail
+      (check_session ~req:"open" session @@ fun () ->
+       match parse_opts ~req:"open" opts with
+       | Error j -> Error j
+       | Ok opts -> Ok (P_request (Open { session; spec_path; opts })))
+  | [ "txn"; session; time; nops ] ->
+    fail
+      (check_session ~req:"txn" session @@ fun () ->
+       int_of ~req:"txn" "time" time @@ fun time ->
+       int_of ~req:"txn" "op count" nops @@ fun nops ->
+       if nops < 0 then
+         Error (err ~req:"txn" ~code:"bad-request" "op count must be >= 0")
+       else if nops = 0 then
+         Ok (P_request (Txn { session; time; ops = Ok [] }))
+       else
+         Ok
+           (P_collect
+              { c_session = session;
+                c_time = time;
+                c_want = nops;
+                c_ops_rev = [];
+                c_err = None }))
+  | [ "stats"; session ] ->
+    fail (check_session ~req:"stats" session @@ fun () ->
+          Ok (P_request (Stats session)))
+  | [ "checkpoint"; session ] ->
+    fail (check_session ~req:"checkpoint" session @@ fun () ->
+          Ok (P_request (Checkpoint session)))
+  | [ "close"; session ] ->
+    fail (check_session ~req:"close" session @@ fun () ->
+          Ok (P_request (Close session)))
+  | [ "shutdown" ] -> P_request Shutdown
+  | cmd :: _ ->
+    let req =
+      if List.mem cmd [ "open"; "txn"; "stats"; "checkpoint"; "close";
+                        "shutdown" ]
+      then cmd
+      else "?"
+    in
+    P_error
+      (err ~req ~code:"bad-request"
+         (if req = "?" then "unknown request: " ^ cmd
+          else "malformed " ^ cmd ^ " request"))
+
+(* ---------------- admission ---------------- *)
+
+let enqueue_canned t j =
+  t.queue_rev <- Canned j :: t.queue_rev
+
+let submit t rq =
+  let req = request_name rq in
+  if t.is_stopped then
+    enqueue_canned t
+      (err ~req ~code:"shutting-down" "server is shutting down")
+  else if t.queued >= t.cfg.max_pending then
+    enqueue_canned t
+      (err ~req ~code:"overloaded"
+         (Printf.sprintf
+            "pending-request queue is full (max-pending %d); retry after \
+             the server catches up"
+            t.cfg.max_pending))
+  else begin
+    t.queue_rev <- Exec rq :: t.queue_rev;
+    t.queued <- t.queued + 1
+  end
+
+let feed_line t line =
+  match t.collecting with
+  | Some c ->
+    (match Wal.parse_op (String.trim line) with
+     | Ok op -> c.c_ops_rev <- op :: c.c_ops_rev
+     | Error m -> if c.c_err = None then c.c_err <- Some m);
+    c.c_want <- c.c_want - 1;
+    if c.c_want = 0 then begin
+      t.collecting <- None;
+      submit t
+        (Txn
+           { session = c.c_session;
+             time = c.c_time;
+             ops =
+               (match c.c_err with
+                | Some m -> Error m
+                | None -> Ok (List.rev c.c_ops_rev)) })
+    end
+  | None ->
+    let line = String.trim line in
+    if line = "" || line.[0] = '#' then ()
+    else
+      (match parse_request_line line with
+       | P_request rq -> submit t rq
+       | P_collect c -> t.collecting <- Some c
+       | P_error j -> enqueue_canned t j)
+
+(* ---------------- execution ---------------- *)
+
+let with_session t ~req name k =
+  match Hashtbl.find_opt t.sessions name with
+  | Some s -> k s
+  | None -> err ~req ~code:"unknown-session" ("no session named " ^ name)
+
+let supervisor_config opts =
+  let base = Supervisor.default_config in
+  let ( let* ) = Result.bind in
+  let* auto_checkpoint =
+    match List.assoc_opt "auto-checkpoint" opts with
+    | None -> Ok base.Supervisor.auto_checkpoint
+    | Some v ->
+      (match int_of_string_opt v with
+       | Some n when n >= 0 -> Ok n
+       | _ -> Error ("auto-checkpoint must be a non-negative integer: " ^ v))
+  in
+  let* on_error =
+    match List.assoc_opt "on-error" opts with
+    | None -> Ok base.Supervisor.on_error
+    | Some v -> Supervisor.policy_of_string v
+  in
+  let* aux_budget =
+    match List.assoc_opt "aux-budget" opts with
+    | None -> Ok base.Supervisor.aux_budget
+    | Some v ->
+      (match int_of_string_opt v with
+       | Some n when n > 0 -> Ok (Some n)
+       | _ -> Error ("aux-budget must be a positive integer: " ^ v))
+  in
+  Ok { base with Supervisor.auto_checkpoint; on_error; aux_budget }
+
+let exec_open t session spec_path opts =
+  let req = "open" in
+  if Hashtbl.mem t.sessions session then
+    err ~req ~code:"session-exists" ("session already open: " ^ session)
+  else
+    match t.fs.Faults.read_file spec_path with
+    | Error m -> err ~req ~code:"io-error" m
+    | Ok text ->
+      (match Parser.spec_of_string text with
+       | Error m -> err ~req ~code:"bad-spec" m
+       | Ok spec ->
+         (match
+            List.find_opt
+              (fun (d : Formula.def) -> not (Formula.past_only d.body))
+              spec.Parser.defs
+          with
+          | Some d ->
+            err ~req ~code:"bad-spec"
+              (Printf.sprintf
+                 "constraint %s uses future operators; sessions are \
+                  past-only (check such constraints in batch with rtic \
+                  check --engine future)"
+                 d.Formula.name)
+          | None ->
+            (match supervisor_config opts with
+             | Error m -> err ~req ~code:"bad-request" m
+             | Ok config ->
+               (* durable sessions live in the server's fs under state-dir=;
+                  ephemeral ones get a private in-memory fs *)
+               let fs, state_dir, durable =
+                 match List.assoc_opt "state-dir" opts with
+                 | Some dir -> (t.fs, dir, true)
+                 | None -> (Faults.mem_fs (), "state", false)
+               in
+               let metrics = Metrics.create () in
+               let fresh () =
+                 match
+                   Supervisor.create ~fs ~metrics ?tracer:t.tracer
+                     ?pool:t.pool ~config ~state_dir spec.Parser.catalog
+                     spec.Parser.defs
+                 with
+                 | Error m -> Error (err ~req ~code:"bad-spec" m)
+                 | Ok sup -> Ok (sup, None, 0)
+               in
+               let recovered () =
+                 match
+                   Supervisor.recover ~fs ~metrics ?tracer:t.tracer
+                     ?pool:t.pool ~config ~state_dir spec.Parser.catalog
+                     spec.Parser.defs
+                 with
+                 | Error m -> Error (err ~req ~code:"io-error" m)
+                 | Ok (sup, info) ->
+                   Ok (sup, Supervisor.last_time sup, info.Supervisor.replayed)
+               in
+               (match
+                  if durable && Supervisor.state_exists fs state_dir then
+                    Result.map (fun x -> (x, true)) (recovered ())
+                  else Result.map (fun x -> (x, false)) (fresh ())
+                with
+                | Error j -> j
+                | Ok ((sup, recovered_through, replayed), was_recovered) ->
+                  Hashtbl.replace t.sessions session
+                    { sup; metrics; stats = Stats.empty; recovered_through };
+                  ok ~req
+                    [ ("session", Json.Str session);
+                      ("constraints",
+                       Json.Int (List.length spec.Parser.defs));
+                      ("recovered", Json.Bool was_recovered);
+                      ("replayed", Json.Int replayed);
+                      ("steps", Json.Int (Supervisor.steps sup)) ]))))
+
+let exec_txn t session time ops =
+  let req = "txn" in
+  match ops with
+  | Error m -> err ~req ~code:"bad-request" ("malformed op line: " ^ m)
+  | Ok txn ->
+    with_session t ~req session @@ fun s ->
+    let base =
+      [ ("session", Json.Str session); ("time", Json.Int time) ]
+    in
+    (match s.recovered_through with
+     | Some l when time <= l ->
+       (* recovery already covered this commit time; answer without
+          re-checking, as the batch CLI skips replayed trace steps *)
+       ok ~req (base @ [ ("outcome", Json.Str "replayed") ])
+     | _ ->
+       (match Supervisor.step s.sup ~time txn with
+        | Error m ->
+          (* Halt policy or internal failure: the session is dead; drop it
+             so the state dir can be recovered by a fresh open. *)
+          Hashtbl.remove t.sessions session;
+          err ~req ~code:"halted"
+            (Printf.sprintf "session %s halted: %s" session m)
+        | Ok (Supervisor.Checked { reports; inconclusive }) ->
+          s.stats <-
+            Stats.observe s.stats ~time ~space:(Supervisor.space s.sup)
+              ~reports;
+          ok ~req
+            (base
+            @ [ ("outcome", Json.Str "checked");
+                ("reports", Json.List (List.map report_json reports));
+                ("inconclusive",
+                 Json.List
+                   (List.map (fun c -> Json.Str c) inconclusive)) ])
+        | Ok (Supervisor.Skipped reason) ->
+          ok ~req
+            (base
+            @ [ ("outcome", Json.Str "skipped");
+                ("reason", Json.Str reason) ])
+        | Ok (Supervisor.Rejected reason) ->
+          ok ~req
+            (base
+            @ [ ("outcome", Json.Str "rejected");
+                ("reason", Json.Str reason) ])))
+
+let exec_stats t session =
+  with_session t ~req:"stats" session @@ fun s ->
+  ok ~req:"stats"
+    [ ("session", Json.Str session);
+      ("stats", Stats.to_json ~metrics:s.metrics s.stats) ]
+
+let exec_checkpoint t session =
+  with_session t ~req:"checkpoint" session @@ fun s ->
+  match Supervisor.checkpoint s.sup with
+  | Ok () ->
+    ok ~req:"checkpoint"
+      [ ("session", Json.Str session);
+        ("steps", Json.Int (Supervisor.steps s.sup)) ]
+  | Error m -> err ~req:"checkpoint" ~code:"io-error" m
+
+let exec_close t session =
+  with_session t ~req:"close" session @@ fun s ->
+  Hashtbl.remove t.sessions session;
+  ok ~req:"close"
+    [ ("session", Json.Str session);
+      ("steps", Json.Int (Supervisor.steps s.sup)) ]
+
+let exec_shutdown t =
+  let n = Hashtbl.length t.sessions in
+  Hashtbl.reset t.sessions;
+  t.is_stopped <- true;
+  ok ~req:"shutdown" [ ("sessions_closed", Json.Int n) ]
+
+let execute t rq =
+  let req = request_name rq in
+  if t.is_stopped then
+    err ~req ~code:"shutting-down" "server is shutting down"
+  else
+    Tracer.span t.tracer ~cat:"serve" ~name:req ?arg:(request_arg rq)
+    @@ fun () ->
+    match rq with
+    | Open { session; spec_path; opts } -> exec_open t session spec_path opts
+    | Txn { session; time; ops } -> exec_txn t session time ops
+    | Stats session -> exec_stats t session
+    | Checkpoint session -> exec_checkpoint t session
+    | Close session -> exec_close t session
+    | Shutdown -> exec_shutdown t
+
+let drain t =
+  let entries = List.rev t.queue_rev in
+  t.queue_rev <- [];
+  t.queued <- 0;
+  List.map
+    (fun e ->
+      Json.to_string
+        (match e with Canned j -> j | Exec rq -> execute t rq))
+    entries
+
+let handle_lines t lines =
+  List.iter (feed_line t) lines;
+  drain t

@@ -1,0 +1,88 @@
+(** The streaming monitor service — the [rtic-serve/1] protocol engine.
+
+    The paper's bounded-history encoding exists so a monitor can run {e
+    forever} over an unbounded transaction stream in constant space; this
+    module turns the batch checker into a resident service. A server
+    multiplexes any number of {e named sessions}, each backed by a
+    {!Supervisor} — so the WAL, auto-checkpointing, [on-error] policies and
+    aux-budget quarantine compose unchanged — and optionally sharded across
+    a {!Pool} ([rtic serve --jobs]).
+
+    The protocol (FORMATS.md §7) is line-oriented: requests are single
+    lines ([open] / [txn] / [stats] / [checkpoint] / [close] / [shutdown],
+    a [txn] followed by one op line per update in the WAL op syntax), and
+    every request gets exactly one single-line JSON reply, in request
+    order. This module is {e transport-agnostic}: it consumes lines and
+    produces reply lines, while [rtic serve] owns the actual stdin/stdout
+    or Unix-domain-socket pump (and [tools/drive.exe] is the matching load
+    client).
+
+    {b Admission control.} Feeding a line may complete a request, which is
+    queued until {!drain} executes it. At most [max_pending] requests may
+    be queued; a request parsed beyond that is answered with an
+    [overloaded] error reply — in order, never silently dropped. A
+    transport that reads a chunk, feeds its lines and then drains thus
+    bounds both its memory and the burst a pipelining client can land.
+
+    Sessions opened without a [state-dir=] option are {e ephemeral}: they
+    run against a private {!Faults.mem_fs} and disappear with the server.
+    Sessions opened with [state-dir=] are durable in that directory; when
+    the directory already holds service state the open {e recovers} it
+    (checkpoint + WAL replay), and re-fed transactions recovery already
+    covered are answered with outcome ["replayed"] — so a client can
+    simply re-send its stream after a server crash, exactly like
+    re-running [rtic check --state-dir]. *)
+
+type config = { max_pending : int  (** Queued-request bound, ≥ 1. *) }
+
+val default_config : config
+(** [{ max_pending = 64 }]. *)
+
+val hello : string
+(** The greeting line a transport emits when a stream opens:
+    [{"schema":"rtic-serve/1"}]. *)
+
+type t
+(** A running server: sessions, the parser state for a possibly
+    half-received [txn] request, and the pending-request queue. Mutable,
+    single-threaded (like {!Supervisor}); drive it from one domain. *)
+
+val create :
+  ?fs:Faults.fs ->
+  ?tracer:Tracer.t ->
+  ?pool:Pool.t ->
+  ?config:config ->
+  unit ->
+  t
+(** [?fs] (default {!Faults.real_fs}) backs spec-file reads and durable
+    ([state-dir=]) sessions — tests pass {!Faults.mem_fs} for hermetic
+    runs. With [?tracer], every executed request runs inside a
+    [serve:<request>] span in the [rtic-trace/1] stream. With [?pool],
+    each session's supervisor shards its checkers across the pool
+    ({!Supervisor.create}). *)
+
+val feed_line : t -> string -> unit
+(** Consume one input line (without its newline). Either it advances a
+    half-received [txn] body, or it is parsed as a request line and the
+    completed request is queued (or refused [overloaded]). Blank lines and
+    [#] comments between requests are ignored. Never raises on malformed
+    input — errors become error replies at the next {!drain}. *)
+
+val drain : t -> string list
+(** Execute every queued request and return one single-line JSON reply per
+    request, in arrival order. Executing [shutdown] closes all sessions
+    and marks the server {!stopped}; later requests (same batch or later)
+    are answered with a [shutting-down] error. *)
+
+val pending : t -> int
+(** Requests queued and not yet drained (refused ones excluded). *)
+
+val stopped : t -> bool
+(** [shutdown] has been executed; the transport should stop pumping. *)
+
+val session_count : t -> int
+
+val handle_lines : t -> string list -> string list
+(** [handle_lines t lines] = feed every line, then {!drain} — the
+    per-chunk step of a transport, and the whole pump for a test that
+    wants request/reply semantics. *)

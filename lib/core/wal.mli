@@ -36,6 +36,11 @@ val encode_record :
     syntax). The CRC covers the time and the op lines, so a flipped bit
     anywhere in the record is detected. *)
 
+val parse_op : string -> (Rtic_relational.Update.op, string) result
+(** Parse one [+rel(...)]/[-rel(...)] op line — the record op syntax, also
+    used verbatim by the [rtic-serve/1] protocol's [txn] request body
+    ({!Server}, FORMATS.md §7). *)
+
 val encode :
   start:int -> (int * Rtic_relational.Update.transaction) list -> string
 (** A whole WAL file: {!header} plus the given [(time, txn)] records.

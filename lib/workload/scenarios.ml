@@ -73,8 +73,9 @@ let banking_generate ~seed ~steps ~violation_rate =
   for _ = 1 to steps do
     time := !time + 1 + Random.State.int rng 3;
     let now = !time in
-    let txn = ref (Event_queue.flush events) in
-    let add op = txn := !txn @ [ op ] in
+    (* accumulate reversed; one [List.rev] at commit keeps this linear *)
+    let txn_rev = ref (List.rev (Event_queue.flush events)) in
+    let add op = txn_rev := op :: !txn_rev in
     let violate = Random.State.float rng 1.0 < violation_rate in
     if violate then begin
       match Random.State.int rng 3 with
@@ -155,7 +156,7 @@ let banking_generate ~seed ~steps ~violation_rate =
          add (Event_queue.emit events (Update.Insert ("audit", [| str a |])));
          Hashtbl.replace last_audit a now)
     end;
-    out := (now, !txn) :: !out
+    out := (now, List.rev !txn_rev) :: !out
   done;
   Trace.make_exn banking_catalog (List.rev !out)
 
@@ -197,8 +198,9 @@ let library_generate ~seed ~steps ~violation_rate =
   for _ = 1 to steps do
     time := !time + 1 + Random.State.int rng 3;
     let now = !time in
-    let txn = ref (Event_queue.flush events) in
-    let add op = txn := !txn @ [ op ] in
+    (* accumulate reversed; one [List.rev] at commit keeps this linear *)
+    let txn_rev = ref (List.rev (Event_queue.flush events)) in
+    let add op = txn_rev := op :: !txn_rev in
     (* A return only clears the "since borrowed" chain at states strictly
        after the borrow witness, so a book returned in this very step must
        not be lent again before the next step. *)
@@ -269,7 +271,7 @@ let library_generate ~seed ~steps ~violation_rate =
          | (b, (p, _)) :: _ -> do_return p b
          | [] -> ())
     end;
-    out := (now, !txn) :: !out
+    out := (now, List.rev !txn_rev) :: !out
   done;
   Trace.make_exn library_catalog (List.rev !out)
 
@@ -315,8 +317,9 @@ let monitoring_generate ~seed ~steps ~violation_rate =
   for _ = 1 to steps do
     time := !time + 1 + Random.State.int rng 3;
     let now = !time in
-    let txn = ref (Event_queue.flush events) in
-    let add op = txn := !txn @ [ op ] in
+    (* accumulate reversed; one [List.rev] at commit keeps this linear *)
+    let txn_rev = ref (List.rev (Event_queue.flush events)) in
+    let add op = txn_rev := op :: !txn_rev in
     let violate = Random.State.float rng 1.0 < violation_rate in
     let pick_id () = ids.(Random.State.int rng (Array.length ids)) in
     if violate then begin
@@ -398,7 +401,7 @@ let monitoring_generate ~seed ~steps ~violation_rate =
         add (Event_queue.emit events (Update.Insert ("fault", [| str i |])));
         Hashtbl.replace recent_fault i now
     end;
-    out := (now, !txn) :: !out
+    out := (now, List.rev !txn_rev) :: !out
   done;
   Trace.make_exn monitoring_catalog (List.rev !out)
 
@@ -444,8 +447,9 @@ let logistics_generate ~seed ~steps ~violation_rate =
   for _ = 1 to steps do
     time := !time + 1 + Random.State.int rng 3;
     let now = !time in
-    let txn = ref (Event_queue.flush events) in
-    let add op = txn := !txn @ [ op ] in
+    (* accumulate reversed; one [List.rev] at commit keeps this linear *)
+    let txn_rev = ref (List.rev (Event_queue.flush events)) in
+    let add op = txn_rev := op :: !txn_rev in
     (* Deadline handling: open orders must be shipped or cancelled before
        the 21-tick fulfilment limit, except those deliberately neglected. *)
     Hashtbl.iter
@@ -530,7 +534,7 @@ let logistics_generate ~seed ~steps ~violation_rate =
            add (Event_queue.emit events (Update.Insert ("order", [| str id |])));
            Hashtbl.replace open_orders id now)
     end;
-    out := (now, !txn) :: !out
+    out := (now, List.rev !txn_rev) :: !out
   done;
   Trace.make_exn logistics_catalog (List.rev !out)
 

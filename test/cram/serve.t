@@ -1,0 +1,78 @@
+The rtic serve subcommand: the rtic-serve/1 protocol over stdin/stdout.
+
+A small past-only spec:
+
+  $ cat > tiny.spec <<'EOF'
+  > schema p(a:int)
+  > schema q(a:int)
+  > constraint seen_before:
+  >   forall x. q(x) -> once[0,5] p(x) ;
+  > EOF
+
+Happy path: greeting, open, transactions (one violating), close, shutdown.
+Every request gets exactly one single-line JSON reply, in order:
+
+  $ rtic serve <<'EOF'
+  > # comments and blank lines between requests are ignored
+  > open s tiny.spec
+  > txn s 1 1
+  > +p(1)
+  > txn s 2 1
+  > +q(1)
+  > txn s 9 1
+  > +q(7)
+  > close s
+  > shutdown
+  > EOF
+  {"schema":"rtic-serve/1"}
+  {"ok":true,"req":"open","session":"s","constraints":1,"recovered":false,"replayed":0,"steps":0}
+  {"ok":true,"req":"txn","session":"s","time":1,"outcome":"checked","reports":[],"inconclusive":[]}
+  {"ok":true,"req":"txn","session":"s","time":2,"outcome":"checked","reports":[],"inconclusive":[]}
+  {"ok":true,"req":"txn","session":"s","time":9,"outcome":"checked","reports":[{"constraint":"seen_before","position":2,"time":9}],"inconclusive":[]}
+  {"ok":true,"req":"close","session":"s","steps":3}
+  {"ok":true,"req":"shutdown","sessions_closed":0}
+
+Malformed requests are answered with an error reply, never a crash, and
+the stream stays usable; a malformed op line consumes the announced body
+so the next request is still parsed as a request:
+
+  $ rtic serve <<'EOF'
+  > open s tiny.spec
+  > frobnicate s
+  > txn s nan 0
+  > txn s 1 1
+  > not an op line
+  > txn s 2 0
+  > shutdown
+  > EOF
+  {"schema":"rtic-serve/1"}
+  {"ok":true,"req":"open","session":"s","constraints":1,"recovered":false,"replayed":0,"steps":0}
+  {"ok":false,"req":"?","error":"bad-request","message":"unknown request: frobnicate"}
+  {"ok":false,"req":"txn","error":"bad-request","message":"time must be an integer: nan"}
+  {"ok":false,"req":"txn","error":"bad-request","message":"malformed op line: op line must start with + or -: not an op line"}
+  {"ok":true,"req":"txn","session":"s","time":2,"outcome":"checked","reports":[],"inconclusive":[]}
+  {"ok":true,"req":"shutdown","sessions_closed":1}
+
+Admission control: with --max-pending 2, a burst arriving in one chunk is
+refused past the bound with explicit overloaded replies — still in request
+order, never silently dropped (a file redirect makes the whole burst one
+read chunk):
+
+  $ cat > burst.txt <<'EOF'
+  > stats a
+  > stats b
+  > stats c
+  > shutdown
+  > EOF
+  $ rtic serve --max-pending 2 < burst.txt
+  {"schema":"rtic-serve/1"}
+  {"ok":false,"req":"stats","error":"unknown-session","message":"no session named a"}
+  {"ok":false,"req":"stats","error":"unknown-session","message":"no session named b"}
+  {"ok":false,"req":"stats","error":"overloaded","message":"pending-request queue is full (max-pending 2); retry after the server catches up"}
+  {"ok":false,"req":"shutdown","error":"overloaded","message":"pending-request queue is full (max-pending 2); retry after the server catches up"}
+
+Bad usage is rejected before serving:
+
+  $ rtic serve --max-pending 0
+  rtic: --max-pending must be at least 1
+  [2]

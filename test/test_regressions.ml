@@ -1,0 +1,95 @@
+(* Regression pins for fixed performance and robustness bugs.
+
+   The future monitor's state buffer used to be appended with [buffer @
+   [entry]] (quadratic over a run), the scenario builders accumulated
+   transactions the same way, and [Faults.real_fs.read_file] trusted
+   [in_channel_length] and leaked its channel on error paths. Each fix
+   gets a test that fails loudly if the bug comes back: the linearity
+   tests time a 5k-element run against a 50k-element one — a linear
+   implementation lands near 10x, a quadratic one near 100x, and the 40x
+   bound leaves a wide margin for noise (same idiom as the WAL-recovery
+   linearity test). *)
+
+open Helpers
+module Future = Rtic_core.Future
+module Faults = Rtic_core.Faults
+
+let cat = Gen.generic_catalog
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)
+
+let check_linear what t_small t_big =
+  let ratio = t_big /. Float.max t_small 1e-4 in
+  if ratio > 40.0 then
+    Alcotest.failf
+      "10x more %s cost %.0fx the time (%.3fs -> %.3fs): no longer linear"
+      what ratio t_small t_big
+
+(* Every step lands inside the horizon, so nothing is ever decidable and
+   the buffer grows to [n] states: exactly the regime where a quadratic
+   append blows up. *)
+let future_cases =
+  [ Alcotest.test_case "50k-state buffer growth is linear" `Slow (fun () ->
+        let d =
+          { Formula.name = "f"; body = parse_formula "eventually[0,1000000] e()" }
+        in
+        let db = Database.create cat in
+        let run n =
+          let st = ref (get_ok "create" (Future.create cat d)) in
+          for time = 1 to n do
+            let st', verdicts = get_ok "step" (Future.step !st ~time db) in
+            if verdicts <> [] then
+              Alcotest.fail "no verdict should be decidable inside the horizon";
+            st := st'
+          done;
+          Alcotest.(check int) "buffered" n (Future.buffered_states !st);
+          Alcotest.(check int) "pending" n (Future.pending !st)
+        in
+        ignore (timed (fun () -> run 5_000)) (* warm-up *);
+        let (), t_small = timed (fun () -> run 5_000) in
+        let (), t_big = timed (fun () -> run 50_000) in
+        check_linear "buffered states" t_small t_big) ]
+
+let scenario_cases =
+  [ Alcotest.test_case "50k-step workload generation is linear" `Slow
+      (fun () ->
+        let sc = Scenarios.banking in
+        let run steps =
+          let tr = sc.Scenarios.generate ~seed:5 ~steps ~violation_rate:0.1 in
+          Alcotest.(check int) "steps" steps (List.length tr.Trace.steps)
+        in
+        ignore (timed (fun () -> run 5_000)) (* warm-up *);
+        let (), t_small = timed (fun () -> run 5_000) in
+        let (), t_big = timed (fun () -> run 50_000) in
+        check_linear "workload steps" t_small t_big) ]
+
+let read_file_cases =
+  [ Alcotest.test_case "missing file is an Error, not an exception" `Quick
+      (fun () ->
+        ignore
+          (get_error "missing"
+             (Faults.(real_fs.read_file) "no-such-file-anywhere.spec")));
+    Alcotest.test_case "directory reads error without leaking channels"
+      `Quick (fun () ->
+        (* hundreds of failed reads: a leaked fd per failure exhausts the
+           default descriptor limit well within this loop *)
+        for _ = 1 to 512 do
+          ignore (get_error "directory" (Faults.(real_fs.read_file) "."))
+        done);
+    Alcotest.test_case "special files with length 0 read to end-of-file"
+      `Quick (fun () ->
+        (* /proc files report size 0; a length-based read returns "" *)
+        let path = "/proc/self/cmdline" in
+        if Sys.file_exists path then
+          Alcotest.(check bool)
+            "non-empty" true
+            (String.length (get_ok "cmdline" (Faults.(real_fs.read_file) path))
+             > 0)) ]
+
+let suite =
+  [ ("regressions:future-buffer", future_cases);
+    ("regressions:scenarios", scenario_cases);
+    ("regressions:read-file", read_file_cases) ]

@@ -1,0 +1,392 @@
+(* The rtic-serve/1 protocol engine: reply shapes are pinned, admission
+   control refuses (never drops) excess requests, and a served session is
+   observationally identical to the batch monitor — same reports, same
+   rtic-stats/1 document (modulo wall-clock latency and the supervisor's
+   extra counters) — sequentially, under a pool, and across a
+   kill-and-recover. *)
+
+open Helpers
+module Server = Rtic_core.Server
+module Faults = Rtic_core.Faults
+module Metrics = Rtic_core.Metrics
+module Stats = Rtic_core.Stats
+module Pool = Rtic_core.Pool
+module Json = Rtic_core.Json
+
+let json_testable =
+  Alcotest.testable
+    (fun ppf j -> Format.pp_print_string ppf (Json.to_string j))
+    ( = )
+
+let with_pool n f =
+  let p = Pool.create n in
+  Fun.protect ~finally:(fun () -> Pool.shutdown p) (fun () -> f p)
+
+let op_line = function
+  | Update.Insert (rel, t) -> "+" ^ Textio.fact_to_string rel t
+  | Update.Delete (rel, t) -> "-" ^ Textio.fact_to_string rel t
+
+let txn_lines session (time, txn) =
+  Printf.sprintf "txn %s %d %d" session time (List.length txn)
+  :: List.map op_line txn
+
+(* A scenario's spec file, as drive.exe writes it for the server. *)
+let spec_text (sc : Scenarios.t) =
+  String.concat "\n"
+    (List.map Textio.schema_to_string (Schema.Catalog.schemas sc.catalog)
+     @ List.map Pretty.def_to_string sc.constraints)
+  ^ "\n"
+
+let server_with_spec ?pool ?config text =
+  let fs = Faults.mem_fs () in
+  (match fs.Faults.write_file "spec" text with
+   | Ok () -> ()
+   | Error m -> Alcotest.fail m);
+  (fs, Server.create ~fs ?pool ?config ())
+
+let one what = function
+  | [ r ] -> r
+  | rs -> Alcotest.failf "%s: expected 1 reply, got %d" what (List.length rs)
+
+let ok_doc what reply =
+  match Json.of_string reply with
+  | Error m -> Alcotest.failf "%s: reply is not JSON (%s): %s" what m reply
+  | Ok doc ->
+    (match Json.member "ok" doc with
+     | Some (Json.Bool true) -> doc
+     | _ -> Alcotest.failf "%s: expected an ok reply: %s" what reply)
+
+let error_code what reply =
+  match Json.of_string reply with
+  | Error m -> Alcotest.failf "%s: reply is not JSON (%s): %s" what m reply
+  | Ok doc ->
+    (match Json.member "ok" doc, Json.member "error" doc with
+     | Some (Json.Bool false), Some (Json.Str code) -> code
+     | _ -> Alcotest.failf "%s: expected an error reply: %s" what reply)
+
+let show_report r =
+  Printf.sprintf "%s@%d/%d" r.Monitor.constraint_name r.Monitor.position
+    r.Monitor.time
+
+let report_of_json what = function
+  | Json.Obj _ as j ->
+    (match
+       ( Json.member "constraint" j,
+         Json.member "position" j,
+         Json.member "time" j )
+     with
+     | Some (Json.Str c), Some (Json.Int p), Some (Json.Int t) ->
+       Printf.sprintf "%s@%d/%d" c p t
+     | _ -> Alcotest.failf "%s: malformed report object" what)
+  | _ -> Alcotest.failf "%s: report is not an object" what
+
+(* A checked txn reply's reports, as show_report strings. *)
+let checked_reports what reply =
+  let doc = ok_doc what reply in
+  (match Json.member "outcome" doc with
+   | Some (Json.Str "checked") -> ()
+   | _ -> Alcotest.failf "%s: expected a checked outcome: %s" what reply);
+  (match Json.member "inconclusive" doc with
+   | Some (Json.List []) -> ()
+   | _ -> Alcotest.failf "%s: unexpected inconclusive set: %s" what reply);
+  match Json.member "reports" doc with
+  | Some (Json.List rs) -> List.map (report_of_json what) rs
+  | _ -> Alcotest.failf "%s: missing reports: %s" what reply
+
+(* Drop the two stats fields a supervised session legitimately differs on:
+   wall-clock latency, and the supervisor's own named counters. *)
+let rec scrub = function
+  | Json.Obj fields ->
+    Json.Obj
+      (List.filter_map
+         (fun (k, v) ->
+           if k = "latency_ns" || k = "counters" then None
+           else Some (k, scrub v))
+         fields)
+  | Json.List items -> Json.List (List.map scrub items)
+  | j -> j
+
+(* ---------------- protocol: pinned replies and error codes ---------------- *)
+
+let tiny_spec =
+  "schema p(a:int)\n\
+   schema q(a:int)\n\
+   constraint a: forall x. q(x) -> once[0,5] p(x) ;\n"
+
+let protocol_cases =
+  [ Alcotest.test_case "happy path replies are pinned" `Quick (fun () ->
+        let _, srv = server_with_spec tiny_spec in
+        Alcotest.(check (list string))
+          "replies"
+          [ {|{"ok":true,"req":"open","session":"s","constraints":1,"recovered":false,"replayed":0,"steps":0}|};
+            {|{"ok":true,"req":"txn","session":"s","time":1,"outcome":"checked","reports":[],"inconclusive":[]}|};
+            {|{"ok":true,"req":"txn","session":"s","time":2,"outcome":"checked","reports":[],"inconclusive":[]}|};
+            {|{"ok":true,"req":"close","session":"s","steps":2}|};
+            {|{"ok":true,"req":"shutdown","sessions_closed":0}|} ]
+          (Server.handle_lines srv
+             [ "open s spec";
+               "# comments and blank lines are ignored";
+               "";
+               "txn s 1 1";
+               "+p(1)";
+               "txn s 2 1";
+               "  +q(1)  ";
+               "close s";
+               "shutdown" ]);
+        Alcotest.(check bool) "stopped" true (Server.stopped srv));
+    Alcotest.test_case "violations come back in the txn reply" `Quick
+      (fun () ->
+        let _, srv = server_with_spec tiny_spec in
+        let replies =
+          Server.handle_lines srv [ "open s spec"; "txn s 1 1"; "+q(7)" ]
+        in
+        match replies with
+        | [ _; txn ] ->
+          (match checked_reports "txn" txn with
+           | [ r ] ->
+             Alcotest.(check bool)
+               (r ^ " names constraint a") true
+               (String.length r > 2 && String.sub r 0 2 = "a@")
+           | rs -> Alcotest.failf "expected 1 report, got %d" (List.length rs))
+        | _ -> Alcotest.fail "expected 2 replies");
+    Alcotest.test_case "zero-op txn needs no body" `Quick (fun () ->
+        let _, srv = server_with_spec tiny_spec in
+        let replies =
+          Server.handle_lines srv [ "open s spec"; "txn s 4 0"; "stats s" ]
+        in
+        (match replies with
+         | [ _; txn; stats ] ->
+           Alcotest.(check (list string)) "no reports" []
+             (checked_reports "txn" txn);
+           (match Json.member "stats" (ok_doc "stats" stats) with
+            | Some st ->
+              Alcotest.(check (option json_testable)) "one transaction"
+                (Some (Json.Int 1)) (Json.member "transactions" st)
+            | None -> Alcotest.fail "stats reply lacks a stats field")
+         | _ -> Alcotest.fail "expected 3 replies"));
+    Alcotest.test_case "request errors carry the right codes" `Quick
+      (fun () ->
+        let check_code input code =
+          let _, srv = server_with_spec tiny_spec in
+          ignore (one "open" (Server.handle_lines srv [ "open s spec" ]));
+          Alcotest.(check string) input code
+            (error_code input (one input (Server.handle_lines srv [ input ])))
+        in
+        check_code "bogus stuff" "bad-request";
+        check_code "txn s nan 0" "bad-request";
+        check_code "txn s 1 -1" "bad-request";
+        check_code "txn" "bad-request";
+        check_code "open s% spec" "bad-request";
+        check_code "open s2 spec wat=1" "bad-request";
+        check_code "open s2 spec auto-checkpoint=-3" "bad-request";
+        check_code "open s spec" "session-exists";
+        check_code "open s2 nosuchfile" "io-error";
+        check_code "stats nosuch" "unknown-session";
+        check_code "checkpoint nosuch" "unknown-session";
+        check_code "close nosuch" "unknown-session");
+    Alcotest.test_case "future-operator specs are refused" `Quick (fun () ->
+        let _, srv =
+          server_with_spec
+            "schema p(a:int)\n\
+             constraint f: forall x. p(x) -> eventually[0,3] p(x) ;\n"
+        in
+        Alcotest.(check string) "bad-spec" "bad-spec"
+          (error_code "open"
+             (one "open" (Server.handle_lines srv [ "open s spec" ]))));
+    Alcotest.test_case "malformed op line errors but keeps the stream in sync"
+      `Quick (fun () ->
+        let _, srv = server_with_spec tiny_spec in
+        let replies =
+          Server.handle_lines srv
+            [ "open s spec";
+              "txn s 1 2";
+              "+p(1)";
+              "this is not an op";
+              (* the server must still be on request-line footing here *)
+              "txn s 2 1";
+              "+p(2)";
+              "stats s" ]
+        in
+        match replies with
+        | [ _; bad; good; stats ] ->
+          Alcotest.(check string) "bad txn" "bad-request"
+            (error_code "bad txn" bad);
+          Alcotest.(check (list string)) "good txn" []
+            (checked_reports "good txn" good);
+          (match Json.member "stats" (ok_doc "stats" stats) with
+           | Some st ->
+             (* the malformed txn was never stepped *)
+             Alcotest.(check (option json_testable)) "one transaction"
+               (Some (Json.Int 1)) (Json.member "transactions" st)
+           | None -> Alcotest.fail "stats reply lacks a stats field")
+        | _ -> Alcotest.failf "expected 4 replies, got %d" (List.length replies));
+    Alcotest.test_case "overload refuses in order, never drops" `Quick
+      (fun () ->
+        let _, srv =
+          server_with_spec ~config:{ Server.max_pending = 2 } tiny_spec
+        in
+        List.iter (Server.feed_line srv)
+          [ "stats a"; "stats b"; "stats c"; "stats d" ];
+        Alcotest.(check int) "pending" 2 (Server.pending srv);
+        Alcotest.(check (list string))
+          "codes"
+          [ "unknown-session"; "unknown-session"; "overloaded"; "overloaded" ]
+          (List.map (error_code "overload") (Server.drain srv));
+        (* the queue drained: the next batch is admitted again *)
+        Alcotest.(check string) "admitted after drain" "unknown-session"
+          (error_code "after"
+             (one "after" (Server.handle_lines srv [ "stats e" ]))));
+    Alcotest.test_case "shutdown closes sessions and refuses the rest" `Quick
+      (fun () ->
+        let _, srv = server_with_spec tiny_spec in
+        let replies =
+          Server.handle_lines srv [ "open s spec"; "shutdown"; "stats s" ]
+        in
+        (match replies with
+         | [ _; sd; late ] ->
+           Alcotest.(check string) "shutdown reply"
+             {|{"ok":true,"req":"shutdown","sessions_closed":1}|} sd;
+           Alcotest.(check string) "late request" "shutting-down"
+             (error_code "late" late)
+         | _ -> Alcotest.fail "expected 3 replies");
+        Alcotest.(check bool) "stopped" true (Server.stopped srv);
+        Alcotest.(check int) "sessions" 0 (Server.session_count srv);
+        (* lines fed after the stop are refused too *)
+        Alcotest.(check string) "fed after stop" "shutting-down"
+          (error_code "fed after stop"
+             (one "fed after stop" (Server.handle_lines srv [ "stats s" ])))) ]
+
+(* ---------------- serve = batch ---------------- *)
+
+(* Run a whole generated workload through an in-process server; returns the
+   concatenated violation reports and the scrubbed rtic-stats/1 document. *)
+let serve_run ?pool (sc : Scenarios.t) tr =
+  let _, srv = server_with_spec ?pool (spec_text sc) in
+  ignore (ok_doc "open" (one "open" (Server.handle_lines srv [ "open s spec" ])));
+  let reports =
+    List.concat_map
+      (fun step ->
+        checked_reports "txn"
+          (one "txn" (Server.handle_lines srv (txn_lines "s" step))))
+      tr.Trace.steps
+  in
+  let stats_doc = ok_doc "stats" (one "stats" (Server.handle_lines srv [ "stats s" ])) in
+  match Json.member "stats" stats_doc with
+  | Some st -> (reports, Json.to_string (scrub st))
+  | None -> Alcotest.fail "stats reply lacks a stats field"
+
+(* The batch reference: a plain Monitor fold over the same transactions
+   from the same (empty) initial state, aggregating the same Stats. *)
+let batch_run (sc : Scenarios.t) tr =
+  let metrics = Metrics.create () in
+  let m =
+    get_ok "create"
+      (Monitor.create_with ~metrics (Database.create sc.catalog)
+         sc.constraints)
+  in
+  let stats = ref Stats.empty in
+  let reports_rev = ref [] in
+  ignore
+    (List.fold_left
+       (fun m (time, txn) ->
+         let m, reports = get_ok "step" (Monitor.step m ~time txn) in
+         stats :=
+           Stats.observe !stats ~time ~space:(Monitor.space m) ~reports;
+         reports_rev := List.rev_map show_report reports @ !reports_rev;
+         m)
+       m tr.Trace.steps);
+  ( List.rev !reports_rev,
+    Json.to_string (scrub (Stats.to_json ~metrics !stats)) )
+
+let equivalence_cases =
+  [ Alcotest.test_case "serve = batch (reports + stats), jobs 1/2/4" `Quick
+      (fun () ->
+        List.iter
+          (fun (sc : Scenarios.t) ->
+            let tr = sc.generate ~seed:13 ~steps:60 ~violation_rate:0.15 in
+            let batch = batch_run sc tr in
+            Alcotest.(check (pair (list string) string))
+              (sc.name ^ " sequential") batch (serve_run sc tr);
+            List.iter
+              (fun jobs ->
+                with_pool jobs (fun pool ->
+                    Alcotest.(check (pair (list string) string))
+                      (Printf.sprintf "%s jobs %d" sc.name jobs)
+                      batch
+                      (serve_run ~pool sc tr)))
+              [ 2; 4 ])
+          [ Scenarios.banking; Scenarios.monitoring ]) ]
+
+let equivalence_property =
+  qtest ~count:15 "serve = batch on random workloads"
+    QCheck.(pair small_nat (int_bound (List.length Scenarios.all - 1)))
+    (fun (seed, i) ->
+      let sc = List.nth Scenarios.all i in
+      let tr = sc.Scenarios.generate ~seed ~steps:25 ~violation_rate:0.2 in
+      batch_run sc tr = serve_run sc tr)
+
+(* ---------------- kill-and-recover ---------------- *)
+
+let recovery_cases =
+  [ Alcotest.test_case "kill-and-recover: replay answers, reports agree"
+      `Quick (fun () ->
+        let sc = Scenarios.banking in
+        let tr = sc.Scenarios.generate ~seed:21 ~steps:60 ~violation_rate:0.15 in
+        let batch_reports, _ = batch_run sc tr in
+        let run pool =
+          let fs = Faults.mem_fs () in
+          (match fs.Faults.write_file "spec" (spec_text sc) with
+           | Ok () -> ()
+           | Error m -> Alcotest.fail m);
+          let open_line = "open s spec state-dir=sd auto-checkpoint=7" in
+          let steps = tr.Trace.steps in
+          let half = List.length steps / 2 in
+          let first = List.filteri (fun i _ -> i < half) steps in
+          let srv1 = Server.create ~fs ?pool () in
+          let open1 =
+            ok_doc "open1" (one "open1" (Server.handle_lines srv1 [ open_line ]))
+          in
+          Alcotest.(check (option json_testable)) "fresh open"
+            (Some (Json.Bool false)) (Json.member "recovered" open1);
+          let head_reports =
+            List.concat_map
+              (fun st ->
+                checked_reports "txn1"
+                  (one "txn1" (Server.handle_lines srv1 (txn_lines "s" st))))
+              first
+          in
+          (* crash: abandon srv1 mid-stream, no close, no final checkpoint *)
+          let srv2 = Server.create ~fs ?pool () in
+          let open2 =
+            ok_doc "open2" (one "open2" (Server.handle_lines srv2 [ open_line ]))
+          in
+          Alcotest.(check (option json_testable)) "recovered"
+            (Some (Json.Bool true)) (Json.member "recovered" open2);
+          (* a crashed client just re-sends its whole stream *)
+          let replayed = ref 0 in
+          let tail_reports =
+            List.concat_map
+              (fun st ->
+                let reply =
+                  one "txn2" (Server.handle_lines srv2 (txn_lines "s" st))
+                in
+                match Json.member "outcome" (ok_doc "txn2" reply) with
+                | Some (Json.Str "replayed") ->
+                  incr replayed;
+                  []
+                | Some (Json.Str "checked") -> checked_reports "txn2" reply
+                | _ -> Alcotest.failf "txn2: unexpected outcome: %s" reply)
+              steps
+          in
+          Alcotest.(check int) "first half answered replayed" half !replayed;
+          Alcotest.(check (list string))
+            "reports across the crash" batch_reports
+            (head_reports @ tail_reports)
+        in
+        run None;
+        with_pool 4 (fun pool -> run (Some pool))) ]
+
+let suite =
+  [ ("server:protocol", protocol_cases);
+    ("server:equivalence", equivalence_cases @ [ equivalence_property ]);
+    ("server:recovery", recovery_cases) ]

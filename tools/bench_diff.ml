@@ -11,8 +11,9 @@
    A fresh value above baseline * (1 + tol) is a regression. Faster runs,
    metrics new in the fresh artifact, and non-timing fields never fail.
    Speedup-like keys (speedup, or a *_speedup suffix — the BENCH_PAR
-   family) invert the rule: higher is better, and a fresh value below
-   baseline * (1 - tol) is the regression.
+   family) and throughput-like keys (txns_per_sec, or a *_per_sec suffix —
+   the BENCH_SERVE family) invert the rule: higher is better, and a fresh
+   value below baseline * (1 - tol) is the regression.
    Exit 0 when clean, 1 on any regression, 2 on usage or parse errors. *)
 
 module Json = Rtic_core.Json
@@ -36,12 +37,14 @@ let time_like key =
          && String.ends_with ~suffix key)
        [ "_ns"; "_ms"; "_us" ]
 
-(* Throughput-style metrics where LOWER is the regression. *)
-let speedup_like key =
+(* Metrics where LOWER is the regression: parallel speedups and service
+   throughput. *)
+let inverted_like key =
   key = "speedup"
   || (String.length key > 8 && String.ends_with ~suffix:"_speedup" key)
+  || (String.length key > 8 && String.ends_with ~suffix:"_per_sec" key)
 
-let watched key = time_like key || speedup_like key
+let watched key = time_like key || inverted_like key
 
 (* Every time-like numeric leaf under [j], with a dotted path for display
    and the bare key for tolerance lookup. *)
@@ -148,7 +151,7 @@ let () =
                     in
                     let ratio = if bv = 0.0 then 0.0 else fv /. bv in
                     let bad =
-                      if speedup_like key then fv < bv *. (1.0 -. tol)
+                      if inverted_like key then fv < bv *. (1.0 -. tol)
                       else fv > bv *. (1.0 +. tol)
                     in
                     if bad then incr regressions;

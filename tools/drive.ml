@@ -1,0 +1,221 @@
+(* Load client for the rtic-serve/1 protocol (FORMATS.md §7).
+
+   Replays a generated scenario workload against a running server's
+   Unix-domain socket and reports throughput and request-latency
+   percentiles:
+
+     dune exec tools/drive.exe -- --socket /tmp/rtic.sock --steps 500
+
+   With --spawn BIN it owns the whole lifecycle: spawns `BIN serve
+   --socket <tmp>`, waits for the socket, drives the workload, requests a
+   clean shutdown and reaps the child — the shape of the bounded smoke
+   that runs under `dune runtest`:
+
+     dune exec tools/drive.exe -- --spawn _build/default/bin/rtic.exe
+
+   Exit codes: 0 success, 1 protocol/equivalence failure, 2 usage. *)
+
+module Schema = Rtic_relational.Schema
+module Textio = Rtic_relational.Textio
+module Update = Rtic_relational.Update
+module Trace = Rtic_temporal.Trace
+module Pretty = Rtic_mtl.Pretty
+module Json = Rtic_core.Json
+module Scenarios = Rtic_workload.Scenarios
+
+let socket_path = ref ""
+let spawn_bin = ref ""
+let scenario = ref "banking"
+let steps = ref 200
+let seed = ref 1
+let rate = ref 0.1
+let session = ref "load"
+let jobs = ref 1
+
+let usage = "drive.exe [--socket PATH | --spawn RTIC_BIN] [options]"
+
+let args =
+  [ ("--socket", Arg.Set_string socket_path,
+     "PATH  connect to a server already listening on PATH");
+    ("--spawn", Arg.Set_string spawn_bin,
+     "BIN  spawn `BIN serve --socket <tmp>` and shut it down afterwards");
+    ("--scenario", Arg.Set_string scenario,
+     "NAME  workload scenario (banking, library, monitoring, logistics)");
+    ("--steps", Arg.Set_int steps, "N  transactions to drive (default 200)");
+    ("--seed", Arg.Set_int seed, "N  workload PRNG seed (default 1)");
+    ("--violation-rate", Arg.Set_float rate,
+     "R  injected violation probability per step (default 0.1)");
+    ("--session", Arg.Set_string session,
+     "NAME  session name to open (default load)");
+    ("--jobs", Arg.Set_int jobs,
+     "N  worker domains for a --spawn'ed server (default 1)") ]
+
+let die code fmt = Printf.ksprintf (fun m -> prerr_endline ("drive: " ^ m); exit code) fmt
+
+let op_line = function
+  | Update.Insert (rel, t) -> "+" ^ Textio.fact_to_string rel t
+  | Update.Delete (rel, t) -> "-" ^ Textio.fact_to_string rel t
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(min (n - 1) (max 0 (int_of_float (ceil (q *. float_of_int n)) - 1)))
+
+(* One request/reply round trip; replies are single lines, in order. *)
+let roundtrip oc ic text =
+  output_string oc text;
+  flush oc;
+  input_line ic
+
+let expect_ok what reply =
+  match Json.of_string reply with
+  | Error m -> die 1 "%s: reply is not JSON (%s): %s" what m reply
+  | Ok doc ->
+    (match Json.member "ok" doc with
+     | Some (Json.Bool true) -> doc
+     | _ -> die 1 "%s failed: %s" what reply)
+
+let () =
+  Arg.parse args (fun a -> die 2 "unexpected argument %s" a) usage;
+  if (!socket_path = "") = (!spawn_bin = "") then
+    die 2 "exactly one of --socket or --spawn is required";
+  if !steps < 1 then die 2 "--steps must be at least 1";
+  let sc =
+    match
+      List.find_opt (fun (s : Scenarios.t) -> s.name = !scenario) Scenarios.all
+    with
+    | Some sc -> sc
+    | None ->
+      die 2 "unknown scenario %s (want %s)" !scenario
+        (String.concat ", " (List.map (fun (s : Scenarios.t) -> s.name) Scenarios.all))
+  in
+  (* Spawn the server if asked, and wait for its socket to appear. *)
+  let path, child =
+    if !spawn_bin = "" then (!socket_path, None)
+    else begin
+      let path =
+        Filename.concat (Filename.get_temp_dir_name ())
+          (Printf.sprintf "rtic-drive-%d.sock" (Unix.getpid ()))
+      in
+      if Sys.file_exists path then Sys.remove path;
+      let argv =
+        [| !spawn_bin; "serve"; "--socket"; path |]
+        |> Array.to_list
+        |> (fun l -> if !jobs > 1 then l @ [ "--jobs"; string_of_int !jobs ] else l)
+        |> Array.of_list
+      in
+      let pid =
+        Unix.create_process !spawn_bin argv Unix.stdin Unix.stdout Unix.stderr
+      in
+      let rec wait_sock n =
+        if Sys.file_exists path then ()
+        else if n = 0 then die 1 "server did not create %s" path
+        else begin
+          (match Unix.waitpid [ Unix.WNOHANG ] pid with
+           | 0, _ -> ()
+           | _, st ->
+             die 1 "server exited before listening (%s)"
+               (match st with
+                | Unix.WEXITED c -> Printf.sprintf "exit %d" c
+                | Unix.WSIGNALED s -> Printf.sprintf "signal %d" s
+                | Unix.WSTOPPED s -> Printf.sprintf "stopped %d" s));
+          Unix.sleepf 0.01;
+          wait_sock (n - 1)
+        end
+      in
+      wait_sock 1000;
+      (path, Some pid)
+    end
+  in
+  (* Generate the workload and write its spec where the server can read it. *)
+  let tr = sc.generate ~seed:!seed ~steps:!steps ~violation_rate:!rate in
+  let spec_text =
+    String.concat "\n"
+      (List.map Textio.schema_to_string (Schema.Catalog.schemas sc.catalog)
+       @ List.map Pretty.def_to_string sc.constraints)
+    ^ "\n"
+  in
+  let spec_file = Filename.temp_file "rtic-drive" ".spec" in
+  Out_channel.with_open_bin spec_file (fun oc ->
+      Out_channel.output_string oc spec_text);
+  (* Connect and drive. *)
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let hello = input_line ic in
+  (match Json.of_string hello with
+   | Ok doc when Json.member "schema" doc = Some (Json.Str "rtic-serve/1") ->
+     ()
+   | _ -> die 1 "unexpected greeting: %s" hello);
+  ignore
+    (expect_ok "open"
+       (roundtrip oc ic
+          (Printf.sprintf "open %s %s\n" !session spec_file)));
+  let latencies = Array.make (List.length tr.Trace.steps) 0.0 in
+  let violations = ref 0 in
+  let t_start = Unix.gettimeofday () in
+  List.iteri
+    (fun i (time, txn) ->
+      let buf = Buffer.create 256 in
+      Buffer.add_string buf
+        (Printf.sprintf "txn %s %d %d\n" !session time (List.length txn));
+      List.iter
+        (fun op ->
+          Buffer.add_string buf (op_line op);
+          Buffer.add_char buf '\n')
+        txn;
+      let t0 = Unix.gettimeofday () in
+      let reply = roundtrip oc ic (Buffer.contents buf) in
+      latencies.(i) <- (Unix.gettimeofday () -. t0) *. 1e6;
+      let doc = expect_ok "txn" reply in
+      (match Json.member "outcome" doc with
+       | Some (Json.Str "checked") -> ()
+       | _ -> die 1 "txn at time %d not checked: %s" time reply);
+      match Json.member "reports" doc with
+      | Some (Json.List rs) -> violations := !violations + List.length rs
+      | _ -> ())
+    tr.Trace.steps;
+  let elapsed = Unix.gettimeofday () -. t_start in
+  let stats_doc =
+    expect_ok "stats" (roundtrip oc ic (Printf.sprintf "stats %s\n" !session))
+  in
+  (* Cross-check the server's account of the run against ours. *)
+  (match Json.member "stats" stats_doc with
+   | Some st ->
+     (match Json.member "transactions" st, Json.member "violations" st with
+      | Some (Json.Int txns), Some (Json.Int viols) ->
+        if txns <> !steps then
+          die 1 "server counted %d transactions, drove %d" txns !steps;
+        if viols <> !violations then
+          die 1 "server counted %d violations, replies carried %d" viols
+            !violations
+      | _ -> die 1 "stats reply lacks transactions/violations")
+   | None -> die 1 "stats reply lacks a stats field");
+  ignore
+    (expect_ok "close" (roundtrip oc ic (Printf.sprintf "close %s\n" !session)));
+  (match child with
+   | None -> ()
+   | Some pid ->
+     ignore (expect_ok "shutdown" (roundtrip oc ic "shutdown\n"));
+     (match Unix.waitpid [] pid with
+      | _, Unix.WEXITED 0 -> ()
+      | _, st ->
+        die 1 "server did not shut down cleanly (%s)"
+          (match st with
+           | Unix.WEXITED c -> Printf.sprintf "exit %d" c
+           | Unix.WSIGNALED s -> Printf.sprintf "signal %d" s
+           | Unix.WSTOPPED s -> Printf.sprintf "stopped %d" s)));
+  close_out_noerr oc;
+  Sys.remove spec_file;
+  Array.sort compare latencies;
+  Printf.printf "drive: %s scenario, %d txn(s) in %.3f s — %.1f txn/s\n"
+    sc.name !steps elapsed
+    (float_of_int !steps /. elapsed);
+  Printf.printf
+    "latency: p50 %.1f us  p95 %.1f us  p99 %.1f us  max %.1f us\n"
+    (percentile latencies 0.50)
+    (percentile latencies 0.95)
+    (percentile latencies 0.99)
+    (percentile latencies 1.0);
+  Printf.printf "violations reported: %d\n" !violations
