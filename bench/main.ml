@@ -744,7 +744,90 @@ let serve () =
             ("p99_us", Json.Float p99) ])
       [ Scenarios.banking; Scenarios.monitoring ]
   in
-  write_artifact ~experiment:"serve" series
+  (* Multi-client series: the same banking workload split into C disjoint
+     contiguous slices, each fed on its own connection against its own
+     session and drained round-robin with the transport's quantum — the
+     in-process shape of C concurrent clients on `rtic serve --socket`.
+     On a single CPU this measures fairness overhead, not parallel
+     speedup: the engine serializes requests, so throughput should hold
+     roughly flat as C grows. *)
+  let ok_reply what reply =
+    match Json.of_string reply with
+    | Ok doc when Json.member "ok" doc = Some (Json.Bool true) -> ()
+    | _ ->
+      Printf.eprintf "bench: serve %s failed: %s\n" what reply;
+      exit 1
+  in
+  let multi_series =
+    List.map
+      (fun nclients ->
+        let sc = Scenarios.banking in
+        let tr = sc.generate ~seed:7 ~steps ~violation_rate:0.1 in
+        let spec_text =
+          String.concat "\n"
+            (List.map Textio.schema_to_string
+               (Schema.Catalog.schemas sc.catalog)
+             @ List.map Rtic_mtl.Pretty.def_to_string sc.constraints)
+          ^ "\n"
+        in
+        let fs = Faults.mem_fs () in
+        or_die "spec" (fs.Faults.write_file "bench.spec" spec_text);
+        let srv = Server.create ~fs () in
+        let conns = Array.init nclients (fun _ -> Server.connect srv) in
+        Array.iteri
+          (fun i c ->
+            Server.conn_feed_line c (Printf.sprintf "open c%d bench.spec" i);
+            match Server.conn_drain c with
+            | [ r ] -> ok_reply "open" r
+            | rs ->
+              Printf.eprintf "bench: serve open: %d replies\n" (List.length rs);
+              exit 1)
+          conns;
+        let all = Array.of_list tr.Trace.steps in
+        let total = Array.length all in
+        let base = total / nclients and extra = total mod nclients in
+        let pos = Array.init nclients (fun i -> (i * base) + min i extra) in
+        let fin =
+          Array.init nclients (fun i ->
+              pos.(i) + base + if i < extra then 1 else 0)
+        in
+        let answered = ref 0 in
+        let t_start = Unix.gettimeofday () in
+        while !answered < total do
+          for i = 0 to nclients - 1 do
+            if pos.(i) < fin.(i) then begin
+              let time, txn = all.(pos.(i)) in
+              pos.(i) <- pos.(i) + 1;
+              List.iter
+                (Server.conn_feed_line conns.(i))
+                (Printf.sprintf "txn c%d %d %d" i time (List.length txn)
+                 :: List.map op_line txn)
+            end
+          done;
+          Array.iter
+            (fun c ->
+              List.iter
+                (fun r ->
+                  ok_reply "txn" r;
+                  incr answered)
+                (Server.conn_drain ~limit:32 c))
+            conns
+        done;
+        let elapsed = Unix.gettimeofday () -. t_start in
+        Array.iter Server.disconnect conns;
+        let name = Printf.sprintf "%s-c%d" sc.name nclients in
+        let per_sec = float_of_int total /. elapsed in
+        row "%-12s %8d %10.1f %12.1f %10s %10s %10s\n" name total (ms elapsed)
+          per_sec "-" "-" "-";
+        Json.Obj
+          [ ("name", Json.Str name);
+            ("clients", Json.Int nclients);
+            ("txns", Json.Int total);
+            ("ms", Json.Float (ms elapsed));
+            ("txns_per_sec", Json.Float per_sec) ])
+      [ 1; 4; 16 ]
+  in
+  write_artifact ~experiment:"serve" (series @ multi_series)
 
 (* ------------------------------------------------------------------ *)
 

@@ -511,6 +511,11 @@ let write_all fd s =
   in
   go 0 (Bytes.length b)
 
+(* SIGTERM/SIGINT request a clean shutdown: the handler raises, the
+   serving loop unwinds through its Fun.protect cleanup (socket unlink,
+   listener close, pool shutdown, trace flush) and exits 0. *)
+exception Terminated
+
 (* Pump one connected stream: read chunks, feed the complete lines of each
    chunk to the server, then drain and write one reply line per request.
    Draining once per chunk (not per line) is what makes the admission bound
@@ -550,18 +555,246 @@ let pump_stream srv ~read ~write =
   in
   loop ()
 
-let run_serve socket jobs max_pending trace_out =
+(* ---------------- the multi-client socket transport ---------------- *)
+
+(* One accepted client: its connection handle into the shared engine, the
+   partial trailing input line, and the reply bytes awaiting write.
+   [out_off] is the flushed prefix of [out] — writes consume the buffer
+   front-to-back without re-copying what already went out. *)
+type client = {
+  fd : Unix.file_descr;
+  conn : Server.conn;
+  inbuf : Buffer.t;
+  out : Buffer.t;
+  mutable out_off : int;
+  mutable eof : bool;   (* peer closed its writing end; flush, then drop *)
+  mutable dead : bool;  (* connection failed; drop without flushing *)
+}
+
+(* Per-connection backpressure: once a client has this many unwritten
+   reply bytes we stop reading from it, so it cannot submit new work (and
+   pin the shared admission budget) faster than it consumes replies. Its
+   already-admitted requests still execute — at most max_pending more
+   replies land in the buffer — so the budget always drains back to the
+   other clients. *)
+let out_hiwater = 256 * 1024
+
+(* Fair-drain quantum: each select cycle round-robins the connections,
+   executing at most this many queued requests per connection per turn
+   until every queue is empty, so one client's pipelined burst interleaves
+   with the others instead of running to completion first. *)
+let drain_quantum = 32
+
+let out_pending c = Buffer.length c.out - c.out_off
+
+let close_client clients c =
+  Hashtbl.remove clients c.fd;
+  Server.disconnect c.conn;
+  (try Unix.close c.fd with Unix.Unix_error _ -> ())
+
+(* Write what the socket will take without blocking; mark the client dead
+   on a connection error (EPIPE/ECONNRESET/...), which drops only this
+   client. *)
+let flush_client c =
+  let len = min (out_pending c) 65536 in
+  if len > 0 && not c.dead then begin
+    match
+      Unix.write_substring c.fd (Buffer.contents c.out) c.out_off len
+    with
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (_, _, _) -> c.dead <- true
+    | n ->
+      c.out_off <- c.out_off + n;
+      if c.out_off = Buffer.length c.out then begin
+        Buffer.clear c.out;
+        c.out_off <- 0
+      end
+  end
+
+let feed_chunk c chunk n =
+  for i = 0 to n - 1 do
+    match Bytes.get chunk i with
+    | '\n' ->
+      Server.conn_feed_line c.conn (Buffer.contents c.inbuf);
+      Buffer.clear c.inbuf
+    | ch -> Buffer.add_char c.inbuf ch
+  done
+
+let read_client c chunk =
+  match Unix.read c.fd chunk 0 (Bytes.length chunk) with
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+  | exception Unix.Unix_error (_, _, _) -> c.dead <- true
+  | 0 ->
+    (* EOF: a final unterminated line still counts as a line *)
+    if Buffer.length c.inbuf > 0 then begin
+      Server.conn_feed_line c.conn (Buffer.contents c.inbuf);
+      Buffer.clear c.inbuf
+    end;
+    c.eof <- true
+  | n -> feed_chunk c chunk n
+
+(* Accept many simultaneous connections and multiplex them onto one
+   engine with a single-domain select loop: read whatever is ready, drain
+   the per-connection queues round-robin (fairness quantum), write
+   whatever fits. Request execution is synchronous inside the loop, so
+   requests from different clients serialize and each client's replies
+   come back in its own request order. *)
+let serve_socket srv sock max_clients =
+  let clients : (Unix.file_descr, client) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let chunk = Bytes.create 65536 in
+  (* After shutdown executes, keep flushing pending replies for a bounded
+     grace period; a peer that stops reading cannot wedge the exit. *)
+  let flush_deadline = ref None in
+  let fold f = Hashtbl.fold (fun _ c acc -> f c acc) clients [] in
+  let accept_ready () =
+    match Unix.accept sock with
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (Unix.ECONNABORTED, _, _) -> ()
+    | fd, _ ->
+      if Hashtbl.length clients >= max_clients then begin
+        (* full house: refuse before the greeting so the client sees an
+           immediate EOF rather than a wedged stream *)
+        Printf.eprintf "rtic: refusing connection (max-clients %d)\n%!"
+          max_clients;
+        try Unix.close fd with Unix.Unix_error _ -> ()
+      end
+      else begin
+        Unix.set_nonblock fd;
+        let c =
+          { fd;
+            conn = Server.connect srv;
+            inbuf = Buffer.create 256;
+            out = Buffer.create 4096;
+            out_off = 0;
+            eof = false;
+            dead = false }
+        in
+        Buffer.add_string c.out (Server.hello ^ "\n");
+        Hashtbl.replace clients fd c
+      end
+  in
+  let drain_round_robin () =
+    let rec go () =
+      let progressed =
+        List.exists
+          (fun x -> x)
+          (fold (fun c acc ->
+               let replies =
+                 if c.dead then []
+                 else Server.conn_drain ~limit:drain_quantum c.conn
+               in
+               List.iter
+                 (fun r ->
+                   Buffer.add_string c.out r;
+                   Buffer.add_char c.out '\n')
+                 replies;
+               (replies <> []) :: acc))
+      in
+      if progressed then go ()
+    in
+    go ()
+  in
+  let finished () =
+    Server.stopped srv
+    && (Hashtbl.length clients = 0
+        || (match !flush_deadline with
+            | Some d -> Unix.gettimeofday () > d
+            | None -> false))
+  in
+  while not (finished ()) do
+    let stopped = Server.stopped srv in
+    if stopped && !flush_deadline = None then
+      flush_deadline := Some (Unix.gettimeofday () +. 5.0);
+    let rds =
+      (if stopped then [] else [ sock ])
+      @ fold (fun c acc ->
+            if (not stopped) && (not c.eof) && (not c.dead)
+               && out_pending c < out_hiwater
+            then c.fd :: acc
+            else acc)
+    in
+    let wrs = fold (fun c acc -> if out_pending c > 0 && not c.dead then c.fd :: acc else acc) in
+    (match Unix.select rds wrs [] 0.5 with
+     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+     | rs, ws, _ ->
+       List.iter
+         (fun fd ->
+           if fd = sock then accept_ready ()
+           else
+             match Hashtbl.find_opt clients fd with
+             | Some c -> read_client c chunk
+             | None -> ())
+         rs;
+       drain_round_robin ();
+       List.iter
+         (fun fd ->
+           match Hashtbl.find_opt clients fd with
+           | Some c -> flush_client c
+           | None -> ())
+         ws;
+       (* reap: failed connections at once; EOF'd (or post-shutdown) ones
+          when their replies are flushed *)
+       List.iter
+         (fun c ->
+           if c.dead then close_client clients c
+           else if (c.eof || Server.stopped srv)
+                   && out_pending c = 0
+                   && Server.conn_pending c.conn = 0
+           then close_client clients c)
+         (fold List.cons))
+  done;
+  Hashtbl.iter (fun _ c -> (try Unix.close c.fd with Unix.Unix_error _ -> ())) clients
+
+(* A socket path that already exists either belongs to a live server
+   (refuse: two servers must not race for one path) or is a stale
+   leftover from a crash (unlink and proceed: a SIGKILL'd server gets no
+   chance to clean up). A connect probe tells the two apart. *)
+let claim_socket_path path =
+  if Sys.file_exists path then begin
+    (match (Unix.stat path).Unix.st_kind with
+     | Unix.S_SOCK -> ()
+     | _ ->
+       usage_error
+         (path
+          ^ " already exists and is not a socket; remove it or pick \
+             another socket path"));
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let live =
+      Fun.protect
+        ~finally:(fun () ->
+          try Unix.close probe with Unix.Unix_error _ -> ())
+        (fun () ->
+          match Unix.connect probe (Unix.ADDR_UNIX path) with
+          | () -> true
+          | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) -> false
+          | exception Unix.Unix_error (Unix.ENOENT, _, _) -> false)
+    in
+    if live then
+      usage_error
+        (path ^ " already has a live server; pick another socket path");
+    Printf.eprintf "rtic: removing stale socket %s\n%!" path;
+    try Sys.remove path with Sys_error _ -> ()
+  end
+
+let run_serve socket jobs max_pending max_clients trace_out =
   if jobs < 1 then usage_error "--jobs must be at least 1";
   if max_pending < 1 then usage_error "--max-pending must be at least 1";
-  let trace_oc =
-    match trace_out with
-    | None -> None
-    | Some "-" ->
-      usage_error
-        "--trace-out - is not supported by serve (stdout carries replies); \
-         give a file"
-    | Some path -> Some (open_out path)
-  in
+  if max_clients < 1 then usage_error "--max-clients must be at least 1";
+  (match trace_out with
+   | Some "-" ->
+     usage_error
+       "--trace-out - is not supported by serve (stdout carries replies); \
+        give a file"
+   | _ -> ());
+  (match socket with
+   | Some path -> claim_socket_path path
+   | None -> ());
+  List.iter
+    (fun s -> Sys.set_signal s (Sys.Signal_handle (fun _ -> raise Terminated)))
+    [ Sys.sigterm; Sys.sigint ];
+  let trace_oc = Option.map open_out trace_out in
   let tracer =
     Option.map
       (fun oc ->
@@ -576,40 +809,43 @@ let run_serve socket jobs max_pending trace_out =
   let srv =
     Server.create ?tracer ?pool ~config:{ Server.max_pending } ()
   in
-  (match socket with
-   | None ->
-     pump_stream srv
-       ~read:(fun b -> Unix.read Unix.stdin b 0 (Bytes.length b))
-       ~write:(write_all Unix.stdout)
-   | Some path ->
-     if Sys.file_exists path then
-       usage_error
-         (path ^ " already exists; remove it or pick another socket path");
-     Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-     let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-     Unix.bind sock (Unix.ADDR_UNIX path);
-     Unix.listen sock 8;
-     Printf.eprintf "rtic: serving on %s\n%!" path;
-     (* One connection at a time; sessions outlive connections, so a client
-        can reconnect and keep feeding the same named session. *)
-     let rec accept_loop () =
-       if not (Server.stopped srv) then begin
-         let conn, _ = Unix.accept sock in
-         (try
-            pump_stream srv
-              ~read:(fun b -> Unix.read conn b 0 (Bytes.length b))
-              ~write:(write_all conn)
-          with
-          | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ());
-         (try Unix.close conn with Unix.Unix_error _ -> ());
-         accept_loop ()
-       end
-     in
-     accept_loop ();
-     (try Unix.close sock with Unix.Unix_error _ -> ());
-     (try Sys.remove path with Sys_error _ -> ()));
-  Option.iter Pool.shutdown pool;
-  (match trace_oc with Some oc -> close_out oc | None -> ());
+  (* Every exit path — clean shutdown, SIGTERM/SIGINT, a connection-level
+     exception, even an engine bug — runs the same cleanup: sockets
+     closed, the socket file unlinked, worker domains joined, the span
+     trace flushed (a truncated stream would be unreadable). *)
+  Fun.protect
+    ~finally:(fun () ->
+      Option.iter Pool.shutdown pool;
+      match trace_oc with Some oc -> close_out_noerr oc | None -> ())
+    (fun () ->
+      let body () =
+        match socket with
+        | None ->
+          pump_stream srv
+            ~read:(fun b -> Unix.read Unix.stdin b 0 (Bytes.length b))
+            ~write:(write_all Unix.stdout)
+        | Some path ->
+          Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+          let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          (* unlink only a path this process actually bound *)
+          (match Unix.bind sock (Unix.ADDR_UNIX path) with
+           | () -> ()
+           | exception e ->
+             (try Unix.close sock with Unix.Unix_error _ -> ());
+             raise e);
+          Fun.protect
+            ~finally:(fun () ->
+              (try Unix.close sock with Unix.Unix_error _ -> ());
+              try Sys.remove path with Sys_error _ -> ())
+            (fun () ->
+              Unix.listen sock 64;
+              Unix.set_nonblock sock;
+              Printf.eprintf "rtic: serving on %s\n%!" path;
+              serve_socket srv sock max_clients)
+      in
+      try body ()
+      with Terminated ->
+        Printf.eprintf "rtic: terminated, shutting down\n%!");
   0
 
 (* ------------------------------------------------------------------ *)
@@ -1040,16 +1276,26 @@ let serve_cmd =
   let socket_arg =
     Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH"
            ~doc:"Listen on a Unix-domain socket at $(docv) instead of \
-                 stdin/stdout; one connection is served at a time and \
-                 sessions persist across connections. The path must not \
-                 exist yet; it is removed on shutdown.")
+                 stdin/stdout, serving many simultaneous connections; \
+                 sessions are shared across connections and persist when a \
+                 client disconnects. A stale socket file left by a crashed \
+                 server is detected (connect probe) and replaced; a path \
+                 held by a live server is refused. The file is removed on \
+                 every exit — clean shutdown, SIGTERM/SIGINT, or a crash \
+                 of the serving loop.")
   in
   let max_pending_arg =
     Arg.(value & opt int 64 & info [ "max-pending" ] ~docv:"N"
            ~doc:"Admission control: at most $(docv) parsed requests may \
-                 await execution; a pipelined burst beyond that gets \
-                 explicit $(b,overloaded) error replies (never silent \
-                 drops).")
+                 await execution, across all connections; a pipelined \
+                 burst beyond that gets explicit $(b,overloaded) error \
+                 replies (never silent drops).")
+  in
+  let max_clients_arg =
+    Arg.(value & opt int 64 & info [ "max-clients" ] ~docv:"N"
+           ~doc:"With --socket: accept at most $(docv) simultaneous \
+                 connections; further connects are closed immediately \
+                 (the client sees EOF before the greeting).")
   in
   let serve_trace_out_arg =
     Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE"
@@ -1058,7 +1304,7 @@ let serve_cmd =
   in
   Cmd.v (Cmd.info "serve" ~doc ~man)
     Term.(const run_serve $ socket_arg $ jobs_arg $ max_pending_arg
-          $ serve_trace_out_arg)
+          $ max_clients_arg $ serve_trace_out_arg)
 
 let gen_cmd =
   let doc = "generate a synthetic trace (and spec) for a scenario" in

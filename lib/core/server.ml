@@ -71,16 +71,32 @@ type session = {
          it are answered "replayed", mirroring rtic check --state-dir *)
 }
 
+(* Sessions and the admission budget are server-global; the parser state
+   (a possibly half-received txn body) and the reply queue are
+   per-connection, so interleaved clients each keep their own in-order
+   reply stream while sharing one engine. The mutex guards every mutation
+   of shared state and the whole execute path: requests from different
+   connections serialize, so per-connection ordering is the only ordering
+   guarantee (FORMATS.md §7). *)
 type t = {
   fs : Faults.fs;
   tracer : Tracer.t option;
   pool : Pool.t option;
   cfg : config;
+  lock : Mutex.t;
   sessions : (string, session) Hashtbl.t;
-  mutable queue_rev : entry list;
-  mutable queued : int;
-  mutable collecting : collecting option;
+  mutable queued_total : int;
   mutable is_stopped : bool;
+  mutable primary : conn option;
+      (* lazily-created connection backing the [t]-level feed/drain API *)
+}
+
+and conn = {
+  server : t;
+  mutable queue_rev : entry list;
+  mutable queued : int;  (* admitted [Exec] entries in [queue_rev] *)
+  mutable collecting : collecting option;
+  mutable closed : bool;
 }
 
 let create ?(fs = Faults.real_fs) ?tracer ?pool ?(config = default_config) ()
@@ -91,13 +107,31 @@ let create ?(fs = Faults.real_fs) ?tracer ?pool ?(config = default_config) ()
     tracer;
     pool;
     cfg = config;
+    lock = Mutex.create ();
     sessions = Hashtbl.create 8;
-    queue_rev = [];
-    queued = 0;
-    collecting = None;
-    is_stopped = false }
+    queued_total = 0;
+    is_stopped = false;
+    primary = None }
 
-let pending t = t.queued
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let connect t =
+  { server = t; queue_rev = []; queued = 0; collecting = None; closed = false }
+
+let disconnect c =
+  with_lock c.server (fun () ->
+      if not c.closed then begin
+        c.closed <- true;
+        c.server.queued_total <- c.server.queued_total - c.queued;
+        c.queue_rev <- [];
+        c.queued <- 0;
+        c.collecting <- None
+      end)
+
+let pending t = with_lock t (fun () -> t.queued_total)
+let conn_pending c = with_lock c.server (fun () -> c.queued)
 let stopped t = t.is_stopped
 let session_count t = Hashtbl.length t.sessions
 
@@ -224,52 +258,63 @@ let parse_request_line line =
 
 (* ---------------- admission ---------------- *)
 
-let enqueue_canned t j =
-  t.queue_rev <- Canned j :: t.queue_rev
+(* The admission budget is shared: [max_pending] bounds the parsed
+   requests awaiting execution across ALL connections, so total queued
+   work (and the memory behind it) stays bounded however many clients
+   pipeline at once. Canned (already-refused) replies are queued outside
+   the budget — they cost no execution. *)
 
-let submit t rq =
+let enqueue_canned c j =
+  c.queue_rev <- Canned j :: c.queue_rev
+
+let submit c rq =
+  let t = c.server in
   let req = request_name rq in
   if t.is_stopped then
-    enqueue_canned t
+    enqueue_canned c
       (err ~req ~code:"shutting-down" "server is shutting down")
-  else if t.queued >= t.cfg.max_pending then
-    enqueue_canned t
+  else if t.queued_total >= t.cfg.max_pending then
+    enqueue_canned c
       (err ~req ~code:"overloaded"
          (Printf.sprintf
             "pending-request queue is full (max-pending %d); retry after \
              the server catches up"
             t.cfg.max_pending))
   else begin
-    t.queue_rev <- Exec rq :: t.queue_rev;
-    t.queued <- t.queued + 1
+    c.queue_rev <- Exec rq :: c.queue_rev;
+    c.queued <- c.queued + 1;
+    t.queued_total <- t.queued_total + 1
   end
 
-let feed_line t line =
-  match t.collecting with
-  | Some c ->
-    (match Wal.parse_op (String.trim line) with
-     | Ok op -> c.c_ops_rev <- op :: c.c_ops_rev
-     | Error m -> if c.c_err = None then c.c_err <- Some m);
-    c.c_want <- c.c_want - 1;
-    if c.c_want = 0 then begin
-      t.collecting <- None;
-      submit t
-        (Txn
-           { session = c.c_session;
-             time = c.c_time;
-             ops =
-               (match c.c_err with
-                | Some m -> Error m
-                | None -> Ok (List.rev c.c_ops_rev)) })
-    end
-  | None ->
-    let line = String.trim line in
-    if line = "" || line.[0] = '#' then ()
-    else
-      (match parse_request_line line with
-       | P_request rq -> submit t rq
-       | P_collect c -> t.collecting <- Some c
-       | P_error j -> enqueue_canned t j)
+let conn_feed_line c line =
+  with_lock c.server @@ fun () ->
+  if c.closed then ()
+  else
+    match c.collecting with
+    | Some col ->
+      (match Wal.parse_op (String.trim line) with
+       | Ok op -> col.c_ops_rev <- op :: col.c_ops_rev
+       | Error m -> if col.c_err = None then col.c_err <- Some m);
+      col.c_want <- col.c_want - 1;
+      if col.c_want = 0 then begin
+        c.collecting <- None;
+        submit c
+          (Txn
+             { session = col.c_session;
+               time = col.c_time;
+               ops =
+                 (match col.c_err with
+                  | Some m -> Error m
+                  | None -> Ok (List.rev col.c_ops_rev)) })
+      end
+    | None ->
+      let line = String.trim line in
+      if line = "" || line.[0] = '#' then ()
+      else
+        (match parse_request_line line with
+         | P_request rq -> submit c rq
+         | P_collect col -> c.collecting <- Some col
+         | P_error j -> enqueue_canned c j)
 
 (* ---------------- execution ---------------- *)
 
@@ -462,15 +507,49 @@ let execute t rq =
     | Close session -> exec_close t session
     | Shutdown -> exec_shutdown t
 
-let drain t =
-  let entries = List.rev t.queue_rev in
-  t.queue_rev <- [];
-  t.queued <- 0;
+let conn_drain ?limit c =
+  with_lock c.server @@ fun () ->
+  let t = c.server in
+  let entries = List.rev c.queue_rev in
+  let now, later =
+    match limit with
+    | None -> (entries, [])
+    | Some n ->
+      if n < 0 then invalid_arg "Server.conn_drain: negative limit";
+      let rec split i acc = function
+        | rest when i = n -> (List.rev acc, rest)
+        | [] -> (List.rev acc, [])
+        | e :: rest -> split (i + 1) (e :: acc) rest
+      in
+      split 0 [] entries
+  in
+  c.queue_rev <- List.rev later;
   List.map
     (fun e ->
-      Json.to_string
-        (match e with Canned j -> j | Exec rq -> execute t rq))
-    entries
+      match e with
+      | Canned j -> Json.to_string j
+      | Exec rq ->
+        c.queued <- c.queued - 1;
+        t.queued_total <- t.queued_total - 1;
+        Json.to_string (execute t rq))
+    now
+
+(* ---------------- single-stream convenience API ---------------- *)
+
+(* The [t]-level feed/drain operate on one lazily-created primary
+   connection: the stdin/stdout transport, the bench harness and the
+   protocol tests all drive a single stream. *)
+
+let primary t =
+  match t.primary with
+  | Some c -> c
+  | None ->
+    let c = connect t in
+    t.primary <- Some c;
+    c
+
+let feed_line t line = conn_feed_line (primary t) line
+let drain t = conn_drain (primary t)
 
 let handle_lines t lines =
   List.iter (feed_line t) lines;

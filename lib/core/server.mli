@@ -18,11 +18,12 @@
     client).
 
     {b Admission control.} Feeding a line may complete a request, which is
-    queued until {!drain} executes it. At most [max_pending] requests may
-    be queued; a request parsed beyond that is answered with an
-    [overloaded] error reply — in order, never silently dropped. A
-    transport that reads a chunk, feeds its lines and then drains thus
-    bounds both its memory and the burst a pipelining client can land.
+    queued until a drain executes it. At most [max_pending] requests may
+    be queued {e across all connections}; a request parsed beyond that is
+    answered with an [overloaded] error reply — in order on its own
+    connection, never silently dropped. A transport that reads a chunk,
+    feeds its lines and then drains thus bounds both its memory and the
+    burst a pipelining client (or a fleet of them) can land.
 
     Sessions opened without a [state-dir=] option are {e ephemeral}: they
     run against a private {!Faults.mem_fs} and disappear with the server.
@@ -43,9 +44,20 @@ val hello : string
     [{"schema":"rtic-serve/1"}]. *)
 
 type t
-(** A running server: sessions, the parser state for a possibly
-    half-received [txn] request, and the pending-request queue. Mutable,
-    single-threaded (like {!Supervisor}); drive it from one domain. *)
+(** A running server: the session table, the shared admission budget and
+    any number of {!conn} handles. Sessions are {e server-global} — every
+    connection sees the same namespace, so a client can reconnect (or a
+    different client connect) and keep feeding a session opened earlier.
+    The request path is mutex-guarded: requests from different connections
+    serialize in whatever order the transport drains them, so the only
+    ordering guarantee is {e per-connection} (replies come back in that
+    connection's request order — FORMATS.md §7). *)
+
+type conn
+(** One client connection's view of the server: its own parser state (a
+    possibly half-received [txn] body) and its own in-order reply queue.
+    Connections share the server's sessions and its [max_pending]
+    admission budget. *)
 
 val create :
   ?fs:Faults.fs ->
@@ -61,21 +73,48 @@ val create :
     each session's supervisor shards its checkers across the pool
     ({!Supervisor.create}). *)
 
+val connect : t -> conn
+(** A fresh connection handle. Cheap; make one per accepted client. *)
+
+val disconnect : conn -> unit
+(** Drop a connection: its queued requests are discarded (their replies
+    could never be delivered), their share of the admission budget is
+    released, and a half-received [txn] body is abandoned. Sessions are
+    untouched — they belong to the server, not the connection. Idempotent;
+    a disconnected connection ignores further feeds. *)
+
+val conn_feed_line : conn -> string -> unit
+(** Consume one input line (without its newline) on this connection.
+    Either it advances the connection's half-received [txn] body, or it is
+    parsed as a request line and the completed request is queued (or
+    refused [overloaded] when the {e shared} budget is full). Blank lines
+    and [#] comments between requests are ignored. Never raises on
+    malformed input — errors become error replies at the next drain. *)
+
+val conn_drain : ?limit:int -> conn -> string list
+(** Execute this connection's queued requests — at most [limit] of them
+    when given, all of them otherwise — and return one single-line JSON
+    reply per request, in arrival order; the remainder stays queued. A
+    transport serving many connections drains them round-robin with a
+    small [limit] so one client's pipelined burst cannot starve the rest.
+    Executing [shutdown] (from any connection) closes all sessions and
+    marks the server {!stopped}; queued and later requests on {e every}
+    connection are answered with a [shutting-down] error. *)
+
+val conn_pending : conn -> int
+(** Requests queued on this connection and not yet drained (refused ones
+    excluded). *)
+
 val feed_line : t -> string -> unit
-(** Consume one input line (without its newline). Either it advances a
-    half-received [txn] body, or it is parsed as a request line and the
-    completed request is queued (or refused [overloaded]). Blank lines and
-    [#] comments between requests are ignored. Never raises on malformed
-    input — errors become error replies at the next {!drain}. *)
+(** {!conn_feed_line} on a lazily-created primary connection — the
+    single-stream (stdin/stdout) convenience API. *)
 
 val drain : t -> string list
-(** Execute every queued request and return one single-line JSON reply per
-    request, in arrival order. Executing [shutdown] closes all sessions
-    and marks the server {!stopped}; later requests (same batch or later)
-    are answered with a [shutting-down] error. *)
+(** {!conn_drain} (no limit) on the primary connection. *)
 
 val pending : t -> int
-(** Requests queued and not yet drained (refused ones excluded). *)
+(** Requests queued across all connections and not yet drained (refused
+    ones excluded). *)
 
 val stopped : t -> bool
 (** [shutdown] has been executed; the transport should stop pumping. *)

@@ -257,11 +257,15 @@ let library_generate ~seed ~steps ~violation_rate =
           Hashtbl.replace members p ();
           add (Update.Insert ("member", [| str p |]))
         end;
-        let avail = Array.to_list books |> List.filter lendable in
-        (match avail with
-         | [] -> ()
-         | bs ->
-           let b = List.nth bs (Random.State.int rng (List.length bs)) in
+        (* one array of the candidates, one O(1) draw: the List.nth +
+           List.length pair traversed them twice per borrow (quadratic as
+           the library grows); RNG consumption is unchanged, so the golden
+           pins stay byte-identical *)
+        let avail = Array.of_list (List.filter lendable (Array.to_list books)) in
+        (match Array.length avail with
+         | 0 -> ()
+         | n ->
+           let b = avail.(Random.State.int rng n) in
            add (Event_queue.emit events (Update.Insert ("borrow", [| str p; str b |])));
            Hashtbl.replace out_books b (p, now))
       | _ ->

@@ -1,0 +1,95 @@
+The rtic serve subcommand over a Unix-domain socket (--socket): the
+socket-file lifecycle and multi-client serving, driven end-to-end with
+the rtic-drive load client.
+
+Lifecycle: a regular file in the way is refused — and never deleted:
+
+  $ touch busy.sock
+  $ rtic serve --socket busy.sock
+  rtic: busy.sock already exists and is not a socket; remove it or pick another socket path
+  [2]
+  $ test -f busy.sock && echo still-here
+  still-here
+
+A live server's socket is refused too.  Start one, wait for it to
+listen, then try to claim its path from a second process:
+
+  $ rtic serve --socket live.sock 2>live.log &
+  $ SERVER=$!
+  $ for i in $(seq 1 200); do test -S live.sock && break; sleep 0.05; done
+  $ rtic serve --socket live.sock
+  rtic: live.sock already has a live server; pick another socket path
+  [2]
+
+A clean SIGTERM shutdown exits 0 and removes the socket file:
+
+  $ kill -TERM $SERVER
+  $ wait $SERVER
+  $ cat live.log
+  rtic: serving on live.sock
+  rtic: terminated, shutting down
+  $ test -e live.sock || echo gone
+  gone
+
+A crashed server (SIGKILL gets no chance to clean up) leaves a stale
+socket file behind; the next start probes it, finds nothing answering,
+reclaims the path and serves — no manual rm needed:
+
+  $ rtic serve --socket stale.sock 2>/dev/null &
+  $ SERVER=$!
+  $ for i in $(seq 1 200); do test -S stale.sock && break; sleep 0.05; done
+  $ kill -KILL $SERVER
+  $ wait $SERVER
+  [137]
+  $ test -S stale.sock && echo stale-file-left
+  stale-file-left
+  $ rtic serve --socket stale.sock 2>restart.log &
+  $ SERVER=$!
+  $ for i in $(seq 1 200); do grep -q "serving on" restart.log && break; sleep 0.05; done
+  $ kill -TERM $SERVER
+  $ wait $SERVER
+  $ cat restart.log
+  rtic: removing stale socket stale.sock
+  rtic: serving on stale.sock
+  rtic: terminated, shutting down
+  $ test -e stale.sock || echo gone
+  gone
+
+Multi-client serving: rtic-drive spawns a server, drives four concurrent
+connections over disjoint slices of one seeded workload, cross-checks
+every slice against the in-process batch monitor (same reports, same
+scrubbed stats), and shuts the server down over a control connection.
+Latency lines are timing-dependent, so pin the deterministic ones:
+
+  $ rtic-drive --spawn "$(command -v rtic)" --scenario banking --steps 40 \
+  >   --seed 3 --clients 4 2>/dev/null | grep -E "^drive:|^violations" \
+  >   | sed 's/ in .* s .*//'
+  drive: banking scenario, 40 txn(s) over 4 client(s)
+  violations reported: 1
+
+A client reconnecting mid-run resumes the same session with no fresh
+open — sessions belong to the server, not the connection:
+
+  $ rtic-drive --spawn "$(command -v rtic)" --scenario banking --steps 30 \
+  >   --seed 3 --reconnect-at 10 2>/dev/null | grep -o "(reconnected x1)"
+  (reconnected x1)
+
+One client dying abruptly mid-transaction (connection dropped with a
+half-sent txn body) leaves the other three undisturbed: they still pass
+the batch cross-check, and the server still shuts down cleanly —
+rtic-drive exits non-zero if any of that fails:
+
+  $ rtic-drive --spawn "$(command -v rtic)" --scenario banking --steps 40 \
+  >   --seed 3 --clients 4 --kill-after 5 2>/dev/null \
+  >   | grep -E "^drive:|^client 0|^violations" | sed 's/ in .* s .*//'
+  drive: banking scenario, 35 txn(s) over 4 client(s)
+  client 0: killed after 5 txn(s) (drill)
+  violations reported: 1
+
+No server socket survives any of those runs (busy.sock is the plain
+file from the first test, deliberately left untouched):
+
+  $ rm busy.sock
+  $ ls *.sock
+  ls: cannot access '*.sock': No such file or directory
+  [2]

@@ -64,7 +64,21 @@ let scenario_cases =
         ignore (timed (fun () -> run 5_000)) (* warm-up *);
         let (), t_small = timed (fun () -> run 5_000) in
         let (), t_big = timed (fun () -> run 50_000) in
-        check_linear "workload steps" t_small t_big) ]
+        check_linear "workload steps" t_small t_big);
+    Alcotest.test_case "50k-step library generation is linear" `Slow
+      (fun () ->
+        (* the library builder draws a random lendable book per borrow;
+           a List.nth + List.length pair there made the draw scan the
+           candidate list twice per step *)
+        let sc = Scenarios.library in
+        let run steps =
+          let tr = sc.Scenarios.generate ~seed:5 ~steps ~violation_rate:0.1 in
+          Alcotest.(check int) "steps" steps (List.length tr.Trace.steps)
+        in
+        ignore (timed (fun () -> run 5_000)) (* warm-up *);
+        let (), t_small = timed (fun () -> run 5_000) in
+        let (), t_big = timed (fun () -> run 50_000) in
+        check_linear "library steps" t_small t_big) ]
 
 let read_file_cases =
   [ Alcotest.test_case "missing file is an Error, not an exception" `Quick

@@ -386,7 +386,190 @@ let recovery_cases =
         run None;
         with_pool 4 (fun pool -> run (Some pool))) ]
 
+(* ---------------- connections ---------------- *)
+
+(* The multi-client contract (FORMATS.md §7): replies are in-order per
+   connection only, sessions are server-global, and the max_pending
+   admission budget is shared across every connection. *)
+let connection_cases =
+  [ Alcotest.test_case "interleaved connections answer in per-conn order"
+      `Quick (fun () ->
+        let _, srv = server_with_spec tiny_spec in
+        let a = Server.connect srv and b = Server.connect srv in
+        List.iter (Server.conn_feed_line a) [ "open sa spec"; "txn sa 1 1" ];
+        List.iter (Server.conn_feed_line b) [ "open sb spec"; "txn sb 1 1" ];
+        Server.conn_feed_line b "+q(9)";
+        Server.conn_feed_line a "+p(1)";
+        Server.conn_feed_line a "stats sa";
+        (* drain in the opposite order the lines were fed: each connection
+           still sees its own requests answered in its own order *)
+        (match Server.conn_drain b with
+         | [ open_b; txn_b ] ->
+           ignore (ok_doc "open sb" open_b);
+           (match checked_reports "txn sb" txn_b with
+            | [ _ ] -> ()
+            | rs -> Alcotest.failf "sb: expected 1 report, got %d" (List.length rs))
+         | rs -> Alcotest.failf "sb: expected 2 replies, got %d" (List.length rs));
+        (match Server.conn_drain a with
+         | [ open_a; txn_a; stats_a ] ->
+           ignore (ok_doc "open sa" open_a);
+           Alcotest.(check (list string)) "sa txn" []
+             (checked_reports "txn sa" txn_a);
+           ignore (ok_doc "stats sa" stats_a)
+         | rs -> Alcotest.failf "sa: expected 3 replies, got %d" (List.length rs)));
+    Alcotest.test_case "sessions are server-global across connections" `Quick
+      (fun () ->
+        let _, srv = server_with_spec tiny_spec in
+        let a = Server.connect srv in
+        Server.conn_feed_line a "open s spec";
+        ignore (ok_doc "open" (one "open" (Server.conn_drain a)));
+        (* a different connection feeds the session opened on [a]... *)
+        let b = Server.connect srv in
+        List.iter (Server.conn_feed_line b) [ "txn s 1 1"; "+p(1)" ];
+        Alcotest.(check (list string)) "txn from b" []
+          (checked_reports "txn" (one "txn" (Server.conn_drain b)));
+        (* ...and a third sees the combined state *)
+        let c = Server.connect srv in
+        Server.conn_feed_line c "stats s";
+        match Json.member "stats" (ok_doc "stats" (one "stats" (Server.conn_drain c))) with
+        | Some st ->
+          Alcotest.(check (option json_testable)) "one transaction"
+            (Some (Json.Int 1)) (Json.member "transactions" st)
+        | None -> Alcotest.fail "stats reply lacks a stats field");
+    Alcotest.test_case "admission budget is shared across connections" `Quick
+      (fun () ->
+        let _, srv =
+          server_with_spec ~config:{ Server.max_pending = 2 } tiny_spec
+        in
+        let a = Server.connect srv and b = Server.connect srv in
+        Server.conn_feed_line a "stats x";
+        Server.conn_feed_line a "stats y";
+        (* [a] holds the whole budget; [b]'s request is refused, in order,
+           on [b]'s own connection *)
+        Server.conn_feed_line b "stats z";
+        Alcotest.(check int) "a pending" 2 (Server.conn_pending a);
+        Alcotest.(check int) "b pending" 0 (Server.conn_pending b);
+        Alcotest.(check string) "b refused" "overloaded"
+          (error_code "b" (one "b" (Server.conn_drain b)));
+        Alcotest.(check (list string)) "a drains"
+          [ "unknown-session"; "unknown-session" ]
+          (List.map (error_code "a") (Server.conn_drain a));
+        (* the drain released the shared budget *)
+        Server.conn_feed_line b "stats z";
+        Alcotest.(check string) "b admitted" "unknown-session"
+          (error_code "b2" (one "b2" (Server.conn_drain b))));
+    Alcotest.test_case "conn_drain limit leaves the rest queued" `Quick
+      (fun () ->
+        let _, srv = server_with_spec tiny_spec in
+        let a = Server.connect srv in
+        for _ = 1 to 5 do Server.conn_feed_line a "stats s" done;
+        Alcotest.(check int) "queued" 5 (Server.conn_pending a);
+        Alcotest.(check int) "first quantum" 2
+          (List.length (Server.conn_drain ~limit:2 a));
+        Alcotest.(check int) "still queued" 3 (Server.conn_pending a);
+        Alcotest.(check int) "rest" 3 (List.length (Server.conn_drain a));
+        Alcotest.(check int) "empty" 0 (Server.conn_pending a));
+    Alcotest.test_case "disconnect releases the budget, abandons half a txn"
+      `Quick (fun () ->
+        let _, srv =
+          server_with_spec ~config:{ Server.max_pending = 1 } tiny_spec
+        in
+        let a = Server.connect srv and b = Server.connect srv in
+        (* [a] fills the budget and then dies holding it, mid-txn-body *)
+        Server.conn_feed_line a "stats s";
+        Server.conn_feed_line a "txn s 1 3";
+        Server.conn_feed_line a "+p(1)";
+        Server.conn_feed_line b "stats s";
+        Alcotest.(check string) "b refused while a lives" "overloaded"
+          (error_code "b" (one "b" (Server.conn_drain b)));
+        Server.disconnect a;
+        Alcotest.(check int) "budget released" 0 (Server.pending srv);
+        Alcotest.(check (list string)) "a is silent after disconnect" []
+          (Server.conn_drain a);
+        Server.conn_feed_line a "stats s" (* ignored: closed *);
+        Alcotest.(check int) "closed conn admits nothing" 0
+          (Server.pending srv);
+        Server.conn_feed_line b "stats s";
+        Alcotest.(check string) "b admitted after disconnect" "unknown-session"
+          (error_code "b2" (one "b2" (Server.conn_drain b))));
+    Alcotest.test_case "shutdown on one connection refuses every other" `Quick
+      (fun () ->
+        let _, srv = server_with_spec tiny_spec in
+        let a = Server.connect srv and b = Server.connect srv in
+        Server.conn_feed_line a "open s spec";
+        ignore (ok_doc "open" (one "open" (Server.conn_drain a)));
+        Server.conn_feed_line b "stats s" (* queued before the stop *);
+        Server.conn_feed_line a "shutdown";
+        Alcotest.(check string) "shutdown reply"
+          {|{"ok":true,"req":"shutdown","sessions_closed":1}|}
+          (one "shutdown" (Server.conn_drain a));
+        Alcotest.(check string) "b's queued request" "shutting-down"
+          (error_code "b" (one "b" (Server.conn_drain b)));
+        Server.conn_feed_line b "stats s";
+        Alcotest.(check string) "b after stop" "shutting-down"
+          (error_code "b2" (one "b2" (Server.conn_drain b))));
+    Alcotest.test_case "two connections, disjoint slices = batch per slice"
+      `Quick (fun () ->
+        let sc = Scenarios.banking in
+        let tr = sc.Scenarios.generate ~seed:17 ~steps:40 ~violation_rate:0.2 in
+        let half = List.length tr.Trace.steps / 2 in
+        let s0 = List.filteri (fun i _ -> i < half) tr.Trace.steps in
+        let s1 = List.filteri (fun i _ -> i >= half) tr.Trace.steps in
+        let _, srv = server_with_spec (spec_text sc) in
+        let conns = [| Server.connect srv; Server.connect srv |] in
+        let sessions = [| "c0"; "c1" |] in
+        Array.iteri
+          (fun i c ->
+            Server.conn_feed_line c
+              (Printf.sprintf "open %s spec" sessions.(i));
+            ignore (ok_doc "open" (one "open" (Server.conn_drain c))))
+          conns;
+        (* feed both whole slices, then drain round-robin with a small
+           quantum — the transport loop's shape *)
+        List.iteri
+          (fun i slice ->
+            List.iter
+              (fun st ->
+                List.iter (Server.conn_feed_line conns.(i))
+                  (txn_lines sessions.(i) st))
+              slice)
+          [ s0; s1 ];
+        let replies = [| []; [] |] in
+        let continue = ref true in
+        while !continue do
+          continue := false;
+          Array.iteri
+            (fun i c ->
+              match Server.conn_drain ~limit:3 c with
+              | [] -> ()
+              | rs ->
+                continue := true;
+                replies.(i) <- replies.(i) @ rs)
+            conns
+        done;
+        List.iteri
+          (fun i slice ->
+            let reports =
+              List.concat_map (checked_reports "txn") replies.(i)
+            in
+            let stats =
+              Server.conn_feed_line conns.(i)
+                (Printf.sprintf "stats %s" sessions.(i));
+              match
+                Json.member "stats"
+                  (ok_doc "stats" (one "stats" (Server.conn_drain conns.(i))))
+              with
+              | Some st -> Json.to_string (scrub st)
+              | None -> Alcotest.fail "stats reply lacks a stats field"
+            in
+            Alcotest.(check (pair (list string) string))
+              (Printf.sprintf "slice %d = batch" i)
+              (batch_run sc { tr with Trace.steps = slice })
+              (reports, stats))
+          [ s0; s1 ]) ]
+
 let suite =
   [ ("server:protocol", protocol_cases);
+    ("server:connections", connection_cases);
     ("server:equivalence", equivalence_cases @ [ equivalence_property ]);
     ("server:recovery", recovery_cases) ]

@@ -1,26 +1,42 @@
 (* Load client for the rtic-serve/1 protocol (FORMATS.md §7).
 
    Replays a generated scenario workload against a running server's
-   Unix-domain socket and reports throughput and request-latency
-   percentiles:
+   Unix-domain socket and reports aggregate throughput plus per-client
+   request-latency percentiles.  With --clients N the workload splits
+   into N disjoint contiguous slices, each replayed over its own
+   connection (one domain per client) against its own session
+   ("<session>-<i>"); every surviving client cross-checks its replies
+   against an in-process batch monitor run over the same slice — same
+   reports, same scrubbed rtic-stats/1 document — so a passing run is a
+   serve = batch equivalence check, not just a smoke:
 
      dune exec tools/drive.exe -- --socket /tmp/rtic.sock --steps 500
+     dune exec tools/drive.exe -- --spawn _build/default/bin/rtic.exe --clients 4
 
    With --spawn BIN it owns the whole lifecycle: spawns `BIN serve
    --socket <tmp>`, waits for the socket, drives the workload, requests a
-   clean shutdown and reaps the child — the shape of the bounded smoke
-   that runs under `dune runtest`:
+   clean shutdown over a control connection and reaps the child — the
+   shape of the bounded smoke that runs under `dune runtest`.
 
-     dune exec tools/drive.exe -- --spawn _build/default/bin/rtic.exe
+   Fault drills: --kill-after K makes client 0 die abruptly after K
+   replies — mid-transaction, with a txn header promising ops that never
+   arrive — and the run only passes if every other client still finishes
+   and checks out; --reconnect-at K makes client 0 drop its connection
+   before its Kth transaction and reconnect, resuming the same session
+   without a fresh open (sessions are server-global, FORMATS.md §7).
 
    Exit codes: 0 success, 1 protocol/equivalence failure, 2 usage. *)
 
 module Schema = Rtic_relational.Schema
 module Textio = Rtic_relational.Textio
 module Update = Rtic_relational.Update
+module Database = Rtic_relational.Database
 module Trace = Rtic_temporal.Trace
 module Pretty = Rtic_mtl.Pretty
 module Json = Rtic_core.Json
+module Monitor = Rtic_core.Monitor
+module Metrics = Rtic_core.Metrics
+module Stats = Rtic_core.Stats
 module Scenarios = Rtic_workload.Scenarios
 
 let socket_path = ref ""
@@ -31,6 +47,9 @@ let seed = ref 1
 let rate = ref 0.1
 let session = ref "load"
 let jobs = ref 1
+let clients = ref 1
+let kill_after = ref (-1)
+let reconnect_at = ref (-1)
 
 let usage = "drive.exe [--socket PATH | --spawn RTIC_BIN] [options]"
 
@@ -46,11 +65,23 @@ let args =
     ("--violation-rate", Arg.Set_float rate,
      "R  injected violation probability per step (default 0.1)");
     ("--session", Arg.Set_string session,
-     "NAME  session name to open (default load)");
+     "NAME  session name to open, suffixed -<i> per client (default load)");
     ("--jobs", Arg.Set_int jobs,
-     "N  worker domains for a --spawn'ed server (default 1)") ]
+     "N  worker domains for a --spawn'ed server (default 1)");
+    ("--clients", Arg.Set_int clients,
+     "N  concurrent connections over disjoint workload slices (default 1)");
+    ("--kill-after", Arg.Set_int kill_after,
+     "K  client 0 dies abruptly mid-transaction after K replies");
+    ("--reconnect-at", Arg.Set_int reconnect_at,
+     "K  client 0 reconnects before its Kth transaction, same session") ]
 
-let die code fmt = Printf.ksprintf (fun m -> prerr_endline ("drive: " ^ m); exit code) fmt
+let die code fmt =
+  Printf.ksprintf (fun m -> prerr_endline ("drive: " ^ m); exit code) fmt
+
+(* Client-side failures raise; each client domain catches and reports. *)
+exception Client_error of string
+
+let failf fmt = Printf.ksprintf (fun m -> raise (Client_error m)) fmt
 
 let op_line = function
   | Update.Insert (rel, t) -> "+" ^ Textio.fact_to_string rel t
@@ -69,17 +100,222 @@ let roundtrip oc ic text =
 
 let expect_ok what reply =
   match Json.of_string reply with
-  | Error m -> die 1 "%s: reply is not JSON (%s): %s" what m reply
+  | Error m -> failf "%s: reply is not JSON (%s): %s" what m reply
   | Ok doc ->
     (match Json.member "ok" doc with
      | Some (Json.Bool true) -> doc
-     | _ -> die 1 "%s failed: %s" what reply)
+     | _ -> failf "%s failed: %s" what reply)
+
+(* ---------------- serve = batch equivalence ---------------- *)
+
+(* Reports are compared as "constraint@position/time" strings, the
+   server's from its txn replies, the reference's from Monitor.step. *)
+let report_of_json what = function
+  | Json.Obj _ as j ->
+    (match
+       ( Json.member "constraint" j,
+         Json.member "position" j,
+         Json.member "time" j )
+     with
+     | Some (Json.Str c), Some (Json.Int p), Some (Json.Int t) ->
+       Printf.sprintf "%s@%d/%d" c p t
+     | _ -> failf "%s: malformed report object" what)
+  | _ -> failf "%s: report is not an object" what
+
+let show_report r =
+  Printf.sprintf "%s@%d/%d" r.Monitor.constraint_name r.Monitor.position
+    r.Monitor.time
+
+(* Drop the two stats fields a supervised session legitimately differs
+   on: wall-clock latency, and the supervisor's own named counters. *)
+let rec scrub = function
+  | Json.Obj fields ->
+    Json.Obj
+      (List.filter_map
+         (fun (k, v) ->
+           if k = "latency_ns" || k = "counters" then None
+           else Some (k, scrub v))
+         fields)
+  | Json.List items -> Json.List (List.map scrub items)
+  | j -> j
+
+(* The batch reference: a plain Monitor fold over this client's slice
+   from the same (empty) initial state, aggregating the same Stats. *)
+let batch_reference (sc : Scenarios.t) slice =
+  let metrics = Metrics.create () in
+  let m =
+    match
+      Monitor.create_with ~metrics (Database.create sc.catalog) sc.constraints
+    with
+    | Ok m -> m
+    | Error e -> failf "batch monitor: %s" e
+  in
+  let stats = ref Stats.empty in
+  let reports_rev = ref [] in
+  ignore
+    (List.fold_left
+       (fun m (time, txn) ->
+         match Monitor.step m ~time txn with
+         | Error e -> failf "batch step at time %d: %s" time e
+         | Ok (m, reports) ->
+           stats :=
+             Stats.observe !stats ~time ~space:(Monitor.space m) ~reports;
+           reports_rev := List.rev_map show_report reports @ !reports_rev;
+           m)
+       m slice);
+  (List.rev !reports_rev, Json.to_string (scrub (Stats.to_json ~metrics !stats)))
+
+(* ---------------- one client ---------------- *)
+
+type outcome =
+  | Finished of
+      { driven : int;
+        violations : int;
+        latencies : float array;
+        reconnects : int }
+  | Killed of { driven : int; violations : int }
+  | Failed of string
+
+let connect_client path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (match Unix.connect fd (Unix.ADDR_UNIX path) with
+   | () -> ()
+   | exception e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let hello = input_line ic in
+  (match Json.of_string hello with
+   | Ok doc when Json.member "schema" doc = Some (Json.Str "rtic-serve/1") ->
+     ()
+   | _ -> failf "unexpected greeting: %s" hello);
+  (fd, ic, oc)
+
+let run_client ~path ~spec_file ~session ~kill_at ~reconnect_at
+    (sc : Scenarios.t) slice =
+  try
+    let fd0, ic0, oc0 = connect_client path in
+    let fd = ref fd0 and ic = ref ic0 and oc = ref oc0 in
+    ignore
+      (expect_ok "open"
+         (roundtrip !oc !ic (Printf.sprintf "open %s %s\n" session spec_file)));
+    let n = List.length slice in
+    let latencies = Array.make n 0.0 in
+    let violations = ref 0 in
+    let reports_rev = ref [] in
+    let driven = ref 0 in
+    let reconnects = ref 0 in
+    let killed = ref false in
+    (try
+       List.iteri
+         (fun idx (time, txn) ->
+           if kill_at = Some idx then begin
+             (* die mid-transaction: the header promises ops that never
+                arrive, so the server is left holding a half-received
+                body when the connection drops *)
+             output_string !oc
+               (Printf.sprintf "txn %s %d %d\n" session time
+                  (List.length txn));
+             (match txn with
+              | op :: _ -> output_string !oc (op_line op ^ "\n")
+              | [] -> ());
+             flush !oc;
+             Unix.close !fd;
+             killed := true;
+             raise Exit
+           end;
+           if reconnect_at = Some idx then begin
+             Unix.close !fd;
+             let fd', ic', oc' = connect_client path in
+             fd := fd';
+             ic := ic';
+             oc := oc';
+             incr reconnects
+           end;
+           let buf = Buffer.create 256 in
+           Buffer.add_string buf
+             (Printf.sprintf "txn %s %d %d\n" session time (List.length txn));
+           List.iter
+             (fun op ->
+               Buffer.add_string buf (op_line op);
+               Buffer.add_char buf '\n')
+             txn;
+           let t0 = Unix.gettimeofday () in
+           let reply = roundtrip !oc !ic (Buffer.contents buf) in
+           latencies.(idx) <- (Unix.gettimeofday () -. t0) *. 1e6;
+           let doc = expect_ok "txn" reply in
+           (match Json.member "outcome" doc with
+            | Some (Json.Str "checked") -> ()
+            | _ -> failf "txn at time %d not checked: %s" time reply);
+           (match Json.member "reports" doc with
+            | Some (Json.List rs) ->
+              violations := !violations + List.length rs;
+              reports_rev :=
+                List.rev_map (report_of_json "txn") rs @ !reports_rev
+            | _ -> ());
+           incr driven)
+         slice
+     with Exit -> ());
+    if !killed then Killed { driven = !driven; violations = !violations }
+    else begin
+      (* Cross-check the server's account of the run against ours... *)
+      let stats_doc =
+        expect_ok "stats"
+          (roundtrip !oc !ic (Printf.sprintf "stats %s\n" session))
+      in
+      let server_stats =
+        match Json.member "stats" stats_doc with
+        | Some st ->
+          (match Json.member "transactions" st, Json.member "violations" st with
+           | Some (Json.Int txns), Some (Json.Int viols) ->
+             if txns <> n then
+               failf "server counted %d transactions, drove %d" txns n;
+             if viols <> !violations then
+               failf "server counted %d violations, replies carried %d" viols
+                 !violations
+           | _ -> failf "stats reply lacks transactions/violations");
+          Json.to_string (scrub st)
+        | None -> failf "stats reply lacks a stats field"
+      in
+      (* ...and both against the batch reference over the same slice. *)
+      let batch_reports, batch_stats = batch_reference sc slice in
+      let serve_reports = List.rev !reports_rev in
+      if serve_reports <> batch_reports then
+        failf "serve/batch report mismatch: serve [%s] batch [%s]"
+          (String.concat "; " serve_reports)
+          (String.concat "; " batch_reports);
+      if server_stats <> batch_stats then
+        failf "serve/batch stats mismatch:\n  serve %s\n  batch %s"
+          server_stats batch_stats;
+      ignore
+        (expect_ok "close"
+           (roundtrip !oc !ic (Printf.sprintf "close %s\n" session)));
+      close_out_noerr !oc;
+      Finished
+        { driven = !driven;
+          violations = !violations;
+          latencies;
+          reconnects = !reconnects }
+    end
+  with
+  | Client_error m -> Failed m
+  | End_of_file -> Failed "server closed the connection"
+  | Unix.Unix_error (e, fn, _) ->
+    Failed (Printf.sprintf "%s: %s" fn (Unix.error_message e))
+
+(* ---------------- main ---------------- *)
 
 let () =
   Arg.parse args (fun a -> die 2 "unexpected argument %s" a) usage;
   if (!socket_path = "") = (!spawn_bin = "") then
     die 2 "exactly one of --socket or --spawn is required";
   if !steps < 1 then die 2 "--steps must be at least 1";
+  if !clients < 1 then die 2 "--clients must be at least 1";
+  if !steps < !clients then
+    die 2 "--steps %d cannot cover %d clients (empty slices)" !steps !clients;
+  if !kill_after >= 0 && !reconnect_at >= 0 then
+    die 2 "--kill-after and --reconnect-at are mutually exclusive";
   let sc =
     match
       List.find_opt (fun (s : Scenarios.t) -> s.name = !scenario) Scenarios.all
@@ -127,8 +363,33 @@ let () =
       (path, Some pid)
     end
   in
-  (* Generate the workload and write its spec where the server can read it. *)
+  (* One workload, split into disjoint contiguous slices: client i gets
+     steps [offset_i, offset_i + size_i) of the same generated trace. *)
   let tr = sc.generate ~seed:!seed ~steps:!steps ~violation_rate:!rate in
+  let slices =
+    let all = tr.Trace.steps in
+    let total = List.length all in
+    let base = total / !clients and extra = total mod !clients in
+    let rec split i rest =
+      if i = !clients then []
+      else begin
+        let size = base + if i < extra then 1 else 0 in
+        let slice = List.filteri (fun j _ -> j < size) rest in
+        let rest = List.filteri (fun j _ -> j >= size) rest in
+        slice :: split (i + 1) rest
+      end
+    in
+    split 0 all
+  in
+  (match slices with
+   | first :: _ ->
+     if !kill_after >= 0 && !kill_after >= List.length first then
+       die 2 "--kill-after %d is past client 0's %d-step slice" !kill_after
+         (List.length first);
+     if !reconnect_at >= 0 && !reconnect_at >= List.length first then
+       die 2 "--reconnect-at %d is past client 0's %d-step slice"
+         !reconnect_at (List.length first)
+   | [] -> ());
   let spec_text =
     String.concat "\n"
       (List.map Textio.schema_to_string (Schema.Catalog.schemas sc.catalog)
@@ -138,66 +399,36 @@ let () =
   let spec_file = Filename.temp_file "rtic-drive" ".spec" in
   Out_channel.with_open_bin spec_file (fun oc ->
       Out_channel.output_string oc spec_text);
-  (* Connect and drive. *)
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  Unix.connect fd (Unix.ADDR_UNIX path);
-  let ic = Unix.in_channel_of_descr fd in
-  let oc = Unix.out_channel_of_descr fd in
-  let hello = input_line ic in
-  (match Json.of_string hello with
-   | Ok doc when Json.member "schema" doc = Some (Json.Str "rtic-serve/1") ->
-     ()
-   | _ -> die 1 "unexpected greeting: %s" hello);
-  ignore
-    (expect_ok "open"
-       (roundtrip oc ic
-          (Printf.sprintf "open %s %s\n" !session spec_file)));
-  let latencies = Array.make (List.length tr.Trace.steps) 0.0 in
-  let violations = ref 0 in
+  (* Drive every slice concurrently, one domain per client. *)
   let t_start = Unix.gettimeofday () in
-  List.iteri
-    (fun i (time, txn) ->
-      let buf = Buffer.create 256 in
-      Buffer.add_string buf
-        (Printf.sprintf "txn %s %d %d\n" !session time (List.length txn));
-      List.iter
-        (fun op ->
-          Buffer.add_string buf (op_line op);
-          Buffer.add_char buf '\n')
-        txn;
-      let t0 = Unix.gettimeofday () in
-      let reply = roundtrip oc ic (Buffer.contents buf) in
-      latencies.(i) <- (Unix.gettimeofday () -. t0) *. 1e6;
-      let doc = expect_ok "txn" reply in
-      (match Json.member "outcome" doc with
-       | Some (Json.Str "checked") -> ()
-       | _ -> die 1 "txn at time %d not checked: %s" time reply);
-      match Json.member "reports" doc with
-      | Some (Json.List rs) -> violations := !violations + List.length rs
-      | _ -> ())
-    tr.Trace.steps;
-  let elapsed = Unix.gettimeofday () -. t_start in
-  let stats_doc =
-    expect_ok "stats" (roundtrip oc ic (Printf.sprintf "stats %s\n" !session))
+  let domains =
+    List.mapi
+      (fun i slice ->
+        let session =
+          if !clients = 1 then !session
+          else Printf.sprintf "%s-%d" !session i
+        in
+        let kill_at = if i = 0 && !kill_after >= 0 then Some !kill_after else None in
+        let reconnect_at =
+          if i = 0 && !reconnect_at >= 0 then Some !reconnect_at else None
+        in
+        Domain.spawn (fun () ->
+            run_client ~path ~spec_file ~session ~kill_at ~reconnect_at sc
+              slice))
+      slices
   in
-  (* Cross-check the server's account of the run against ours. *)
-  (match Json.member "stats" stats_doc with
-   | Some st ->
-     (match Json.member "transactions" st, Json.member "violations" st with
-      | Some (Json.Int txns), Some (Json.Int viols) ->
-        if txns <> !steps then
-          die 1 "server counted %d transactions, drove %d" txns !steps;
-        if viols <> !violations then
-          die 1 "server counted %d violations, replies carried %d" viols
-            !violations
-      | _ -> die 1 "stats reply lacks transactions/violations")
-   | None -> die 1 "stats reply lacks a stats field");
-  ignore
-    (expect_ok "close" (roundtrip oc ic (Printf.sprintf "close %s\n" !session)));
+  let results = List.map Domain.join domains in
+  let elapsed = Unix.gettimeofday () -. t_start in
+  (* Shut the spawned server down over a control connection — proof the
+     server survived whatever the drills did to the client fleet. *)
   (match child with
    | None -> ()
    | Some pid ->
-     ignore (expect_ok "shutdown" (roundtrip oc ic "shutdown\n"));
+     (try
+        let _, ic, oc = connect_client path in
+        ignore (expect_ok "shutdown" (roundtrip oc ic "shutdown\n"));
+        close_out_noerr oc
+      with Client_error m -> die 1 "control connection: %s" m);
      (match Unix.waitpid [] pid with
       | _, Unix.WEXITED 0 -> ()
       | _, st ->
@@ -206,16 +437,44 @@ let () =
            | Unix.WEXITED c -> Printf.sprintf "exit %d" c
            | Unix.WSIGNALED s -> Printf.sprintf "signal %d" s
            | Unix.WSTOPPED s -> Printf.sprintf "stopped %d" s)));
-  close_out_noerr oc;
   Sys.remove spec_file;
-  Array.sort compare latencies;
-  Printf.printf "drive: %s scenario, %d txn(s) in %.3f s — %.1f txn/s\n"
-    sc.name !steps elapsed
-    (float_of_int !steps /. elapsed);
+  (* Report: aggregate throughput, then one line per client. *)
+  let failures = ref 0 in
+  let driven_total = ref 0 in
+  let violations_total = ref 0 in
+  List.iteri
+    (fun i r ->
+      match r with
+      | Finished f ->
+        driven_total := !driven_total + f.driven;
+        violations_total := !violations_total + f.violations
+      | Killed k ->
+        driven_total := !driven_total + k.driven;
+        violations_total := !violations_total + k.violations
+      | Failed m ->
+        incr failures;
+        Printf.eprintf "drive: client %d: %s\n" i m)
+    results;
   Printf.printf
-    "latency: p50 %.1f us  p95 %.1f us  p99 %.1f us  max %.1f us\n"
-    (percentile latencies 0.50)
-    (percentile latencies 0.95)
-    (percentile latencies 0.99)
-    (percentile latencies 1.0);
-  Printf.printf "violations reported: %d\n" !violations
+    "drive: %s scenario, %d txn(s) over %d client(s) in %.3f s — %.1f txn/s\n"
+    sc.name !driven_total !clients elapsed
+    (float_of_int !driven_total /. elapsed);
+  List.iteri
+    (fun i r ->
+      match r with
+      | Finished f ->
+        let sorted = Array.copy f.latencies in
+        Array.sort compare sorted;
+        Printf.printf
+          "client %d: %d txn(s)  p50 %.1f us  p95 %.1f us  p99 %.1f us  max %.1f us%s\n"
+          i f.driven (percentile sorted 0.50) (percentile sorted 0.95)
+          (percentile sorted 0.99) (percentile sorted 1.0)
+          (if f.reconnects > 0 then
+             Printf.sprintf "  (reconnected x%d)" f.reconnects
+           else "")
+      | Killed k ->
+        Printf.printf "client %d: killed after %d txn(s) (drill)\n" i k.driven
+      | Failed _ -> Printf.printf "client %d: FAILED\n" i)
+    results;
+  Printf.printf "violations reported: %d\n" !violations_total;
+  if !failures > 0 then exit 1
