@@ -830,11 +830,78 @@ let serve () =
   write_artifact ~experiment:"serve" (series @ multi_series)
 
 (* ------------------------------------------------------------------ *)
+(* E-REP — repair-search latency vs violation depth                    *)
+(* ------------------------------------------------------------------ *)
+
+let rep () =
+  header "E-REP: repair-search latency vs violation depth"
+    "Claim: the bounded founded-repair search (rtic repair /\n\
+     on-error=repair) pays breadth-first chase time growing with the\n\
+     repair cardinality — capped by the budget, never unbounded — while\n\
+     the sound unrepairability classification is a syntactic check,\n\
+     near-constant in the state. Row depth-k forces a minimal repair of\n\
+     exactly k inserts; every search starts from the same violating\n\
+     state.";
+  let module Repair = Rtic_core.Repair in
+  let iters = if !quick then 15 else 80 in
+  let cat = Gen.generic_catalog in
+  let db = Database.create cat in
+  let search c =
+    or_die "search" (Repair.search ~checkers:[ c ] ~time:0 db)
+  in
+  let measure name spec describe =
+    let c = or_die "checker" (Incremental.create cat (parse_def spec)) in
+    let steps, actions = describe (search c) in
+    let (), t =
+      time_it (fun () ->
+          for _ = 1 to iters do
+            ignore (search c)
+          done)
+    in
+    let us = ms t *. 1000.0 /. float_of_int iters in
+    row "%-14s %12.1f %14d %9d\n" name us steps actions;
+    Json.Obj
+      [ ("name", Json.Str name);
+        ("search_us", Json.Float us);
+        ("oracle_steps", Json.Int steps);
+        ("actions", Json.Int actions) ]
+  in
+  row "%-14s %12s %14s %9s\n" "row" "search us" "oracle steps" "actions";
+  let depth_rows =
+    List.map
+      (fun k ->
+        let body =
+          String.concat " and "
+            (List.init k (fun i -> Printf.sprintf "p(%d)" (i + 1)))
+        in
+        measure
+          (Printf.sprintf "depth-%d" k)
+          (Printf.sprintf "constraint c: %s ;" body)
+          (function
+            | Repair.Repaired r when List.length r.actions = k ->
+              (r.oracle_steps, k)
+            | _ ->
+              Printf.eprintf "bench: depth-%d: expected a %d-action repair\n"
+                k k;
+              exit 1))
+      [ 1; 2; 3 ]
+  in
+  let unrep_row =
+    measure "unrepairable" "constraint c: prev (exists x. p(x)) ;"
+      (function
+        | Repair.Unrepairable _ -> (0, 0)
+        | _ ->
+          Printf.eprintf "bench: expected an unrepairable classification\n";
+          exit 1)
+  in
+  write_artifact ~experiment:"rep" (depth_rows @ [ unrep_row ])
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("par", par); ("er", er);
-    ("serve", serve); ("micro", micro) ]
+    ("serve", serve); ("rep", rep); ("micro", micro) ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in

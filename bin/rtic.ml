@@ -4,7 +4,8 @@
    Subcommands:
      rtic parse SPEC            validate a specification file
      rtic check SPEC TRACE      monitor a trace, report violations
-     rtic recover SPEC DIR      inspect (and repair) a crash-safe state dir
+     rtic recover SPEC DIR      inspect/salvage a crash-safe state dir
+     rtic repair SPEC DIR       propose (or apply) constraint repairs
      rtic rules SPEC            show the compiled active-DBMS rules
      rtic explain SPEC TRACE    show violation witnesses
      rtic gen                   generate a synthetic trace
@@ -14,8 +15,11 @@
    Exit codes, everywhere: 0 = success and every constraint holds;
    1 = the check ran but found violations (or: the linted document is
    invalid, the queried formula is false, the state dir is
-   unrecoverable); 2 = usage or internal error (unreadable file, parse
-   failure, invalid flag combination). *)
+   unrecoverable, a repair search came back unrepairable/inconclusive);
+   2 = usage or internal error (unreadable file, parse failure, invalid
+   flag combination); 3 = every constraint holds but only because
+   repairs were applied (rtic check --on-error repair, rtic repair
+   --apply). *)
 
 module Schema = Rtic_relational.Schema
 module Database = Rtic_relational.Database
@@ -38,6 +42,7 @@ module Profile = Rtic_core.Profile
 module Json = Rtic_core.Json
 module Future = Rtic_core.Future
 module Supervisor = Rtic_core.Supervisor
+module Repair = Rtic_core.Repair
 module Faults = Rtic_core.Faults
 module Wal = Rtic_core.Wal
 module Pool = Rtic_core.Pool
@@ -250,6 +255,7 @@ let run_supervised ?tracer ?pool ~ppf config cat past_defs (tr : Trace.t)
   ignore config;
   let reports = ref [] in
   let dropped = ref 0 in
+  let repaired_txns = ref 0 in
   let stats = ref Stats.empty in
   List.iter
     (fun (time, txn) ->
@@ -257,6 +263,36 @@ let run_supervised ?tracer ?pool ~ppf config cat past_defs (tr : Trace.t)
       | Supervisor.Checked { reports = rs; inconclusive = _ } ->
         if not (quiet || want_json) then
           List.iter (fun r -> Format.fprintf ppf "%a@." Monitor.pp_report r) rs;
+        if want_stats then
+          stats :=
+            Stats.observe !stats ~time ~space:(Supervisor.space sup)
+              ~reports:rs;
+        reports := List.rev_append rs !reports
+      | Supervisor.Repaired { actions; witnesses; repaired = _;
+                              inconclusive = _ } ->
+        incr repaired_txns;
+        if not (quiet || want_json) then
+          List.iter
+            (fun (op, by) ->
+              Format.fprintf ppf "repaired at time %d: %a (fired by %s)@."
+                time Rtic_relational.Update.pp_op op by)
+            witnesses;
+        ignore actions;
+        if want_stats then
+          stats :=
+            Stats.observe !stats ~time ~space:(Supervisor.space sup)
+              ~reports:[]
+      | Supervisor.Unrepairable { reports = rs; unrepairable;
+                                  inconclusive = _ } ->
+        if not (quiet || want_json) then
+          List.iter (fun r -> Format.fprintf ppf "%a@." Monitor.pp_report r) rs;
+        List.iter
+          (fun (c, off) ->
+            Printf.eprintf
+              "rtic: constraint %s is unrepairable at time %d (verdict \
+               anchored in past states by %s)\n"
+              c time off)
+          unrepairable;
         if want_stats then
           stats :=
             Stats.observe !stats ~time ~space:(Supervisor.space sup)
@@ -289,12 +325,17 @@ let run_supervised ?tracer ?pool ~ppf config cat past_defs (tr : Trace.t)
       | Some m -> Format.fprintf ppf "%a@." Metrics.pp m
       | None -> ()
     end;
-    Format.fprintf ppf "%d transaction(s), %d violation(s)%s@."
+    Format.fprintf ppf "%d transaction(s), %d violation(s)%s%s@."
       (List.length steps)
       (List.length !reports)
+      (if !repaired_txns > 0 then
+         Printf.sprintf ", %d repaired" !repaired_txns
+       else "")
       (if !dropped > 0 then Printf.sprintf ", %d dropped" !dropped else "")
   end;
-  if !reports = [] then 0 else 1
+  (* Exit 3: no violation stands, but only because repairs were applied —
+     distinct from a clean 0 so callers can audit self-healed runs. *)
+  if !reports <> [] then 1 else if !repaired_txns > 0 then 3 else 0
 
 let run_check spec_file trace_file engine no_prune jobs quiet load save
     want_stats want_json want_trace trace_out state_dir auto_ck on_error
@@ -496,6 +537,145 @@ let run_recover spec_file dir repair =
       info.Supervisor.replayed
       (if info.Supervisor.repaired then "; repaired" else "");
     0
+
+(* ------------------------------------------------------------------ *)
+(* repair                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Constraint repair of a recovered state. Not to be confused with
+   `rtic recover --repair`, which salvages *storage* (fresh checkpoint,
+   WAL compaction) and never touches database content: this command asks
+   whether the *data* can be healed. It recovers the state directory,
+   runs the bounded founded-repair search of Rtic_core.Repair at the next
+   commit time, prints the proposal (or, with --apply, commits it through
+   the supervisor so the repair is journaled in the WAL and replayed by
+   any later recovery), and exits 0 = already clean, 3 = a repair was
+   found, 1 = unrepairable or inconclusive. *)
+let run_repair spec_file dir apply at_time want_json max_steps max_candidates
+    max_depth =
+  if max_steps < 1 || max_candidates < 1 || max_depth < 1 then
+    usage_error "--max-steps/--max-candidates/--max-depth must be at least 1";
+  let spec = or_die (load_spec spec_file) in
+  let cat = spec.Parser.catalog in
+  let past_defs, future_defs = split_defs spec in
+  if future_defs <> [] then
+    usage_error
+      "rtic repair supports past-only constraints (supervised state holds \
+       no verdict-delay buffers)";
+  let fs = Faults.real_fs in
+  if not (Supervisor.state_exists fs dir) then
+    usage_error (dir ^ " holds no WAL; not a supervisor state directory");
+  let sup, _info =
+    or_die (Supervisor.recover ~fs ~repair:apply ~state_dir:dir cat past_defs)
+  in
+  let next =
+    match Supervisor.last_time sup with Some l -> l + 1 | None -> 0
+  in
+  let time =
+    match at_time with
+    | None -> next
+    | Some t when t >= next -> t
+    | Some t ->
+      usage_error
+        (Printf.sprintf
+           "--at-time %d is not after the last commit time %d" t (next - 1))
+  in
+  let budget = { Repair.max_steps; max_candidates; max_depth } in
+  let skip name = List.mem_assoc name (Supervisor.quarantined sup) in
+  let outcome =
+    or_die
+      (Repair.search ~budget ~checkers:(Supervisor.checkers sup) ~skip ~time
+         (Supervisor.database sup))
+  in
+  let op_str o = Format.asprintf "%a" Rtic_relational.Update.pp_op o in
+  let emit_json fields =
+    print_endline
+      (Json.to_string ~indent:true
+         (Json.Obj
+            ([ ("schema", Json.Str "rtic-repair/1");
+               ("state_dir", Json.Str dir);
+               ("time", Json.Int time) ]
+            @ fields)))
+  in
+  match outcome with
+  | Repair.Clean ->
+    if want_json then emit_json [ ("outcome", Json.Str "clean") ]
+    else Printf.printf "clean: every constraint holds at time %d\n" time;
+    0
+  | Repair.Repaired { actions; witnesses; healed; oracle_steps; db = _ } ->
+    let applied =
+      if not apply then false
+      else begin
+        (match or_die (Supervisor.step sup ~time actions) with
+         | Supervisor.Checked { reports = []; _ } -> ()
+         | Supervisor.Checked { reports; _ } ->
+           usage_error
+             (Printf.sprintf
+                "internal: applied repair left %d violation(s)"
+                (List.length reports))
+         | _ -> usage_error "internal: unexpected outcome applying repair");
+        true
+      end
+    in
+    if want_json then
+      emit_json
+        [ ("outcome", Json.Str "repaired");
+          ("applied", Json.Bool applied);
+          ("actions", Json.List (List.map (fun o -> Json.Str (op_str o)) actions));
+          ("witnesses",
+           Json.List
+             (List.map
+                (fun (w : Repair.witness) ->
+                  Json.Obj
+                    [ ("action", Json.Str (op_str w.Repair.action));
+                      ("fired_by", Json.Str w.Repair.fired_by) ])
+                witnesses));
+          ("healed", Json.List (List.map (fun c -> Json.Str c) healed));
+          ("oracle_steps", Json.Int oracle_steps) ]
+    else begin
+      List.iter
+        (fun (w : Repair.witness) ->
+          Printf.printf "repair: %s (fired by %s)\n" (op_str w.Repair.action)
+            w.Repair.fired_by)
+        witnesses;
+      Printf.printf "heals: %s\n" (String.concat ", " healed);
+      if applied then
+        Printf.printf "applied %d action(s) at time %d (journaled in %s)\n"
+          (List.length actions) time (Supervisor.wal_path dir)
+      else
+        Printf.printf
+          "proposal only; re-run with --apply to commit at time %d\n" time
+    end;
+    3
+  | Repair.Unrepairable stuck ->
+    if want_json then
+      emit_json
+        [ ("outcome", Json.Str "unrepairable");
+          ("unrepairable",
+           Json.List
+             (List.map
+                (fun (u : Repair.unrepairable) ->
+                  Json.Obj
+                    [ ("constraint", Json.Str u.Repair.constraint_name);
+                      ("offending", Json.Str u.Repair.offending);
+                      ("reason", Json.Str u.Repair.reason) ])
+                stuck)) ]
+    else
+      List.iter
+        (fun (u : Repair.unrepairable) ->
+          Printf.printf "unrepairable: %s (offending subformula: %s)\n"
+            u.Repair.constraint_name u.Repair.offending)
+        stuck;
+    1
+  | Repair.Inconclusive { reason; oracle_steps; candidates } ->
+    if want_json then
+      emit_json
+        [ ("outcome", Json.Str "inconclusive");
+          ("reason", Json.Str reason);
+          ("oracle_steps", Json.Int oracle_steps);
+          ("candidates", Json.Int candidates) ]
+    else Printf.printf "inconclusive: %s\n" reason;
+    1
 
 (* ------------------------------------------------------------------ *)
 (* serve                                                               *)
@@ -1120,10 +1300,14 @@ let auto_checkpoint_arg =
 
 let on_error_arg =
   Arg.(value & opt string "halt" & info [ "on-error" ] ~docv:"POLICY"
-         ~doc:"With --state-dir: what to do with a clock regression or a \
-               malformed transaction — $(b,halt) (stop, exit 2), \
-               $(b,skip) (drop silently) or $(b,reject) (drop and report \
-               on stderr).")
+         ~doc:"With --state-dir: what to do with a transaction the monitor \
+               cannot simply accept — $(b,halt) (stop, exit 2), $(b,skip) \
+               (drop silently), $(b,reject) (drop and report on stderr) or \
+               $(b,repair) (self-heal: a constraint-violating transaction \
+               commits together with a bounded founded repair, journaled \
+               as one WAL record; past-anchored violations are reported \
+               unrepairable; a run that only succeeded via repairs exits \
+               3).")
 
 let aux_budget_arg =
   Arg.(value & opt (some int) None & info [ "aux-budget" ] ~docv:"N"
@@ -1140,7 +1324,7 @@ let check_cmd =
           $ auto_checkpoint_arg $ on_error_arg $ aux_budget_arg)
 
 let recover_cmd =
-  let doc = "inspect (and optionally repair) a crash-safe state directory" in
+  let doc = "inspect (and optionally salvage) a crash-safe state directory" in
   let dir_arg =
     Arg.(required & pos 1 (some string) None & info [] ~docv:"DIR"
            ~doc:"State directory written by check --state-dir.")
@@ -1149,10 +1333,80 @@ let recover_cmd =
     Arg.(value & flag & info [ "repair" ]
            ~doc:"After recovering, write a fresh checkpoint and compact \
                  the WAL (clears torn tails and prunes corrupt snapshots' \
-                 influence). Without it the directory is not modified.")
+                 influence). Without it the directory is not modified. \
+                 This salvages $(b,storage) only — it never changes \
+                 database content; to heal constraint $(b,violations) in \
+                 the data, see $(b,rtic repair).")
   in
   Cmd.v (Cmd.info "recover" ~doc)
     Term.(const run_recover $ spec_arg $ dir_arg $ repair_arg)
+
+let repair_cmd =
+  let doc =
+    "search for (and optionally apply) constraint repairs of a recovered \
+     state"
+  in
+  let man =
+    [ `S Manpage.s_description;
+      `P
+        "Recover the state directory, then run a bounded search for a \
+         founded minimal set of inserts/deletes that restores every \
+         violated constraint at the next commit time. Without $(b,--apply) \
+         the repair is only proposed; with it, the repair commits through \
+         the supervisor and is journaled in the write-ahead log, so any \
+         later recovery replays it. Violations whose verdict is anchored \
+         entirely in past states are reported $(b,unrepairable) with the \
+         offending subformula; an exhausted search budget is reported \
+         $(b,inconclusive), never unrepairable.";
+      `P
+        "Distinct from $(b,rtic recover --repair), which salvages the \
+         storage layer (fresh checkpoint, WAL compaction) and never \
+         touches database content.";
+      `S Manpage.s_exit_status;
+      `P "0 — every constraint already holds; nothing to repair.";
+      `P "1 — violations stand: unrepairable, or the search was \
+          inconclusive.";
+      `P "2 — usage or internal error.";
+      `P "3 — a repair was found (and with --apply, committed)." ]
+  in
+  let dir_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"DIR"
+           ~doc:"State directory written by check --state-dir.")
+  in
+  let apply_arg =
+    Arg.(value & flag & info [ "apply" ]
+           ~doc:"Commit the repair through the supervisor (WAL-journaled) \
+                 instead of only proposing it.")
+  in
+  let at_time_arg =
+    Arg.(value & opt (some int) None & info [ "at-time" ] ~docv:"T"
+           ~doc:"Commit time to repair at (must be after the last accepted \
+                 transaction; default: last + 1).")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Emit the repair report as JSON (schema rtic-repair/1, see \
+                 FORMATS.md §8) instead of human-readable output.")
+  in
+  let max_steps_arg =
+    Arg.(value & opt int Repair.default_budget.Repair.max_steps
+         & info [ "max-steps" ] ~docv:"N"
+             ~doc:"Oracle budget: total checker probes the search may \
+                   spend before reporting inconclusive.")
+  in
+  let max_candidates_arg =
+    Arg.(value & opt int Repair.default_budget.Repair.max_candidates
+         & info [ "max-candidates" ] ~docv:"N"
+             ~doc:"Candidate actions generated per search state.")
+  in
+  let max_depth_arg =
+    Arg.(value & opt int Repair.default_budget.Repair.max_depth
+         & info [ "max-depth" ] ~docv:"N"
+             ~doc:"Largest repair cardinality considered.")
+  in
+  Cmd.v (Cmd.info "repair" ~doc ~man)
+    Term.(const run_repair $ spec_arg $ dir_arg $ apply_arg $ at_time_arg
+          $ json_arg $ max_steps_arg $ max_candidates_arg $ max_depth_arg)
 
 (* ------------------------------------------------------------------ *)
 (* lint-json                                                           *)
@@ -1335,7 +1589,7 @@ let gen_cmd =
 let main_cmd =
   let doc = "real-time integrity constraints over timed database histories" in
   Cmd.group (Cmd.info "rtic" ~version:"1.0.0" ~doc)
-    [ parse_cmd; check_cmd; serve_cmd; recover_cmd; profile_cmd; rules_cmd;
-      explain_cmd; query_cmd; gen_cmd; lint_json_cmd ]
+    [ parse_cmd; check_cmd; serve_cmd; recover_cmd; repair_cmd; profile_cmd;
+      rules_cmd; explain_cmd; query_cmd; gen_cmd; lint_json_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,468 @@
+module Database = Rtic_relational.Database
+module Relation = Rtic_relational.Relation
+module Schema = Rtic_relational.Schema
+module Tuple = Rtic_relational.Tuple
+module Update = Rtic_relational.Update
+module Value = Rtic_relational.Value
+module Formula = Rtic_mtl.Formula
+module Pretty = Rtic_mtl.Pretty
+module Interval = Rtic_temporal.Interval
+
+type budget = {
+  max_steps : int;
+  max_candidates : int;
+  max_depth : int;
+}
+
+let default_budget = { max_steps = 4096; max_candidates = 64; max_depth = 3 }
+
+type witness = {
+  action : Update.op;
+  fired_by : string;
+}
+
+type unrepairable = {
+  constraint_name : string;
+  offending : string;
+  reason : string;
+}
+
+type outcome =
+  | Clean
+  | Repaired of {
+      actions : Update.transaction;
+      witnesses : witness list;
+      healed : string list;
+      oracle_steps : int;
+      db : Database.t;
+    }
+  | Unrepairable of unrepairable list
+  | Inconclusive of {
+      reason : string;
+      oracle_steps : int;
+      candidates : int;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Unrepairability: current-state insensitivity                        *)
+(* ------------------------------------------------------------------ *)
+
+(* A subformula position is shielded from the current state when every
+   path from the root to an atom passes through a temporal operator that
+   only ever evaluates its argument at strictly-past states:
+
+   - [prev f] evaluates [f] at the previous state only;
+   - [once[l,u] f] (and its dual [hist]) evaluates [f] at states at
+     distance >= l, so l > 0 excludes the current one;
+   - [f since[l,u] g] anchors [g] at distance >= l (shielded when
+     l > 0), but [f] is evaluated at every state after the anchor up to
+     and including the current one, so [f] must shield itself.
+
+   Comparisons and constants never read the database. Everything else —
+   in particular every atom and transition atom, and conservatively all
+   future operators — is sensitive. *)
+let rec current_insensitive (f : Formula.t) =
+  match f with
+  | True | False | Cmp _ -> true
+  | Atom _ | Inserted _ | Deleted _ -> false
+  | Not a -> current_insensitive a
+  | And (a, b) | Or (a, b) | Implies (a, b) | Iff (a, b) ->
+      current_insensitive a && current_insensitive b
+  | Exists (_, a) | Forall (_, a) -> current_insensitive a
+  | Prev _ -> true
+  | Once (i, a) | Historically (i, a) ->
+      Interval.lo i > 0 || current_insensitive a
+  | Since (i, a, b) ->
+      current_insensitive a && (Interval.lo i > 0 || current_insensitive b)
+  | Next _ | Until _ | Eventually _ | Always _ -> false
+
+(* Leftmost-outermost temporal operator that anchors the verdict to the
+   strict past. Only meaningful on formulas [current_insensitive] accepts,
+   where one exists whenever the formula mentions the database at all. *)
+let offending_subformula (f : Formula.t) =
+  let rec find (f : Formula.t) =
+    match f with
+    | True | False | Cmp _ | Atom _ | Inserted _ | Deleted _ -> None
+    | Not a | Exists (_, a) | Forall (_, a) -> find a
+    | And (a, b) | Or (a, b) | Implies (a, b) | Iff (a, b) -> (
+        match find a with Some _ as r -> r | None -> find b)
+    | Prev _ -> Some f
+    | (Once (i, _) | Historically (i, _)) when Interval.lo i > 0 -> Some f
+    | Once (_, a) | Historically (_, a) -> find a
+    | Since (i, _, _) when Interval.lo i > 0 -> Some f
+    | Since (_, a, b) -> (
+        match find a with Some _ as r -> r | None -> find b)
+    | Next _ | Until _ | Eventually _ | Always _ -> None
+  in
+  match find f with Some g -> g | None -> f
+
+(* ------------------------------------------------------------------ *)
+(* The oracle: probe candidate states through cloned checkers          *)
+(* ------------------------------------------------------------------ *)
+
+exception Fail of string
+exception Out_of_steps
+
+(* One clone per monitored constraint, made once and reused for every
+   probe: [Incremental.step] is functional, so stepping a clone never
+   advances it. Cloning through to_text/of_text strips the callers'
+   metrics and tracer — probes must not pollute the monitor's telemetry. *)
+type oracle = {
+  clones : (string * Formula.t * Incremental.t) list;  (* registration order *)
+  mutable steps : int;
+  max_steps : int;
+}
+
+let make_oracle ~(budget : budget) ~skip ~cat checkers =
+  let clones =
+    List.filter_map
+      (fun c ->
+        let def = Incremental.def c in
+        if skip def.Formula.name then None
+        else
+          match Incremental.of_text cat def (Incremental.to_text c) with
+          | Ok clone -> Some (def.Formula.name, Incremental.formula c, clone)
+          | Error e ->
+              raise
+                (Fail
+                   (Printf.sprintf "cloning checker %S for repair: %s"
+                      def.Formula.name e)))
+      checkers
+  in
+  { clones; steps = 0; max_steps = budget.max_steps }
+
+(* Violated constraints of [db] at [time], in registration order. *)
+let probe o ~time db =
+  let violated =
+    List.fold_left
+      (fun acc (name, norm, clone) ->
+        if o.steps >= o.max_steps then raise_notrace Out_of_steps;
+        o.steps <- o.steps + 1;
+        match Incremental.step clone ~time db with
+        | Error e ->
+            raise (Fail (Printf.sprintf "probing constraint %S: %s" name e))
+        | Ok (_, v) ->
+            if v.Incremental.satisfied then acc else (name, norm) :: acc)
+      [] o.clones
+  in
+  List.rev violated
+
+(* ------------------------------------------------------------------ *)
+(* Candidate repair actions                                            *)
+(* ------------------------------------------------------------------ *)
+
+let op_key op = Format.asprintf "%a" Update.pp_op op
+
+(* The relational atoms (current-state and transition) of a normalized
+   formula, in syntactic order. Transition atoms resolve to their
+   underlying relation: inserting into or deleting from it changes what
+   [+R]/[-R] see at the current position. *)
+let repair_atoms (f : Formula.t) =
+  let rec go acc (f : Formula.t) =
+    match f with
+    | True | False | Cmp _ -> acc
+    | Atom (r, ts) | Inserted (r, ts) | Deleted (r, ts) -> (r, ts) :: acc
+    | Not a | Exists (_, a) | Forall (_, a) -> go acc a
+    | And (a, b) | Or (a, b) | Implies (a, b) | Iff (a, b) -> go (go acc a) b
+    | Prev (_, a) | Once (_, a) | Historically (_, a)
+    | Next (_, a) | Eventually (_, a) | Always (_, a) -> go acc a
+    | Since (_, a, b) | Until (_, a, b) -> go (go acc a) b
+  in
+  List.rev (go [] f)
+
+let formula_constants (f : Formula.t) =
+  let rec term acc = function
+    | Formula.Var _ -> acc
+    | Formula.Const v -> v :: acc
+    | Formula.Add (a, b) | Formula.Sub (a, b) | Formula.Mul (a, b) ->
+        term (term acc a) b
+  in
+  let rec go acc (f : Formula.t) =
+    match f with
+    | True | False -> acc
+    | Atom (_, ts) | Inserted (_, ts) | Deleted (_, ts) ->
+        List.fold_left term acc ts
+    | Cmp (_, a, b) -> term (term acc a) b
+    | Not a | Exists (_, a) | Forall (_, a)
+    | Prev (_, a) | Once (_, a) | Historically (_, a)
+    | Next (_, a) | Eventually (_, a) | Always (_, a) -> go acc a
+    | And (a, b) | Or (a, b) | Implies (a, b) | Iff (a, b)
+    | Since (_, a, b) | Until (_, a, b) -> go (go acc a) b
+  in
+  go [] f
+
+(* Does [t] match the atom pattern [terms]? Constants must coincide and
+   repeated variables must agree; arithmetic never appears as a relation
+   argument, but treat it as a wildcard defensively. *)
+let tuple_matches terms t =
+  let n = Tuple.arity t in
+  if List.length terms <> n then false
+  else
+    let bind = Hashtbl.create 4 in
+    let rec go i = function
+      | [] -> true
+      | Formula.Const v :: rest ->
+          Value.equal v (Tuple.get t i) && go (i + 1) rest
+      | Formula.Var x :: rest -> (
+          let v = Tuple.get t i in
+          match Hashtbl.find_opt bind x with
+          | Some v' -> Value.equal v v' && go (i + 1) rest
+          | None ->
+              Hashtbl.add bind x v;
+              go (i + 1) rest)
+      | _ :: rest -> go (i + 1) rest
+    in
+    go 0 terms
+
+(* Per-search-node candidate generation, bounded by [max_candidates].
+   For each violated constraint, in order of preference:
+   1. inverses of the offending transaction's updates on relations the
+      constraint mentions (undo what just broke it);
+   2. deletes of the tuples its atoms currently match (retract support);
+   3. inserts of its atoms grounded over the deterministic value pool
+      (supply missing support).
+   Everything is emitted in a deterministic order; no-op actions and
+   inverses of actions already on the path are skipped. *)
+let candidates ~max_candidates ~txn ~pool ~path_keys db violated =
+  let out = ref [] and count = ref 0 and truncated = ref false in
+  let emitted = Hashtbl.create 16 in
+  let path = Hashtbl.create 8 in
+  List.iter (fun k -> Hashtbl.replace path k ()) path_keys;
+  let exception Full in
+  let emit fired_by op =
+    let k = op_key op in
+    let noop =
+      match op with
+      | Update.Insert (r, t) -> (
+          match Database.relation db r with
+          | Some rel -> Relation.mem t rel
+          | None -> true)
+      | Update.Delete (r, t) -> (
+          match Database.relation db r with
+          | Some rel -> not (Relation.mem t rel)
+          | None -> true)
+    in
+    let undoes_path = Hashtbl.mem path (op_key (Update.invert op)) in
+    if (not noop) && (not undoes_path) && not (Hashtbl.mem emitted k) then begin
+      Hashtbl.replace emitted k ();
+      if !count >= max_candidates then begin
+        truncated := true;
+        raise_notrace Full
+      end;
+      incr count;
+      out := (op, { action = op; fired_by }) :: !out
+    end
+  in
+  (try
+     List.iter
+       (fun (name, norm) ->
+         let atoms = repair_atoms norm in
+         let rels =
+           List.sort_uniq String.compare (List.map fst atoms)
+         in
+         (* 1. undo the transaction where it touches this constraint *)
+         List.iter
+           (fun op ->
+             let rel =
+               match op with
+               | Update.Insert (r, _) | Update.Delete (r, _) -> r
+             in
+             if List.mem rel rels then emit name (Update.invert op))
+           txn;
+         (* 2. retract currently-matching support *)
+         List.iter
+           (fun (rel, terms) ->
+             match Database.relation db rel with
+             | None -> ()
+             | Some r ->
+                 Relation.iter
+                   (fun t ->
+                     if tuple_matches terms t then
+                       emit name (Update.Delete (rel, t)))
+                   r)
+           atoms;
+         (* 3. supply missing support *)
+         List.iter
+           (fun (rel, terms) ->
+             match Schema.Catalog.find rel (Database.catalog db) with
+             | None -> ()
+             | Some schema ->
+                 let tys = Schema.attr_types schema in
+                 if Array.length tys = List.length terms then begin
+                   let columns =
+                     List.mapi
+                       (fun i term ->
+                         match term with
+                         | Formula.Const v -> [ v ]
+                         | _ ->
+                             List.filter
+                               (fun v -> Value.type_of v = tys.(i))
+                               pool)
+                       terms
+                   in
+                   let rec ground rev = function
+                     | [] ->
+                         emit name (Update.insert rel (List.rev rev))
+                     | col :: rest ->
+                         List.iter (fun v -> ground (v :: rev) rest) col
+                   in
+                   if List.for_all (fun c -> c <> []) columns then
+                     ground [] columns
+                 end)
+           atoms)
+       violated
+   with Full -> ());
+  (List.rev !out, !truncated)
+
+(* ------------------------------------------------------------------ *)
+(* The search: breadth-first chase over candidate states               *)
+(* ------------------------------------------------------------------ *)
+
+type node = {
+  ndb : Database.t;
+  acts_rev : Update.op list;
+  wits_rev : witness list;
+  keys : string list;  (* op_key of each action on the path *)
+  nviolated : (string * Formula.t) list;
+}
+
+let search ?(budget = default_budget) ~checkers ?(skip = fun _ -> false)
+    ~time ?(txn = []) db =
+  let cat = Database.catalog db in
+  match make_oracle ~budget ~skip ~cat checkers with
+  | exception Fail msg -> Error msg
+  | oracle -> (
+    let generated = ref 0 in
+    let any_truncated = ref false in
+    let inconclusive reason =
+      Inconclusive
+        {
+          reason =
+            (if !any_truncated then
+               reason ^ "; candidate generation truncated"
+             else reason);
+          oracle_steps = oracle.steps;
+          candidates = !generated;
+        }
+    in
+    try
+    match probe oracle ~time db with
+    | [] -> Ok Clean
+    | violated -> (
+        match
+          List.filter_map
+            (fun (name, norm) ->
+              if current_insensitive norm then
+                Some
+                  {
+                    constraint_name = name;
+                    offending = Pretty.to_string (offending_subformula norm);
+                    reason =
+                      "verdict at the current state is determined entirely \
+                       by past states; no insert or delete of current facts \
+                       can change it";
+                  }
+              else None)
+            violated
+        with
+        | _ :: _ as stuck -> Ok (Unrepairable stuck)
+        | [] -> (
+            let healed = List.map fst violated in
+            (* Deterministic grounding pool: values the repair may write. *)
+            let pool =
+              List.sort_uniq Value.compare
+                (Database.active_domain db
+                @ List.concat_map
+                    (fun op ->
+                      match op with
+                      | Update.Insert (_, t) | Update.Delete (_, t) ->
+                          Array.to_list t)
+                    txn
+                @ List.concat_map (fun (_, f) -> formula_constants f) violated)
+            in
+            let seen = Hashtbl.create 64 in
+            let node_seen n =
+              let k = String.concat ";" (List.sort String.compare n.keys) in
+              if Hashtbl.mem seen k then true
+              else begin
+                Hashtbl.replace seen k ();
+                false
+              end
+            in
+            let root =
+              { ndb = db; acts_rev = []; wits_rev = []; keys = [];
+                nviolated = violated }
+            in
+            let expand n =
+              let cands, truncated =
+                candidates ~max_candidates:budget.max_candidates ~txn ~pool
+                  ~path_keys:n.keys n.ndb n.nviolated
+              in
+              if truncated then any_truncated := true;
+              generated := !generated + List.length cands;
+              List.filter_map
+                (fun (op, wit) ->
+                  match Update.apply_op n.ndb op with
+                  | Error _ -> None
+                  | Ok ndb ->
+                      Some
+                        {
+                          ndb;
+                          acts_rev = op :: n.acts_rev;
+                          wits_rev = wit :: n.wits_rev;
+                          keys = op_key op :: n.keys;
+                          nviolated = [];  (* probed below *)
+                        })
+                cands
+            in
+            let exception Found of node in
+            try
+              let frontier = ref [ root ] in
+              let depth = ref 0 in
+              while !frontier <> [] && !depth < budget.max_depth do
+                incr depth;
+                let next = ref [] in
+                List.iter
+                  (fun n ->
+                    List.iter
+                      (fun child ->
+                        if not (node_seen child) then
+                          match probe oracle ~time child.ndb with
+                          | [] -> raise_notrace (Found child)
+                          | v ->
+                              next :=
+                                { child with nviolated = v } :: !next)
+                      (expand n))
+                  !frontier;
+                frontier := List.rev !next
+              done;
+              if !frontier = [] then
+                Ok
+                  (inconclusive
+                     (Printf.sprintf
+                        "candidate space exhausted at depth %d without a \
+                         repair"
+                        !depth))
+              else
+                Ok
+                  (inconclusive
+                     (Printf.sprintf
+                        "no repair within depth budget %d"
+                        budget.max_depth))
+            with Found n ->
+              Ok
+                (Repaired
+                   {
+                     actions = List.rev n.acts_rev;
+                     witnesses = List.rev n.wits_rev;
+                     healed;
+                     oracle_steps = oracle.steps;
+                     db = n.ndb;
+                   })))
+    with
+    | Fail msg -> Error msg
+    | Out_of_steps ->
+        Ok
+          (inconclusive
+             (Printf.sprintf "oracle step budget %d exhausted"
+                budget.max_steps)))

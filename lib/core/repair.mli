@@ -1,0 +1,127 @@
+(** Constraint repair — from detection to correction.
+
+    Where the rest of the core {e detects} violations, this module proposes
+    (bounded, founded, minimal) {e corrections}: transactions over the
+    current database state that restore every constraint at the current
+    timestamp. The design follows Active Integrity Constraints (Caroprese
+    & Truszczyński) and chase-style fixpoint repair, with the temporal
+    twist neither source covers — under past-time operators some
+    violations are {e unrepairable} in the current state, because their
+    truth value is anchored entirely in history that no present-day update
+    can reach.
+
+    {2 The search}
+
+    Candidate repair actions (inserts and deletes of current-state facts)
+    are derived from the atoms of each violated constraint: deletes of the
+    tuples its atoms currently match, inserts of its atoms grounded over a
+    deterministic value pool (the active domain, the offending
+    transaction's values and the constraint's own constants), and inverses
+    of the offending transaction's updates. The search is a breadth-first
+    chase: a node is a candidate database; its successors each fire one
+    candidate action of a constraint {e violated at that node} — so every
+    accepted repair is {b founded} (each action carries the violated
+    constraint that fired it as a witness) — and the first violation-free
+    node found has {b minimal cardinality} within the explored candidate
+    universe.
+
+    The oracle deciding "violated at this node" is the real checker:
+    {!Incremental.step} applied to metric-free clones of the
+    pre-transaction checker states ({!Incremental.t} is functional, so one
+    clone per constraint serves every probe). Verdicts therefore agree
+    exactly with what the monitor itself would report.
+
+    {2 Honesty}
+
+    Everything is bounded by an explicit {!budget}; exhausting it yields
+    {!outcome.Inconclusive} — never a claim. The {!outcome.Unrepairable}
+    classification, by contrast, is {e sound}: it is derived purely
+    syntactically ({!current_insensitive}) and holds for every possible
+    current-state repair, not just the ones the search would have tried. *)
+
+type budget = {
+  max_steps : int;
+      (** Oracle budget: total {!Incremental.step} probes allowed (each
+          candidate state costs one step per monitored constraint). *)
+  max_candidates : int;
+      (** Candidate-set budget: candidate actions generated per search
+          node; generation past it is truncated (and reported). *)
+  max_depth : int;  (** Largest repair cardinality considered. *)
+}
+
+val default_budget : budget
+(** [{ max_steps = 4096; max_candidates = 64; max_depth = 3 }]. *)
+
+(** Foundedness witness: [action] was fired by [fired_by], a constraint
+    violated at the search node the action was applied to. *)
+type witness = {
+  action : Rtic_relational.Update.op;
+  fired_by : string;
+}
+
+(** Why one violated constraint cannot be repaired in the current state. *)
+type unrepairable = {
+  constraint_name : string;
+  offending : string;
+      (** Pretty-printed past-anchored subformula that pins the verdict
+          to history (concrete syntax, re-parseable). *)
+  reason : string;  (** Human-readable explanation. *)
+}
+
+type outcome =
+  | Clean  (** No constraint is violated; nothing to repair. *)
+  | Repaired of {
+      actions : Rtic_relational.Update.transaction;
+          (** The repair, in firing order. Applying it to the searched
+              state yields [db] below. *)
+      witnesses : witness list;  (** One per action, same order. *)
+      healed : string list;
+          (** Names of the constraints that were violated and now hold. *)
+      oracle_steps : int;  (** {!Incremental.step} probes spent. *)
+      db : Rtic_relational.Database.t;  (** The repaired state. *)
+    }
+  | Unrepairable of unrepairable list
+      (** At least one violated constraint is current-insensitive: no
+          insert or delete of current-state facts can change its verdict
+          at this timestamp. One entry per such constraint. *)
+  | Inconclusive of {
+      reason : string;  (** Which budget ran out, or why the space dried up. *)
+      oracle_steps : int;
+      candidates : int;  (** Candidate actions generated in total. *)
+    }
+      (** The bounded search neither found a repair nor proved there is
+          none. Honest non-answer — never treated as unrepairable. *)
+
+val current_insensitive : Rtic_mtl.Formula.t -> bool
+(** [true] iff the (normalized, past-only) formula's truth value at the
+    current state provably does not depend on the current database — every
+    atom it evaluates lies under a temporal operator that only inspects
+    strictly-past states ([prev f]; [once[l,_] f] / [f since[l,_] g] with
+    [l > 0] shield only their reach into the current state). Sound, not
+    complete: [false] means "might be repairable". Future operators are
+    conservatively sensitive. *)
+
+val offending_subformula : Rtic_mtl.Formula.t -> Rtic_mtl.Formula.t
+(** For a {!current_insensitive} formula: the leftmost-outermost temporal
+    subformula anchoring the verdict to the strict past (the formula
+    itself when it has no temporal operator — e.g. a constant). *)
+
+val search :
+  ?budget:budget ->
+  checkers:Incremental.t list ->
+  ?skip:(string -> bool) ->
+  time:int ->
+  ?txn:Rtic_relational.Update.transaction ->
+  Rtic_relational.Database.t ->
+  (outcome, string) result
+(** [search ~checkers ~time db] looks for a repair of [db] at commit time
+    [time]. [checkers] are the {e pre-transaction} checker states (their
+    {!Incremental.last_time} strictly below [time]); they are cloned via
+    {!Incremental.to_text}/{!Incremental.of_text}, so the callers'
+    checkers, metrics and traces are never touched by search probes.
+    [?skip] names constraints to leave out of the oracle (quarantined
+    ones, whose verdicts are inconclusive anyway). [?txn] is the
+    transaction that produced [db], used to seed candidate actions (its
+    inverses and its values); omit it when repairing a state at rest.
+    [Error] is an internal failure (a clone or probe refused), not a
+    search verdict. Deterministic: same inputs, same outcome. *)

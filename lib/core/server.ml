@@ -5,6 +5,7 @@
 
 module Formula = Rtic_mtl.Formula
 module Parser = Rtic_mtl.Parser
+module Update = Rtic_relational.Update
 
 type config = { max_pending : int }
 
@@ -462,7 +463,49 @@ let exec_txn t session time ops =
           ok ~req
             (base
             @ [ ("outcome", Json.Str "rejected");
-                ("reason", Json.Str reason) ])))
+                ("reason", Json.Str reason) ])
+        | Ok (Supervisor.Repaired { actions; witnesses; repaired;
+                                    inconclusive }) ->
+          (* the repaired state is violation-free: observe zero reports *)
+          s.stats <-
+            Stats.observe s.stats ~time ~space:(Supervisor.space s.sup)
+              ~reports:[];
+          let op_str o = Format.asprintf "%a" Update.pp_op o in
+          ok ~req
+            (base
+            @ [ ("outcome", Json.Str "repaired");
+                ("actions",
+                 Json.List (List.map (fun o -> Json.Str (op_str o)) actions));
+                ("witnesses",
+                 Json.List
+                   (List.map
+                      (fun (o, c) ->
+                        Json.Obj
+                          [ ("action", Json.Str (op_str o));
+                            ("fired_by", Json.Str c) ])
+                      witnesses));
+                ("repaired", Json.List (List.map report_json repaired));
+                ("inconclusive",
+                 Json.List (List.map (fun c -> Json.Str c) inconclusive)) ])
+        | Ok (Supervisor.Unrepairable { reports; unrepairable; inconclusive })
+          ->
+          s.stats <-
+            Stats.observe s.stats ~time ~space:(Supervisor.space s.sup)
+              ~reports;
+          ok ~req
+            (base
+            @ [ ("outcome", Json.Str "unrepairable");
+                ("reports", Json.List (List.map report_json reports));
+                ("unrepairable",
+                 Json.List
+                   (List.map
+                      (fun (c, off) ->
+                        Json.Obj
+                          [ ("constraint", Json.Str c);
+                            ("offending", Json.Str off) ])
+                      unrepairable));
+                ("inconclusive",
+                 Json.List (List.map (fun c -> Json.Str c) inconclusive)) ])))
 
 let exec_stats t session =
   with_session t ~req:"stats" session @@ fun s ->

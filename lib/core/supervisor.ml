@@ -19,18 +19,21 @@ module Formula = Rtic_mtl.Formula
 
 let ( let* ) r f = Result.bind r f
 
-type policy = Halt | Skip | Reject
+type policy = Halt | Skip | Reject | Repair
 
 let policy_of_string = function
   | "halt" -> Ok Halt
   | "skip" -> Ok Skip
   | "reject" -> Ok Reject
-  | s -> Error (Printf.sprintf "unknown error policy %S (halt|skip|reject)" s)
+  | "repair" -> Ok Repair
+  | s ->
+    Error (Printf.sprintf "unknown error policy %S (halt|skip|reject|repair)" s)
 
 let policy_to_string = function
   | Halt -> "halt"
   | Skip -> "skip"
   | Reject -> "reject"
+  | Repair -> "repair"
 
 type config = {
   auto_checkpoint : int;
@@ -49,6 +52,17 @@ type outcome =
     }
   | Skipped of string
   | Rejected of string
+  | Repaired of {
+      actions : Update.op list;
+      witnesses : (Update.op * string) list;
+      repaired : Monitor.report list;
+      inconclusive : string list;
+    }
+  | Unrepairable of {
+      reports : Monitor.report list;
+      unrepairable : (string * string) list;
+      inconclusive : string list;
+    }
 
 type t = {
   fs : Faults.fs;
@@ -473,10 +487,127 @@ let reject t reason =
     bump t "txns_skipped";
     Tracer.point t.tracer ~cat:"supervisor" ~name:"txn-skipped" ~arg:reason ();
     Ok (Skipped reason)
-  | Reject ->
+  | Reject | Repair ->
+    (* Repair heals constraint violations; a transaction that is not even
+       well formed (or time-travels) has nothing to heal — report it. *)
     bump t "txns_rejected";
     Tracer.point t.tracer ~cat:"supervisor" ~name:"txn-rejected" ~arg:reason ();
     Ok (Rejected reason)
+
+(* Durability point: append the record unless degraded. A failed append
+   suspends logging entirely (degraded) instead of leaving a gap that
+   replay would mis-index. *)
+let append_wal t ~time txn =
+  if not t.degraded then begin
+    match
+      Tracer.span t.tracer ~cat:"wal" ~name:"append" (fun () ->
+          t.fs.append_file (wal_path t.dir) (Wal.encode_record ~time txn))
+    with
+    | Ok () -> bump t "wal_records_appended"
+    | Error e ->
+      bump t "wal_append_failures";
+      enter_degraded t ~why:("wal append failed: " ^ e)
+  end
+
+let finish t ~t0 =
+  (match t.metrics with
+   | None -> ()
+   | Some m -> Metrics.record_latency m (Unix.gettimeofday () -. t0));
+  if t.cfg.auto_checkpoint > 0 && t.since_ck >= t.cfg.auto_checkpoint
+  then begin
+    match checkpoint t with
+    | Ok () -> ()
+    | Error e -> enter_degraded t ~why:("checkpoint failed: " ^ e)
+  end
+
+(* Self-healing path (on_error = Repair). Unlike the eager path, the WAL
+   append is deferred until the final transaction is known: a repaired
+   transaction is journaled as ONE record [(time, txn @ actions)], so
+   recovery replays straight to the repaired state and a torn append loses
+   the repair and its trigger together (never a half-repaired state).
+   Durability still precedes verdict delivery. *)
+let step_repair t ~t0 ~time ~txn db =
+  let pre_checkers = t.checkers in
+  let pre_db = t.db and pre_q = t.quarantine in
+  let pre_accepted = t.accepted and pre_last = t.last in
+  let pre_ck = t.since_ck in
+  let inconclusive = List.map fst pre_q in
+  let* reports = step_checkers t ~time db in
+  if reports = [] then begin
+    append_wal t ~time txn;
+    finish t ~t0;
+    Ok (Checked { reports; inconclusive })
+  end
+  else begin
+    let skip name = List.mem_assoc name pre_q in
+    let res =
+      Tracer.span t.tracer ~cat:"repair" ~name:"search"
+        ~arg:(string_of_int (List.length reports)) (fun () ->
+          Repair.search ~checkers:pre_checkers ~skip ~time ~txn db)
+    in
+    match res with
+    | Error e -> Error ("repair: " ^ e)
+    | Ok (Repair.Unrepairable stuck) ->
+      (* The violating state stays committed — there is nothing a
+         current-state update could do about it. *)
+      bump t "txns_unrepairable";
+      Tracer.point t.tracer ~cat:"repair" ~name:"unrepairable"
+        ~arg:(String.concat "," (List.map (fun u -> u.Repair.constraint_name) stuck))
+        ();
+      append_wal t ~time txn;
+      finish t ~t0;
+      Ok
+        (Unrepairable
+           { reports;
+             unrepairable =
+               List.map
+                 (fun u -> (u.Repair.constraint_name, u.Repair.offending))
+                 stuck;
+             inconclusive })
+    | Ok (Repair.Inconclusive { reason; _ }) ->
+      (* Honest non-answer: the violation stands, exactly as under Halt's
+         Checked outcome, and the budget exhaustion is counted. *)
+      bump t "repairs_inconclusive";
+      Tracer.point t.tracer ~cat:"repair" ~name:"inconclusive" ~arg:reason ();
+      append_wal t ~time txn;
+      finish t ~t0;
+      Ok (Checked { reports; inconclusive })
+    | Ok Repair.Clean ->
+      (* Oracle and committed step disagree — defensive, should not happen. *)
+      append_wal t ~time txn;
+      finish t ~t0;
+      Ok (Checked { reports; inconclusive })
+    | Ok (Repair.Repaired { actions; witnesses; db = rdb; _ }) ->
+      (* Roll the violating step back and commit the repaired state
+         instead. Violations recorded by the first step stand in the
+         metrics as detected-then-repaired. *)
+      t.checkers <- pre_checkers;
+      t.db <- pre_db;
+      t.quarantine <- pre_q;
+      t.accepted <- pre_accepted;
+      t.last <- pre_last;
+      t.since_ck <- pre_ck;
+      append_wal t ~time (txn @ actions);
+      let* reports' = step_checkers t ~time rdb in
+      bump t "txns_repaired";
+      bump ~by:(List.length actions) t "repair_actions_applied";
+      Tracer.point t.tracer ~cat:"repair" ~name:"applied"
+        ~arg:(string_of_int (List.length actions)) ();
+      finish t ~t0;
+      if reports' = [] then
+        Ok
+          (Repaired
+             { actions;
+               witnesses =
+                 List.map
+                   (fun w -> (w.Repair.action, w.Repair.fired_by))
+                   witnesses;
+               repaired = reports;
+               inconclusive })
+      else
+        (* Defensive: the committed re-step disagrees with the probe. *)
+        Ok (Checked { reports = reports'; inconclusive })
+  end
 
 let step t ~time txn =
   let t0 =
@@ -495,31 +626,13 @@ let step t ~time txn =
      | Error e ->
        bump t "malformed_txns";
        reject t ("malformed transaction: " ^ e)
+     | Ok db when t.cfg.on_error = Repair -> step_repair t ~t0 ~time ~txn db
      | Ok db ->
-       (* Accepted: durability point first, then verdicts. A failed append
-          suspends logging entirely (degraded) instead of leaving a gap
-          that replay would mis-index. *)
-       if not t.degraded then begin
-         match
-           Tracer.span t.tracer ~cat:"wal" ~name:"append" (fun () ->
-               t.fs.append_file (wal_path t.dir) (Wal.encode_record ~time txn))
-         with
-         | Ok () -> bump t "wal_records_appended"
-         | Error e ->
-           bump t "wal_append_failures";
-           enter_degraded t ~why:("wal append failed: " ^ e)
-       end;
+       (* Accepted: durability point first, then verdicts. *)
+       append_wal t ~time txn;
        let inconclusive = List.map fst t.quarantine in
        let* reports = step_checkers t ~time db in
-       (match t.metrics with
-        | None -> ()
-        | Some m -> Metrics.record_latency m (Unix.gettimeofday () -. t0));
-       if t.cfg.auto_checkpoint > 0 && t.since_ck >= t.cfg.auto_checkpoint
-       then begin
-         match checkpoint t with
-         | Ok () -> ()
-         | Error e -> enter_degraded t ~why:("checkpoint failed: " ^ e)
-       end;
+       finish t ~t0;
        Ok (Checked { reports; inconclusive }))
 
 (* ---------------- Lifecycle ---------------- *)
@@ -693,6 +806,7 @@ let recover ?(fs = Faults.real_fs) ?metrics ?tracer ?pool
 (* ---------------- Introspection ---------------- *)
 
 let database t = t.db
+let checkers t = t.checkers
 let steps t = t.accepted
 let last_time t = t.last
 let space t = List.fold_left (fun a c -> a + Incremental.space c) 0 t.checkers

@@ -43,9 +43,20 @@ type policy =
   | Halt  (** Return [Error]: stop the service (the conservative default). *)
   | Skip  (** Drop it silently and keep monitoring; only counted. *)
   | Reject  (** Drop it and tell the caller via {!outcome}[.Rejected]. *)
+  | Repair
+      (** Like {!Reject} for ill-formed transactions — but a {e well}-formed
+          transaction that violates constraints triggers a bounded
+          {!Repair.search} for a founded minimal repair. If one is found,
+          the transaction commits {e with} the repair actions (journaled as
+          one WAL record, so recovery replays the repaired state
+          atomically) and the caller sees {!outcome.Repaired}; violations
+          anchored entirely in past states are reported
+          {!outcome.Unrepairable} and the violating state stands; an
+          exhausted search budget falls back to a plain
+          {!outcome.Checked} with its violations. *)
 
 val policy_of_string : string -> (policy, string) result
-(** ["halt"], ["skip"] or ["reject"]. *)
+(** ["halt"], ["skip"], ["reject"] or ["repair"]. *)
 
 val policy_to_string : policy -> string
 
@@ -74,7 +85,28 @@ type outcome =
               registration order: their verdicts are unknown, not "holds". *)
     }
   | Skipped of string  (** Dropped under {!Skip}; the reason. *)
-  | Rejected of string  (** Dropped under {!Reject}; the reason. *)
+  | Rejected of string
+      (** Dropped under {!Reject} (or ill-formed under {!Repair}); the
+          reason. *)
+  | Repaired of {
+      actions : Rtic_relational.Update.op list;
+          (** The repair committed on top of the transaction, in order. *)
+      witnesses : (Rtic_relational.Update.op * string) list;
+          (** Foundedness: each action with the violated constraint that
+              fired it, same order as [actions]. *)
+      repaired : Monitor.report list;
+          (** The violations the original transaction would have caused
+              (and the repair healed). *)
+      inconclusive : string list;
+    }
+  | Unrepairable of {
+      reports : Monitor.report list;  (** Violations that stand. *)
+      unrepairable : (string * string) list;
+          (** [(constraint, offending subformula)]: the violated
+              constraints whose verdict is anchored entirely in past
+              states — no current-state update can heal them. *)
+      inconclusive : string list;
+    }
 
 type t
 (** A running supervised monitor. Mutable: {!step} updates it in place
@@ -193,6 +225,12 @@ val recover :
 (** {2 Introspection} *)
 
 val database : t -> Rtic_relational.Database.t
+
+val checkers : t -> Incremental.t list
+(** The live checker states, registration order (quarantined included).
+    Functional values: stepping them (as [rtic repair]'s standalone search
+    does) never disturbs the supervisor. *)
+
 val steps : t -> int
 (** Transactions accepted so far (the global WAL index). *)
 

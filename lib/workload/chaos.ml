@@ -2,6 +2,7 @@ module Supervisor = Rtic_core.Supervisor
 module Faults = Rtic_core.Faults
 module Monitor = Rtic_core.Monitor
 module Database = Rtic_relational.Database
+module Update = Rtic_relational.Update
 module Trace = Rtic_temporal.Trace
 
 let ( let* ) r f = Result.bind r f
@@ -33,6 +34,29 @@ let outcome_repr = function
       (String.concat ";" inconclusive)
   | Supervisor.Skipped reason -> "skipped{" ^ reason ^ "}"
   | Supervisor.Rejected reason -> "rejected{" ^ reason ^ "}"
+  | Supervisor.Repaired { actions; witnesses; repaired; inconclusive } ->
+    Printf.sprintf "repaired{%s}{%s}{%s}{%s}"
+      (String.concat ";"
+         (List.map (fun o -> Format.asprintf "%a" Update.pp_op o) actions))
+      (String.concat ";" (List.map snd witnesses))
+      (String.concat ";"
+         (List.map
+            (fun r ->
+              Printf.sprintf "%s@%d/%d" r.Monitor.constraint_name
+                r.Monitor.position r.Monitor.time)
+            repaired))
+      (String.concat ";" inconclusive)
+  | Supervisor.Unrepairable { reports; unrepairable; inconclusive } ->
+    Printf.sprintf "unrepairable{%s}{%s}{%s}"
+      (String.concat ";"
+         (List.map
+            (fun r ->
+              Printf.sprintf "%s@%d/%d" r.Monitor.constraint_name
+                r.Monitor.position r.Monitor.time)
+            reports))
+      (String.concat ";"
+         (List.map (fun (c, off) -> c ^ ":" ^ off) unrepairable))
+      (String.concat ";" inconclusive)
 
 let feed sup inputs =
   List.fold_left
@@ -61,7 +85,10 @@ let resume_pos outcomes s =
       | [] -> None
       | o :: tl ->
         let seen =
-          match o with Supervisor.Checked _ -> seen + 1 | _ -> seen
+          match o with
+          | Supervisor.Checked _ | Supervisor.Repaired _
+          | Supervisor.Unrepairable _ -> seen + 1
+          | Supervisor.Skipped _ | Supervisor.Rejected _ -> seen
         in
         go seen (i + 1) tl
   in
@@ -159,6 +186,20 @@ let run_episode ?init ~config cat defs ~inputs ~seed ~plan ~crash_at =
       in
       first_diff p post expected
   in
+  (* Stronger than outcome equivalence: the two end states must coincide
+     extensionally. A half-applied repair (some journaled actions lost)
+     would slip past the outcome check whenever the remaining inputs don't
+     touch the damaged tuples — the database comparison catches it. *)
+  let* () =
+    if Database.equal (Supervisor.database sup_c) (Supervisor.database sup_a)
+    then Ok ()
+    else
+      Error
+        (Printf.sprintf
+           "final database diverges from the uninterrupted run after %s \
+            crash at %d (seed %d)"
+           (Faults.plan_name plan) crash_at seed)
+  in
   Ok
     { plan;
       crash_at;
@@ -250,6 +291,46 @@ let run ~seed ~iters =
         Error
           (Printf.sprintf "episode %d (seed %d, plan %s): %s" i episode_seed
              (Faults.plan_name plan) e)
+      | Ok ep -> go (i + 1) (ep :: acc)
+  in
+  go 0 []
+
+(* The repair drill: every episode runs under [on_error = Repair] over a
+   violation-heavy scenario workload, so crash sites land before, during
+   and after repaired transactions. A repaired transaction is journaled as
+   one WAL record; every fault plan must therefore leave it fully applied
+   or fully absent — outcome equivalence plus the final-database
+   comparison in [run_episode] verify exactly that. *)
+let run_repair ~seed ~iters =
+  let r = make_rng seed in
+  let rec go i acc =
+    if i >= iters then Ok (List.rev acc)
+    else
+      let episode_seed = (seed * 6271) + i in
+      let plan =
+        List.nth Faults.all_plans (i mod List.length Faults.all_plans)
+      in
+      let sc = List.nth Scenarios.all (next_int r 4) in
+      let tr =
+        sc.Scenarios.generate ~seed:episode_seed ~steps:(20 + next_int r 25)
+          ~violation_rate:0.25
+      in
+      let config =
+        { Supervisor.auto_checkpoint = 3 + next_int r 8;
+          retain = 1 + next_int r 3;
+          on_error = Supervisor.Repair;
+          aux_budget = None }
+      in
+      let inputs = tr.Trace.steps in
+      let crash_at = next_int r (List.length inputs + 1) in
+      match
+        run_episode ~init:tr.Trace.init ~config sc.Scenarios.catalog
+          sc.Scenarios.constraints ~inputs ~seed:episode_seed ~plan ~crash_at
+      with
+      | Error e ->
+        Error
+          (Printf.sprintf "repair episode %d (seed %d, plan %s, %s): %s" i
+             episode_seed (Faults.plan_name plan) sc.Scenarios.name e)
       | Ok ep -> go (i + 1) (ep :: acc)
   in
   go 0 []

@@ -60,3 +60,14 @@ val run :
     plan, error policy, crash position, small auxiliary budgets
     (exercising quarantine) and occasional clock regressions. Stops at
     the first failing episode. *)
+
+val run_repair :
+  seed:int -> iters:int -> (episode list, string) result
+(** The [on_error = repair] crash drill: [iters] episodes over
+    violation-heavy scenario workloads with the self-healing policy,
+    cycling through every fault plan and crash position — including
+    crashes that land on repaired transactions. Since a repaired
+    transaction is journaled as a single WAL record, every episode
+    asserts (via outcome equivalence {e and} final-database equality
+    against the uninterrupted run) that a journaled repair is either
+    fully applied after recovery or fully absent — never half-applied. *)

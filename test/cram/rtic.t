@@ -455,3 +455,116 @@ a destroyed WAL header is unrecoverable (violation-class exit):
   wal: corrupt header (wal: missing rtic-wal/1 header)
   unrecoverable: wal: missing rtic-wal/1 header
   [1]
+
+constraint repair: --on-error repair turns a violating transaction into
+a self-healing one — the supervisor searches for a founded minimal
+repair and journals transaction + repair as a single WAL record.  A run
+that succeeds only via repairs exits with the distinct code 3 (clean 0,
+standing violations 1, usage 2):
+
+  $ cat > rep.spec <<'EOF'
+  > schema member(patron:str)
+  > schema borrow(patron:str, book:str)
+  > constraint member_borrow:
+  >   forall p, b. borrow(p, b) -> member(p) ;
+  > EOF
+  $ cat > rep.trace <<'EOF'
+  > schema member(patron:str)
+  > schema borrow(patron:str, book:str)
+  > @0
+  > +member("ann")
+  > @2
+  > +borrow("zed", "b2")
+  > @3
+  > +borrow("ann", "b1")
+  > @5
+  > +member("zed")
+  > EOF
+  $ rtic check --state-dir healed --on-error repair rep.spec rep.trace
+  repaired at time 2: -borrow("zed", "b2") (fired by member_borrow)
+  4 transaction(s), 0 violation(s), 1 repaired
+  [3]
+
+recovery replays the journaled repair together with its transaction, so
+the healed state survives a restart as if it had never been violated:
+
+  $ rtic check --state-dir healed --on-error repair rep.spec rep.trace 2>replay.log
+  0 transaction(s), 0 violation(s)
+  $ cat replay.log
+  rtic: recovered 4 transaction(s) from healed (checkpoint 0, 4 replayed)
+  rtic: 4 trace transaction(s) already processed
+
+`rtic repair` proposes (and with --apply commits) a repair for a state
+directory at rest.  This heals constraint violations in the *data* —
+distinct from `rtic recover --repair`, which salvages damaged *storage*
+(torn WAL tails, corrupt checkpoints):
+
+  $ cat > bad.trace <<'EOF'
+  > schema member(patron:str)
+  > schema borrow(patron:str, book:str)
+  > @0
+  > +member("ann")
+  > @1
+  > +borrow("zed", "b2")
+  > EOF
+  $ rtic check -q --state-dir broken rep.spec bad.trace
+  2 transaction(s), 1 violation(s)
+  [1]
+  $ rtic repair rep.spec broken
+  repair: -borrow("zed", "b2") (fired by member_borrow)
+  heals: member_borrow
+  proposal only; re-run with --apply to commit at time 2
+  [3]
+
+the machine-readable proposal is an rtic-repair/1 document:
+
+  $ rtic repair --json rep.spec broken > proposal.json
+  [3]
+  $ rtic lint-json proposal.json
+  valid JSON
+  $ grep -cE '"schema": "rtic-repair/1"|"applied": false' proposal.json
+  2
+
+--apply commits the repair through the WAL and the state comes back
+clean; budgets must be sensible:
+
+  $ rtic repair --apply rep.spec broken
+  repair: -borrow("zed", "b2") (fired by member_borrow)
+  heals: member_borrow
+  applied 1 action(s) at time 2 (journaled in broken/wal.log)
+  [3]
+  $ rtic repair rep.spec broken
+  clean: every constraint holds at time 3
+  $ rtic repair --max-depth 0 rep.spec broken
+  rtic: --max-steps/--max-candidates/--max-depth must be at least 1
+  [2]
+
+violations anchored entirely in past states are unrepairable: no
+current-state update can change the verdict, and the monitor says so
+instead of burning its search budget — the service keeps running:
+
+  $ cat > past.spec <<'EOF'
+  > schema p(a:int)
+  > constraint was_nonempty: prev (exists x. p(x)) ;
+  > EOF
+  $ cat > past.trace <<'EOF'
+  > schema p(a:int)
+  > @0
+  > +p(1)
+  > @1
+  > +p(2)
+  > EOF
+  $ rtic check --state-dir pd --on-error repair past.spec past.trace
+  [0] constraint was_nonempty violated at position 0
+  2 transaction(s), 1 violation(s)
+  rtic: constraint was_nonempty is unrepairable at time 0 (verdict anchored in past states by prev (exists x. p(x)))
+  [1]
+  $ cat > gone.spec <<'EOF'
+  > schema p(a:int)
+  > constraint was_empty: prev (not (exists x. p(x))) ;
+  > EOF
+  $ rtic check -q --state-dir gone gone.spec past.trace > /dev/null 2>&1
+  [1]
+  $ rtic repair gone.spec gone
+  unrepairable: was_empty (offending subformula: prev not (exists x. p(x)))
+  [1]

@@ -76,3 +76,39 @@ Bad usage is rejected before serving:
   $ rtic serve --max-pending 0
   rtic: --max-pending must be at least 1
   [2]
+
+A session opened with on-error=repair self-heals violating transactions
+(outcome "repaired", with the committed actions and their foundedness
+witnesses) and reports past-anchored violations as "unrepairable"
+without halting — the session keeps accepting either way:
+
+  $ cat > heal.spec <<'EOF'
+  > schema p(a:int)
+  > schema q(a:int)
+  > constraint inv: forall x. q(x) -> p(x) ;
+  > EOF
+  $ cat > past.spec <<'EOF'
+  > schema p(a:int)
+  > constraint was: prev (exists x. p(x)) ;
+  > EOF
+  $ rtic serve <<'EOF'
+  > open h heal.spec on-error=repair
+  > txn h 1 1
+  > +q(5)
+  > txn h 2 2
+  > +q(7)
+  > +p(7)
+  > open u past.spec on-error=repair
+  > txn u 1 1
+  > +p(1)
+  > txn u 2 0
+  > shutdown
+  > EOF
+  {"schema":"rtic-serve/1"}
+  {"ok":true,"req":"open","session":"h","constraints":1,"recovered":false,"replayed":0,"steps":0}
+  {"ok":true,"req":"txn","session":"h","time":1,"outcome":"repaired","actions":["-q(5)"],"witnesses":[{"action":"-q(5)","fired_by":"inv"}],"repaired":[{"constraint":"inv","position":0,"time":1}],"inconclusive":[]}
+  {"ok":true,"req":"txn","session":"h","time":2,"outcome":"checked","reports":[],"inconclusive":[]}
+  {"ok":true,"req":"open","session":"u","constraints":1,"recovered":false,"replayed":0,"steps":0}
+  {"ok":true,"req":"txn","session":"u","time":1,"outcome":"unrepairable","reports":[{"constraint":"was","position":0,"time":1}],"unrepairable":[{"constraint":"was","offending":"prev (exists x. p(x))"}],"inconclusive":[]}
+  {"ok":true,"req":"txn","session":"u","time":2,"outcome":"checked","reports":[],"inconclusive":[]}
+  {"ok":true,"req":"shutdown","sessions_closed":2}

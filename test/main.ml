@@ -3,4 +3,5 @@ let () =
     (Test_relational.suite @ Test_temporal.suite @ Test_mtl.suite @ Test_eval.suite @ Test_checker.suite @ Test_active.suite @ Test_future.suite @ Test_checkpoint.suite @ Test_codd.suite @ Test_arith.suite @ Test_stats.suite @ Test_properties.suite @ Test_transition.suite @ Test_sugar.suite @ Test_shared.suite @ Test_edge.suite @ Test_golden.suite @ Test_robustness.suite
     @ Test_semantics.suite @ Test_agreement.suite @ Test_json.suite
     @ Test_metrics.suite @ Test_resilience.suite @ Test_tracer.suite
-    @ Test_parallel.suite @ Test_server.suite @ Test_regressions.suite)
+    @ Test_parallel.suite @ Test_server.suite @ Test_repair.suite
+    @ Test_regressions.suite)

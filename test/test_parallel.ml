@@ -228,7 +228,9 @@ let supervised_cases =
                     (String.concat "," (List.map show_report reports))
                     (String.concat "," inconclusive)
                 | Supervisor.Skipped r -> "skipped " ^ r
-                | Supervisor.Rejected r -> "rejected " ^ r)
+                | Supervisor.Rejected r -> "rejected " ^ r
+                | Supervisor.Repaired _ | Supervisor.Unrepairable _ ->
+                  Alcotest.fail "repair outcome without the repair policy")
               tr.Trace.steps
           in
           (outs, Supervisor.quarantined sup, Supervisor.steps sup, fs)

@@ -1,0 +1,418 @@
+(* Active repair (ISSUE 7): the bounded founded-repair search
+   (Rtic_core.Repair), its sound unrepairability classification, the
+   supervisor's on-error=repair policy across crash-recovery, and the
+   QCheck soundness properties:
+
+   - a Repaired result's database satisfies every monitored constraint at
+     the current timestamp (checked with the real incremental checkers);
+   - an Unrepairable classification never admits a counterexample: no
+     current-state mutation flips the verdict of a constraint classified
+     as current-insensitive. *)
+
+open Helpers
+module Repair = Rtic_core.Repair
+module Supervisor = Rtic_core.Supervisor
+module Faults = Rtic_core.Faults
+module Chaos = Rtic_workload.Chaos
+
+let cat = Gen.generic_catalog
+let i n = Value.Int n
+
+let checker name body =
+  get_ok ("checker " ^ name)
+    (Incremental.create cat { Formula.name; body = parse_formula body })
+
+let db_of ops = get_ok "build db" (Update.apply (Database.create cat) ops)
+
+let search ?budget ?skip ?txn ~time checkers db =
+  get_ok "search" (Repair.search ?budget ~checkers ?skip ~time ?txn db)
+
+let insensitive body =
+  (* Go through a checker so the classifier sees exactly the normalized
+     formula the engine monitors. *)
+  Repair.current_insensitive (Incremental.formula (checker "t" body))
+
+(* ---------------- classification ---------------- *)
+
+let classification_cases =
+  [ Alcotest.test_case "current-insensitivity, per connective" `Quick
+      (fun () ->
+        let sens body expected =
+          Alcotest.(check bool) body expected (insensitive body)
+        in
+        (* current-state atoms are sensitive *)
+        sens "p(1)" false;
+        sens "not p(1)" false;
+        sens "exists x. p(x)" false;
+        sens "forall x. q(x) -> p(x)" false;
+        (* prev shields the current state entirely *)
+        sens "prev (exists x. p(x))" true;
+        sens "not (prev (exists x. p(x)))" true;
+        sens "prev (exists x. p(x)) and prev (exists x. q(x))" true;
+        (* one sensitive conjunct spoils it *)
+        sens "prev (exists x. p(x)) and (exists x. q(x))" false;
+        (* once/since shield only with a strictly positive lower bound *)
+        sens "once[1,9] (exists x. p(x))" true;
+        sens "once[0,9] (exists x. p(x))" false;
+        sens "prev (exists x. p(x)) since[2,9] (prev (exists x. q(x)))" true;
+        sens "(exists x. p(x)) since[2,9] (prev (exists x. q(x)))" false;
+        (* with lower bound 0 the right operand reaches the current state *)
+        sens "prev (exists x. p(x)) since[0,9] (exists x. q(x))" false;
+        (* constants don't depend on any state *)
+        sens "false" true);
+    Alcotest.test_case "offending subformula is the past anchor" `Quick
+      (fun () ->
+        let offending body =
+          Pretty.to_string
+            (Repair.offending_subformula
+               (Incremental.formula (checker "t" body)))
+        in
+        Alcotest.(check string) "prev" "prev (exists x. p(x))"
+          (offending "prev (exists x. p(x)) and prev (exists x. q(x))"))
+  ]
+
+(* ---------------- the search ---------------- *)
+
+let action_strings actions =
+  List.map (Format.asprintf "%a" Update.pp_op) actions
+
+let search_cases =
+  [ Alcotest.test_case "clean state needs no repair" `Quick (fun () ->
+        match search ~time:0 [ checker "c" "not p(2)" ] (db_of []) with
+        | Repair.Clean -> ()
+        | _ -> Alcotest.fail "expected Clean");
+    Alcotest.test_case "missing fact is repaired by an insert" `Quick
+      (fun () ->
+        match search ~time:0 [ checker "need1" "p(1)" ] (db_of []) with
+        | Repair.Repaired r ->
+          Alcotest.(check (list string)) "actions" [ "+p(1)" ]
+            (action_strings r.actions);
+          Alcotest.(check (list string)) "healed" [ "need1" ] r.healed;
+          (match r.witnesses with
+           | [ w ] ->
+             Alcotest.(check string) "founded" "need1" w.Repair.fired_by
+           | ws -> Alcotest.failf "expected 1 witness, got %d" (List.length ws));
+          Alcotest.(check bool) "db has p(1)" true
+            (Database.equal r.db (db_of [ Update.insert "p" [ i 1 ] ]))
+        | _ -> Alcotest.fail "expected Repaired");
+    Alcotest.test_case "forbidden fact is repaired by a delete" `Quick
+      (fun () ->
+        let db = db_of [ Update.insert "p" [ i 2 ] ] in
+        match search ~time:0 [ checker "no2" "not p(2)" ] db with
+        | Repair.Repaired r ->
+          Alcotest.(check (list string)) "actions" [ "-p(2)" ]
+            (action_strings r.actions);
+          Alcotest.(check bool) "db emptied" true
+            (Database.equal r.db (db_of []))
+        | _ -> Alcotest.fail "expected Repaired");
+    Alcotest.test_case "repairs have minimal cardinality" `Quick (fun () ->
+        (* two independent violations need exactly two actions *)
+        match search ~time:0 [ checker "both" "p(1) and p(2)" ] (db_of []) with
+        | Repair.Repaired r ->
+          Alcotest.(check int) "two actions" 2 (List.length r.actions)
+        | _ -> Alcotest.fail "expected Repaired");
+    Alcotest.test_case "depth budget exhaustion is Inconclusive, not a claim"
+      `Quick (fun () ->
+        let budget = { Repair.default_budget with Repair.max_depth = 1 } in
+        match
+          search ~budget ~time:0 [ checker "both" "p(1) and p(2)" ] (db_of [])
+        with
+        | Repair.Inconclusive c ->
+          Alcotest.(check bool) "spent probes" true (c.oracle_steps > 0)
+        | _ -> Alcotest.fail "expected Inconclusive");
+    Alcotest.test_case "oracle step budget exhaustion is Inconclusive" `Quick
+      (fun () ->
+        let budget = { Repair.default_budget with Repair.max_steps = 2 } in
+        match
+          search ~budget ~time:0 [ checker "both" "p(1) and p(2)" ] (db_of [])
+        with
+        | Repair.Inconclusive c ->
+          Alcotest.(check int) "probes capped" 2 c.oracle_steps
+        | _ -> Alcotest.fail "expected Inconclusive");
+    Alcotest.test_case "past-anchored violation is Unrepairable" `Quick
+      (fun () ->
+        match
+          search ~time:0
+            [ checker "was" "prev (exists x. p(x))" ]
+            (db_of [])
+        with
+        | Repair.Unrepairable [ u ] ->
+          Alcotest.(check string) "name" "was" u.Repair.constraint_name;
+          Alcotest.(check string) "offending" "prev (exists x. p(x))"
+            u.Repair.offending
+        | _ -> Alcotest.fail "expected Unrepairable with one entry");
+    Alcotest.test_case "one stuck constraint preempts a repairable one" `Quick
+      (fun () ->
+        let cs =
+          [ checker "need1" "p(1)"; checker "was" "prev (exists x. p(x))" ]
+        in
+        (match search ~time:0 cs (db_of []) with
+         | Repair.Unrepairable [ u ] ->
+           Alcotest.(check string) "name" "was" u.Repair.constraint_name
+         | _ -> Alcotest.fail "expected Unrepairable");
+        (* skipping the stuck constraint (a quarantined one would be) lets
+           the search repair the rest *)
+        match search ~skip:(fun n -> n = "was") ~time:0 cs (db_of []) with
+        | Repair.Repaired r ->
+          Alcotest.(check (list string)) "actions" [ "+p(1)" ]
+            (action_strings r.actions)
+        | _ -> Alcotest.fail "expected Repaired with the stuck one skipped");
+    Alcotest.test_case "the offending transaction seeds its own inverse"
+      `Quick (fun () ->
+        let txn = [ Update.insert "r" [ i 3; i 4 ] ] in
+        let db = db_of txn in
+        match
+          search ~txn ~time:0
+            [ checker "empty_r" "not (exists x. exists y. r(x, y))" ]
+            db
+        with
+        | Repair.Repaired r ->
+          Alcotest.(check (list string)) "actions" [ "-r(3, 4)" ]
+            (action_strings r.actions)
+        | _ -> Alcotest.fail "expected Repaired") ]
+
+(* ---------------- the supervisor policy ---------------- *)
+
+let repair_config =
+  { Supervisor.default_config with Supervisor.on_error = Supervisor.Repair }
+
+let q_in_p = { Formula.name = "q_in_p"; body = parse_formula "forall x. q(x) -> p(x)" }
+let was_q = { Formula.name = "was_q"; body = parse_formula "prev (exists x. q(x))" }
+
+let supervisor_cases =
+  [ Alcotest.test_case "self-heal, then recover to the repaired state" `Quick
+      (fun () ->
+        let fs = Faults.mem_fs () in
+        let sup =
+          get_ok "create"
+            (Supervisor.create ~fs ~config:repair_config ~state_dir:"sd" cat
+               [ q_in_p ])
+        in
+        (match
+           get_ok "step 1" (Supervisor.step sup ~time:1 [ Update.insert "q" [ i 5 ] ])
+         with
+         | Supervisor.Repaired r ->
+           Alcotest.(check int) "one action" 1 (List.length r.actions);
+           (match r.witnesses with
+            | [ (_, by) ] -> Alcotest.(check string) "founded" "q_in_p" by
+            | _ -> Alcotest.fail "expected one witness");
+           (match r.repaired with
+            | [ rep ] ->
+              Alcotest.(check string) "healed" "q_in_p"
+                rep.Monitor.constraint_name
+            | _ -> Alcotest.fail "expected one healed report")
+         | _ -> Alcotest.fail "expected Repaired");
+        (* the healed state holds: no violation is pending *)
+        (match
+           get_ok "step 2" (Supervisor.step sup ~time:2 [ Update.insert "p" [ i 7 ] ])
+         with
+         | Supervisor.Checked { reports = []; _ } -> ()
+         | _ -> Alcotest.fail "expected a clean Checked");
+        (* recovery replays the repaired transaction as one WAL record *)
+        let sup2, info =
+          get_ok "recover"
+            (Supervisor.recover ~fs ~config:repair_config ~state_dir:"sd" cat
+               [ q_in_p ])
+        in
+        Alcotest.(check int) "steps survive" (Supervisor.steps sup)
+          (Supervisor.steps sup2);
+        Alcotest.(check bool) "replay is silent" true
+          (info.Supervisor.replay_reports = []);
+        Alcotest.(check bool) "identical repaired state" true
+          (Database.equal (Supervisor.database sup) (Supervisor.database sup2)));
+    Alcotest.test_case "unrepairable reports stand; the service continues"
+      `Quick (fun () ->
+        let fs = Faults.mem_fs () in
+        let sup =
+          get_ok "create"
+            (Supervisor.create ~fs ~config:repair_config ~state_dir:"sd" cat
+               [ was_q ])
+        in
+        (match
+           get_ok "step 1" (Supervisor.step sup ~time:1 [ Update.insert "p" [ i 1 ] ])
+         with
+         | Supervisor.Unrepairable u ->
+           Alcotest.(check int) "one report" 1 (List.length u.reports);
+           (match u.unrepairable with
+            | [ (name, offending) ] ->
+              Alcotest.(check string) "name" "was_q" name;
+              Alcotest.(check string) "offending" "prev (exists x. q(x))"
+                offending
+            | _ -> Alcotest.fail "expected one unrepairable entry")
+         | _ -> Alcotest.fail "expected Unrepairable");
+        (* still violated one step later (no q yet in the previous state) *)
+        (match
+           get_ok "step 2" (Supervisor.step sup ~time:2 [ Update.insert "q" [ i 1 ] ])
+         with
+         | Supervisor.Unrepairable _ -> ()
+         | _ -> Alcotest.fail "expected a second Unrepairable");
+        (* ...and satisfied once history provides the witness *)
+        (match get_ok "step 3" (Supervisor.step sup ~time:3 []) with
+         | Supervisor.Checked { reports = []; _ } -> ()
+         | _ -> Alcotest.fail "expected a clean Checked");
+        Alcotest.(check int) "all three accepted" 3 (Supervisor.steps sup)) ]
+
+(* ---------------- soundness properties ---------------- *)
+
+(* Deterministic one-op mutations of the current state: delete one existing
+   tuple per relation, insert one fresh typed tuple per relation. *)
+let mutations db =
+  let dcat = Database.catalog db in
+  let dels =
+    Database.fold
+      (fun rel r acc ->
+        match Relation.to_list r with
+        | t :: _ ->
+          (match Update.apply db [ Update.Delete (rel, t) ] with
+           | Ok db' -> db' :: acc
+           | Error _ -> acc)
+        | [] -> acc)
+      db []
+  in
+  let ins =
+    Database.fold
+      (fun rel _ acc ->
+        match Schema.Catalog.find rel dcat with
+        | None -> acc
+        | Some sch ->
+          let fresh =
+            Tuple.make
+              (List.map
+                 (function
+                   | Value.TInt -> Value.Int 424242
+                   | Value.TStr -> Value.Str "zz-fresh"
+                   | Value.TBool -> Value.Bool true
+                   | Value.TReal -> Value.Real 42.5)
+                 (Array.to_list (Schema.attr_types sch)))
+          in
+          (match Update.apply db [ Update.Insert (rel, fresh) ] with
+           | Ok db' -> db' :: acc
+           | Error _ -> acc))
+      db []
+  in
+  dels @ ins
+
+(* Walk a violation-heavy scenario workload with plain functional checkers;
+   whenever a transaction violates, run the search on the pre-transaction
+   checkers and check the outcome's claim. *)
+let sound_on (sc : Scenarios.t) ~seed =
+  let tr = sc.Scenarios.generate ~seed ~steps:10 ~violation_rate:0.3 in
+  let budget =
+    { Repair.max_steps = 2048; max_candidates = 32; max_depth = 2 }
+  in
+  let checkers0 =
+    List.map
+      (fun d -> get_ok "checker" (Incremental.create sc.Scenarios.catalog d))
+      sc.Scenarios.constraints
+  in
+  let _ =
+    List.fold_left
+      (fun (cs, db) (time, txn) ->
+        let db' = get_ok "apply" (Update.apply db txn) in
+        let stepped =
+          List.map (fun c -> get_ok "step" (Incremental.step c ~time db')) cs
+        in
+        (if List.exists (fun (_, v) -> not v.Incremental.satisfied) stepped
+         then
+           match get_ok "search" (Repair.search ~budget ~checkers:cs ~time ~txn db') with
+           | Repair.Repaired r ->
+             (* every constraint holds at [time] on the repaired state *)
+             List.iter
+               (fun c ->
+                 let _, v =
+                   get_ok "re-step" (Incremental.step c ~time r.db)
+                 in
+                 if not v.Incremental.satisfied then
+                   failwith "a Repaired state violates a constraint")
+               cs;
+             if
+               not
+                 (Database.equal r.db
+                    (get_ok "apply repair" (Update.apply db' r.actions)))
+             then failwith "Repaired db is not txn state + actions"
+           | Repair.Unrepairable us ->
+             (* no single-op counterexample repair may flip the verdict *)
+             List.iter
+               (fun (u : Repair.unrepairable) ->
+                 let c =
+                   List.find
+                     (fun c ->
+                       (Incremental.def c).Formula.name
+                       = u.Repair.constraint_name)
+                     cs
+                 in
+                 if not (Repair.current_insensitive (Incremental.formula c))
+                 then failwith "Unrepairable but not current-insensitive";
+                 let _, base =
+                   get_ok "probe" (Incremental.step c ~time db')
+                 in
+                 List.iter
+                   (fun mdb ->
+                     let _, v =
+                       get_ok "probe mutant" (Incremental.step c ~time mdb)
+                     in
+                     if v.Incremental.satisfied <> base.Incremental.satisfied
+                     then failwith "a mutation flipped an Unrepairable verdict")
+                   (mutations db'))
+               us
+           | Repair.Clean -> failwith "Clean on a violating state"
+           | Repair.Inconclusive _ -> () (* honest non-answer *));
+        (List.map fst stepped, db'))
+      (checkers0, tr.Trace.init)
+      tr.Trace.steps
+  in
+  true
+
+let property_cases =
+  [ qtest ~count:12 "repairs satisfy, unrepairables admit no counterexample"
+      QCheck.(pair small_nat (int_bound (List.length Scenarios.all - 1)))
+      (fun (seed, idx) -> sound_on (List.nth Scenarios.all idx) ~seed);
+    qtest ~count:60 "current-insensitive verdicts ignore the current state"
+      QCheck.small_nat
+      (fun seed ->
+        let f = Gen.random_formula ~seed ~depth:4 in
+        match Incremental.create cat { Formula.name = "s"; body = f } with
+        | Error _ -> true (* not monitorable; nothing to check *)
+        | Ok c0 when not (Repair.current_insensitive (Incremental.formula c0))
+          -> true
+        | Ok c0 ->
+          let tr =
+            Gen.random_trace ~seed:(seed + 5000)
+              { Gen.default_params with Gen.steps = 8 }
+          in
+          let h = get_ok "materialize" (Trace.materialize tr) in
+          let _ =
+            List.fold_left
+              (fun c (time, db) ->
+                let c', v = get_ok "step" (Incremental.step c ~time db) in
+                List.iter
+                  (fun mdb ->
+                    let _, v' =
+                      get_ok "step mutant" (Incremental.step c ~time mdb)
+                    in
+                    if v'.Incremental.satisfied <> v.Incremental.satisfied
+                    then
+                      failwith
+                        "a current-state mutation changed an insensitive \
+                         verdict")
+                  (mutations db);
+                c')
+              c0 (History.snapshots h)
+          in
+          true) ]
+
+(* ---------------- the chaos drill ---------------- *)
+
+let chaos_cases =
+  [ Alcotest.test_case "on-error=repair crash drill (atomic repairs)" `Quick
+      (fun () ->
+        match Chaos.run_repair ~seed:11 ~iters:6 with
+        | Ok eps -> Alcotest.(check int) "episodes" 6 (List.length eps)
+        | Error m -> Alcotest.fail m) ]
+
+let suite =
+  [ ("repair:classify", classification_cases);
+    ("repair:search", search_cases);
+    ("repair:supervisor", supervisor_cases);
+    ("repair:soundness", property_cases);
+    ("repair:chaos", chaos_cases) ]

@@ -32,6 +32,9 @@ let checked what = function
   | Supervisor.Checked { reports; inconclusive } -> (reports, inconclusive)
   | Supervisor.Skipped r -> Alcotest.failf "%s: unexpectedly skipped (%s)" what r
   | Supervisor.Rejected r -> Alcotest.failf "%s: unexpectedly rejected (%s)" what r
+  | Supervisor.Repaired _ -> Alcotest.failf "%s: unexpectedly repaired" what
+  | Supervisor.Unrepairable _ ->
+    Alcotest.failf "%s: unexpectedly unrepairable" what
 
 (* ---------------- WAL format ---------------- *)
 
@@ -254,7 +257,7 @@ let policy_cases =
             let o2 = sup_exn "step" (Supervisor.step sup ~time:5 (txn_q 3)) in
             (match o2 with
              | Supervisor.Skipped _ | Supervisor.Rejected _ -> ()
-             | Supervisor.Checked _ ->
+             | _ ->
                Alcotest.fail "time 5 repeats the last accepted time");
             Alcotest.(check string) "wal unchanged" wal_before
               (sup_exn "read" (fs.Faults.read_file (Supervisor.wal_path "sd")));

@@ -568,8 +568,110 @@ let connection_cases =
               (reports, stats))
           [ s0; s1 ]) ]
 
+(* ---------------- repair sessions ---------------- *)
+
+let repair_spec =
+  "schema p(a:int)\n\
+   schema q(a:int)\n\
+   constraint inv: forall x. q(x) -> p(x) ;\n"
+
+let past_spec =
+  "schema p(a:int)\nconstraint was: prev (exists x. p(x)) ;\n"
+
+let repair_cases =
+  [ Alcotest.test_case "repaired replies are pinned; the session keeps going"
+      `Quick (fun () ->
+        let _, srv = server_with_spec repair_spec in
+        Alcotest.(check (list string))
+          "replies"
+          [ {|{"ok":true,"req":"open","session":"s","constraints":1,"recovered":false,"replayed":0,"steps":0}|};
+            {|{"ok":true,"req":"txn","session":"s","time":1,"outcome":"repaired","actions":["-q(5)"],"witnesses":[{"action":"-q(5)","fired_by":"inv"}],"repaired":[{"constraint":"inv","position":0,"time":1}],"inconclusive":[]}|};
+            {|{"ok":true,"req":"txn","session":"s","time":2,"outcome":"checked","reports":[],"inconclusive":[]}|} ]
+          (Server.handle_lines srv
+             [ "open s spec on-error=repair";
+               "txn s 1 1";
+               "+q(5)";
+               (* the repair deleted q(5): supplying the missing p heals
+                  the same update for good *)
+               "txn s 2 2";
+               "+q(7)";
+               "+p(7)" ]));
+    Alcotest.test_case "unrepairable replies are pinned; the session survives"
+      `Quick (fun () ->
+        let _, srv = server_with_spec past_spec in
+        Alcotest.(check (list string))
+          "replies"
+          [ {|{"ok":true,"req":"open","session":"u","constraints":1,"recovered":false,"replayed":0,"steps":0}|};
+            {|{"ok":true,"req":"txn","session":"u","time":1,"outcome":"unrepairable","reports":[{"constraint":"was","position":0,"time":1}],"unrepairable":[{"constraint":"was","offending":"prev (exists x. p(x))"}],"inconclusive":[]}|};
+            (* one state later the past supplies the witness: clean *)
+            {|{"ok":true,"req":"txn","session":"u","time":2,"outcome":"checked","reports":[],"inconclusive":[]}|} ]
+          (Server.handle_lines srv
+             [ "open u spec on-error=repair";
+               "txn u 1 1";
+               "+p(1)";
+               "txn u 2 0" ]));
+    Alcotest.test_case "kill-and-recover replays to the same repaired state"
+      `Quick (fun () ->
+        (* q(5) violates at t1 and is repaired away; at t4 it violates
+           again only because the t1 repair really deleted it — a lost or
+           half-applied repair would change the t4/t5 replies. *)
+        let stream =
+          [ [ "txn s 1 1"; "+q(5)" ];
+            [ "txn s 2 1"; "+p(1)" ];
+            [ "txn s 3 1"; "+q(6)" ];
+            [ "txn s 4 1"; "+q(5)" ];
+            [ "txn s 5 1"; "+p(9)" ] ]
+        in
+        let open_line = "open s spec state-dir=sd on-error=repair auto-checkpoint=2" in
+        let run_uninterrupted () =
+          let fs = Faults.mem_fs () in
+          (match fs.Faults.write_file "spec" repair_spec with
+           | Ok () -> ()
+           | Error m -> Alcotest.fail m);
+          let srv = Server.create ~fs () in
+          ignore (ok_doc "open" (one "open" (Server.handle_lines srv [ open_line ])));
+          List.map (fun ls -> one "txn" (Server.handle_lines srv ls)) stream
+        in
+        let reference = run_uninterrupted () in
+        let fs = Faults.mem_fs () in
+        (match fs.Faults.write_file "spec" repair_spec with
+         | Ok () -> ()
+         | Error m -> Alcotest.fail m);
+        let srv1 = Server.create ~fs () in
+        ignore (ok_doc "open1" (one "open1" (Server.handle_lines srv1 [ open_line ])));
+        let head =
+          List.map
+            (fun ls -> one "txn1" (Server.handle_lines srv1 ls))
+            (List.filteri (fun i _ -> i < 2) stream)
+        in
+        Alcotest.(check (list string)) "head matches the reference"
+          (List.filteri (fun i _ -> i < 2) reference)
+          head;
+        (* crash: abandon srv1; a new server recovers and the client
+           re-sends its whole stream *)
+        let srv2 = Server.create ~fs () in
+        let open2 = ok_doc "open2" (one "open2" (Server.handle_lines srv2 [ open_line ])) in
+        Alcotest.(check (option json_testable)) "recovered"
+          (Some (Json.Bool true)) (Json.member "recovered" open2);
+        let replies =
+          List.map (fun ls -> one "txn2" (Server.handle_lines srv2 ls)) stream
+        in
+        let replayed, live =
+          List.partition
+            (fun r ->
+              Json.member "outcome" (ok_doc "txn2" r)
+              = Some (Json.Str "replayed"))
+            replies
+        in
+        Alcotest.(check int) "accepted prefix answered replayed" 2
+          (List.length replayed);
+        Alcotest.(check (list string)) "tail matches the reference"
+          (List.filteri (fun i _ -> i >= 2) reference)
+          live) ]
+
 let suite =
   [ ("server:protocol", protocol_cases);
+    ("server:repair", repair_cases);
     ("server:connections", connection_cases);
     ("server:equivalence", equivalence_cases @ [ equivalence_property ]);
     ("server:recovery", recovery_cases) ]

@@ -92,6 +92,19 @@ let run_differential ~seed ~iters =
     n_past n_future !fails;
   !fails = 0
 
+let run_repair_chaos ~seed ~iters =
+  match Chaos.run_repair ~seed ~iters with
+  | Error m ->
+    Printf.printf "repair chaos FAILED: %s\n" m;
+    false
+  | Ok episodes ->
+    Printf.printf
+      "  repair drill: %d episode(s), %d record(s) replayed, %d torn tail(s)\n"
+      (List.length episodes)
+      (List.fold_left (fun a e -> a + e.Chaos.replayed) 0 episodes)
+      (List.length (List.filter (fun e -> e.Chaos.torn) episodes));
+    true
+
 let run_chaos ~seed ~iters =
   match Chaos.run ~seed ~iters with
   | Error m ->
@@ -116,7 +129,10 @@ let run_chaos ~seed ~iters =
     Printf.printf
       "chaos soak: %d episode(s), seed %d, all crash-recovery equivalent\n"
       (List.length episodes) seed;
-    true
+    (* The on_error=repair drill rides along at half width: repaired
+       transactions are journaled as one WAL record, so every crash site
+       must see them fully applied or fully absent. *)
+    run_repair_chaos ~seed ~iters:(max 2 (iters / 2))
 
 let () =
   let seed = ref 7 and iters = ref 1200 and chaos = ref false in
