@@ -46,6 +46,7 @@ module Repair = Rtic_core.Repair
 module Faults = Rtic_core.Faults
 module Wal = Rtic_core.Wal
 module Pool = Rtic_core.Pool
+module Telemetry = Rtic_core.Telemetry
 module Server = Rtic_core.Server
 module Compile = Rtic_active.Compile
 module Scenarios = Rtic_workload.Scenarios
@@ -813,16 +814,92 @@ let read_client c chunk =
     c.eof <- true
   | n -> feed_chunk c chunk n
 
+(* ---------------- the metrics side channel ---------------- *)
+
+(* A metrics-socket client is one-shot: it sends one request line and the
+   server answers once and closes. "json" gets the rtic-metrics/1
+   document; an HTTP GET (a Prometheus scraper pointed at the socket)
+   gets a minimal HTTP/1.0 response — text exposition, or the JSON
+   document when the path mentions "json"; anything else ("prom",
+   "metrics", a bare newline) gets the text exposition. Scrapes never
+   enter the request queue or touch the admission budget: the snapshot is
+   read directly under the engine lock, so monitoring keeps working while
+   every main-socket client is wedged or the queue is full. *)
+type mclient = {
+  m_fd : Unix.file_descr;
+  m_in : Buffer.t;
+  m_out : Buffer.t;
+  mutable m_off : int;
+  mutable m_ready : bool;  (* response buffered: flush, then close *)
+  mutable m_dead : bool;
+}
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let metrics_response srv line =
+  let snap = Server.snapshot srv in
+  let json () = Json.to_string (Telemetry.to_json snap) ^ "\n" in
+  let lower = String.lowercase_ascii (String.trim line) in
+  if String.length lower >= 4 && String.sub lower 0 4 = "get " then begin
+    let want_json = contains_sub lower "json" in
+    let body = if want_json then json () else Telemetry.to_prometheus snap in
+    Printf.sprintf
+      "HTTP/1.0 200 OK\r\n\
+       Content-Type: %s\r\n\
+       Content-Length: %d\r\n\
+       Connection: close\r\n\r\n%s"
+      (if want_json then "application/json"
+       else "text/plain; version=0.0.4")
+      (String.length body) body
+  end
+  else if lower = "json" then json ()
+  else Telemetry.to_prometheus snap
+
+let mclient_read srv mc chunk =
+  let respond () =
+    if not mc.m_ready then begin
+      Buffer.add_string mc.m_out
+        (metrics_response srv (Buffer.contents mc.m_in));
+      mc.m_ready <- true
+    end
+  in
+  match Unix.read mc.m_fd chunk 0 (Bytes.length chunk) with
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+  | exception Unix.Unix_error (_, _, _) -> mc.m_dead <- true
+  | 0 -> if Buffer.length mc.m_in > 0 then respond () else mc.m_dead <- true
+  | n ->
+    (match Bytes.index_from_opt chunk 0 '\n' with
+     | Some i when i < n ->
+       Buffer.add_subbytes mc.m_in chunk 0 i;
+       respond ()
+     | _ -> Buffer.add_subbytes mc.m_in chunk 0 n)
+
+let mclient_flush mc =
+  let len = min (Buffer.length mc.m_out - mc.m_off) 65536 in
+  if len > 0 then
+    match
+      Unix.write_substring mc.m_fd (Buffer.contents mc.m_out) mc.m_off len
+    with
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (_, _, _) -> mc.m_dead <- true
+    | n -> mc.m_off <- mc.m_off + n
+
 (* Accept many simultaneous connections and multiplex them onto one
    engine with a single-domain select loop: read whatever is ready, drain
    the per-connection queues round-robin (fairness quantum), write
    whatever fits. Request execution is synchronous inside the loop, so
    requests from different clients serialize and each client's replies
-   come back in its own request order. *)
-let serve_socket srv sock max_clients =
+   come back in its own request order. The optional metrics listener
+   rides the same loop: its one-shot clients are read, answered from
+   {!Server.snapshot} and flushed alongside the protocol clients. *)
+let serve_socket srv sock ?metrics_sock max_clients =
   let clients : (Unix.file_descr, client) Hashtbl.t =
     Hashtbl.create 16
   in
+  let mclients : (Unix.file_descr, mclient) Hashtbl.t = Hashtbl.create 8 in
   let chunk = Bytes.create 65536 in
   (* After shutdown executes, keep flushing pending replies for a bounded
      grace period; a peer that stops reading cannot wedge the exit. *)
@@ -855,6 +932,25 @@ let serve_socket srv sock max_clients =
         Hashtbl.replace clients fd c
       end
   in
+  let accept_metrics msock =
+    match Unix.accept msock with
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (Unix.ECONNABORTED, _, _) -> ()
+    | fd, _ ->
+      Unix.set_nonblock fd;
+      Hashtbl.replace mclients fd
+        { m_fd = fd;
+          m_in = Buffer.create 64;
+          m_out = Buffer.create 4096;
+          m_off = 0;
+          m_ready = false;
+          m_dead = false }
+  in
+  let close_mclient mc =
+    Hashtbl.remove mclients mc.m_fd;
+    try Unix.close mc.m_fd with Unix.Unix_error _ -> ()
+  in
+  let mfold f = Hashtbl.fold (fun _ mc acc -> f mc acc) mclients [] in
   let drain_round_robin () =
     let rec go () =
       let progressed =
@@ -889,33 +985,53 @@ let serve_socket srv sock max_clients =
       flush_deadline := Some (Unix.gettimeofday () +. 5.0);
     let rds =
       (if stopped then [] else [ sock ])
+      @ (match metrics_sock with
+         | Some msock when not stopped -> [ msock ]
+         | _ -> [])
       @ fold (fun c acc ->
             if (not stopped) && (not c.eof) && (not c.dead)
                && out_pending c < out_hiwater
             then c.fd :: acc
             else acc)
+      @ mfold (fun mc acc ->
+            if (not mc.m_ready) && not mc.m_dead then mc.m_fd :: acc
+            else acc)
     in
-    let wrs = fold (fun c acc -> if out_pending c > 0 && not c.dead then c.fd :: acc else acc) in
+    let wrs =
+      fold (fun c acc -> if out_pending c > 0 && not c.dead then c.fd :: acc else acc)
+      @ mfold (fun mc acc ->
+            if Buffer.length mc.m_out - mc.m_off > 0 && not mc.m_dead then
+              mc.m_fd :: acc
+            else acc)
+    in
     (match Unix.select rds wrs [] 0.5 with
      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
      | rs, ws, _ ->
        List.iter
          (fun fd ->
            if fd = sock then accept_ready ()
+           else if metrics_sock = Some fd then accept_metrics fd
            else
              match Hashtbl.find_opt clients fd with
              | Some c -> read_client c chunk
-             | None -> ())
+             | None ->
+               (match Hashtbl.find_opt mclients fd with
+                | Some mc -> mclient_read srv mc chunk
+                | None -> ()))
          rs;
        drain_round_robin ();
        List.iter
          (fun fd ->
            match Hashtbl.find_opt clients fd with
            | Some c -> flush_client c
-           | None -> ())
+           | None ->
+             (match Hashtbl.find_opt mclients fd with
+              | Some mc -> mclient_flush mc
+              | None -> ()))
          ws;
        (* reap: failed connections at once; EOF'd (or post-shutdown) ones
-          when their replies are flushed *)
+          when their replies are flushed; one-shot metrics clients as soon
+          as their single response went out *)
        List.iter
          (fun c ->
            if c.dead then close_client clients c
@@ -923,9 +1039,16 @@ let serve_socket srv sock max_clients =
                    && out_pending c = 0
                    && Server.conn_pending c.conn = 0
            then close_client clients c)
-         (fold List.cons))
+         (fold List.cons);
+       List.iter
+         (fun mc ->
+           if mc.m_dead
+              || (mc.m_ready && mc.m_off = Buffer.length mc.m_out)
+           then close_mclient mc)
+         (mfold List.cons))
   done;
-  Hashtbl.iter (fun _ c -> (try Unix.close c.fd with Unix.Unix_error _ -> ())) clients
+  Hashtbl.iter (fun _ c -> (try Unix.close c.fd with Unix.Unix_error _ -> ())) clients;
+  Hashtbl.iter (fun _ mc -> (try Unix.close mc.m_fd with Unix.Unix_error _ -> ())) mclients
 
 (* A socket path that already exists either belongs to a live server
    (refuse: two servers must not race for one path) or is a stale
@@ -958,7 +1081,7 @@ let claim_socket_path path =
     try Sys.remove path with Sys_error _ -> ()
   end
 
-let run_serve socket jobs max_pending max_clients trace_out =
+let run_serve socket metrics_socket jobs max_pending max_clients trace_out =
   if jobs < 1 then usage_error "--jobs must be at least 1";
   if max_pending < 1 then usage_error "--max-pending must be at least 1";
   if max_clients < 1 then usage_error "--max-clients must be at least 1";
@@ -968,7 +1091,17 @@ let run_serve socket jobs max_pending max_clients trace_out =
        "--trace-out - is not supported by serve (stdout carries replies); \
         give a file"
    | _ -> ());
+  (match (metrics_socket, socket) with
+   | Some _, None ->
+     usage_error "--metrics-socket requires --socket (the stdin/stdout \
+                  transport has no select loop to serve it from)"
+   | Some m, Some s when m = s ->
+     usage_error "--metrics-socket must differ from --socket"
+   | _ -> ());
   (match socket with
+   | Some path -> claim_socket_path path
+   | None -> ());
+  (match metrics_socket with
    | Some path -> claim_socket_path path
    | None -> ());
   List.iter
@@ -987,7 +1120,7 @@ let run_serve socket jobs max_pending max_clients trace_out =
   in
   let pool = if jobs > 1 then Some (Pool.create jobs) else None in
   let srv =
-    Server.create ?tracer ?pool ~config:{ Server.max_pending } ()
+    Server.create ?tracer ?pool ~config:{ Server.max_pending; telemetry = true } ()
   in
   (* Every exit path — clean shutdown, SIGTERM/SIGINT, a connection-level
      exception, even an engine bug — runs the same cleanup: sockets
@@ -1006,13 +1139,16 @@ let run_serve socket jobs max_pending max_clients trace_out =
             ~write:(write_all Unix.stdout)
         | Some path ->
           Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-          let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-          (* unlink only a path this process actually bound *)
-          (match Unix.bind sock (Unix.ADDR_UNIX path) with
-           | () -> ()
-           | exception e ->
-             (try Unix.close sock with Unix.Unix_error _ -> ());
-             raise e);
+          (* unlink only paths this process actually bound *)
+          let listener p =
+            let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+            match Unix.bind sock (Unix.ADDR_UNIX p) with
+            | () -> sock
+            | exception e ->
+              (try Unix.close sock with Unix.Unix_error _ -> ());
+              raise e
+          in
+          let sock = listener path in
           Fun.protect
             ~finally:(fun () ->
               (try Unix.close sock with Unix.Unix_error _ -> ());
@@ -1020,12 +1156,131 @@ let run_serve socket jobs max_pending max_clients trace_out =
             (fun () ->
               Unix.listen sock 64;
               Unix.set_nonblock sock;
-              Printf.eprintf "rtic: serving on %s\n%!" path;
-              serve_socket srv sock max_clients)
+              match metrics_socket with
+              | None ->
+                Printf.eprintf "rtic: serving on %s\n%!" path;
+                serve_socket srv sock max_clients
+              | Some mpath ->
+                let msock = listener mpath in
+                Fun.protect
+                  ~finally:(fun () ->
+                    (try Unix.close msock with Unix.Unix_error _ -> ());
+                    try Sys.remove mpath with Sys_error _ -> ())
+                  (fun () ->
+                    Unix.listen msock 64;
+                    Unix.set_nonblock msock;
+                    Printf.eprintf "rtic: serving on %s\n%!" path;
+                    Printf.eprintf "rtic: metrics on %s\n%!" mpath;
+                    serve_socket srv sock ~metrics_sock:msock max_clients))
       in
       try body ()
       with Terminated ->
         Printf.eprintf "rtic: terminated, shutting down\n%!");
+  0
+
+(* ------------------------------------------------------------------ *)
+(* top                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* One-shot fetch from a serve --metrics-socket: send one request line,
+   read to EOF (the server answers once and closes). *)
+let fetch_metrics path mode =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      match Unix.connect fd (Unix.ADDR_UNIX path) with
+      | exception Unix.Unix_error (e, _, _) ->
+        Error
+          (Printf.sprintf "cannot connect to %s: %s" path
+             (Unix.error_message e))
+      | () ->
+        write_all fd (mode ^ "\n");
+        let buf = Buffer.create 4096 in
+        let chunk = Bytes.create 65536 in
+        let rec go () =
+          match Unix.read fd chunk 0 (Bytes.length chunk) with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+          | 0 -> ()
+          | n ->
+            Buffer.add_subbytes buf chunk 0 n;
+            go ()
+        in
+        go ();
+        Ok (Buffer.contents buf))
+
+let render_top (snap : Telemetry.snapshot) =
+  let b = Buffer.create 1024 in
+  let line fmt =
+    Printf.ksprintf
+      (fun s ->
+        Buffer.add_string b s;
+        Buffer.add_char b '\n')
+      fmt
+  in
+  let rate w rates =
+    match List.assoc_opt w rates with Some r -> r | None -> 0.0
+  in
+  line "rtic top - sessions %d  queue %d/%d  transactions %d%s"
+    snap.Telemetry.session_count snap.Telemetry.queued
+    snap.Telemetry.max_pending snap.Telemetry.transactions
+    (if snap.Telemetry.stopped then "  [shutting down]" else "");
+  line "server txn/s: 1s %.1f  10s %.1f  60s %.1f"
+    (rate 1 snap.Telemetry.rates)
+    (rate 10 snap.Telemetry.rates)
+    (rate 60 snap.Telemetry.rates);
+  line "";
+  line "%-20s %-11s %9s %6s %8s %9s %8s %9s" "SESSION" "HEALTH" "TXNS"
+    "VIOL" "TXN/S" "P99(us)" "AUX" "WAL-B";
+  List.iter
+    (fun (s : Telemetry.session) ->
+      let gauge k =
+        match List.assoc_opt k s.Telemetry.gauges with
+        | Some v -> v
+        | None -> 0
+      in
+      let p99 =
+        match s.Telemetry.latency with
+        | Some l -> Printf.sprintf "%.1f" (l.Metrics.p99_ns /. 1e3)
+        | None -> "-"
+      in
+      line "%-20s %-11s %9d %6d %8.1f %9s %8d %9d" s.Telemetry.name
+        s.Telemetry.health s.Telemetry.transactions s.Telemetry.violations
+        (rate 1 s.Telemetry.rates)
+        p99
+        (gauge "aux_size")
+        (gauge "wal_bytes_since_checkpoint"))
+    snap.Telemetry.sessions;
+  Buffer.contents b
+
+let run_top socket once as_json as_prom interval =
+  if as_json && as_prom then
+    usage_error "--json and --prom are mutually exclusive";
+  if interval <= 0.0 then usage_error "--interval must be positive";
+  let mode = if as_prom then "prom" else "json" in
+  let show () =
+    let body = or_die (fetch_metrics socket mode) in
+    if as_json || as_prom then print_string body
+    else begin
+      let snap = or_die (Telemetry.of_string body) in
+      if not once then
+        (* clear the screen and home the cursor between refreshes *)
+        print_string "\027[2J\027[H";
+      print_string (render_top snap)
+    end;
+    flush stdout
+  in
+  if once then show ()
+  else begin
+    Sys.catch_break true;
+    (try
+       while true do
+         show ();
+         Unix.sleepf interval
+       done
+     with Sys.Break -> ());
+    ()
+  end;
   0
 
 (* ------------------------------------------------------------------ *)
@@ -1538,6 +1793,18 @@ let serve_cmd =
                  every exit — clean shutdown, SIGTERM/SIGINT, or a crash \
                  of the serving loop.")
   in
+  let metrics_socket_arg =
+    Arg.(value & opt (some string) None & info [ "metrics-socket" ]
+           ~docv:"PATH"
+           ~doc:"With --socket: also listen on a read-only telemetry \
+                 socket at $(docv), served from the same loop. Each \
+                 connection is one-shot: send $(b,json) for an \
+                 $(b,rtic-metrics/1) snapshot, anything else (including \
+                 an HTTP GET from a Prometheus scraper) for Prometheus \
+                 text exposition. Scrapes bypass the request queue and \
+                 the admission budget. $(b,rtic top) is the matching \
+                 dashboard.")
+  in
   let max_pending_arg =
     Arg.(value & opt int 64 & info [ "max-pending" ] ~docv:"N"
            ~doc:"Admission control: at most $(docv) parsed requests may \
@@ -1557,8 +1824,48 @@ let serve_cmd =
                  rtic-trace/1) of every executed request to $(docv).")
   in
   Cmd.v (Cmd.info "serve" ~doc ~man)
-    Term.(const run_serve $ socket_arg $ jobs_arg $ max_pending_arg
-          $ max_clients_arg $ serve_trace_out_arg)
+    Term.(const run_serve $ socket_arg $ metrics_socket_arg $ jobs_arg
+          $ max_pending_arg $ max_clients_arg $ serve_trace_out_arg)
+
+let top_cmd =
+  let doc = "live dashboard over a running rtic serve --metrics-socket" in
+  let man =
+    [ `S Manpage.s_description;
+      `P
+        "Polls the read-only telemetry socket of a running $(b,rtic serve \
+         --socket ... --metrics-socket PATH) server and renders a \
+         one-screen dashboard: per-session throughput, p99 check latency, \
+         auxiliary-space and WAL gauges, queue depth and health. With \
+         $(b,--once --json) it prints a single raw $(b,rtic-metrics/1) \
+         snapshot and exits — the scripting interface. Scrapes bypass \
+         the request queue, so the dashboard keeps refreshing even when \
+         the server is saturated." ]
+  in
+  let socket_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SOCKET"
+           ~doc:"The --metrics-socket path of the server to watch.")
+  in
+  let once_arg =
+    Arg.(value & flag & info [ "once" ]
+           ~doc:"Take one snapshot, print it, exit.")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Print the raw rtic-metrics/1 JSON document instead of \
+                 the dashboard.")
+  in
+  let prom_arg =
+    Arg.(value & flag & info [ "prom" ]
+           ~doc:"Print the Prometheus text exposition instead of the \
+                 dashboard.")
+  in
+  let interval_arg =
+    Arg.(value & opt float 2.0 & info [ "interval" ] ~docv:"SECONDS"
+           ~doc:"Refresh period without --once.")
+  in
+  Cmd.v (Cmd.info "top" ~doc ~man)
+    Term.(const run_top $ socket_arg $ once_arg $ json_arg $ prom_arg
+          $ interval_arg)
 
 let gen_cmd =
   let doc = "generate a synthetic trace (and spec) for a scenario" in
@@ -1589,7 +1896,8 @@ let gen_cmd =
 let main_cmd =
   let doc = "real-time integrity constraints over timed database histories" in
   Cmd.group (Cmd.info "rtic" ~version:"1.0.0" ~doc)
-    [ parse_cmd; check_cmd; serve_cmd; recover_cmd; repair_cmd; profile_cmd;
-      rules_cmd; explain_cmd; query_cmd; gen_cmd; lint_json_cmd ]
+    [ parse_cmd; check_cmd; serve_cmd; top_cmd; recover_cmd; repair_cmd;
+      profile_cmd; rules_cmd; explain_cmd; query_cmd; gen_cmd;
+      lint_json_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -32,7 +32,66 @@ type latency_summary = {
   max_ns : float;
 }
 
-let reservoir_size = 1024
+type bucket = { lo_ns : int; hi_ns : int; n : int }
+
+(* ---------------- log-linear latency histogram ----------------
+
+   Every sample is counted exactly (no sampling): a sample of n
+   nanoseconds lands in a bucket whose width grows with n, so the
+   relative quantization error is bounded by 1/hist_sub everywhere.
+
+   Scheme (HdrHistogram-style log-linear, hist_sub = 2^hist_sub_bits
+   linear sub-buckets per power-of-two octave):
+   - buckets 0 .. hist_sub-1 hold the exact values 0 .. hist_sub-1 ns;
+   - past that, the octave [2^k, 2^(k+1)) splits into hist_sub equal
+     sub-buckets of width 2^(k - hist_sub_bits).
+
+   Index arithmetic: shift n right until it lies in
+   [hist_sub, 2*hist_sub); with s shifts the index is
+   (s+1)*hist_sub + (shifted - hist_sub), which is continuous with the
+   linear range (s = 0 gives index n for n in [hist_sub, 2*hist_sub)).
+   The inverse recovers the inclusive bounds
+   [ (hist_sub + off) << s , lo + 2^s - 1 ]. *)
+
+let hist_sub_bits = 5
+let hist_sub = 1 lsl hist_sub_bits (* 32: ≤ ~3.1% relative error *)
+
+(* 60 octaves cover every positive int63 nanosecond value. *)
+let hist_buckets = hist_sub * 60
+
+let bucket_index ns =
+  let n = if ns < 0 then 0 else ns in
+  if n < hist_sub then n
+  else begin
+    let v = ref n and shift = ref 0 in
+    while !v >= 2 * hist_sub do
+      v := !v lsr 1;
+      incr shift
+    done;
+    min (hist_buckets - 1) (((!shift + 1) * hist_sub) + (!v - hist_sub))
+  end
+
+let bucket_lo i =
+  if i < hist_sub then i
+  else
+    let shift = (i / hist_sub) - 1 in
+    (hist_sub + (i mod hist_sub)) lsl shift
+
+let bucket_hi i =
+  if i < hist_sub then i
+  else
+    let shift = (i / hist_sub) - 1 in
+    bucket_lo i + (1 lsl shift) - 1
+
+(* ---------------- sliding-window transaction rates ----------------
+
+   One slot per wall-clock second in a ring sized for the widest window
+   plus the current (partial) second. The recorder never reads a clock:
+   callers pass [~now] (their own gettimeofday / monotonic reading), so
+   the hot path stays syscall-free and tests drive synthetic clocks. *)
+
+let rate_windows = [ 1; 10; 60 ]
+let rate_slots = 61
 
 type t = {
   mutable steps : int;
@@ -40,18 +99,26 @@ type t = {
   mutable cache_hits : int;
   mutable cache_misses : int;
   mutable nodes : node array;
-  (* step latency: exact running aggregates plus a uniform reservoir for
-     percentiles, deterministic across runs (own xorshift state). *)
+  (* step latency: exact running aggregates plus the exact log-linear
+     bucket histogram for percentiles. *)
   mutable lat_count : int;
   mutable lat_sum : float;
   mutable lat_min : float;
   mutable lat_max : float;
-  reservoir : float array;
-  mutable rng : int64;
+  hist : int array;
+  (* txn-rate ring: counts per absolute second *)
+  ring : int array;
+  mutable ring_sec : int;  (* absolute second of the head slot; -1 empty *)
+  mutable ring_head : int; (* ring position of [ring_sec] *)
+  mutable txns : int;      (* cumulative ticks, across all windows *)
   (* named counters: the resilience layer's event counts (checkpoints
      written/failed, WAL appends/replays, skipped/rejected transactions,
      quarantines). A bag, so new event families need no schema change. *)
   named : (string, int) Hashtbl.t;
+  (* named gauges: point-in-time values (aux cardinality, WAL bytes since
+     checkpoint, quarantine/degraded status) set by whoever assembles a
+     telemetry snapshot. A bag, like [named]. *)
+  gauged : (string, int) Hashtbl.t;
 }
 
 let create () =
@@ -64,9 +131,13 @@ let create () =
     lat_sum = 0.0;
     lat_min = infinity;
     lat_max = neg_infinity;
-    reservoir = Array.make reservoir_size 0.0;
-    rng = 0x9e3779b97f4a7c15L;
-    named = Hashtbl.create 8 }
+    hist = Array.make hist_buckets 0;
+    ring = Array.make rate_slots 0;
+    ring_sec = -1;
+    ring_head = 0;
+    txns = 0;
+    named = Hashtbl.create 8;
+    gauged = Hashtbl.create 8 }
 
 let register_nodes m names =
   let base = Array.length m.nodes in
@@ -119,26 +190,50 @@ let add_survival m i ~checked ~kept =
   nd.survival_checked <- nd.survival_checked + checked;
   nd.survival_kept <- nd.survival_kept + kept
 
-(* xorshift64*: deterministic reservoir sampling, no Random dependency. *)
-let next_int m bound =
-  let x = m.rng in
-  let x = Int64.logxor x (Int64.shift_left x 13) in
-  let x = Int64.logxor x (Int64.shift_right_logical x 7) in
-  let x = Int64.logxor x (Int64.shift_left x 17) in
-  m.rng <- x;
-  Int64.to_int (Int64.unsigned_rem x (Int64.of_int bound))
-
 let record_latency m seconds =
   let ns = seconds *. 1e9 in
-  if m.lat_count < reservoir_size then m.reservoir.(m.lat_count) <- ns
-  else begin
-    let j = next_int m (m.lat_count + 1) in
-    if j < reservoir_size then m.reservoir.(j) <- ns
-  end;
+  let b = bucket_index (int_of_float ns) in
+  m.hist.(b) <- m.hist.(b) + 1;
   m.lat_count <- m.lat_count + 1;
   m.lat_sum <- m.lat_sum +. ns;
   if ns < m.lat_min then m.lat_min <- ns;
   if ns > m.lat_max then m.lat_max <- ns
+
+(* Advance the ring head to [sec], zeroing the slots of every skipped
+   second. A reading older than the head (a caller's clock stepping back)
+   folds into the current head rather than corrupting history. *)
+let ring_advance m sec =
+  if m.ring_sec < 0 then m.ring_sec <- sec
+  else if sec > m.ring_sec then begin
+    let skip = min (sec - m.ring_sec) rate_slots in
+    for _ = 1 to skip do
+      m.ring_head <- (m.ring_head + 1) mod rate_slots;
+      m.ring.(m.ring_head) <- 0
+    done;
+    m.ring_sec <- sec
+  end
+
+let record_txn m ~now =
+  ring_advance m (int_of_float now);
+  m.ring.(m.ring_head) <- m.ring.(m.ring_head) + 1;
+  m.txns <- m.txns + 1
+
+let txn_count m = m.txns
+
+let txn_rate m ~now window =
+  if window < 1 || window > rate_slots - 1 then
+    invalid_arg "Metrics.txn_rate: window out of range";
+  ring_advance m (int_of_float now);
+  if m.ring_sec < 0 then 0.0
+  else begin
+    let sum = ref 0 in
+    for k = 0 to window - 1 do
+      sum := !sum + m.ring.((m.ring_head - k + rate_slots) mod rate_slots)
+    done;
+    float_of_int !sum /. float_of_int window
+  end
+
+let txn_rates m ~now = List.map (fun w -> (w, txn_rate m ~now w)) rate_windows
 
 let bump ?(by = 1) m name =
   Hashtbl.replace m.named name
@@ -146,10 +241,16 @@ let bump ?(by = 1) m name =
 
 let counter m name = Option.value ~default:0 (Hashtbl.find_opt m.named name)
 
-let counters m =
+let sorted_bindings tbl =
   List.sort
     (fun (a, _) (b, _) -> String.compare a b)
-    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) m.named [])
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+let counters m = sorted_bindings m.named
+
+let set_gauge m name v = Hashtbl.replace m.gauged name v
+let gauge m name = Option.value ~default:0 (Hashtbl.find_opt m.gauged name)
+let gauges m = sorted_bindings m.gauged
 
 let steps m = m.steps
 let violations m = m.violations
@@ -168,32 +269,43 @@ let nodes m =
            surv_kept = nd.survival_kept })
        m.nodes)
 
-let percentile sorted p =
-  let n = Array.length sorted in
-  if n = 0 then 0.0
-  else
-    let rank = p *. float_of_int (n - 1) in
-    let lo = int_of_float rank in
-    let hi = min (n - 1) (lo + 1) in
-    let frac = rank -. float_of_int lo in
-    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+let latency_buckets m =
+  let acc = ref [] in
+  for i = hist_buckets - 1 downto 0 do
+    if m.hist.(i) > 0 then
+      acc := { lo_ns = bucket_lo i; hi_ns = bucket_hi i; n = m.hist.(i) } :: !acc
+  done;
+  !acc
+
+(* Nearest-rank percentile over the exact bucket counts: the bucket
+   holding the ceil(p * count)-th smallest sample, reported as its
+   midpoint and clamped into the exact [min, max] envelope. *)
+let hist_percentile m p =
+  let rank =
+    let r = int_of_float (ceil (p *. float_of_int m.lat_count)) in
+    max 1 (min m.lat_count r)
+  in
+  let i = ref 0 and seen = ref 0 in
+  while !seen < rank && !i < hist_buckets do
+    seen := !seen + m.hist.(!i);
+    incr i
+  done;
+  let b = max 0 (!i - 1) in
+  let mid = (float_of_int (bucket_lo b) +. float_of_int (bucket_hi b)) /. 2.0 in
+  Float.min m.lat_max (Float.max m.lat_min mid)
 
 let latency m =
   if m.lat_count = 0 then None
-  else begin
-    let filled = min m.lat_count reservoir_size in
-    let sorted = Array.sub m.reservoir 0 filled in
-    Array.sort compare sorted;
+  else
     Some
       { count = m.lat_count;
         total_ns = m.lat_sum;
         min_ns = m.lat_min;
         mean_ns = m.lat_sum /. float_of_int m.lat_count;
-        p50_ns = percentile sorted 0.50;
-        p95_ns = percentile sorted 0.95;
-        p99_ns = percentile sorted 0.99;
+        p50_ns = hist_percentile m 0.50;
+        p95_ns = hist_percentile m 0.95;
+        p99_ns = hist_percentile m 0.99;
         max_ns = m.lat_max }
-  end
 
 let ratio num den = if den = 0 then 0.0 else float_of_int num /. float_of_int den
 

@@ -8,7 +8,7 @@
     the hot path pays only a [None] check (≤5% on the MICRO bench —
     asserted by the bench harness's baselines).
 
-    It collects three families of measurements:
+    It collects five families of measurements:
 
     - {b cumulative counters}: kernel steps, violations, formula-cache
       hits/misses ({!Kernel.step}'s per-step memo table);
@@ -17,8 +17,13 @@
       filter's checked/kept counts — one row per registered node, in
       registration order ({!register_nodes});
     - {b step latency}: wall-clock per transaction, recorded by the driving
-      layer; summarized as min/mean/p50/p95/max over an exact running
-      aggregate plus a deterministic 1024-sample reservoir.
+      layer; summarized as min/mean/p50/p95/p99/max over an exact running
+      aggregate plus an exact log-bucket histogram (see {!record_latency});
+    - {b transaction rates}: txn/s over sliding 1 s / 10 s / 60 s windows,
+      fed by caller-supplied clocks ({!record_txn} — the recorder itself
+      never reads a clock);
+    - {b named counters and gauges}: free-form bags for event counts
+      ({!bump}) and point-in-time values ({!set_gauge}).
 
     The recorder is shared mutable state: one recorder may serve many
     checkers (a {!Monitor} registers every constraint's kernel into the
@@ -40,8 +45,10 @@ type node_view = {
 (** Step-latency summary. All fields are {e nanoseconds} (see
     {!record_latency} for the unit convention): [count], [min_ns], [max_ns],
     [mean_ns] and the cumulative [total_ns] are exact over every recorded
-    sample; [p50_ns]/[p95_ns]/[p99_ns] are interpolated from the
-    deterministic 1024-sample reservoir. *)
+    sample; [p50_ns]/[p95_ns]/[p99_ns] are nearest-rank percentiles read
+    off the exact log-bucket histogram (bucket midpoint, clamped into
+    [[min_ns, max_ns]]), so they carry the bucket scheme's ≤ ~3.1%
+    relative quantization error — but never sampling error. *)
 type latency_summary = {
   count : int;
   total_ns : float;
@@ -52,6 +59,10 @@ type latency_summary = {
   p99_ns : float;
   max_ns : float;
 }
+
+(** One occupied histogram bucket: [n] samples fell in the inclusive
+    nanosecond range [[lo_ns, hi_ns]]. *)
+type bucket = { lo_ns : int; hi_ns : int; n : int }
 
 val create : unit -> t
 (** A fresh recorder with no nodes and zeroed counters. *)
@@ -95,14 +106,23 @@ val record_latency : t -> float -> unit
     the recording layer), while every reading-side surface — the
     [latency_summary] fields, [to_json]'s [latency_ns] object and {!pp} —
     reports {e nanoseconds}, the scale at which per-transaction costs are
-    legible. The conversion (× 1e9) happens once, here. *)
+    legible. The conversion (× 1e9) happens once, here.
 
-val bump : ?by:int -> t -> string -> unit
-(** [bump m name] increments the named event counter [name] (created at 0 on
-    first use). The resilience layer counts its events here — checkpoints
-    written/skipped, WAL records appended/replayed, transactions
-    skipped/rejected by error policy, constraints quarantined — without the
-    recorder needing a schema change per event family. *)
+    {b Bucket scheme} (log-linear, HdrHistogram-style): the sample is
+    counted into a histogram with 32 linear sub-buckets per power-of-two
+    octave — values 0–31 ns get exact unit buckets, and each octave
+    [[2{^k}, 2{^k+1})] splits into 32 equal sub-buckets of width
+    2{^k-5}, so the relative width of any bucket is ≤ 1/32 (~3.1%).
+    Every sample is counted (no reservoir, no sampling): percentiles are
+    exact up to that bucket resolution, deterministically, however many
+    samples arrive. *)
+
+val record_txn : t -> now:float -> unit
+(** [record_txn m ~now] ticks the sliding-window transaction-rate ring
+    once at wall-clock time [now] (seconds, e.g. a [Unix.gettimeofday]
+    reading — the {e caller} supplies the clock; the recorder performs no
+    syscalls). The ring keeps one counter per second, enough seconds to
+    answer every {!txn_rates} window. *)
 
 (** {2 Reading} *)
 
@@ -112,19 +132,59 @@ val cache_hits : t -> int
 val cache_misses : t -> int
 val nodes : t -> node_view list
 
+val bump : ?by:int -> t -> string -> unit
+(** [bump m name] increments the named event counter [name] (created at 0 on
+    first use). The resilience layer counts its events here — checkpoints
+    written/skipped, WAL records appended/replayed, transactions
+    skipped/rejected by error policy, constraints quarantined — without the
+    recorder needing a schema change per event family. *)
+
 val counter : t -> string -> int
 (** The named counter's value; [0] if never bumped. *)
 
 val counters : t -> (string * int) list
 (** All named counters, sorted by name. *)
 
+val set_gauge : t -> string -> int -> unit
+(** [set_gauge m name v] sets the named gauge [name] to the point-in-time
+    value [v]. The server's telemetry snapshot records per-session gauges
+    here (auxiliary cardinality, WAL bytes since checkpoint, quarantined
+    constraint count, degraded status) as it assembles each
+    [rtic-metrics/1] document. *)
+
+val gauge : t -> string -> int
+(** The named gauge's last value; [0] if never set. *)
+
+val gauges : t -> (string * int) list
+(** All named gauges, sorted by name. *)
+
+val txn_count : t -> int
+(** Cumulative {!record_txn} ticks. *)
+
+val txn_rate : t -> now:float -> int -> float
+(** [txn_rate m ~now w] is the transactions per second over the last [w]
+    seconds ending at [now] (the [w] most recent one-second slots,
+    including the current partial second, divided by [w]). [w] must lie in
+    [[1, 60]]. Reading advances the ring like {!record_txn} does. *)
+
+val txn_rates : t -> now:float -> (int * float) list
+(** {!txn_rate} over the standard windows: [[1; 10; 60]] seconds. *)
+
 val latency : t -> latency_summary option
-(** [None] until the first {!record_latency}. Percentiles are reservoir
-    estimates once more than 1024 samples were recorded; min/max/mean are
+(** [None] until the first {!record_latency}. Percentiles carry the
+    histogram's ≤ ~3.1% bucket-resolution error; min/max/mean/total are
     always exact. *)
 
+val latency_buckets : t -> bucket list
+(** The occupied histogram buckets in ascending nanosecond order; the
+    [n] fields sum to [latency]'s [count]. The Prometheus exposition and
+    the [rtic-metrics/1] document render their cumulative form. *)
+
 val to_json : t -> Json.t
-(** The [kernel] section of the [--stats --json] schema (FORMATS.md). *)
+(** The [kernel] section of the [--stats --json] schema (FORMATS.md).
+    Named gauges and rate windows are {e not} part of this document (it
+    must stay equal between a served session and a batch run); they
+    surface through {!Telemetry} instead. *)
 
 val pp : Format.formatter -> t -> unit
 (** Multi-line human-readable summary (the [--stats] extension). *)

@@ -7,9 +7,14 @@ module Formula = Rtic_mtl.Formula
 module Parser = Rtic_mtl.Parser
 module Update = Rtic_relational.Update
 
-type config = { max_pending : int }
+type config = {
+  max_pending : int;
+  telemetry : bool;
+      (* tick the transaction-rate rings (one clock read per executed
+         txn); off only for overhead measurement (the MET bench) *)
+}
 
-let default_config = { max_pending = 64 }
+let default_config = { max_pending = 64; telemetry = true }
 
 let hello = Json.to_string (Json.Obj [ ("schema", Json.Str "rtic-serve/1") ])
 
@@ -29,6 +34,7 @@ type request =
   | Stats of string
   | Checkpoint of string
   | Close of string
+  | Metrics_req
   | Shutdown
 
 let request_name = function
@@ -37,13 +43,14 @@ let request_name = function
   | Stats _ -> "stats"
   | Checkpoint _ -> "checkpoint"
   | Close _ -> "close"
+  | Metrics_req -> "metrics"
   | Shutdown -> "shutdown"
 
 let request_arg = function
   | Open { session; _ } | Txn { session; _ } | Stats session
   | Checkpoint session | Close session ->
     Some session
-  | Shutdown -> None
+  | Metrics_req | Shutdown -> None
 
 (* A queued entry: a parsed request awaiting execution, or a reply already
    decided at feed time (refused for overload / shutdown) kept in the queue
@@ -86,6 +93,9 @@ type t = {
   cfg : config;
   lock : Mutex.t;
   sessions : (string, session) Hashtbl.t;
+  srv_metrics : Metrics.t;
+      (* server-lifetime telemetry (rates, txn total): outlives sessions,
+         so the scrape total covers closed sessions too *)
   mutable queued_total : int;
   mutable is_stopped : bool;
   mutable primary : conn option;
@@ -110,6 +120,7 @@ let create ?(fs = Faults.real_fs) ?tracer ?pool ?(config = default_config) ()
     cfg = config;
     lock = Mutex.create ();
     sessions = Hashtbl.create 8;
+    srv_metrics = Metrics.create ();
     queued_total = 0;
     is_stopped = false;
     primary = None }
@@ -244,11 +255,12 @@ let parse_request_line line =
   | [ "close"; session ] ->
     fail (check_session ~req:"close" session @@ fun () ->
           Ok (P_request (Close session)))
+  | [ "metrics" ] -> P_request Metrics_req
   | [ "shutdown" ] -> P_request Shutdown
   | cmd :: _ ->
     let req =
       if List.mem cmd [ "open"; "txn"; "stats"; "checkpoint"; "close";
-                        "shutdown" ]
+                        "metrics"; "shutdown" ]
       then cmd
       else "?"
     in
@@ -421,6 +433,15 @@ let exec_open t session spec_path opts =
                       ("replayed", Json.Int replayed);
                       ("steps", Json.Int (Supervisor.steps sup)) ]))))
 
+(* One executed (checked/repaired/unrepairable) transaction: advance the
+   session's and the server's rate rings with a single clock read. *)
+let tick_txn t s =
+  if t.cfg.telemetry then begin
+    let now = Unix.gettimeofday () in
+    Metrics.record_txn s.metrics ~now;
+    Metrics.record_txn t.srv_metrics ~now
+  end
+
 let exec_txn t session time ops =
   let req = "txn" in
   match ops with
@@ -447,6 +468,7 @@ let exec_txn t session time ops =
           s.stats <-
             Stats.observe s.stats ~time ~space:(Supervisor.space s.sup)
               ~reports;
+          tick_txn t s;
           ok ~req
             (base
             @ [ ("outcome", Json.Str "checked");
@@ -470,6 +492,7 @@ let exec_txn t session time ops =
           s.stats <-
             Stats.observe s.stats ~time ~space:(Supervisor.space s.sup)
               ~reports:[];
+          tick_txn t s;
           let op_str o = Format.asprintf "%a" Update.pp_op o in
           ok ~req
             (base
@@ -492,6 +515,7 @@ let exec_txn t session time ops =
           s.stats <-
             Stats.observe s.stats ~time ~space:(Supervisor.space s.sup)
               ~reports;
+          tick_txn t s;
           ok ~req
             (base
             @ [ ("outcome", Json.Str "unrepairable");
@@ -529,6 +553,61 @@ let exec_close t session =
     [ ("session", Json.Str session);
       ("steps", Json.Int (Supervisor.steps s.sup)) ]
 
+(* ---------------- telemetry snapshot ---------------- *)
+
+(* Assemble the rtic-metrics/1 snapshot. The caller holds the lock
+   ([execute] runs under it; [snapshot] below wraps for external pollers),
+   so the document is a consistent cut: no transaction executes between
+   reading two sessions. Point-in-time supervisor figures are written into
+   each session's recorder as gauges first, so the recorder and the
+   document always agree. *)
+let snapshot_locked t ~now =
+  let session_row name s =
+    let sup = s.sup in
+    let quarantined = List.length (Supervisor.quarantined sup) in
+    let degraded = Supervisor.degraded sup in
+    Metrics.set_gauge s.metrics "aux_size" (Supervisor.space sup);
+    Metrics.set_gauge s.metrics "wal_bytes_since_checkpoint"
+      (Supervisor.wal_bytes_since_checkpoint sup);
+    Metrics.set_gauge s.metrics "quarantined" quarantined;
+    Metrics.set_gauge s.metrics "degraded" (if degraded then 1 else 0);
+    { Telemetry.name;
+      transactions = Stats.transactions s.stats;
+      violations = Stats.violations s.stats;
+      steps = Supervisor.steps sup;
+      last_time = Supervisor.last_time sup;
+      health =
+        (if degraded then "degraded"
+         else if quarantined > 0 then "quarantined"
+         else "ok");
+      rates = Metrics.txn_rates s.metrics ~now;
+      latency = Metrics.latency s.metrics;
+      buckets = Metrics.latency_buckets s.metrics;
+      gauges = Metrics.gauges s.metrics;
+      counters = Metrics.counters s.metrics }
+  in
+  let sessions =
+    Hashtbl.fold (fun name s acc -> (name, s) :: acc) t.sessions []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    |> List.map (fun (name, s) -> session_row name s)
+  in
+  { Telemetry.sessions;
+    session_count = Hashtbl.length t.sessions;
+    queued = t.queued_total;
+    max_pending = t.cfg.max_pending;
+    stopped = t.is_stopped;
+    transactions = Metrics.txn_count t.srv_metrics;
+    rates = Metrics.txn_rates t.srv_metrics ~now }
+
+let snapshot t =
+  let now = Unix.gettimeofday () in
+  with_lock t (fun () -> snapshot_locked t ~now)
+
+let exec_metrics t =
+  let now = Unix.gettimeofday () in
+  ok ~req:"metrics"
+    [ ("metrics", Telemetry.to_json (snapshot_locked t ~now)) ]
+
 let exec_shutdown t =
   let n = Hashtbl.length t.sessions in
   Hashtbl.reset t.sessions;
@@ -548,6 +627,7 @@ let execute t rq =
     | Stats session -> exec_stats t session
     | Checkpoint session -> exec_checkpoint t session
     | Close session -> exec_close t session
+    | Metrics_req -> exec_metrics t
     | Shutdown -> exec_shutdown t
 
 let conn_drain ?limit c =

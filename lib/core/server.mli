@@ -9,8 +9,9 @@
     a {!Pool} ([rtic serve --jobs]).
 
     The protocol (FORMATS.md §7) is line-oriented: requests are single
-    lines ([open] / [txn] / [stats] / [checkpoint] / [close] / [shutdown],
-    a [txn] followed by one op line per update in the WAL op syntax), and
+    lines ([open] / [txn] / [stats] / [checkpoint] / [close] / [metrics] /
+    [shutdown], a [txn] followed by one op line per update in the WAL op
+    syntax), and
     every request gets exactly one single-line JSON reply, in request
     order. This module is {e transport-agnostic}: it consumes lines and
     produces reply lines, while [rtic serve] owns the actual stdin/stdout
@@ -34,10 +35,18 @@
     simply re-send its stream after a server crash, exactly like
     re-running [rtic check --state-dir]. *)
 
-type config = { max_pending : int  (** Queued-request bound, ≥ 1. *) }
+type config = {
+  max_pending : int;  (** Queued-request bound, ≥ 1. *)
+  telemetry : bool;
+      (** Tick the transaction-rate rings (one wall-clock read per
+          executed transaction). On by default; the MET bench turns it off
+          to measure the overhead, which must stay ≤ 5%. The [metrics]
+          request itself always works — with telemetry off its rates and
+          server transaction total just read 0. *)
+}
 
 val default_config : config
-(** [{ max_pending = 64 }]. *)
+(** [{ max_pending = 64; telemetry = true }]. *)
 
 val hello : string
 (** The greeting line a transport emits when a stream opens:
@@ -120,6 +129,16 @@ val stopped : t -> bool
 (** [shutdown] has been executed; the transport should stop pumping. *)
 
 val session_count : t -> int
+
+val snapshot : t -> Telemetry.snapshot
+(** A lock-consistent [rtic-metrics/1] snapshot of the server, stamped at
+    a wall-clock reading taken now: no transaction executes between
+    reading two sessions, so counters in the document are mutually
+    consistent (the server transaction total equals the sum of per-session
+    outcomes over all sessions ever opened). This is what the [metrics]
+    request renders as JSON, and what [rtic serve --metrics-socket] serves
+    to external pollers ([rtic top], Prometheus scrapers) without going
+    through the request queue. *)
 
 val handle_lines : t -> string list -> string list
 (** [handle_lines t lines] = feed every line, then {!drain} — the

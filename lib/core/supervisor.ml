@@ -77,6 +77,7 @@ type t = {
   mutable accepted : int;  (* global WAL index of the next record *)
   mutable last : int option;  (* commit time of the last accepted txn *)
   mutable since_ck : int;
+  mutable wal_bytes : int;  (* appended since the last checkpoint/recovery *)
   mutable degraded : bool;
 }
 
@@ -461,6 +462,7 @@ let checkpoint t =
     let* () = t.fs.rename tmp (checkpoint_path t.dir t.accepted) in
     bump t "checkpoints_written";
     t.since_ck <- 0;
+    t.wal_bytes <- 0;
     (* Prune, then compact: the WAL may only shrink once the snapshots
        that replace its prefix are durable. Pruning is best-effort. *)
     let files = checkpoint_files t.fs t.dir in
@@ -499,11 +501,14 @@ let reject t reason =
    replay would mis-index. *)
 let append_wal t ~time txn =
   if not t.degraded then begin
+    let record = Wal.encode_record ~time txn in
     match
       Tracer.span t.tracer ~cat:"wal" ~name:"append" (fun () ->
-          t.fs.append_file (wal_path t.dir) (Wal.encode_record ~time txn))
+          t.fs.append_file (wal_path t.dir) record)
     with
-    | Ok () -> bump t "wal_records_appended"
+    | Ok () ->
+      bump t "wal_records_appended";
+      t.wal_bytes <- t.wal_bytes + String.length record
     | Error e ->
       bump t "wal_append_failures";
       enter_degraded t ~why:("wal append failed: " ^ e)
@@ -663,6 +668,7 @@ let create ?(fs = Faults.real_fs) ?metrics ?tracer ?pool
         accepted = 0;
         last = None;
         since_ck = 0;
+        wal_bytes = 0;
         degraded = false }
     in
     let* () = fs.write_file (wal_path dir) (Wal.header ~start:0) in
@@ -763,6 +769,7 @@ let recover ?(fs = Faults.real_fs) ?metrics ?tracer ?pool
         accepted;
         last;
         since_ck = 0;
+        wal_bytes = 0;
         (* Never append after damaged bytes; repair (below) clears this. *)
         degraded = w.Wal.torn <> None }
     in
@@ -812,4 +819,5 @@ let last_time t = t.last
 let space t = List.fold_left (fun a c -> a + Incremental.space c) 0 t.checkers
 let quarantined t = t.quarantine
 let degraded t = t.degraded
+let wal_bytes_since_checkpoint t = t.wal_bytes
 let state_dir t = t.dir

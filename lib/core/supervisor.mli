@@ -248,6 +248,13 @@ val degraded : t -> bool
     failed, or recovery found a torn tail and was told not to repair.
     Verdicts still flow; a successful {!checkpoint} clears it. *)
 
+val wal_bytes_since_checkpoint : t -> int
+(** Bytes appended to the WAL since the last successful {!checkpoint}
+    (0 right after one, and right after {!create}/{!recover} — recovery
+    replays the suffix without re-appending it). The telemetry layer
+    exposes this as a per-session gauge: together with [auto_checkpoint]
+    it tells an operator how much replay a crash right now would cost. *)
+
 val state_dir : t -> string
 
 (** {2 State-directory helpers} (used by [rtic recover] and the tests) *)

@@ -1,0 +1,384 @@
+(* The rtic-metrics/1 telemetry surface: a pure data snapshot of a
+   running server plus its renderings — one JSON document (FORMATS.md §9)
+   and one Prometheus text exposition. The server assembles a [snapshot]
+   under its lock (Server.snapshot); everything here is pure, so the
+   renderings and the parser are testable without a server. *)
+
+type session = {
+  name : string;
+  transactions : int;
+  violations : int;
+  steps : int;
+  last_time : int option;
+  health : string;
+  rates : (int * float) list;
+  latency : Metrics.latency_summary option;
+  buckets : Metrics.bucket list;
+  gauges : (string * int) list;
+  counters : (string * int) list;
+}
+
+type snapshot = {
+  sessions : session list;
+  session_count : int;
+  queued : int;
+  max_pending : int;
+  stopped : bool;
+  transactions : int;
+  rates : (int * float) list;
+}
+
+let schema = "rtic-metrics/1"
+
+(* ---------------- JSON rendering ---------------- *)
+
+let rates_json rates =
+  Json.Obj
+    (List.map (fun (w, r) -> (Printf.sprintf "%ds" w, Json.Float r)) rates)
+
+let latency_json = function
+  | None -> Json.Null
+  | Some (l : Metrics.latency_summary) ->
+    Json.Obj
+      [ ("count", Json.Int l.count);
+        ("total_ns", Json.Float l.total_ns);
+        ("min_ns", Json.Float l.min_ns);
+        ("mean_ns", Json.Float l.mean_ns);
+        ("p50_ns", Json.Float l.p50_ns);
+        ("p95_ns", Json.Float l.p95_ns);
+        ("p99_ns", Json.Float l.p99_ns);
+        ("max_ns", Json.Float l.max_ns) ]
+
+(* Buckets are rendered cumulatively (Prometheus-style): each entry is
+   "count of samples at or below le_ns", so consumers need no knowledge
+   of the bucket scheme to compute quantiles. *)
+let buckets_json buckets =
+  let _, rev =
+    List.fold_left
+      (fun (cum, acc) (b : Metrics.bucket) ->
+        let cum = cum + b.n in
+        ( cum,
+          Json.Obj [ ("le_ns", Json.Int b.hi_ns); ("count", Json.Int cum) ]
+          :: acc ))
+      (0, []) buckets
+  in
+  Json.List (List.rev rev)
+
+let int_bag_json bag =
+  Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) bag)
+
+let session_json s =
+  Json.Obj
+    [ ("session", Json.Str s.name);
+      ("health", Json.Str s.health);
+      ("transactions", Json.Int s.transactions);
+      ("violations", Json.Int s.violations);
+      ("steps", Json.Int s.steps);
+      ("last_time",
+       match s.last_time with Some t -> Json.Int t | None -> Json.Null);
+      ("rates", rates_json s.rates);
+      ("gauges", int_bag_json s.gauges);
+      ("counters", int_bag_json s.counters);
+      ("latency_ns", latency_json s.latency);
+      ("latency_buckets", buckets_json s.buckets) ]
+
+let to_json snap =
+  Json.Obj
+    [ ("schema", Json.Str schema);
+      ("server",
+       Json.Obj
+         [ ("sessions", Json.Int snap.session_count);
+           ("queued", Json.Int snap.queued);
+           ("max_pending", Json.Int snap.max_pending);
+           ("stopped", Json.Bool snap.stopped);
+           ("transactions", Json.Int snap.transactions);
+           ("rates", rates_json snap.rates) ]);
+      ("sessions", Json.List (List.map session_json snap.sessions)) ]
+
+(* ---------------- JSON parsing ---------------- *)
+
+let ( let* ) r f = Result.bind r f
+
+let fail fmt = Printf.ksprintf (fun m -> Error ("rtic-metrics: " ^ m)) fmt
+
+let get_int what j k =
+  match Option.bind (Json.member k j) Json.to_int with
+  | Some n -> Ok n
+  | None -> fail "%s: missing integer field %s" what k
+
+let get_str what j k =
+  match Option.bind (Json.member k j) Json.to_str with
+  | Some s -> Ok s
+  | None -> fail "%s: missing string field %s" what k
+
+let rates_of_json j =
+  match j with
+  | Some (Json.Obj fields) ->
+    Ok
+      (List.filter_map
+         (fun (k, v) ->
+           let w =
+             if String.length k > 1 && k.[String.length k - 1] = 's' then
+               int_of_string_opt (String.sub k 0 (String.length k - 1))
+             else None
+           in
+           match (w, Json.to_float v) with
+           | Some w, Some r -> Some (w, r)
+           | _ -> None)
+         fields)
+  | _ -> Ok []
+
+let bag_of_json j =
+  match j with
+  | Some (Json.Obj fields) ->
+    List.filter_map
+      (fun (k, v) -> Option.map (fun n -> (k, n)) (Json.to_int v))
+      fields
+  | _ -> []
+
+let latency_of_json j =
+  match j with
+  | Some (Json.Obj _ as l) ->
+    let f k = Option.bind (Json.member k l) Json.to_float in
+    (match
+       ( Option.bind (Json.member "count" l) Json.to_int,
+         f "total_ns", f "min_ns", f "mean_ns", f "p50_ns", f "p95_ns",
+         f "p99_ns", f "max_ns" )
+     with
+     | ( Some count, Some total_ns, Some min_ns, Some mean_ns, Some p50_ns,
+         Some p95_ns, Some p99_ns, Some max_ns ) ->
+       Ok
+         (Some
+            { Metrics.count; total_ns; min_ns; mean_ns; p50_ns; p95_ns;
+              p99_ns; max_ns })
+     | _ -> fail "malformed latency_ns object")
+  | _ -> Ok None
+
+(* Cumulative entries back to per-bucket counts; each bucket's lower
+   bound is one past the previous bucket's upper bound (0 for the first),
+   which brackets the true bucket without knowing the scheme. *)
+let buckets_of_json j =
+  match j with
+  | Some (Json.List items) ->
+    let _, _, rev =
+      List.fold_left
+        (fun (prev_le, prev_cum, acc) item ->
+          match
+            ( Option.bind (Json.member "le_ns" item) Json.to_int,
+              Option.bind (Json.member "count" item) Json.to_int )
+          with
+          | Some le, Some cum ->
+            ( le,
+              cum,
+              { Metrics.lo_ns = prev_le + 1; hi_ns = le; n = cum - prev_cum }
+              :: acc )
+          | _ -> (prev_le, prev_cum, acc))
+        (-1, 0, []) items
+    in
+    List.rev rev
+  | _ -> []
+
+let session_of_json j =
+  let what = "session" in
+  let* name = get_str what j "session" in
+  let* health = get_str what j "health" in
+  let* transactions = get_int what j "transactions" in
+  let* violations = get_int what j "violations" in
+  let* steps = get_int what j "steps" in
+  let last_time = Option.bind (Json.member "last_time" j) Json.to_int in
+  let* rates = rates_of_json (Json.member "rates" j) in
+  let* latency = latency_of_json (Json.member "latency_ns" j) in
+  Ok
+    { name;
+      health;
+      transactions;
+      violations;
+      steps;
+      last_time;
+      rates;
+      latency;
+      buckets = buckets_of_json (Json.member "latency_buckets" j);
+      gauges = bag_of_json (Json.member "gauges" j);
+      counters = bag_of_json (Json.member "counters" j) }
+
+let of_json j =
+  let* () =
+    match Option.bind (Json.member "schema" j) Json.to_str with
+    | Some s when s = schema -> Ok ()
+    | Some s -> fail "unexpected schema %s" s
+    | None -> fail "missing schema field"
+  in
+  let* srv =
+    match Json.member "server" j with
+    | Some s -> Ok s
+    | None -> fail "missing server section"
+  in
+  let* session_count = get_int "server" srv "sessions" in
+  let* queued = get_int "server" srv "queued" in
+  let* max_pending = get_int "server" srv "max_pending" in
+  let* transactions = get_int "server" srv "transactions" in
+  let stopped = Json.member "stopped" srv = Some (Json.Bool true) in
+  let* rates = rates_of_json (Json.member "rates" srv) in
+  let* sessions =
+    match Json.member "sessions" j with
+    | Some (Json.List items) ->
+      List.fold_left
+        (fun acc item ->
+          let* acc = acc in
+          let* s = session_of_json item in
+          Ok (s :: acc))
+        (Ok []) items
+      |> Result.map List.rev
+    | _ -> fail "missing sessions list"
+  in
+  Ok { sessions; session_count; queued; max_pending; stopped; transactions;
+       rates }
+
+let of_string text =
+  let* j = Json.of_string text in
+  of_json j
+
+(* ---------------- Prometheus text exposition ---------------- *)
+
+(* Label values escape backslash, double-quote and newline; metric-name
+   fragments built from gauge keys are sanitized to [a-zA-Z0-9_]. *)
+let escape_label v =
+  let b = Buffer.create (String.length v + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
+let sanitize_name n =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+      | _ -> '_')
+    n
+
+let fnum f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.9g" f
+
+let to_prometheus snap =
+  let b = Buffer.create 4096 in
+  let line fmt =
+    Printf.ksprintf
+      (fun s ->
+        Buffer.add_string b s;
+        Buffer.add_char b '\n')
+      fmt
+  in
+  let family name typ help = line "# HELP %s %s" name help; line "# TYPE %s %s" name typ in
+  family "rtic_up" "gauge" "1 while the server accepts requests, 0 once shutdown executed.";
+  line "rtic_up %d" (if snap.stopped then 0 else 1);
+  family "rtic_sessions" "gauge" "Open sessions.";
+  line "rtic_sessions %d" snap.session_count;
+  family "rtic_queued_requests" "gauge"
+    "Parsed requests awaiting execution, across all connections.";
+  line "rtic_queued_requests %d" snap.queued;
+  family "rtic_max_pending" "gauge" "Shared admission budget (--max-pending).";
+  line "rtic_max_pending %d" snap.max_pending;
+  family "rtic_transactions_total" "counter"
+    "Transactions executed, across all sessions including closed ones.";
+  line "rtic_transactions_total %d" snap.transactions;
+  family "rtic_txn_rate" "gauge"
+    "Server transactions per second over a sliding window.";
+  List.iter
+    (fun (w, r) -> line "rtic_txn_rate{window=\"%ds\"} %s" w (fnum r))
+    snap.rates;
+  if snap.sessions <> [] then begin
+    let per name typ help sample =
+      family name typ help;
+      List.iter
+        (fun s ->
+          match sample s with
+          | Some v ->
+            line "%s{session=\"%s\"} %s" name (escape_label s.name) v
+          | None -> ())
+        snap.sessions
+    in
+    per "rtic_session_transactions_total" "counter"
+      "Transactions checked in this session."
+      (fun s -> Some (string_of_int s.transactions));
+    per "rtic_session_violations_total" "counter"
+      "Constraint violations reported in this session."
+      (fun s -> Some (string_of_int s.violations));
+    per "rtic_session_steps_total" "counter"
+      "Transactions accepted by the session's supervisor (its WAL clock)."
+      (fun s -> Some (string_of_int s.steps));
+    per "rtic_session_health" "gauge"
+      "1 ok, 2 quarantined, 3 degraded."
+      (fun s ->
+        Some
+          (match s.health with
+           | "ok" -> "1"
+           | "quarantined" -> "2"
+           | _ -> "3"));
+    family "rtic_session_txn_rate" "gauge"
+      "Session transactions per second over a sliding window.";
+    List.iter
+      (fun s ->
+        List.iter
+          (fun (w, r) ->
+            line "rtic_session_txn_rate{session=\"%s\",window=\"%ds\"} %s"
+              (escape_label s.name) w (fnum r))
+          s.rates)
+      snap.sessions;
+    (* one fixed-name family per gauge key present in any session *)
+    let gauge_keys =
+      List.sort_uniq String.compare
+        (List.concat_map (fun s -> List.map fst s.gauges) snap.sessions)
+    in
+    List.iter
+      (fun key ->
+        let name = "rtic_session_" ^ sanitize_name key in
+        per name "gauge" (Printf.sprintf "Per-session gauge %s." key)
+          (fun s ->
+            Option.map string_of_int (List.assoc_opt key s.gauges)))
+      gauge_keys;
+    if List.exists (fun s -> s.counters <> []) snap.sessions then begin
+      family "rtic_session_events_total" "counter"
+        "Named supervisor event counters (WAL appends, checkpoints, ...).";
+      List.iter
+        (fun s ->
+          List.iter
+            (fun (k, v) ->
+              line "rtic_session_events_total{session=\"%s\",event=\"%s\"} %d"
+                (escape_label s.name) (escape_label k) v)
+            s.counters)
+        snap.sessions
+    end;
+    if List.exists (fun s -> s.latency <> None) snap.sessions then begin
+      family "rtic_session_txn_latency_ns" "histogram"
+        "Per-transaction check latency, nanoseconds (log-bucket).";
+      List.iter
+        (fun s ->
+          match s.latency with
+          | None -> ()
+          | Some l ->
+            let cum = ref 0 in
+            List.iter
+              (fun (bk : Metrics.bucket) ->
+                cum := !cum + bk.n;
+                line
+                  "rtic_session_txn_latency_ns_bucket{session=\"%s\",le=\"%d\"} %d"
+                  (escape_label s.name) bk.hi_ns !cum)
+              s.buckets;
+            line
+              "rtic_session_txn_latency_ns_bucket{session=\"%s\",le=\"+Inf\"} %d"
+              (escape_label s.name) l.count;
+            line "rtic_session_txn_latency_ns_sum{session=\"%s\"} %s"
+              (escape_label s.name) (fnum l.total_ns);
+            line "rtic_session_txn_latency_ns_count{session=\"%s\"} %d"
+              (escape_label s.name) l.count)
+        snap.sessions
+    end
+  end;
+  Buffer.contents b

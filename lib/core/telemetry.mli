@@ -1,0 +1,80 @@
+(** The [rtic-metrics/1] telemetry surface (FORMATS.md §9).
+
+    A {!snapshot} is a pure, lock-consistent picture of a running server:
+    one {!session} per open session plus server-wide admission and
+    throughput figures. {!Server.snapshot} assembles it under the server
+    mutex; everything in this module is pure data and rendering, so the
+    JSON document, its parser and the Prometheus exposition are testable
+    without a server (and usable client-side — [rtic top] and
+    [rtic-drive]'s cross-check parse snapshots with {!of_string}).
+
+    Two renderings of the same snapshot:
+
+    - {!to_json}: the versioned [rtic-metrics/1] JSON document, answered
+      by the [metrics] request on the main socket and by [json] on the
+      [--metrics-socket] side channel;
+    - {!to_prometheus}: Prometheus text exposition format (version
+      0.0.4) — [# HELP]/[# TYPE] headers, counters/gauges, and the
+      latency histogram with cumulative [le] buckets ending at [+Inf]. *)
+
+(** Per-session figures. Counters ([transactions], [violations], [steps],
+    [counters]) are cumulative since the session opened (or since the
+    state it recovered from); [rates], [gauges] and [health] are
+    point-in-time. *)
+type session = {
+  name : string;
+  transactions : int;  (** Transactions checked (includes rejected). *)
+  violations : int;  (** Violation reports delivered. *)
+  steps : int;  (** Supervisor-accepted transactions (the WAL clock). *)
+  last_time : int option;  (** Commit time of the last accepted txn. *)
+  health : string;  (** ["ok"], ["quarantined"] or ["degraded"]. *)
+  rates : (int * float) list;  (** [(window_s, txn/s)], {!Metrics.txn_rates}. *)
+  latency : Metrics.latency_summary option;
+  buckets : Metrics.bucket list;  (** Occupied latency buckets, ascending. *)
+  gauges : (string * int) list;  (** {!Metrics.gauges}: aux size, WAL bytes… *)
+  counters : (string * int) list;  (** {!Metrics.counters}: supervisor events. *)
+}
+
+type snapshot = {
+  sessions : session list;
+  session_count : int;
+  queued : int;  (** Parsed requests awaiting execution (all connections). *)
+  max_pending : int;  (** The shared admission budget. *)
+  stopped : bool;
+  transactions : int;
+      (** Server-lifetime transactions, closed sessions included — the
+          figure [rtic-drive]'s cross-check reconciles against. *)
+  rates : (int * float) list;  (** Server-wide txn/s per window. *)
+}
+
+val schema : string
+(** ["rtic-metrics/1"]. *)
+
+val to_json : snapshot -> Json.t
+(** The versioned snapshot document. Latency buckets are rendered
+    cumulatively ([{le_ns; count}], counts non-decreasing, last [count]
+    equal to the latency [count]) so consumers need no knowledge of the
+    bucket scheme. *)
+
+val of_json : Json.t -> (snapshot, string) result
+(** Parse a document produced by {!to_json}. Cumulative buckets are
+    de-accumulated; each bucket's [lo_ns] is reconstructed as one past the
+    previous [le_ns], which brackets the original bucket. Unknown fields
+    are ignored (forward compatibility); missing required fields are
+    errors mentioning the field. *)
+
+val of_string : string -> (snapshot, string) result
+(** {!Json.of_string} composed with {!of_json}. *)
+
+val to_prometheus : snapshot -> string
+(** Prometheus text exposition (format version 0.0.4) of the snapshot:
+    server-level families ([rtic_up], [rtic_sessions],
+    [rtic_queued_requests], [rtic_max_pending], [rtic_transactions_total],
+    [rtic_txn_rate{window}]) and per-session families labelled
+    [{session="…"}] — transaction/violation/step counters, health and
+    rate gauges, one gauge family per {!Metrics.gauges} key, supervisor
+    event counters as [rtic_session_events_total{session,event}], and the
+    latency histogram [rtic_session_txn_latency_ns] with cumulative [le]
+    buckets ending at [+Inf] plus [_sum]/[_count]. Label values escape
+    backslash, double quote and newline per the format spec; gauge keys
+    are sanitized into metric-name characters. *)

@@ -1,0 +1,82 @@
+Live telemetry: the rtic-metrics/1 snapshot over the metrics side
+socket, Prometheus text exposition, and the rtic top dashboard.
+
+--metrics-socket needs a select loop to ride, so it requires --socket:
+
+  $ rtic serve --metrics-socket met.sock
+  rtic: --metrics-socket requires --socket (the stdin/stdout transport has no select loop to serve it from)
+  [2]
+  $ rtic serve --socket same.sock --metrics-socket same.sock
+  rtic: --metrics-socket must differ from --socket
+  [2]
+
+Start a server with both sockets and wait for the side channel:
+
+  $ rtic serve --socket live.sock --metrics-socket met.sock 2>serve.log &
+  $ SERVER=$!
+  $ for i in $(seq 1 200); do test -S met.sock && break; sleep 0.05; done
+
+Drive a deterministic workload.  --latency-out makes the client keep its
+session open, reconcile its own transaction count against the server's
+`metrics` request, close up, and write its client-side histogram:
+
+  $ rtic-drive --socket live.sock --scenario banking --steps 40 --seed 3 \
+  >   --latency-out lat.json | grep -E "^drive:" | sed 's/ in .* s .*//'
+  drive: wrote client-side latency histogram (40 sample(s)) to lat.json; server metrics agree
+  drive: banking scenario, 40 txn(s) over 1 client(s)
+
+The artifact is a valid rtic-metrics/1 document, cumulative buckets and
+all:
+
+  $ rtic lint-json lat.json
+  valid JSON
+  $ grep -c '"schema":"rtic-metrics/1"' lat.json
+  1
+
+rtic top polls the side socket.  The drive run closed its sessions, but
+the server-lifetime transaction total survives them — that figure is
+deterministic, unlike the rates below it:
+
+  $ rtic top met.sock --once | head -1
+  rtic top - sessions 0  queue 0/64  transactions 40
+
+--once --json is the scripting interface (a raw snapshot document):
+
+  $ rtic top met.sock --once --json | grep -c '"transactions":40'
+  1
+
+--once --prom scrapes the same socket in Prometheus text exposition:
+
+  $ rtic top met.sock --once --prom | grep -E "^# TYPE|^rtic_transactions_total"
+  # TYPE rtic_up gauge
+  # TYPE rtic_sessions gauge
+  # TYPE rtic_queued_requests gauge
+  # TYPE rtic_max_pending gauge
+  # TYPE rtic_transactions_total counter
+  rtic_transactions_total 40
+  # TYPE rtic_txn_rate gauge
+
+Scrapes keep answering while protocol clients run transactions — a
+second drive run and a concurrent scrape both succeed, and the total
+advances by exactly the new run's 40 transactions:
+
+  $ rtic-drive --socket live.sock --scenario banking --steps 40 --seed 3 \
+  >   > /dev/null 2>&1 &
+  $ DRIVE=$!
+  $ rtic top met.sock --once --json > mid.json
+  $ wait $DRIVE
+  $ rtic top met.sock --once --prom | grep "^rtic_transactions_total"
+  rtic_transactions_total 80
+
+A clean SIGTERM shutdown removes both socket files:
+
+  $ kill -TERM $SERVER
+  $ wait $SERVER
+  $ cat serve.log
+  rtic: serving on live.sock
+  rtic: metrics on met.sock
+  rtic: terminated, shutting down
+  $ test -e live.sock || echo gone
+  gone
+  $ test -e met.sock || echo gone
+  gone

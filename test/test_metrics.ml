@@ -53,13 +53,17 @@ let recorder_cases =
           Alcotest.(check (float 0.5)) "min" 1000.0 l.Metrics.min_ns;
           Alcotest.(check (float 0.5)) "max" 3000.0 l.Metrics.max_ns;
           Alcotest.(check (float 0.5)) "mean" 2000.0 l.Metrics.mean_ns;
-          Alcotest.(check (float 0.5)) "p50" 2000.0 l.Metrics.p50_ns;
+          (* percentiles are bucket midpoints: 2000 ns falls in the
+             32-sub-bucket octave bucket [1984, 2015] *)
+          Alcotest.(check (float 0.01)) "p50 is its bucket's midpoint"
+            1999.5 l.Metrics.p50_ns;
           Alcotest.(check (float 0.5)) "total is the exact sum" 6000.0
             l.Metrics.total_ns;
-          Alcotest.(check (float 0.5)) "p99 tops out at the max" 2980.0
-            l.Metrics.p99_ns);
-    Alcotest.test_case "reservoir survives more samples than its size" `Quick
-      (fun () ->
+          (* rank ceil(0.99*3)=3, the 3000 ns sample: bucket [2944, 3007] *)
+          Alcotest.(check (float 0.01)) "p99 lands on the top sample's bucket"
+            2975.5 l.Metrics.p99_ns);
+    Alcotest.test_case "histogram keeps bucket resolution at any volume"
+      `Quick (fun () ->
         let m = Metrics.create () in
         for i = 1 to 5000 do
           Metrics.record_latency m (float_of_int i *. 1e-9)
@@ -70,14 +74,91 @@ let recorder_cases =
           Alcotest.(check int) "count" 5000 l.Metrics.count;
           Alcotest.(check (float 0.01)) "exact min" 1.0 l.Metrics.min_ns;
           Alcotest.(check (float 0.01)) "exact max" 5000.0 l.Metrics.max_ns;
-          (* percentiles are reservoir estimates; they must stay in range
-             and be ordered *)
+          (* every sample is counted, so percentiles are deterministic:
+             rank 2500 falls in bucket [2496, 2559], midpoint 2527.5 —
+             within the scheme's ~3.1% of the true 2500 *)
+          Alcotest.(check (float 0.01)) "p50 deterministic" 2527.5
+            l.Metrics.p50_ns;
           Alcotest.(check bool) "p50 <= p95" true (l.Metrics.p50_ns <= l.Metrics.p95_ns);
           Alcotest.(check bool) "p95 <= p99" true (l.Metrics.p95_ns <= l.Metrics.p99_ns);
           Alcotest.(check bool) "in range" true
             (l.Metrics.p50_ns >= 1.0 && l.Metrics.p99_ns <= 5000.0);
-          Alcotest.(check (float 0.01)) "total stays exact past the reservoir"
-            12502500.0 l.Metrics.total_ns) ]
+          Alcotest.(check (float 0.01)) "total stays exact at any volume"
+            12502500.0 l.Metrics.total_ns);
+    Alcotest.test_case "latency buckets cover every sample" `Quick (fun () ->
+        let m = Metrics.create () in
+        let samples_ns = [ 1; 5; 31; 32; 1000; 1_000_000; 987_654_321 ] in
+        List.iter
+          (fun ns -> Metrics.record_latency m (float_of_int ns *. 1e-9))
+          samples_ns;
+        let buckets = Metrics.latency_buckets m in
+        Alcotest.(check int) "bucket counts sum to the sample count"
+          (List.length samples_ns)
+          (List.fold_left (fun acc b -> acc + b.Metrics.n) 0 buckets);
+        List.iter
+          (fun (b : Metrics.bucket) ->
+            Alcotest.(check bool) "bounds ordered" true (b.lo_ns <= b.hi_ns))
+          buckets;
+        let rec ascending = function
+          | (a : Metrics.bucket) :: (b :: _ as rest) ->
+            a.hi_ns < b.lo_ns && ascending rest
+          | _ -> true
+        in
+        Alcotest.(check bool) "disjoint ascending" true (ascending buckets);
+        List.iter
+          (fun ns ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%d ns has a covering bucket" ns)
+              true
+              (List.exists
+                 (fun (b : Metrics.bucket) -> b.lo_ns <= ns && ns <= b.hi_ns)
+                 buckets);
+            (* bucket relative width stays under ~3.1% past the unit range *)
+            List.iter
+              (fun (b : Metrics.bucket) ->
+                if b.lo_ns >= 32 then
+                  Alcotest.(check bool) "narrow bucket" true
+                    (float_of_int (b.hi_ns - b.lo_ns)
+                     /. float_of_int b.lo_ns
+                     <= 0.04))
+              buckets)
+          samples_ns);
+    Alcotest.test_case "txn rates over caller-supplied clocks" `Quick
+      (fun () ->
+        let m = Metrics.create () in
+        Alcotest.(check (float 1e-9)) "empty recorder reads zero" 0.0
+          (Metrics.txn_rate m ~now:100.0 10);
+        List.iter
+          (fun now -> Metrics.record_txn m ~now)
+          [ 100.0; 100.2; 100.4; 100.6; 100.8; 101.5 ];
+        Alcotest.(check int) "txn count" 6 (Metrics.txn_count m);
+        Alcotest.(check (float 1e-9)) "1s window sees the current second"
+          1.0
+          (Metrics.txn_rate m ~now:101.9 1);
+        Alcotest.(check (float 1e-9)) "10s window averages all six" 0.6
+          (Metrics.txn_rate m ~now:101.9 10);
+        Alcotest.(check (float 1e-9)) "60s window still covers them" 0.1
+          (Metrics.txn_rate m ~now:159.0 60);
+        Alcotest.(check (float 1e-9)) "idle minute zeroes the 10s window"
+          0.0
+          (Metrics.txn_rate m ~now:200.0 10);
+        (match Metrics.txn_rates m ~now:300.0 with
+         | [ (1, _); (10, _); (60, _) ] -> ()
+         | l -> Alcotest.failf "unexpected windows (%d)" (List.length l));
+        Alcotest.(check bool) "window must be within the ring" true
+          (match Metrics.txn_rate m ~now:300.0 61 with
+           | exception Invalid_argument _ -> true
+           | _ -> false));
+    Alcotest.test_case "named gauges" `Quick (fun () ->
+        let m = Metrics.create () in
+        Alcotest.(check int) "unset gauge reads 0" 0 (Metrics.gauge m "aux");
+        Metrics.set_gauge m "wal" 2;
+        Metrics.set_gauge m "aux" 7;
+        Metrics.set_gauge m "wal" 5;
+        Alcotest.(check int) "last write wins" 5 (Metrics.gauge m "wal");
+        Alcotest.(check (list (pair string int))) "sorted listing"
+          [ ("aux", 7); ("wal", 5) ]
+          (Metrics.gauges m)) ]
 
 (* Drive an instrumented checker and read the gauges back. *)
 let feed ?metrics d text =

@@ -223,7 +223,7 @@ let protocol_cases =
     Alcotest.test_case "overload refuses in order, never drops" `Quick
       (fun () ->
         let _, srv =
-          server_with_spec ~config:{ Server.max_pending = 2 } tiny_spec
+          server_with_spec ~config:{ Server.max_pending = 2; telemetry = true } tiny_spec
         in
         List.iter (Server.feed_line srv)
           [ "stats a"; "stats b"; "stats c"; "stats d" ];
@@ -439,7 +439,7 @@ let connection_cases =
     Alcotest.test_case "admission budget is shared across connections" `Quick
       (fun () ->
         let _, srv =
-          server_with_spec ~config:{ Server.max_pending = 2 } tiny_spec
+          server_with_spec ~config:{ Server.max_pending = 2; telemetry = true } tiny_spec
         in
         let a = Server.connect srv and b = Server.connect srv in
         Server.conn_feed_line a "stats x";
@@ -472,7 +472,7 @@ let connection_cases =
     Alcotest.test_case "disconnect releases the budget, abandons half a txn"
       `Quick (fun () ->
         let _, srv =
-          server_with_spec ~config:{ Server.max_pending = 1 } tiny_spec
+          server_with_spec ~config:{ Server.max_pending = 1; telemetry = true } tiny_spec
         in
         let a = Server.connect srv and b = Server.connect srv in
         (* [a] fills the budget and then dies holding it, mid-txn-body *)
@@ -669,9 +669,274 @@ let repair_cases =
           (List.filteri (fun i _ -> i >= 2) reference)
           live) ]
 
+(* ---------------- telemetry: the metrics request ---------------- *)
+
+module Telemetry = Rtic_core.Telemetry
+
+let snapshot_of_reply what reply =
+  let doc = ok_doc what reply in
+  match Json.member "metrics" doc with
+  | Some m ->
+    (match Telemetry.of_json m with
+     | Ok s -> s
+     | Error e -> Alcotest.failf "%s: %s" what e)
+  | None -> Alcotest.failf "%s: reply lacks a metrics field" what
+
+let contains hay needle =
+  let n = String.length hay and m = String.length needle in
+  let rec go i = i + m <= n && (String.sub hay i m = needle || go (i + 1)) in
+  m = 0 || go 0
+
+let obj_keys what = function
+  | Json.Obj fields -> List.map fst fields
+  | _ -> Alcotest.failf "%s: expected an object" what
+
+let metrics_cases =
+  [ Alcotest.test_case "snapshot shape is pinned" `Quick (fun () ->
+        let _, srv = server_with_spec tiny_spec in
+        let replies =
+          Server.handle_lines srv
+            [ "open s spec"; "txn s 1 1"; "+p(1)"; "txn s 2 1"; "+q(1)";
+              "metrics" ]
+        in
+        let raw =
+          match Json.member "metrics" (ok_doc "metrics" (List.nth replies 3)) with
+          | Some m -> m
+          | None -> Alcotest.fail "reply lacks a metrics field"
+        in
+        Alcotest.(check (list string)) "top-level keys"
+          [ "schema"; "server"; "sessions" ]
+          (obj_keys "top" raw);
+        Alcotest.(check (option json_testable)) "schema"
+          (Some (Json.Str "rtic-metrics/1"))
+          (Json.member "schema" raw);
+        Alcotest.(check (list string)) "server keys"
+          [ "sessions"; "queued"; "max_pending"; "stopped"; "transactions";
+            "rates" ]
+          (obj_keys "server" (Option.get (Json.member "server" raw)));
+        let sess =
+          match Json.member "sessions" raw with
+          | Some (Json.List [ s ]) -> s
+          | _ -> Alcotest.fail "expected exactly one session"
+        in
+        Alcotest.(check (list string)) "session keys"
+          [ "session"; "health"; "transactions"; "violations"; "steps";
+            "last_time"; "rates"; "gauges"; "counters"; "latency_ns";
+            "latency_buckets" ]
+          (obj_keys "session" sess);
+        Alcotest.(check (list string)) "rate windows"
+          [ "1s"; "10s"; "60s" ]
+          (obj_keys "rates" (Option.get (Json.member "rates" sess)));
+        Alcotest.(check (list string)) "gauges"
+          [ "aux_size"; "degraded"; "quarantined";
+            "wal_bytes_since_checkpoint" ]
+          (obj_keys "gauges" (Option.get (Json.member "gauges" sess)));
+        (* cumulative buckets: counts non-decreasing, ending at the
+           latency count *)
+        let count =
+          Option.get
+            (Option.bind
+               (Json.member "count" (Option.get (Json.member "latency_ns" sess)))
+               Json.to_int)
+        in
+        let cums =
+          match Json.member "latency_buckets" sess with
+          | Some (Json.List bs) ->
+            List.map
+              (fun b ->
+                Option.get (Option.bind (Json.member "count" b) Json.to_int))
+              bs
+          | _ -> Alcotest.fail "latency_buckets missing"
+        in
+        Alcotest.(check bool) "buckets non-decreasing" true
+          (List.for_all2 ( <= )
+             (List.filteri (fun i _ -> i < List.length cums - 1) cums)
+             (List.tl cums));
+        Alcotest.(check int) "last cumulative equals count" count
+          (List.nth cums (List.length cums - 1)));
+    Alcotest.test_case "snapshot counters are mutually consistent" `Quick
+      (fun () ->
+        let _, srv = server_with_spec tiny_spec in
+        ignore
+          (Server.handle_lines srv
+             [ "open a spec"; "open b spec";
+               "txn a 1 1"; "+p(1)";
+               "txn b 1 1"; "+q(5)";  (* violation in b *)
+               "txn a 2 1"; "+q(1)" ]);
+        let snap =
+          snapshot_of_reply "metrics"
+            (one "metrics" (Server.handle_lines srv [ "metrics" ]))
+        in
+        Alcotest.(check int) "session count" 2 snap.Telemetry.session_count;
+        let by_name n =
+          List.find (fun (s : Telemetry.session) -> s.name = n)
+            snap.Telemetry.sessions
+        in
+        Alcotest.(check int) "a drove 2" 2 (by_name "a").Telemetry.transactions;
+        Alcotest.(check int) "b drove 1" 1 (by_name "b").Telemetry.transactions;
+        Alcotest.(check int) "b saw the violation" 1
+          (by_name "b").Telemetry.violations;
+        Alcotest.(check int) "server total = sum of sessions" 3
+          snap.Telemetry.transactions;
+        List.iter
+          (fun (s : Telemetry.session) ->
+            Alcotest.(check string) "healthy" "ok" s.Telemetry.health;
+            Alcotest.(check int) "steps = transactions" s.Telemetry.transactions
+              s.Telemetry.steps;
+            let hist =
+              List.fold_left (fun a (b : Rtic_core.Metrics.bucket) -> a + b.n)
+                0 s.Telemetry.buckets
+            in
+            Alcotest.(check int) "histogram covers every txn"
+              s.Telemetry.transactions hist)
+          snap.Telemetry.sessions;
+        (* the total survives a close: sessions are gone, the counter not *)
+        ignore (Server.handle_lines srv [ "close a"; "close b" ]);
+        let snap2 =
+          snapshot_of_reply "metrics2"
+            (one "metrics2" (Server.handle_lines srv [ "metrics" ]))
+        in
+        Alcotest.(check int) "no sessions" 0 snap2.Telemetry.session_count;
+        Alcotest.(check int) "total retained" 3 snap2.Telemetry.transactions);
+    Alcotest.test_case "snapshot JSON round-trips through of_json" `Quick
+      (fun () ->
+        let _, srv = server_with_spec tiny_spec in
+        ignore
+          (Server.handle_lines srv [ "open s spec"; "txn s 1 1"; "+p(1)" ]);
+        let raw =
+          match
+            Json.member "metrics"
+              (ok_doc "metrics"
+                 (one "metrics" (Server.handle_lines srv [ "metrics" ])))
+          with
+          | Some m -> m
+          | None -> Alcotest.fail "no metrics field"
+        in
+        let snap =
+          match Telemetry.of_json raw with
+          | Ok s -> s
+          | Error e -> Alcotest.fail e
+        in
+        Alcotest.(check json_testable) "re-rendering is identical" raw
+          (Telemetry.to_json snap));
+    Alcotest.test_case "prometheus exposition escapes and stays monotone"
+      `Quick (fun () ->
+        let latency =
+          { Rtic_core.Metrics.count = 2;
+            total_ns = 300.0;
+            min_ns = 98.0;
+            mean_ns = 150.0;
+            p50_ns = 97.5;
+            p95_ns = 195.5;
+            p99_ns = 195.5;
+            max_ns = 199.0 }
+        in
+        let sess =
+          { Telemetry.name = "s\"x\\y\nz";
+            transactions = 3;
+            violations = 1;
+            steps = 3;
+            last_time = Some 9;
+            health = "ok";
+            rates = [ (1, 2.0); (10, 0.2); (60, 0.05) ];
+            latency = Some latency;
+            buckets =
+              [ { Rtic_core.Metrics.lo_ns = 96; hi_ns = 99; n = 1 };
+                { Rtic_core.Metrics.lo_ns = 192; hi_ns = 199; n = 1 } ];
+            gauges = [ ("aux size", 4) ];
+            counters = [ ("wal_records_appended", 3) ] }
+        in
+        let snap =
+          { Telemetry.sessions = [ sess ];
+            session_count = 1;
+            queued = 2;
+            max_pending = 64;
+            stopped = false;
+            transactions = 3;
+            rates = [ (1, 2.0); (10, 0.2); (60, 0.05) ] }
+        in
+        let text = Telemetry.to_prometheus snap in
+        let esc = "s\\\"x\\\\y\\nz" in
+        List.iter
+          (fun needle ->
+            Alcotest.(check bool) ("contains " ^ needle) true
+              (contains text needle))
+          [ "# TYPE rtic_session_txn_latency_ns histogram";
+            "# TYPE rtic_transactions_total counter";
+            "rtic_transactions_total 3";
+            "rtic_txn_rate{window=\"1s\"} 2";
+            Printf.sprintf "rtic_session_transactions_total{session=\"%s\"} 3"
+              esc;
+            (* gauge keys are sanitized into metric-name characters *)
+            Printf.sprintf "rtic_session_aux_size{session=\"%s\"} 4" esc;
+            Printf.sprintf
+              "rtic_session_events_total{session=\"%s\",event=\"wal_records_appended\"} 3"
+              esc;
+            (* cumulative buckets, ending at +Inf = count *)
+            Printf.sprintf
+              "rtic_session_txn_latency_ns_bucket{session=\"%s\",le=\"99\"} 1"
+              esc;
+            Printf.sprintf
+              "rtic_session_txn_latency_ns_bucket{session=\"%s\",le=\"199\"} 2"
+              esc;
+            Printf.sprintf
+              "rtic_session_txn_latency_ns_bucket{session=\"%s\",le=\"+Inf\"} 2"
+              esc;
+            Printf.sprintf
+              "rtic_session_txn_latency_ns_count{session=\"%s\"} 2" esc ];
+        (* no raw newline may survive inside a label: every line is a
+           comment, a sample, or blank *)
+        List.iter
+          (fun line ->
+            Alcotest.(check bool) ("well-formed line: " ^ line) true
+              (line = "" || line.[0] = '#'
+              || String.length line > 5 && String.sub line 0 5 = "rtic_"))
+          (String.split_on_char '\n' text)) ]
+
+(* Counters in a snapshot taken between transactions always sum exactly:
+   per-session transactions equal what was driven into that session, and
+   the server total equals their sum — sequentially and under a pool. *)
+let metrics_property =
+  qtest ~count:8 "metrics counters sum exactly at any parallelism"
+    QCheck.(pair small_nat bool)
+    (fun (seed, par) ->
+      let sc = Scenarios.banking in
+      let tr = sc.Scenarios.generate ~seed ~steps:10 ~violation_rate:0.2 in
+      let run pool =
+        let _, srv = server_with_spec ?pool (spec_text sc) in
+        ignore (Server.handle_lines srv [ "open a spec"; "open b spec" ]);
+        let driven = [| 0; 0 |] in
+        List.iteri
+          (fun i step ->
+            let which = i mod 2 in
+            let session = if which = 0 then "a" else "b" in
+            ignore (Server.handle_lines srv (txn_lines session step));
+            driven.(which) <- driven.(which) + 1;
+            let snap =
+              snapshot_of_reply "metrics"
+                (one "metrics" (Server.handle_lines srv [ "metrics" ]))
+            in
+            let by_name n =
+              List.find (fun (s : Telemetry.session) -> s.name = n)
+                snap.Telemetry.sessions
+            in
+            Alcotest.(check int) "a" driven.(0)
+              (by_name "a").Telemetry.transactions;
+            Alcotest.(check int) "b" driven.(1)
+              (by_name "b").Telemetry.transactions;
+            Alcotest.(check int) "total" (driven.(0) + driven.(1))
+              snap.Telemetry.transactions)
+          tr.Trace.steps;
+        Alcotest.(check int) "sequential total" (Trace.length tr)
+          (driven.(0) + driven.(1))
+      in
+      if par then with_pool 4 (fun p -> run (Some p)) else run None;
+      true)
+
 let suite =
   [ ("server:protocol", protocol_cases);
     ("server:repair", repair_cases);
     ("server:connections", connection_cases);
     ("server:equivalence", equivalence_cases @ [ equivalence_property ]);
+    ("server:metrics", metrics_cases @ [ metrics_property ]);
     ("server:recovery", recovery_cases) ]

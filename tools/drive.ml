@@ -37,6 +37,7 @@ module Json = Rtic_core.Json
 module Monitor = Rtic_core.Monitor
 module Metrics = Rtic_core.Metrics
 module Stats = Rtic_core.Stats
+module Telemetry = Rtic_core.Telemetry
 module Scenarios = Rtic_workload.Scenarios
 
 let socket_path = ref ""
@@ -50,6 +51,7 @@ let jobs = ref 1
 let clients = ref 1
 let kill_after = ref (-1)
 let reconnect_at = ref (-1)
+let latency_out = ref ""
 
 let usage = "drive.exe [--socket PATH | --spawn RTIC_BIN] [options]"
 
@@ -73,7 +75,10 @@ let args =
     ("--kill-after", Arg.Set_int kill_after,
      "K  client 0 dies abruptly mid-transaction after K replies");
     ("--reconnect-at", Arg.Set_int reconnect_at,
-     "K  client 0 reconnects before its Kth transaction, same session") ]
+     "K  client 0 reconnects before its Kth transaction, same session");
+    ("--latency-out", Arg.Set_string latency_out,
+     "FILE  write the client-side latency histogram as an rtic-metrics/1 \
+      snapshot, cross-checked against the server's `metrics` totals") ]
 
 let die code fmt =
   Printf.ksprintf (fun m -> prerr_endline ("drive: " ^ m); exit code) fmt
@@ -192,7 +197,7 @@ let connect_client path =
    | _ -> failf "unexpected greeting: %s" hello);
   (fd, ic, oc)
 
-let run_client ~path ~spec_file ~session ~kill_at ~reconnect_at
+let run_client ~path ~spec_file ~session ~kill_at ~reconnect_at ~keep_open
     (sc : Scenarios.t) slice =
   try
     let fd0, ic0, oc0 = connect_client path in
@@ -288,9 +293,13 @@ let run_client ~path ~spec_file ~session ~kill_at ~reconnect_at
       if server_stats <> batch_stats then
         failf "serve/batch stats mismatch:\n  serve %s\n  batch %s"
           server_stats batch_stats;
-      ignore
-        (expect_ok "close"
-           (roundtrip !oc !ic (Printf.sprintf "close %s\n" session)));
+      (* with --latency-out the session stays open: the post-run metrics
+         snapshot must still list it (sessions are server-global, so
+         dropping the connection does not close it) *)
+      if not keep_open then
+        ignore
+          (expect_ok "close"
+             (roundtrip !oc !ic (Printf.sprintf "close %s\n" session)));
       close_out_noerr !oc;
       Finished
         { driven = !driven;
@@ -413,12 +422,111 @@ let () =
           if i = 0 && !reconnect_at >= 0 then Some !reconnect_at else None
         in
         Domain.spawn (fun () ->
-            run_client ~path ~spec_file ~session ~kill_at ~reconnect_at sc
-              slice))
+            run_client ~path ~spec_file ~session ~kill_at ~reconnect_at
+              ~keep_open:(!latency_out <> "") sc slice))
       slices
   in
   let results = List.map Domain.join domains in
   let elapsed = Unix.gettimeofday () -. t_start in
+  let failures = ref 0 in
+  let driven_total = ref 0 in
+  let violations_total = ref 0 in
+  List.iteri
+    (fun i r ->
+      match r with
+      | Finished f ->
+        driven_total := !driven_total + f.driven;
+        violations_total := !violations_total + f.violations
+      | Killed k ->
+        driven_total := !driven_total + k.driven;
+        violations_total := !violations_total + k.violations
+      | Failed m ->
+        incr failures;
+        Printf.eprintf "drive: client %d: %s\n" i m)
+    results;
+  (* --latency-out: reconcile our count against the server's telemetry,
+     close the sessions the clients left open, and write the client-side
+     histogram. Runs before shutdown (the snapshot needs a live server)
+     and only on a clean run — a failed client makes counts meaningless. *)
+  if !latency_out <> "" && !failures = 0 then begin
+    let our_sessions =
+      List.mapi
+        (fun i _ ->
+          if !clients = 1 then !session else Printf.sprintf "%s-%d" !session i)
+        slices
+    in
+    (try
+       let _, ic, oc = connect_client path in
+       let doc = expect_ok "metrics" (roundtrip oc ic "metrics\n") in
+       let snap =
+         match Json.member "metrics" doc with
+         | Some m ->
+           (match Telemetry.of_json m with
+            | Ok s -> s
+            | Error e -> failf "metrics snapshot: %s" e)
+         | None -> failf "metrics reply lacks a metrics field"
+       in
+       let server_sum =
+         List.fold_left
+           (fun acc (s : Telemetry.session) ->
+             if List.mem s.name our_sessions then acc + s.transactions
+             else acc)
+           0 snap.Telemetry.sessions
+       in
+       if server_sum <> !driven_total then
+         failf
+           "metrics cross-check: server counted %d transaction(s) across \
+            our sessions, clients drove %d"
+           server_sum !driven_total;
+       List.iter
+         (fun name ->
+           ignore
+             (expect_ok "close"
+                (roundtrip oc ic (Printf.sprintf "close %s\n" name))))
+         our_sessions;
+       close_out_noerr oc
+     with
+     | Client_error m -> die 1 "metrics cross-check: %s" m
+     | End_of_file -> die 1 "metrics cross-check: server closed the connection");
+    let m = Metrics.create () in
+    List.iter
+      (function
+        | Finished f ->
+          Array.iter (fun us -> Metrics.record_latency m (us *. 1e-6))
+            f.latencies
+        | Killed _ | Failed _ -> ())
+      results;
+    let hist_count =
+      match Metrics.latency m with Some l -> l.Metrics.count | None -> 0
+    in
+    let snap =
+      { Telemetry.sessions =
+          [ { Telemetry.name = "drive";
+              transactions = hist_count;
+              violations = !violations_total;
+              steps = hist_count;
+              last_time = None;
+              health = "ok";
+              rates = [];
+              latency = Metrics.latency m;
+              buckets = Metrics.latency_buckets m;
+              gauges = [];
+              counters = [] } ];
+        session_count = 1;
+        queued = 0;
+        max_pending = 0;
+        stopped = false;
+        transactions = !driven_total;
+        rates = [] }
+    in
+    Out_channel.with_open_bin !latency_out (fun oc ->
+        Out_channel.output_string oc
+          (Json.to_string (Telemetry.to_json snap) ^ "\n"));
+    Printf.printf
+      "drive: wrote client-side latency histogram (%d sample(s)) to %s; \
+       server metrics agree\n"
+      hist_count !latency_out
+  end;
   (* Shut the spawned server down over a control connection — proof the
      server survived whatever the drills did to the client fleet. *)
   (match child with
@@ -439,22 +547,6 @@ let () =
            | Unix.WSTOPPED s -> Printf.sprintf "stopped %d" s)));
   Sys.remove spec_file;
   (* Report: aggregate throughput, then one line per client. *)
-  let failures = ref 0 in
-  let driven_total = ref 0 in
-  let violations_total = ref 0 in
-  List.iteri
-    (fun i r ->
-      match r with
-      | Finished f ->
-        driven_total := !driven_total + f.driven;
-        violations_total := !violations_total + f.violations
-      | Killed k ->
-        driven_total := !driven_total + k.driven;
-        violations_total := !violations_total + k.violations
-      | Failed m ->
-        incr failures;
-        Printf.eprintf "drive: client %d: %s\n" i m)
-    results;
   Printf.printf
     "drive: %s scenario, %d txn(s) over %d client(s) in %.3f s — %.1f txn/s\n"
     sc.name !driven_total !clients elapsed
