@@ -32,6 +32,7 @@ module Rewrite = Rtic_mtl.Rewrite
 module Safety = Rtic_mtl.Safety
 module Valrel = Rtic_eval.Valrel
 module Naive = Rtic_eval.Naive
+module Codd = Rtic_eval.Codd
 module Incremental = Rtic_core.Incremental
 module Monitor = Rtic_core.Monitor
 module Shared = Rtic_core.Shared
@@ -1367,8 +1368,12 @@ let run_explain spec_file trace_file name limit =
 (* ------------------------------------------------------------------ *)
 
 (* Evaluate an ad-hoc (possibly open) formula at one position of a trace
-   and print the verdict or the witnesses. *)
-let run_query spec_file trace_file formula_src at limit =
+   and print the verdict or the witnesses. Single-state (non-temporal,
+   non-transition) formulas run through the Codd compiler on the planned
+   relational algebra — the indexed path; anything the compiler rejects
+   falls back to the naive evaluator, which agrees with it by the codd
+   agreement property. *)
+let run_query spec_file trace_file formula_src at limit no_plan =
   let spec = or_die (load_spec spec_file) in
   let tr = or_die (load_trace trace_file) in
   let f = or_die (Parser.formula_of_string formula_src) in
@@ -1384,7 +1389,14 @@ let run_query spec_file trace_file formula_src at limit =
         (Printf.sprintf "position %d out of range (0..%d)" i (History.last h))
     | None -> History.last h
   in
-  let vr = or_die (Naive.eval h i f) in
+  let vr =
+    match Codd.eval_via_algebra ~plan:(not no_plan) (History.db h i) f with
+    | Ok vr -> vr
+    | Error _ ->
+      (* not single-state (or a runtime error the naive evaluator will
+         reproduce verbatim): evaluate over the history *)
+      or_die (Naive.eval h i f)
+  in
   Format.printf "at position %d (time %d): " i (History.time h i);
   if Array.length (Valrel.cols vr) = 0 then begin
     Format.printf "%b@." (Valrel.holds vr);
@@ -1765,9 +1777,15 @@ let query_cmd =
   let limit_arg =
     Arg.(value & opt int 10 & info [ "limit" ] ~doc:"Witnesses to print.")
   in
+  let no_plan_arg =
+    Arg.(value & flag & info [ "no-plan" ]
+           ~doc:"Evaluate single-state queries on the unplanned relational \
+                 algebra (no selection pushdown or join reordering). \
+                 Escape hatch; results are identical either way.")
+  in
   Cmd.v (Cmd.info "query" ~doc)
     Term.(const run_query $ spec_arg $ trace_pos 1 $ formula_arg $ at_arg
-          $ limit_arg)
+          $ limit_arg $ no_plan_arg)
 
 let serve_cmd =
   let doc = "run the monitor as a long-lived service (rtic-serve/1)" in

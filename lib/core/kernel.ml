@@ -140,20 +140,53 @@ let window_of = function
   | Prev_aux _ -> assert false
 
 (* Drop timestamps that can never satisfy the interval again; with an
-   unbounded upper bound keep only the oldest witness per valuation. *)
+   unbounded upper bound keep only the oldest witness per valuation.
+   Expiry is a range drop: every stale timestamp sits below [time - u], so
+   [Ts_set.split] removes the whole prefix in O(log n + dropped) instead of
+   re-filtering each stored timestamp. Untouched valuations keep their
+   physical sets, and a step that expires nothing returns [m] itself. *)
 let prune_map cfg iv ~time m =
   if not cfg.prune then m
   else
     match Interval.hi iv with
     | Some u ->
-      Row_map.filter_map
-        (fun _ ts ->
-          let ts = Ts_set.filter (fun t -> time - t <= u) ts in
-          if Ts_set.is_empty ts then None else Some ts)
-        m
-    | None -> Row_map.map (fun ts -> Ts_set.singleton (Ts_set.min_elt ts)) m
+      let cutoff = time - u in
+      (* keep t iff t >= cutoff; a step that expires nothing — the common
+         case in live monitoring — returns [m] itself without rebuilding *)
+      if
+        not
+          (Row_map.exists
+             (fun _ ts ->
+               match Ts_set.min_elt_opt ts with
+               | None -> true
+               | Some t0 -> t0 < cutoff)
+             m)
+      then m
+      else
+        Row_map.filter_map
+          (fun _ ts ->
+            match Ts_set.min_elt_opt ts with
+            | None -> None
+            | Some t0 when t0 >= cutoff -> Some ts
+            | Some _ ->
+              let _stale, at_cutoff, fresh = Ts_set.split cutoff ts in
+              let fresh =
+                if at_cutoff then Ts_set.add cutoff fresh else fresh
+              in
+              if Ts_set.is_empty fresh then None else Some fresh)
+          m
+    | None ->
+      if
+        not
+          (Row_map.exists
+             (fun _ ts -> Ts_set.min_elt ts <> Ts_set.max_elt ts)
+             m)
+      then m (* every valuation already holds a single witness *)
+      else Row_map.map (fun ts -> Ts_set.singleton (Ts_set.min_elt ts)) m
 
-(* Valuations with a witness timestamp inside the interval, as a Valrel. *)
+(* Valuations with a witness timestamp inside the interval, as a Valrel.
+   The witness probe is a single ordered lookup (find_first), O(log n) per
+   valuation — never a scan of the stored timestamps. *)
 let read_map iv ~time ~cols m =
   let lo_t =
     match Interval.hi iv with

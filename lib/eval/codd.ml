@@ -28,8 +28,17 @@ let index_of cols v =
   in
   go 0 cols
 
-let index_of_exn cols v =
-  match index_of cols v with
+module Sset = Set.Make (String)
+
+(* Position table of a (distinct) column list: one pass, O(1) lookups.
+   The naive [index_of] per column is quadratic in the schema width. *)
+let position_tbl cols =
+  let t = Hashtbl.create 16 in
+  List.iteri (fun i v -> if not (Hashtbl.mem t v) then Hashtbl.add t v i) cols;
+  t
+
+let position_exn tbl v =
+  match Hashtbl.find_opt tbl v with
   | Some i -> i
   | None -> invalid_arg ("Codd: unbound column " ^ v)
 
@@ -44,17 +53,20 @@ let cmp_to_algebra = function
 (* Natural join of two compiled results; output columns are the sorted
    union of the inputs'. *)
 let join (ea, ca) (eb, cb) =
-  let shared = List.filter (fun v -> List.mem v cb) ca in
+  let pa = position_tbl ca and pb = position_tbl cb in
+  let in_b = Sset.of_list cb in
+  let shared = List.filter (fun v -> Sset.mem v in_b) ca in
   let pairs =
-    List.map (fun v -> (index_of_exn ca v, index_of_exn cb v)) shared
+    List.map (fun v -> (position_exn pa v, position_exn pb v)) shared
   in
   let union_cols = List.sort_uniq String.compare (ca @ cb) in
+  let na = List.length ca in
   let positions =
     List.map
       (fun v ->
-        match index_of ca v with
+        match Hashtbl.find_opt pa v with
         | Some i -> i
-        | None -> List.length ca + index_of_exn cb v)
+        | None -> na + position_exn pb v)
       union_cols
   in
   (A.Project (Array.of_list positions, A.Join (pairs, ea, eb)), union_cols)
@@ -62,8 +74,9 @@ let join (ea, ca) (eb, cb) =
 (* Anti-join: rows of [a] whose shared-column projection does not match
    [b]. Encoded as a \ semijoin(a, b). Requires cols(b) ⊆ cols(a). *)
 let antijoin (ea, ca) (eb, cb) =
+  let pa = position_tbl ca and pb = position_tbl cb in
   let pairs =
-    List.map (fun v -> (index_of_exn ca v, index_of_exn cb v)) cb
+    List.map (fun v -> (position_exn pa v, position_exn pb v)) cb
   in
   let keep = Array.init (List.length ca) (fun i -> i) in
   let semi = A.Project (keep, A.Join (pairs, ea, eb)) in
@@ -192,8 +205,10 @@ let rec compile_core cat f =
     else Ok (A.Union (ea, eb), ca)
   | Exists (vs, a) ->
     let* ea, ca = compile_core cat a in
-    let keep = List.filter (fun v -> not (List.mem v vs)) ca in
-    let positions = Array.of_list (List.map (index_of_exn ca) keep) in
+    let drop = Sset.of_list vs in
+    let keep = List.filter (fun v -> not (Sset.mem v drop)) ca in
+    let pa = position_tbl ca in
+    let positions = Array.of_list (List.map (position_exn pa) keep) in
     Ok (A.Project (positions, ea), keep)
   | Inserted _ | Deleted _ ->
     err "transition atom in a single-state query: %s" (Pretty.to_string f)
@@ -202,17 +217,24 @@ let rec compile_core cat f =
   | Implies _ | Iff _ | Forall _ | Historically _ | Eventually _ | Always _ ->
     err "non-core formula (normalize first): %s" (Pretty.to_string f)
 
-let compile cat f =
+let compile ?(plan = true) ?stats cat f =
   let f = Rtic_mtl.Rewrite.normalize f in
   let* () = Safety.check f in
   let* expr, columns =
     try compile_core cat f with Invalid_argument m -> Error m
   in
+  let expr =
+    if plan then Rtic_relational.Planner.plan ?stats cat expr else expr
+  in
   (* sanity: the expression must be statically well-formed *)
   let* _arity = A.arity_of cat expr in
   Ok { expr; columns }
 
-let eval_via_algebra db f =
-  let* { expr; columns } = compile (Database.catalog db) f in
+let eval_via_algebra ?plan db f =
+  let* { expr; columns } =
+    compile ?plan
+      ~stats:(Rtic_relational.Planner.db_stats db)
+      (Database.catalog db) f
+  in
   let* rel = A.eval db expr in
   Ok (Valrel.make columns (Relation.to_list rel))

@@ -19,16 +19,25 @@ type compiled = {
 }
 
 val compile :
+  ?plan:bool ->
+  ?stats:(string -> int option) ->
   Rtic_relational.Schema.Catalog.t ->
   Rtic_mtl.Formula.t ->
   (compiled, string) result
 (** Compile a formula. Fails on temporal operators, non-core connectives
-    (run {!Rtic_mtl.Rewrite.normalize} first) and non-monitorable shapes. *)
+    (run {!Rtic_mtl.Rewrite.normalize} first) and non-monitorable shapes.
+    Unless [plan] is [false] the compiled expression is run through
+    {!Rtic_relational.Planner.plan} (selection pushdown, join-operand
+    reordering); [stats] supplies base-relation cardinalities for the
+    reordering estimates. The planned and unplanned expressions evaluate
+    to the same relation on every snapshot. *)
 
 val eval_via_algebra :
+  ?plan:bool ->
   Rtic_relational.Database.t ->
   Rtic_mtl.Formula.t ->
   (Valrel.t, string) result
-(** [compile] against the database's catalog, evaluate the algebra, and
-    repackage the result as a valuation relation (for direct comparison
-    with {!Fo.eval}). *)
+(** [compile] against the database's catalog (with the snapshot's relation
+    sizes as planner statistics), evaluate the algebra, and repackage the
+    result as a valuation relation (for direct comparison with
+    {!Fo.eval}). *)

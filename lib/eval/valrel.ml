@@ -23,21 +23,23 @@ let none cols = { cols = sorted_distinct cols; rows = Tuple_set.empty }
 
 let make cols rows =
   let order = sorted_distinct cols in
-  let given = Array.of_list cols in
   let k = Array.length order in
-  (* position of sorted column j in the given order *)
+  (* position of each sorted column in the given order, via a one-pass
+     position table — a linear scan per column is O(k^2) per construction,
+     and [make] sits on the per-transaction read path *)
+  let given_pos = Hashtbl.create (max 8 k) in
+  List.iteri
+    (fun i c -> if not (Hashtbl.mem given_pos c) then Hashtbl.add given_pos c i)
+    cols;
   let perm =
     Array.map
       (fun c ->
-        let rec find i =
-          if i >= Array.length given then
-            invalid_arg
-              (Printf.sprintf
-                 "Valrel.make: column %s is not among the given columns" c)
-          else if given.(i) = c then i
-          else find (i + 1)
-        in
-        find 0)
+        match Hashtbl.find_opt given_pos c with
+        | Some i -> i
+        | None ->
+          invalid_arg
+            (Printf.sprintf
+               "Valrel.make: column %s is not among the given columns" c))
       order
   in
   let reorder row =

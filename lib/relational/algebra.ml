@@ -139,6 +139,40 @@ let rec arity_of cat expr =
       Error (Printf.sprintf "arity mismatch: %d vs %d" ka kb)
     else Ok ka
 
+(* First predicate error aborts a selection scan; carries the message. *)
+exception Pred_error of string
+
+(* Equi-join as a hash join: build a table on the smaller input's join
+   columns, probe with the larger. Output tuples are always left ++ right,
+   whichever side was the build side. Cost O(|a| + |b| + |out|) instead of
+   the nested loop's O(|a| * |b|). *)
+let hash_join cols ra rb =
+  let k = Relation.arity ra + Relation.arity rb in
+  let li = Array.of_list (List.map fst cols) in
+  let ri = Array.of_list (List.map snd cols) in
+  let key idx t = Array.map (fun i -> Tuple.get t i) idx in
+  let build_on_left = Relation.cardinal ra <= Relation.cardinal rb in
+  let build, build_idx, probe, probe_idx =
+    if build_on_left then (ra, li, rb, ri) else (rb, ri, ra, li)
+  in
+  let index = Hashtbl.create (max 16 (Relation.cardinal build)) in
+  Relation.iter
+    (fun t ->
+      let k = key build_idx t in
+      Hashtbl.replace index k (t :: (try Hashtbl.find index k with Not_found -> [])))
+    build;
+  Relation.fold
+    (fun t acc ->
+      match Hashtbl.find_opt index (key probe_idx t) with
+      | None -> acc
+      | Some matches ->
+        List.fold_left
+          (fun acc m ->
+            let out = if build_on_left then Tuple.append m t else Tuple.append t m in
+            Relation.add out acc)
+          acc matches)
+    probe (Relation.empty k)
+
 let rec eval db expr =
   match expr with
   | Scan name ->
@@ -148,18 +182,15 @@ let rec eval db expr =
   | Const r -> Ok r
   | Select (p, e) ->
     let* r = eval db e in
-    let err = ref None in
-    let out =
-      Relation.filter
-        (fun t ->
-          match eval_pred p t with
-          | Ok b -> b
-          | Error m ->
-            if !err = None then err := Some m;
-            false)
-        r
-    in
-    (match !err with Some m -> Error m | None -> Ok out)
+    (try
+       Ok
+         (Relation.filter
+            (fun t ->
+              match eval_pred p t with
+              | Ok b -> b
+              | Error m -> raise (Pred_error m))
+            r)
+     with Pred_error m -> Error m)
   | Project (idx, e) ->
     let* r = eval db e in
     (try Ok (Relation.project idx r) with Invalid_argument m -> Error m)
@@ -167,25 +198,19 @@ let rec eval db expr =
     let* ra = eval db a in
     let* rb = eval db b in
     Ok (Relation.product ra rb)
+  | Join ([], a, b) ->
+    (* Zero-column join is a cartesian product; keep the direct path. *)
+    let* ra = eval db a in
+    let* rb = eval db b in
+    Ok (Relation.product ra rb)
   | Join (cols, a, b) ->
     let* ra = eval db a in
     let* rb = eval db b in
-    let k = Relation.arity ra + Relation.arity rb in
-    (try
-       Ok
-         (Relation.fold
-            (fun ta acc ->
-              Relation.fold
-                (fun tb acc ->
-                  let matches =
-                    List.for_all
-                      (fun (i, j) -> Value.equal (Tuple.get ta i) (Tuple.get tb j))
-                      cols
-                  in
-                  if matches then Relation.add (Tuple.append ta tb) acc else acc)
-                rb acc)
-            ra (Relation.empty k))
-     with Invalid_argument m -> Error m)
+    if Relation.is_empty ra || Relation.is_empty rb then
+      (* Same silence as the nested loop: with an empty input no tuple is
+         ever touched, so bad column indices cannot surface here. *)
+      Ok (Relation.empty (Relation.arity ra + Relation.arity rb))
+    else (try Ok (hash_join cols ra rb) with Invalid_argument m -> Error m)
   | Union (a, b) ->
     let* ra = eval db a in
     let* rb = eval db b in

@@ -1,0 +1,147 @@
+module A = Algebra
+
+(* Saturating arithmetic: estimates multiply (products) and must not wrap. *)
+let sat_mul a b = if a = 0 || b = 0 then 0 else if a > max_int / b then max_int else a * b
+let sat_add a b = if a > max_int - b then max_int else a + b
+
+(* Cardinality of a base relation unknown to [stats]: any constant works
+   as long as it is the same for every unknown scan (reordering then never
+   triggers on guesses alone). *)
+let default_scan = 64
+
+let rec estimate ?(stats = fun _ -> None) cat e =
+  let est e = estimate ~stats cat e in
+  match e with
+  | A.Scan name -> (match stats name with Some n -> max n 0 | None -> default_scan)
+  | A.Const r -> Relation.cardinal r
+  | A.Select (_, e) ->
+    (* a selection keeps some rows; assume 1/4 but never promote 0 to 1 *)
+    let n = est e in
+    min n (max 1 (n / 4))
+  | A.Project (_, e) -> est e
+  | A.Product (a, b) | A.Join ([], a, b) -> sat_mul (est a) (est b)
+  | A.Join (_ :: _, a, b) -> max (est a) (est b)
+  | A.Union (a, b) -> sat_add (est a) (est b)
+  | A.Diff (a, _) -> est a
+
+(* ---------------- predicate plumbing ---------------- *)
+
+let rec operand_cols acc = function
+  | A.Col i -> i :: acc
+  | A.Lit _ -> acc
+  | A.Add_op (a, b) | A.Sub_op (a, b) | A.Mul_op (a, b) ->
+    operand_cols (operand_cols acc a) b
+
+let rec pred_cols acc = function
+  | A.True_p -> acc
+  | A.Compare (_, l, r) -> operand_cols (operand_cols acc l) r
+  | A.And_p (a, b) | A.Or_p (a, b) -> pred_cols (pred_cols acc a) b
+  | A.Not_p a -> pred_cols acc a
+
+let rec map_cols f = function
+  | A.Col i -> A.Col (f i)
+  | A.Lit _ as o -> o
+  | A.Add_op (a, b) -> A.Add_op (map_cols f a, map_cols f b)
+  | A.Sub_op (a, b) -> A.Sub_op (map_cols f a, map_cols f b)
+  | A.Mul_op (a, b) -> A.Mul_op (map_cols f a, map_cols f b)
+
+let rec map_pred_cols f = function
+  | A.True_p -> A.True_p
+  | A.Compare (c, l, r) -> A.Compare (c, map_cols f l, map_cols f r)
+  | A.And_p (a, b) -> A.And_p (map_pred_cols f a, map_pred_cols f b)
+  | A.Or_p (a, b) -> A.Or_p (map_pred_cols f a, map_pred_cols f b)
+  | A.Not_p a -> A.Not_p (map_pred_cols f a)
+
+(* Top-level conjuncts in left-to-right evaluation order. *)
+let conjuncts p =
+  let rec go acc = function
+    | A.And_p (a, b) -> go (go acc a) b
+    | p -> p :: acc
+  in
+  List.rev (go [] p)
+
+let rec and_of = function
+  | [] -> A.True_p
+  | [ p ] -> p
+  | p :: rest -> A.And_p (p, and_of rest)
+
+let wrap_select ps e = match ps with [] -> e | ps -> A.Select (and_of ps, e)
+
+(* ---------------- the rewriter ---------------- *)
+
+let db_stats db name = Option.map Relation.cardinal (Database.relation db name)
+
+let plan ?(stats = fun _ -> None) cat expr =
+  let arity e =
+    match A.arity_of cat e with
+    | Ok k -> k
+    | Error _ -> assert false (* the whole expression was checked up front *)
+  in
+  let est e = estimate ~stats cat e in
+  (* Push the conjuncts of a selection predicate as deep as they go: through
+     projections (re-indexing the columns), and into whichever operand of a
+     join/product they exclusively touch. Conjuncts without columns, or
+     touching both sides, stay put. *)
+  let rec push_select p e =
+    match e with
+    | A.Project (idx, e1) ->
+      A.Project (idx, push_select (map_pred_cols (fun c -> idx.(c)) p) e1)
+    | A.Join (_, a, _) | A.Product (a, _) ->
+      let ka = arity a in
+      let left, right, keep =
+        List.fold_left
+          (fun (l, r, k) c ->
+            match pred_cols [] c with
+            | [] -> (l, r, c :: k)
+            | cols when List.for_all (fun i -> i < ka) cols -> (c :: l, r, k)
+            | cols when List.for_all (fun i -> i >= ka) cols -> (l, c :: r, k)
+            | _ -> (l, r, c :: k))
+          ([], [], [])
+          (conjuncts p)
+      in
+      let left = List.rev left and right = List.rev right and keep = List.rev keep in
+      if left = [] && right = [] then A.Select (p, e)
+      else
+        let push_side side ps shift =
+          if ps = [] then side
+          else push_select (and_of (List.map (map_pred_cols shift) ps)) side
+        in
+        let e' =
+          match e with
+          | A.Join (cols, a, b) ->
+            A.Join (cols, push_side a left Fun.id,
+                    push_side b right (fun c -> c - ka))
+          | A.Product (a, b) ->
+            A.Product (push_side a left Fun.id,
+                       push_side b right (fun c -> c - ka))
+          | _ -> assert false
+        in
+        wrap_select keep e'
+    | _ -> A.Select (p, e)
+  in
+  (* Reorder a projected equi-join so the estimated-smaller operand comes
+     first: flip the join columns, re-index the projection. Only fires when
+     a projection already sits on top (the Codd shape), so no operator is
+     added, and only on a strict estimate win, so plans are stable when
+     statistics are silent. *)
+  let reorder_project idx e =
+    match e with
+    | A.Join ((_ :: _ as cols), a, b) when est b < est a ->
+      let ka = arity a and kb = arity b in
+      let idx' = Array.map (fun p -> if p < ka then kb + p else p - ka) idx in
+      A.Project (idx', A.Join (List.map (fun (i, j) -> (j, i)) cols, b, a))
+    | _ -> A.Project (idx, e)
+  in
+  let rec go e =
+    match e with
+    | A.Scan _ | A.Const _ -> e
+    | A.Select (p, e1) -> push_select p (go e1)
+    | A.Project (idx, e1) -> reorder_project idx (go e1)
+    | A.Product (a, b) -> A.Product (go a, go b)
+    | A.Join (cols, a, b) -> A.Join (cols, go a, go b)
+    | A.Union (a, b) -> A.Union (go a, go b)
+    | A.Diff (a, b) -> A.Diff (go a, go b)
+  in
+  match A.arity_of cat expr with
+  | Error _ -> expr
+  | Ok _ -> go expr

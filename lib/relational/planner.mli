@@ -1,0 +1,39 @@
+(** A small cost-based planner for {!Algebra} expressions.
+
+    Rewrites an expression into an equivalent one that is cheaper to
+    evaluate with the hash-join executor:
+
+    - {b selection pushdown}: a conjunct of a selection predicate that only
+      touches columns of one join (or product) operand moves below the join,
+      shrinking the hashed and probed inputs; selections also commute below
+      projections on the way down;
+    - {b join operand reordering}: when a projection sits directly above an
+      equi-join (the shape the {!Rtic_eval.Codd} compiler emits), the
+      operands are swapped so the estimated-smaller input comes first, the
+      join columns flipped and the projection re-indexed — no extra
+      operator is introduced.
+
+    Cardinality estimates come from [stats] for base relations (e.g. the
+    live sizes of a database snapshot) and structural heuristics above
+    them; without [stats] every base relation is assumed equal, which
+    disables reordering but still allows pushdown.
+
+    Planning preserves results: for every database on which the unplanned
+    expression evaluates without error, the planned expression evaluates to
+    the same relation. An evaluation that fails may report the error from a
+    different operator (a pushed-down selection sees its rows before the
+    join would have filtered them), but on catalog-typechecked constraint
+    queries predicate evaluation cannot fail. *)
+
+val estimate :
+  ?stats:(string -> int option) -> Schema.Catalog.t -> Algebra.t -> int
+(** Estimated output cardinality; saturating, never negative. *)
+
+val plan :
+  ?stats:(string -> int option) -> Schema.Catalog.t -> Algebra.t -> Algebra.t
+(** Rewrite the expression as described above. Statically ill-formed
+    expressions ({!Algebra.arity_of} fails) are returned unchanged so the
+    evaluator reports the original error. *)
+
+val db_stats : Database.t -> string -> int option
+(** Base-relation cardinalities of a database snapshot, for [?stats]. *)

@@ -240,6 +240,18 @@ ad-hoc queries (open formulas print witnesses; transition atoms work):
   at position 3 (time 40): 0 witness(es)
   [1]
 
+the planner escape hatch changes the evaluation path, never the answer:
+
+  $ rtic query --no-plan loans.spec loans.trace 'borrow(p, b)' --at 2
+  at position 2 (time 3): 1 witness(es)
+    b = "b2", p = "zed"
+  $ rtic query --no-plan loans.spec loans.trace 'member(p) & borrow(p, b)' --at 2
+  at position 2 (time 3): 0 witness(es)
+  [1]
+  $ rtic query loans.spec loans.trace 'member(p) & borrow(p, b)' --at 2
+  at position 2 (time 3): 0 witness(es)
+  [1]
+
 the shared-kernel engine agrees too:
 
   $ rtic check -q --engine shared loans.spec loans.trace

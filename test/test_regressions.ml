@@ -103,7 +103,99 @@ let read_file_cases =
             (String.length (get_ok "cmdline" (Faults.(real_fs.read_file) path))
              > 0)) ]
 
+(* The algebra executor used to evaluate [Join] with a nested loop: joining
+   two n-row relations on a shared key cost n^2 comparisons. The hash join
+   builds an index on the smaller side, so an n-to-n equi-join is
+   n log n. *)
+let join_cases =
+  [ Alcotest.test_case "50k-row equi-join is near-linear" `Slow (fun () ->
+        let db = Database.create cat in
+        let rel n =
+          Relation.of_list 1 (List.init n (fun i -> [| Value.Int i |]))
+        in
+        let run (a, b) =
+          let r =
+            get_ok "join"
+              (Algebra.eval db (Algebra.Join ([ (0, 0) ], Const a, Const b)))
+          in
+          Alcotest.(check int) "rows" (Relation.cardinal a)
+            (Relation.cardinal r)
+        in
+        let small = (rel 5_000, rel 5_000) in
+        let big = (rel 50_000, rel 50_000) in
+        ignore (timed (fun () -> run small)) (* warm-up *);
+        let (), t_small = timed (fun () -> run small) in
+        let (), t_big = timed (fun () -> run big) in
+        check_linear "joined rows" t_small t_big) ]
+
+(* Window pruning used to [filter] every row's full timestamp set on every
+   step. With one hot row and a window wide enough that nothing expires,
+   that filter alone made a run quadratic; the [split]-based prune with its
+   min-element fast path leaves each no-op step at O(log n). *)
+let prune_cases =
+  [ Alcotest.test_case "50k-step wide-window monitoring is linear" `Slow
+      (fun () ->
+        let d =
+          { Formula.name = "w";
+            body = parse_formula "exists x. once[0,100000000] p(x)" }
+        in
+        let db =
+          get_ok "ins"
+            (Database.insert (Database.create cat) "p"
+               (Tuple.make [ Value.Int 0 ]))
+        in
+        let run n =
+          let st = ref (get_ok "create" (Incremental.create cat d)) in
+          for time = 1 to n do
+            let st', v = get_ok "step" (Incremental.step !st ~time db) in
+            if not v.Incremental.satisfied then
+              Alcotest.fail "p(0) holds at every step";
+            st := st'
+          done
+        in
+        ignore (timed (fun () -> run 5_000)) (* warm-up *);
+        let (), t_small = timed (fun () -> run 5_000) in
+        let (), t_big = timed (fun () -> run 50_000) in
+        check_linear "monitored steps" t_small t_big) ]
+
+(* Compiling a conjunction used to look each shared column up with a linear
+   [index_of] scan per column — quadratic in the schema width. The position
+   tables keep wide-schema compilation near-linear. *)
+let wide_schema_cases =
+  let vars k = List.init k (fun i -> "x" ^ string_of_int i) in
+  [ Alcotest.test_case "2000-column join compiles in near-linear time" `Slow
+      (fun () ->
+        let compile k =
+          let attrs = List.map (fun v -> (v, Value.TInt)) (vars k) in
+          let wide_cat =
+            Schema.Catalog.of_list
+              [ Schema.make "w1" attrs; Schema.make "w2" attrs ]
+          in
+          let args = List.map (fun v -> Formula.Var v) (vars k) in
+          let f = Formula.And (Atom ("w1", args), Atom ("w2", args)) in
+          let c = get_ok "compile" (Rtic_eval.Codd.compile wide_cat f) in
+          Alcotest.(check int) "cols" k (List.length c.Rtic_eval.Codd.columns)
+        in
+        ignore (timed (fun () -> compile 200)) (* warm-up *);
+        let (), t_small = timed (fun () -> compile 200) in
+        let (), t_big = timed (fun () -> compile 2_000) in
+        check_linear "schema columns" t_small t_big);
+    Alcotest.test_case "5000-column valuation build is near-linear" `Slow
+      (fun () ->
+        let build k =
+          let row = Tuple.make (List.init k (fun i -> Value.Int i)) in
+          let vr = Valrel.make (vars k) (List.init 50 (fun _ -> row)) in
+          Alcotest.(check int) "rows" 1 (List.length (Valrel.rows vr))
+        in
+        ignore (timed (fun () -> build 500)) (* warm-up *);
+        let (), t_small = timed (fun () -> build 500) in
+        let (), t_big = timed (fun () -> build 5_000) in
+        check_linear "valuation columns" t_small t_big) ]
+
 let suite =
   [ ("regressions:future-buffer", future_cases);
     ("regressions:scenarios", scenario_cases);
+    ("regressions:hash-join", join_cases);
+    ("regressions:window-prune", prune_cases);
+    ("regressions:wide-schema", wide_schema_cases);
     ("regressions:read-file", read_file_cases) ]

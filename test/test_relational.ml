@@ -220,6 +220,53 @@ let qcheck_relation_laws =
         let p = Relation.project [| 0 |] a in
         Relation.equal p (Relation.project [| 0 |] p)) ]
 
+(* The hash-join executor must agree with the definitional nested loop on
+   arbitrary inputs: random arities (including zero columns), random join
+   column lists (including the empty list, i.e. a product), empty and
+   non-empty relations on either side. *)
+let nested_loop_join cols ra rb =
+  let k = Relation.arity ra + Relation.arity rb in
+  Relation.fold
+    (fun ta acc ->
+      Relation.fold
+        (fun tb acc ->
+          let matches =
+            List.for_all
+              (fun (i, j) -> Value.equal (Tuple.get ta i) (Tuple.get tb j))
+              cols
+          in
+          if matches then Relation.add (Tuple.append ta tb) acc else acc)
+        rb acc)
+    ra (Relation.empty k)
+
+let join_case_gen =
+  QCheck.Gen.(
+    pair (int_range 0 3) (int_range 0 3) >>= fun (ka, kb) ->
+    let tup k =
+      map
+        (fun l -> Tuple.make (List.map (fun n -> Value.Int n) l))
+        (list_repeat k (int_bound 3))
+    in
+    let rel k = map (Relation.of_list k) (list_size (int_bound 9) (tup k)) in
+    let cols =
+      if ka = 0 || kb = 0 then return []
+      else
+        list_size (int_bound (min ka kb))
+          (pair (int_bound (ka - 1)) (int_bound (kb - 1)))
+    in
+    triple cols (rel ka) (rel kb))
+
+let qcheck_join_equivalence =
+  let db = Database.create Schema.Catalog.empty in
+  [ qtest ~count:500 "hash join = nested-loop join"
+      (QCheck.make join_case_gen)
+      (fun (cols, ra, rb) ->
+        let via =
+          get_ok "join"
+            (Algebra.eval db (Algebra.Join (cols, Const ra, Const rb)))
+        in
+        Relation.equal via (nested_loop_join cols ra rb)) ]
+
 let suite =
   [ ("relational:value", value_cases);
     ("relational:tuple", tuple_cases);
@@ -227,4 +274,5 @@ let suite =
     ("relational:database", database_cases);
     ("relational:algebra", algebra_cases);
     ("relational:textio", textio_cases);
-    ("relational:laws", qcheck_relation_laws) ]
+    ("relational:laws", qcheck_relation_laws);
+    ("relational:hash-join", qcheck_join_equivalence) ]
