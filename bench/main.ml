@@ -549,7 +549,8 @@ let er () =
         in
         row "\n";
         Json.Obj
-          [ ("wal_suffix", Json.Int suffix);
+          [ ("name", Json.Str (Printf.sprintf "suffix-%d" suffix));
+            ("wal_suffix", Json.Int suffix);
             ("recover_ms",
              Json.List
                (List.map
@@ -560,7 +561,67 @@ let er () =
                   cells)) ])
       sweep
   in
-  write_artifact ~experiment:"er" series
+  (* Group-commit series: feed the same banking workload through the
+     supervisor's commit queue at batch sizes 1/16/128 on both WAL
+     formats — sustained feed throughput, then the cost of recovering
+     the directory the run left behind.  On the in-memory filesystem a
+     sync is free and the persistent append handle already removed the
+     per-append open/close, so the in-memory rows are expected to be
+     near-flat across group sizes — they pin the bookkeeping overhead of
+     the commit queue at ~zero.  The durability win (one fsync per group
+     instead of one per transaction) only shows on a real disk. *)
+  let gc_steps = if !quick then 300 else 2000 in
+  row "\n%8s %6s %8s %16s %14s\n" "group" "wal" "txns" "feed txn/s"
+    "recover ms";
+  let gc_series =
+    List.concat_map
+      (fun wal ->
+        List.map
+          (fun group ->
+            let tr =
+              sc.generate ~seed:13 ~steps:gc_steps ~violation_rate:0.05
+            in
+            let fs = Faults.mem_fs () in
+            let config =
+              { Supervisor.default_config with
+                auto_checkpoint = 0;
+                group_commit = group;
+                wal_format = wal }
+            in
+            let sup =
+              or_die "create"
+                (Supervisor.create ~fs ~config ~init:tr.Trace.init
+                   ~state_dir:"state" sc.catalog sc.constraints)
+            in
+            let (), t_feed =
+              time_it (fun () ->
+                  List.iter
+                    (fun (time, txn) ->
+                      ignore (or_die "submit" (Supervisor.submit sup ~time txn)))
+                    tr.Trace.steps;
+                  ignore (Supervisor.flush sup))
+            in
+            let _, t_rec =
+              time_it (fun () ->
+                  or_die "recover"
+                    (Supervisor.recover ~fs ~config ~init:tr.Trace.init
+                       ~repair:false ~state_dir:"state" sc.catalog
+                       sc.constraints))
+            in
+            let per_sec = float_of_int gc_steps /. Float.max t_feed 1e-9 in
+            row "%8d %6d %8d %16.1f %14.2f\n" group wal gc_steps per_sec
+              (ms t_rec);
+            Json.Obj
+              [ ("name", Json.Str (Printf.sprintf "gc-g%d-w%d" group wal));
+                ("group", Json.Int group);
+                ("wal_format", Json.Int wal);
+                ("txns", Json.Int gc_steps);
+                ("feed_txns_per_sec", Json.Float per_sec);
+                ("recover_ms", Json.Float (ms t_rec)) ])
+          [ 1; 16; 128 ])
+      [ 1; 2 ]
+  in
+  write_artifact ~experiment:"er" (series @ gc_series)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
@@ -827,7 +888,74 @@ let serve () =
             ("txns_per_sec", Json.Float per_sec) ])
       [ 1; 4; 16 ]
   in
-  write_artifact ~experiment:"serve" (series @ multi_series)
+  (* Batched-request series: the same banking workload packed B
+     transactions per txn request (FORMATS.md §7), the session opened
+     with a matching group-commit window so the supervisor pays one WAL
+     write+sync per request instead of one per transaction.  Measures
+     the round-trip amortization tools/drive.exe --batch exercises over
+     a real socket. *)
+  let batch_series =
+    List.map
+      (fun b ->
+        let sc = Scenarios.banking in
+        let tr = sc.generate ~seed:7 ~steps ~violation_rate:0.1 in
+        let spec_text =
+          String.concat "\n"
+            (List.map Textio.schema_to_string
+               (Schema.Catalog.schemas sc.catalog)
+             @ List.map Rtic_mtl.Pretty.def_to_string sc.constraints)
+          ^ "\n"
+        in
+        let fs = Faults.mem_fs () in
+        or_die "spec" (fs.Faults.write_file "bench.spec" spec_text);
+        let srv = Server.create ~fs () in
+        expect_ok "open"
+          (Server.handle_lines srv
+             [ (if b = 1 then "open s bench.spec"
+                else Printf.sprintf "open s bench.spec group-commit=%d" b) ]);
+        let rec chunks = function
+          | [] -> []
+          | l ->
+            let take = List.filteri (fun j _ -> j < b) l in
+            let rest = List.filteri (fun j _ -> j >= b) l in
+            take :: chunks rest
+        in
+        let requests =
+          List.map
+            (fun group ->
+              let header =
+                "txn s"
+                ^ String.concat ""
+                    (List.map
+                       (fun (time, txn) ->
+                         Printf.sprintf " %d %d" time (List.length txn))
+                       group)
+              in
+              header
+              :: List.concat_map
+                   (fun (_, txn) -> List.map op_line txn)
+                   group)
+            (chunks tr.Trace.steps)
+        in
+        let t_start = Unix.gettimeofday () in
+        List.iter (fun lines -> expect_ok "txn" (Server.handle_lines srv lines))
+          requests;
+        let elapsed = Unix.gettimeofday () -. t_start in
+        expect_ok "close" (Server.handle_lines srv [ "close s" ]);
+        let txns = List.length tr.Trace.steps in
+        let name = Printf.sprintf "%s-b%d" sc.name b in
+        let per_sec = float_of_int txns /. elapsed in
+        row "%-12s %8d %10.1f %12.1f %10s %10s %10s\n" name txns (ms elapsed)
+          per_sec "-" "-" "-";
+        Json.Obj
+          [ ("name", Json.Str name);
+            ("batch", Json.Int b);
+            ("txns", Json.Int txns);
+            ("ms", Json.Float (ms elapsed));
+            ("txns_per_sec", Json.Float per_sec) ])
+      [ 1; 16; 128 ]
+  in
+  write_artifact ~experiment:"serve" (series @ multi_series @ batch_series)
 
 (* ------------------------------------------------------------------ *)
 (* E-REP — repair-search latency vs violation depth                    *)

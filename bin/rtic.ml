@@ -203,13 +203,17 @@ let run_incremental_with_state ?metrics ?tracer ?pool config cat past_defs
    trace transactions that recovery already covered are skipped, so the
    same invocation can simply be re-run after a crash. *)
 let run_supervised ?tracer ?pool ~ppf config cat past_defs (tr : Trace.t)
-    state_dir auto_ck on_error aux_budget quiet want_stats want_json =
+    state_dir auto_ck on_error aux_budget group_commit wal_format quiet
+    want_stats want_json =
   let policy = or_die (Supervisor.policy_of_string on_error) in
+  if group_commit < 1 then usage_error "--group-commit must be at least 1";
   let scfg =
-    { Supervisor.auto_checkpoint = auto_ck;
-      retain = 2;
+    { Supervisor.default_config with
+      auto_checkpoint = auto_ck;
       on_error = policy;
-      aux_budget }
+      aux_budget;
+      group_commit;
+      wal_format }
   in
   let metrics = if want_stats then Some (Metrics.create ()) else None in
   let sup, steps =
@@ -259,10 +263,8 @@ let run_supervised ?tracer ?pool ~ppf config cat past_defs (tr : Trace.t)
   let dropped = ref 0 in
   let repaired_txns = ref 0 in
   let stats = ref Stats.empty in
-  List.iter
-    (fun (time, txn) ->
-      match or_die (Supervisor.step sup ~time txn) with
-      | Supervisor.Checked { reports = rs; inconclusive = _ } ->
+  let handle time = function
+    | Supervisor.Checked { reports = rs; inconclusive = _ } ->
         if not (quiet || want_json) then
           List.iter (fun r -> Format.fprintf ppf "%a@." Monitor.pp_report r) rs;
         if want_stats then
@@ -300,11 +302,26 @@ let run_supervised ?tracer ?pool ~ppf config cat past_defs (tr : Trace.t)
             Stats.observe !stats ~time ~space:(Supervisor.space sup)
               ~reports:rs;
         reports := List.rev_append rs !reports
-      | Supervisor.Skipped reason | Supervisor.Rejected reason ->
-        incr dropped;
-        Printf.eprintf "rtic: dropped transaction at time %d: %s\n" time
-          reason)
-    steps;
+    | Supervisor.Skipped reason | Supervisor.Rejected reason ->
+      incr dropped;
+      Printf.eprintf "rtic: dropped transaction at time %d: %s\n" time reason
+  in
+  if group_commit <= 1 then
+    List.iter
+      (fun (time, txn) -> handle time (or_die (Supervisor.step sup ~time txn)))
+      steps
+  else begin
+    (* Group commit: outcomes are released in submission order when their
+       batch flushes; pair them back with their commit times FIFO. *)
+    let times = Queue.create () in
+    let drain outs = List.iter (fun o -> handle (Queue.pop times) o) outs in
+    List.iter
+      (fun (time, txn) ->
+        Queue.push time times;
+        drain (or_die (Supervisor.submit sup ~time txn)))
+      steps;
+    drain (Supervisor.flush sup)
+  end;
   (match Supervisor.quarantined sup with
    | [] -> ()
    | q ->
@@ -341,7 +358,7 @@ let run_supervised ?tracer ?pool ~ppf config cat past_defs (tr : Trace.t)
 
 let run_check spec_file trace_file engine no_prune jobs quiet load save
     want_stats want_json want_trace trace_out state_dir auto_ck on_error
-    aux_budget =
+    aux_budget group_commit wal_format =
   let want_stats = want_stats || want_json in
   if jobs < 1 then usage_error "--jobs must be at least 1";
   if jobs > 1 && not (List.mem engine [ E_incremental; E_shared ]) then
@@ -411,11 +428,15 @@ let run_check spec_file trace_file engine no_prune jobs quiet load save
         "--state-dir supports past-only constraints (future operators need \
          verdict delay, which is not crash-safe)";
     run_supervised ?tracer ?pool ~ppf config cat past_defs tr dir auto_ck
-      on_error aux_budget quiet want_stats want_json
+      on_error aux_budget group_commit wal_format quiet want_stats want_json
   | None ->
-    if on_error <> "halt" || auto_ck <> 64 || aux_budget <> None then
+    if
+      on_error <> "halt" || auto_ck <> 64 || aux_budget <> None
+      || group_commit <> 1 || wal_format <> 1
+    then
       usage_error
-        "--on-error/--auto-checkpoint/--aux-budget require --state-dir";
+        "--on-error/--auto-checkpoint/--aux-budget/--group-commit/\
+         --wal-format require --state-dir";
   let metrics = if want_stats then Some (Metrics.create ()) else None in
   let stats = ref Stats.empty in
   let reports =
@@ -539,6 +560,34 @@ let run_recover spec_file dir repair =
       info.Supervisor.replayed
       (if info.Supervisor.repaired then "; repaired" else "");
     0
+
+(* ------------------------------------------------------------------ *)
+(* wal dump                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Render a WAL file — either format — as rtic-wal/1 text on stdout. The
+   v2 binary frames carry exactly the v1 record bodies, so the conversion
+   is lossless, and dumping a clean v1 log is the identity. A torn tail is
+   dropped with a warning (that is what recovery would do) and still
+   exits 0; only an unreadable file or a damaged header is an error. *)
+let run_wal_dump file =
+  match Faults.real_fs.Faults.read_file file with
+  | Error m ->
+    Printf.eprintf "rtic: %s\n" m;
+    1
+  | Ok text ->
+    (match Wal.recover text with
+     | Error m ->
+       Printf.eprintf "rtic: %s: %s\n" file m;
+       1
+     | Ok w ->
+       print_string (Wal.encode ~start:w.Wal.start w.Wal.records);
+       (match w.Wal.torn with
+        | Some reason ->
+          Printf.eprintf "rtic: %s: dropped torn tail after %d record(s): %s\n"
+            file (List.length w.Wal.records) reason
+        | None -> ());
+       0)
 
 (* ------------------------------------------------------------------ *)
 (* repair                                                              *)
@@ -1582,13 +1631,31 @@ let aux_budget_arg =
                state exceeds $(docv) entries; its verdicts become \
                inconclusive while the others keep full monitoring.")
 
+let group_commit_arg =
+  Arg.(value & opt int 1 & info [ "group-commit" ] ~docv:"N"
+         ~doc:"With --state-dir: group commit — make accepted transactions \
+               durable in batches of up to $(docv) WAL records per \
+               write+sync, releasing their verdicts only once the batch is \
+               on disk. 1 (the default) syncs every transaction; larger \
+               values trade a bounded loss window (at most $(docv)-1 \
+               unacknowledged transactions on a crash) for throughput.")
+
+let wal_format_arg =
+  Arg.(value & opt int 1 & info [ "wal-format" ] ~docv:"V"
+         ~doc:"With --state-dir: WAL format version written when creating \
+               a fresh state directory — 1 (text records, the default) or \
+               2 (binary length-prefixed records, see FORMATS.md). An \
+               existing directory keeps its format; $(b,rtic wal dump) \
+               renders either as text.")
+
 let check_cmd =
   let doc = "monitor a trace and report constraint violations" in
   Cmd.v (Cmd.info "check" ~doc)
     Term.(const run_check $ spec_arg $ trace_pos 1 $ engine_arg $ no_prune_arg
           $ jobs_arg $ quiet_arg $ load_state_arg $ save_state_arg $ stats_arg
           $ json_arg $ trace_flag_arg $ trace_out_arg $ state_dir_arg
-          $ auto_checkpoint_arg $ on_error_arg $ aux_budget_arg)
+          $ auto_checkpoint_arg $ on_error_arg $ aux_budget_arg
+          $ group_commit_arg $ wal_format_arg)
 
 let recover_cmd =
   let doc = "inspect (and optionally salvage) a crash-safe state directory" in
@@ -1911,11 +1978,25 @@ let gen_cmd =
     Term.(const run_gen $ scenario_arg $ steps_arg $ seed_arg $ rate_arg
           $ out_arg $ spec_out_arg)
 
+let wal_cmd =
+  let doc = "inspect write-ahead log files" in
+  let dump_cmd =
+    let doc =
+      "render a WAL file (rtic-wal/1 or rtic-wal/2) as rtic-wal/1 text"
+    in
+    let file_arg =
+      Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
+             ~doc:"The wal.log to dump (from a --state-dir directory).")
+    in
+    Cmd.v (Cmd.info "dump" ~doc) Term.(const run_wal_dump $ file_arg)
+  in
+  Cmd.group (Cmd.info "wal" ~doc) [ dump_cmd ]
+
 let main_cmd =
   let doc = "real-time integrity constraints over timed database histories" in
   Cmd.group (Cmd.info "rtic" ~version:"1.0.0" ~doc)
     [ parse_cmd; check_cmd; serve_cmd; top_cmd; recover_cmd; repair_cmd;
       profile_cmd; rules_cmd; explain_cmd; query_cmd; gen_cmd;
-      lint_json_cmd ]
+      lint_json_cmd; wal_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

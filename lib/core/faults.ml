@@ -2,6 +2,12 @@
    seeded corruption plans. All variability comes from the caller's seed
    through a private xorshift64* stream so failures replay exactly. *)
 
+type handle = {
+  h_write : string -> (unit, string) result;
+  h_sync : unit -> (unit, string) result;
+  h_close : unit -> unit;
+}
+
 type fs = {
   read_file : string -> (string, string) result;
   write_file : string -> string -> (unit, string) result;
@@ -11,6 +17,8 @@ type fs = {
   list_dir : string -> (string list, string) result;
   mkdir : string -> (unit, string) result;
   exists : string -> bool;
+  sync : string -> (unit, string) result;
+  open_append : string -> (handle, string) result;
 }
 
 let wrap f =
@@ -66,34 +74,68 @@ let real_fs =
         with
         | Unix.Unix_error (Unix.EEXIST, _, _) -> Ok ()
         | Unix.Unix_error (e, _, _) -> Error (Unix.error_message e));
-    exists = Sys.file_exists }
+    exists = Sys.file_exists;
+    sync =
+      (fun path ->
+        wrap (fun () ->
+            let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+            Fun.protect
+              ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+              (fun () -> Unix.fsync fd)));
+    open_append =
+      (fun path ->
+        wrap (fun () ->
+            let oc =
+              open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path
+            in
+            { h_write = (fun text -> wrap (fun () -> output_string oc text));
+              h_sync =
+                (fun () ->
+                  wrap (fun () ->
+                      flush oc;
+                      Unix.fsync (Unix.descr_of_out_channel oc)));
+              h_close = (fun () -> close_out_noerr oc) })) }
 
 (* ---------------- In-memory filesystem ---------------- *)
 
+(* Files are growable buffers so that appends are amortized O(append
+   size): a string-typed table rebuilt with [old ^ text] made every long
+   WAL quadratic in the record count, which dominated hermetic chaos and
+   server tests. *)
 let mem_fs () =
-  let files : (string, string) Hashtbl.t = Hashtbl.create 16 in
+  let files : (string, Buffer.t) Hashtbl.t = Hashtbl.create 16 in
   let dirs : (string, unit) Hashtbl.t = Hashtbl.create 4 in
+  let append_file path text =
+    let buf =
+      match Hashtbl.find_opt files path with
+      | Some buf -> buf
+      | None ->
+        let buf = Buffer.create (String.length text + 64) in
+        Hashtbl.replace files path buf;
+        buf
+    in
+    Buffer.add_string buf text;
+    Ok ()
+  in
   { read_file =
       (fun path ->
         match Hashtbl.find_opt files path with
-        | Some text -> Ok text
+        | Some buf -> Ok (Buffer.contents buf)
         | None -> Error (path ^ ": no such file"));
     write_file =
       (fun path text ->
-        Hashtbl.replace files path text;
+        let buf = Buffer.create (String.length text + 64) in
+        Buffer.add_string buf text;
+        Hashtbl.replace files path buf;
         Ok ());
-    append_file =
-      (fun path text ->
-        let old = Option.value ~default:"" (Hashtbl.find_opt files path) in
-        Hashtbl.replace files path (old ^ text);
-        Ok ());
+    append_file;
     rename =
       (fun src dst ->
         match Hashtbl.find_opt files src with
         | None -> Error (src ^ ": no such file")
-        | Some text ->
+        | Some buf ->
           Hashtbl.remove files src;
-          Hashtbl.replace files dst text;
+          Hashtbl.replace files dst buf;
           Ok ());
     remove =
       (fun path ->
@@ -119,7 +161,19 @@ let mem_fs () =
         Hashtbl.replace dirs dir ();
         Ok ());
     exists =
-      (fun path -> Hashtbl.mem files path || Hashtbl.mem dirs path) }
+      (fun path -> Hashtbl.mem files path || Hashtbl.mem dirs path);
+    sync = (fun _ -> Ok ());
+    open_append =
+      (fun path ->
+        (* Route every write through [append_file] at call time rather
+           than capturing the buffer: a [write_file] or [rename] swaps
+           the backing buffer, and the handle must keep appending to
+           whatever the path names now. (Real fds don't follow renames —
+           the supervisor closes its handle around compaction — but the
+           in-memory fs need not reproduce that hazard.) *)
+        Ok { h_write = (fun text -> append_file path text);
+             h_sync = (fun () -> Ok ());
+             h_close = (fun () -> ()) }) }
 
 (* ---------------- Seeded randomness, xorshift64-star ---------------- *)
 
@@ -154,7 +208,20 @@ let with_write_failures ~seed ~rate fs =
   { fs with
     write_file = (fun p t -> maybe_fail (fun () -> fs.write_file p t));
     append_file = (fun p t -> maybe_fail (fun () -> fs.append_file p t));
-    rename = (fun s d -> maybe_fail (fun () -> fs.rename s d)) }
+    rename = (fun s d -> maybe_fail (fun () -> fs.rename s d));
+    sync = (fun p -> maybe_fail (fun () -> fs.sync p));
+    open_append =
+      (fun p ->
+        (* Opening itself can fail, and so can every write or sync made
+           through the returned handle — group commit must survive a
+           durability point that dies mid-batch. *)
+        maybe_fail (fun () ->
+            match fs.open_append p with
+            | Error _ as e -> e
+            | Ok h ->
+              Ok { h with
+                   h_write = (fun t -> maybe_fail (fun () -> h.h_write t));
+                   h_sync = (fun () -> maybe_fail (fun () -> h.h_sync ())) })) }
 
 (* ---------------- Corruption primitives ---------------- *)
 

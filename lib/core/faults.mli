@@ -17,6 +17,18 @@
     caller's seed via a private xorshift64* stream, so every failure a
     chaos run finds is replayable from its seed. *)
 
+(** A persistent append handle, as returned by {!field-open_append}: the
+    group-commit durability point. [h_write] appends bytes (buffered),
+    [h_sync] makes everything written so far durable (fsync on the real
+    filesystem), [h_close] releases the handle and never fails. A real
+    handle keeps one file descriptor open across calls, so it must be
+    closed before the file is renamed over and reopened after. *)
+type handle = {
+  h_write : string -> (unit, string) result;
+  h_sync : unit -> (unit, string) result;
+  h_close : unit -> unit;
+}
+
 (** A minimal filesystem interface. All functions report failures as
     [Error message]; none raises. Paths are plain strings; directories are
     flat (the supervisor never nests below its state dir). *)
@@ -34,6 +46,12 @@ type fs = {
   mkdir : string -> (unit, string) result;
       (** Create a directory; succeeds if it already exists. *)
   exists : string -> bool;
+  sync : string -> (unit, string) result;
+      (** Force the file's contents durable (fsync). A no-op on
+          {!mem_fs}, where abandoning the instance {e is} the crash. *)
+  open_append : string -> (handle, string) result;
+      (** Open a persistent append {!handle} (creating the file if
+          absent). *)
 }
 
 val real_fs : fs
@@ -43,15 +61,18 @@ val real_fs : fs
     errors. *)
 
 val mem_fs : unit -> fs
-(** A fresh, empty in-memory filesystem (a path → contents table). Each
+(** A fresh, empty in-memory filesystem (a path → growable-buffer table,
+    so appends are amortized O(appended bytes), not O(file size)). Each
     call returns an independent instance; handy for hermetic tests and for
     simulating a crash by simply abandoning the supervisor that wrote to
     it. *)
 
 val with_write_failures : seed:int -> rate:float -> fs -> fs
-(** Wrap [fs] so that each [write_file]/[append_file]/[rename] call fails
-    with ["injected write failure"] with probability [rate], deterministic
-    in [seed] and the call sequence. Reads are never failed. *)
+(** Wrap [fs] so that each [write_file]/[append_file]/[rename]/[sync]/
+    [open_append] call — and each write or sync through a handle obtained
+    from the wrapper — fails with ["injected write failure"] with
+    probability [rate], deterministic in [seed] and the call sequence.
+    Reads are never failed. *)
 
 (** {2 Corruption primitives} *)
 

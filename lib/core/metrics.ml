@@ -191,7 +191,11 @@ let add_survival m i ~checked ~kept =
   nd.survival_kept <- nd.survival_kept + kept
 
 let record_latency m seconds =
-  let ns = seconds *. 1e9 in
+  (* Durations come from wall-clock subtraction; a clock stepping back
+     mid-measurement hands us a negative interval. Clamp at zero — one
+     sample in the lowest bucket — instead of poisoning the running sum
+     and minimum with a negative reading. *)
+  let ns = Float.max 0.0 (seconds *. 1e9) in
   let b = bucket_index (int_of_float ns) in
   m.hist.(b) <- m.hist.(b) + 1;
   m.lat_count <- m.lat_count + 1;

@@ -26,10 +26,10 @@ type request =
     }
   | Txn of {
       session : string;
-      time : int;
-      (* parse errors in the op body are carried to execution time so the
-         reply still comes out in request order *)
-      ops : (Rtic_relational.Update.transaction, string) result;
+      (* one or more (time, ops) segments — a batched request carries
+         several transactions. Parse errors in an op body are carried to
+         execution time so the reply still comes out in request order. *)
+      txns : (int * (Rtic_relational.Update.transaction, string) result) list;
     }
   | Stats of string
   | Checkpoint of string
@@ -60,14 +60,18 @@ type entry =
   | Canned of Json.t
 
 (* A half-received txn request: the header told us how many op lines
-   follow. The first malformed op is remembered but the remaining body
-   lines are still consumed, keeping the stream in sync. *)
+   follow for each (time, nops) segment. The first malformed op in a
+   segment is remembered but the remaining body lines are still consumed,
+   keeping the stream in sync. *)
 type collecting = {
   c_session : string;
-  c_time : int;
-  mutable c_want : int;
+  mutable c_time : int;  (* current segment's commit time *)
+  mutable c_want : int;  (* op lines left in the current segment *)
   mutable c_ops_rev : Rtic_relational.Update.op list;
   mutable c_err : string option;
+  mutable c_rest : (int * int) list;  (* (time, nops) still to collect *)
+  mutable c_done_rev :
+    (int * (Rtic_relational.Update.transaction, string) result) list;
 }
 
 type session = {
@@ -180,7 +184,8 @@ let tokens line =
 
 let parse_opts ~req pairs =
   let known =
-    [ "state-dir"; "auto-checkpoint"; "on-error"; "aux-budget" ]
+    [ "state-dir"; "auto-checkpoint"; "on-error"; "aux-budget";
+      "group-commit"; "wal-format" ]
   in
   let rec go acc = function
     | [] -> Ok (List.rev acc)
@@ -229,23 +234,43 @@ let parse_request_line line =
        match parse_opts ~req:"open" opts with
        | Error j -> Error j
        | Ok opts -> Ok (P_request (Open { session; spec_path; opts })))
-  | [ "txn"; session; time; nops ] ->
+  | "txn" :: session :: (_ :: _ as rest) ->
     fail
       (check_session ~req:"txn" session @@ fun () ->
-       int_of ~req:"txn" "time" time @@ fun time ->
-       int_of ~req:"txn" "op count" nops @@ fun nops ->
-       if nops < 0 then
-         Error (err ~req:"txn" ~code:"bad-request" "op count must be >= 0")
-       else if nops = 0 then
-         Ok (P_request (Txn { session; time; ops = Ok [] }))
-       else
-         Ok
-           (P_collect
-              { c_session = session;
-                c_time = time;
-                c_want = nops;
-                c_ops_rev = [];
-                c_err = None }))
+       (* one or more TIME NOPS pairs; an odd tail is malformed *)
+       let rec pairs acc = function
+         | [] -> Ok (List.rev acc)
+         | [ _ ] ->
+           Error (err ~req:"txn" ~code:"bad-request" "malformed txn request")
+         | time :: nops :: more ->
+           int_of ~req:"txn" "time" time @@ fun time ->
+           int_of ~req:"txn" "op count" nops @@ fun nops ->
+           if nops < 0 then
+             Error
+               (err ~req:"txn" ~code:"bad-request" "op count must be >= 0")
+           else pairs ((time, nops) :: acc) more
+       in
+       match pairs [] rest with
+       | Error j -> Error j
+       | Ok segs ->
+         (* Segments without a body complete immediately; the first one
+            that wants op lines starts the collector. *)
+         let rec build done_rev = function
+           | [] ->
+             Ok (P_request (Txn { session; txns = List.rev done_rev }))
+           | (time, 0) :: more -> build ((time, Ok []) :: done_rev) more
+           | (time, nops) :: more ->
+             Ok
+               (P_collect
+                  { c_session = session;
+                    c_time = time;
+                    c_want = nops;
+                    c_ops_rev = [];
+                    c_err = None;
+                    c_rest = more;
+                    c_done_rev = done_rev })
+         in
+         build [] segs)
   | [ "stats"; session ] ->
     fail (check_session ~req:"stats" session @@ fun () ->
           Ok (P_request (Stats session)))
@@ -310,15 +335,34 @@ let conn_feed_line c line =
        | Error m -> if col.c_err = None then col.c_err <- Some m);
       col.c_want <- col.c_want - 1;
       if col.c_want = 0 then begin
-        c.collecting <- None;
-        submit c
-          (Txn
-             { session = col.c_session;
-               time = col.c_time;
-               ops =
-                 (match col.c_err with
-                  | Some m -> Error m
-                  | None -> Ok (List.rev col.c_ops_rev)) })
+        col.c_done_rev <-
+          ( col.c_time,
+            match col.c_err with
+            | Some m -> Error m
+            | None -> Ok (List.rev col.c_ops_rev) )
+          :: col.c_done_rev;
+        (* Advance past body-less segments to the next one wanting op
+           lines; with none left the whole request is complete. *)
+        let rec advance () =
+          match col.c_rest with
+          | [] ->
+            c.collecting <- None;
+            submit c
+              (Txn
+                 { session = col.c_session;
+                   txns = List.rev col.c_done_rev })
+          | (time, 0) :: more ->
+            col.c_done_rev <- (time, Ok []) :: col.c_done_rev;
+            col.c_rest <- more;
+            advance ()
+          | (time, nops) :: more ->
+            col.c_time <- time;
+            col.c_want <- nops;
+            col.c_ops_rev <- [];
+            col.c_err <- None;
+            col.c_rest <- more
+        in
+        advance ()
       end
     | None ->
       let line = String.trim line in
@@ -360,7 +404,29 @@ let supervisor_config opts =
        | Some n when n > 0 -> Ok (Some n)
        | _ -> Error ("aux-budget must be a positive integer: " ^ v))
   in
-  Ok { base with Supervisor.auto_checkpoint; on_error; aux_budget }
+  let* group_commit =
+    match List.assoc_opt "group-commit" opts with
+    | None -> Ok base.Supervisor.group_commit
+    | Some v ->
+      (match int_of_string_opt v with
+       | Some n when n >= 1 -> Ok n
+       | _ -> Error ("group-commit must be a positive integer: " ^ v))
+  in
+  let* wal_format =
+    match List.assoc_opt "wal-format" opts with
+    | None -> Ok base.Supervisor.wal_format
+    | Some v ->
+      (match int_of_string_opt v with
+       | Some ((1 | 2) as n) -> Ok n
+       | _ -> Error ("wal-format must be 1 or 2: " ^ v))
+  in
+  Ok
+    { base with
+      Supervisor.auto_checkpoint;
+      on_error;
+      aux_budget;
+      group_commit;
+      wal_format }
 
 let exec_open t session spec_path opts =
   let req = "open" in
@@ -442,94 +508,166 @@ let tick_txn t s =
     Metrics.record_txn t.srv_metrics ~now
   end
 
-let exec_txn t session time ops =
+(* The per-transaction reply fields — everything after "session" — shared
+   by the classic single-transaction reply and the elements of a batched
+   reply's "outcomes" array. Also the accounting point: each delivered
+   outcome advances the session's stats and rate rings exactly once. *)
+let outcome_fields t s time outcome =
+  let base = [ ("time", Json.Int time) ] in
+  match outcome with
+  | Supervisor.Checked { reports; inconclusive } ->
+    s.stats <-
+      Stats.observe s.stats ~time ~space:(Supervisor.space s.sup) ~reports;
+    tick_txn t s;
+    base
+    @ [ ("outcome", Json.Str "checked");
+        ("reports", Json.List (List.map report_json reports));
+        ("inconclusive",
+         Json.List (List.map (fun c -> Json.Str c) inconclusive)) ]
+  | Supervisor.Skipped reason ->
+    base @ [ ("outcome", Json.Str "skipped"); ("reason", Json.Str reason) ]
+  | Supervisor.Rejected reason ->
+    base @ [ ("outcome", Json.Str "rejected"); ("reason", Json.Str reason) ]
+  | Supervisor.Repaired { actions; witnesses; repaired; inconclusive } ->
+    (* the repaired state is violation-free: observe zero reports *)
+    s.stats <-
+      Stats.observe s.stats ~time ~space:(Supervisor.space s.sup) ~reports:[];
+    tick_txn t s;
+    let op_str o = Format.asprintf "%a" Update.pp_op o in
+    base
+    @ [ ("outcome", Json.Str "repaired");
+        ("actions",
+         Json.List (List.map (fun o -> Json.Str (op_str o)) actions));
+        ("witnesses",
+         Json.List
+           (List.map
+              (fun (o, c) ->
+                Json.Obj
+                  [ ("action", Json.Str (op_str o));
+                    ("fired_by", Json.Str c) ])
+              witnesses));
+        ("repaired", Json.List (List.map report_json repaired));
+        ("inconclusive",
+         Json.List (List.map (fun c -> Json.Str c) inconclusive)) ]
+  | Supervisor.Unrepairable { reports; unrepairable; inconclusive } ->
+    s.stats <-
+      Stats.observe s.stats ~time ~space:(Supervisor.space s.sup) ~reports;
+    tick_txn t s;
+    base
+    @ [ ("outcome", Json.Str "unrepairable");
+        ("reports", Json.List (List.map report_json reports));
+        ("unrepairable",
+         Json.List
+           (List.map
+              (fun (c, off) ->
+                Json.Obj
+                  [ ("constraint", Json.Str c);
+                    ("offending", Json.Str off) ])
+              unrepairable));
+        ("inconclusive",
+         Json.List (List.map (fun c -> Json.Str c) inconclusive)) ]
+
+let replayed_before s time =
+  (* recovery already covered this commit time; answer without
+     re-checking, as the batch CLI skips replayed trace steps *)
+  match s.recovered_through with Some l -> time <= l | None -> false
+
+let exec_txn t session txns =
   let req = "txn" in
-  match ops with
-  | Error m -> err ~req ~code:"bad-request" ("malformed op line: " ^ m)
-  | Ok txn ->
+  match txns with
+  | [ (_, Error m) ] ->
+    err ~req ~code:"bad-request" ("malformed op line: " ^ m)
+  | [ (time, Ok txn) ] ->
+    (* Single-transaction request: the classic reply, unchanged. *)
     with_session t ~req session @@ fun s ->
-    let base =
-      [ ("session", Json.Str session); ("time", Json.Int time) ]
+    if replayed_before s time then
+      ok ~req
+        [ ("session", Json.Str session);
+          ("time", Json.Int time);
+          ("outcome", Json.Str "replayed") ]
+    else
+      (match Supervisor.step s.sup ~time txn with
+       | Error m ->
+         (* Halt policy or internal failure: the session is dead; drop it
+            so the state dir can be recovered by a fresh open. *)
+         Hashtbl.remove t.sessions session;
+         err ~req ~code:"halted"
+           (Printf.sprintf "session %s halted: %s" session m)
+       | Ok outcome ->
+         ok ~req
+           (("session", Json.Str session) :: outcome_fields t s time outcome))
+  | txns ->
+    (* Batched request: feed every transaction through the commit queue
+       and flush once at the end, so a group-commit session pays one
+       write+sync per batch boundary instead of one per transaction. One
+       element per transaction, in request order; outcomes released by a
+       later submission are zipped back to their slots FIFO — the release
+       order the supervisor guarantees. *)
+    with_session t ~req session @@ fun s ->
+    let n = List.length txns in
+    let slots = Array.make n None in
+    let pending = Queue.create () in
+    let fill outs =
+      List.iter
+        (fun o ->
+          if not (Queue.is_empty pending) then begin
+            let i, time = Queue.pop pending in
+            slots.(i) <- Some (Json.Obj (outcome_fields t s time o))
+          end)
+        outs
     in
-    (match s.recovered_through with
-     | Some l when time <= l ->
-       (* recovery already covered this commit time; answer without
-          re-checking, as the batch CLI skips replayed trace steps *)
-       ok ~req (base @ [ ("outcome", Json.Str "replayed") ])
-     | _ ->
-       (match Supervisor.step s.sup ~time txn with
-        | Error m ->
-          (* Halt policy or internal failure: the session is dead; drop it
-             so the state dir can be recovered by a fresh open. *)
-          Hashtbl.remove t.sessions session;
-          err ~req ~code:"halted"
-            (Printf.sprintf "session %s halted: %s" session m)
-        | Ok (Supervisor.Checked { reports; inconclusive }) ->
-          s.stats <-
-            Stats.observe s.stats ~time ~space:(Supervisor.space s.sup)
-              ~reports;
-          tick_txn t s;
-          ok ~req
-            (base
-            @ [ ("outcome", Json.Str "checked");
-                ("reports", Json.List (List.map report_json reports));
-                ("inconclusive",
-                 Json.List
-                   (List.map (fun c -> Json.Str c) inconclusive)) ])
-        | Ok (Supervisor.Skipped reason) ->
-          ok ~req
-            (base
-            @ [ ("outcome", Json.Str "skipped");
-                ("reason", Json.Str reason) ])
-        | Ok (Supervisor.Rejected reason) ->
-          ok ~req
-            (base
-            @ [ ("outcome", Json.Str "rejected");
-                ("reason", Json.Str reason) ])
-        | Ok (Supervisor.Repaired { actions; witnesses; repaired;
-                                    inconclusive }) ->
-          (* the repaired state is violation-free: observe zero reports *)
-          s.stats <-
-            Stats.observe s.stats ~time ~space:(Supervisor.space s.sup)
-              ~reports:[];
-          tick_txn t s;
-          let op_str o = Format.asprintf "%a" Update.pp_op o in
-          ok ~req
-            (base
-            @ [ ("outcome", Json.Str "repaired");
-                ("actions",
-                 Json.List (List.map (fun o -> Json.Str (op_str o)) actions));
-                ("witnesses",
-                 Json.List
-                   (List.map
-                      (fun (o, c) ->
-                        Json.Obj
-                          [ ("action", Json.Str (op_str o));
-                            ("fired_by", Json.Str c) ])
-                      witnesses));
-                ("repaired", Json.List (List.map report_json repaired));
-                ("inconclusive",
-                 Json.List (List.map (fun c -> Json.Str c) inconclusive)) ])
-        | Ok (Supervisor.Unrepairable { reports; unrepairable; inconclusive })
-          ->
-          s.stats <-
-            Stats.observe s.stats ~time ~space:(Supervisor.space s.sup)
-              ~reports;
-          tick_txn t s;
-          ok ~req
-            (base
-            @ [ ("outcome", Json.Str "unrepairable");
-                ("reports", Json.List (List.map report_json reports));
-                ("unrepairable",
-                 Json.List
-                   (List.map
-                      (fun (c, off) ->
-                        Json.Obj
-                          [ ("constraint", Json.Str c);
-                            ("offending", Json.Str off) ])
-                      unrepairable));
-                ("inconclusive",
-                 Json.List (List.map (fun c -> Json.Str c) inconclusive)) ])))
+    let halted = ref None in
+    List.iteri
+      (fun i (time, ops) ->
+        if !halted = None then
+          match ops with
+          | Error m ->
+            slots.(i) <-
+              Some
+                (Json.Obj
+                   [ ("time", Json.Int time);
+                     ("outcome", Json.Str "invalid");
+                     ("message", Json.Str ("malformed op line: " ^ m)) ])
+          | Ok txn ->
+            if replayed_before s time then
+              slots.(i) <-
+                Some
+                  (Json.Obj
+                     [ ("time", Json.Int time);
+                       ("outcome", Json.Str "replayed") ])
+            else begin
+              Queue.push (i, time) pending;
+              match Supervisor.submit s.sup ~time txn with
+              | Ok outs -> fill outs
+              | Error m -> halted := Some m
+            end)
+      txns;
+    (match !halted with
+     | None -> fill (Supervisor.flush s.sup)
+     | Some _ ->
+       (* The session is dead (Halt policy mid-batch); its unreleased
+          acks are lost exactly as a crash would lose them. *)
+       Hashtbl.remove t.sessions session);
+    let elems =
+      Array.to_list
+        (Array.mapi
+           (fun i slot ->
+             match slot with
+             | Some j -> j
+             | None ->
+               let time, _ = List.nth txns i in
+               Json.Obj
+                 [ ("time", Json.Int time);
+                   ("outcome", Json.Str "halted");
+                   ("message",
+                    Json.Str
+                      (match !halted with
+                       | Some m ->
+                         Printf.sprintf "session %s halted: %s" session m
+                       | None -> "internal: outcome not released")) ])
+           slots)
+    in
+    ok ~req [ ("session", Json.Str session); ("outcomes", Json.List elems) ]
 
 let exec_stats t session =
   with_session t ~req:"stats" session @@ fun s ->
@@ -623,7 +761,7 @@ let execute t rq =
     @@ fun () ->
     match rq with
     | Open { session; spec_path; opts } -> exec_open t session spec_path opts
-    | Txn { session; time; ops } -> exec_txn t session time ops
+    | Txn { session; txns } -> exec_txn t session txns
     | Stats session -> exec_stats t session
     | Checkpoint session -> exec_checkpoint t session
     | Close session -> exec_close t session

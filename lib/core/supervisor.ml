@@ -1,7 +1,13 @@
 (* Crash-safe monitoring service. See supervisor.mli for the design; the
    invariants the code below maintains are:
 
-   - WAL append happens before verdict delivery (the durability point);
+   - WAL write + sync happen before verdict *delivery* (the durability
+     point): with group commit the record is buffered and the outcome
+     queued, and no outcome is released to the caller until the batch
+     holding its record has been written and synced;
+   - at most [group_commit - 1] accepted-but-unreleased transactions can
+     be lost by a clean crash (the unflushed window); an outcome the
+     caller has seen is never lost by a clean crash;
    - checkpoint files only ever appear complete (temp-then-rename) and
      carry a whole-file CRC trailer;
    - the WAL only loses records from the front, and only after a newer
@@ -10,6 +16,9 @@
      supervisor stops appending (degraded) until a successful checkpoint
      re-establishes a consistent log, rather than leaving a silent gap
      that would make replay attribute wrong indices;
+   - the persistent append handle is closed before compaction renames a
+     fresh log into place (a held descriptor would keep appending to the
+     unlinked inode) and reopened lazily afterwards;
    - quarantine is a pure function of checker space vs the budget, so it
      never needs persisting. *)
 
@@ -40,10 +49,19 @@ type config = {
   retain : int;
   on_error : policy;
   aux_budget : int option;
+  group_commit : int;  (* records per write+sync batch; 1 = every txn *)
+  flush_ms : int;  (* release a short batch once this old; 0 = never *)
+  wal_format : int;  (* WAL version written at creation: 1 | 2 *)
 }
 
 let default_config =
-  { auto_checkpoint = 64; retain = 2; on_error = Halt; aux_budget = None }
+  { auto_checkpoint = 64;
+    retain = 2;
+    on_error = Halt;
+    aux_budget = None;
+    group_commit = 1;
+    flush_ms = 0;
+    wal_format = 1 }
 
 type outcome =
   | Checked of {
@@ -79,6 +97,12 @@ type t = {
   mutable since_ck : int;
   mutable wal_bytes : int;  (* appended since the last checkpoint/recovery *)
   mutable degraded : bool;
+  wal_version : int;  (* sticky per directory: set at create/recover *)
+  mutable wal_out : Faults.handle option;  (* persistent append handle *)
+  pending_buf : Buffer.t;  (* encoded records awaiting write+sync *)
+  mutable pending_records : int;
+  mutable pending_outs_rev : outcome list;  (* acks awaiting release *)
+  mutable batch_t0 : float;  (* wall clock at the first buffered record *)
 }
 
 let bump ?by t name = Option.iter (fun m -> Metrics.bump ?by m name) t.metrics
@@ -409,6 +433,90 @@ let step_checkers t ~time db =
   | None -> step_checkers_seq t ~time db
   | Some fan -> step_checkers_par t fan ~time db
 
+(* ---------------- The commit queue ---------------- *)
+
+let get_handle t =
+  match t.wal_out with
+  | Some h -> Ok h
+  | None ->
+    (match t.fs.open_append (wal_path t.dir) with
+     | Ok h ->
+       t.wal_out <- Some h;
+       Ok h
+     | Error _ as e -> e)
+
+let close_handle t =
+  match t.wal_out with
+  | Some h ->
+    h.Faults.h_close ();
+    t.wal_out <- None
+  | None -> ()
+
+(* Buffer one record for the current batch. Nothing is written here —
+   the durability point moved to [flush_records] — but a degraded
+   supervisor must not buffer either, or a later recovery point would
+   append records with a gap before them. *)
+let append_wal t ~time txn =
+  if not t.degraded then begin
+    if t.pending_records = 0 then t.batch_t0 <- Unix.gettimeofday ();
+    Buffer.add_string t.pending_buf
+      (Wal.encode_record ~version:t.wal_version ~time txn);
+    t.pending_records <- t.pending_records + 1
+  end
+
+(* Durability point: one write + one sync for the whole batch. On any
+   failure the batch is dropped, the handle discarded (it may hold a
+   half-written record) and the supervisor degrades — exactly the old
+   per-record contract, at batch granularity. *)
+let flush_records t =
+  if t.pending_records > 0 then begin
+    let data = Buffer.contents t.pending_buf in
+    let n = t.pending_records in
+    Buffer.clear t.pending_buf;
+    t.pending_records <- 0;
+    let res =
+      Tracer.span t.tracer ~cat:"wal" ~name:"append" ~arg:(string_of_int n)
+        (fun () ->
+          let* h = get_handle t in
+          let* () = h.Faults.h_write data in
+          h.Faults.h_sync ())
+    in
+    match res with
+    | Ok () ->
+      bump ~by:n t "wal_records_appended";
+      t.wal_bytes <- t.wal_bytes + String.length data
+    | Error e ->
+      bump t "wal_append_failures";
+      close_handle t;
+      enter_degraded t ~why:("wal append failed: " ^ e)
+  end
+
+(* Release every queued ack, oldest first. Only called once the records
+   backing them are flushed (or dropped into degraded mode, where
+   verdict delivery continues unlogged, as before). *)
+let release_outs t =
+  let outs = List.rev t.pending_outs_rev in
+  t.pending_outs_rev <- [];
+  outs
+
+let flush t =
+  flush_records t;
+  release_outs t
+
+(* Release the queue when it is due: the batch reached [group_commit]
+   records, aged past [flush_ms], or there is nothing awaiting
+   durability at all (policy outcomes with no record of their own). *)
+let maybe_release t =
+  let due =
+    t.pending_records >= max 1 t.cfg.group_commit
+    || (t.cfg.flush_ms > 0
+        && t.pending_records > 0
+        && (Unix.gettimeofday () -. t.batch_t0) *. 1000.0
+           >= float_of_int t.cfg.flush_ms)
+  in
+  if due then flush_records t;
+  if t.pending_records = 0 then release_outs t else []
+
 (* ---------------- Checkpointing ---------------- *)
 
 let oldest_retained t =
@@ -425,7 +533,8 @@ let oldest_retained t =
    and a log with a silent gap must never be left behind. *)
 let compact_wal t =
   let oldest = oldest_retained t in
-  let give_up () = Wal.encode ~start:t.accepted [] in
+  let version = t.wal_version in
+  let give_up () = Wal.encode ~version ~start:t.accepted [] in
   let text =
     match t.fs.read_file (wal_path t.dir) with
     | Error _ -> give_up ()
@@ -439,16 +548,25 @@ let compact_wal t =
              if n <= 0 then l
              else match l with [] -> [] | _ :: tl -> drop (n - 1) tl
            in
-           Wal.encode ~start:oldest (drop (oldest - w.Wal.start) w.Wal.records)
+           Wal.encode ~version ~start:oldest
+             (drop (oldest - w.Wal.start) w.Wal.records)
          else give_up ())
   in
   let tmp = Filename.concat t.dir ".wal.tmp" in
   let* () = t.fs.write_file tmp text in
+  (* The held append fd (if any) points at the file being replaced; keep
+     it across the rename and later appends would land on the unlinked
+     inode. Close now, reopen lazily at the next flush. *)
+  close_handle t;
   let* () = t.fs.rename tmp (wal_path t.dir) in
   bump t "wal_compactions";
   Ok ()
 
 let checkpoint t =
+  (* Records only — the checkpoint covers every accepted transaction, so
+     their records must be on disk before compaction rewrites the log.
+     Queued acks stay queued until their group boundary. *)
+  flush_records t;
   let result =
     Tracer.span t.tracer ~cat:"checkpoint" ~name:"write"
       ~arg:(string_of_int t.accepted)
@@ -495,24 +613,6 @@ let reject t reason =
     bump t "txns_rejected";
     Tracer.point t.tracer ~cat:"supervisor" ~name:"txn-rejected" ~arg:reason ();
     Ok (Rejected reason)
-
-(* Durability point: append the record unless degraded. A failed append
-   suspends logging entirely (degraded) instead of leaving a gap that
-   replay would mis-index. *)
-let append_wal t ~time txn =
-  if not t.degraded then begin
-    let record = Wal.encode_record ~time txn in
-    match
-      Tracer.span t.tracer ~cat:"wal" ~name:"append" (fun () ->
-          t.fs.append_file (wal_path t.dir) record)
-    with
-    | Ok () ->
-      bump t "wal_records_appended";
-      t.wal_bytes <- t.wal_bytes + String.length record
-    | Error e ->
-      bump t "wal_append_failures";
-      enter_degraded t ~why:("wal append failed: " ^ e)
-  end
 
 let finish t ~t0 =
   (match t.metrics with
@@ -614,15 +714,33 @@ let step_repair t ~t0 ~time ~txn db =
         Ok (Checked { reports = reports'; inconclusive })
   end
 
-let step t ~time txn =
+(* Feed one transaction through the commit queue: the transaction is
+   fully processed (applied, checked, its record buffered) but its
+   outcome is only {e released} once the batch holding its record is
+   durable. Returns the outcomes whose batch this call flushed — [] when
+   the batch is still open, possibly several when it just closed. A
+   [Halt]-policy error still flushes the records of everything accepted
+   so far (their acks are lost with the run — crash semantics). *)
+let submit t ~time txn =
   let t0 =
     match t.metrics with None -> 0.0 | Some _ -> Unix.gettimeofday ()
+  in
+  let queue o = t.pending_outs_rev <- o :: t.pending_outs_rev in
+  let queued r =
+    match r with
+    | Error e ->
+      flush_records t;
+      Error e
+    | Ok o ->
+      queue o;
+      Ok (maybe_release t)
   in
   match t.last with
   | Some t1 when time <= t1 ->
     bump t "clock_regressions";
     Tracer.point t.tracer ~cat:"supervisor" ~name:"clock-regression" ();
-    reject t (Printf.sprintf "clock regression: time %d after %d" time t1)
+    queued
+      (reject t (Printf.sprintf "clock regression: time %d after %d" time t1))
   | _ ->
     Tracer.span t.tracer ~cat:"txn" ~arg:(string_of_int time) @@ fun () ->
     (match
@@ -630,20 +748,42 @@ let step t ~time txn =
      with
      | Error e ->
        bump t "malformed_txns";
-       reject t ("malformed transaction: " ^ e)
-     | Ok db when t.cfg.on_error = Repair -> step_repair t ~t0 ~time ~txn db
+       queued (reject t ("malformed transaction: " ^ e))
+     | Ok db when t.cfg.on_error = Repair ->
+       queued (step_repair t ~t0 ~time ~txn db)
      | Ok db ->
-       (* Accepted: durability point first, then verdicts. *)
+       (* Accepted: buffer the record, then verdicts, then maybe flush —
+          [finish] last so the measured latency covers the durability
+          work exactly when this transaction closed its batch. *)
        append_wal t ~time txn;
        let inconclusive = List.map fst t.quarantine in
-       let* reports = step_checkers t ~time db in
-       finish t ~t0;
-       Ok (Checked { reports; inconclusive }))
+       (match step_checkers t ~time db with
+        | Error e ->
+          flush_records t;
+          Error e
+        | Ok reports ->
+          queue (Checked { reports; inconclusive });
+          let released = maybe_release t in
+          finish t ~t0;
+          Ok released))
+
+let step t ~time txn =
+  let* released = submit t ~time txn in
+  match List.rev (flush t) @ List.rev released with
+  | o :: _ -> Ok o
+  | [] -> Error "internal: transaction produced no outcome"
 
 (* ---------------- Lifecycle ---------------- *)
 
 let create ?(fs = Faults.real_fs) ?metrics ?tracer ?pool
     ?(config = default_config) ?init ~state_dir:dir cat defs =
+  let* () =
+    if config.wal_format = 1 || config.wal_format = 2 then Ok ()
+    else
+      Error
+        (Printf.sprintf "unknown WAL format %d (known: 1, 2)"
+           config.wal_format)
+  in
   let* () = fs.mkdir dir in
   if state_exists fs dir then
     Error
@@ -669,9 +809,18 @@ let create ?(fs = Faults.real_fs) ?metrics ?tracer ?pool
         last = None;
         since_ck = 0;
         wal_bytes = 0;
-        degraded = false }
+        degraded = false;
+        wal_version = config.wal_format;
+        wal_out = None;
+        pending_buf = Buffer.create 1024;
+        pending_records = 0;
+        pending_outs_rev = [];
+        batch_t0 = 0.0 }
     in
-    let* () = fs.write_file (wal_path dir) (Wal.header ~start:0) in
+    let* () =
+      fs.write_file (wal_path dir)
+        (Wal.header ~version:config.wal_format ~start:0 ())
+    in
     let* () = checkpoint t in
     Ok t
 
@@ -771,7 +920,16 @@ let recover ?(fs = Faults.real_fs) ?metrics ?tracer ?pool
         since_ck = 0;
         wal_bytes = 0;
         (* Never append after damaged bytes; repair (below) clears this. *)
-        degraded = w.Wal.torn <> None }
+        degraded = w.Wal.torn <> None;
+        (* The directory's format wins over cfg.wal_format: a log is never
+           silently migrated mid-life (compaction rewrites it in its own
+           version). *)
+        wal_version = w.Wal.version;
+        wal_out = None;
+        pending_buf = Buffer.create 1024;
+        pending_records = 0;
+        pending_outs_rev = [];
+        batch_t0 = 0.0 }
     in
     t.quarantine <- derive_quarantine config t.checkers;
     (* Replay the WAL suffix past the checkpoint. Replayed records are not
@@ -821,3 +979,6 @@ let quarantined t = t.quarantine
 let degraded t = t.degraded
 let wal_bytes_since_checkpoint t = t.wal_bytes
 let state_dir t = t.dir
+let wal_version t = t.wal_version
+let pending_records t = t.pending_records
+let pending_outcomes t = List.length t.pending_outs_rev

@@ -69,11 +69,26 @@ type config = {
   aux_budget : int option;
       (** Per-constraint auxiliary-space budget ({!Incremental.space});
           [None] = unlimited. Crossing it quarantines the constraint. *)
+  group_commit : int;
+      (** Group commit: accepted records per WAL write+sync batch. [1]
+          (the default) syncs every transaction — the classic contract.
+          With N > 1, up to N−1 accepted-but-unacknowledged transactions
+          can be lost by a crash; an outcome that has been {e released}
+          to the caller is never lost. *)
+  flush_ms : int;
+      (** With group commit, also release a short batch once its oldest
+          record is this many wall-clock milliseconds old (checked at the
+          next {!submit}); [0] disables the age trigger. *)
+  wal_format : int;
+      (** WAL version written by {!create}: [1] (text records) or [2]
+          (binary frames, FORMATS.md §5). {!recover} ignores this and
+          keeps the directory's existing format. *)
 }
 
 val default_config : config
 (** [{ auto_checkpoint = 64; retain = 2; on_error = Halt;
-      aux_budget = None }]. *)
+      aux_budget = None; group_commit = 1; flush_ms = 0;
+      wal_format = 1 }]. *)
 
 (** The result of feeding one transaction. *)
 type outcome =
@@ -153,12 +168,48 @@ val step :
   time:int ->
   Rtic_relational.Update.transaction ->
   (outcome, string) result
-(** Feed one transaction. Accepted transactions are WAL-appended before
-    any checker runs (the durability point precedes verdict delivery);
-    ill-formed ones take the {!policy} path and are {e not} logged, so
-    re-feeding the same input after a crash skips them again
+(** Feed one transaction and force its outcome out: [submit] followed by
+    {!flush}, returning this transaction's own outcome. Accepted
+    transactions are durable (written + synced) before the outcome is
+    returned; ill-formed ones take the {!policy} path and are {e not}
+    logged, so re-feeding the same input after a crash skips them again
     deterministically. [Error] means the service must stop: {!Halt}
-    policy, or an internal failure. *)
+    policy, or an internal failure. With [group_commit = 1] this is the
+    classic one-sync-per-transaction service loop; callers that want
+    batched durability use {!submit}/{!flush} instead. *)
+
+val submit :
+  t ->
+  time:int ->
+  Rtic_relational.Update.transaction ->
+  (outcome list, string) result
+(** Feed one transaction through the commit queue. The transaction is
+    fully processed immediately (applied, checked, its WAL record
+    buffered), but its outcome is queued and only {e released} once the
+    batch holding its record has been written and synced — when the batch
+    reaches [config.group_commit] records or ages past [config.flush_ms].
+    Returns the outcomes released by this call, oldest first: usually
+    [[]] (batch still open) or a whole batch. Outcomes without a WAL
+    record of their own ({!Skipped}/{!Rejected}) queue behind any pending
+    records so release order always matches submission order. [Error]
+    (Halt policy or internal failure) still flushes the buffered records
+    first — their queued outcomes are lost with the run, exactly as a
+    crash would lose them. *)
+
+val flush : t -> outcome list
+(** Force the current batch down now: write + sync any buffered records
+    and release every queued outcome, oldest first. A failed write
+    degrades the supervisor (see {!degraded}) but the outcomes are
+    released regardless — verdicts keep flowing without durability,
+    matching the per-record contract. *)
+
+val pending_records : t -> int
+(** Accepted transactions whose WAL records are buffered but not yet
+    written + synced (the at-risk window; < [config.group_commit]). *)
+
+val pending_outcomes : t -> int
+(** Outcomes queued awaiting release (≥ {!pending_records} — policy
+    outcomes queue too, to preserve order). *)
 
 val checkpoint : t -> (unit, string) result
 (** Snapshot now: write the full state to a fresh checkpoint file
@@ -256,6 +307,11 @@ val wal_bytes_since_checkpoint : t -> int
     it tells an operator how much replay a crash right now would cost. *)
 
 val state_dir : t -> string
+
+val wal_version : t -> int
+(** The WAL format this directory is running: 1 or 2. Set from
+    [config.wal_format] at {!create} and from the on-disk log at
+    {!recover}; compaction preserves it. *)
 
 (** {2 State-directory helpers} (used by [rtic recover] and the tests) *)
 

@@ -1,10 +1,13 @@
-(* Write-ahead transaction log: rtic-wal/1. Pure encode/decode; the
-   Supervisor does the file I/O through a Faults.fs record. *)
+(* Write-ahead transaction log: rtic-wal/1 (text records) and rtic-wal/2
+   (binary length-prefixed records, same recovery contract). Pure
+   encode/decode; the Supervisor does the file I/O through a Faults.fs
+   record. *)
 
 module Update = Rtic_relational.Update
 module Textio = Rtic_relational.Textio
 
 let version_line = "rtic-wal/1"
+let version_line_v2 = "rtic-wal/2"
 
 (* ---------------- CRC-32 (IEEE 802.3, reflected) ---------------- *)
 
@@ -27,29 +30,55 @@ let crc32 s =
 
 (* ---------------- Encoding ---------------- *)
 
-let header ~start = Printf.sprintf "%s\nstart %d\n" version_line start
+let header ?(version = 1) ~start () =
+  Printf.sprintf "%s\nstart %d\n"
+    (if version = 2 then version_line_v2 else version_line)
+    start
 
 let op_line = function
   | Update.Insert (rel, t) -> "+" ^ Textio.fact_to_string rel t
   | Update.Delete (rel, t) -> "-" ^ Textio.fact_to_string rel t
 
 (* The CRC covers the commit time and the op lines, so a flipped bit in
-   any of them (or in the time echoed on the txn line) is detected. *)
+   any of them (or in the time echoed on the txn line) is detected. Both
+   formats checksum the same body bytes, so a record's CRC is identical
+   in rtic-wal/1 and rtic-wal/2. *)
 let record_body ~time op_lines =
   string_of_int time ^ "\n"
   ^ String.concat "" (List.map (fun l -> l ^ "\n") op_lines)
 
-let encode_record ~time txn =
-  let ops = List.map op_line txn in
-  Printf.sprintf "txn %d %d %08x\n%s" time (List.length ops)
-    (crc32 (record_body ~time ops))
-    (String.concat "" (List.map (fun l -> l ^ "\n") ops))
+(* v2 framing: 4-byte little-endian body length, 4-byte little-endian
+   CRC-32 of the body, then the body — the same text bytes a v1 record
+   carries after its txn line, so converting between the formats never
+   touches record content. *)
+let le32 n =
+  let b = Bytes.create 4 in
+  Bytes.set_uint8 b 0 (n land 0xff);
+  Bytes.set_uint8 b 1 ((n lsr 8) land 0xff);
+  Bytes.set_uint8 b 2 ((n lsr 16) land 0xff);
+  Bytes.set_uint8 b 3 ((n lsr 24) land 0xff);
+  Bytes.unsafe_to_string b
 
-let encode ~start records =
+let read_le32 s off =
+  Char.code s.[off]
+  lor (Char.code s.[off + 1] lsl 8)
+  lor (Char.code s.[off + 2] lsl 16)
+  lor (Char.code s.[off + 3] lsl 24)
+
+let encode_record ?(version = 1) ~time txn =
+  let ops = List.map op_line txn in
+  let body = record_body ~time ops in
+  if version = 2 then le32 (String.length body) ^ le32 (crc32 body) ^ body
+  else
+    Printf.sprintf "txn %d %d %08x\n%s" time (List.length ops) (crc32 body)
+      (String.concat "" (List.map (fun l -> l ^ "\n") ops))
+
+let encode ?(version = 1) ~start records =
   let buf = Buffer.create 1024 in
-  Buffer.add_string buf (header ~start);
+  Buffer.add_string buf (header ~version ~start ());
   List.iter
-    (fun (time, txn) -> Buffer.add_string buf (encode_record ~time txn))
+    (fun (time, txn) ->
+      Buffer.add_string buf (encode_record ~version ~time txn))
     records;
   Buffer.contents buf
 
@@ -59,6 +88,7 @@ type recovery = {
   start : int;
   records : (int * Update.transaction) list;
   torn : string option;
+  version : int;
 }
 
 let parse_txn_line l =
@@ -77,72 +107,142 @@ let parse_op line =
       Result.map (fun (rel, t) -> Update.Delete (rel, t)) (Textio.parse_fact rest)
     | _ -> Error ("op line must start with + or -: " ^ line)
 
+let rec parse_ops acc_ops = function
+  | [] -> Ok (List.rev acc_ops)
+  | l :: rest ->
+    (match parse_op l with
+     | Ok op -> parse_ops (op :: acc_ops) rest
+     | Error m -> Error m)
+
+let recover_v1 text =
+  let len = String.length text in
+  let ends_nl = text.[len - 1] = '\n' in
+  let lines = Array.of_list (String.split_on_char '\n' text) in
+  (* split_on_char leaves a final "" when the text is newline-terminated;
+     otherwise the final element is an unterminated (possibly torn) line. *)
+  let nlines = Array.length lines in
+  let nlines = if ends_nl then nlines - 1 else nlines in
+  (* Index of the first line NOT terminated by a newline (= nlines when
+     the file ends cleanly). Only the final line can be unterminated. *)
+  let complete = if ends_nl then nlines else nlines - 1 in
+  if complete < 2 then Error "wal: truncated header"
+  else
+    match
+      Scanf.sscanf lines.(1) "start %d%!" (fun s -> s)
+    with
+    | exception (Scanf.Scan_failure _ | Failure _ | End_of_file) ->
+      Error ("wal: bad start line: " ^ lines.(1))
+    | start when start < 0 -> Error "wal: negative start index"
+    | start ->
+      (* [nrec] is carried through the recursion — recomputing it with
+         List.length per record would make recovery quadratic in the
+         log length. *)
+      let rec go i prev_time acc nrec =
+        let torn reason =
+          { start;
+            records = List.rev acc;
+            torn = Some (Printf.sprintf "record %d (index %d): %s" nrec
+                           (start + nrec) reason);
+            version = 1 }
+        in
+        if i >= nlines then
+          { start; records = List.rev acc; torn = None; version = 1 }
+        else if i >= complete then torn "unterminated final line (torn write)"
+        else
+          match parse_txn_line lines.(i) with
+          | None -> torn ("malformed txn line: " ^ lines.(i))
+          | Some (_, nops, _) when nops < 0 -> torn "negative op count"
+          | Some (time, nops, crc) ->
+            (* op lines i+1 .. i+nops must all exist and be
+               newline-terminated *)
+            if nops > 0 && i + nops >= complete then
+              torn "ops cut short by end of file"
+            else
+              let ops_raw = Array.to_list (Array.sub lines (i + 1) nops) in
+              if crc32 (record_body ~time ops_raw) <> crc then
+                torn "CRC mismatch"
+              else if
+                (match prev_time with
+                 | Some p -> time <= p
+                 | None -> false)
+              then torn "non-increasing commit time"
+              else
+                (match parse_ops [] ops_raw with
+                 | Error m -> torn ("bad op: " ^ m)
+                 | Ok txn ->
+                   go (i + nops + 1) (Some time) ((time, txn) :: acc)
+                     (nrec + 1))
+      in
+      Ok (go 2 None [] 0)
+
+(* The v2 header is the same two text lines (so fault plans and header
+   checks are format-agnostic); everything after the second newline is a
+   sequence of binary-framed records. *)
+let recover_v2 text =
+  let len = String.length text in
+  let hdr_start = String.length version_line_v2 + 1 in
+  match String.index_from_opt text hdr_start '\n' with
+  | None -> Error "wal: truncated header"
+  | Some j ->
+    let start_line = String.sub text hdr_start (j - hdr_start) in
+    (match Scanf.sscanf start_line "start %d%!" (fun s -> s) with
+     | exception (Scanf.Scan_failure _ | Failure _ | End_of_file) ->
+       Error ("wal: bad start line: " ^ start_line)
+     | start when start < 0 -> Error "wal: negative start index"
+     | start ->
+       let rec go off prev_time acc nrec =
+         let torn reason =
+           { start;
+             records = List.rev acc;
+             torn = Some (Printf.sprintf "record %d (index %d): %s" nrec
+                            (start + nrec) reason);
+             version = 2 }
+         in
+         if off >= len then
+           { start; records = List.rev acc; torn = None; version = 2 }
+         else if len - off < 8 then torn "torn length prefix"
+         else
+           let blen = read_le32 text off in
+           let crc = read_le32 text (off + 4) in
+           if blen < 2 then torn "bad record length"
+           else if blen > len - off - 8 then
+             torn "record body cut short by end of file"
+           else
+             let body = String.sub text (off + 8) blen in
+             if crc32 body <> crc then torn "CRC mismatch"
+             else if body.[blen - 1] <> '\n' then torn "malformed record body"
+             else
+               (* body = "<time>\n" then one op line per op, each
+                  newline-terminated — exactly [record_body]. *)
+               let lines =
+                 String.split_on_char '\n' (String.sub body 0 (blen - 1))
+               in
+               (match lines with
+                | [] -> torn "malformed record body"
+                | time_str :: ops_raw ->
+                  (match int_of_string_opt time_str with
+                   | None -> torn ("malformed record body: bad time line: "
+                                   ^ time_str)
+                   | Some time ->
+                     if
+                       (match prev_time with
+                        | Some p -> time <= p
+                        | None -> false)
+                     then torn "non-increasing commit time"
+                     else
+                       (match parse_ops [] ops_raw with
+                        | Error m -> torn ("bad op: " ^ m)
+                        | Ok txn ->
+                          go (off + 8 + blen) (Some time)
+                            ((time, txn) :: acc) (nrec + 1))))
+       in
+       Ok (go (j + 1) None [] 0))
+
 let recover text =
   let len = String.length text in
   if len = 0 then Error "wal: empty file"
-  else
-    let ends_nl = text.[len - 1] = '\n' in
-    let lines = Array.of_list (String.split_on_char '\n' text) in
-    (* split_on_char leaves a final "" when the text is newline-terminated;
-       otherwise the final element is an unterminated (possibly torn) line. *)
-    let nlines = Array.length lines in
-    let nlines = if ends_nl then nlines - 1 else nlines in
-    (* Index of the first line NOT terminated by a newline (= nlines when
-       the file ends cleanly). Only the final line can be unterminated. *)
-    let complete = if ends_nl then nlines else nlines - 1 in
-    if complete < 1 || lines.(0) <> version_line then
-      Error "wal: missing rtic-wal/1 header"
-    else if complete < 2 then Error "wal: truncated header"
-    else
-      match
-        Scanf.sscanf lines.(1) "start %d%!" (fun s -> s)
-      with
-      | exception (Scanf.Scan_failure _ | Failure _ | End_of_file) ->
-        Error ("wal: bad start line: " ^ lines.(1))
-      | start when start < 0 -> Error "wal: negative start index"
-      | start ->
-        (* [nrec] is carried through the recursion — recomputing it with
-           List.length per record would make recovery quadratic in the
-           log length. *)
-        let rec go i prev_time acc nrec =
-          let torn reason =
-            { start;
-              records = List.rev acc;
-              torn = Some (Printf.sprintf "record %d (index %d): %s" nrec
-                             (start + nrec) reason) }
-          in
-          if i >= nlines then { start; records = List.rev acc; torn = None }
-          else if i >= complete then torn "unterminated final line (torn write)"
-          else
-            match parse_txn_line lines.(i) with
-            | None -> torn ("malformed txn line: " ^ lines.(i))
-            | Some (_, nops, _) when nops < 0 -> torn "negative op count"
-            | Some (time, nops, crc) ->
-              (* op lines i+1 .. i+nops must all exist and be
-                 newline-terminated *)
-              if nops > 0 && i + nops >= complete then
-                torn "ops cut short by end of file"
-              else
-                let ops_raw = Array.to_list (Array.sub lines (i + 1) nops) in
-                if crc32 (record_body ~time ops_raw) <> crc then
-                  torn "CRC mismatch"
-                else if
-                  (match prev_time with
-                   | Some p -> time <= p
-                   | None -> false)
-                then torn "non-increasing commit time"
-                else
-                  let rec parse_ops acc_ops = function
-                    | [] -> Ok (List.rev acc_ops)
-                    | l :: rest ->
-                      (match parse_op l with
-                       | Ok op -> parse_ops (op :: acc_ops) rest
-                       | Error m -> Error m)
-                  in
-                  (match parse_ops [] ops_raw with
-                   | Error m -> torn ("bad op: " ^ m)
-                   | Ok txn ->
-                     go (i + nops + 1) (Some time) ((time, txn) :: acc)
-                       (nrec + 1))
-        in
-        Ok (go 2 None [] 0)
+  else if String.starts_with ~prefix:(version_line ^ "\n") text then
+    recover_v1 text
+  else if String.starts_with ~prefix:(version_line_v2 ^ "\n") text then
+    recover_v2 text
+  else Error "wal: missing rtic-wal/1|2 header"

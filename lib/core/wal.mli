@@ -1,40 +1,54 @@
 (** Write-ahead transaction log — the durability half of the resilience
-    layer ([rtic-wal/1], FORMATS.md §5).
+    layer ([rtic-wal/1] and [rtic-wal/2], FORMATS.md §5).
 
-    A WAL file is an append-only text log of the transactions a
-    {!Supervisor} has {e accepted}: a two-line header naming the format and
-    the global index of the first record, then one record per transaction.
-    Each record carries a CRC-32 of its own body, so recovery can tell a
-    record that was written completely from one torn by a crash mid-write
-    or damaged by bit rot.
+    A WAL file is an append-only log of the transactions a {!Supervisor}
+    has {e accepted}: a two-line text header naming the format and the
+    global index of the first record, then one record per transaction —
+    text records in [rtic-wal/1], length-prefixed binary frames in
+    [rtic-wal/2] (each frame carries the {e same} body bytes a v1 record
+    does, so the formats convert losslessly; [rtic wal dump] renders
+    either back to v1 text). Each record carries a CRC-32 of its own body,
+    so recovery can tell a record that was written completely from one
+    torn by a crash mid-write or damaged by bit rot.
 
-    Recovery is {e valid-prefix}: records are replayed from the front until
-    the first record that is structurally malformed, fails its CRC, is cut
-    short by the end of the file, or sits in a file that does not end in a
-    newline (a torn final write). Everything before that point is trusted;
-    everything from it on is dropped and reported, never half-applied.
+    Recovery is {e valid-prefix} in both formats: records are replayed
+    from the front until the first record that is structurally malformed,
+    fails its CRC, or is cut short by the end of the file (a torn final
+    write — an unterminated line in v1, a truncated length prefix or body
+    in v2). Everything before that point is trusted; everything from it on
+    is dropped and reported, never half-applied.
 
     This module is pure — it encodes and decodes strings. All file I/O is
     done by the {!Supervisor} through a {!Faults.fs} record so tests can
     inject write failures and corruption deterministically. *)
 
 val version_line : string
-(** ["rtic-wal/1"] — the first line of every WAL file. *)
+(** ["rtic-wal/1"] — the first line of every v1 WAL file. *)
+
+val version_line_v2 : string
+(** ["rtic-wal/2"] — the first line of every v2 WAL file. The v2 header
+    is still text (the same two lines), so header-protection logic is
+    format-agnostic; only the records after it are binary. *)
 
 val crc32 : string -> int
 (** CRC-32 (IEEE 802.3, reflected) of a string, in [0, 0xFFFFFFFF]. *)
 
-val header : start:int -> string
-(** The two header lines ([rtic-wal/1] and [start N]), newline-terminated.
-    [start] is the global index of the first record in the file; it moves
-    forward when the {!Supervisor} compacts the log after a checkpoint. *)
+val header : ?version:int -> start:int -> unit -> string
+(** The two header lines ([rtic-wal/1] or [rtic-wal/2], then [start N]),
+    newline-terminated. [version] is 1 (default) or 2. [start] is the
+    global index of the first record in the file; it moves forward when
+    the {!Supervisor} compacts the log after a checkpoint. *)
 
 val encode_record :
-  time:int -> Rtic_relational.Update.transaction -> string
-(** One record, newline-terminated: a [txn <time> <nops> <crc>] line
-    followed by one [+rel(...)]/[-rel(...)] line per update (trace-file op
-    syntax). The CRC covers the time and the op lines, so a flipped bit
-    anywhere in the record is detected. *)
+  ?version:int -> time:int -> Rtic_relational.Update.transaction -> string
+(** One record. In v1 (default), newline-terminated text: a
+    [txn <time> <nops> <crc>] line followed by one [+rel(...)]/[-rel(...)]
+    line per update (trace-file op syntax). In v2, a binary frame: 4-byte
+    little-endian body length, 4-byte little-endian CRC-32 of the body,
+    then the body ([<time>\n] followed by the op lines — the bytes the v1
+    CRC covers, so the checksum is identical across formats). Either way
+    the CRC covers the time and the op lines, so a flipped bit anywhere in
+    the record is detected. *)
 
 val parse_op : string -> (Rtic_relational.Update.op, string) result
 (** Parse one [+rel(...)]/[-rel(...)] op line — the record op syntax, also
@@ -42,10 +56,12 @@ val parse_op : string -> (Rtic_relational.Update.op, string) result
     ({!Server}, FORMATS.md §7). *)
 
 val encode :
+  ?version:int ->
   start:int -> (int * Rtic_relational.Update.transaction) list -> string
-(** A whole WAL file: {!header} plus the given [(time, txn)] records.
-    Used for compaction and repair; [recover (encode ~start rs)] yields
-    exactly [rs] with no torn tail. *)
+(** A whole WAL file in the given format (1, the default, or 2):
+    {!header} plus the given [(time, txn)] records. Used for compaction
+    and repair; [recover (encode ~version ~start rs)] yields exactly [rs]
+    with no torn tail, in either format. *)
 
 type recovery = {
   start : int;  (** Global index of the first record in the file. *)
@@ -55,10 +71,12 @@ type recovery = {
   torn : string option;
       (** [Some reason] when a suffix of the file was dropped (torn tail,
           CRC mismatch, malformed record); [None] for a clean log. *)
+  version : int;  (** The file's format: 1 or 2. *)
 }
 
 val recover : string -> (recovery, string) result
-(** Decode a WAL file. A damaged or missing {e header} is a hard [Error]
-    (the header is written once, atomically, so it cannot be torn by an
-    append); damage anywhere after it is reported via [torn] with the
-    valid prefix in [records]. *)
+(** Decode a WAL file, dispatching on its header line ([rtic-wal/1] and
+    [rtic-wal/2] logs are both readable). A damaged or missing {e header}
+    is a hard [Error] (the header is written once, atomically, so it
+    cannot be torn by an append); damage anywhere after it is reported via
+    [torn] with the valid prefix in [records]. *)

@@ -11,6 +11,8 @@ type episode = {
   plan : Faults.plan;
   crash_at : int;
   accepted_at_crash : int;
+  acked_at_crash : int;
+  group : int;
   recovered_step : int;
   resumed_at : int;
   replayed : int;
@@ -67,6 +69,28 @@ let feed sup inputs =
     (Ok []) inputs
   |> Result.map List.rev
 
+(* Feed through the commit queue, keeping only the outcomes actually
+   released before the crash point. Deliberately no final flush: buffered
+   records and queued acks are left in memory, which is exactly what a
+   crash finds with group commit. *)
+let feed_submit sup inputs =
+  List.fold_left
+    (fun acc (time, txn) ->
+      let* outs = acc in
+      let* released = Supervisor.submit sup ~time txn in
+      Ok (List.rev_append released outs))
+    (Ok []) inputs
+  |> Result.map List.rev
+
+let accepted_count outcomes =
+  List.fold_left
+    (fun n o ->
+      match o with
+      | Supervisor.Checked _ | Supervisor.Repaired _
+      | Supervisor.Unrepairable _ -> n + 1
+      | Supervisor.Skipped _ | Supervisor.Rejected _ -> n)
+    0 outcomes
+
 let rec drop n l =
   if n <= 0 then l else match l with [] -> [] | _ :: tl -> drop (n - 1) tl
 
@@ -96,24 +120,33 @@ let resume_pos outcomes s =
 
 let state_dir = "state"
 
-let run_episode ?init ~config cat defs ~inputs ~seed ~plan ~crash_at =
+let run_episode ?init ?(group = 1) ~config cat defs ~inputs ~seed ~plan
+    ~crash_at =
   let crash_at = max 0 (min crash_at (List.length inputs)) in
+  let config = { config with Supervisor.group_commit = group } in
   (* Uninterrupted reference run. *)
   let fs_a = Faults.mem_fs () in
   let* sup_a = Supervisor.create ~fs:fs_a ~config ?init ~state_dir cat defs in
   let* base = feed sup_a inputs in
-  (* Crashed run: same inputs, fresh filesystem. *)
+  (* Crashed run: same inputs, fresh filesystem. With group commit the
+     prefix goes through the commit queue, so the crash lands with a
+     partially filled batch in memory — [pre] holds only the outcomes the
+     caller actually saw (a prefix of the full sequence). *)
   let fs_b = Faults.mem_fs () in
   let* sup_b = Supervisor.create ~fs:fs_b ~config ?init ~state_dir cat defs in
-  let* pre = feed sup_b (take crash_at inputs) in
+  let* pre =
+    if group <= 1 then feed sup_b (take crash_at inputs)
+    else feed_submit sup_b (take crash_at inputs)
+  in
   let accepted_at_crash = Supervisor.steps sup_b in
-  (* Determinism sanity: the crashed run's prefix must match the
-     reference run's — otherwise the oracle itself is unsound. *)
+  let acked_at_crash = List.length pre in
+  (* Determinism sanity: the crashed run's released outcomes must match
+     the reference run's — otherwise the oracle itself is unsound. *)
   let* () =
     let mismatch =
       List.exists2
         (fun a b -> outcome_repr a <> outcome_repr b)
-        pre (take crash_at base)
+        pre (take acked_at_crash base)
     in
     if mismatch then Error "non-deterministic prefix (oracle unsound)"
     else Ok ()
@@ -136,6 +169,8 @@ let run_episode ?init ~config cat defs ~inputs ~seed ~plan ~crash_at =
       { plan;
         crash_at;
         accepted_at_crash;
+        acked_at_crash;
+        group;
         recovered_step = 0;
         resumed_at = 0;
         replayed = 0;
@@ -151,15 +186,35 @@ let run_episode ?init ~config cat defs ~inputs ~seed ~plan ~crash_at =
       Error
         (Printf.sprintf "recovered %d transactions but only %d were accepted"
            s accepted_at_crash)
-    else if plan = Faults.Kill && s <> accepted_at_crash then
+    else if plan = Faults.Kill && group = 1 && s <> accepted_at_crash then
       Error
         (Printf.sprintf
            "clean kill lost transactions: accepted %d, recovered %d"
            accepted_at_crash s)
+    else if plan = Faults.Kill && accepted_at_crash - s > group - 1 then
+      (* The acked-loss window: a clean kill may only lose the unflushed
+         batch, which group commit bounds at group - 1 records. *)
+      Error
+        (Printf.sprintf
+           "clean kill lost %d transactions, more than the group-commit \
+            window of %d (accepted %d, recovered %d)"
+           (accepted_at_crash - s) (group - 1) accepted_at_crash s)
+    else if plan = Faults.Kill && s < accepted_count pre then
+      (* The other half of the contract: an outcome that was released to
+         the caller is backed by a synced record, so a clean kill can
+         never lose it. *)
+      Error
+        (Printf.sprintf
+           "clean kill lost an acknowledged transaction: %d acked accepted, \
+            only %d recovered"
+           (accepted_count pre) s)
     else Ok ()
   in
   let* p =
-    match resume_pos pre s with
+    (* With group commit [pre] stops at the last released outcome, so the
+       resume point is found on the reference run's (repr-identical)
+       prefix instead. *)
+    match resume_pos (take crash_at base) s with
     | Some p -> Ok p
     | None -> Error "recovered step count exceeds accepted prefix"
   in
@@ -204,6 +259,8 @@ let run_episode ?init ~config cat defs ~inputs ~seed ~plan ~crash_at =
     { plan;
       crash_at;
       accepted_at_crash;
+      acked_at_crash;
+      group;
       recovered_step = s;
       resumed_at = p;
       replayed = info.Supervisor.replayed;
@@ -247,7 +304,9 @@ let run ~seed ~iters =
       (* Half the episodes run a scenario workload, half a random one. *)
       let cat, defs, init, inputs =
         if i mod 2 = 0 then begin
-          let sc = List.nth Scenarios.all (next_int r 4) in
+          let sc =
+            List.nth Scenarios.all (next_int r (List.length Scenarios.all))
+          in
           let tr =
             sc.Scenarios.generate ~seed:episode_seed ~steps:(20 + next_int r 25)
               ~violation_rate:0.15
@@ -276,7 +335,8 @@ let run ~seed ~iters =
         else inputs
       in
       let config =
-        { Supervisor.auto_checkpoint = 3 + next_int r 8;
+        { Supervisor.default_config with
+          auto_checkpoint = 3 + next_int r 8;
           retain = 1 + next_int r 3;
           on_error = policy;
           (* A small budget now and then exercises quarantine. *)
@@ -310,16 +370,18 @@ let run_repair ~seed ~iters =
       let plan =
         List.nth Faults.all_plans (i mod List.length Faults.all_plans)
       in
-      let sc = List.nth Scenarios.all (next_int r 4) in
+      let sc =
+        List.nth Scenarios.all (next_int r (List.length Scenarios.all))
+      in
       let tr =
         sc.Scenarios.generate ~seed:episode_seed ~steps:(20 + next_int r 25)
           ~violation_rate:0.25
       in
       let config =
-        { Supervisor.auto_checkpoint = 3 + next_int r 8;
+        { Supervisor.default_config with
+          auto_checkpoint = 3 + next_int r 8;
           retain = 1 + next_int r 3;
-          on_error = Supervisor.Repair;
-          aux_budget = None }
+          on_error = Supervisor.Repair }
       in
       let inputs = tr.Trace.steps in
       let crash_at = next_int r (List.length inputs + 1) in
@@ -331,6 +393,52 @@ let run_repair ~seed ~iters =
         Error
           (Printf.sprintf "repair episode %d (seed %d, plan %s, %s): %s" i
              episode_seed (Faults.plan_name plan) sc.Scenarios.name e)
+      | Ok ep -> go (i + 1) (ep :: acc)
+  in
+  go 0 []
+
+(* The group-commit drill: the crashed prefix goes through
+   [Supervisor.submit] with batches of 2-8 records, over both WAL formats,
+   so crash sites land with a partially filled batch in memory.
+   [run_episode] then checks the acked-loss contract on top of the usual
+   equivalence: a clean kill loses at most [group - 1] accepted
+   transactions and never one whose outcome was released. *)
+let run_group ~seed ~iters =
+  let r = make_rng seed in
+  let rec go i acc =
+    if i >= iters then Ok (List.rev acc)
+    else
+      let episode_seed = (seed * 4099) + i in
+      let plan =
+        List.nth Faults.all_plans (i mod List.length Faults.all_plans)
+      in
+      let policy = policies.(next_int r 3) in
+      let sc =
+        List.nth Scenarios.all (next_int r (List.length Scenarios.all))
+      in
+      let tr =
+        sc.Scenarios.generate ~seed:episode_seed ~steps:(20 + next_int r 25)
+          ~violation_rate:0.15
+      in
+      let group = 2 + next_int r 7 in
+      let config =
+        { Supervisor.default_config with
+          auto_checkpoint = 3 + next_int r 8;
+          retain = 1 + next_int r 3;
+          on_error = policy;
+          wal_format = 1 + next_int r 2 }
+      in
+      let inputs = tr.Trace.steps in
+      let crash_at = next_int r (List.length inputs + 1) in
+      match
+        run_episode ~init:tr.Trace.init ~group ~config sc.Scenarios.catalog
+          sc.Scenarios.constraints ~inputs ~seed:episode_seed ~plan ~crash_at
+      with
+      | Error e ->
+        Error
+          (Printf.sprintf
+             "group episode %d (seed %d, plan %s, group %d, %s): %s" i
+             episode_seed (Faults.plan_name plan) group sc.Scenarios.name e)
       | Ok ep -> go (i + 1) (ep :: acc)
   in
   go 0 []

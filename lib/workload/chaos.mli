@@ -25,9 +25,16 @@ type episode = {
   plan : Rtic_core.Faults.plan;
   crash_at : int;  (** Input index at which the first run was abandoned. *)
   accepted_at_crash : int;
+  acked_at_crash : int;
+      (** Outcomes actually released to the caller before the crash: all
+          of them with [group = 1]; with group commit, submissions whose
+          batch had not flushed are accepted but unacknowledged. *)
+  group : int;  (** The group-commit batch size the episode ran with. *)
   recovered_step : int;
       (** Transactions the recovered supervisor believes were accepted;
-          less than [accepted_at_crash] when the damage lost a WAL tail. *)
+          less than [accepted_at_crash] when the damage lost a WAL tail
+          (or, with group commit, an unflushed batch — bounded by
+          [group - 1] under a clean kill). *)
   resumed_at : int;  (** Input index the second run resumed from. *)
   replayed : int;  (** WAL records replayed during recovery. *)
   torn : bool;  (** The WAL had a torn tail. *)
@@ -42,6 +49,7 @@ type episode = {
 
 val run_episode :
   ?init:Rtic_relational.Database.t ->
+  ?group:int ->
   config:Rtic_core.Supervisor.config ->
   Rtic_relational.Schema.Catalog.t ->
   Rtic_mtl.Formula.def list ->
@@ -50,8 +58,14 @@ val run_episode :
   plan:Rtic_core.Faults.plan ->
   crash_at:int ->
   (episode, string) result
-(** Run one episode. [Error] is an equivalence violation (or an internal
-    failure), with a message naming the first diverging position. *)
+(** Run one episode. [?group] (default 1) sets the group-commit batch
+    size; with [group > 1] the crashed prefix is fed through
+    {!Rtic_core.Supervisor.submit}, leaving any unflushed batch in memory
+    at the crash, and the episode additionally asserts the acked-loss
+    contract: a clean kill loses at most [group - 1] accepted
+    transactions and never one whose outcome was released. [Error] is an
+    equivalence violation (or an internal failure), with a message naming
+    the first diverging position. *)
 
 val run :
   seed:int -> iters:int -> (episode list, string) result
@@ -71,3 +85,11 @@ val run_repair :
     asserts (via outcome equivalence {e and} final-database equality
     against the uninterrupted run) that a journaled repair is either
     fully applied after recovery or fully absent — never half-applied. *)
+
+val run_group :
+  seed:int -> iters:int -> (episode list, string) result
+(** The group-commit crash drill: [iters] episodes over scenario
+    workloads with batch sizes 2-8 and both WAL formats, cycling through
+    every fault plan and crash position, so crashes land with partially
+    filled batches in memory. Each episode checks the usual equivalence
+    plus the acked-loss window (see {!run_episode}). *)

@@ -389,7 +389,7 @@ periodically; the supervised flags require it, and it requires the
 incremental engine:
 
   $ rtic check -q --on-error skip loans.spec loans.trace
-  rtic: --on-error/--auto-checkpoint/--aux-budget require --state-dir
+  rtic: --on-error/--auto-checkpoint/--aux-budget/--group-commit/--wal-format require --state-dir
   [2]
   $ rtic check -q --state-dir svc --engine naive loans.spec loans.trace
   rtic: --state-dir requires --engine incremental
@@ -464,8 +464,43 @@ a destroyed WAL header is unrecoverable (violation-class exit):
   [2]
   $ mkdir destroyed && printf 'xtic-wal/1 0\n' > destroyed/wal.log
   $ rtic recover loans.spec destroyed
-  wal: corrupt header (wal: missing rtic-wal/1 header)
-  unrecoverable: wal: missing rtic-wal/1 header
+  wal: corrupt header (wal: missing rtic-wal/1|2 header)
+  unrecoverable: wal: missing rtic-wal/1|2 header
+  [1]
+
+group commit takes durability off the critical path: --group-commit N
+makes accepted transactions durable in batches of up to N records per
+write+sync (verdicts released only once their batch is on disk), and
+--wal-format 2 journals them in the binary record format; outcomes are
+identical either way:
+
+  $ rtic check --state-dir gc --group-commit 8 --wal-format 2 loans.spec loans.trace
+  [3] constraint member_borrow violated at position 2
+  [40] constraint loan_expiry violated at position 3
+  4 transaction(s), 2 violation(s)
+  [1]
+
+`rtic wal dump` renders either WAL format as rtic-wal/1 text — the
+binary frames carry exactly the v1 record bodies, so the conversion is
+lossless (and recovery reads both, so the v2 directory restarts fine):
+
+  $ rtic wal dump gc/wal.log
+  rtic-wal/1
+  start 0
+  txn 0 1 fe02a8ff
+  +member("ann")
+  txn 2 1 b9d10666
+  +borrow("ann", "b1")
+  txn 3 2 d507eb55
+  -borrow("ann", "b1")
+  +borrow("zed", "b2")
+  txn 40 1 c09cd0a4
+  -borrow("zed", "b2")
+  $ rtic wal dump svc/wal.log | head -2
+  rtic-wal/1
+  start 2
+  $ rtic wal dump no-such.log
+  rtic: no-such.log: No such file or directory
   [1]
 
 constraint repair: --on-error repair turns a violating transaction into

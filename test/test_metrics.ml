@@ -62,6 +62,21 @@ let recorder_cases =
           (* rank ceil(0.99*3)=3, the 3000 ns sample: bucket [2944, 3007] *)
           Alcotest.(check (float 0.01)) "p99 lands on the top sample's bucket"
             2975.5 l.Metrics.p99_ns);
+    Alcotest.test_case "negative latency clamps to zero" `Quick (fun () ->
+        (* a clock stepping backwards mid-measurement (NTP, VM migration)
+           used to feed a negative duration into the histogram and poison
+           min/mean; the recorder clamps it to zero instead *)
+        let m = Metrics.create () in
+        Metrics.record_latency m (-5e-6);
+        Metrics.record_latency m 2e-6;
+        match Metrics.latency m with
+        | None -> Alcotest.fail "expected a summary"
+        | Some l ->
+          Alcotest.(check int) "both samples counted" 2 l.Metrics.count;
+          Alcotest.(check (float 0.01)) "clamped to zero, not negative" 0.0
+            l.Metrics.min_ns;
+          Alcotest.(check (float 0.5)) "mean over the clamped pair" 1000.0
+            l.Metrics.mean_ns);
     Alcotest.test_case "histogram keeps bucket resolution at any volume"
       `Quick (fun () ->
         let m = Metrics.create () in

@@ -80,6 +80,28 @@ let scenario_cases =
         let (), t_big = timed (fun () -> run 50_000) in
         check_linear "library steps" t_small t_big) ]
 
+(* [mem_fs.append_file] used to rebuild the whole file as a fresh string
+   per append (read + concatenate + store), so appending n records cost
+   O(n^2) bytes copied — exactly the WAL append path the chaos and soak
+   sweeps hammer. The Buffer-backed store makes each append amortized
+   O(record). *)
+let mem_fs_cases =
+  [ Alcotest.test_case "50k mem_fs appends are linear" `Slow (fun () ->
+        let run n =
+          let fs = Faults.mem_fs () in
+          get_ok "create" (fs.Faults.write_file "log" "");
+          for i = 1 to n do
+            get_ok "append"
+              (fs.Faults.append_file "log" (Printf.sprintf "record %d\n" i))
+          done;
+          Alcotest.(check bool) "content present" true
+            (String.length (get_ok "read" (fs.Faults.read_file "log")) > n)
+        in
+        ignore (timed (fun () -> run 5_000)) (* warm-up *);
+        let (), t_small = timed (fun () -> run 5_000) in
+        let (), t_big = timed (fun () -> run 50_000) in
+        check_linear "appended records" t_small t_big) ]
+
 let read_file_cases =
   [ Alcotest.test_case "missing file is an Error, not an exception" `Quick
       (fun () ->
@@ -198,4 +220,5 @@ let suite =
     ("regressions:hash-join", join_cases);
     ("regressions:window-prune", prune_cases);
     ("regressions:wide-schema", wide_schema_cases);
+    ("regressions:mem-fs", mem_fs_cases);
     ("regressions:read-file", read_file_cases) ]

@@ -17,11 +17,15 @@ let def name body = { F.name; body = parse_formula body }
 let txn_p v = [ Update.insert "p" [ Value.Int v ] ]
 let txn_q v = [ Update.insert "q" [ Value.Int v ] ]
 
-let cfg ?(auto = 0) ?(retain = 2) ?(policy = Supervisor.Halt) ?budget () =
-  { Supervisor.auto_checkpoint = auto;
+let cfg ?(auto = 0) ?(retain = 2) ?(policy = Supervisor.Halt) ?budget
+    ?(group = 1) ?(wal = 1) () =
+  { Supervisor.default_config with
+    auto_checkpoint = auto;
     retain;
     on_error = policy;
-    aux_budget = budget }
+    aux_budget = budget;
+    group_commit = group;
+    wal_format = wal }
 
 let sup_exn what = function
   | Ok v -> v
@@ -77,6 +81,120 @@ let wal_cases =
         Alcotest.(check int) "valid prefix" 1 (List.length w.Wal.records);
         Alcotest.(check bool) "torn reported" true (w.Wal.torn <> None)) ]
 
+(* ---------------- rtic-wal/2: binary frames ---------------- *)
+
+(* The corrupted-file corpus for the v2 decoder: every way an append can
+   tear or rot, each yielding the valid prefix plus a torn report — and
+   the mixed-header cases, where the header's format wins and the
+   mismatched records are a torn tail, never a hard error. *)
+let wal2_cases =
+  let encode2 = Wal.encode ~version:2 in
+  let body_of text =
+    (* strip the two-line text header, keeping the binary frames *)
+    let i = String.index_from text (String.index text '\n' + 1) '\n' + 1 in
+    (String.sub text 0 i, String.sub text i (String.length text - i))
+  in
+  [ Alcotest.test_case "v2 encode/recover roundtrip" `Quick (fun () ->
+        let text = encode2 ~start:5 sample_records in
+        let w = sup_exn "recover" (Wal.recover text) in
+        Alcotest.(check int) "start" 5 w.Wal.start;
+        Alcotest.(check int) "version" 2 w.Wal.version;
+        Alcotest.(check bool) "records" true (w.Wal.records = sample_records);
+        Alcotest.(check bool) "clean" true (w.Wal.torn = None));
+    Alcotest.test_case "v2 record CRC equals the v1 record CRC" `Quick
+      (fun () ->
+        (* same body bytes, same checksum: the lossless-conversion claim *)
+        let v1 = Wal.encode_record ~time:7 (txn_p 3) in
+        let v2 = Wal.encode_record ~version:2 ~time:7 (txn_p 3) in
+        let crc_of_v1 =
+          match String.split_on_char ' ' (List.hd (String.split_on_char '\n' v1)) with
+          | [ "txn"; _; _; crc ] -> int_of_string ("0x" ^ crc)
+          | _ -> Alcotest.fail "unexpected v1 record header"
+        in
+        let crc_of_v2 =
+          let b i = Char.code v2.[4 + i] in
+          b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24)
+        in
+        Alcotest.(check int) "crc" crc_of_v1 crc_of_v2);
+    Alcotest.test_case "torn length prefix drops the last record" `Quick
+      (fun () ->
+        let text = encode2 ~start:0 sample_records in
+        let last = Wal.encode_record ~version:2 ~time:9
+            [ Update.delete "p" [ Value.Int 1 ] ] in
+        (* keep 3 bytes of the final frame: mid length-prefix *)
+        let torn =
+          String.sub text 0 (String.length text - String.length last + 3)
+        in
+        let w = sup_exn "recover" (Wal.recover torn) in
+        Alcotest.(check int) "valid prefix" 2 (List.length w.Wal.records);
+        (match w.Wal.torn with
+         | Some r ->
+           Alcotest.(check bool) "names the tear" true
+             (String.length r > 0)
+         | None -> Alcotest.fail "torn tail not reported"));
+    Alcotest.test_case "torn body drops the last record" `Quick (fun () ->
+        let text = encode2 ~start:0 sample_records in
+        let torn = String.sub text 0 (String.length text - 2) in
+        let w = sup_exn "recover" (Wal.recover torn) in
+        Alcotest.(check int) "valid prefix" 2 (List.length w.Wal.records);
+        Alcotest.(check bool) "torn reported" true (w.Wal.torn <> None));
+    Alcotest.test_case "flipped CRC byte fails that record" `Quick (fun () ->
+        let text = encode2 ~start:0 sample_records in
+        let last = Wal.encode_record ~version:2 ~time:9
+            [ Update.delete "p" [ Value.Int 1 ] ] in
+        (* flip a byte inside the last frame's stored CRC field *)
+        let pos = String.length text - String.length last + 5 in
+        let b = Bytes.of_string text in
+        Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x40));
+        let w = sup_exn "recover" (Wal.recover (Bytes.to_string b)) in
+        Alcotest.(check int) "valid prefix" 2 (List.length w.Wal.records);
+        Alcotest.(check bool) "torn reported" true (w.Wal.torn <> None));
+    Alcotest.test_case "v1 header over v2 frames tears at the first frame"
+      `Quick (fun () ->
+        let _, frames = body_of (encode2 ~start:0 sample_records) in
+        let mixed = Wal.header ~start:0 () ^ frames in
+        let w = sup_exn "recover" (Wal.recover mixed) in
+        Alcotest.(check int) "declared format wins" 1 w.Wal.version;
+        Alcotest.(check int) "no records" 0 (List.length w.Wal.records);
+        Alcotest.(check bool) "torn reported" true (w.Wal.torn <> None));
+    Alcotest.test_case "v2 header over v1 records tears at the first frame"
+      `Quick (fun () ->
+        let _, lines = body_of (Wal.encode ~start:0 sample_records) in
+        let mixed = Wal.header ~version:2 ~start:0 () ^ lines in
+        let w = sup_exn "recover" (Wal.recover mixed) in
+        Alcotest.(check int) "declared format wins" 2 w.Wal.version;
+        Alcotest.(check int) "no records" 0 (List.length w.Wal.records);
+        Alcotest.(check bool) "torn reported" true (w.Wal.torn <> None));
+    (let record_gen =
+       QCheck.Gen.(
+         let op =
+           oneof
+             [ map (fun v -> Update.insert "p" [ Value.Int v ]) (int_range 0 99);
+               map (fun v -> Update.delete "p" [ Value.Int v ]) (int_range 0 99);
+               map (fun v -> Update.insert "q" [ Value.Int v ]) (int_range 0 99) ]
+         in
+         let txn = list_size (int_range 1 3) op in
+         map
+           (fun steps ->
+             let _, recs =
+               List.fold_left
+                 (fun (t, acc) (dt, txn) -> (t + dt, (t + dt, txn) :: acc))
+                 (0, []) steps
+             in
+             List.rev recs)
+           (list_size (int_range 0 12) (pair (int_range 1 5) txn)))
+     in
+     qtest "both formats: recover (encode records) = records"
+       (QCheck.make record_gen) (fun records ->
+         List.for_all
+           (fun version ->
+             match Wal.recover (Wal.encode ~version ~start:2 records) with
+             | Ok w ->
+               w.Wal.start = 2 && w.Wal.version = version
+               && w.Wal.records = records && w.Wal.torn = None
+             | Error _ -> false)
+           [ 1; 2 ])) ]
+
 (* ---------------- Supervisor lifecycle ---------------- *)
 
 let defaults = [ def "c1" "forall x. q(x) -> once[0,10] p(x)" ]
@@ -95,7 +213,7 @@ let lifecycle_cases =
         Alcotest.(check bool) "state exists" true (Supervisor.state_exists fs "sd");
         Alcotest.(check (list int)) "checkpoints" [ 0 ]
           (List.map fst (Supervisor.checkpoint_files fs "sd"));
-        Alcotest.(check string) "wal is a bare header" (Wal.header ~start:0)
+        Alcotest.(check string) "wal is a bare header" (Wal.header ~start:0 ())
           (sup_exn "read" (fs.Faults.read_file (Supervisor.wal_path "sd"))));
     Alcotest.test_case "create refuses an existing state dir" `Quick (fun () ->
         let fs, _ = fresh () in
@@ -349,6 +467,112 @@ let quarantine_cases =
         Alcotest.(check (list string)) "same set after recovery" q_before
           (List.map fst (Supervisor.quarantined sup2))) ]
 
+(* ---------------- Group commit ---------------- *)
+
+let group_cases =
+  [ Alcotest.test_case "acks defer until the batch fills" `Quick (fun () ->
+        let _, sup = fresh ~config:(cfg ~group:3 ()) () in
+        let submit time txn = sup_exn "submit" (Supervisor.submit sup ~time txn) in
+        Alcotest.(check int) "first ack deferred" 0
+          (List.length (submit 1 (txn_p 1)));
+        Alcotest.(check int) "second ack deferred" 0
+          (List.length (submit 2 (txn_p 2)));
+        Alcotest.(check int) "buffered records" 2
+          (Supervisor.pending_records sup);
+        Alcotest.(check int) "buffered outcomes" 2
+          (Supervisor.pending_outcomes sup);
+        let released = submit 3 (txn_q 99) in
+        Alcotest.(check int) "third submit flushes the batch" 3
+          (List.length released);
+        Alcotest.(check int) "queue drained" 0 (Supervisor.pending_records sup);
+        (* FIFO: the violation (q with no once p) is the last outcome *)
+        (match List.rev released with
+         | last :: _ ->
+           let reports, _ = checked "last" last in
+           Alcotest.(check int) "release order is submission order" 1
+             (List.length reports)
+         | [] -> Alcotest.fail "no outcomes"));
+    Alcotest.test_case "flush releases a partial batch" `Quick (fun () ->
+        let fs, sup = fresh ~config:(cfg ~group:4 ()) () in
+        ignore (sup_exn "submit" (Supervisor.submit sup ~time:1 (txn_p 1)));
+        ignore (sup_exn "submit" (Supervisor.submit sup ~time:2 (txn_p 2)));
+        let wal_before =
+          sup_exn "read" (fs.Faults.read_file (Supervisor.wal_path "sd"))
+        in
+        let released = Supervisor.flush sup in
+        Alcotest.(check int) "both acks released" 2 (List.length released);
+        Alcotest.(check int) "nothing pending" 0 (Supervisor.pending_outcomes sup);
+        let wal_after =
+          sup_exn "read" (fs.Faults.read_file (Supervisor.wal_path "sd"))
+        in
+        Alcotest.(check bool) "flush wrote the records" true
+          (String.length wal_after > String.length wal_before));
+    Alcotest.test_case "step with a group is still one synced outcome" `Quick
+      (fun () ->
+        let fs, sup = fresh ~config:(cfg ~group:8 ()) () in
+        ignore (checked "step" (sup_exn "step" (Supervisor.step sup ~time:1 (txn_p 1))));
+        Alcotest.(check int) "no deferred acks" 0
+          (Supervisor.pending_outcomes sup);
+        let w =
+          sup_exn "wal"
+            (Wal.recover
+               (sup_exn "read" (fs.Faults.read_file (Supervisor.wal_path "sd"))))
+        in
+        Alcotest.(check int) "record durable before the ack" 1
+          (List.length w.Wal.records));
+    Alcotest.test_case "clean kill loses only the unflushed window" `Quick
+      (fun () ->
+        let fs, sup = fresh ~config:(cfg ~group:3 ()) () in
+        let acked = ref 0 in
+        List.iter
+          (fun i ->
+            let outs = sup_exn "submit" (Supervisor.submit sup ~time:i (txn_p i)) in
+            acked := !acked + List.length outs)
+          [ 1; 2; 3; 4; 5 ];
+        (* crash: abandon sup with two records buffered, three synced *)
+        Alcotest.(check int) "three acks released before the crash" 3 !acked;
+        let sup2, _ =
+          sup_exn "recover"
+            (Supervisor.recover ~fs ~config:(cfg ~group:3 ()) ~state_dir:"sd"
+               cat defaults)
+        in
+        Alcotest.(check int) "exactly the synced batch survives" 3
+          (Supervisor.steps sup2));
+    Alcotest.test_case "wal format 2 round-trips through the supervisor"
+      `Quick (fun () ->
+        let fs, sup = fresh ~config:(cfg ~auto:2 ~wal:2 ()) () in
+        ignore (feed_all sup [ (1, txn_p 1); (2, txn_p 2); (3, txn_q 1) ]);
+        let w =
+          sup_exn "wal"
+            (Wal.recover
+               (sup_exn "read" (fs.Faults.read_file (Supervisor.wal_path "sd"))))
+        in
+        Alcotest.(check int) "directory is v2" 2 w.Wal.version;
+        (* the directory's format is sticky: recovering with a v1 config
+           keeps writing v2 (compaction re-encodes in the found format) *)
+        let sup2, _ =
+          sup_exn "recover"
+            (Supervisor.recover ~fs ~config:(cfg ~auto:2 ~wal:1 ())
+               ~state_dir:"sd" cat defaults)
+        in
+        Alcotest.(check int) "recovered everything" 3 (Supervisor.steps sup2);
+        Alcotest.(check int) "format wins over config" 2
+          (Supervisor.wal_version sup2);
+        ignore (checked "after" (sup_exn "step" (Supervisor.step sup2 ~time:9 (txn_p 9))));
+        let w2 =
+          sup_exn "wal2"
+            (Wal.recover
+               (sup_exn "read" (fs.Faults.read_file (Supervisor.wal_path "sd"))))
+        in
+        Alcotest.(check int) "still v2 after more appends" 2 w2.Wal.version);
+    Alcotest.test_case "unknown wal format is refused at create" `Quick
+      (fun () ->
+        let fs = Faults.mem_fs () in
+        Alcotest.(check bool) "refused" true
+          (Result.is_error
+             (Supervisor.create ~fs ~config:(cfg ~wal:3 ()) ~state_dir:"sd"
+                cat defaults))) ]
+
 (* ---------------- Injected write failures ---------------- *)
 
 let write_failure_cases =
@@ -420,10 +644,32 @@ let chaos_cases =
     Alcotest.test_case "seeded chaos sweep" `Slow (fun () ->
         match Chaos.run ~seed:42 ~iters:10 with
         | Ok eps -> Alcotest.(check int) "all episodes ran" 10 (List.length eps)
+        | Error e -> Alcotest.fail e);
+    Alcotest.test_case "group commit: clean kill at every crash point" `Slow
+      (fun () ->
+        let cat, defs, init, inputs = small_scenario () in
+        let config = cfg ~auto:3 ~retain:2 () in
+        for crash_at = 0 to List.length inputs do
+          match
+            Chaos.run_episode ~init ~group:4 ~config cat defs ~inputs
+              ~seed:(500 + crash_at) ~plan:Faults.Kill ~crash_at
+          with
+          | Ok ep ->
+            Alcotest.(check int) "episode ran the requested group" 4 ep.Chaos.group;
+            if ep.Chaos.accepted_at_crash - ep.Chaos.recovered_step > 3 then
+              Alcotest.failf "crash at %d: lost %d > group - 1" crash_at
+                (ep.Chaos.accepted_at_crash - ep.Chaos.recovered_step)
+          | Error e -> Alcotest.failf "crash at %d: %s" crash_at e
+        done);
+    Alcotest.test_case "seeded group-commit chaos sweep" `Slow (fun () ->
+        match Chaos.run_group ~seed:7 ~iters:8 with
+        | Ok eps -> Alcotest.(check int) "all episodes ran" 8 (List.length eps)
         | Error e -> Alcotest.fail e) ]
 
 let suite =
   [ ("resilience:wal", wal_cases);
+    ("resilience:wal2", wal2_cases);
+    ("resilience:group-commit", group_cases);
     ("resilience:lifecycle", lifecycle_cases);
     ("resilience:recovery", recovery_cases);
     ("resilience:policies", policy_cases);

@@ -106,12 +106,154 @@ let rec scrub = function
   | Json.List items -> Json.List (List.map scrub items)
   | j -> j
 
-(* ---------------- protocol: pinned replies and error codes ---------------- *)
-
 let tiny_spec =
   "schema p(a:int)\n\
    schema q(a:int)\n\
    constraint a: forall x. q(x) -> once[0,5] p(x) ;\n"
+
+(* ---------------- batched txn requests ---------------- *)
+
+(* One outcome object per transaction, in request order. *)
+let outcomes_of what reply =
+  let doc = ok_doc what reply in
+  match Json.member "outcomes" doc with
+  | Some (Json.List outs) -> outs
+  | _ -> Alcotest.failf "%s: missing outcomes: %s" what reply
+
+let outcome_str what j =
+  match Json.member "outcome" j with
+  | Some (Json.Str s) -> s
+  | _ -> Alcotest.failf "%s: element lacks an outcome" what
+
+let batch_cases =
+  [ Alcotest.test_case "batched txn: one outcome per transaction, in order"
+      `Quick (fun () ->
+        let _, srv = server_with_spec tiny_spec in
+        let replies =
+          Server.handle_lines srv
+            [ "open s spec"; "txn s 1 1 2 1 3 0"; "+p(1)"; "+q(7)" ]
+        in
+        match replies with
+        | [ _; batched ] ->
+          (match outcomes_of "batch" batched with
+           | [ o1; o2; o3 ] ->
+             List.iter
+               (fun (o, t) ->
+                 Alcotest.(check string) "checked" "checked"
+                   (outcome_str "batch" o);
+                 Alcotest.(check (option json_testable)) "time"
+                   (Some (Json.Int t)) (Json.member "time" o))
+               [ (o1, 1); (o2, 2); (o3, 3) ];
+             (match Json.member "reports" o2 with
+              | Some (Json.List [ r ]) ->
+                Alcotest.(check string) "the q(7) violation" "a@1/2"
+                  (report_of_json "batch" r)
+              | _ -> Alcotest.fail "second outcome should carry one report");
+             (match Json.member "reports" o1 with
+              | Some (Json.List []) -> ()
+              | _ -> Alcotest.fail "first outcome should carry no reports");
+             (* q(7) persists in the database, so the zero-op step at
+                time 3 re-reports the standing violation *)
+             (match Json.member "reports" o3 with
+              | Some (Json.List [ r ]) ->
+                Alcotest.(check string) "still standing" "a@2/3"
+                  (report_of_json "batch" r)
+              | _ -> Alcotest.fail "third outcome should re-report")
+           | outs -> Alcotest.failf "expected 3 outcomes, got %d" (List.length outs))
+        | _ -> Alcotest.failf "expected 2 replies, got %d" (List.length replies));
+    Alcotest.test_case "batched txn under group commit flushes per request"
+      `Quick (fun () ->
+        (* group-commit 64 never fills on its own: the request-end flush
+           must release every ack before the reply goes out *)
+        let _, srv = server_with_spec tiny_spec in
+        let replies =
+          Server.handle_lines srv
+            [ "open s spec group-commit=64";
+              "txn s 1 1 2 1 3 1";
+              "+p(1)"; "+p(2)"; "+p(3)";
+              "txn s 4 1"; "+p(4)";
+              "stats s" ]
+        in
+        match replies with
+        | [ _; batched; single; stats ] ->
+          Alcotest.(check int) "all three acks in the reply" 3
+            (List.length (outcomes_of "batch" batched));
+          Alcotest.(check (list string)) "classic single reply after" []
+            (checked_reports "single" single);
+          (match Json.member "stats" (ok_doc "stats" stats) with
+           | Some st ->
+             Alcotest.(check (option json_testable)) "four transactions"
+               (Some (Json.Int 4)) (Json.member "transactions" st)
+           | None -> Alcotest.fail "stats reply lacks a stats field")
+        | _ -> Alcotest.failf "expected 4 replies, got %d" (List.length replies));
+    Alcotest.test_case "malformed op in a batch is one invalid slot" `Quick
+      (fun () ->
+        let _, srv = server_with_spec tiny_spec in
+        let replies =
+          Server.handle_lines srv
+            [ "open s spec";
+              "txn s 1 1 2 1";
+              "+p(1)";
+              "this is not an op";
+              (* stream must still be on request-line footing *)
+              "txn s 3 1"; "+p(2)";
+              "stats s" ]
+        in
+        match replies with
+        | [ _; batched; good; stats ] ->
+          (match outcomes_of "batch" batched with
+           | [ o1; o2 ] ->
+             Alcotest.(check string) "first checked" "checked"
+               (outcome_str "batch" o1);
+             Alcotest.(check string) "second invalid" "invalid"
+               (outcome_str "batch" o2)
+           | outs -> Alcotest.failf "expected 2 outcomes, got %d" (List.length outs));
+          Alcotest.(check (list string)) "next request fine" []
+            (checked_reports "good" good);
+          (match Json.member "stats" (ok_doc "stats" stats) with
+           | Some st ->
+             (* the invalid transaction was never stepped *)
+             Alcotest.(check (option json_testable)) "two transactions"
+               (Some (Json.Int 2)) (Json.member "transactions" st)
+           | None -> Alcotest.fail "stats reply lacks a stats field")
+        | _ -> Alcotest.failf "expected 4 replies, got %d" (List.length replies));
+    Alcotest.test_case "halt mid-batch marks the rest halted" `Quick (fun () ->
+        let _, srv = server_with_spec tiny_spec in
+        let replies =
+          Server.handle_lines srv
+            [ "open s spec";
+              (* non-increasing time under the default halt policy *)
+              "txn s 5 1 5 1 6 1";
+              "+p(1)"; "+p(2)"; "+p(3)";
+              "stats s" ]
+        in
+        match replies with
+        | [ _; batched; stats ] ->
+          (match outcomes_of "batch" batched with
+           | [ o1; o2; o3 ] ->
+             Alcotest.(check string) "first checked" "checked"
+               (outcome_str "batch" o1);
+             Alcotest.(check string) "regression halts" "halted"
+               (outcome_str "batch" o2);
+             Alcotest.(check string) "rest never stepped" "halted"
+               (outcome_str "batch" o3)
+           | outs -> Alcotest.failf "expected 3 outcomes, got %d" (List.length outs));
+          (* the halted session is gone, as on a single-txn halt *)
+          Alcotest.(check string) "session dropped" "unknown-session"
+            (error_code "stats" stats)
+        | _ -> Alcotest.failf "expected 3 replies, got %d" (List.length replies));
+    Alcotest.test_case "odd txn header tail is a bad request" `Quick (fun () ->
+        let _, srv = server_with_spec tiny_spec in
+        ignore (one "open" (Server.handle_lines srv [ "open s spec" ]));
+        Alcotest.(check string) "odd pairs" "bad-request"
+          (error_code "odd"
+             (one "odd" (Server.handle_lines srv [ "txn s 1 1 2" ])));
+        (* the engine is still in sync afterwards *)
+        let replies = Server.handle_lines srv [ "txn s 1 1"; "+p(1)" ] in
+        Alcotest.(check (list string)) "still serving" []
+          (checked_reports "after" (one "after" replies))) ]
+
+(* ---------------- protocol: pinned replies and error codes ---------------- *)
 
 let protocol_cases =
   [ Alcotest.test_case "happy path replies are pinned" `Quick (fun () ->
@@ -935,6 +1077,7 @@ let metrics_property =
 
 let suite =
   [ ("server:protocol", protocol_cases);
+    ("server:batch", batch_cases);
     ("server:repair", repair_cases);
     ("server:connections", connection_cases);
     ("server:equivalence", equivalence_cases @ [ equivalence_property ]);

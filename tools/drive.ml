@@ -18,6 +18,12 @@
    clean shutdown over a control connection and reaps the child — the
    shape of the bounded smoke that runs under `dune runtest`.
 
+   With --batch K each client packs K transactions into one batched txn
+   request (FORMATS.md §7) and unpacks the per-transaction outcomes from
+   the reply — the round-trip amortization that makes group commit pay
+   on the server side.  Latency percentiles are then per {e request},
+   not per transaction.
+
    Fault drills: --kill-after K makes client 0 die abruptly after K
    replies — mid-transaction, with a txn header promising ops that never
    arrive — and the run only passes if every other client still finishes
@@ -51,6 +57,7 @@ let jobs = ref 1
 let clients = ref 1
 let kill_after = ref (-1)
 let reconnect_at = ref (-1)
+let batch = ref 1
 let latency_out = ref ""
 
 let usage = "drive.exe [--socket PATH | --spawn RTIC_BIN] [options]"
@@ -72,6 +79,8 @@ let args =
      "N  worker domains for a --spawn'ed server (default 1)");
     ("--clients", Arg.Set_int clients,
      "N  concurrent connections over disjoint workload slices (default 1)");
+    ("--batch", Arg.Set_int batch,
+     "K  pack K transactions per batched txn request (default 1)");
     ("--kill-after", Arg.Set_int kill_after,
      "K  client 0 dies abruptly mid-transaction after K replies");
     ("--reconnect-at", Arg.Set_int reconnect_at,
@@ -197,8 +206,8 @@ let connect_client path =
    | _ -> failf "unexpected greeting: %s" hello);
   (fd, ic, oc)
 
-let run_client ~path ~spec_file ~session ~kill_at ~reconnect_at ~keep_open
-    (sc : Scenarios.t) slice =
+let run_client ~path ~spec_file ~session ~kill_at ~reconnect_at ~batch
+    ~keep_open (sc : Scenarios.t) slice =
   try
     let fd0, ic0, oc0 = connect_client path in
     let fd = ref fd0 and ic = ref ic0 and oc = ref oc0 in
@@ -206,62 +215,115 @@ let run_client ~path ~spec_file ~session ~kill_at ~reconnect_at ~keep_open
       (expect_ok "open"
          (roundtrip !oc !ic (Printf.sprintf "open %s %s\n" session spec_file)));
     let n = List.length slice in
-    let latencies = Array.make n 0.0 in
+    let lat_rev = ref [] in
     let violations = ref 0 in
     let reports_rev = ref [] in
     let driven = ref 0 in
     let reconnects = ref 0 in
     let killed = ref false in
+    (* Shared per-transaction reply handling: must be "checked", and its
+       reports feed the serve = batch cross-check. *)
+    let check_outcome ~reply time doc =
+      (match Json.member "outcome" doc with
+       | Some (Json.Str "checked") -> ()
+       | _ -> failf "txn at time %d not checked: %s" time reply);
+      (match Json.member "reports" doc with
+       | Some (Json.List rs) ->
+         violations := !violations + List.length rs;
+         reports_rev := List.rev_map (report_of_json "txn") rs @ !reports_rev
+       | _ -> ());
+      incr driven
+    in
     (try
-       List.iteri
-         (fun idx (time, txn) ->
-           if kill_at = Some idx then begin
-             (* die mid-transaction: the header promises ops that never
-                arrive, so the server is left holding a half-received
-                body when the connection drops *)
-             output_string !oc
+       if batch <= 1 then
+         List.iteri
+           (fun idx (time, txn) ->
+             if kill_at = Some idx then begin
+               (* die mid-transaction: the header promises ops that never
+                  arrive, so the server is left holding a half-received
+                  body when the connection drops *)
+               output_string !oc
+                 (Printf.sprintf "txn %s %d %d\n" session time
+                    (List.length txn));
+               (match txn with
+                | op :: _ -> output_string !oc (op_line op ^ "\n")
+                | [] -> ());
+               flush !oc;
+               Unix.close !fd;
+               killed := true;
+               raise Exit
+             end;
+             if reconnect_at = Some idx then begin
+               Unix.close !fd;
+               let fd', ic', oc' = connect_client path in
+               fd := fd';
+               ic := ic';
+               oc := oc';
+               incr reconnects
+             end;
+             let buf = Buffer.create 256 in
+             Buffer.add_string buf
                (Printf.sprintf "txn %s %d %d\n" session time
                   (List.length txn));
-             (match txn with
-              | op :: _ -> output_string !oc (op_line op ^ "\n")
-              | [] -> ());
-             flush !oc;
-             Unix.close !fd;
-             killed := true;
-             raise Exit
-           end;
-           if reconnect_at = Some idx then begin
-             Unix.close !fd;
-             let fd', ic', oc' = connect_client path in
-             fd := fd';
-             ic := ic';
-             oc := oc';
-             incr reconnects
-           end;
-           let buf = Buffer.create 256 in
-           Buffer.add_string buf
-             (Printf.sprintf "txn %s %d %d\n" session time (List.length txn));
-           List.iter
-             (fun op ->
-               Buffer.add_string buf (op_line op);
-               Buffer.add_char buf '\n')
-             txn;
-           let t0 = Unix.gettimeofday () in
-           let reply = roundtrip !oc !ic (Buffer.contents buf) in
-           latencies.(idx) <- (Unix.gettimeofday () -. t0) *. 1e6;
-           let doc = expect_ok "txn" reply in
-           (match Json.member "outcome" doc with
-            | Some (Json.Str "checked") -> ()
-            | _ -> failf "txn at time %d not checked: %s" time reply);
-           (match Json.member "reports" doc with
-            | Some (Json.List rs) ->
-              violations := !violations + List.length rs;
-              reports_rev :=
-                List.rev_map (report_of_json "txn") rs @ !reports_rev
-            | _ -> ());
-           incr driven)
-         slice
+             List.iter
+               (fun op ->
+                 Buffer.add_string buf (op_line op);
+                 Buffer.add_char buf '\n')
+               txn;
+             let t0 = Unix.gettimeofday () in
+             let reply = roundtrip !oc !ic (Buffer.contents buf) in
+             lat_rev := ((Unix.gettimeofday () -. t0) *. 1e6) :: !lat_rev;
+             check_outcome ~reply time (expect_ok "txn" reply))
+           slice
+       else begin
+         (* Batched: up to [batch] transactions per request, one header
+            line carrying every TIME NOPS pair, bodies concatenated in
+            order.  A single-transaction tail gets the classic reply. *)
+         let rec chunks = function
+           | [] -> []
+           | l ->
+             let take = List.filteri (fun j _ -> j < batch) l in
+             let rest = List.filteri (fun j _ -> j >= batch) l in
+             take :: chunks rest
+         in
+         List.iter
+           (fun group ->
+             let buf = Buffer.create 512 in
+             Buffer.add_string buf (Printf.sprintf "txn %s" session);
+             List.iter
+               (fun (time, txn) ->
+                 Buffer.add_string buf
+                   (Printf.sprintf " %d %d" time (List.length txn)))
+               group;
+             Buffer.add_char buf '\n';
+             List.iter
+               (fun (_, txn) ->
+                 List.iter
+                   (fun op ->
+                     Buffer.add_string buf (op_line op);
+                     Buffer.add_char buf '\n')
+                   txn)
+               group;
+             let t0 = Unix.gettimeofday () in
+             let reply = roundtrip !oc !ic (Buffer.contents buf) in
+             lat_rev := ((Unix.gettimeofday () -. t0) *. 1e6) :: !lat_rev;
+             let doc = expect_ok "txn" reply in
+             match group with
+             | [ (time, _) ] -> check_outcome ~reply time doc
+             | _ ->
+               (match Json.member "outcomes" doc with
+                | Some (Json.List outs) ->
+                  if List.length outs <> List.length group then
+                    failf "batched txn: %d outcome(s) for %d transaction(s)"
+                      (List.length outs) (List.length group);
+                  List.iter2
+                    (fun (time, _) out -> check_outcome ~reply time out)
+                    group outs
+                | _ -> failf "batched txn reply lacks outcomes: %s" reply))
+           (chunks slice)
+       end
      with Exit -> ());
+    let latencies = Array.of_list (List.rev !lat_rev) in
     if !killed then Killed { driven = !driven; violations = !violations }
     else begin
       (* Cross-check the server's account of the run against ours... *)
@@ -325,6 +387,9 @@ let () =
     die 2 "--steps %d cannot cover %d clients (empty slices)" !steps !clients;
   if !kill_after >= 0 && !reconnect_at >= 0 then
     die 2 "--kill-after and --reconnect-at are mutually exclusive";
+  if !batch < 1 then die 2 "--batch must be at least 1";
+  if !batch > 1 && (!kill_after >= 0 || !reconnect_at >= 0) then
+    die 2 "--batch cannot be combined with --kill-after or --reconnect-at";
   let sc =
     match
       List.find_opt (fun (s : Scenarios.t) -> s.name = !scenario) Scenarios.all
@@ -423,7 +488,7 @@ let () =
         in
         Domain.spawn (fun () ->
             run_client ~path ~spec_file ~session ~kill_at ~reconnect_at
-              ~keep_open:(!latency_out <> "") sc slice))
+              ~batch:!batch ~keep_open:(!latency_out <> "") sc slice))
       slices
   in
   let results = List.map Domain.join domains in
